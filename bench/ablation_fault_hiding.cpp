@@ -1,0 +1,124 @@
+// Ablation A5: an ISP hiding its faults from Debuglet (paper §VI-E).
+//
+// The attack: the AS that owns a congested link covertly prioritizes
+// packets to/from the known executor addresses, so Debuglet measurements
+// look clean while real traffic suffers. The paper's defense: the attack
+// is "easily cross-validated by running measurements from diverse network
+// vantage points" — probes from ordinary (non-executor) prefixes still see
+// the congestion, and the discrepancy exposes the lie.
+#include "bench_util.hpp"
+#include "core/debuglet.hpp"
+#include "simnet/hosts.hpp"
+
+namespace {
+
+using namespace debuglet;
+using net::Protocol;
+
+struct VantageResult {
+  double mean_ms = 0.0;
+  double loss_pm = 0.0;
+};
+
+VantageResult probe_between(simnet::Scenario& s, net::Ipv4Address client_addr,
+                            net::Ipv4Address server_addr, std::uint64_t seed,
+                            std::uint64_t probes) {
+  simnet::EchoServerHost server(*s.network, server_addr);
+  if (!s.network->attach_host(server_addr, &server)) std::abort();
+  simnet::ProbeClientConfig cfg;
+  cfg.server = server_addr;
+  cfg.probe_count = probes;
+  cfg.interval = duration::milliseconds(20);
+  cfg.protocols = {Protocol::kUdp};
+  simnet::ProbeClientHost client(*s.network, client_addr, cfg, seed);
+  if (!s.network->attach_host(client_addr, &client)) std::abort();
+  client.start();
+  s.queue->run();
+  VantageResult out;
+  out.mean_ms = client.report().rtt_ms.at(Protocol::kUdp).mean();
+  out.loss_pm = client.report().loss_per_mille(Protocol::kUdp);
+  s.network->detach_host(server_addr);
+  s.network->detach_host(client_addr);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A5 — ISP fault hiding and cross-validation",
+                "Debuglet (ICDCS'24), Section VI-E");
+  const auto probes = static_cast<std::uint64_t>(
+      bench::env_scale("DEBUGLET_BENCH_TRIALS", 3000));
+
+  simnet::Scenario s = simnet::build_chain_scenario(3, 505, 5.0);
+  const auto& topo = s.network->topology();
+
+  // A congested middle link: a standing 20 ms queue plus 5% loss.
+  simnet::LinkConfig congested;
+  congested.propagation_ms = 5.0;
+  congested.routes = {{0.0, 0.5, 0.0}};
+  simnet::EpisodeSpec queue_episode;
+  queue_episode.label = "standing congestion";
+  queue_episode.on_mean_s = 1e9;  // effectively permanent once on
+  queue_episode.off_mean_s = 1e-6;
+  queue_episode.extra_delay_ms = 20.0;
+  queue_episode.extra_loss_pm = 50.0;
+  congested.episodes = {queue_episode};
+
+  // The cheating AS prioritizes traffic involving the executor addresses
+  // at both ends of the link.
+  const auto exec_a = topo.address_of(simnet::chain_egress(0));
+  const auto exec_b = topo.address_of(simnet::chain_ingress(1));
+  simnet::LinkConfig cheating = congested;
+  cheating.prioritized_addresses = {exec_a, exec_b};
+
+  auto apply = [&](const simnet::LinkConfig& cfg) {
+    if (!s.network->configure_link_symmetric(simnet::chain_egress(0),
+                                             simnet::chain_ingress(1), cfg))
+      std::abort();
+  };
+
+  // --- Honest AS: executors and real traffic agree -------------------------
+  apply(congested);
+  const VantageResult honest_exec =
+      probe_between(s, exec_a, exec_b, 1, probes);
+  const VantageResult honest_user =
+      probe_between(s, s.network->allocate_host_address(1),
+                    s.network->allocate_host_address(2), 2, probes);
+
+  // --- Cheating AS ----------------------------------------------------------
+  apply(cheating);
+  const VantageResult cheat_exec = probe_between(s, exec_a, exec_b, 3, probes);
+  const VantageResult cheat_user =
+      probe_between(s, s.network->allocate_host_address(1),
+                    s.network->allocate_host_address(2), 4, probes);
+
+  std::printf("\n%-12s %-22s | %10s %10s\n", "operator", "vantage",
+              "RTT(ms)", "loss(pm)");
+  std::printf("%.*s\n", 60,
+              "------------------------------------------------------------");
+  std::printf("%-12s %-22s | %10.2f %10.2f\n", "honest",
+              "executor pair", honest_exec.mean_ms, honest_exec.loss_pm);
+  std::printf("%-12s %-22s | %10.2f %10.2f\n", "honest",
+              "ordinary prefixes", honest_user.mean_ms, honest_user.loss_pm);
+  std::printf("%-12s %-22s | %10.2f %10.2f\n", "cheating",
+              "executor pair", cheat_exec.mean_ms, cheat_exec.loss_pm);
+  std::printf("%-12s %-22s | %10.2f %10.2f\n", "cheating",
+              "ordinary prefixes", cheat_user.mean_ms, cheat_user.loss_pm);
+
+  const double discrepancy = cheat_user.mean_ms - cheat_exec.mean_ms;
+  std::printf("\nCross-validation discrepancy under cheating: %.1f ms RTT, "
+              "%.1f pm loss\n",
+              discrepancy, cheat_user.loss_pm - cheat_exec.loss_pm);
+
+  bench::ShapeChecks checks;
+  checks.check(std::abs(honest_exec.mean_ms - honest_user.mean_ms) < 2.0,
+               "honest AS: executor and user vantage points agree");
+  checks.check(cheat_exec.mean_ms < honest_exec.mean_ms - 20.0,
+               "cheating hides the standing queue from executors");
+  checks.check(discrepancy > 20.0,
+               "cross-validation from ordinary prefixes exposes the lie");
+  checks.check(cheat_user.loss_pm > cheat_exec.loss_pm + 30.0,
+               "loss discrepancy also visible");
+  return checks.summary();
+}

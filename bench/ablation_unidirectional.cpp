@@ -1,0 +1,179 @@
+// Ablation A7: unidirectional measurements (paper §III "Enabling
+// Unidirectional Measurements").
+//
+// "Internet paths may not be symmetric, and load distribution on different
+// directions of each link can be different... To distinguish faults on the
+// forward path from the ones on the backward path, Debuglet should provide
+// the ability to measure the performance of each direction."
+//
+// The bench congests ONLY the forward direction of a link, shows that RTT
+// measurements cannot attribute the direction, and that the one-way
+// sender/receiver Debuglet pair can.
+#include "apps/debuglets.hpp"
+#include "bench_util.hpp"
+#include "core/debuglet.hpp"
+#include "simnet/hosts.hpp"
+
+namespace {
+
+using namespace debuglet;
+using net::Protocol;
+
+struct OneWayStats {
+  double mean_ms = 0.0;
+  std::size_t received = 0;
+};
+
+// Runs the one-way Debuglet pair from `sender_key` to `receiver_key`.
+Result<OneWayStats> one_way(simnet::Scenario& s,
+                            executor::ExecutorService& sender_exec,
+                            executor::ExecutorService& receiver_exec,
+                            std::uint16_t port, std::int64_t packets) {
+  apps::OneWaySenderParams sp;
+  sp.protocol = Protocol::kUdp;
+  sp.receiver = receiver_exec.address();
+  sp.receiver_port = port;
+  sp.packet_count = packets;
+  sp.interval_ms = 50;
+  executor::DebugletApp sender;
+  sender.application_id = port;
+  sender.module_bytes = apps::make_oneway_sender_debuglet().serialize();
+  sender.manifest = apps::client_manifest(
+      Protocol::kUdp, receiver_exec.address(), packets,
+      duration::seconds(60));
+  sender.parameters = sp.to_parameters();
+
+  apps::OneWayReceiverParams rp;
+  rp.protocol = Protocol::kUdp;
+  rp.expected_packets = packets;
+  rp.idle_timeout_ms = 3000;
+  executor::DebugletApp receiver;
+  receiver.application_id = port + 1;
+  receiver.module_bytes = apps::make_oneway_receiver_debuglet().serialize();
+  receiver.manifest = apps::server_manifest(
+      Protocol::kUdp, sender_exec.address(), packets, duration::seconds(60));
+  receiver.parameters = rp.to_parameters();
+  receiver.listen_port = port;
+
+  std::optional<core::BilateralOutcome> outcome;
+  auto status = core::run_bilateral(
+      sender_exec, receiver_exec, std::move(sender), std::move(receiver),
+      s.queue->now() + duration::milliseconds(10),
+      [&](const core::BilateralOutcome& o) { outcome = o; });
+  if (!status) return status.error();
+  s.queue->run();
+  if (!outcome) return fail("one-way measurement produced no outcome");
+
+  // The receiver (the "server" slot of run_bilateral) holds the samples.
+  auto samples = apps::decode_samples(BytesView(
+      outcome->server.record.output.data(),
+      outcome->server.record.output.size()));
+  if (!samples) return samples.error();
+  OneWayStats out;
+  out.received = samples->size();
+  RunningStats stats;
+  for (const auto& sample : *samples)
+    stats.add(static_cast<double>(sample.delay_ns) / 1e6);
+  out.mean_ms = stats.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A7 — unidirectional fault attribution",
+                "Debuglet (ICDCS'24), Section III");
+  bench::ShapeChecks checks;
+
+  simnet::Scenario s = simnet::build_chain_scenario(3, 717, 5.0);
+  // Congest ONLY the forward (AS1 -> AS2) direction of the first link.
+  simnet::FaultSpec fault;
+  fault.extra_delay_ms = 30.0;
+  fault.start = 0;
+  fault.end = duration::hours(10);
+  if (!s.network->inject_fault(simnet::chain_egress(0),
+                               simnet::chain_ingress(1), fault))
+    return 2;
+
+  executor::ExecutorService exec_a(*s.network, simnet::chain_egress(0),
+                                   crypto::KeyPair::from_seed(1), {}, 11);
+  executor::ExecutorService exec_b(*s.network, simnet::chain_ingress(2),
+                                   crypto::KeyPair::from_seed(2), {}, 12);
+
+  // --- RTT view: direction-blind -------------------------------------------
+  constexpr std::uint16_t kRttPort = 47100;
+  apps::ProbeClientParams cp;
+  cp.protocol = Protocol::kUdp;
+  cp.server = exec_b.address();
+  cp.server_port = kRttPort;
+  cp.probe_count = 20;
+  cp.interval_ms = 50;
+  cp.recv_timeout_ms = 500;
+  executor::DebugletApp rtt_client;
+  rtt_client.application_id = 1;
+  rtt_client.module_bytes = apps::make_probe_client_debuglet().serialize();
+  rtt_client.manifest = apps::client_manifest(Protocol::kUdp,
+                                              exec_b.address(), 20,
+                                              duration::seconds(60));
+  rtt_client.parameters = cp.to_parameters();
+  apps::EchoServerParams ep;
+  ep.protocol = Protocol::kUdp;
+  ep.idle_timeout_ms = 2000;
+  executor::DebugletApp rtt_server;
+  rtt_server.application_id = 2;
+  rtt_server.module_bytes = apps::make_echo_server_debuglet().serialize();
+  rtt_server.manifest = apps::server_manifest(Protocol::kUdp,
+                                              exec_a.address(), 40,
+                                              duration::seconds(60));
+  rtt_server.parameters = ep.to_parameters();
+  rtt_server.listen_port = kRttPort;
+
+  std::optional<core::BilateralOutcome> rtt_outcome;
+  if (!core::run_bilateral(exec_a, exec_b, std::move(rtt_client),
+                           std::move(rtt_server),
+                           s.queue->now() + duration::milliseconds(10),
+                           [&](const core::BilateralOutcome& o) {
+                             rtt_outcome = o;
+                           }))
+    return 2;
+  s.queue->run();
+  if (!rtt_outcome) return 2;
+  auto rtt_samples = apps::decode_samples(BytesView(
+      rtt_outcome->client.record.output.data(),
+      rtt_outcome->client.record.output.size()));
+  RunningStats rtt;
+  for (const auto& sample : *rtt_samples)
+    rtt.add(static_cast<double>(sample.delay_ns) / 1e6);
+
+  // --- One-way views: direction-resolving ----------------------------------
+  auto forward = one_way(s, exec_a, exec_b, 47200, 20);   // AS1 -> AS3
+  if (!forward) {
+    std::printf("forward: %s\n", forward.error_message().c_str());
+    return 2;
+  }
+  auto backward = one_way(s, exec_b, exec_a, 47300, 20);  // AS3 -> AS1
+  if (!backward) {
+    std::printf("backward: %s\n", backward.error_message().c_str());
+    return 2;
+  }
+
+  const double healthy_oneway = 2 * 5.0 + 0.1;  // 2 links + AS2 transit
+  std::printf("\nForward direction of link AS1->AS2 congested by +30 ms; "
+              "healthy one-way ≈ %.1f ms.\n\n",
+              healthy_oneway);
+  std::printf("%-28s %10s\n", "measurement", "mean (ms)");
+  std::printf("%.*s\n", 40, "----------------------------------------");
+  std::printf("%-28s %10.2f\n", "RTT (direction-blind)", rtt.mean());
+  std::printf("%-28s %10.2f\n", "one-way forward", forward->mean_ms);
+  std::printf("%-28s %10.2f\n", "one-way backward", backward->mean_ms);
+
+  checks.check(rtt.mean() > 2 * healthy_oneway + 25.0,
+               "RTT sees the fault but cannot attribute a direction");
+  checks.check(forward->mean_ms > healthy_oneway + 25.0,
+               "forward one-way exposes the congested direction");
+  checks.check(backward->mean_ms < healthy_oneway + 3.0,
+               "backward one-way confirms the reverse path is healthy");
+  checks.check(forward->received == 20 && backward->received == 20,
+               "all one-way packets accounted for");
+  return checks.summary();
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the reproduction benches: fixed-width table printing
+// and paper-vs-measured row formatting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace debuglet::bench {
+
+/// Prints a banner naming the experiment being reproduced.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================================\n");
+}
+
+/// Reads an environment scale knob (e.g. simulated hours) with a default.
+inline double env_scale(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const double parsed = std::atof(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Opens a CSV file under $DEBUGLET_CSV_DIR for figure data export, or
+/// returns nullptr when the variable is unset (export disabled). The
+/// caller owns the handle.
+inline std::FILE* csv_open(const std::string& filename) {
+  const char* dir = std::getenv("DEBUGLET_CSV_DIR");
+  if (dir == nullptr) return nullptr;
+  const std::string path = std::string(dir) + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) std::printf("(writing %s)\n", path.c_str());
+  return f;
+}
+
+/// A pass/fail shape check, printed and tallied.
+class ShapeChecks {
+ public:
+  void check(bool ok, const std::string& description) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", description.c_str());
+    ++total_;
+    if (ok) ++passed_;
+  }
+
+  /// Prints the tally; returns a process exit code (0 = all passed).
+  int summary() const {
+    std::printf("\nShape checks: %zu/%zu passed\n", passed_, total_);
+    return passed_ == total_ ? 0 : 1;
+  }
+
+ private:
+  std::size_t passed_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace debuglet::bench

@@ -1,0 +1,106 @@
+// Figure 1 reproduction: New York – London RTT over a 4-hour window.
+// The paper's figure shows (a) UDP and TCP consistently below ICMP and raw
+// IP, (b) occasional sudden ~5 ms steps (route changes), and (c) the
+// per-protocol latency density. This bench emits the windowed series
+// summary, the density (histogram), and the step count.
+#include "bench_util.hpp"
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace debuglet;
+using namespace debuglet::simnet;
+using net::Protocol;
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 1 — New York–London RTT, 4-hour window + density",
+                "Debuglet (ICDCS'24), Figure 1");
+  const double hours = bench::env_scale("DEBUGLET_BENCH_HOURS", 4.0);
+
+  Scenario s = build_city_scenario(11);
+  const auto server_addr = s.network->allocate_host_address(london_as());
+  EchoServerHost server(*s.network, server_addr);
+  if (auto st = s.network->attach_host(server_addr, &server); !st) return 2;
+  const auto client_addr = s.network->allocate_host_address(city_as("NewYork"));
+  ProbeClientConfig cfg;
+  cfg.server = server_addr;
+  cfg.probe_count = static_cast<std::uint64_t>(hours * 3600.0);
+  cfg.interval = duration::seconds(1);
+  cfg.record_series = true;
+  ProbeClientHost client(*s.network, client_addr, cfg, 12);
+  if (auto st = s.network->attach_host(client_addr, &client); !st) return 2;
+  client.start();
+  s.queue->run();
+  const ProbeReport& report = client.report();
+
+  // Raw per-probe series for external plotting (set DEBUGLET_CSV_DIR).
+  if (std::FILE* csv = bench::csv_open("fig1_newyork_rtt.csv")) {
+    std::fprintf(csv, "protocol,t_s,rtt_ms\n");
+    for (Protocol p : net::kAllProtocols) {
+      const Series& series = report.series.at(p);
+      for (std::size_t i = 0; i < series.times_s.size(); ++i)
+        std::fprintf(csv, "%s,%.3f,%.4f\n", net::protocol_name(p).c_str(),
+                     series.times_s[i], series.values[i]);
+    }
+    std::fclose(csv);
+  }
+
+  // Windowed time series (10-minute buckets), the figure's left panel.
+  std::printf("\nTime series (10-minute bucket means, ms):\n");
+  std::printf("%8s %8s %8s %8s %8s\n", "t(min)", "UDP", "TCP", "ICMP",
+              "RawIP");
+  const double bucket_s = 600.0;
+  const auto buckets = static_cast<std::size_t>(hours * 3600.0 / bucket_s);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::printf("%8.0f", (static_cast<double>(b) * bucket_s) / 60.0);
+    for (Protocol p : net::kAllProtocols) {
+      const Series& series = report.series.at(p);
+      RunningStats stats;
+      for (std::size_t i = 0; i < series.times_s.size(); ++i) {
+        if (series.times_s[i] >= static_cast<double>(b) * bucket_s &&
+            series.times_s[i] < static_cast<double>(b + 1) * bucket_s)
+          stats.add(series.values[i]);
+      }
+      std::printf(" %8.2f", stats.mean());
+    }
+    std::printf("\n");
+  }
+
+  // Density panels: per-protocol histogram over a shared range.
+  std::printf("\nLatency density (counts per 1 ms bin, 65–95 ms):\n");
+  std::printf("%8s %8s %8s %8s %8s\n", "bin(ms)", "UDP", "TCP", "ICMP",
+              "RawIP");
+  std::map<Protocol, std::vector<std::size_t>> histograms;
+  for (Protocol p : net::kAllProtocols)
+    histograms[p] = report.rtt_ms.at(p).histogram(65.0, 95.0, 30);
+  for (std::size_t bin = 0; bin < 30; ++bin) {
+    std::printf("%8.0f", 65.0 + static_cast<double>(bin));
+    for (Protocol p : net::kAllProtocols)
+      std::printf(" %8zu", histograms[p][bin]);
+    std::printf("\n");
+  }
+
+  bench::ShapeChecks checks;
+  auto mean = [&](Protocol p) { return report.rtt_ms.at(p).mean(); };
+  checks.check(mean(Protocol::kUdp) < mean(Protocol::kIcmp) &&
+                   mean(Protocol::kUdp) < mean(Protocol::kRawIp),
+               "UDP consistently below ICMP and raw IP");
+  checks.check(mean(Protocol::kTcp) < mean(Protocol::kIcmp) &&
+                   mean(Protocol::kTcp) < mean(Protocol::kRawIp),
+               "TCP consistently below ICMP and raw IP");
+  // Sudden ~5 ms steps: count level shifts > 2.5 ms in 10-min medians.
+  std::size_t shifts = 0;
+  for (Protocol p : net::kAllProtocols)
+    shifts += count_level_shifts(report.series.at(p).values, 600, 2.5);
+  std::printf("\nLevel shifts (>2.5 ms between 10-min medians), all "
+              "protocols: %zu\n", shifts);
+  checks.check(shifts >= 1, "sudden route-change steps are visible");
+  checks.check(report.loss_per_mille(Protocol::kTcp) >
+                   report.loss_per_mille(Protocol::kIcmp),
+               "TCP loss above ICMP loss in the window");
+  return checks.summary();
+}

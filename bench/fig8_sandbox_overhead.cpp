@@ -1,0 +1,259 @@
+// Figure 8 reproduction: the impact of running measurement code inside the
+// sandbox (the paper's WebAssembly runtime; DVM here).
+//
+// Four combinations run simultaneously between London and New York, one
+// UDP probe per second each (paper: one day; scale with
+// DEBUGLET_BENCH_HOURS):
+//   D2D — Debuglet client, Debuglet server (both sandboxed)
+//   A2D — native client, Debuglet server
+//   D2A — Debuglet client, native server
+//   A2A — native client, native server
+//
+// Paper results: A2A 74.81 ms < A2D 74.88 < D2A 75.01 < D2D 75.12 — an
+// ~300 µs near-constant sandbox overhead — and loss 1.38–1.71 % across all
+// combinations.
+#include "apps/debuglets.hpp"
+#include "bench_util.hpp"
+#include "executor/executor.hpp"
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace {
+
+using namespace debuglet;
+using namespace debuglet::simnet;
+using net::Protocol;
+
+constexpr topology::AsNumber kLondon = 1;
+constexpr topology::AsNumber kNewYork = 2;
+
+// A dedicated two-AS world matching the Fig. 8 path: ~74.8 ms base RTT and
+// ~0.82 % loss per direction (≈1.63 % round trip, the paper's 1.4–1.7 %).
+Scenario build_fig8_world(std::uint64_t seed) {
+  topology::Topology topo;
+  if (!topo.add_as(kLondon, "London") || !topo.add_as(kNewYork, "NewYork"))
+    throw std::runtime_error("topology setup");
+  if (auto s = topo.add_link({kLondon, 1}, {kNewYork, 1}); !s)
+    throw std::runtime_error(s.error_message());
+  Scenario out;
+  out.queue = std::make_unique<EventQueue>();
+  out.network =
+      std::make_unique<SimulatedNetwork>(*out.queue, std::move(topo), seed);
+  LinkConfig link;
+  link.propagation_ms = 37.3;
+  link.routes = {{0.0, 1.9, 8.2}};
+  if (auto s = out.network->configure_link_symmetric({kLondon, 1},
+                                                     {kNewYork, 1}, link);
+      !s)
+    throw std::runtime_error(s.error_message());
+  out.network->configure_transit(kLondon, {0.05, 0.005, 0.0});
+  out.network->configure_transit(kNewYork, {0.05, 0.005, 0.0});
+  return out;
+}
+
+struct ComboResult {
+  std::string name;
+  double mean_ms = 0.0;
+  double std_ms = 0.0;
+  double loss_percent = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 8 — sandbox (WA/DVM) impact on measurement accuracy",
+      "Debuglet (ICDCS'24), Figure 8 / Section V-B");
+  const double hours = bench::env_scale("DEBUGLET_BENCH_HOURS", 24.0);
+  const auto probes = static_cast<std::int64_t>(hours * 3600.0);
+  std::printf("Simulated duration: %.1f h (%lld probes per combination)\n",
+              hours, static_cast<long long>(probes));
+
+  Scenario s = build_fig8_world(888);
+
+  // Sandboxed endpoints: executors at the two border interfaces. The
+  // asymmetric I/O overheads reproduce the paper's ordering
+  // (client-side sandboxing costs more than server-side).
+  executor::ExecutorConfig client_cfg;
+  client_cfg.io_overhead = duration::microseconds(100);
+  executor::ExecutorConfig server_cfg;
+  server_cfg.io_overhead = duration::microseconds(55);
+  // The day-long run needs a large fuel/packet policy.
+  client_cfg.policy.max_cpu_fuel = 2'000'000'000;
+  client_cfg.policy.max_packets = 1'000'000;
+  client_cfg.policy.max_duration = duration::hours(26);
+  server_cfg.policy = client_cfg.policy;
+
+  executor::ExecutorService d_client(*s.network, {kNewYork, 1},
+                                     crypto::KeyPair::from_seed(81),
+                                     client_cfg, 91);
+  executor::ExecutorService d_server(*s.network, {kLondon, 1},
+                                     crypto::KeyPair::from_seed(82),
+                                     server_cfg, 92);
+
+  // Native endpoints.
+  const auto a_server_addr = s.network->allocate_host_address(kLondon);
+  EchoServerHost a_server(*s.network, a_server_addr);
+  if (auto st = s.network->attach_host(a_server_addr, &a_server); !st)
+    return 2;
+  const SimDuration run_duration =
+      duration::seconds(probes + 10);
+
+  // --- D2D and A2D servers are the Debuglet server; D2A/A2A use native ---
+  constexpr std::uint16_t kD2dPort = 46001;
+  constexpr std::uint16_t kA2dPort = 46002;
+
+  auto make_server_app = [&](std::uint16_t port,
+                             net::Ipv4Address peer) {
+    apps::EchoServerParams params;
+    params.protocol = Protocol::kUdp;
+    params.idle_timeout_ms = 10'000;
+    executor::DebugletApp app;
+    app.application_id = port;
+    app.module_bytes = apps::make_echo_server_debuglet().serialize();
+    app.manifest = apps::server_manifest(Protocol::kUdp, peer, probes + 10,
+                                         run_duration);
+    app.parameters = params.to_parameters();
+    app.listen_port = port;
+    return app;
+  };
+  auto make_client_app = [&](net::Ipv4Address server,
+                             std::uint16_t server_port) {
+    apps::ProbeClientParams params;
+    params.protocol = Protocol::kUdp;
+    params.server = server;
+    params.server_port = server_port;
+    params.probe_count = probes;
+    params.interval_ms = 1000;
+    params.recv_timeout_ms = 900;
+    executor::DebugletApp app;
+    app.application_id = server_port + 1000;
+    app.module_bytes = apps::make_probe_client_debuglet().serialize();
+    app.manifest =
+        apps::client_manifest(Protocol::kUdp, server, probes, run_duration);
+    app.parameters = params.to_parameters();
+    return app;
+  };
+
+  std::optional<executor::CertifiedResult> d2d_result, d2a_result;
+
+  // D2D: sandboxed client -> sandboxed server.
+  if (!d_server.deploy_and_schedule(
+          make_server_app(kD2dPort, d_client.address()), 0,
+          [](const executor::CertifiedResult&) {}))
+    return 2;
+  if (!d_client.deploy_and_schedule(
+          make_client_app(d_server.address(), kD2dPort), 0,
+          [&](const executor::CertifiedResult& r) { d2d_result = r; }))
+    return 2;
+
+  // D2A: sandboxed client -> native server.
+  if (!d_client.deploy_and_schedule(
+          make_client_app(a_server_addr, 40000), 0,
+          [&](const executor::CertifiedResult& r) { d2a_result = r; }))
+    return 2;
+
+  // A2D: native client -> sandboxed server.
+  if (!d_server.deploy_and_schedule(
+          make_server_app(kA2dPort, net::Ipv4Address(10, 0, 2, 200)), 0,
+          [](const executor::CertifiedResult&) {}))
+    return 2;
+  const auto a2d_client_addr = s.network->allocate_host_address(kNewYork);
+  ProbeClientConfig a2d_cfg;
+  a2d_cfg.server = d_server.address();
+  a2d_cfg.server_port = kA2dPort;
+  a2d_cfg.probe_count = static_cast<std::uint64_t>(probes);
+  a2d_cfg.protocols = {Protocol::kUdp};
+  ProbeClientHost a2d_client(*s.network, a2d_client_addr, a2d_cfg, 93);
+  if (!s.network->attach_host(a2d_client_addr, &a2d_client)) return 2;
+  a2d_client.start();
+
+  // A2A: native client -> native server.
+  const auto a2a_client_addr = s.network->allocate_host_address(kNewYork);
+  ProbeClientConfig a2a_cfg;
+  a2a_cfg.server = a_server_addr;
+  a2a_cfg.probe_count = static_cast<std::uint64_t>(probes);
+  a2a_cfg.protocols = {Protocol::kUdp};
+  ProbeClientHost a2a_client(*s.network, a2a_client_addr, a2a_cfg, 94);
+  if (!s.network->attach_host(a2a_client_addr, &a2a_client)) return 2;
+  a2a_client.start();
+
+  s.queue->run();
+
+  auto summarize_debuglet =
+      [&](const std::optional<executor::CertifiedResult>& result,
+          const std::string& name) -> ComboResult {
+    ComboResult out;
+    out.name = name;
+    if (!result) return out;
+    auto samples = apps::decode_samples(BytesView(
+        result->record.output.data(), result->record.output.size()));
+    if (!samples) return out;
+    RunningStats stats;
+    for (const auto& sample : *samples)
+      stats.add(static_cast<double>(sample.delay_ns) / 1e6);
+    out.mean_ms = stats.mean();
+    out.std_ms = stats.stddev();
+    out.loss_percent = 100.0 *
+                       (static_cast<double>(probes) -
+                        static_cast<double>(samples->size())) /
+                       static_cast<double>(probes);
+    return out;
+  };
+  auto summarize_native = [&](ProbeClientHost& client,
+                              const std::string& name) -> ComboResult {
+    const ProbeReport& report = client.report();
+    ComboResult out;
+    out.name = name;
+    out.mean_ms = report.rtt_ms.at(Protocol::kUdp).mean();
+    out.std_ms = report.rtt_ms.at(Protocol::kUdp).stddev();
+    out.loss_percent = report.loss_per_mille(Protocol::kUdp) / 10.0;
+    return out;
+  };
+
+  const ComboResult d2d = summarize_debuglet(d2d_result, "D2D");
+  const ComboResult d2a = summarize_debuglet(d2a_result, "D2A");
+  const ComboResult a2d = summarize_native(a2d_client, "A2D");
+  const ComboResult a2a = summarize_native(a2a_client, "A2A");
+
+  // Paper values for side-by-side comparison.
+  const std::map<std::string, std::pair<double, double>> paper = {
+      {"D2D", {75.12, 1.68}},
+      {"A2D", {74.88, 1.38}},
+      {"D2A", {75.01, 1.66}},
+      {"A2A", {74.81, 1.71}},
+  };
+  std::printf("\n%-5s | %9s %8s %8s | %9s %8s\n", "combo", "mean(ms)",
+              "std(ms)", "loss(%)", "p.mean", "p.loss");
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------------");
+  for (const ComboResult& c : {d2d, a2d, d2a, a2a}) {
+    const auto& [pm, pl] = paper.at(c.name);
+    std::printf("%-5s | %9.2f %8.2f %8.2f | %9.2f %8.2f\n", c.name.c_str(),
+                c.mean_ms, c.std_ms, c.loss_percent, pm, pl);
+  }
+
+  std::printf("\nSandbox overhead (D2D - A2A): %.0f us (paper: ~300 us)\n",
+              (d2d.mean_ms - a2a.mean_ms) * 1000.0);
+
+  bench::ShapeChecks checks;
+  checks.check(d2d.mean_ms > d2a.mean_ms && d2a.mean_ms > a2d.mean_ms &&
+                   a2d.mean_ms > a2a.mean_ms,
+               "ordering D2D > D2A > A2D > A2A holds");
+  const double overhead_us = (d2d.mean_ms - a2a.mean_ms) * 1000.0;
+  checks.check(overhead_us > 150.0 && overhead_us < 500.0,
+               "sandbox adds a few hundred microseconds");
+  checks.check(std::abs(d2d.std_ms - a2a.std_ms) < 0.3,
+               "overhead is near-constant (negligible extra variance)");
+  for (const ComboResult& c : {d2d, a2d, d2a, a2a})
+    checks.check(c.loss_percent > 1.0 && c.loss_percent < 2.3,
+                 c.name + " loss in the paper's 1.4-1.7% band");
+  const double spread =
+      std::max({d2d.loss_percent, a2d.loss_percent, d2a.loss_percent,
+                a2a.loss_percent}) -
+      std::min({d2d.loss_percent, a2d.loss_percent, d2a.loss_percent,
+                a2a.loss_percent});
+  checks.check(spread < 0.5,
+               "loss is indistinguishable across combinations");
+  return checks.summary();
+}

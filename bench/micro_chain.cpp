@@ -1,0 +1,92 @@
+// Microbenchmarks of the blockchain substrate: transaction throughput
+// (signature verification dominates), object storage, event dispatch, and
+// chain-integrity verification.
+#include <benchmark/benchmark.h>
+
+#include "chain/chain.hpp"
+
+namespace {
+
+using namespace debuglet;
+using namespace debuglet::chain;
+
+class NopContract : public Contract {
+ public:
+  std::string name() const override { return "nop"; }
+  Result<Bytes> call(CallContext& ctx, const std::string& function,
+                     BytesView args) override {
+    if (function == "store") {
+      auto id = ctx.create_object(Bytes(args.begin(), args.end()));
+      if (!id) return id.error();
+      return Bytes{};
+    }
+    if (function == "emit") {
+      ctx.emit_event("Tick", "key", Bytes{});
+      return Bytes{};
+    }
+    return Bytes{};
+  }
+};
+
+struct ChainState {
+  ChainState() : key(crypto::KeyPair::from_seed(1)) {
+    (void)chain.register_contract(std::make_unique<NopContract>());
+    chain.mint(Address::of(key.public_key()), ~0ULL >> 1);
+  }
+  Blockchain chain;
+  crypto::KeyPair key;
+};
+
+void BM_SubmitTransaction(benchmark::State& state) {
+  ChainState s;
+  for (auto _ : state) {
+    auto receipt = s.chain.submit(
+        s.chain.make_transaction(s.key, "nop", "noop", {}));
+    benchmark::DoNotOptimize(receipt.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitTransaction);
+
+void BM_SubmitWithStorage(benchmark::State& state) {
+  ChainState s;
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    auto receipt = s.chain.submit(
+        s.chain.make_transaction(s.key, "nop", "store", payload));
+    benchmark::DoNotOptimize(receipt.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SubmitWithStorage)->Arg(100)->Arg(10000);
+
+void BM_EventDispatch(benchmark::State& state) {
+  ChainState s;
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < state.range(0); ++i)
+    s.chain.subscribe("nop", "Tick", i % 2 ? "key" : "",
+                      [&delivered](const Event&) { ++delivered; });
+  for (auto _ : state) {
+    auto receipt =
+        s.chain.submit(s.chain.make_transaction(s.key, "nop", "emit", {}));
+    benchmark::DoNotOptimize(receipt.ok());
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1)->Arg(64);
+
+void BM_VerifyIntegrity(benchmark::State& state) {
+  ChainState s;
+  for (int i = 0; i < state.range(0); ++i)
+    (void)s.chain.submit(s.chain.make_transaction(s.key, "nop", "noop", {}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.chain.verify_integrity());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VerifyIntegrity)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

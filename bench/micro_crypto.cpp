@@ -1,0 +1,106 @@
+// Microbenchmarks of the crypto substrate: SHA-256 throughput, HMAC,
+// Schnorr signing/verification (the result-certification cost every
+// executor pays), U256 modular exponentiation, and Merkle trees.
+#include <benchmark/benchmark.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace debuglet;
+using namespace debuglet::crypto;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(BytesView(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = random_bytes(32, 2);
+  const Bytes msg = random_bytes(1024, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(BytesView(key.data(), key.size()),
+                                         BytesView(msg.data(), msg.size())));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const KeyPair kp = KeyPair::from_seed(42);
+  const Bytes msg = random_bytes(256, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.sign(BytesView(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const KeyPair kp = KeyPair::from_seed(43);
+  const Bytes msg = random_bytes(256, 5);
+  const Signature sig = kp.sign(BytesView(msg.data(), msg.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify(kp.public_key(), BytesView(msg.data(), msg.size()), sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_PowMod(benchmark::State& state) {
+  Rng rng(6);
+  Bytes eb(32);
+  for (auto& b : eb) b = static_cast<std::uint8_t>(rng.next_u64());
+  const U256 exponent = U256::from_be_bytes(BytesView(eb.data(), eb.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pow_mod(group_generator(), exponent, group_prime()));
+  }
+}
+BENCHMARK(BM_PowMod);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i)
+    leaves.push_back(random_bytes(64, 100 + static_cast<std::uint64_t>(i)));
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 1024; ++i)
+    leaves.push_back(random_bytes(64, 200 + static_cast<std::uint64_t>(i)));
+  MerkleTree tree(leaves);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const MerkleProof proof = tree.prove(index % 1024);
+    benchmark::DoNotOptimize(merkle_verify(
+        tree.root(),
+        BytesView(leaves[index % 1024].data(), leaves[index % 1024].size()),
+        proof));
+    ++index;
+  }
+}
+BENCHMARK(BM_MerkleProveVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Microbenchmarks of the network simulator: event-queue throughput, link
+// traversal (the per-packet hot path), full packet transit across a chain,
+// and probe round-trips — these bound how much simulated measurement a
+// wall-clock second buys.
+#include <benchmark/benchmark.h>
+
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace {
+
+using namespace debuglet;
+using namespace debuglet::simnet;
+using net::Protocol;
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 10000; ++i)
+      q.schedule_at(i * 7 % 1000, [&sum] { ++sum; });
+    q.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_LinkTraverse(benchmark::State& state) {
+  LinkConfig cfg;
+  cfg.propagation_ms = 10.0;
+  cfg.routes = {{0.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, {4.0, 1.0, 1.0}};
+  cfg.policies[Protocol::kUdp] =
+      ProtocolPolicy{SelectionPolicy::kPerPacket, {0, 1, 2}, 1.0, false};
+  EpisodeSpec ep;
+  ep.on_mean_s = 100.0;
+  ep.off_mean_s = 300.0;
+  ep.extra_delay_ms = 5.0;
+  cfg.episodes = {ep};
+  cfg.shift = {1000.0, 3.0};
+  LinkModel link(cfg, Rng(1));
+  SimTime t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.traverse(Protocol::kUdp, 42, t));
+    t += duration::milliseconds(10);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkTraverse);
+
+void BM_PacketAcrossChain(benchmark::State& state) {
+  Scenario s = build_chain_scenario(static_cast<std::size_t>(state.range(0)),
+                                    7);
+  struct Sink : Host {
+    void on_packet(const Delivery&) override { ++count; }
+    std::uint64_t count = 0;
+  } sink;
+  const auto dst = s.network->allocate_host_address(
+      static_cast<topology::AsNumber>(state.range(0)));
+  (void)s.network->attach_host(dst, &sink);
+  const auto src = s.network->allocate_host_address(1);
+  net::ProbeSpec spec;
+  spec.protocol = Protocol::kUdp;
+  spec.source = src;
+  spec.destination = dst;
+  spec.payload = bytes_of("bench");
+  const Bytes wire = *net::build_probe(spec);
+  for (auto _ : state) {
+    (void)s.network->send(src, wire);
+    s.queue->run();
+  }
+  benchmark::DoNotOptimize(sink.count);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketAcrossChain)->Arg(3)->Arg(10);
+
+void BM_ProbeRoundTripsPerSecond(benchmark::State& state) {
+  // How much simulated measurement fits in a wall-clock second: full
+  // probe round-trips including echo replies across a city pair.
+  for (auto _ : state) {
+    Scenario s = build_city_scenario(9);
+    const auto server_addr = s.network->allocate_host_address(london_as());
+    EchoServerHost server(*s.network, server_addr);
+    (void)s.network->attach_host(server_addr, &server);
+    const auto client_addr =
+        s.network->allocate_host_address(city_as("Frankfurt"));
+    ProbeClientConfig cfg;
+    cfg.server = server_addr;
+    cfg.probe_count = 1000;
+    cfg.interval = duration::milliseconds(100);
+    ProbeClientHost client(*s.network, client_addr, cfg, 10);
+    (void)s.network->attach_host(client_addr, &client);
+    client.start();
+    s.queue->run();
+    benchmark::DoNotOptimize(client.report().sent.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * 4);
+}
+BENCHMARK(BM_ProbeRoundTripsPerSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Table I reproduction: RTT and drop rate between six sites and London for
+// UDP / TCP / ICMP / raw-IP probes — one probe per protocol per second over
+// a simulated day (86400 x 4 probes per pair, as in the paper).
+//
+// Scale with DEBUGLET_BENCH_HOURS (default 24).
+#include "bench_util.hpp"
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace {
+
+using namespace debuglet;
+using namespace debuglet::simnet;
+using debuglet::bench::ShapeChecks;
+using net::Protocol;
+
+struct PairResult {
+  std::string city;
+  ProbeReport report;
+};
+
+PairResult run_city(const std::string& city, double hours,
+                    std::uint64_t seed) {
+  Scenario s = build_city_scenario(seed);
+  const auto server_addr = s.network->allocate_host_address(london_as());
+  EchoServerHost server(*s.network, server_addr, 0, 0.0, seed + 1);
+  if (auto st = s.network->attach_host(server_addr, &server); !st)
+    throw std::runtime_error(st.error_message());
+  const auto client_addr = s.network->allocate_host_address(city_as(city));
+  ProbeClientConfig cfg;
+  cfg.server = server_addr;
+  cfg.probe_count = static_cast<std::uint64_t>(hours * 3600.0);
+  cfg.interval = duration::seconds(1);
+  cfg.equalized_length = 64;
+  ProbeClientHost client(*s.network, client_addr, cfg, seed + 2);
+  if (auto st = s.network->attach_host(client_addr, &client); !st)
+    throw std::runtime_error(st.error_message());
+  client.start();
+  s.queue->run();
+  return PairResult{city, client.report()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table I — RTT and drop rate vs London, per protocol",
+                "Debuglet (ICDCS'24), Table I / Section II");
+  const double hours = bench::env_scale("DEBUGLET_BENCH_HOURS", 24.0);
+  std::printf("Simulated duration: %.1f h (%llu probes per protocol per "
+              "pair)\n\n",
+              hours,
+              static_cast<unsigned long long>(hours * 3600.0));
+
+  std::printf("%-14s %-6s | %8s %7s %9s | %8s %7s %9s\n", "Location",
+              "Proto", "mean", "std", "loss(pm)", "paper", "p.std",
+              "p.loss");
+  std::printf("%.*s\n", 96,
+              "--------------------------------------------------------------"
+              "----------------------------------");
+
+  ShapeChecks checks;
+  std::uint64_t seed = 20240514;
+  for (const std::string& city : city_names()) {
+    const PairResult result = run_city(city, hours, seed);
+    seed += 101;
+    for (Protocol p : net::kAllProtocols) {
+      const SampleSet& rtt = result.report.rtt_ms.at(p);
+      const double loss = result.report.loss_per_mille(p);
+      const PaperCityRow paper = paper_table1(city, p);
+      std::printf("%-14s %-6s | %8.2f %7.2f %9.2f | %8.2f %7.2f %9.2f\n",
+                  city.c_str(), net::protocol_name(p).c_str(), rtt.mean(),
+                  rtt.stddev(), loss, paper.mean_ms, paper.std_ms,
+                  paper.loss_pm);
+    }
+
+    const auto& r = result.report;
+    auto mean = [&](Protocol p) { return r.rtt_ms.at(p).mean(); };
+    auto stddev = [&](Protocol p) { return r.rtt_ms.at(p).stddev(); };
+    auto loss = [&](Protocol p) { return r.loss_per_mille(p); };
+    for (Protocol p : net::kAllProtocols) {
+      const PaperCityRow paper = paper_table1(city, p);
+      checks.check(std::abs(mean(p) - paper.mean_ms) <
+                       std::max(1.5, 0.02 * paper.mean_ms),
+                   city + " " + net::protocol_name(p) +
+                       " mean within 2% of the paper");
+    }
+    // Per-city qualitative structure from the paper's discussion.
+    if (city == "Frankfurt") {
+      checks.check(mean(Protocol::kIcmp) < mean(Protocol::kUdp) &&
+                       mean(Protocol::kIcmp) < mean(Protocol::kRawIp),
+                   "Frankfurt: ICMP priority queue gives the lowest RTT");
+      checks.check(stddev(Protocol::kIcmp) < stddev(Protocol::kUdp),
+                   "Frankfurt: ICMP tightest distribution");
+    }
+    if (city == "NewYork") {
+      checks.check(mean(Protocol::kUdp) < mean(Protocol::kIcmp) &&
+                       mean(Protocol::kTcp) < mean(Protocol::kRawIp),
+                   "New York: UDP/TCP below ICMP/raw-IP (paper Fig. 1)");
+      checks.check(loss(Protocol::kTcp) > 2.0 * loss(Protocol::kUdp),
+                   "New York: TCP loss dominates (deprioritization)");
+      checks.check(loss(Protocol::kUdp) > 3.0 &&
+                       loss(Protocol::kIcmp) < 1.0,
+                   "New York: congestion hits UDP, spares ICMP");
+    }
+    if (city == "Bangalore") {
+      checks.check(stddev(Protocol::kUdp) > stddev(Protocol::kIcmp) &&
+                       stddev(Protocol::kUdp) > stddev(Protocol::kRawIp),
+                   "Bangalore: UDP has the widest spread (paper Fig. 3)");
+      checks.check(mean(Protocol::kTcp) - mean(Protocol::kIcmp) > 8.0,
+                   "Bangalore: TCP pinned to a distinctly slower route");
+    }
+    if (city == "SanFrancisco") {
+      checks.check(stddev(Protocol::kUdp) < 2.0 &&
+                       stddev(Protocol::kTcp) < 2.0,
+                   "San Francisco: everything stable");
+      checks.check(loss(Protocol::kTcp) > 1.0,
+                   "San Francisco: only TCP shows loss");
+    }
+  }
+
+  std::printf("\nGlobal shape (across cities):\n");
+  return checks.summary();
+}

@@ -1,0 +1,68 @@
+// The paper's §II motivation, runnable: probe one inter-domain pair with
+// all four protocols (equal-length packets, one per second) and watch the
+// network treat them differently — which is exactly why Debuglet probes
+// must be indistinguishable from the data traffic being debugged.
+//
+// Run:  ./example_protocol_comparison [city]     (default: NewYork)
+#include <cstdio>
+#include <string>
+
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+
+using namespace debuglet;
+using namespace debuglet::simnet;
+using net::Protocol;
+
+int main(int argc, char** argv) {
+  std::string city = argc > 1 ? argv[1] : "NewYork";
+  bool known = false;
+  for (const std::string& name : city_names()) known = known || name == city;
+  if (!known) {
+    std::printf("unknown city '%s'; choose from:", city.c_str());
+    for (const std::string& name : city_names())
+      std::printf(" %s", name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+
+  std::printf("Protocol-differential forwarding: %s <-> London\n", city.c_str());
+  std::printf("================================================\n\n");
+
+  Scenario s = build_city_scenario(2024);
+  const auto server_addr = s.network->allocate_host_address(london_as());
+  EchoServerHost server(*s.network, server_addr);
+  if (!s.network->attach_host(server_addr, &server)) return 1;
+  const auto client_addr = s.network->allocate_host_address(city_as(city));
+  ProbeClientConfig cfg;
+  cfg.server = server_addr;
+  cfg.probe_count = 4 * 3600;  // 4 simulated hours
+  cfg.interval = duration::seconds(1);
+  cfg.equalized_length = 64;  // identical layer-3 length for all protocols
+  ProbeClientHost client(*s.network, client_addr, cfg, 5);
+  if (!s.network->attach_host(client_addr, &client)) return 1;
+  client.start();
+  s.queue->run();
+
+  const ProbeReport& report = client.report();
+  std::printf("4 simulated hours, one 64-byte probe per protocol per "
+              "second:\n\n");
+  std::printf("%-6s | %9s %8s %8s %8s | %9s\n", "proto", "mean(ms)",
+              "std(ms)", "p5", "p95", "loss(pm)");
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------------");
+  for (Protocol p : net::kAllProtocols) {
+    const SampleSet& rtt = report.rtt_ms.at(p);
+    std::printf("%-6s | %9.2f %8.2f %8.2f %8.2f | %9.2f\n",
+                net::protocol_name(p).c_str(), rtt.mean(), rtt.stddev(),
+                rtt.percentile(5), rtt.percentile(95),
+                report.loss_per_mille(p));
+  }
+
+  std::printf(
+      "\nSame destination, same packet length, same second — different\n"
+      "protocol, different fate. Debugging a TCP application with ICMP\n"
+      "pings measures a path your packets never experience; that is the\n"
+      "case for Debuglet's real-data-packet probes (paper Section II).\n");
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "chain/chain.hpp"
+
+namespace debuglet::chain {
+
+Address Address::of(const crypto::PublicKey& pk) {
+  const Bytes b = pk.to_bytes();
+  return Address{crypto::sha256(BytesView(b.data(), b.size()))};
+}
+
+Bytes Transaction::signing_bytes() const {
+  BytesWriter w;
+  const Bytes pk = sender.to_bytes();
+  w.raw(BytesView(pk.data(), pk.size()));
+  w.u64(nonce);
+  w.str(contract);
+  w.str(function);
+  w.blob(BytesView(arguments.data(), arguments.size()));
+  w.u64(attached_tokens);
+  w.u64(gas_budget);
+  return w.take();
+}
+
+crypto::Digest Transaction::digest() const {
+  BytesWriter w;
+  const Bytes body = signing_bytes();
+  w.raw(BytesView(body.data(), body.size()));
+  const Bytes sig = signature.to_bytes();
+  w.raw(BytesView(sig.data(), sig.size()));
+  return crypto::sha256(BytesView(w.bytes().data(), w.bytes().size()));
+}
+
+SimTime CallContext::timestamp() const { return chain_.now(); }
+
+Result<ObjectId> CallContext::create_object(Bytes data) {
+  const ObjectId id = chain_.next_object_id_++;
+  StoredObject obj;
+  obj.id = id;
+  obj.owner = sender_;
+  obj.rebate_credit = chain_.config_.gas.storage_rebate(data.size());
+  bytes_stored += data.size();
+  ++objects_created;
+  rebate_accrued += obj.rebate_credit;
+  obj.data = std::move(data);
+  chain_.objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+Result<Bytes> CallContext::read_object(ObjectId id) const {
+  return chain_.read_object(id);
+}
+
+Result<Address> CallContext::object_owner(ObjectId id) const {
+  auto it = chain_.objects_.find(id);
+  if (it == chain_.objects_.end())
+    return fail("no object " + std::to_string(id));
+  return it->second.owner;
+}
+
+Status CallContext::delete_object(ObjectId id) {
+  auto it = chain_.objects_.find(id);
+  if (it == chain_.objects_.end())
+    return fail("no object " + std::to_string(id));
+  chain_.balances_[it->second.owner] += it->second.rebate_credit;
+  chain_.objects_.erase(it);
+  return ok_status();
+}
+
+void CallContext::emit_event(std::string name, std::string key,
+                             Bytes payload) {
+  Event ev;
+  ev.sequence = chain_.next_event_seq_++;
+  ev.contract = contract_;
+  ev.name = std::move(name);
+  ev.key = std::move(key);
+  ev.payload = std::move(payload);
+  ev.timestamp = chain_.now();
+  chain_.event_log_.push_back(ev);
+  // Dispatch after appending so subscribers observe a consistent log.
+  for (const auto& [_, sub] : chain_.subscriptions_) {
+    if (sub.contract != ev.contract || sub.name != ev.name) continue;
+    if (!sub.key.empty() && sub.key != ev.key) continue;
+    sub.callback(ev);
+  }
+}
+
+Status CallContext::pay_from_escrow(const Address& to, Mist amount) {
+  Mist& escrow = chain_.escrow_[contract_];
+  if (escrow < amount)
+    return fail("contract escrow underfunded: have " +
+                std::to_string(escrow) + ", need " + std::to_string(amount));
+  escrow -= amount;
+  chain_.balances_[to] += amount;
+  return ok_status();
+}
+
+Blockchain::Blockchain(ChainConfig config) : config_(config) {
+  Block genesis;
+  genesis.height = 0;
+  genesis.previous = crypto::sha256("debuglet-genesis");
+  genesis.transactions_root =
+      crypto::MerkleTree(std::vector<Bytes>{}).root();
+  blocks_.push_back(genesis);
+}
+
+Status Blockchain::register_contract(std::unique_ptr<Contract> contract) {
+  if (contract == nullptr) return fail("null contract");
+  const std::string name = contract->name();
+  if (contracts_.contains(name))
+    return fail("contract '" + name + "' already registered");
+  contracts_.emplace(name, std::move(contract));
+  return ok_status();
+}
+
+void Blockchain::mint(const Address& account, Mist amount) {
+  balances_[account] += amount;
+}
+
+Mist Blockchain::balance(const Address& account) const {
+  auto it = balances_.find(account);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+std::uint64_t Blockchain::nonce(const Address& account) const {
+  auto it = nonces_.find(account);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+Transaction Blockchain::make_transaction(const crypto::KeyPair& key,
+                                         std::string contract,
+                                         std::string function, Bytes arguments,
+                                         Mist attached_tokens,
+                                         Mist gas_budget) {
+  Transaction tx;
+  tx.sender = key.public_key();
+  tx.nonce = nonce(Address::of(tx.sender));
+  tx.contract = std::move(contract);
+  tx.function = std::move(function);
+  tx.arguments = std::move(arguments);
+  tx.attached_tokens = attached_tokens;
+  tx.gas_budget = gas_budget;
+  const Bytes body = tx.signing_bytes();
+  tx.signature = key.sign(BytesView(body.data(), body.size()));
+  return tx;
+}
+
+Result<Receipt> Blockchain::submit(const Transaction& tx) {
+  // 1. Authenticate.
+  const Bytes body = tx.signing_bytes();
+  if (!crypto::verify(tx.sender, BytesView(body.data(), body.size()),
+                      tx.signature))
+    return fail("invalid transaction signature");
+  const Address sender = Address::of(tx.sender);
+  if (tx.nonce != nonce(sender))
+    return fail("bad nonce: expected " + std::to_string(nonce(sender)) +
+                ", got " + std::to_string(tx.nonce));
+
+  auto contract_it = contracts_.find(tx.contract);
+  if (contract_it == contracts_.end())
+    return fail("unknown contract '" + tx.contract + "'");
+
+  // 2. Ensure the sender can cover the worst case up front.
+  const Mist worst_case = tx.gas_budget + tx.attached_tokens;
+  if (balance(sender) < worst_case)
+    return fail("insufficient balance: have " +
+                std::to_string(balance(sender)) + " MIST, need " +
+                std::to_string(worst_case));
+
+  ++nonces_[sender];
+
+  // 3. Move attached tokens into the contract's escrow.
+  balances_[sender] -= tx.attached_tokens;
+  escrow_[tx.contract] += tx.attached_tokens;
+
+  // 4. Execute.
+  CallContext ctx(*this, tx.contract, sender, tx.attached_tokens);
+  auto result = contract_it->second->call(ctx, tx.function,
+                                          BytesView(tx.arguments.data(),
+                                                    tx.arguments.size()));
+
+  // 5. Charge gas: flat computation plus storage for created objects.
+  Mist gas = config_.gas.computation_fee;
+  gas += config_.gas.storage_price_per_byte *
+         (ctx.objects_created * config_.gas.object_overhead_bytes +
+          ctx.bytes_stored);
+  if (gas > tx.gas_budget) gas = tx.gas_budget;  // budget caps the charge
+  if (balances_[sender] < gas) gas = balances_[sender];
+  balances_[sender] -= gas;
+
+  // 6. Seal the block (instant finality, one transaction per block).
+  Receipt receipt;
+  receipt.transaction_digest = tx.digest();
+  Block block;
+  block.height = blocks_.size();
+  block.previous = [&] {
+    // Hash of the previous block header.
+    const Block& prev = blocks_.back();
+    BytesWriter w;
+    w.u64(prev.height);
+    w.raw(prev.previous.view());
+    w.raw(prev.transactions_root.view());
+    w.i64(prev.timestamp);
+    return crypto::sha256(BytesView(w.bytes().data(), w.bytes().size()));
+  }();
+  const Bytes digest_bytes(receipt.transaction_digest.bytes.begin(),
+                           receipt.transaction_digest.bytes.end());
+  block.transactions_root =
+      crypto::MerkleTree(std::vector<Bytes>{digest_bytes}).root();
+  block.timestamp = now();
+  block.transaction_digests.push_back(receipt.transaction_digest);
+  blocks_.push_back(block);
+
+  receipt.block_height = block.height;
+  receipt.gas_charged = gas;
+  receipt.storage_rebate_accrued = ctx.rebate_accrued;
+  if (result) {
+    receipt.success = true;
+    receipt.return_value = std::move(*result);
+  } else {
+    receipt.success = false;
+    receipt.error = result.error_message();
+    // A failed call returns its attached tokens (minus nothing; gas was
+    // already charged) to the sender.
+    escrow_[tx.contract] -= tx.attached_tokens;
+    balances_[sender] += tx.attached_tokens;
+  }
+  return receipt;
+}
+
+Result<Bytes> Blockchain::view(const std::string& contract,
+                               const std::string& function,
+                               BytesView arguments) {
+  auto it = contracts_.find(contract);
+  if (it == contracts_.end())
+    return fail("unknown contract '" + contract + "'");
+  CallContext ctx(*this, contract, Address{}, 0);
+  return it->second->call(ctx, function, arguments);
+}
+
+SubscriptionId Blockchain::subscribe(std::string contract, std::string name,
+                                     std::string key, EventCallback callback) {
+  const SubscriptionId id = next_subscription_++;
+  subscriptions_.emplace(id, Subscription{std::move(contract), std::move(name),
+                                          std::move(key),
+                                          std::move(callback)});
+  return id;
+}
+
+void Blockchain::unsubscribe(SubscriptionId id) { subscriptions_.erase(id); }
+
+bool Blockchain::verify_integrity() const {
+  for (std::size_t h = 1; h < blocks_.size(); ++h) {
+    const Block& prev = blocks_[h - 1];
+    BytesWriter w;
+    w.u64(prev.height);
+    w.raw(prev.previous.view());
+    w.raw(prev.transactions_root.view());
+    w.i64(prev.timestamp);
+    const crypto::Digest expected =
+        crypto::sha256(BytesView(w.bytes().data(), w.bytes().size()));
+    if (!(blocks_[h].previous == expected)) return false;
+    std::vector<Bytes> leaves;
+    for (const crypto::Digest& d : blocks_[h].transaction_digests)
+      leaves.emplace_back(d.bytes.begin(), d.bytes.end());
+    if (!(crypto::MerkleTree(leaves).root() == blocks_[h].transactions_root))
+      return false;
+  }
+  return true;
+}
+
+Result<crypto::MerkleProof> Blockchain::prove_transaction(
+    std::uint64_t height, std::size_t index) const {
+  if (height >= blocks_.size()) return fail("no block at that height");
+  const Block& block = blocks_[height];
+  if (index >= block.transaction_digests.size())
+    return fail("no transaction at that index");
+  std::vector<Bytes> leaves;
+  for (const crypto::Digest& d : block.transaction_digests)
+    leaves.emplace_back(d.bytes.begin(), d.bytes.end());
+  return crypto::MerkleTree(leaves).prove(index);
+}
+
+bool Blockchain::verify_transaction_inclusion(
+    const Block& block, const crypto::Digest& tx_digest,
+    const crypto::MerkleProof& proof) {
+  const Bytes leaf(tx_digest.bytes.begin(), tx_digest.bytes.end());
+  return crypto::merkle_verify(block.transactions_root,
+                               BytesView(leaf.data(), leaf.size()), proof);
+}
+
+Result<Bytes> Blockchain::read_object(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return fail("no object " + std::to_string(id));
+  return it->second.data;
+}
+
+Mist Blockchain::escrow_balance(const std::string& contract) const {
+  auto it = escrow_.find(contract);
+  return it == escrow_.end() ? 0 : it->second;
+}
+
+}  // namespace debuglet::chain

@@ -1,0 +1,256 @@
+// A deterministic single-finalizer blockchain.
+//
+// This is the repo's substitute for the Sui blockchain the paper deploys
+// its Move contract on (DESIGN.md §2). It keeps the properties the
+// evaluation relies on: signed transactions with account nonces, instant
+// (sub-second) finality, an object store whose creation cost and deletion
+// rebate follow Table II's gas schedule, hash-linked blocks over Merkle
+// roots of transactions (so published results are tamper-evident), and an
+// event log with subscriptions (executors subscribe to deployment events,
+// initiators to result events — paper §IV-C).
+//
+// Contracts are native C++ objects registered by name; their entry points
+// receive a CallContext granting access to objects, events and escrowed
+// token transfers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/gas.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace debuglet::chain {
+
+/// An account address: SHA-256 of the account's public key.
+struct Address {
+  crypto::Digest digest;
+  auto operator<=>(const Address&) const = default;
+  std::string hex() const { return digest.hex(); }
+
+  static Address of(const crypto::PublicKey& pk);
+};
+
+using ObjectId = std::uint64_t;
+
+/// A stored object.
+struct StoredObject {
+  ObjectId id = 0;
+  Address owner;          // account credited with the rebate on deletion
+  Bytes data;
+  Mist rebate_credit = 0; // refunded to `owner` when deleted
+};
+
+/// An event emitted by a contract call.
+struct Event {
+  std::uint64_t sequence = 0;
+  std::string contract;
+  std::string name;
+  std::string key;   // subscription filter key (e.g. "AS3#2", object id)
+  Bytes payload;
+  SimTime timestamp = 0;
+};
+
+/// A signed transaction.
+struct Transaction {
+  crypto::PublicKey sender;
+  std::uint64_t nonce = 0;
+  std::string contract;
+  std::string function;
+  Bytes arguments;
+  Mist attached_tokens = 0;  // moved to the contract escrow before the call
+  Mist gas_budget = 0;
+  crypto::Signature signature;
+
+  /// Canonical bytes covered by the signature (everything but it).
+  Bytes signing_bytes() const;
+  crypto::Digest digest() const;
+};
+
+/// A sealed block.
+struct Block {
+  std::uint64_t height = 0;
+  crypto::Digest previous;
+  crypto::Digest transactions_root;
+  SimTime timestamp = 0;
+  std::vector<crypto::Digest> transaction_digests;
+};
+
+/// Receipt returned for every executed transaction.
+struct Receipt {
+  bool success = false;
+  std::string error;        // set when !success (the tx is still recorded)
+  Bytes return_value;       // contract return data on success
+  Mist gas_charged = 0;
+  Mist storage_rebate_accrued = 0;  // future rebate from objects created
+  std::uint64_t block_height = 0;
+  crypto::Digest transaction_digest;
+};
+
+class Blockchain;
+
+/// The authority a contract call executes with.
+class CallContext {
+ public:
+  const Address& sender() const { return sender_; }
+  Mist attached_tokens() const { return attached_; }
+  SimTime timestamp() const;
+
+  /// Creates an object owned by the transaction sender; storage is charged
+  /// to the sender and the rebate accrues to them.
+  Result<ObjectId> create_object(Bytes data);
+
+  Result<Bytes> read_object(ObjectId id) const;
+
+  /// The account that created (and is rebated for) an object.
+  Result<Address> object_owner(ObjectId id) const;
+
+  /// Deletes an object; its rebate is credited to its owner's balance.
+  Status delete_object(ObjectId id);
+
+  /// Emits an event visible to subscribers and the permanent log.
+  void emit_event(std::string name, std::string key, Bytes payload);
+
+  /// Pays tokens out of the contract's escrow balance.
+  Status pay_from_escrow(const Address& to, Mist amount);
+
+ private:
+  friend class Blockchain;
+  CallContext(Blockchain& chain, std::string contract, Address sender,
+              Mist attached)
+      : chain_(chain),
+        contract_(std::move(contract)),
+        sender_(std::move(sender)),
+        attached_(attached) {}
+
+  Blockchain& chain_;
+  std::string contract_;
+  Address sender_;
+  Mist attached_;
+  // Per-call accounting consumed by the gas meter.
+  std::uint64_t bytes_stored = 0;
+  std::uint64_t objects_created = 0;
+  Mist rebate_accrued = 0;
+};
+
+/// A native contract: dispatches function calls.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+  virtual std::string name() const = 0;
+  /// Executes `function` with serialized `arguments`; returns serialized
+  /// return data, or an error (which aborts and rolls back nothing — the
+  /// chain charges gas for failed calls but contract authors are expected
+  /// to validate before mutating, as the marketplace contract does).
+  virtual Result<Bytes> call(CallContext& context, const std::string& function,
+                             BytesView arguments) = 0;
+};
+
+/// Event subscription callback.
+using EventCallback = std::function<void(const Event&)>;
+using SubscriptionId = std::uint64_t;
+
+/// Chain-level configuration.
+struct ChainConfig {
+  GasSchedule gas;
+  /// Finality latency per transaction (Sui: <0.5 s, paper §V-B). The chain
+  /// executes synchronously; orchestration code adds this to simulated
+  /// schedules.
+  SimDuration finality_latency = duration::milliseconds(400);
+};
+
+/// The chain itself.
+class Blockchain {
+ public:
+  explicit Blockchain(ChainConfig config = ChainConfig{});
+
+  const ChainConfig& config() const { return config_; }
+
+  /// Registers a contract instance under its name().
+  Status register_contract(std::unique_ptr<Contract> contract);
+
+  /// Credits an account (genesis/faucet; scenarios fund participants).
+  void mint(const Address& account, Mist amount);
+
+  Mist balance(const Address& account) const;
+  std::uint64_t nonce(const Address& account) const;
+
+  /// Builds and signs a transaction for `key` with the correct next nonce.
+  Transaction make_transaction(const crypto::KeyPair& key,
+                               std::string contract, std::string function,
+                               Bytes arguments, Mist attached_tokens = 0,
+                               Mist gas_budget = 1'000'000'000);
+
+  /// Verifies, executes and commits a transaction (instant finality).
+  /// Verification failures (bad signature, wrong nonce, insufficient
+  /// funds) fail the Result; contract-level failures produce a committed
+  /// receipt with success=false.
+  Result<Receipt> submit(const Transaction& tx);
+
+  /// Read-only contract call: no gas, no state mutation permitted
+  /// (enforced by convention — the marketplace routes all lookups here).
+  Result<Bytes> view(const std::string& contract, const std::string& function,
+                     BytesView arguments);
+
+  /// Subscribes to events of (contract, name); empty key matches all keys.
+  SubscriptionId subscribe(std::string contract, std::string name,
+                           std::string key, EventCallback callback);
+  void unsubscribe(SubscriptionId id);
+
+  // --- Inspection ------------------------------------------------------
+  std::uint64_t height() const { return blocks_.size(); }
+  const Block& block(std::uint64_t height) const { return blocks_.at(height); }
+  /// Recomputes every hash link and Merkle root; false if tampered.
+  bool verify_integrity() const;
+
+  /// Merkle inclusion proof of a transaction digest within its block —
+  /// what a light verifier needs alongside the block header chain.
+  Result<crypto::MerkleProof> prove_transaction(std::uint64_t height,
+                                                std::size_t index) const;
+
+  /// Verifies an inclusion proof against a block's transactions root.
+  static bool verify_transaction_inclusion(const Block& block,
+                                           const crypto::Digest& tx_digest,
+                                           const crypto::MerkleProof& proof);
+  const std::vector<Event>& events() const { return event_log_; }
+  Result<Bytes> read_object(ObjectId id) const;
+  bool object_exists(ObjectId id) const { return objects_.contains(id); }
+  Mist escrow_balance(const std::string& contract) const;
+
+  /// Sets the clock used to timestamp blocks/events (wired to the
+  /// simulation queue by scenarios; defaults to a constant 0).
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  SimTime now() const { return clock_ ? clock_() : 0; }
+
+ private:
+  friend class CallContext;
+
+  ChainConfig config_;
+  std::map<std::string, std::unique_ptr<Contract>> contracts_;
+  std::map<Address, Mist> balances_;
+  std::map<Address, std::uint64_t> nonces_;
+  std::map<std::string, Mist> escrow_;
+  std::map<ObjectId, StoredObject> objects_;
+  ObjectId next_object_id_ = 1;
+  std::vector<Block> blocks_;
+  std::vector<Event> event_log_;
+  std::uint64_t next_event_seq_ = 0;
+  struct Subscription {
+    std::string contract;
+    std::string name;
+    std::string key;
+    EventCallback callback;
+  };
+  std::map<SubscriptionId, Subscription> subscriptions_;
+  SubscriptionId next_subscription_ = 1;
+  std::function<SimTime()> clock_;
+};
+
+}  // namespace debuglet::chain

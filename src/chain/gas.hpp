@@ -1,0 +1,59 @@
+// Gas and storage pricing.
+//
+// Calibrated against the paper's Table II (cost of submitting a Debuglet
+// application to the Sui mainnet): total cost grows linearly in payload
+// size and a storage rebate is refunded when the stored data is freed.
+// Units are MIST (1 SUI = 1e9 MIST), matching Sui's convention.
+//
+//   Table II:  size   total (SUI)   rebate (SUI)
+//              0 B    0.01369       0.00430
+//              100 B  0.01585       0.00632
+//              1 kB   0.03527       0.02456
+//              5 kB   0.12160       0.10562
+//              10 kB  0.22953       0.20696
+//
+// The published points are linear to within rounding:
+//   total(size)  = 0.01369 + 21'584e-9 * size   [SUI]
+//   rebate(size) = 0.00430 + 20'266e-9 * size   [SUI]
+#pragma once
+
+#include <cstdint>
+
+namespace debuglet::chain {
+
+/// MIST amounts (1e-9 SUI).
+using Mist = std::uint64_t;
+
+inline constexpr double kMistPerSui = 1e9;
+
+/// Pricing constants for object creation and deletion.
+struct GasSchedule {
+  Mist computation_fee = 9'373'200;     // flat per transaction
+  Mist storage_price_per_byte = 21'584; // charged per payload byte
+  std::uint32_t object_overhead_bytes = 200;  // metadata charged as storage
+  Mist rebate_per_object = 4'300'000;   // refunded when the object is freed
+  Mist rebate_per_byte = 20'266;        // refunded per payload byte
+
+  /// Storage charge for one object of `payload_bytes`.
+  Mist storage_fee(std::uint64_t payload_bytes) const {
+    return storage_price_per_byte * (object_overhead_bytes + payload_bytes);
+  }
+
+  /// Total transaction cost creating one object of `payload_bytes`
+  /// (the quantity Table II reports).
+  Mist submission_cost(std::uint64_t payload_bytes) const {
+    return computation_fee + storage_fee(payload_bytes);
+  }
+
+  /// Rebate credited when an object of `payload_bytes` is deleted.
+  Mist storage_rebate(std::uint64_t payload_bytes) const {
+    return rebate_per_object + rebate_per_byte * payload_bytes;
+  }
+};
+
+/// Converts MIST to SUI for reports.
+inline double mist_to_sui(Mist mist) {
+  return static_cast<double>(mist) / kMistPerSui;
+}
+
+}  // namespace debuglet::chain

@@ -1,0 +1,13 @@
+// Umbrella header: the public Debuglet API.
+//
+// Include this to get the whole system: scenarios, the wired
+// DebugletSystem, initiators, fault localization, and decentralized
+// discovery. Individual subsystem headers remain usable on their own.
+#pragma once
+
+#include "apps/debuglets.hpp"        // IWYU pragma: export
+#include "core/discovery.hpp"        // IWYU pragma: export
+#include "core/initiator.hpp"        // IWYU pragma: export
+#include "core/localization.hpp"     // IWYU pragma: export
+#include "core/system.hpp"           // IWYU pragma: export
+#include "simnet/scenarios.hpp"      // IWYU pragma: export

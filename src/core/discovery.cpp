@@ -1,0 +1,126 @@
+#include "core/discovery.hpp"
+
+#include <memory>
+
+namespace debuglet::core {
+
+DiscoveryGossip::DiscoveryGossip(simnet::SimulatedNetwork& network,
+                                 SimDuration per_hop_delay)
+    : network_(network), per_hop_delay_(per_hop_delay) {}
+
+void DiscoveryGossip::originate(topology::AsNumber asn) {
+  const topology::Topology& topo = network_.topology();
+  ExecutorAdvertisement adv;
+  adv.origin = asn;
+  adv.sequence = next_sequence_++;
+  for (topology::InterfaceId intf : topo.interfaces_of(asn)) {
+    const topology::InterfaceKey key{asn, intf};
+    adv.executors.push_back(key);
+    adv.addresses.push_back(topo.address_of(key));
+  }
+  // The origin knows itself immediately.
+  tables_[asn][asn] = adv;
+  flood(asn, adv, asn);
+}
+
+void DiscoveryGossip::originate_all() {
+  for (topology::AsNumber asn : network_.topology().as_numbers())
+    originate(asn);
+}
+
+void DiscoveryGossip::flood(topology::AsNumber at,
+                            const ExecutorAdvertisement& adv,
+                            topology::AsNumber from) {
+  const topology::Topology& topo = network_.topology();
+  for (topology::InterfaceId intf : topo.interfaces_of(at)) {
+    auto remote = topo.remote_of({at, intf});
+    if (!remote) continue;
+    const topology::AsNumber neighbor = remote->asn;
+    if (neighbor == from) continue;
+    ++messages_;
+    // Deliver after the per-hop routing propagation delay; the receiver
+    // re-floods if the advertisement is new (or newer).
+    network_.queue().schedule_after(
+        per_hop_delay_, [this, neighbor, at, adv] {
+          auto& table = tables_[neighbor];
+          auto it = table.find(adv.origin);
+          if (it != table.end() && it->second.sequence >= adv.sequence)
+            return;  // already known — stop the flood here
+          table[adv.origin] = adv;
+          last_arrival_ = network_.queue().now();
+          flood(neighbor, adv, at);
+        });
+  }
+}
+
+std::vector<ExecutorAdvertisement> DiscoveryGossip::known_at(
+    topology::AsNumber asn) const {
+  std::vector<ExecutorAdvertisement> out;
+  auto it = tables_.find(asn);
+  if (it == tables_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [_, adv] : it->second) out.push_back(adv);
+  return out;
+}
+
+Result<ExecutorAdvertisement> DiscoveryGossip::lookup(
+    topology::AsNumber viewer, topology::AsNumber target) const {
+  auto it = tables_.find(viewer);
+  if (it == tables_.end())
+    return fail("AS" + std::to_string(viewer) + " has learned nothing yet");
+  auto ait = it->second.find(target);
+  if (ait == it->second.end())
+    return fail("AS" + std::to_string(viewer) +
+                " has no advertisement from AS" + std::to_string(target));
+  return ait->second;
+}
+
+bool DiscoveryGossip::converged() const {
+  const auto ases = network_.topology().as_numbers();
+  for (topology::AsNumber viewer : ases) {
+    auto it = tables_.find(viewer);
+    if (it == tables_.end()) return false;
+    for (topology::AsNumber origin : ases) {
+      if (!it->second.contains(origin)) return false;
+    }
+  }
+  return true;
+}
+
+Status run_bilateral(executor::ExecutorService& client_executor,
+                     executor::ExecutorService& server_executor,
+                     executor::DebugletApp client_app,
+                     executor::DebugletApp server_app, SimTime start,
+                     std::function<void(const BilateralOutcome&)> on_done) {
+  struct Shared {
+    std::optional<executor::CertifiedResult> client;
+    std::optional<executor::CertifiedResult> server;
+    std::function<void(const BilateralOutcome&)> on_done;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->on_done = std::move(on_done);
+
+  auto fire_if_complete = [shared] {
+    if (shared->client && shared->server && shared->on_done)
+      shared->on_done(BilateralOutcome{*shared->client, *shared->server});
+  };
+
+  auto server_id = server_executor.deploy_and_schedule(
+      std::move(server_app), start,
+      [shared, fire_if_complete](const executor::CertifiedResult& r) {
+        shared->server = r;
+        fire_if_complete();
+      });
+  if (!server_id) return fail("server: " + server_id.error_message());
+
+  auto client_id = client_executor.deploy_and_schedule(
+      std::move(client_app), start,
+      [shared, fire_if_complete](const executor::CertifiedResult& r) {
+        shared->client = r;
+        fire_if_complete();
+      });
+  if (!client_id) return fail("client: " + client_id.error_message());
+  return ok_status();
+}
+
+}  // namespace debuglet::core

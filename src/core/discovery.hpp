@@ -1,0 +1,89 @@
+// Decentralized executor discovery (paper §VI-A).
+//
+// The alternative to the marketplace: ISPs advertise their executors'
+// addresses as route metadata in the inter-domain routing protocol, so
+// every domain learns about executors without a central party. Initiators
+// then negotiate bilaterally and exchange applications/results directly —
+// cheaper and with no single point of failure, but the results are not
+// publicly verifiable (no on-chain record). Ablation A4 quantifies both
+// sides of that trade-off.
+#pragma once
+
+#include <map>
+
+#include "executor/executor.hpp"
+#include "simnet/network.hpp"
+
+namespace debuglet::core {
+
+/// Route metadata one AS originates about its executors.
+struct ExecutorAdvertisement {
+  topology::AsNumber origin = 0;
+  std::uint64_t sequence = 0;
+  std::vector<topology::InterfaceKey> executors;
+  std::vector<net::Ipv4Address> addresses;  // index-aligned with executors
+};
+
+/// BGP-style flooding of executor advertisements across the AS graph, with
+/// a configurable per-hop propagation/processing delay (route convergence).
+class DiscoveryGossip {
+ public:
+  DiscoveryGossip(simnet::SimulatedNetwork& network,
+                  SimDuration per_hop_delay = duration::milliseconds(50));
+
+  /// Originates an advertisement from every AS for all of its border
+  /// interfaces; propagation happens in simulated time.
+  void originate_all();
+
+  /// Originates from a single AS.
+  void originate(topology::AsNumber asn);
+
+  /// What `asn` has learned so far (latest sequence per origin).
+  std::vector<ExecutorAdvertisement> known_at(topology::AsNumber asn) const;
+
+  /// Finds the advertised executors of `target` as seen from `viewer`
+  /// (empty if the advertisement has not arrived yet).
+  Result<ExecutorAdvertisement> lookup(topology::AsNumber viewer,
+                                       topology::AsNumber target) const;
+
+  /// True once every AS knows every origin's latest advertisement.
+  bool converged() const;
+
+  /// Simulated time when the last advertisement arrived anywhere.
+  SimTime last_arrival() const { return last_arrival_; }
+
+  /// Total advertisement messages exchanged (flood cost).
+  std::uint64_t messages_sent() const { return messages_; }
+
+ private:
+  void flood(topology::AsNumber at, const ExecutorAdvertisement& adv,
+             topology::AsNumber from);
+
+  simnet::SimulatedNetwork& network_;
+  SimDuration per_hop_delay_;
+  std::uint64_t next_sequence_ = 1;
+  // tables_[asn][origin] = best advertisement received so far.
+  std::map<topology::AsNumber,
+           std::map<topology::AsNumber, ExecutorAdvertisement>>
+      tables_;
+  SimTime last_arrival_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+/// A bilateral (chain-free) measurement: deploys the client/server pair
+/// directly on the two executors and returns both certified results via
+/// the callback when the second one completes. The results remain
+/// AS-signed (verifiable against the AS key) but have no public on-chain
+/// record.
+struct BilateralOutcome {
+  executor::CertifiedResult client;
+  executor::CertifiedResult server;
+};
+
+Status run_bilateral(executor::ExecutorService& client_executor,
+                     executor::ExecutorService& server_executor,
+                     executor::DebugletApp client_app,
+                     executor::DebugletApp server_app, SimTime start,
+                     std::function<void(const BilateralOutcome&)> on_done);
+
+}  // namespace debuglet::core

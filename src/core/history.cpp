@@ -1,0 +1,149 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+
+namespace debuglet::core {
+
+const std::vector<ArchivedMeasurement> MeasurementArchive::kEmpty;
+
+Bytes ArchivedMeasurement::serialize() const {
+  BytesWriter w;
+  w.i64(measured_at);
+  w.varint(summary.probes_sent);
+  w.varint(summary.probes_answered);
+  w.f64(summary.mean_ms);
+  w.f64(summary.std_ms);
+  w.f64(summary.min_ms);
+  w.f64(summary.max_ms);
+  return w.take();
+}
+
+Result<ArchivedMeasurement> ArchivedMeasurement::parse(BytesView data) {
+  BytesReader r(data);
+  ArchivedMeasurement out;
+  auto at = r.i64();
+  if (!at) return at.error();
+  out.measured_at = *at;
+  auto sent = r.varint();
+  if (!sent) return sent.error();
+  out.summary.probes_sent = static_cast<std::size_t>(*sent);
+  auto answered = r.varint();
+  if (!answered) return answered.error();
+  out.summary.probes_answered = static_cast<std::size_t>(*answered);
+  auto mean = r.f64();
+  if (!mean) return mean.error();
+  out.summary.mean_ms = *mean;
+  auto std_ms = r.f64();
+  if (!std_ms) return std_ms.error();
+  out.summary.std_ms = *std_ms;
+  auto min_ms = r.f64();
+  if (!min_ms) return min_ms.error();
+  out.summary.min_ms = *min_ms;
+  auto max_ms = r.f64();
+  if (!max_ms) return max_ms.error();
+  out.summary.max_ms = *max_ms;
+  if (!r.exhausted()) return fail("archived measurement: trailing bytes");
+  return out;
+}
+
+MeasurementArchive::MeasurementArchive(SimDuration retention)
+    : retention_(retention) {}
+
+void MeasurementArchive::record(const DiagnosticKey& key, SimTime at,
+                                const RttSummary& summary) {
+  auto& series = entries_[key];
+  series.push_back(ArchivedMeasurement{at, summary});
+  // Entries arrive in time order from a simulation; prune from the front.
+  const SimTime cutoff = at - retention_;
+  auto first_kept = std::find_if(
+      series.begin(), series.end(),
+      [cutoff](const ArchivedMeasurement& m) { return m.measured_at >= cutoff; });
+  series.erase(series.begin(), first_kept);
+}
+
+const std::vector<ArchivedMeasurement>& MeasurementArchive::history(
+    const DiagnosticKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+std::size_t MeasurementArchive::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& [_, series] : entries_) n += series.size();
+  return n;
+}
+
+crypto::Digest MeasurementArchive::anchor(const DiagnosticKey& key) const {
+  std::vector<Bytes> leaves;
+  for (const ArchivedMeasurement& m : history(key))
+    leaves.push_back(m.serialize());
+  return crypto::MerkleTree(leaves).root();
+}
+
+Result<crypto::MerkleProof> MeasurementArchive::prove(
+    const DiagnosticKey& key, std::size_t index) const {
+  const auto& series = history(key);
+  if (index >= series.size())
+    return fail("archive proof: index out of range");
+  std::vector<Bytes> leaves;
+  for (const ArchivedMeasurement& m : series) leaves.push_back(m.serialize());
+  return crypto::MerkleTree(leaves).prove(index);
+}
+
+DegradationReport detect_degradation(
+    const std::vector<ArchivedMeasurement>& series, double threshold_ms) {
+  DegradationReport out;
+  if (series.size() < 4) return out;
+
+  auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+
+  // Baseline from the stable prefix (first quarter, at least 3 entries).
+  const std::size_t prefix = std::max<std::size_t>(3, series.size() / 4);
+  std::vector<double> prefix_rtt;
+  double prefix_loss = 0.0;
+  for (std::size_t i = 0; i < prefix && i < series.size(); ++i) {
+    prefix_rtt.push_back(series[i].summary.mean_ms);
+    prefix_loss += series[i].summary.loss_rate();
+  }
+  const double baseline = median(prefix_rtt);
+  const double baseline_loss = prefix_loss / static_cast<double>(prefix);
+
+  // Onset: the first entry above baseline + threshold (or with tripled
+  // loss) such that the elevation is SUSTAINED — the median of the rest of
+  // the series from that entry on is also elevated. A lone spike is noise.
+  for (std::size_t i = 1; i + 1 < series.size(); ++i) {
+    const bool entry_rtt_high =
+        series[i].summary.mean_ms > baseline + threshold_ms;
+    const bool entry_loss_high =
+        series[i].summary.loss_rate() > 0.02 &&
+        series[i].summary.loss_rate() > 3.0 * baseline_loss;
+    if (!entry_rtt_high && !entry_loss_high) continue;
+
+    std::vector<double> tail_rtt;
+    double tail_loss = 0.0;
+    for (std::size_t j = i; j < series.size(); ++j) {
+      tail_rtt.push_back(series[j].summary.mean_ms);
+      tail_loss += series[j].summary.loss_rate();
+    }
+    tail_loss /= static_cast<double>(series.size() - i);
+    const double tail_median = median(tail_rtt);
+    const bool sustained_rtt = tail_median > baseline + threshold_ms;
+    const bool sustained_loss =
+        tail_loss > 0.02 && tail_loss > 3.0 * baseline_loss;
+    if ((entry_rtt_high && sustained_rtt) ||
+        (entry_loss_high && sustained_loss)) {
+      out.degraded = true;
+      out.onset = series[i].measured_at;
+      out.baseline_ms = baseline;
+      out.degraded_ms = tail_median;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace debuglet::core

@@ -1,0 +1,82 @@
+// Measurement history and trend analysis (paper §VI-F "Age of
+// Information").
+//
+// "Given multiple measurements [of] a common network diagnostic over a
+// fixed path, the trend in measured results over time might help identify
+// the time at which the path started experiencing performance degradation"
+// — results older than a few seconds are useless for live debugging, but
+// an archive (retained off-chain, hash-anchored on-chain) supports
+// retrospective diagnosis.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/initiator.hpp"
+#include "crypto/merkle.hpp"
+
+namespace debuglet::core {
+
+/// Identifies a repeatedly measured path diagnostic.
+struct DiagnosticKey {
+  topology::InterfaceKey client;
+  topology::InterfaceKey server;
+  net::Protocol protocol = net::Protocol::kUdp;
+  auto operator<=>(const DiagnosticKey&) const = default;
+};
+
+/// One archived measurement.
+struct ArchivedMeasurement {
+  SimTime measured_at = 0;
+  RttSummary summary;
+
+  Bytes serialize() const;
+  static Result<ArchivedMeasurement> parse(BytesView data);
+};
+
+/// A retention-bounded archive of measurement summaries per diagnostic,
+/// with a Merkle anchor so the (off-chain) archive can be committed to a
+/// chain in one 32-byte object.
+class MeasurementArchive {
+ public:
+  /// Retention window; entries older than (latest - retention) are pruned
+  /// on insert. The paper suggests "between a week and several months".
+  explicit MeasurementArchive(SimDuration retention = duration::hours(7 * 24));
+
+  void record(const DiagnosticKey& key, SimTime at, const RttSummary& summary);
+
+  const std::vector<ArchivedMeasurement>& history(
+      const DiagnosticKey& key) const;
+
+  std::size_t total_entries() const;
+
+  /// Merkle root over the serialized entries of one diagnostic — the
+  /// 32-byte anchor to publish on-chain (ablation A3's pattern).
+  crypto::Digest anchor(const DiagnosticKey& key) const;
+
+  /// Inclusion proof for entry `index` of a diagnostic, verifiable against
+  /// the anchor by any third party holding the entry bytes.
+  Result<crypto::MerkleProof> prove(const DiagnosticKey& key,
+                                    std::size_t index) const;
+
+ private:
+  SimDuration retention_;
+  std::map<DiagnosticKey, std::vector<ArchivedMeasurement>> entries_;
+  static const std::vector<ArchivedMeasurement> kEmpty;
+};
+
+/// Result of degradation-onset analysis over an archived series.
+struct DegradationReport {
+  bool degraded = false;
+  SimTime onset = 0;         // first measurement at the degraded level
+  double baseline_ms = 0.0;  // median RTT before the onset
+  double degraded_ms = 0.0;  // median RTT from the onset on
+};
+
+/// Finds the earliest point where the series' RTT level rises by more than
+/// `threshold_ms` above the running baseline and stays there. Loss spikes
+/// (mean loss after onset > 3x before) count as degradation too.
+DegradationReport detect_degradation(
+    const std::vector<ArchivedMeasurement>& series, double threshold_ms);
+
+}  // namespace debuglet::core

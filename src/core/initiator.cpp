@@ -1,0 +1,225 @@
+#include "core/initiator.hpp"
+
+#include "crypto/box.hpp"
+#include "util/stats.hpp"
+
+namespace debuglet::core {
+
+Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
+                                 std::size_t probes_sent) {
+  auto samples = apps::decode_samples(
+      BytesView(client.record.output.data(), client.record.output.size()));
+  if (!samples) return samples.error();
+  RttSummary out;
+  out.probes_sent = probes_sent;
+  out.probes_answered = samples->size();
+  RunningStats stats;
+  for (const apps::MeasurementSample& s : *samples)
+    stats.add(static_cast<double>(s.delay_ns) / 1e6);
+  out.mean_ms = stats.mean();
+  out.std_ms = stats.stddev();
+  out.min_ms = stats.min();
+  out.max_ms = stats.max();
+  return out;
+}
+
+Initiator::Initiator(DebugletSystem& system, std::uint64_t seed,
+                     chain::Mist funding)
+    : system_(system), key_(crypto::KeyPair::from_seed(seed)) {
+  system_.chain().mint(address(), funding);
+}
+
+Result<Bytes> Initiator::open_result(
+    const executor::CertifiedResult& result) const {
+  return crypto::open_box(key_, BytesView(result.record.output.data(),
+                                          result.record.output.size()));
+}
+
+Result<chain::Mist> Initiator::reclaim(const MeasurementHandle& handle) {
+  chain::Blockchain& chain = system_.chain();
+  chain::Mist total_rebate = 0;
+  for (chain::ObjectId application :
+       {handle.client_application, handle.server_application}) {
+    const chain::Mist before = chain.balance(address());
+    marketplace::ReclaimApplicationArgs args;
+    args.application = application;
+    auto receipt = chain.submit(chain.make_transaction(
+        key_, marketplace::kContractName, "ReclaimApplication",
+        args.serialize()));
+    if (!receipt) return receipt.error();
+    if (!receipt->success)
+      return fail("ReclaimApplication: " + receipt->error);
+    total_spent_ += receipt->gas_charged;
+    // Balance delta = rebate - gas.
+    total_rebate += chain.balance(address()) + receipt->gas_charged - before;
+  }
+  return total_rebate;
+}
+
+Result<MeasurementHandle> Initiator::purchase(
+    const MeasurementRequest& request) {
+  chain::Blockchain& chain = system_.chain();
+
+  // Step 1: LookupSlot.
+  marketplace::LookupSlotArgs lookup;
+  lookup.client_key = request.client_key;
+  lookup.server_key = request.server_key;
+  lookup.cores = request.cores;
+  lookup.memory_bytes = request.memory_bytes;
+  lookup.bandwidth_bps = request.bandwidth_bps;
+  lookup.earliest_start =
+      std::max(request.earliest_start,
+               system_.queue().now() + chain.config().finality_latency);
+  auto lookup_receipt = chain.submit(chain.make_transaction(
+      key_, marketplace::kContractName, "LookupSlot", lookup.serialize()));
+  if (!lookup_receipt) return lookup_receipt.error();
+  if (!lookup_receipt->success)
+    return fail("LookupSlot: " + lookup_receipt->error);
+  total_spent_ += lookup_receipt->gas_charged;
+  auto quote = marketplace::SlotQuote::parse(
+      BytesView(lookup_receipt->return_value.data(),
+                lookup_receipt->return_value.size()));
+  if (!quote) return quote.error();
+  if (!quote->found)
+    return fail("no common execution slot for " +
+                request.client_key.to_string() + " / " +
+                request.server_key.to_string());
+
+  // Step 2: PurchaseSlot with the bytecode and embedded tokens.
+  marketplace::PurchaseSlotArgs purchase;
+  purchase.client_key = request.client_key;
+  purchase.server_key = request.server_key;
+  purchase.client_slot = quote->client_slot;
+  purchase.server_slot = quote->server_slot;
+  purchase.client_app = request.client_app;
+  purchase.server_app = request.server_app;
+  if (request.seal_results) {
+    const Bytes pk = key_.public_key().to_bytes();
+    purchase.client_app.seal_output_for = pk;
+    purchase.server_app.seal_output_for = pk;
+  }
+  auto purchase_receipt = chain.submit(chain.make_transaction(
+      key_, marketplace::kContractName, "PurchaseSlot", purchase.serialize(),
+      quote->total_price));
+  if (!purchase_receipt) return purchase_receipt.error();
+  if (!purchase_receipt->success)
+    return fail("PurchaseSlot: " + purchase_receipt->error);
+  total_spent_ += purchase_receipt->gas_charged + quote->total_price;
+  auto receipt = marketplace::PurchaseReceipt::parse(
+      BytesView(purchase_receipt->return_value.data(),
+                purchase_receipt->return_value.size()));
+  if (!receipt) return receipt.error();
+
+  MeasurementHandle handle;
+  handle.client_application = receipt->client_application;
+  handle.server_application = receipt->server_application;
+  handle.client_key = request.client_key;
+  handle.server_key = request.server_key;
+  handle.window_start = receipt->window_start;
+  handle.window_end = receipt->window_end;
+  handle.price_paid = quote->total_price;
+  return handle;
+}
+
+Result<executor::CertifiedResult> Initiator::fetch_result(
+    chain::ObjectId application, topology::InterfaceKey key) {
+  chain::Blockchain& chain = system_.chain();
+  marketplace::LookupResultArgs args;
+  args.application = application;
+  auto view = chain.view(marketplace::kContractName, "LookupResult",
+                         args.serialize());
+  if (!view) return view.error();
+  auto entry =
+      marketplace::ResultEntry::parse(BytesView(view->data(), view->size()));
+  if (!entry) return entry.error();
+  if (!entry->found)
+    return fail("result for application " + std::to_string(application) +
+                " not yet published");
+  auto certified = executor::CertifiedResult::parse(
+      BytesView(entry->result.data(), entry->result.size()));
+  if (!certified) return certified.error();
+
+  // Verify: the signature must check out AND belong to the AS that hosts
+  // the executor the application was assigned to.
+  auto expected = system_.as_public_key(key.asn);
+  if (!expected) return expected.error();
+  if (!executor::verify_certified(*certified, &*expected))
+    return fail("result for application " + std::to_string(application) +
+                " failed certification check");
+  if (!(certified->record.executor_key == key))
+    return fail("result reports wrong executor key");
+
+  // Cross-check against the on-chain stored object (tamper evidence).
+  auto stored = chain.read_object(entry->result_object);
+  if (!stored) return stored.error();
+  if (!(*stored == entry->result))
+    return fail("on-chain result object mismatch");
+  return certified;
+}
+
+Result<MeasurementOutcome> Initiator::collect(
+    const MeasurementHandle& handle) {
+  auto client = fetch_result(handle.client_application, handle.client_key);
+  if (!client) return client.error();
+  auto server = fetch_result(handle.server_application, handle.server_key);
+  if (!server) return server.error();
+  return MeasurementOutcome{std::move(*client), std::move(*server)};
+}
+
+Result<MeasurementHandle> Initiator::purchase_rtt_measurement(
+    topology::InterfaceKey client_key, topology::InterfaceKey server_key,
+    net::Protocol protocol, std::int64_t probe_count, std::int64_t interval_ms,
+    SimTime earliest_start, bool seal_results) {
+  const auto& topo = system_.network().topology();
+  const net::Ipv4Address client_addr = topo.address_of(client_key);
+  const net::Ipv4Address server_addr = topo.address_of(server_key);
+
+  // The probe loop awaits each reply (or its timeout) before pacing the
+  // next probe, so the receive timeout may exceed the interval without
+  // risking sequence confusion; it just needs to cover any plausible RTT.
+  const std::int64_t recv_timeout_ms = interval_ms + 1000;
+  // The echo server must come up before the client starts probing and stay
+  // alive for the whole run; budget for every probe timing out.
+  const SimDuration run_budget =
+      duration::milliseconds(interval_ms + recv_timeout_ms) *
+          (probe_count + 2) +
+      duration::seconds(5);
+
+  apps::ProbeClientParams client_params;
+  client_params.protocol = protocol;
+  client_params.server = server_addr;
+  client_params.probe_count = probe_count;
+  client_params.interval_ms = interval_ms;
+  client_params.recv_timeout_ms = recv_timeout_ms;
+
+  apps::EchoServerParams server_params;
+  server_params.protocol = protocol;
+  server_params.max_echoes = 0;
+  server_params.idle_timeout_ms = interval_ms * 3 + 2000;
+
+  MeasurementRequest request;
+  request.client_key = client_key;
+  request.server_key = server_key;
+  request.earliest_start = earliest_start;
+  request.seal_results = seal_results;
+  request.client_app.bytecode = apps::make_probe_client_debuglet().serialize();
+  request.client_app.manifest =
+      apps::client_manifest(protocol, server_addr, probe_count, run_budget)
+          .serialize();
+  request.server_app.bytecode = apps::make_echo_server_debuglet().serialize();
+  request.server_app.manifest =
+      apps::server_manifest(protocol, client_addr, probe_count, run_budget)
+          .serialize();
+
+  // Rendezvous: the initiator picks the server's listen port up front and
+  // aims the client at it; the executor binds the server deployment to it.
+  const std::uint16_t rendezvous = next_rendezvous_port_++;
+  if (next_rendezvous_port_ >= 49000) next_rendezvous_port_ = 40000;
+  client_params.server_port = rendezvous;
+  request.server_app.listen_port = rendezvous;
+  request.client_app.parameters = client_params.to_parameters();
+  request.server_app.parameters = server_params.to_parameters();
+  return purchase(request);
+}
+
+}  // namespace debuglet::core

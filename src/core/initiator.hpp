@@ -1,0 +1,124 @@
+// The measurement initiator.
+//
+// Drives the paper's five-step process (§IV-A): look up slots on-chain,
+// purchase a pair (client + server Debuglet), then collect and verify the
+// certified results that the executors publish through ResultReady.
+#pragma once
+
+#include <optional>
+
+#include "apps/debuglets.hpp"
+#include "core/system.hpp"
+
+namespace debuglet::core {
+
+/// A purchased measurement awaiting results.
+struct MeasurementHandle {
+  chain::ObjectId client_application = 0;
+  chain::ObjectId server_application = 0;
+  /// The executor pair the measurement was purchased for; results must be
+  /// certified by these ASes' keys.
+  topology::InterfaceKey client_key;
+  topology::InterfaceKey server_key;
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  chain::Mist price_paid = 0;
+};
+
+/// Both certified results of one measurement, verified.
+struct MeasurementOutcome {
+  executor::CertifiedResult client;
+  executor::CertifiedResult server;
+};
+
+/// Everything needed to purchase one measurement.
+struct MeasurementRequest {
+  topology::InterfaceKey client_key;
+  topology::InterfaceKey server_key;
+  marketplace::ApplicationPayload client_app;
+  marketplace::ApplicationPayload server_app;
+  SimTime earliest_start = 0;
+  std::uint32_t cores = 1;
+  std::uint64_t memory_bytes = 64 * 1024;
+  std::uint64_t bandwidth_bps = 1'000'000;
+  /// Private results (§IV-C): executors seal the outputs for the
+  /// initiator's key; on-chain copies become unreadable to third parties.
+  bool seal_results = false;
+};
+
+/// Summary statistics of an RTT measurement (from client samples).
+struct RttSummary {
+  std::size_t probes_sent = 0;
+  std::size_t probes_answered = 0;
+  double mean_ms = 0.0;
+  double std_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+
+  double loss_rate() const {
+    return probes_sent == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(probes_answered) /
+                           static_cast<double>(probes_sent);
+  }
+};
+
+/// Computes the summary from a client Debuglet's certified result.
+Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
+                                 std::size_t probes_sent);
+
+/// An initiator identity: a funded chain account that purchases
+/// measurements and verifies published results.
+class Initiator {
+ public:
+  /// Creates an initiator with a fresh key, funded with `funding` MIST.
+  Initiator(DebugletSystem& system, std::uint64_t seed, chain::Mist funding);
+
+  chain::Address address() const {
+    return chain::Address::of(key_.public_key());
+  }
+  chain::Mist balance() const { return system_.chain().balance(address()); }
+
+  /// Steps 1–3 of §IV-A: quote, purchase, and let the chain notify the
+  /// executors. Returns immediately (in simulated time the measurement
+  /// runs later); collect results after running the event queue.
+  Result<MeasurementHandle> purchase(const MeasurementRequest& request);
+
+  /// Retrieves and verifies both certified results of a measurement from
+  /// the chain. Fails if either result is missing (run the queue further)
+  /// or fails signature/AS-key verification.
+  Result<MeasurementOutcome> collect(const MeasurementHandle& handle);
+
+  /// Convenience for the common RTT measurement: builds the probe-client /
+  /// echo-server pair from apps::, purchases it, and returns the handle.
+  Result<MeasurementHandle> purchase_rtt_measurement(
+      topology::InterfaceKey client_key, topology::InterfaceKey server_key,
+      net::Protocol protocol, std::int64_t probe_count,
+      std::int64_t interval_ms, SimTime earliest_start = 0,
+      bool seal_results = false);
+
+  /// The public key executors seal private results for.
+  const crypto::PublicKey& public_key() const { return key_.public_key(); }
+
+  /// Opens a sealed result's output with this initiator's key. Fails if
+  /// the output was not sealed for this initiator or was tampered with.
+  Result<Bytes> open_result(const executor::CertifiedResult& result) const;
+
+  /// Frees both application objects after their results were reported,
+  /// collecting the storage rebates (Table II's refund column). Returns
+  /// the total rebate credited.
+  Result<chain::Mist> reclaim(const MeasurementHandle& handle);
+
+  chain::Mist total_spent() const { return total_spent_; }
+
+ private:
+  Result<executor::CertifiedResult> fetch_result(chain::ObjectId application,
+                                                 topology::InterfaceKey key);
+
+  DebugletSystem& system_;
+  crypto::KeyPair key_;
+  chain::Mist total_spent_ = 0;
+  std::uint16_t next_rendezvous_port_ = 40000;
+};
+
+}  // namespace debuglet::core

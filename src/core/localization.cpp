@@ -1,0 +1,199 @@
+#include "core/localization.hpp"
+
+namespace debuglet::core {
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kLinearSequential: return "linear-sequential";
+    case Strategy::kBinarySearch: return "binary-search";
+    case Strategy::kParallelSweep: return "parallel-sweep";
+  }
+  return "unknown";
+}
+
+FaultLocalizer::FaultLocalizer(DebugletSystem& system, Initiator& initiator,
+                               topology::AsPath path, FaultCriteria criteria,
+                               net::Protocol protocol,
+                               std::int64_t probes_per_measurement,
+                               std::int64_t probe_interval_ms)
+    : system_(system),
+      initiator_(initiator),
+      path_(std::move(path)),
+      criteria_(criteria),
+      protocol_(protocol),
+      probes_(probes_per_measurement),
+      interval_ms_(probe_interval_ms) {}
+
+Result<MeasurementOutcome> FaultLocalizer::await(
+    const MeasurementHandle& handle) {
+  // The measurement runs inside its purchased window; allow the executors
+  // time to report afterwards, extending a few times if needed.
+  simnet::EventQueue& queue = system_.queue();
+  SimTime deadline = handle.window_end + duration::seconds(2);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    queue.run_until(deadline);
+    auto outcome = initiator_.collect(handle);
+    if (outcome) return outcome;
+    deadline += duration::seconds(5);
+  }
+  queue.run_until(deadline);
+  return initiator_.collect(handle);
+}
+
+bool FaultLocalizer::is_faulty(std::size_t links_crossed,
+                               const RttSummary& s) const {
+  if (s.probes_answered == 0) return true;  // blackhole
+  if (s.loss_rate() > criteria_.max_loss) return true;
+  const double expected =
+      criteria_.per_link_rtt_ms * static_cast<double>(links_crossed);
+  return s.mean_ms > expected + criteria_.slack_ms;
+}
+
+Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
+                                                         std::size_t to_hop) {
+  if (from_hop >= to_hop || to_hop >= path_.length())
+    return fail("measure_segment: bad hop range");
+  // Client at the egress-facing border of from_hop, server at the
+  // ingress-facing border of to_hop — the paper's executors A and D.
+  const topology::InterfaceKey client_key{path_.hops[from_hop].asn,
+                                          path_.hops[from_hop].egress};
+  const topology::InterfaceKey server_key{path_.hops[to_hop].asn,
+                                          path_.hops[to_hop].ingress};
+  auto handle = initiator_.purchase_rtt_measurement(
+      client_key, server_key, protocol_, probes_, interval_ms_,
+      system_.queue().now());
+  if (!handle) return handle.error();
+  auto outcome = await(*handle);
+  if (!outcome) return outcome.error();
+  auto summary = summarize_rtt(outcome->client,
+                               static_cast<std::size_t>(probes_));
+  if (!summary) return summary.error();
+
+  LocalizationStep step;
+  step.from_hop = from_hop;
+  step.to_hop = to_hop;
+  step.summary = *summary;
+  step.faulty = is_faulty(to_hop - from_hop, *summary);
+  step.measured_at = system_.queue().now();
+  return step;
+}
+
+Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
+  LocalizationReport report;
+  report.started = system_.queue().now();
+  const chain::Mist spent_before = initiator_.total_spent();
+  const std::size_t n = path_.length();
+  if (n < 2) return fail("localization needs a path of at least 2 ASes");
+
+  auto record = [&](Result<LocalizationStep> step)
+      -> Result<LocalizationStep> {
+    if (step) {
+      report.steps.push_back(*step);
+      ++report.measurements;
+    }
+    return step;
+  };
+
+  switch (strategy) {
+    case Strategy::kLinearSequential: {
+      for (std::size_t link = 0; link + 1 < n; ++link) {
+        auto step = record(measure_segment(link, link + 1));
+        if (!step) return step.error();
+        if (step->faulty) {
+          report.located = true;
+          report.fault_link = link;
+          break;
+        }
+      }
+      break;
+    }
+    case Strategy::kParallelSweep: {
+      // Purchase EVERY link measurement before awaiting any, so they all
+      // land in the earliest windows their (disjoint) executor pairs
+      // offer and run concurrently. Minimal time-to-locate, maximal cost —
+      // the trade-off §VI-D says "may not address cost concerns".
+      struct Pending {
+        std::size_t link;
+        MeasurementHandle handle;
+      };
+      std::vector<Pending> pending;
+      for (std::size_t link = 0; link + 1 < n; ++link) {
+        const topology::InterfaceKey client_key{path_.hops[link].asn,
+                                                path_.hops[link].egress};
+        const topology::InterfaceKey server_key{path_.hops[link + 1].asn,
+                                                path_.hops[link + 1].ingress};
+        auto handle = initiator_.purchase_rtt_measurement(
+            client_key, server_key, protocol_, probes_, interval_ms_,
+            system_.queue().now());
+        if (!handle) return handle.error();
+        pending.push_back(Pending{link, *handle});
+      }
+      for (const Pending& p : pending) {
+        auto outcome = await(p.handle);
+        if (!outcome) return outcome.error();
+        auto summary = summarize_rtt(outcome->client,
+                                     static_cast<std::size_t>(probes_));
+        if (!summary) return summary.error();
+        LocalizationStep step;
+        step.from_hop = p.link;
+        step.to_hop = p.link + 1;
+        step.summary = *summary;
+        step.faulty = is_faulty(1, *summary);
+        step.measured_at = system_.queue().now();
+        report.steps.push_back(step);
+        ++report.measurements;
+        if (step.faulty && !report.located) {
+          report.located = true;
+          report.fault_link = p.link;
+        }
+      }
+      break;
+    }
+    case Strategy::kBinarySearch: {
+      // Confirm the path is faulty end to end, then halve.
+      auto whole = record(measure_segment(0, n - 1));
+      if (!whole) return whole.error();
+      if (!whole->faulty) break;  // nothing to localize
+      std::size_t lo = 0, hi = n - 1;
+      while (hi - lo > 1) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        auto left = record(measure_segment(lo, mid));
+        if (!left) return left.error();
+        if (left->faulty) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      report.located = true;
+      report.fault_link = lo;
+      break;
+    }
+  }
+
+  report.finished = system_.queue().now();
+  report.tokens_spent = initiator_.total_spent() - spent_before;
+  return report;
+}
+
+Result<IntraAsDerivation> FaultLocalizer::derive_intra_as(std::size_t as_hop) {
+  if (as_hop == 0 || as_hop + 1 >= path_.length())
+    return fail("derive_intra_as: hop must be interior to the path");
+  IntraAsDerivation out;
+  // Whole segment: A (egress of the previous AS) .. D (ingress of the
+  // next AS) — crossing the target AS as real inter-domain traffic.
+  auto whole = measure_segment(as_hop - 1, as_hop + 1);
+  if (!whole) return whole.error();
+  out.whole = whole->summary;
+  // Left link: A .. B.
+  auto left = measure_segment(as_hop - 1, as_hop);
+  if (!left) return left.error();
+  out.left_link = left->summary;
+  // Right link: C .. D.
+  auto right = measure_segment(as_hop, as_hop + 1);
+  if (!right) return right.error();
+  out.right_link = right->summary;
+  return out;
+}
+
+}  // namespace debuglet::core

@@ -1,0 +1,106 @@
+// Fault localization over segment-by-segment measurements.
+//
+// Implements the paper's localization workflows: the A/B/C/D executor-pair
+// procedure that isolates an inter-domain link or an AS interior
+// (§IV-B, Fig. 6), and the initiator strategies of §VI-D — linear scans
+// and binary search over a multi-AS path — with cost and time-to-locate
+// accounting (the A2 ablation compares them).
+#pragma once
+
+#include "core/initiator.hpp"
+
+namespace debuglet::core {
+
+/// When is a measured segment considered faulty?
+struct FaultCriteria {
+  /// Expected healthy RTT per inter-domain link crossed (chain scenarios:
+  /// 2 * hop propagation + transit).
+  double per_link_rtt_ms = 10.0;
+  /// Tolerated excess over the expected RTT before flagging.
+  double slack_ms = 15.0;
+  /// Tolerated loss rate before flagging.
+  double max_loss = 0.05;
+};
+
+/// One measurement taken during localization.
+struct LocalizationStep {
+  std::size_t from_hop = 0;  // path hop indices (client side)
+  std::size_t to_hop = 0;    // (server side)
+  RttSummary summary;
+  bool faulty = false;
+  SimTime measured_at = 0;
+};
+
+/// §VI-D strategies.
+enum class Strategy {
+  kLinearSequential,  // probe link by link from the front, await each
+  kBinarySearch,      // halve the suspect range each round
+  kParallelSweep,     // buy every link at once: fastest, most expensive
+};
+
+std::string strategy_name(Strategy s);
+
+/// Outcome of a localization run.
+struct LocalizationReport {
+  bool located = false;
+  /// Fault lies on the inter-domain link after path hop `fault_link`.
+  std::size_t fault_link = 0;
+  std::vector<LocalizationStep> steps;
+  std::size_t measurements = 0;
+  SimTime started = 0;
+  SimTime finished = 0;
+  chain::Mist tokens_spent = 0;
+
+  SimDuration time_to_locate() const { return finished - started; }
+};
+
+/// §IV-B's intra-AS derivation: performance of the interior of an AS
+/// computed from the whole-segment and adjacent-link measurements, without
+/// ever measuring intra-domain traffic directly.
+struct IntraAsDerivation {
+  RttSummary whole;       // executor A .. executor D
+  RttSummary left_link;   // A .. B
+  RttSummary right_link;  // C .. D
+  double intra_as_mean_ms() const {
+    return whole.mean_ms - left_link.mean_ms - right_link.mean_ms;
+  }
+};
+
+/// Runs Debuglet-pair measurements over sub-paths and localizes faults.
+/// Operates on chain-scenario-style paths where each AS on the path has an
+/// ingress-facing and an egress-facing executor.
+class FaultLocalizer {
+ public:
+  FaultLocalizer(DebugletSystem& system, Initiator& initiator,
+                 topology::AsPath path, FaultCriteria criteria,
+                 net::Protocol protocol = net::Protocol::kUdp,
+                 std::int64_t probes_per_measurement = 10,
+                 std::int64_t probe_interval_ms = 200);
+
+  /// Purchases a measurement between the egress-side executor of
+  /// `from_hop` and the ingress-side executor of `to_hop`, runs the event
+  /// queue until the results publish, and summarizes them.
+  Result<LocalizationStep> measure_segment(std::size_t from_hop,
+                                           std::size_t to_hop);
+
+  /// Full localization of (at most) one faulty inter-domain link.
+  Result<LocalizationReport> run(Strategy strategy);
+
+  /// The Fig. 6 procedure around the AS at path hop `as_hop`
+  /// (0 < as_hop < path length - 1).
+  Result<IntraAsDerivation> derive_intra_as(std::size_t as_hop);
+
+ private:
+  Result<MeasurementOutcome> await(const MeasurementHandle& handle);
+  bool is_faulty(std::size_t links_crossed, const RttSummary& s) const;
+
+  DebugletSystem& system_;
+  Initiator& initiator_;
+  topology::AsPath path_;
+  FaultCriteria criteria_;
+  net::Protocol protocol_;
+  std::int64_t probes_;
+  std::int64_t interval_ms_;
+};
+
+}  // namespace debuglet::core

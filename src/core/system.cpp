@@ -1,0 +1,178 @@
+#include "core/system.hpp"
+
+#include "util/log.hpp"
+
+namespace debuglet::core {
+
+ExecutorAgent::ExecutorAgent(chain::Blockchain& chain,
+                             simnet::SimulatedNetwork& network,
+                             topology::InterfaceKey key,
+                             crypto::KeyPair operator_key,
+                             const SystemConfig& config)
+    : chain_(chain),
+      network_(network),
+      key_(key),
+      operator_key_(std::move(operator_key)),
+      config_(&config) {
+  service_ = std::make_unique<executor::ExecutorService>(
+      network_, key_, operator_key_, config.executor,
+      0xE0ECu ^ (static_cast<std::uint64_t>(key.asn) << 16) ^ key.interface);
+  subscription_ = chain_.subscribe(
+      marketplace::kContractName, marketplace::kEventDebugletDeployed,
+      key_.to_string(),
+      [this](const chain::Event& event) { on_deployment_event(event); });
+}
+
+Status ExecutorAgent::bootstrap(SimTime horizon_start) {
+  marketplace::RegisterExecutorArgs reg{key_};
+  auto receipt = chain_.submit(chain_.make_transaction(
+      operator_key_, marketplace::kContractName, "RegisterExecutor",
+      reg.serialize()));
+  if (!receipt) return receipt.error();
+  if (!receipt->success) return fail("RegisterExecutor: " + receipt->error);
+
+  marketplace::RegisterTimeSlotArgs slots;
+  slots.key = key_;
+  for (SimTime t = horizon_start; t < horizon_start + config_->slot_horizon;
+       t += config_->slot_length) {
+    marketplace::TimeSlot slot;
+    slot.cores = 2;
+    slot.memory_bytes = 1 << 20;
+    slot.bandwidth_bps = 100'000'000;
+    slot.start = t;
+    slot.end = t + config_->slot_length;
+    slot.price = config_->slot_price;
+    slots.slots.push_back(slot);
+  }
+  auto slot_receipt = chain_.submit(chain_.make_transaction(
+      operator_key_, marketplace::kContractName, "RegisterTimeSlot",
+      slots.serialize()));
+  if (!slot_receipt) return slot_receipt.error();
+  if (!slot_receipt->success)
+    return fail("RegisterTimeSlot: " + slot_receipt->error);
+  return ok_status();
+}
+
+void ExecutorAgent::on_deployment_event(const chain::Event& event) {
+  BytesReader r(BytesView(event.payload.data(), event.payload.size()));
+  auto app_id = r.u64();
+  if (!app_id) {
+    DEBUGLET_LOG(kError, "agent") << "bad deployment event payload";
+    return;
+  }
+  // The event fires synchronously inside the purchase transaction; the
+  // executor observes it after the chain's finality latency.
+  const chain::ObjectId id = *app_id;
+  network_.queue().schedule_after(chain_.config().finality_latency,
+                                  [this, id] { handle_application(id); });
+}
+
+void ExecutorAgent::handle_application(chain::ObjectId application_id) {
+  auto data = chain_.read_object(application_id);
+  if (!data) {
+    DEBUGLET_LOG(kError, "agent")
+        << key_.to_string() << ": " << data.error_message();
+    return;
+  }
+  auto object = marketplace::ApplicationObject::parse(
+      BytesView(data->data(), data->size()));
+  if (!object) {
+    DEBUGLET_LOG(kError, "agent")
+        << key_.to_string() << ": " << object.error_message();
+    return;
+  }
+  if (!(object->executor_key == key_)) return;  // not ours
+
+  auto manifest = executor::Manifest::parse(
+      BytesView(object->payload.manifest.data(),
+                object->payload.manifest.size()));
+  if (!manifest) {
+    DEBUGLET_LOG(kError, "agent")
+        << key_.to_string() << ": manifest: " << manifest.error_message();
+    return;
+  }
+
+  executor::DebugletApp app;
+  app.application_id = application_id;
+  app.module_bytes = object->payload.bytecode;
+  app.manifest = *manifest;
+  app.parameters = object->payload.parameters;
+  app.listen_port = object->payload.listen_port;
+  app.seal_output_for = object->payload.seal_output_for;
+
+  const SimTime start =
+      std::max(object->window_start, network_.queue().now());
+  auto deployment = service_->deploy_and_schedule(
+      std::move(app), start,
+      [this, application_id](const executor::CertifiedResult& result) {
+        marketplace::ResultReadyArgs args;
+        args.application = application_id;
+        args.result = result.serialize();
+        auto receipt = chain_.submit(chain_.make_transaction(
+            operator_key_, marketplace::kContractName, "ResultReady",
+            args.serialize()));
+        if (!receipt || !receipt->success) {
+          DEBUGLET_LOG(kError, "agent")
+              << key_.to_string() << ": ResultReady failed: "
+              << (receipt ? receipt->error : receipt.error_message());
+        }
+      });
+  if (!deployment) {
+    DEBUGLET_LOG(kWarn, "agent")
+        << key_.to_string() << ": rejected application "
+        << application_id << ": " << deployment.error_message();
+  }
+}
+
+DebugletSystem::DebugletSystem(simnet::Scenario scenario, SystemConfig config,
+                               std::uint64_t seed)
+    : scenario_(std::move(scenario)), config_(config), chain_(config.chain) {
+  chain_.set_clock(
+      [queue = scenario_.queue.get()] { return queue->now(); });
+
+  auto contract = std::make_unique<marketplace::MarketplaceContract>();
+  marketplace_ = contract.get();
+  if (auto s = chain_.register_contract(std::move(contract)); !s)
+    throw std::runtime_error(s.error_message());
+
+  const auto& topo = scenario_.network->topology();
+  for (topology::AsNumber asn : topo.as_numbers()) {
+    auto key_pair = crypto::KeyPair::from_seed(seed ^ (0xA5ULL << 32) ^ asn);
+    chain_.mint(chain::Address::of(key_pair.public_key()),
+                config_.operator_funding);
+    operator_keys_.emplace(asn, key_pair);
+    for (topology::InterfaceId intf : topo.interfaces_of(asn)) {
+      const topology::InterfaceKey key{asn, intf};
+      auto agent = std::make_unique<ExecutorAgent>(chain_, *scenario_.network,
+                                                   key, key_pair, config_);
+      if (auto s = agent->bootstrap(scenario_.queue->now()); !s)
+        throw std::runtime_error("bootstrap " + key.to_string() + ": " +
+                                 s.error_message());
+      agents_.emplace(key, std::move(agent));
+    }
+  }
+}
+
+Result<ExecutorAgent*> DebugletSystem::agent(topology::InterfaceKey key) {
+  auto it = agents_.find(key);
+  if (it == agents_.end())
+    return fail("no executor at " + key.to_string());
+  return it->second.get();
+}
+
+std::vector<topology::InterfaceKey> DebugletSystem::executor_keys() const {
+  std::vector<topology::InterfaceKey> out;
+  out.reserve(agents_.size());
+  for (const auto& [key, _] : agents_) out.push_back(key);
+  return out;
+}
+
+Result<crypto::PublicKey> DebugletSystem::as_public_key(
+    topology::AsNumber asn) const {
+  auto it = operator_keys_.find(asn);
+  if (it == operator_keys_.end())
+    return fail("unknown AS" + std::to_string(asn));
+  return it->second.public_key();
+}
+
+}  // namespace debuglet::core

@@ -1,0 +1,98 @@
+// DebugletSystem: a fully wired Debuglet deployment.
+//
+// Owns the simulated network, the blockchain with the marketplace contract,
+// and one executor per AS border interface. Each AS runs an ExecutorAgent —
+// the control-plane glue the paper assigns to the deploying AS: it
+// registers its executor and time slots on-chain, subscribes to deployment
+// events keyed by its ⟨AS, intf⟩, pulls purchased applications from the
+// chain, runs them on its data-plane ExecutorService, and reports certified
+// results back through ResultReady (paper Fig. 7 lifecycle).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "chain/chain.hpp"
+#include "executor/executor.hpp"
+#include "marketplace/contract.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace debuglet::core {
+
+/// Per-system economic and scheduling defaults.
+struct SystemConfig {
+  /// Slot calendar registered by every executor at startup.
+  SimTime slot_horizon = duration::hours(48);
+  SimDuration slot_length = duration::seconds(20);
+  chain::Mist slot_price = 1'000'000;  // 0.001 SUI ≈ 0.1 cents (paper §VI-C)
+  /// Funding minted to each AS operator account at startup.
+  chain::Mist operator_funding = 2'000'000'000'000;  // 2000 SUI
+  executor::ExecutorConfig executor;
+  chain::ChainConfig chain;
+};
+
+/// One AS's control-plane agent (operator identity + event handling).
+class ExecutorAgent {
+ public:
+  ExecutorAgent(chain::Blockchain& chain, simnet::SimulatedNetwork& network,
+                topology::InterfaceKey key, crypto::KeyPair operator_key,
+                const SystemConfig& config);
+
+  /// Registers the executor and its slot calendar on-chain.
+  Status bootstrap(SimTime horizon_start);
+
+  executor::ExecutorService& service() { return *service_; }
+  const crypto::KeyPair& operator_key() const { return operator_key_; }
+  chain::Address address() const {
+    return chain::Address::of(operator_key_.public_key());
+  }
+  topology::InterfaceKey key() const { return key_; }
+
+ private:
+  void on_deployment_event(const chain::Event& event);
+  void handle_application(chain::ObjectId application_id);
+
+  chain::Blockchain& chain_;
+  simnet::SimulatedNetwork& network_;
+  topology::InterfaceKey key_;
+  crypto::KeyPair operator_key_;
+  const SystemConfig* config_;
+  std::unique_ptr<executor::ExecutorService> service_;
+  chain::SubscriptionId subscription_ = 0;
+};
+
+/// The wired system.
+class DebugletSystem {
+ public:
+  /// Takes ownership of a scenario (network + queue) and deploys executors
+  /// at every border interface of every AS, funded and registered on-chain.
+  DebugletSystem(simnet::Scenario scenario, SystemConfig config = {},
+                 std::uint64_t seed = 0x5eed);
+
+  simnet::EventQueue& queue() { return *scenario_.queue; }
+  simnet::SimulatedNetwork& network() { return *scenario_.network; }
+  chain::Blockchain& chain() { return chain_; }
+  marketplace::MarketplaceContract& marketplace() { return *marketplace_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// The agent (and executor) at a border interface.
+  Result<ExecutorAgent*> agent(topology::InterfaceKey key);
+
+  /// All executor keys, sorted.
+  std::vector<topology::InterfaceKey> executor_keys() const;
+
+  /// The AS operator public key for an AS (all interfaces of an AS share
+  /// the operator identity) — third parties verify result signatures
+  /// against this.
+  Result<crypto::PublicKey> as_public_key(topology::AsNumber asn) const;
+
+ private:
+  simnet::Scenario scenario_;
+  SystemConfig config_;
+  chain::Blockchain chain_;
+  marketplace::MarketplaceContract* marketplace_ = nullptr;  // owned by chain_
+  std::map<topology::AsNumber, crypto::KeyPair> operator_keys_;
+  std::map<topology::InterfaceKey, std::unique_ptr<ExecutorAgent>> agents_;
+};
+
+}  // namespace debuglet::core

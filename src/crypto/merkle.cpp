@@ -1,0 +1,78 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace debuglet::crypto {
+
+namespace {
+
+Digest node_hash(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x01;
+  h.update(BytesView(&prefix, 1));
+  h.update(left.view());
+  h.update(right.view());
+  return h.finalize();
+}
+
+}  // namespace
+
+Digest merkle_leaf_hash(BytesView leaf) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x00;
+  h.update(BytesView(&prefix, 1));
+  h.update(leaf);
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
+    : leaf_count_(leaves.size()) {
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves)
+    level.push_back(merkle_leaf_hash(BytesView(leaf.data(), leaf.size())));
+  if (level.empty()) level.push_back(sha256("debuglet-empty-merkle-tree"));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const auto& cur = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((cur.size() + 1) / 2);
+    for (std::size_t i = 0; i < cur.size(); i += 2) {
+      // Odd tail pairs with itself; combined with domain separation this
+      // keeps roots unique per leaf multiset.
+      const Digest& right = (i + 1 < cur.size()) ? cur[i + 1] : cur[i];
+      next.push_back(node_hash(cur[i], right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_)
+    throw std::out_of_range("MerkleTree::prove: index out of range");
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    MerkleStep step;
+    step.sibling_is_left = (pos % 2 == 1);
+    step.sibling = level[sibling < level.size() ? sibling : pos];
+    proof.steps.push_back(step);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Digest& root, BytesView leaf,
+                   const MerkleProof& proof) {
+  Digest acc = merkle_leaf_hash(leaf);
+  for (const MerkleStep& step : proof.steps) {
+    acc = step.sibling_is_left ? node_hash(step.sibling, acc)
+                               : node_hash(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace debuglet::crypto

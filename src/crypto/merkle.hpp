@@ -1,0 +1,52 @@
+// Binary Merkle trees over SHA-256.
+//
+// The chain commits each block's transactions under a Merkle root, and the
+// off-chain storage ablation (DESIGN.md A3) verifies payloads against
+// on-chain hashes via Merkle proofs.
+#pragma once
+
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace debuglet::crypto {
+
+/// One sibling step of a Merkle inclusion proof.
+struct MerkleStep {
+  Digest sibling;
+  bool sibling_is_left = false;
+};
+
+/// An inclusion proof for a leaf at a given index.
+struct MerkleProof {
+  std::size_t leaf_index = 0;
+  std::vector<MerkleStep> steps;
+};
+
+/// Immutable Merkle tree built over the hashes of the given leaves.
+/// Leaf hashing is domain-separated from node hashing (0x00 vs 0x01
+/// prefixes) to rule out second-preimage splicing.
+class MerkleTree {
+ public:
+  /// Builds the tree; an empty leaf list yields a defined sentinel root.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const Digest& root() const { return levels_.back().front(); }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Produces an inclusion proof. Precondition: index < leaf_count().
+  MerkleProof prove(std::size_t index) const;
+
+ private:
+  std::size_t leaf_count_;
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+};
+
+/// Hashes a leaf with the leaf domain prefix.
+Digest merkle_leaf_hash(BytesView leaf);
+
+/// Verifies an inclusion proof of `leaf` under `root`.
+bool merkle_verify(const Digest& root, BytesView leaf,
+                   const MerkleProof& proof);
+
+}  // namespace debuglet::crypto

@@ -1,0 +1,122 @@
+#include "crypto/schnorr.hpp"
+
+#include <stdexcept>
+
+namespace debuglet::crypto {
+
+namespace {
+
+// secp256k1 field prime: 2^256 - 2^32 - 977.
+const U256& prime() {
+  static const U256 p = *U256::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  return p;
+}
+
+// p - 1: the exponent modulus (ord(g) divides p-1, so exponent arithmetic
+// mod p-1 preserves g^x).
+const U256& prime_minus_one() {
+  static const U256 pm1 = [] {
+    bool borrow = false;
+    return sub(prime(), U256(1), &borrow);
+  }();
+  return pm1;
+}
+
+const U256& generator() {
+  static const U256 g(5);
+  return g;
+}
+
+// Maps a digest to a nonzero exponent mod (p-1).
+U256 digest_to_exponent(const Digest& d) {
+  U256 e = mod(U256::from_be_bytes(d.view()), prime_minus_one());
+  if (e.is_zero()) e = U256(1);
+  return e;
+}
+
+Digest challenge(const U256& r, const PublicKey& pk, BytesView message) {
+  Sha256 h;
+  const Bytes rb = r.to_be_bytes();
+  const Bytes yb = pk.y.to_be_bytes();
+  h.update(BytesView(rb.data(), rb.size()));
+  h.update(BytesView(yb.data(), yb.size()));
+  h.update(message);
+  return h.finalize();
+}
+
+}  // namespace
+
+const U256& group_prime() { return prime(); }
+const U256& group_generator() { return generator(); }
+
+Bytes Signature::to_bytes() const {
+  Bytes out = r.to_be_bytes();
+  const Bytes sb = s.to_be_bytes();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+Result<Signature> Signature::from_bytes(BytesView b) {
+  if (b.size() != 64) return fail("signature must be 64 bytes");
+  Signature sig;
+  sig.r = U256::from_be_bytes(b.subspan(0, 32));
+  sig.s = U256::from_be_bytes(b.subspan(32, 32));
+  return sig;
+}
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) {
+  BytesWriter w;
+  w.str("debuglet-keypair-seed");
+  w.u64(seed);
+  return from_seed_bytes(BytesView(w.bytes().data(), w.bytes().size()));
+}
+
+KeyPair KeyPair::from_seed_bytes(BytesView seed) {
+  const Digest d = sha256(seed);
+  U256 sk = digest_to_exponent(d);
+  const U256 y = pow_mod(generator(), sk, prime());
+  return KeyPair(sk, PublicKey{y});
+}
+
+Signature KeyPair::sign(BytesView message) const {
+  // Deterministic nonce: HMAC(sk, message), reduced to a nonzero exponent.
+  const Bytes sk_bytes = sk_.to_be_bytes();
+  const Digest nd =
+      hmac_sha256(BytesView(sk_bytes.data(), sk_bytes.size()), message);
+  const U256 k = digest_to_exponent(nd);
+  const U256 r = pow_mod(generator(), k, prime());
+  const U256 e = digest_to_exponent(challenge(r, pk_, message));
+  const U256 s = add_mod(k, mul_mod(e, sk_, prime_minus_one()),
+                         prime_minus_one());
+  return Signature{r, s};
+}
+
+U256 KeyPair::shared_secret(const PublicKey& peer) const {
+  return pow_mod(peer.y, sk_, prime());
+}
+
+Signature KeyPair::sign(std::string_view message) const {
+  return sign(BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                        message.size()));
+}
+
+bool verify(const PublicKey& pk, BytesView message, const Signature& sig) {
+  if (pk.y.is_zero() || pk.y >= prime()) return false;
+  if (sig.r.is_zero() || sig.r >= prime()) return false;
+  const U256 e = digest_to_exponent(challenge(sig.r, pk, message));
+  const U256 lhs = pow_mod(generator(), sig.s, prime());
+  const U256 rhs = mul_mod(sig.r, pow_mod(pk.y, e, prime()), prime());
+  return lhs == rhs;
+}
+
+bool verify(const PublicKey& pk, std::string_view message,
+            const Signature& sig) {
+  return verify(
+      pk,
+      BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                message.size()),
+      sig);
+}
+
+}  // namespace debuglet::crypto

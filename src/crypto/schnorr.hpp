@@ -1,0 +1,75 @@
+// Schnorr signatures over the multiplicative group Z_p*.
+//
+// Executors certify measurement results with these signatures (paper §IV-B:
+// "The output can then be certified by the deploying AS, allowing third
+// parties to verify the measurement results"), and chain transactions are
+// authenticated with them.
+//
+// Parameters: p is the secp256k1 field prime (a 256-bit prime), g = 5.
+// Exponents live mod (p-1); verification checks g^s == r * pk^e (mod p)
+// with the Fiat–Shamir challenge e = SHA256(r || pk || msg). Nonces are
+// deterministic (HMAC of key and message), so signing is reproducible.
+// The discrete log in Z_p* at this size is NOT production-grade security;
+// the reproduction needs the protocol shape, not deployed-grade hardness
+// (DESIGN.md §2).
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "crypto/u256.hpp"
+#include "util/result.hpp"
+
+namespace debuglet::crypto {
+
+/// Public verification key (group element, < p).
+struct PublicKey {
+  U256 y;
+  bool operator==(const PublicKey&) const = default;
+  std::string hex() const { return y.hex(); }
+  Bytes to_bytes() const { return y.to_be_bytes(); }
+};
+
+/// Signature: commitment r and response s.
+struct Signature {
+  U256 r;
+  U256 s;
+  bool operator==(const Signature&) const = default;
+
+  Bytes to_bytes() const;
+  static Result<Signature> from_bytes(BytesView b);
+};
+
+/// Secret/public key pair.
+class KeyPair {
+ public:
+  /// Derives a key pair deterministically from a seed (test/scenario use).
+  static KeyPair from_seed(std::uint64_t seed);
+
+  /// Derives a key pair from arbitrary seed bytes.
+  static KeyPair from_seed_bytes(BytesView seed);
+
+  const PublicKey& public_key() const { return pk_; }
+
+  /// Signs a message; deterministic (same key + message → same signature).
+  Signature sign(BytesView message) const;
+  Signature sign(std::string_view message) const;
+
+  /// Diffie–Hellman shared secret with a peer: peer.y ^ sk mod p. Both
+  /// sides derive the same value (used by the crypto::box sealed boxes).
+  U256 shared_secret(const PublicKey& peer) const;
+
+ private:
+  KeyPair(U256 sk, PublicKey pk) : sk_(sk), pk_(pk) {}
+  U256 sk_;
+  PublicKey pk_;
+};
+
+/// Verifies a signature against a public key and message.
+bool verify(const PublicKey& pk, BytesView message, const Signature& sig);
+bool verify(const PublicKey& pk, std::string_view message,
+            const Signature& sig);
+
+/// The group prime p and generator g (exposed for tests).
+const U256& group_prime();
+const U256& group_generator();
+
+}  // namespace debuglet::crypto

@@ -1,0 +1,57 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for chain block/transaction hashing, Merkle trees, result integrity
+// hashes, and as the hash inside HMAC and Schnorr challenges.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace debuglet::crypto {
+
+/// A 32-byte digest with value semantics and ordering (map keys, hex I/O).
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Digest&) const = default;
+
+  std::string hex() const { return to_hex(BytesView(bytes.data(), bytes.size())); }
+  BytesView view() const { return BytesView(bytes.data(), bytes.size()); }
+
+  /// First 8 bytes as a big-endian integer; convenient short identifier.
+  std::uint64_t prefix_u64() const;
+};
+
+/// Incremental SHA-256; feed any number of update() calls, then finalize().
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  void update(std::string_view s);
+
+  /// Completes the hash. The object must not be reused afterwards.
+  Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot hash of a byte span.
+Digest sha256(BytesView data);
+
+/// One-shot hash of a string's bytes.
+Digest sha256(std::string_view s);
+
+/// HMAC-SHA256 (RFC 2104).
+Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace debuglet::crypto

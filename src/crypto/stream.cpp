@@ -1,0 +1,67 @@
+#include "crypto/stream.hpp"
+
+namespace debuglet::crypto {
+
+namespace {
+
+Digest derive(BytesView key, std::string_view label) {
+  BytesWriter w;
+  w.str(label);
+  w.blob(key);
+  return sha256(BytesView(w.bytes().data(), w.bytes().size()));
+}
+
+}  // namespace
+
+Bytes stream_xor(BytesView key, std::uint64_t nonce, BytesView data) {
+  const Digest enc_key = derive(key, "debuglet-stream-enc");
+  Bytes out(data.begin(), data.end());
+  std::uint64_t block = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    BytesWriter counter;
+    counter.u64(nonce);
+    counter.u64(block);
+    const Digest keystream = hmac_sha256(
+        enc_key.view(), BytesView(counter.bytes().data(),
+                                  counter.bytes().size()));
+    for (std::size_t i = 0; i < keystream.bytes.size() && pos < out.size();
+         ++i, ++pos) {
+      out[pos] ^= keystream.bytes[i];
+    }
+    ++block;
+  }
+  return out;
+}
+
+Bytes seal(BytesView key, std::uint64_t nonce, BytesView plaintext) {
+  const Bytes ciphertext = stream_xor(key, nonce, plaintext);
+  BytesWriter w;
+  w.u64(nonce);
+  w.raw(BytesView(ciphertext.data(), ciphertext.size()));
+  const Digest mac_key = derive(key, "debuglet-stream-mac");
+  const Digest tag = hmac_sha256(
+      mac_key.view(), BytesView(w.bytes().data(), w.bytes().size()));
+  w.raw(tag.view());
+  return w.take();
+}
+
+Result<Bytes> open(BytesView key, BytesView sealed) {
+  if (sealed.size() < 8 + 32) return fail("sealed blob too short");
+  const BytesView body = sealed.subspan(0, sealed.size() - 32);
+  const BytesView tag = sealed.subspan(sealed.size() - 32);
+  const Digest mac_key = derive(key, "debuglet-stream-mac");
+  const Digest expected = hmac_sha256(mac_key.view(), body);
+  // Constant-time-ish comparison (length is fixed).
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < 32; ++i) diff |= tag[i] ^ expected.bytes[i];
+  if (diff != 0) return fail("authentication tag mismatch");
+  BytesReader r(body);
+  auto nonce = r.u64();
+  if (!nonce) return nonce.error();
+  const Bytes ciphertext = *r.raw(r.remaining());
+  return stream_xor(key, *nonce,
+                    BytesView(ciphertext.data(), ciphertext.size()));
+}
+
+}  // namespace debuglet::crypto

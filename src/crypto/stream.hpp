@@ -1,0 +1,31 @@
+// Symmetric stream cipher (PRF counter mode over HMAC-SHA256).
+//
+// Supports the paper's private-results option (§IV-C): "an initiator may
+// want to keep the results private by encrypting the results in the client
+// and server applications using a cryptographic key embedded in the
+// applications. In that case, the results are not readable by third
+// parties."
+//
+// Construction: keystream block i = HMAC-SHA256(key, nonce || i); the
+// ciphertext is plaintext XOR keystream. Encryption and decryption are the
+// same operation. An authenticated variant appends an HMAC tag over
+// (nonce || ciphertext).
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace debuglet::crypto {
+
+/// XORs `data` with the keystream derived from (key, nonce). Apply twice
+/// to decrypt. Any key/nonce lengths are accepted; independence across
+/// messages requires distinct nonces per key.
+Bytes stream_xor(BytesView key, std::uint64_t nonce, BytesView data);
+
+/// Encrypt-then-MAC: nonce || ciphertext || HMAC(key_mac, nonce || ct).
+/// The MAC key is derived from `key`, so one secret covers both.
+Bytes seal(BytesView key, std::uint64_t nonce, BytesView plaintext);
+
+/// Verifies and decrypts a seal() output. Fails on truncation or a bad tag.
+Result<Bytes> open(BytesView key, BytesView sealed);
+
+}  // namespace debuglet::crypto

@@ -1,0 +1,167 @@
+// The Debuglet executor service.
+//
+// One ExecutorService runs at each ⟨AS, interface⟩ co-located with a border
+// router (paper §IV-B "Location of Executors"). It accepts Debuglet
+// deployments (module bytes + manifest + parameters), validates and
+// admission-checks them, instantiates the DVM sandbox at the scheduled
+// time (charging the ~10 ms environment setup the paper measures in §V-B),
+// bridges the sandbox's host API onto the simulated network, enforces the
+// manifest at run time, and certifies the result with the hosting AS's key.
+//
+// Host API exposed to Debuglets (all values i64):
+//   dbg_now()                              -> sim time, ns     [clock]
+//   dbg_rand()                             -> random value     [random]
+//   dbg_param(i)                           -> deployment parameter i
+//   dbg_param_count()                      -> number of parameters
+//   dbg_local_addr()                       -> executor IPv4 as integer
+//   dbg_local_port()                       -> port assigned to deployment
+//   dbg_send(proto, addr, port, off, len)  -> 0 / <0 error     [proto cap]
+//   dbg_recv(proto, off, cap, timeout_ms)  -> len / -1 timeout [proto cap]  (async)
+//   dbg_sleep(ms)                          -> 0                             (async)
+//   dbg_last_sender()                      -> IPv4 of last dbg_recv packet
+//   dbg_last_sender_port()                 -> port of last dbg_recv packet
+//   dbg_output(off, len)                   -> 0; appends to the result
+//
+// If a Debuglet never calls dbg_output but declares the conventional
+// "output_buffer", the buffer's full contents become the result.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "crypto/schnorr.hpp"
+#include "executor/manifest.hpp"
+#include "executor/result.hpp"
+#include "simnet/hosts.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/validator.hpp"
+
+namespace debuglet::executor {
+
+/// Timing characteristics of the sandbox bridge, matching §V-B: a roughly
+/// constant environment setup time (~10 ms) and a small per-I/O boundary
+/// cost (the ~300 µs/RTT Fig. 8 attributes to Go<->WA switching).
+struct ExecutorConfig {
+  SimDuration setup_time = duration::milliseconds(10);
+  double setup_jitter_ns = 200'000.0;        // ±0.2 ms
+  SimDuration io_overhead = duration::microseconds(80);
+  double io_overhead_jitter_ns = 5'000.0;    // ±5 µs
+  std::uint32_t inbox_capacity = 256;        // queued packets per deployment
+  /// Maximum concurrently active (accepted, unfinished) deployments — the
+  /// data-plane counterpart of the slot calendar's finite resources
+  /// ("only a limited number of requests can be accommodated at each
+  /// executor", paper §IV-C). 0 = unlimited.
+  std::uint32_t max_concurrent_deployments = 16;
+  vm::ValidationLimits validation;
+  ExecutorPolicy policy;
+};
+
+/// Identifies one accepted deployment at an executor.
+using DeploymentId = std::uint64_t;
+
+/// What the initiator submits (paper: bytecode string + manifest).
+struct DebugletApp {
+  std::uint64_t application_id = 0;  // marketplace object ID
+  Bytes module_bytes;                // serialized DVM module
+  Manifest manifest;
+  std::vector<std::int64_t> parameters;  // dbg_param(i) values
+  /// Requested listen port (0 = executor assigns one). Rejected if another
+  /// active deployment already holds it.
+  std::uint16_t listen_port = 0;
+  /// When non-empty: a 32-byte public key; the executor seals the result
+  /// output for it before certification (paper §IV-C private results).
+  Bytes seal_output_for;
+};
+
+/// Terminal state of one deployment, passed to the completion callback.
+using CompletionCallback = std::function<void(const CertifiedResult&)>;
+
+/// The executor service at one border interface.
+class ExecutorService : public simnet::Host {
+ public:
+  /// Attaches to the network at the border-interface address of `key`.
+  /// `as_key` is the hosting AS's signing key.
+  ExecutorService(simnet::SimulatedNetwork& network, topology::InterfaceKey key,
+                  crypto::KeyPair as_key, ExecutorConfig config,
+                  std::uint64_t seed);
+  ~ExecutorService() override;
+
+  ExecutorService(const ExecutorService&) = delete;
+  ExecutorService& operator=(const ExecutorService&) = delete;
+
+  /// Validates the module and evaluates the manifest against policy.
+  /// On success the Debuglet is accepted and assigned a port.
+  Result<DeploymentId> deploy(DebugletApp app);
+
+  /// Schedules an accepted deployment to start at `start_time`. The
+  /// callback fires (in simulated time) when execution finishes.
+  Status schedule(DeploymentId id, SimTime start_time,
+                  CompletionCallback on_complete);
+
+  /// Convenience: deploy + schedule.
+  Result<DeploymentId> deploy_and_schedule(DebugletApp app, SimTime start_time,
+                                           CompletionCallback on_complete);
+
+  void on_packet(const simnet::Delivery& delivery) override;
+
+  topology::InterfaceKey key() const { return key_; }
+  net::Ipv4Address address() const { return address_; }
+  const crypto::PublicKey& public_key() const { return as_key_.public_key(); }
+  const ExecutorConfig& config() const { return config_; }
+
+  /// Number of deployments not yet finished.
+  std::size_t active_deployments() const;
+
+ private:
+  struct Deployment {
+    DeploymentId id = 0;
+    DebugletApp app;
+    std::uint16_t port = 0;
+    SimTime scheduled_start = 0;
+    SimTime actual_start = 0;
+    SimTime deadline = 0;
+    std::unique_ptr<vm::Instance> instance;
+    std::optional<vm::Execution> execution;
+    CompletionCallback on_complete;
+    // Runtime accounting against the manifest.
+    std::uint32_t packets_sent = 0;
+    std::uint32_t packets_received = 0;
+    Bytes output;
+    bool output_explicit = false;
+    // I/O state.
+    std::deque<net::Packet> inbox;
+    bool waiting_recv = false;
+    net::Protocol recv_protocol = net::Protocol::kUdp;
+    std::uint64_t recv_offset = 0;
+    std::uint64_t recv_capacity = 0;
+    std::uint64_t recv_token = 0;  // invalidates stale timeout events
+    net::Ipv4Address last_sender;
+    std::uint16_t last_sender_port = 0;
+    bool finished = false;
+  };
+
+  std::vector<vm::HostFunction> bind_host_api(Deployment& dep);
+  void begin_execution(DeploymentId id);
+  void pump(Deployment& dep);
+  void handle_block(Deployment& dep);
+  void finish(Deployment& dep, const vm::RunOutcome& outcome);
+  void fail_deployment(Deployment& dep, const std::string& reason);
+  bool packet_matches(const Deployment& dep, const net::Packet& packet) const;
+  void deliver_to_recv(Deployment& dep, const net::Packet& packet);
+  SimDuration io_delay();
+
+  simnet::SimulatedNetwork& network_;
+  topology::InterfaceKey key_;
+  net::Ipv4Address address_;
+  crypto::KeyPair as_key_;
+  ExecutorConfig config_;
+  Rng rng_;
+  std::map<DeploymentId, Deployment> deployments_;
+  DeploymentId next_id_ = 1;
+  std::uint16_t next_port_ = 50000;
+};
+
+}  // namespace debuglet::executor

@@ -1,0 +1,122 @@
+#include "executor/manifest.hpp"
+
+#include <algorithm>
+
+namespace debuglet::executor {
+
+std::string capability_name(Capability c) {
+  switch (c) {
+    case Capability::kUdp: return "udp";
+    case Capability::kTcp: return "tcp";
+    case Capability::kIcmp: return "icmp";
+    case Capability::kRawIp: return "rawip";
+    case Capability::kClock: return "clock";
+    case Capability::kRandom: return "random";
+  }
+  return "capability-" + std::to_string(static_cast<int>(c));
+}
+
+Capability capability_for(net::Protocol p) {
+  switch (p) {
+    case net::Protocol::kUdp: return Capability::kUdp;
+    case net::Protocol::kTcp: return Capability::kTcp;
+    case net::Protocol::kIcmp: return Capability::kIcmp;
+    case net::Protocol::kRawIp: return Capability::kRawIp;
+  }
+  return Capability::kRawIp;
+}
+
+Bytes Manifest::serialize() const {
+  BytesWriter w;
+  w.u64(cpu_fuel);
+  w.i64(max_duration);
+  w.u32(peak_memory);
+  w.u32(max_packets_sent);
+  w.u32(max_packets_received);
+  w.varint(allowed_addresses.size());
+  for (net::Ipv4Address a : allowed_addresses) w.u32(a.value);
+  w.varint(capabilities.size());
+  for (Capability c : capabilities) w.u8(static_cast<std::uint8_t>(c));
+  return w.take();
+}
+
+Result<Manifest> Manifest::parse(BytesView data) {
+  BytesReader r(data);
+  Manifest m;
+  auto fuel = r.u64();
+  if (!fuel) return fuel.error();
+  m.cpu_fuel = *fuel;
+  auto dur = r.i64();
+  if (!dur) return dur.error();
+  if (*dur < 0) return fail("manifest: negative duration");
+  m.max_duration = *dur;
+  auto mem = r.u32();
+  if (!mem) return mem.error();
+  m.peak_memory = *mem;
+  auto sent = r.u32();
+  if (!sent) return sent.error();
+  m.max_packets_sent = *sent;
+  auto recv = r.u32();
+  if (!recv) return recv.error();
+  m.max_packets_received = *recv;
+  auto addr_count = r.varint();
+  if (!addr_count) return addr_count.error();
+  if (*addr_count > 4096) return fail("manifest: too many addresses");
+  m.allowed_addresses.reserve(*addr_count);
+  for (std::uint64_t i = 0; i < *addr_count; ++i) {
+    auto a = r.u32();
+    if (!a) return a.error();
+    m.allowed_addresses.push_back(net::Ipv4Address(*a));
+  }
+  auto cap_count = r.varint();
+  if (!cap_count) return cap_count.error();
+  if (*cap_count > 16) return fail("manifest: too many capabilities");
+  for (std::uint64_t i = 0; i < *cap_count; ++i) {
+    auto c = r.u8();
+    if (!c) return c.error();
+    if (*c > static_cast<std::uint8_t>(Capability::kRandom))
+      return fail("manifest: unknown capability " + std::to_string(*c));
+    m.capabilities.insert(static_cast<Capability>(*c));
+  }
+  if (!r.exhausted()) return fail("manifest: trailing bytes");
+  return m;
+}
+
+bool Manifest::allows_address(net::Ipv4Address address) const {
+  return std::find(allowed_addresses.begin(), allowed_addresses.end(),
+                   address) != allowed_addresses.end();
+}
+
+Status evaluate_manifest(const Manifest& manifest,
+                         const ExecutorPolicy& policy) {
+  if (manifest.cpu_fuel > policy.max_cpu_fuel)
+    return fail("manifest requests " + std::to_string(manifest.cpu_fuel) +
+                " fuel, policy grants at most " +
+                std::to_string(policy.max_cpu_fuel));
+  if (manifest.max_duration > policy.max_duration)
+    return fail("manifest duration " + format_duration(manifest.max_duration) +
+                " exceeds policy limit " +
+                format_duration(policy.max_duration));
+  if (manifest.peak_memory > policy.max_memory)
+    return fail("manifest memory " + std::to_string(manifest.peak_memory) +
+                " exceeds policy limit " + std::to_string(policy.max_memory));
+  if (manifest.max_packets_sent > policy.max_packets ||
+      manifest.max_packets_received > policy.max_packets)
+    return fail("manifest packet budget exceeds policy limit " +
+                std::to_string(policy.max_packets));
+  for (Capability c : manifest.capabilities) {
+    if (!policy.grantable.contains(c))
+      return fail("capability '" + capability_name(c) +
+                  "' not grantable by this executor");
+  }
+  if (manifest.allowed_addresses.empty() &&
+      (manifest.capabilities.contains(Capability::kUdp) ||
+       manifest.capabilities.contains(Capability::kTcp) ||
+       manifest.capabilities.contains(Capability::kIcmp) ||
+       manifest.capabilities.contains(Capability::kRawIp)))
+    return fail("manifest requests network capability but lists no "
+                "contactable addresses");
+  return ok_status();
+}
+
+}  // namespace debuglet::executor

@@ -1,0 +1,69 @@
+// Debuglet manifests and executor admission policy.
+//
+// Every Debuglet ships with a manifest the remote AS evaluates before
+// execution (paper §IV-B): resource requirements (CPU, duration, memory,
+// packet counts), the addresses it wants to contact, and the capabilities
+// it needs. The executor enforces the manifest at run time too — a
+// Debuglet that exceeds its declared budget is terminated.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace debuglet::executor {
+
+/// Capabilities a Debuglet may request (per-protocol I/O plus utilities).
+enum class Capability : std::uint8_t {
+  kUdp = 0,
+  kTcp = 1,
+  kIcmp = 2,
+  kRawIp = 3,
+  kClock = 4,
+  kRandom = 5,
+};
+
+std::string capability_name(Capability c);
+
+/// The capability needed to send/receive a given protocol.
+Capability capability_for(net::Protocol p);
+
+/// Resource and authority declaration accompanying a Debuglet.
+struct Manifest {
+  std::uint64_t cpu_fuel = 1'000'000;       // VM instruction budget
+  SimDuration max_duration = duration::seconds(60);
+  std::uint32_t peak_memory = 64 * 1024;    // linear memory bytes
+  std::uint32_t max_packets_sent = 1000;
+  std::uint32_t max_packets_received = 1000;
+  std::vector<net::Ipv4Address> allowed_addresses;  // contactable peers
+  std::set<Capability> capabilities;
+
+  Bytes serialize() const;
+  static Result<Manifest> parse(BytesView data);
+
+  bool allows_address(net::Ipv4Address address) const;
+  bool operator==(const Manifest&) const = default;
+};
+
+/// The hosting AS's policy: the ceiling a manifest may request.
+struct ExecutorPolicy {
+  std::uint64_t max_cpu_fuel = 50'000'000;
+  SimDuration max_duration = duration::minutes(10);
+  std::uint32_t max_memory = 1 << 20;
+  std::uint32_t max_packets = 100'000;
+  std::set<Capability> grantable{Capability::kUdp,   Capability::kTcp,
+                                 Capability::kIcmp,  Capability::kRawIp,
+                                 Capability::kClock, Capability::kRandom};
+};
+
+/// Admission check: does the policy accept this manifest? Returns a
+/// descriptive error naming the first violated constraint.
+Status evaluate_manifest(const Manifest& manifest,
+                         const ExecutorPolicy& policy);
+
+}  // namespace debuglet::executor

@@ -1,0 +1,125 @@
+#include "executor/result.hpp"
+
+namespace debuglet::executor {
+
+Bytes ResultRecord::serialize() const {
+  BytesWriter w;
+  w.u64(application_id);
+  w.u32(executor_key.asn);
+  w.u16(executor_key.interface);
+  w.i64(scheduled_start);
+  w.i64(actual_start);
+  w.i64(end_time);
+  w.i64(exit_value);
+  w.u8(trapped ? 1 : 0);
+  w.str(trap_message);
+  w.u32(packets_sent);
+  w.u32(packets_received);
+  w.u64(fuel_used);
+  w.blob(BytesView(output.data(), output.size()));
+  return w.take();
+}
+
+Result<ResultRecord> ResultRecord::parse(BytesView data) {
+  BytesReader r(data);
+  ResultRecord rec;
+  auto id = r.u64();
+  if (!id) return id.error();
+  rec.application_id = *id;
+  auto asn = r.u32();
+  if (!asn) return asn.error();
+  auto intf = r.u16();
+  if (!intf) return intf.error();
+  rec.executor_key = topology::InterfaceKey{*asn, *intf};
+  auto sched = r.i64();
+  if (!sched) return sched.error();
+  rec.scheduled_start = *sched;
+  auto start = r.i64();
+  if (!start) return start.error();
+  rec.actual_start = *start;
+  auto end = r.i64();
+  if (!end) return end.error();
+  rec.end_time = *end;
+  auto exit_value = r.i64();
+  if (!exit_value) return exit_value.error();
+  rec.exit_value = *exit_value;
+  auto trapped = r.u8();
+  if (!trapped) return trapped.error();
+  if (*trapped > 1) return fail("result: bad trapped flag");
+  rec.trapped = *trapped == 1;
+  auto msg = r.str();
+  if (!msg) return msg.error();
+  rec.trap_message = std::move(*msg);
+  auto sent = r.u32();
+  if (!sent) return sent.error();
+  rec.packets_sent = *sent;
+  auto recv = r.u32();
+  if (!recv) return recv.error();
+  rec.packets_received = *recv;
+  auto fuel = r.u64();
+  if (!fuel) return fuel.error();
+  rec.fuel_used = *fuel;
+  auto output = r.blob();
+  if (!output) return output.error();
+  rec.output = std::move(*output);
+  if (!r.exhausted()) return fail("result: trailing bytes");
+  return rec;
+}
+
+Bytes CertifiedResult::serialize() const {
+  BytesWriter w;
+  const Bytes rec = record.serialize();
+  w.blob(BytesView(rec.data(), rec.size()));
+  const Bytes sig = signature.to_bytes();
+  w.raw(BytesView(sig.data(), sig.size()));
+  const Bytes pk = signer.to_bytes();
+  w.raw(BytesView(pk.data(), pk.size()));
+  return w.take();
+}
+
+Result<CertifiedResult> CertifiedResult::parse(BytesView data) {
+  BytesReader r(data);
+  auto rec_bytes = r.blob();
+  if (!rec_bytes) return rec_bytes.error();
+  auto record = ResultRecord::parse(BytesView(rec_bytes->data(),
+                                              rec_bytes->size()));
+  if (!record) return record.error();
+  auto sig_bytes = r.raw(64);
+  if (!sig_bytes) return sig_bytes.error();
+  auto sig = crypto::Signature::from_bytes(
+      BytesView(sig_bytes->data(), sig_bytes->size()));
+  if (!sig) return sig.error();
+  auto pk_bytes = r.raw(32);
+  if (!pk_bytes) return pk_bytes.error();
+  CertifiedResult out;
+  out.record = std::move(*record);
+  out.signature = *sig;
+  out.signer = crypto::PublicKey{
+      crypto::U256::from_be_bytes(BytesView(pk_bytes->data(),
+                                            pk_bytes->size()))};
+  if (!r.exhausted()) return fail("certified result: trailing bytes");
+  return out;
+}
+
+CertifiedResult certify(const ResultRecord& record,
+                        const crypto::KeyPair& as_key) {
+  CertifiedResult out;
+  out.record = record;
+  const Bytes serialized = record.serialize();
+  out.signature =
+      as_key.sign(BytesView(serialized.data(), serialized.size()));
+  out.signer = as_key.public_key();
+  return out;
+}
+
+bool verify_certified(const CertifiedResult& result,
+                      const crypto::PublicKey* expected_signer) {
+  if (expected_signer != nullptr && !(result.signer == *expected_signer))
+    return false;
+  const Bytes serialized = result.record.serialize();
+  return crypto::verify(result.signer,
+                        BytesView(serialized.data(), serialized.size()),
+                        result.signature);
+}
+
+}  // namespace debuglet::executor

@@ -1,0 +1,56 @@
+// Certified measurement results.
+//
+// After running a Debuglet, the executor packages the output buffer and
+// execution metadata into a ResultRecord and signs it with the hosting
+// AS's key — "the output can then be certified by the deploying AS,
+// allowing third parties to verify the measurement results" (paper §IV-B).
+#pragma once
+
+#include "crypto/schnorr.hpp"
+#include "topology/topology.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace debuglet::executor {
+
+/// Everything an execution produced, in a canonical serializable form.
+struct ResultRecord {
+  std::uint64_t application_id = 0;   // marketplace object ID
+  topology::InterfaceKey executor_key;
+  SimTime scheduled_start = 0;
+  SimTime actual_start = 0;
+  SimTime end_time = 0;
+  std::int64_t exit_value = 0;
+  bool trapped = false;
+  std::string trap_message;
+  std::uint32_t packets_sent = 0;
+  std::uint32_t packets_received = 0;
+  std::uint64_t fuel_used = 0;
+  Bytes output;
+
+  Bytes serialize() const;
+  static Result<ResultRecord> parse(BytesView data);
+  bool operator==(const ResultRecord&) const = default;
+};
+
+/// A ResultRecord plus the hosting AS's signature over its serialization.
+struct CertifiedResult {
+  ResultRecord record;
+  crypto::Signature signature;
+  crypto::PublicKey signer;
+
+  Bytes serialize() const;
+  static Result<CertifiedResult> parse(BytesView data);
+};
+
+/// Signs a record with the hosting AS's key pair.
+CertifiedResult certify(const ResultRecord& record,
+                        const crypto::KeyPair& as_key);
+
+/// Verifies the signature; if `expected_signer` is non-null the signer
+/// public key must match it (bind the result to a known AS key).
+bool verify_certified(const CertifiedResult& result,
+                      const crypto::PublicKey* expected_signer = nullptr);
+
+}  // namespace debuglet::executor

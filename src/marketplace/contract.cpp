@@ -1,0 +1,303 @@
+#include "marketplace/contract.hpp"
+
+#include <algorithm>
+
+namespace debuglet::marketplace {
+
+Result<Bytes> MarketplaceContract::call(chain::CallContext& context,
+                                        const std::string& function,
+                                        BytesView arguments) {
+  if (function == "RegisterExecutor")
+    return register_executor(context, arguments);
+  if (function == "RegisterTimeSlot")
+    return register_time_slot(context, arguments);
+  if (function == "LookupSlot") return lookup_slot(context, arguments);
+  if (function == "PurchaseSlot") return purchase_slot(context, arguments);
+  if (function == "ResultReady") return result_ready(context, arguments);
+  if (function == "ReclaimApplication")
+    return reclaim_application(context, arguments);
+  if (function == "LookupResult") return lookup_result(context, arguments);
+  return fail("unknown function '" + function + "'");
+}
+
+Result<Bytes> MarketplaceContract::register_executor(chain::CallContext& ctx,
+                                                     BytesView args) {
+  auto parsed = RegisterExecutorArgs::parse(args);
+  if (!parsed) return parsed.error();
+  auto [it, inserted] = executors_.emplace(parsed->key, ctx.sender());
+  if (!inserted) {
+    if (!(it->second == ctx.sender()))
+      return fail("executor " + parsed->key.to_string() +
+                  " already registered to a different address");
+    return Bytes{};  // idempotent re-registration
+  }
+  ctx.emit_event(kEventExecutorRegistered, parsed->key.to_string(), Bytes{});
+  return Bytes{};
+}
+
+Result<Bytes> MarketplaceContract::register_time_slot(chain::CallContext& ctx,
+                                                      BytesView args) {
+  auto parsed = RegisterTimeSlotArgs::parse(args);
+  if (!parsed) return parsed.error();
+  auto it = executors_.find(parsed->key);
+  if (it == executors_.end())
+    return fail("executor " + parsed->key.to_string() + " not registered");
+  // The paper: "first checks that the provided AS number and interface ID
+  // are, in fact, associated with the calling executor".
+  if (!(it->second == ctx.sender()))
+    return fail("caller does not own executor " + parsed->key.to_string());
+  for (const TimeSlot& slot : parsed->slots) {
+    if (slot.end <= slot.start)
+      return fail("slot with non-positive duration");
+  }
+  auto& list = slots_[parsed->key];
+  list.insert(list.end(), parsed->slots.begin(), parsed->slots.end());
+  std::sort(list.begin(), list.end(),
+            [](const TimeSlot& a, const TimeSlot& b) {
+              return a.start != b.start ? a.start < b.start : a.end < b.end;
+            });
+  // Slots must be non-overlapping per the paper's ExecutionSlotsMap.
+  for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+    if (list[i].end > list[i + 1].start)
+      return fail("overlapping time slots for " + parsed->key.to_string());
+  }
+  return Bytes{};
+}
+
+SlotQuote MarketplaceContract::quote(const LookupSlotArgs& q) const {
+  SlotQuote out;
+  auto cit = slots_.find(q.client_key);
+  auto sit = slots_.find(q.server_key);
+  if (cit == slots_.end() || sit == slots_.end()) return out;
+  // Earliest pair of slots with a nonempty common window and sufficient
+  // resources on both sides.
+  for (const TimeSlot& cs : cit->second) {
+    if (!cs.accommodates(q.cores, q.memory_bytes, q.bandwidth_bps)) continue;
+    if (cs.end <= q.earliest_start) continue;
+    for (const TimeSlot& ss : sit->second) {
+      if (!ss.accommodates(q.cores, q.memory_bytes, q.bandwidth_bps))
+        continue;
+      if (ss.end <= q.earliest_start) continue;
+      const SimTime start =
+          std::max({cs.start, ss.start, q.earliest_start});
+      const SimTime end = std::min(cs.end, ss.end);
+      if (start >= end) continue;
+      if (!out.found || start < out.window_start) {
+        out.found = true;
+        out.client_slot = cs;
+        out.server_slot = ss;
+        out.window_start = start;
+        out.window_end = end;
+        out.total_price = cs.price + ss.price;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Bytes> MarketplaceContract::lookup_slot(chain::CallContext&,
+                                               BytesView args) {
+  auto parsed = LookupSlotArgs::parse(args);
+  if (!parsed) return parsed.error();
+  return quote(*parsed).serialize();
+}
+
+Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
+                                                 BytesView args) {
+  auto parsed = PurchaseSlotArgs::parse(args);
+  if (!parsed) return parsed.error();
+  if (!executors_.contains(parsed->client_key))
+    return fail("executor " + parsed->client_key.to_string() +
+                " not registered");
+  if (!executors_.contains(parsed->server_key))
+    return fail("executor " + parsed->server_key.to_string() +
+                " not registered");
+
+  // Both slots must still be available exactly as quoted.
+  auto take_slot = [this](topology::InterfaceKey key,
+                          const TimeSlot& want) -> Status {
+    auto& list = slots_[key];
+    auto it = std::find(list.begin(), list.end(), want);
+    if (it == list.end())
+      return fail("slot not available at " + key.to_string());
+    list.erase(it);
+    return ok_status();
+  };
+  // Validate availability before consuming either (no partial purchase).
+  {
+    const auto& clist = slots_[parsed->client_key];
+    const auto& slist = slots_[parsed->server_key];
+    if (std::find(clist.begin(), clist.end(), parsed->client_slot) ==
+        clist.end())
+      return fail("client slot not available at " +
+                  parsed->client_key.to_string());
+    if (std::find(slist.begin(), slist.end(), parsed->server_slot) ==
+        slist.end())
+      return fail("server slot not available at " +
+                  parsed->server_key.to_string());
+  }
+
+  // The paper: "first verifies that the embedded tokens suffice for the
+  // specified execution slots".
+  const chain::Mist price =
+      parsed->client_slot.price + parsed->server_slot.price;
+  if (ctx.attached_tokens() < price)
+    return fail("attached tokens " + std::to_string(ctx.attached_tokens()) +
+                " below slot price " + std::to_string(price));
+
+  const SimTime window_start =
+      std::max(parsed->client_slot.start, parsed->server_slot.start);
+  const SimTime window_end =
+      std::min(parsed->client_slot.end, parsed->server_slot.end);
+  if (window_start >= window_end)
+    return fail("slots share no common time window");
+
+  if (auto s = take_slot(parsed->client_key, parsed->client_slot); !s)
+    return s.error();
+  if (auto s = take_slot(parsed->server_key, parsed->server_slot); !s)
+    return s.error();
+
+  // Create the two application objects with the tokens embedded.
+  auto make_app = [&](topology::InterfaceKey key, std::uint8_t role,
+                      const ApplicationPayload& payload,
+                      chain::Mist tokens) -> Result<chain::ObjectId> {
+    ApplicationObject obj;
+    obj.executor_key = key;
+    obj.role = role;
+    obj.window_start = window_start;
+    obj.window_end = window_end;
+    obj.embedded_tokens = tokens;
+    obj.payload = payload;
+    auto id = ctx.create_object(obj.serialize());
+    if (!id) return id;
+    pending_[*id] = PendingApplication{key, tokens, false};
+    return id;
+  };
+
+  auto client_id = make_app(parsed->client_key, 0, parsed->client_app,
+                            parsed->client_slot.price);
+  if (!client_id) return client_id.error();
+  auto server_id = make_app(parsed->server_key, 1, parsed->server_app,
+                            parsed->server_slot.price);
+  if (!server_id) return server_id.error();
+
+  // Refund any excess attached tokens to the initiator.
+  if (ctx.attached_tokens() > price) {
+    if (auto s = ctx.pay_from_escrow(ctx.sender(),
+                                     ctx.attached_tokens() - price);
+        !s)
+      return s.error();
+  }
+
+  MeasurementKey mk{parsed->client_key, parsed->server_key, window_start,
+                    window_end};
+  applications_[mk].push_back(*client_id);
+  applications_[mk].push_back(*server_id);
+
+  // Notify the executors, which "must have subscribed to the event with
+  // arguments containing their AS number and interface ID".
+  BytesWriter cw;
+  cw.u64(*client_id);
+  ctx.emit_event(kEventDebugletDeployed, parsed->client_key.to_string(),
+                 cw.take());
+  BytesWriter sw;
+  sw.u64(*server_id);
+  ctx.emit_event(kEventDebugletDeployed, parsed->server_key.to_string(),
+                 sw.take());
+
+  PurchaseReceipt receipt;
+  receipt.client_application = *client_id;
+  receipt.server_application = *server_id;
+  receipt.window_start = window_start;
+  receipt.window_end = window_end;
+  return receipt.serialize();
+}
+
+Result<Bytes> MarketplaceContract::result_ready(chain::CallContext& ctx,
+                                                BytesView args) {
+  auto parsed = ResultReadyArgs::parse(args);
+  if (!parsed) return parsed.error();
+  auto it = pending_.find(parsed->application);
+  if (it == pending_.end())
+    return fail("no pending application " +
+                std::to_string(parsed->application));
+  PendingApplication& pending = it->second;
+  if (pending.reported)
+    return fail("result already reported for application " +
+                std::to_string(parsed->application));
+  auto exec_it = executors_.find(pending.executor_key);
+  if (exec_it == executors_.end() || !(exec_it->second == ctx.sender()))
+    return fail("caller is not the executor assigned to application " +
+                std::to_string(parsed->application));
+
+  // Pay the embedded tokens out to the executor.
+  if (auto s = ctx.pay_from_escrow(ctx.sender(), pending.embedded_tokens); !s)
+    return s.error();
+  pending.reported = true;
+
+  ResultEntry entry;
+  entry.found = true;
+  entry.reported_at = ctx.timestamp();
+  entry.result = parsed->result;
+  auto object_id = ctx.create_object(parsed->result);
+  if (!object_id) return object_id.error();
+  entry.result_object = *object_id;
+  results_[parsed->application] = entry;
+
+  BytesWriter w;
+  w.u64(entry.result_object);
+  ctx.emit_event(kEventResultReady, std::to_string(parsed->application),
+                 w.take());
+  return Bytes{};
+}
+
+Result<Bytes> MarketplaceContract::reclaim_application(
+    chain::CallContext& ctx, BytesView args) {
+  auto parsed = ReclaimApplicationArgs::parse(args);
+  if (!parsed) return parsed.error();
+  auto it = pending_.find(parsed->application);
+  if (it == pending_.end())
+    return fail("no application " + std::to_string(parsed->application));
+  // Only after the result exists: freeing the bytecode earlier would leave
+  // the executor unable to fetch it.
+  if (!it->second.reported)
+    return fail("application " + std::to_string(parsed->application) +
+                " has no reported result yet");
+  auto owner = ctx.object_owner(parsed->application);
+  if (!owner) return owner.error();
+  if (!(*owner == ctx.sender()))
+    return fail("only the purchasing initiator may reclaim application " +
+                std::to_string(parsed->application));
+  // delete_object credits the storage rebate to the owner (the initiator).
+  if (auto s = ctx.delete_object(parsed->application); !s) return s.error();
+  pending_.erase(it);
+  return Bytes{};
+}
+
+Result<Bytes> MarketplaceContract::lookup_result(chain::CallContext&,
+                                                 BytesView args) {
+  auto parsed = LookupResultArgs::parse(args);
+  if (!parsed) return parsed.error();
+  auto it = results_.find(parsed->application);
+  if (it == results_.end()) return ResultEntry{}.serialize();
+  return it->second.serialize();
+}
+
+std::vector<TimeSlot> MarketplaceContract::available_slots(
+    topology::InterfaceKey key) const {
+  auto it = slots_.find(key);
+  return it == slots_.end() ? std::vector<TimeSlot>{} : it->second;
+}
+
+std::vector<chain::ObjectId> MarketplaceContract::applications_for(
+    topology::InterfaceKey client_key, topology::InterfaceKey server_key)
+    const {
+  std::vector<chain::ObjectId> out;
+  for (const auto& [mk, ids] : applications_) {
+    if (mk.client == client_key && mk.server == server_key)
+      out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
+}
+
+}  // namespace debuglet::marketplace

@@ -1,0 +1,69 @@
+// The Debuglet marketplace smart contract (paper §IV-C).
+//
+// State (names follow the paper):
+//   ExecutorAddressMap : ⟨AS, intf⟩ -> node address of the executor
+//   ExecutionSlotsMap  : ⟨AS, intf⟩ -> sorted available time slots
+//   ApplicationsMap    : ⟨ASc,intfc,ASs,intfs,t⟩ -> application object IDs
+//   ResultsMap         : application object ID -> result entry
+//
+// Entry points: RegisterExecutor, RegisterTimeSlot, LookupSlot,
+// PurchaseSlot, ResultReady, LookupResult. PurchaseSlot escrows the
+// attached tokens inside the created application objects; ResultReady pays
+// them out to the reporting executor and emits an event for the initiator.
+#pragma once
+
+#include <map>
+
+#include "marketplace/types.hpp"
+
+namespace debuglet::marketplace {
+
+inline constexpr const char* kContractName = "debuglet_marketplace";
+
+class MarketplaceContract : public chain::Contract {
+ public:
+  std::string name() const override { return kContractName; }
+
+  Result<Bytes> call(chain::CallContext& context, const std::string& function,
+                     BytesView arguments) override;
+
+  // Inspection helpers used by tests and reports (not contract entry
+  // points; reads only).
+  std::size_t registered_executors() const { return executors_.size(); }
+  std::vector<TimeSlot> available_slots(topology::InterfaceKey key) const;
+  std::vector<chain::ObjectId> applications_for(
+      topology::InterfaceKey client_key, topology::InterfaceKey server_key)
+      const;
+
+ private:
+  struct MeasurementKey {
+    topology::InterfaceKey client;
+    topology::InterfaceKey server;
+    SimTime window_start = 0;
+    SimTime window_end = 0;
+    auto operator<=>(const MeasurementKey&) const = default;
+  };
+  struct PendingApplication {
+    topology::InterfaceKey executor_key;
+    chain::Mist embedded_tokens = 0;
+    bool reported = false;
+  };
+
+  Result<Bytes> register_executor(chain::CallContext& ctx, BytesView args);
+  Result<Bytes> register_time_slot(chain::CallContext& ctx, BytesView args);
+  Result<Bytes> lookup_slot(chain::CallContext& ctx, BytesView args);
+  Result<Bytes> purchase_slot(chain::CallContext& ctx, BytesView args);
+  Result<Bytes> result_ready(chain::CallContext& ctx, BytesView args);
+  Result<Bytes> reclaim_application(chain::CallContext& ctx, BytesView args);
+  Result<Bytes> lookup_result(chain::CallContext& ctx, BytesView args);
+
+  SlotQuote quote(const LookupSlotArgs& query) const;
+
+  std::map<topology::InterfaceKey, chain::Address> executors_;
+  std::map<topology::InterfaceKey, std::vector<TimeSlot>> slots_;
+  std::map<MeasurementKey, std::vector<chain::ObjectId>> applications_;
+  std::map<chain::ObjectId, PendingApplication> pending_;
+  std::map<chain::ObjectId, ResultEntry> results_;
+};
+
+}  // namespace debuglet::marketplace

@@ -1,0 +1,52 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace debuglet::net {
+
+std::string protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return "UDP";
+    case Protocol::kTcp: return "TCP";
+    case Protocol::kIcmp: return "ICMP";
+    case Protocol::kRawIp: return "RawIP";
+  }
+  return "proto-" + std::to_string(static_cast<int>(p));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+Result<Ipv4Address> Ipv4Address::parse(std::string_view dotted) {
+  std::uint32_t out = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (pos >= dotted.size() || dotted[pos] != '.')
+        return fail("invalid IPv4 address: " + std::string(dotted));
+      ++pos;
+    }
+    unsigned value = 0;
+    const char* begin = dotted.data() + pos;
+    const char* end = dotted.data() + dotted.size();
+    auto [next, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || value > 255 || next == begin)
+      return fail("invalid IPv4 address: " + std::string(dotted));
+    out = (out << 8) | value;
+    pos += static_cast<std::size_t>(next - begin);
+  }
+  if (pos != dotted.size())
+    return fail("invalid IPv4 address: " + std::string(dotted));
+  return Ipv4Address(out);
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace debuglet::net

@@ -1,0 +1,56 @@
+// Network addresses and the probe-protocol taxonomy from the paper (§II):
+// UDP, TCP (no flags, random sequence numbers), ICMP echo, and custom raw
+// IP with the unassigned protocol number 201.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace debuglet::net {
+
+/// The four probe protocols the paper measures, plus their IP numbers.
+enum class Protocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kRawIp = 201,  // unassigned IP protocol number used by the paper
+};
+
+/// Human-readable protocol name ("UDP", "TCP", "ICMP", "RawIP").
+std::string protocol_name(Protocol p);
+
+/// All four probe protocols, in the paper's round-robin order.
+inline constexpr Protocol kAllProtocols[] = {Protocol::kUdp, Protocol::kTcp,
+                                             Protocol::kIcmp,
+                                             Protocol::kRawIp};
+
+/// IPv4 address with value semantics.
+struct Ipv4Address {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t v) : value(v) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value(static_cast<std::uint32_t>(a) << 24 |
+              static_cast<std::uint32_t>(b) << 16 |
+              static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+  std::string to_string() const;
+  static Result<Ipv4Address> parse(std::string_view dotted);
+};
+
+/// Transport endpoint (address + port; port is 0 for ICMP / raw IP).
+struct Endpoint {
+  Ipv4Address address;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace debuglet::net

@@ -1,0 +1,376 @@
+#include "net/packet.hpp"
+
+#include <cstring>
+
+namespace debuglet::net {
+
+namespace {
+
+void put_u16_be(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32_be(Bytes& out, std::uint32_t v) {
+  put_u16_be(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16_be(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get_u16_be(BytesView v, std::size_t off) {
+  return static_cast<std::uint16_t>(v[off] << 8 | v[off + 1]);
+}
+
+std::uint32_t get_u32_be(BytesView v, std::size_t off) {
+  return static_cast<std::uint32_t>(v[off]) << 24 |
+         static_cast<std::uint32_t>(v[off + 1]) << 16 |
+         static_cast<std::uint32_t>(v[off + 2]) << 8 | v[off + 3];
+}
+
+// Pseudo-header checksum seed for UDP/TCP (RFC 768 / RFC 9293).
+Bytes pseudo_header(const Ipv4Header& ip, std::uint8_t protocol,
+                    std::uint16_t transport_length) {
+  Bytes ph;
+  ph.reserve(12);
+  put_u32_be(ph, ip.source.value);
+  put_u32_be(ph, ip.destination.value);
+  ph.push_back(0);
+  ph.push_back(protocol);
+  put_u16_be(ph, transport_length);
+  return ph;
+}
+
+std::uint16_t checksum_with_pseudo(const Ipv4Header& ip, std::uint8_t protocol,
+                                   BytesView transport) {
+  Bytes all = pseudo_header(ip, protocol,
+                            static_cast<std::uint16_t>(transport.size()));
+  all.insert(all.end(), transport.begin(), transport.end());
+  return internet_checksum(BytesView(all.data(), all.size()));
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += static_cast<std::uint32_t>(data[i] << 8 | data[i + 1]);
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes Ipv4Header::serialize() const {
+  Bytes out;
+  out.reserve(kSize);
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(dscp << 2);
+  put_u16_be(out, total_length);
+  put_u16_be(out, identification);
+  put_u16_be(out, 0x4000);  // flags: DF, fragment offset 0
+  out.push_back(ttl);
+  out.push_back(protocol);
+  put_u16_be(out, 0);  // checksum placeholder
+  put_u32_be(out, source.value);
+  put_u32_be(out, destination.value);
+  const std::uint16_t sum = internet_checksum(BytesView(out.data(), out.size()));
+  out[10] = static_cast<std::uint8_t>(sum >> 8);
+  out[11] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
+Result<Ipv4Header> Ipv4Header::parse(BytesView data) {
+  if (data.size() < kSize) return fail("IPv4 header truncated");
+  if ((data[0] >> 4) != 4) return fail("not an IPv4 packet");
+  if ((data[0] & 0x0F) != 5) return fail("IPv4 options unsupported");
+  if (internet_checksum(data.subspan(0, kSize)) != 0)
+    return fail("IPv4 header checksum mismatch");
+  Ipv4Header h;
+  h.dscp = data[1] >> 2;
+  h.total_length = get_u16_be(data, 2);
+  h.identification = get_u16_be(data, 4);
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.source = Ipv4Address(get_u32_be(data, 12));
+  h.destination = Ipv4Address(get_u32_be(data, 16));
+  if (h.total_length < kSize || h.total_length > data.size())
+    return fail("IPv4 total length inconsistent with frame");
+  return h;
+}
+
+Bytes UdpHeader::serialize(const Ipv4Header& ip, BytesView payload) const {
+  Bytes out;
+  out.reserve(kSize + payload.size());
+  put_u16_be(out, source_port);
+  put_u16_be(out, destination_port);
+  put_u16_be(out, static_cast<std::uint16_t>(kSize + payload.size()));
+  put_u16_be(out, 0);  // checksum placeholder
+  out.insert(out.end(), payload.begin(), payload.end());
+  std::uint16_t sum = checksum_with_pseudo(
+      ip, static_cast<std::uint8_t>(Protocol::kUdp),
+      BytesView(out.data(), out.size()));
+  if (sum == 0) sum = 0xFFFF;  // RFC 768: transmitted zero means "no checksum"
+  out[6] = static_cast<std::uint8_t>(sum >> 8);
+  out[7] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
+Result<UdpHeader> UdpHeader::parse(BytesView data) {
+  if (data.size() < kSize) return fail("UDP header truncated");
+  UdpHeader h;
+  h.source_port = get_u16_be(data, 0);
+  h.destination_port = get_u16_be(data, 2);
+  h.length = get_u16_be(data, 4);
+  if (h.length < kSize || h.length > data.size())
+    return fail("UDP length inconsistent");
+  return h;
+}
+
+Bytes TcpHeader::serialize(const Ipv4Header& ip, BytesView payload) const {
+  Bytes out;
+  out.reserve(kSize + payload.size());
+  put_u16_be(out, source_port);
+  put_u16_be(out, destination_port);
+  put_u32_be(out, sequence);
+  put_u32_be(out, acknowledgment);
+  out.push_back(0x50);  // data offset 5 words
+  out.push_back(flags);
+  put_u16_be(out, window);
+  put_u16_be(out, 0);  // checksum placeholder
+  put_u16_be(out, 0);  // urgent pointer
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t sum = checksum_with_pseudo(
+      ip, static_cast<std::uint8_t>(Protocol::kTcp),
+      BytesView(out.data(), out.size()));
+  out[16] = static_cast<std::uint8_t>(sum >> 8);
+  out[17] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
+Result<TcpHeader> TcpHeader::parse(BytesView data) {
+  if (data.size() < kSize) return fail("TCP header truncated");
+  if ((data[12] >> 4) != 5) return fail("TCP options unsupported");
+  TcpHeader h;
+  h.source_port = get_u16_be(data, 0);
+  h.destination_port = get_u16_be(data, 2);
+  h.sequence = get_u32_be(data, 4);
+  h.acknowledgment = get_u32_be(data, 8);
+  h.flags = data[13];
+  h.window = get_u16_be(data, 14);
+  return h;
+}
+
+Bytes IcmpEchoHeader::serialize(BytesView payload) const {
+  Bytes out;
+  out.reserve(kSize + payload.size());
+  out.push_back(type);
+  out.push_back(0);  // code
+  put_u16_be(out, 0);  // checksum placeholder
+  put_u16_be(out, identifier);
+  put_u16_be(out, sequence);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint16_t sum = internet_checksum(BytesView(out.data(), out.size()));
+  out[2] = static_cast<std::uint8_t>(sum >> 8);
+  out[3] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
+Result<IcmpEchoHeader> IcmpEchoHeader::parse(BytesView data) {
+  if (data.size() < kSize) return fail("ICMP header truncated");
+  if (internet_checksum(data) != 0) return fail("ICMP checksum mismatch");
+  if (data[0] != kIcmpEchoRequest && data[0] != kIcmpEchoReply &&
+      data[0] != kIcmpTimeExceeded)
+    return fail("unsupported ICMP type " + std::to_string(data[0]));
+  IcmpEchoHeader h;
+  h.type = data[0];
+  h.identifier = get_u16_be(data, 4);
+  h.sequence = get_u16_be(data, 6);
+  return h;
+}
+
+std::size_t transport_header_size(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return UdpHeader::kSize;
+    case Protocol::kTcp: return TcpHeader::kSize;
+    case Protocol::kIcmp: return IcmpEchoHeader::kSize;
+    case Protocol::kRawIp: return 0;
+  }
+  return 0;
+}
+
+Result<Bytes> build_probe(const ProbeSpec& spec) {
+  const std::size_t header_overhead =
+      Ipv4Header::kSize + transport_header_size(spec.protocol);
+  Bytes payload = spec.payload;
+  if (spec.equalized_length != 0) {
+    const std::size_t minimum = header_overhead + payload.size();
+    if (spec.equalized_length < minimum)
+      return fail("equalized length " + std::to_string(spec.equalized_length) +
+                  " smaller than headers+payload " + std::to_string(minimum));
+    payload.resize(spec.equalized_length - header_overhead, 0);
+  }
+  const std::size_t total = header_overhead + payload.size();
+  if (total > 65535) return fail("packet exceeds 65535 bytes");
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(total);
+  ip.identification = spec.sequence;
+  ip.ttl = spec.ttl;
+  ip.protocol = static_cast<std::uint8_t>(spec.protocol);
+  ip.source = spec.source;
+  ip.destination = spec.destination;
+
+  Bytes transport;
+  const BytesView payload_view(payload.data(), payload.size());
+  switch (spec.protocol) {
+    case Protocol::kUdp: {
+      UdpHeader udp;
+      udp.source_port = spec.source_port;
+      udp.destination_port = spec.destination_port;
+      transport = udp.serialize(ip, payload_view);
+      break;
+    }
+    case Protocol::kTcp: {
+      TcpHeader tcp;
+      tcp.source_port = spec.source_port;
+      tcp.destination_port = spec.destination_port;
+      tcp.sequence = spec.tcp_sequence;
+      tcp.flags = 0;  // no control flags, per the paper's probe design
+      transport = tcp.serialize(ip, payload_view);
+      break;
+    }
+    case Protocol::kIcmp: {
+      // ICMP has no transport ports; Debuglet convention reuses the echo
+      // header's 16-bit fields as (identifier, sequence) =
+      // (destination port, source port), so executor demultiplexing is
+      // uniform across protocols. The probe sequence number rides in the
+      // IP identification field (echoed back by build_echo_reply).
+      IcmpEchoHeader icmp;
+      icmp.type = 8;
+      icmp.identifier = spec.destination_port;
+      icmp.sequence = spec.source_port;
+      transport = icmp.serialize(payload_view);
+      break;
+    }
+    case Protocol::kRawIp: {
+      transport.assign(payload.begin(), payload.end());
+      break;
+    }
+  }
+
+  Bytes wire = ip.serialize();
+  wire.insert(wire.end(), transport.begin(), transport.end());
+  return wire;
+}
+
+Result<Bytes> build_time_exceeded(const Packet& expired,
+                                  Ipv4Address router_address) {
+  Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(Protocol::kIcmp);
+  ip.source = router_address;
+  ip.destination = expired.ip.source;
+  ip.identification = expired.ip.identification;
+
+  IcmpEchoHeader icmp;
+  icmp.type = kIcmpTimeExceeded;
+  icmp.identifier = 0;
+  icmp.sequence = 0;
+  BytesWriter payload;
+  payload.u64(expired.ip.identification);
+  const Bytes transport = icmp.serialize(
+      BytesView(payload.bytes().data(), payload.bytes().size()));
+  ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + transport.size());
+  Bytes wire = ip.serialize();
+  wire.insert(wire.end(), transport.begin(), transport.end());
+  return wire;
+}
+
+Result<Packet> parse_packet(BytesView wire) {
+  auto ip = Ipv4Header::parse(wire);
+  if (!ip) return ip.error();
+  Packet pkt;
+  pkt.ip = *ip;
+  const BytesView rest = wire.subspan(Ipv4Header::kSize,
+                                      ip->total_length - Ipv4Header::kSize);
+  switch (ip->protocol) {
+    case static_cast<std::uint8_t>(Protocol::kUdp): {
+      pkt.protocol = Protocol::kUdp;
+      auto udp = UdpHeader::parse(rest);
+      if (!udp) return udp.error();
+      pkt.udp = *udp;
+      pkt.payload.assign(rest.begin() + UdpHeader::kSize, rest.end());
+      break;
+    }
+    case static_cast<std::uint8_t>(Protocol::kTcp): {
+      pkt.protocol = Protocol::kTcp;
+      auto tcp = TcpHeader::parse(rest);
+      if (!tcp) return tcp.error();
+      pkt.tcp = *tcp;
+      pkt.payload.assign(rest.begin() + TcpHeader::kSize, rest.end());
+      break;
+    }
+    case static_cast<std::uint8_t>(Protocol::kIcmp): {
+      pkt.protocol = Protocol::kIcmp;
+      auto icmp = IcmpEchoHeader::parse(rest);
+      if (!icmp) return icmp.error();
+      pkt.icmp = *icmp;
+      pkt.payload.assign(rest.begin() + IcmpEchoHeader::kSize, rest.end());
+      break;
+    }
+    case static_cast<std::uint8_t>(Protocol::kRawIp): {
+      pkt.protocol = Protocol::kRawIp;
+      pkt.payload.assign(rest.begin(), rest.end());
+      break;
+    }
+    default:
+      return fail("unsupported IP protocol " + std::to_string(ip->protocol));
+  }
+  return pkt;
+}
+
+Result<Bytes> build_echo_reply(const Packet& request) {
+  ProbeSpec spec;
+  spec.protocol = request.protocol;
+  spec.source = request.ip.destination;
+  spec.destination = request.ip.source;
+  spec.payload = request.payload;
+  spec.sequence = request.ip.identification;
+  switch (request.protocol) {
+    case Protocol::kUdp:
+      if (!request.udp) return fail("echo reply: missing UDP header");
+      spec.source_port = request.udp->destination_port;
+      spec.destination_port = request.udp->source_port;
+      break;
+    case Protocol::kTcp:
+      if (!request.tcp) return fail("echo reply: missing TCP header");
+      spec.source_port = request.tcp->destination_port;
+      spec.destination_port = request.tcp->source_port;
+      spec.tcp_sequence = request.tcp->acknowledgment;
+      break;
+    case Protocol::kIcmp:
+      if (!request.icmp) return fail("echo reply: missing ICMP header");
+      // Swap the (dst, src) port pair encoded in (identifier, sequence).
+      spec.source_port = request.icmp->identifier;
+      spec.destination_port = request.icmp->sequence;
+      break;
+    case Protocol::kRawIp:
+      break;
+  }
+  auto wire = build_probe(spec);
+  if (!wire) return wire;
+  if (request.protocol == Protocol::kIcmp) {
+    // Flip type to echo reply (0) and fix the ICMP checksum in place.
+    Bytes& w = *wire;
+    const std::size_t icmp_off = Ipv4Header::kSize;
+    w[icmp_off] = 0;
+    w[icmp_off + 2] = 0;
+    w[icmp_off + 3] = 0;
+    const std::uint16_t sum = internet_checksum(
+        BytesView(w.data() + icmp_off, w.size() - icmp_off));
+    w[icmp_off + 2] = static_cast<std::uint8_t>(sum >> 8);
+    w[icmp_off + 3] = static_cast<std::uint8_t>(sum);
+  }
+  return wire;
+}
+
+}  // namespace debuglet::net

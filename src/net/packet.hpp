@@ -1,0 +1,135 @@
+// Layer-3/4 packet construction and parsing.
+//
+// The paper's probes must be byte-for-byte realistic so forwarding devices
+// treat them like data packets: we build real IPv4 frames with UDP, TCP
+// (random sequence number, no flags), ICMP echo, or raw-IP (protocol 201)
+// payloads, equalized to the same total layer-3 length across protocols
+// (paper §II "Experiment Setup").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace debuglet::net {
+
+/// RFC 1071 Internet checksum over a byte span.
+std::uint16_t internet_checksum(BytesView data);
+
+/// IPv4 header (no options; IHL = 5).
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;      // raw IP protocol number
+  Ipv4Address source;
+  Ipv4Address destination;
+
+  static constexpr std::size_t kSize = 20;
+
+  /// Serializes with a correct header checksum.
+  Bytes serialize() const;
+
+  /// Parses and validates version, IHL, length, and checksum.
+  static Result<Ipv4Header> parse(BytesView data);
+};
+
+/// UDP header.
+struct UdpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static constexpr std::size_t kSize = 8;
+  Bytes serialize(const Ipv4Header& ip, BytesView payload) const;
+  static Result<UdpHeader> parse(BytesView data);
+};
+
+/// TCP header (20 bytes, no options). Probe packets carry a random
+/// sequence number and no control flags, per the paper.
+struct TcpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t acknowledgment = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+
+  static constexpr std::size_t kSize = 20;
+  Bytes serialize(const Ipv4Header& ip, BytesView payload) const;
+  static Result<TcpHeader> parse(BytesView data);
+};
+
+/// ICMP header for the message types the simulator carries: echo request
+/// (8), echo reply (0), and time exceeded (11, sent by routers when a TTL
+/// expires — the mechanism traceroute depends on).
+struct IcmpEchoHeader {
+  std::uint8_t type = 8;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  static constexpr std::size_t kSize = 8;
+  Bytes serialize(BytesView payload) const;
+  static Result<IcmpEchoHeader> parse(BytesView data);
+};
+
+inline constexpr std::uint8_t kIcmpEchoRequest = 8;
+inline constexpr std::uint8_t kIcmpEchoReply = 0;
+inline constexpr std::uint8_t kIcmpTimeExceeded = 11;
+
+/// A fully decoded probe packet.
+struct Packet {
+  Ipv4Header ip;
+  Protocol protocol = Protocol::kUdp;
+  // Transport fields, populated per protocol.
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  std::optional<IcmpEchoHeader> icmp;
+  Bytes payload;  // application payload (after any transport header)
+
+  /// Total layer-3 length in bytes.
+  std::size_t wire_size() const { return ip.total_length; }
+};
+
+/// Parameters for building one probe packet.
+struct ProbeSpec {
+  Protocol protocol = Protocol::kUdp;
+  Ipv4Address source;
+  Ipv4Address destination;
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t sequence = 0;       // probe sequence number
+  std::uint32_t tcp_sequence = 0;   // random ISN for TCP probes
+  std::uint8_t ttl = 64;            // small values enable traceroute probes
+  Bytes payload;                    // application payload
+  /// Target total layer-3 length; the builder pads the payload so all four
+  /// protocols produce identical lengths. 0 = no equalization.
+  std::uint16_t equalized_length = 0;
+};
+
+/// Builds the on-wire bytes for a probe. Fails if the equalized length is
+/// too small for headers + payload or exceeds 65535.
+Result<Bytes> build_probe(const ProbeSpec& spec);
+
+/// Parses on-wire bytes into a Packet (validating all checksums).
+Result<Packet> parse_packet(BytesView wire);
+
+/// Builds the reply a Debuglet echo server sends for `request`: source and
+/// destination swapped, ICMP type flipped to reply, payload echoed.
+Result<Bytes> build_echo_reply(const Packet& request);
+
+/// Builds the ICMP time-exceeded message a router at `router_address`
+/// sends to the source of an expired packet. The reply's IP identification
+/// echoes the expired packet's, and its 8-byte payload carries the same
+/// value so probers can match probes without transport state.
+Result<Bytes> build_time_exceeded(const Packet& expired,
+                                  Ipv4Address router_address);
+
+/// Transport-header overhead for a protocol (0 for raw IP).
+std::size_t transport_header_size(Protocol p);
+
+}  // namespace debuglet::net

@@ -1,0 +1,42 @@
+#include "simnet/event_queue.hpp"
+
+#include <utility>
+
+namespace debuglet::simnet {
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) at = now_;
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(SimDuration delay, Callback fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+std::size_t EventQueue::run() {
+  std::size_t processed = 0;
+  while (!events_.empty()) {
+    // Copy out before pop so the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t EventQueue::run_until(SimTime deadline) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace debuglet::simnet

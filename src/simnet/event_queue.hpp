@@ -1,0 +1,58 @@
+// Discrete-event simulation engine.
+//
+// A single global virtual clock with a priority queue of callbacks. Events
+// scheduled for equal times fire in scheduling order (stable sequence
+// numbers), which keeps every scenario bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace debuglet::simnet {
+
+/// The simulation clock and event dispatcher.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  void schedule_at(SimTime at, Callback fn);
+
+  /// Schedules `fn` after `delay` from now.
+  void schedule_after(SimDuration delay, Callback fn);
+
+  /// Runs events until the queue empties. Returns events processed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; the clock ends at `deadline` even
+  /// if the queue drained earlier. Returns events processed.
+  std::size_t run_until(SimTime deadline);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace debuglet::simnet

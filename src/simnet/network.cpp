@@ -1,0 +1,335 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace debuglet::simnet {
+
+namespace {
+
+net::Protocol protocol_of(const net::Packet& p) { return p.protocol; }
+
+}  // namespace
+
+std::uint64_t flow_hash_of(const net::Packet& packet) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the 5-tuple
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(packet.ip.source.value);
+  mix(packet.ip.destination.value);
+  mix(packet.ip.protocol);
+  std::uint16_t sport = 0, dport = 0;
+  if (packet.udp) {
+    sport = packet.udp->source_port;
+    dport = packet.udp->destination_port;
+  } else if (packet.tcp) {
+    sport = packet.tcp->source_port;
+    dport = packet.tcp->destination_port;
+  }
+  mix(static_cast<std::uint64_t>(sport) << 16 | dport);
+  return h;
+}
+
+SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
+                                   topology::Topology topology,
+                                   std::uint64_t seed)
+    : queue_(queue), topology_(std::move(topology)), rng_(seed) {}
+
+Status SimulatedNetwork::configure_link(topology::InterfaceKey from,
+                                        topology::InterfaceKey to,
+                                        LinkConfig config) {
+  auto remote = topology_.remote_of(from);
+  if (!remote) return remote.error();
+  if (*remote != to)
+    return fail("link " + from.to_string() + " does not reach " +
+                to.to_string());
+  links_[{from, to}] =
+      std::make_unique<LinkModel>(std::move(config), rng_.fork(
+          (static_cast<std::uint64_t>(from.asn) << 32) ^
+          (static_cast<std::uint64_t>(from.interface) << 16) ^ to.asn ^
+          (static_cast<std::uint64_t>(to.interface) << 48)));
+  return ok_status();
+}
+
+Status SimulatedNetwork::configure_link_symmetric(topology::InterfaceKey a,
+                                                  topology::InterfaceKey b,
+                                                  LinkConfig config) {
+  auto s1 = configure_link(a, b, config);
+  if (!s1) return s1;
+  return configure_link(b, a, config);
+}
+
+void SimulatedNetwork::configure_transit(topology::AsNumber asn,
+                                         TransitConfig config) {
+  transit_[asn] = config;
+}
+
+void SimulatedNetwork::configure_icmp_policy(topology::AsNumber asn,
+                                             IcmpReplyPolicy policy) {
+  icmp_policies_[asn] = policy;
+}
+
+Status SimulatedNetwork::attach_host(net::Ipv4Address address, Host* host,
+                                     AccessConfig access) {
+  if (host == nullptr) return fail("attach_host: null host");
+  if (hosts_.contains(address))
+    return fail("host already attached at " + address.to_string());
+  hosts_[address] = AttachedHost{host, access};
+  return ok_status();
+}
+
+void SimulatedNetwork::detach_host(net::Ipv4Address address) {
+  hosts_.erase(address);
+}
+
+net::Ipv4Address SimulatedNetwork::allocate_host_address(
+    topology::AsNumber asn) {
+  std::uint8_t& next = next_host_octet_[asn];
+  if (next == 0) next = 200;
+  const net::Ipv4Address addr(10, static_cast<std::uint8_t>(asn >> 8),
+                              static_cast<std::uint8_t>(asn), next);
+  ++next;
+  return addr;
+}
+
+topology::AsNumber SimulatedNetwork::as_of(net::Ipv4Address address) const {
+  return static_cast<topology::AsNumber>((address.value >> 8) & 0xFFFF);
+}
+
+Result<topology::AsPath> SimulatedNetwork::resolve_path(
+    topology::AsNumber src, topology::AsNumber dst) const {
+  if (auto it = pinned_paths_.find({src, dst}); it != pinned_paths_.end())
+    return it->second;
+  if (auto it = path_cache_.find({src, dst}); it != path_cache_.end())
+    return it->second;
+  auto path = topology_.shortest_path(src, dst);
+  if (!path) return path;
+  path_cache_[{src, dst}] = *path;
+  return path;
+}
+
+void SimulatedNetwork::pin_path(topology::AsNumber src, topology::AsNumber dst,
+                                topology::AsPath path) {
+  pinned_paths_[{src, dst}] = std::move(path);
+}
+
+Status SimulatedNetwork::inject_fault(topology::InterfaceKey from,
+                                      topology::InterfaceKey to,
+                                      const FaultSpec& fault) {
+  auto it = links_.find({from, to});
+  if (it == links_.end())
+    return fail("no configured link " + from.to_string() + " -> " +
+                to.to_string());
+  it->second->inject_fault(fault);
+  return ok_status();
+}
+
+Status SimulatedNetwork::clear_fault(topology::InterfaceKey from,
+                                     topology::InterfaceKey to) {
+  auto it = links_.find({from, to});
+  if (it == links_.end())
+    return fail("no configured link " + from.to_string() + " -> " +
+                to.to_string());
+  it->second->clear_fault();
+  return ok_status();
+}
+
+LinkModel* SimulatedNetwork::link_model(topology::InterfaceKey from,
+                                        topology::InterfaceKey to) {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+Result<double> SimulatedNetwork::expected_path_delay_ms(
+    const topology::AsPath& path, net::Protocol protocol) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.hops.size(); ++i) {
+    const auto [from, to] = path.link_after(i);
+    auto it = links_.find({from, to});
+    if (it == links_.end())
+      return fail("unconfigured link " + from.to_string() + " -> " +
+                  to.to_string());
+    total += it->second->expected_delay_ms(protocol, queue_.now());
+  }
+  for (std::size_t i = 1; i + 1 < path.hops.size(); ++i) {
+    auto it = transit_.find(path.hops[i].asn);
+    total += (it != transit_.end() ? it->second : TransitConfig{}).delay_ms;
+  }
+  return total;
+}
+
+void SimulatedNetwork::expire_with_time_exceeded(
+    const net::Packet& packet, const topology::PathHop& at,
+    topology::InterfaceKey router, double forward_delay_ms) {
+  auto policy_it = icmp_policies_.find(at.asn);
+  const IcmpReplyPolicy policy =
+      policy_it != icmp_policies_.end() ? policy_it->second
+                                        : IcmpReplyPolicy{};
+  if (!policy.time_exceeded_enabled) return;
+
+  // Token-bucket-per-second rate limiting across the whole AS.
+  if (policy.rate_limit_per_s > 0) {
+    RateLimiterState& state = icmp_rate_[at.asn];
+    const std::int64_t second = queue_.now() / 1'000'000'000;
+    if (state.window_second != second) {
+      state.window_second = second;
+      state.sent_in_window = 0;
+    }
+    if (state.sent_in_window >= policy.rate_limit_per_s) return;
+    ++state.sent_in_window;
+  }
+
+  const net::Ipv4Address router_address = topology_.address_of(router);
+  auto reply = net::build_time_exceeded(packet, router_address);
+  if (!reply) return;
+
+  // The reply is generated on the SLOW PATH after the probe's forward
+  // delay, then travels back through the regular network (so it sees
+  // reverse-path treatment too — one of the biases the paper calls out).
+  double delay_ms = forward_delay_ms + policy.slow_path_ms;
+  if (policy.slow_path_jitter_ms > 0.0)
+    delay_ms += std::abs(rng_.normal(0.0, policy.slow_path_jitter_ms));
+  queue_.schedule_after(duration::from_ms(std::max(delay_ms, 0.0)),
+                        [this, router_address,
+                         wire = std::move(*reply)]() mutable {
+                          auto status = send(router_address, std::move(wire));
+                          if (!status)
+                            DEBUGLET_LOG(kDebug, "simnet")
+                                << "time-exceeded send: "
+                                << status.error_message();
+                        });
+}
+
+Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
+  auto parsed = net::parse_packet(BytesView(wire.data(), wire.size()));
+  if (!parsed) return fail("send: " + parsed.error_message());
+  net::Packet packet = std::move(*parsed);
+  if (packet.ip.source != from_address)
+    return fail("send: IP source " + packet.ip.source.to_string() +
+                " does not match sender " + from_address.to_string());
+
+  const topology::AsNumber src_as = as_of(from_address);
+  const topology::AsNumber dst_as = as_of(packet.ip.destination);
+  if (!topology_.has_as(src_as))
+    return fail("send: source AS" + std::to_string(src_as) + " unknown");
+  if (!topology_.has_as(dst_as))
+    return fail("send: destination AS" + std::to_string(dst_as) + " unknown");
+
+  auto path_result = resolve_path(src_as, dst_as);
+  if (!path_result) return fail("send: " + path_result.error_message());
+  const topology::AsPath path = *path_result;
+
+  const net::Protocol protocol = protocol_of(packet);
+  ++stats_.sent[protocol];
+
+  const std::uint64_t flow = flow_hash_of(packet);
+  const SimTime sent_at = queue_.now();
+  double total_delay_ms = 0.0;
+  bool dropped = false;
+
+  // The sender's intra-AS access stub (zero for border-router hosts).
+  if (auto it = hosts_.find(from_address); it != hosts_.end()) {
+    const AccessConfig& access = it->second.access;
+    double d = access.delay_ms;
+    if (access.jitter_ms > 0.0) d += rng_.normal(0.0, access.jitter_ms);
+    total_delay_ms += std::max(d, 0.0);
+  }
+
+  // Inter-domain links along the path, with TTL handling: each crossing
+  // decrements the TTL; packets that hit zero before the final hop expire
+  // at that border router, which may answer with ICMP time exceeded per
+  // its AS's policy (enabling — and rate-limiting — traceroute).
+  std::uint8_t ttl = packet.ip.ttl;
+  for (std::size_t i = 0; i + 1 < path.hops.size() && !dropped; ++i) {
+    const auto [from, to] = path.link_after(i);
+    auto it = links_.find({from, to});
+    if (it == links_.end())
+      return fail("send: unconfigured link " + from.to_string() + " -> " +
+                  to.to_string());
+    const TraverseOutcome out = it->second->traverse(
+        protocol, flow, sent_at, packet.ip.source, packet.ip.destination,
+        packet.ip.total_length);
+    if (out.dropped) {
+      dropped = true;
+      break;
+    }
+    total_delay_ms += duration::to_ms(out.delay);
+    if (ttl > 0) --ttl;
+    if (ttl == 0 && i + 2 < path.hops.size()) {
+      // Expired at the ingress border router of hops[i+1].
+      expire_with_time_exceeded(packet, path.hops[i + 1], to, total_delay_ms);
+      ++stats_.dropped[protocol];
+      return ok_status();
+    }
+  }
+
+  // Intra-AS transit applies only to ASes the packet crosses border to
+  // border. Endpoints (hosts and border-router executors) do not traverse
+  // their own AS interior — this is what lets an executor pair at the two
+  // ends of an inter-domain link measure just that link (paper Fig. 6).
+  if (!dropped) {
+    for (std::size_t i = 1; i + 1 < path.hops.size(); ++i) {
+      const topology::PathHop& hop = path.hops[i];
+      auto it = transit_.find(hop.asn);
+      const TransitConfig cfg =
+          it != transit_.end() ? it->second : TransitConfig{};
+      if (rng_.chance(cfg.loss_pm / 1000.0)) {
+        dropped = true;
+        break;
+      }
+      double d = cfg.delay_ms;
+      if (cfg.jitter_ms > 0.0) d += std::abs(rng_.normal(0.0, cfg.jitter_ms));
+      total_delay_ms += d;
+    }
+  }
+
+  if (dropped) {
+    ++stats_.dropped[protocol];
+    return ok_status();  // loss is a silent network outcome, not an error
+  }
+
+  auto host_it = hosts_.find(packet.ip.destination);
+  if (host_it == hosts_.end()) {
+    // No listener: the packet blackholes at the destination. Counted as a
+    // drop; sending is still not an error (mirrors real networks).
+    ++stats_.dropped[protocol];
+    DEBUGLET_LOG(kDebug, "simnet")
+        << "no host at " << packet.ip.destination.to_string();
+    return ok_status();
+  }
+
+  // The receiver's intra-AS access stub.
+  {
+    const AccessConfig& access = host_it->second.access;
+    double d = access.delay_ms;
+    if (access.jitter_ms > 0.0) d += rng_.normal(0.0, access.jitter_ms);
+    total_delay_ms += std::max(d, 0.0);
+  }
+
+  Host* host = host_it->second.host;
+  const net::Ipv4Address dst = packet.ip.destination;
+  Delivery delivery{std::move(packet), sent_at, 0, path};
+  const SimDuration delay = duration::from_ms(total_delay_ms);
+  queue_.schedule_after(delay, [this, host, dst,
+                                d = std::move(delivery)]() mutable {
+    // Hosts may detach while packets are in flight; deliver only if the
+    // same host is still attached.
+    auto it = hosts_.find(dst);
+    if (it == hosts_.end() || it->second.host != host) {
+      ++stats_.dropped[d.packet.protocol];
+      return;
+    }
+    d.received_at = queue_.now();
+    ++stats_.delivered[d.packet.protocol];
+    host->on_packet(d);
+  });
+  return ok_status();
+}
+
+}  // namespace debuglet::simnet

@@ -1,0 +1,174 @@
+// The simulated inter-domain network.
+//
+// Combines a Topology (AS graph), per-directed-link LinkModels, per-AS
+// transit delays, and attached Hosts into a packet-level simulator driven
+// by an EventQueue. Real on-wire bytes (net::build_probe output) go in;
+// parsed packets come out at the destination host after the accumulated
+// per-link treatment — or never, if any link dropped the packet.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "simnet/event_queue.hpp"
+#include "simnet/link_model.hpp"
+#include "topology/topology.hpp"
+
+namespace debuglet::simnet {
+
+/// Delivery receipt passed to hosts alongside the decoded packet.
+struct Delivery {
+  net::Packet packet;
+  SimTime sent_at = 0;
+  SimTime received_at = 0;
+  topology::AsPath path;  // the path the packet actually took
+};
+
+/// Anything that can be attached to the network at an address.
+class Host {
+ public:
+  virtual ~Host() = default;
+  /// Called when a packet addressed to this host arrives.
+  virtual void on_packet(const Delivery& delivery) = 0;
+};
+
+/// Per-AS internal forwarding characteristics (border-to-border transit).
+struct TransitConfig {
+  double delay_ms = 0.2;
+  double jitter_ms = 0.02;
+  double loss_pm = 0.0;
+};
+
+/// Intra-AS stub between a host and its border router. Executors at border
+/// routers have a zero stub; hosts placed at arbitrary points inside an AS
+/// (ablation A1, paper §VI-G) pay it on every send and every delivery.
+struct AccessConfig {
+  double delay_ms = 0.0;
+  double jitter_ms = 0.0;
+};
+
+/// How an AS's border routers answer expired-TTL packets — the knobs the
+/// paper's §II names as traceroute's limitations: "responding with ICMP
+/// TTL exceeded message is disabled or rate-limited on many routers", and
+/// replies are generated on the SLOW PATH while data rides the fast path.
+struct IcmpReplyPolicy {
+  bool time_exceeded_enabled = true;
+  double slow_path_ms = 4.0;         // extra control-plane processing
+  double slow_path_jitter_ms = 2.0;
+  std::uint32_t rate_limit_per_s = 0;  // 0 = unlimited
+};
+
+/// Aggregate send/drop accounting, per protocol.
+struct NetworkStats {
+  std::map<net::Protocol, std::uint64_t> sent;
+  std::map<net::Protocol, std::uint64_t> delivered;
+  std::map<net::Protocol, std::uint64_t> dropped;
+};
+
+/// The simulator. Construction order: build the Topology, create the
+/// network, configure links and transit, attach hosts, then send.
+class SimulatedNetwork {
+ public:
+  SimulatedNetwork(EventQueue& queue, topology::Topology topology,
+                   std::uint64_t seed);
+
+  const topology::Topology& topology() const { return topology_; }
+  EventQueue& queue() { return queue_; }
+  SimTime now() const { return queue_.now(); }
+
+  /// Configures one direction of an inter-domain link (from -> to). Both
+  /// keys must be the two ends of an existing link.
+  Status configure_link(topology::InterfaceKey from, topology::InterfaceKey to,
+                        LinkConfig config);
+
+  /// Configures both directions with the same config.
+  Status configure_link_symmetric(topology::InterfaceKey a,
+                                  topology::InterfaceKey b, LinkConfig config);
+
+  /// Sets the internal transit behaviour of an AS.
+  void configure_transit(topology::AsNumber asn, TransitConfig config);
+
+  /// Sets how an AS's border routers answer TTL expiries.
+  void configure_icmp_policy(topology::AsNumber asn, IcmpReplyPolicy policy);
+
+  /// Attaches a host at an explicit address. Host addresses inside an AS
+  /// use the form 10.<asn_hi>.<asn_lo>.<200+n>; executor hosts attach at
+  /// their border-interface address (10.<asn_hi>.<asn_lo>.<intf>).
+  Status attach_host(net::Ipv4Address address, Host* host,
+                     AccessConfig access = {});
+  void detach_host(net::Ipv4Address address);
+
+  /// A fresh host address within an AS (10.x.y.200, .201, ...).
+  net::Ipv4Address allocate_host_address(topology::AsNumber asn);
+
+  /// The AS an address belongs to (addresses encode the AS number).
+  topology::AsNumber as_of(net::Ipv4Address address) const;
+
+  /// Sends raw wire bytes originating at `from_address`. The packet's IP
+  /// source must equal `from_address`. Fails on malformed packets, unknown
+  /// destinations, or unconfigured links; transmission itself never fails —
+  /// losses happen silently in the link models.
+  Status send(net::Ipv4Address from_address, Bytes wire);
+
+  /// Pins the path used between two ASes (both directions must be pinned
+  /// separately; unpinned pairs use the topology's shortest path).
+  void pin_path(topology::AsNumber src, topology::AsNumber dst,
+                topology::AsPath path);
+
+  /// Injects a fault into one direction of a link. The link must have been
+  /// configured first.
+  Status inject_fault(topology::InterfaceKey from, topology::InterfaceKey to,
+                      const FaultSpec& fault);
+  Status clear_fault(topology::InterfaceKey from, topology::InterfaceKey to);
+
+  /// Ground-truth expected one-way delay for a protocol on a path now.
+  Result<double> expected_path_delay_ms(const topology::AsPath& path,
+                                        net::Protocol protocol) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  /// The link model for a direction (for tests; null if unconfigured).
+  LinkModel* link_model(topology::InterfaceKey from, topology::InterfaceKey to);
+
+ private:
+  using DirectedKey = std::pair<topology::InterfaceKey, topology::InterfaceKey>;
+  Result<topology::AsPath> resolve_path(topology::AsNumber src,
+                                        topology::AsNumber dst) const;
+  void expire_with_time_exceeded(const net::Packet& packet,
+                                 const topology::PathHop& at,
+                                 topology::InterfaceKey router,
+                                 double forward_delay_ms);
+
+  EventQueue& queue_;
+  topology::Topology topology_;
+  Rng rng_;
+  std::map<DirectedKey, std::unique_ptr<LinkModel>> links_;
+  std::map<topology::AsNumber, TransitConfig> transit_;
+  std::map<topology::AsNumber, IcmpReplyPolicy> icmp_policies_;
+  struct RateLimiterState {
+    std::int64_t window_second = -1;
+    std::uint32_t sent_in_window = 0;
+  };
+  std::map<topology::AsNumber, RateLimiterState> icmp_rate_;
+  struct AttachedHost {
+    Host* host = nullptr;
+    AccessConfig access;
+  };
+  std::map<net::Ipv4Address, AttachedHost> hosts_;
+  std::map<topology::AsNumber, std::uint8_t> next_host_octet_;
+  std::map<std::pair<topology::AsNumber, topology::AsNumber>, topology::AsPath>
+      pinned_paths_;
+  mutable std::map<std::pair<topology::AsNumber, topology::AsNumber>,
+                   topology::AsPath>
+      path_cache_;
+  NetworkStats stats_;
+};
+
+/// Hashes a parsed packet's flow identity (5-tuple; protocol-dependent).
+std::uint64_t flow_hash_of(const net::Packet& packet);
+
+}  // namespace debuglet::simnet

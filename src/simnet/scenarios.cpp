@@ -1,0 +1,294 @@
+#include "simnet/scenarios.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace debuglet::simnet {
+
+namespace {
+
+using net::Protocol;
+
+constexpr topology::AsNumber kLondonAs = 100;
+
+// Per-city forwarding mechanisms on the city -> London direction. The
+// reverse direction is a clean single route (propagation + light jitter),
+// so RTT differences are produced by forward-path treatment only — which is
+// also what makes the unidirectional-measurement experiments meaningful.
+struct CityCalibration {
+  double prop_ms;            // one-way propagation per direction
+  RouteSpec icmp;            // route 0
+  bool icmp_priority;
+  RouteSpec raw;             // route 1
+  std::vector<RouteSpec> tcp;  // routes 2..
+  double tcp_drop_multiplier;
+  std::vector<RouteSpec> udp;  // routes after TCP's
+  std::vector<EpisodeSpec> episodes;
+  ShiftSpec shift;
+};
+
+const std::map<std::string, CityCalibration>& calibrations() {
+  static const std::map<std::string, CityCalibration> kCal = [] {
+    std::map<std::string, CityCalibration> m;
+
+    // Bangalore: widest UDP spread (Fig. 3 — ~20+ ms, near-uniform); TCP
+    // pinned to a distinctly slower route pair; slow 4-hour route drift.
+    m["Bangalore"] = CityCalibration{
+        /*prop_ms=*/72.0,
+        /*icmp=*/{1.2, 3.4, 0.5}, /*icmp_priority=*/false,
+        /*raw=*/{7.2, 2.3, 0.38},
+        /*tcp=*/{{13.5, 4.9, 1.7}, {14.2, 4.9, 1.7}},
+        /*tcp_drop_multiplier=*/1.0,
+        /*udp=*/{{-8.2, 1.0, 0.21}, {-5.3, 1.0, 0.21}, {-2.5, 1.0, 0.21},
+                 {0.4, 1.0, 0.21}, {3.2, 1.0, 0.21}, {6.1, 1.0, 0.21},
+                 {9.0, 1.0, 0.21}, {11.8, 1.0, 0.21}},
+        /*episodes=*/{},
+        /*shift=*/{14400.0, 3.0}};
+
+    // Frankfurt: ICMP rides a priority queue (lowest, tightest RTT); UDP
+    // load-balances per packet over exactly 4 routes (the 4 clusters of
+    // Fig. 2); a multi-hour elevation episode lifts UDP and raw IP only.
+    m["Frankfurt"] = CityCalibration{
+        /*prop_ms=*/5.7,
+        /*icmp=*/{0.35, 0.5, 0.005}, /*icmp_priority=*/true,
+        /*raw=*/{3.5, 0.5, 0.0},
+        /*tcp=*/{{2.9, 1.15, 1.05}, {3.3, 1.15, 1.05}},
+        /*tcp_drop_multiplier=*/1.0,
+        /*udp=*/{{0.55, 0.3, 0.0}, {2.1, 0.3, 0.0}, {3.65, 0.3, 0.0},
+                 {5.2, 0.3, 0.0}},
+        /*episodes=*/{{"path-elevation", 10800.0, 25200.0, 0.9, 0.0,
+                       {Protocol::kUdp, Protocol::kRawIp}}},
+        /*shift=*/{}};
+
+    // New York: UDP/TCP ride the faster (but congestion-lossy) routes, so
+    // their RTT sits BELOW ICMP/raw (Fig. 1); congestion episodes drop
+    // them — TCP deprioritized 3x (highest loss in Table I); 5 ms route
+    // shifts appear as sudden steps.
+    m["NewYork"] = CityCalibration{
+        /*prop_ms=*/35.0,
+        /*icmp=*/{5.9, 2.7, 0.22}, /*icmp_priority=*/false,
+        /*raw=*/{6.3, 2.8, 0.25},
+        /*tcp=*/{{1.0, 5.3, 0.3}, {1.7, 5.3, 0.3}},
+        /*tcp_drop_multiplier=*/3.0,
+        /*udp=*/{{2.2, 5.6, 0.3}, {3.7, 5.6, 0.3}, {5.2, 5.6, 0.3}},
+        /*episodes=*/{{"congestion", 1800.0, 5400.0, 0.0, 21.0,
+                       {Protocol::kUdp, Protocol::kTcp}}},
+        /*shift=*/{5400.0, 5.0}};
+
+    // San Francisco: a boringly stable path — every protocol tight, only
+    // TCP sees (deprioritization) loss.
+    m["SanFrancisco"] = CityCalibration{
+        /*prop_ms=*/66.6,
+        /*icmp=*/{1.2, 0.65, 0.02}, /*icmp_priority=*/false,
+        /*raw=*/{1.7, 1.70, 0.03},
+        /*tcp=*/{{1.0, 0.70, 1.5}},
+        /*tcp_drop_multiplier=*/1.0,
+        /*udp=*/{{1.15, 0.95, 0.0}, {1.65, 0.95, 0.0}},
+        /*episodes=*/{},
+        /*shift=*/{}};
+
+    // Singapore: UDP spread across 5 well-separated routes; ICMP detours
+    // over a longer stable route.
+    m["Singapore"] = CityCalibration{
+        /*prop_ms=*/86.4,
+        /*icmp=*/{8.7, 2.9, 0.05}, /*icmp_priority=*/false,
+        /*raw=*/{6.0, 4.55, 0.03},
+        /*tcp=*/{{3.7, 4.25, 1.7}, {4.2, 4.25, 1.7}},
+        /*tcp_drop_multiplier=*/1.0,
+        /*udp=*/{{-11.2, 1.0, 0.08}, {-4.1, 1.0, 0.08}, {3.1, 1.0, 0.08},
+                 {10.3, 1.0, 0.08}, {17.4, 1.0, 0.08}},
+        /*episodes=*/{},
+        /*shift=*/{}};
+
+    // Sydney: long path, all protocols moderately noisy and lossy.
+    m["Sydney"] = CityCalibration{
+        /*prop_ms=*/135.9,
+        /*icmp=*/{6.0, 4.85, 0.90}, /*icmp_priority=*/false,
+        /*raw=*/{6.4, 4.85, 0.95},
+        /*tcp=*/{{6.3, 4.85, 1.02}, {6.9, 4.85, 1.02}},
+        /*tcp_drop_multiplier=*/1.0,
+        /*udp=*/{{-5.0, 5.3, 0.45}, {-0.3, 5.3, 0.45}, {4.3, 5.3, 0.45},
+                 {9.0, 5.3, 0.45}},
+        /*episodes=*/{},
+        /*shift=*/{14400.0, 3.0}};
+    return m;
+  }();
+  return kCal;
+}
+
+LinkConfig forward_config(const CityCalibration& cal) {
+  LinkConfig cfg;
+  // +0.1 ms stands in for the stub segments between each endpoint host and
+  // its border router (endpoint ASes add no transit in the link model).
+  cfg.propagation_ms = cal.prop_ms + 0.1;
+  cfg.routes.clear();
+  cfg.routes.push_back(cal.icmp);                       // route 0
+  cfg.routes.push_back(cal.raw);                        // route 1
+  std::vector<std::size_t> tcp_routes, udp_routes;
+  for (const RouteSpec& r : cal.tcp) {
+    tcp_routes.push_back(cfg.routes.size());
+    cfg.routes.push_back(r);
+  }
+  for (const RouteSpec& r : cal.udp) {
+    udp_routes.push_back(cfg.routes.size());
+    cfg.routes.push_back(r);
+  }
+  cfg.policies[Protocol::kIcmp] =
+      ProtocolPolicy{SelectionPolicy::kFixed, {0}, 1.0, cal.icmp_priority};
+  cfg.policies[Protocol::kRawIp] =
+      ProtocolPolicy{SelectionPolicy::kFixed, {1}, 1.0, false};
+  cfg.policies[Protocol::kTcp] = ProtocolPolicy{
+      SelectionPolicy::kPerFlow, tcp_routes, cal.tcp_drop_multiplier, false};
+  cfg.policies[Protocol::kUdp] =
+      ProtocolPolicy{SelectionPolicy::kPerPacket, udp_routes, 1.0, false};
+  cfg.episodes = cal.episodes;
+  cfg.shift = cal.shift;
+  return cfg;
+}
+
+LinkConfig reverse_config(const CityCalibration& cal) {
+  LinkConfig cfg;
+  cfg.propagation_ms = cal.prop_ms + 0.1;
+  cfg.routes = {{0.0, 0.1, 0.02}};
+  return cfg;
+}
+
+}  // namespace
+
+const std::vector<std::string>& city_names() {
+  static const std::vector<std::string> kNames = {
+      "Bangalore", "Frankfurt", "NewYork", "SanFrancisco", "Singapore",
+      "Sydney"};
+  return kNames;
+}
+
+topology::AsNumber london_as() { return kLondonAs; }
+
+topology::AsNumber city_as(const std::string& city) {
+  const auto& names = city_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == city)
+      return kLondonAs + 1 + static_cast<topology::AsNumber>(i);
+  throw std::invalid_argument("unknown city: " + city);
+}
+
+PaperCityRow paper_table1(const std::string& city, net::Protocol protocol) {
+  // Table I of the paper, verbatim (RTT ms mean/std; loss in per mille).
+  static const std::map<std::string, std::map<Protocol, PaperCityRow>> kRows =
+      {{"Bangalore",
+        {{Protocol::kUdp, {146.01, 7.01, 0.23}},
+         {Protocol::kTcp, {158.05, 5.27, 1.72}},
+         {Protocol::kIcmp, {145.44, 3.89, 0.57}},
+         {Protocol::kRawIp, {151.44, 2.87, 0.41}}}},
+       {"Frankfurt",
+        {{Protocol::kUdp, {14.75, 1.78, 0.00}},
+         {Protocol::kTcp, {14.72, 1.22, 1.09}},
+         {Protocol::kIcmp, {11.95, 0.51, 0.01}},
+         {Protocol::kRawIp, {15.36, 0.55, 0.00}}}},
+       {"NewYork",
+        {{Protocol::kUdp, {73.94, 6.64, 5.59}},
+         {Protocol::kTcp, {71.58, 6.12, 16.19}},
+         {Protocol::kIcmp, {76.08, 3.98, 0.24}},
+         {Protocol::kRawIp, {76.47, 4.02, 0.27}}}},
+       {"SanFrancisco",
+        {{Protocol::kUdp, {134.79, 1.00, 0.00}},
+         {Protocol::kTcp, {134.42, 0.70, 1.56}},
+         {Protocol::kIcmp, {134.62, 0.66, 0.02}},
+         {Protocol::kRawIp, {135.09, 1.71, 0.03}}}},
+       {"Singapore",
+        {{Protocol::kUdp, {176.14, 10.04, 0.09}},
+         {Protocol::kTcp, {176.95, 4.33, 1.74}},
+         {Protocol::kIcmp, {181.74, 3.00, 0.06}},
+         {Protocol::kRawIp, {178.98, 4.61, 0.03}}}},
+       {"Sydney",
+        {{Protocol::kUdp, {274.01, 7.79, 0.50}},
+         {Protocol::kTcp, {278.60, 5.19, 1.09}},
+         {Protocol::kIcmp, {277.99, 5.15, 0.96}},
+         {Protocol::kRawIp, {278.44, 5.18, 1.01}}}}};
+  return kRows.at(city).at(protocol);
+}
+
+Scenario build_city_scenario(std::uint64_t seed) {
+  topology::Topology topo;
+  if (auto s = topo.add_as(kLondonAs, "London"); !s)
+    throw std::runtime_error(s.error_message());
+  const auto& names = city_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (auto s = topo.add_as(city_as(names[i]), names[i]); !s)
+      throw std::runtime_error(s.error_message());
+    const topology::InterfaceKey city_key{city_as(names[i]), 1};
+    const topology::InterfaceKey london_key{
+        kLondonAs, static_cast<topology::InterfaceId>(i + 1)};
+    if (auto s = topo.add_link(city_key, london_key); !s)
+      throw std::runtime_error(s.error_message());
+  }
+
+  Scenario out;
+  out.queue = std::make_unique<EventQueue>();
+  out.network = std::make_unique<SimulatedNetwork>(*out.queue, std::move(topo),
+                                                   seed);
+  out.ases.push_back(kLondonAs);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& city = names[i];
+    const CityCalibration& cal = calibrations().at(city);
+    const topology::InterfaceKey city_key{city_as(city), 1};
+    const topology::InterfaceKey london_key{
+        kLondonAs, static_cast<topology::InterfaceId>(i + 1)};
+    auto fwd = out.network->configure_link(city_key, london_key,
+                                           forward_config(cal));
+    if (!fwd) throw std::runtime_error(fwd.error_message());
+    auto rev = out.network->configure_link(london_key, city_key,
+                                           reverse_config(cal));
+    if (!rev) throw std::runtime_error(rev.error_message());
+    out.network->configure_transit(city_as(city), {0.05, 0.005, 0.0});
+    out.ases.push_back(city_as(city));
+  }
+  out.network->configure_transit(kLondonAs, {0.05, 0.005, 0.0});
+  return out;
+}
+
+topology::InterfaceKey chain_egress(std::size_t i) {
+  return {static_cast<topology::AsNumber>(i + 1), 2};
+}
+
+topology::InterfaceKey chain_ingress(std::size_t i_plus_1) {
+  return {static_cast<topology::AsNumber>(i_plus_1 + 1), 1};
+}
+
+Scenario build_chain_scenario(std::size_t as_count, std::uint64_t seed,
+                              double hop_ms) {
+  if (as_count < 2)
+    throw std::invalid_argument("chain scenario needs at least 2 ASes");
+  topology::Topology topo;
+  for (std::size_t i = 0; i < as_count; ++i) {
+    if (auto s = topo.add_as(static_cast<topology::AsNumber>(i + 1),
+                             "AS" + std::to_string(i + 1));
+        !s)
+      throw std::runtime_error(s.error_message());
+  }
+  for (std::size_t i = 0; i + 1 < as_count; ++i) {
+    if (auto s = topo.add_link(chain_egress(i), chain_ingress(i + 1)); !s)
+      throw std::runtime_error(s.error_message());
+  }
+
+  Scenario out;
+  out.queue = std::make_unique<EventQueue>();
+  out.network = std::make_unique<SimulatedNetwork>(*out.queue, std::move(topo),
+                                                   seed);
+  LinkConfig cfg;
+  cfg.propagation_ms = hop_ms;
+  cfg.routes = {{0.0, 0.05, 0.0}};
+  for (std::size_t i = 0; i + 1 < as_count; ++i) {
+    auto s = out.network->configure_link_symmetric(chain_egress(i),
+                                                   chain_ingress(i + 1), cfg);
+    if (!s) throw std::runtime_error(s.error_message());
+  }
+  for (std::size_t i = 0; i < as_count; ++i) {
+    out.network->configure_transit(static_cast<topology::AsNumber>(i + 1),
+                                   {0.1, 0.01, 0.0});
+    out.ases.push_back(static_cast<topology::AsNumber>(i + 1));
+  }
+  return out;
+}
+
+}  // namespace debuglet::simnet

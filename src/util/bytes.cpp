@@ -1,0 +1,174 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace debuglet {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return fail("hex string has odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return fail("invalid hex character");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_of(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void BytesWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void BytesWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BytesWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void BytesWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BytesWriter::i64(std::int64_t v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BytesWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BytesWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void BytesWriter::raw(BytesView data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void BytesWriter::blob(BytesView data) {
+  varint(data.size());
+  raw(data);
+}
+
+void BytesWriter::str(std::string_view s) {
+  varint(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+Result<BytesView> BytesReader::take(std::size_t n) {
+  if (remaining() < n) return fail("truncated input");
+  BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+Result<std::uint8_t> BytesReader::u8() {
+  auto v = take(1);
+  if (!v) return v.error();
+  return (*v)[0];
+}
+
+Result<std::uint16_t> BytesReader::u16() {
+  auto v = take(2);
+  if (!v) return v.error();
+  return static_cast<std::uint16_t>((*v)[0] | (*v)[1] << 8);
+}
+
+Result<std::uint32_t> BytesReader::u32() {
+  auto v = take(4);
+  if (!v) return v.error();
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) out = (out << 8) | (*v)[i];
+  return out;
+}
+
+Result<std::uint64_t> BytesReader::u64() {
+  auto v = take(8);
+  if (!v) return v.error();
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | (*v)[i];
+  return out;
+}
+
+Result<std::int64_t> BytesReader::i64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return std::bit_cast<std::int64_t>(*v);
+}
+
+Result<double> BytesReader::f64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return std::bit_cast<double>(*v);
+}
+
+Result<std::uint64_t> BytesReader::varint() {
+  std::uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    auto b = u8();
+    if (!b) return b.error();
+    out |= static_cast<std::uint64_t>(*b & 0x7F) << shift;
+    if ((*b & 0x80) == 0) {
+      // Reject non-canonical zero continuation bytes in the top group.
+      if (shift == 63 && (*b & 0x7E) != 0) return fail("varint overflow");
+      return out;
+    }
+  }
+  return fail("varint too long");
+}
+
+Result<Bytes> BytesReader::raw(std::size_t n) {
+  auto v = take(n);
+  if (!v) return v.error();
+  return Bytes(v->begin(), v->end());
+}
+
+Result<Bytes> BytesReader::blob() {
+  auto n = varint();
+  if (!n) return n.error();
+  if (*n > remaining()) return fail("blob length exceeds input");
+  return raw(static_cast<std::size_t>(*n));
+}
+
+Result<std::string> BytesReader::str() {
+  auto b = blob();
+  if (!b) return b.error();
+  return std::string(b->begin(), b->end());
+}
+
+}  // namespace debuglet

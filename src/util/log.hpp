@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// Libraries log sparingly; examples and benches raise the level to narrate
+// scenarios. Output is plain text on stderr — there is no configuration
+// file and no global registry beyond the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace debuglet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line at `level` with a subsystem tag; no-op below the minimum.
+void log_line(LogLevel level, std::string_view tag, std::string_view message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogStream() { log_line(level_, tag_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: DEBUGLET_LOG(kInfo, "simnet") << "delivered " << n << " packets";
+#define DEBUGLET_LOG(level, tag) \
+  ::debuglet::detail::LogStream(::debuglet::LogLevel::level, (tag))
+
+}  // namespace debuglet

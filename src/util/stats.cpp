@@ -1,0 +1,203 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace debuglet {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double s : samples_) ss += (s - m) * (s - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty())
+    throw std::invalid_argument("SampleSet::percentile on empty set");
+  ensure_sorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<std::size_t> SampleSet::histogram(double lo, double hi,
+                                              std::size_t bins) const {
+  if (bins == 0 || hi <= lo)
+    throw std::invalid_argument("SampleSet::histogram: bad range or bins");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double s : samples_) {
+    auto idx = static_cast<std::int64_t>((s - lo) / width);
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+Clusters kmeans_1d(const std::vector<double>& data, std::size_t k,
+                   std::size_t iterations) {
+  if (data.empty() || k == 0)
+    throw std::invalid_argument("kmeans_1d: empty data or k == 0");
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  k = std::min(k, sorted.size());
+
+  // Deterministic farthest-point seeding: first seed at the median, then
+  // repeatedly the point farthest from any existing center.
+  std::vector<double> centers;
+  centers.push_back(sorted[sorted.size() / 2]);
+  while (centers.size() < k) {
+    double best_d = -1.0, best_x = sorted.front();
+    for (double x : sorted) {
+      double d = std::numeric_limits<double>::max();
+      for (double c : centers) d = std::min(d, std::abs(x - c));
+      if (d > best_d) {
+        best_d = d;
+        best_x = x;
+      }
+    }
+    centers.push_back(best_x);
+  }
+
+  std::vector<std::size_t> assign(sorted.size(), 0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    bool changed = false;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = std::abs(sorted[i] - centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<double> sums(centers.size(), 0.0);
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      sums[assign[i]] += sorted[i];
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c)
+      if (counts[c] > 0) centers[c] = sums[c] / static_cast<double>(counts[c]);
+    if (!changed) break;
+  }
+
+  Clusters out;
+  std::vector<std::size_t> order(centers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return centers[a] < centers[b]; });
+  std::vector<std::size_t> counts(centers.size(), 0);
+  double wss = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    ++counts[assign[i]];
+    wss += (sorted[i] - centers[assign[i]]) * (sorted[i] - centers[assign[i]]);
+  }
+  for (std::size_t idx : order) {
+    if (counts[idx] == 0) continue;  // drop empty clusters
+    out.centers.push_back(centers[idx]);
+    out.sizes.push_back(counts[idx]);
+  }
+  out.within_ss = wss;
+  return out;
+}
+
+std::size_t estimate_mode_count(const std::vector<double>& data,
+                                std::size_t max_k) {
+  if (data.empty()) return 0;
+  max_k = std::max<std::size_t>(max_k, 1);
+  // Route-mode latency clusters are well separated relative to jitter, so
+  // stepping k up to the true mode count shrinks the within-cluster sum of
+  // squares sharply, while any further split only halves gaussian noise
+  // (ratio ≈ 1 − 2/π ≈ 0.36). The estimate is therefore the LARGEST k
+  // whose step k−1 → k still cut the WSS below 0.3×.
+  std::vector<double> wss(max_k + 1, 0.0);
+  for (std::size_t k = 1; k <= max_k && k <= data.size(); ++k)
+    wss[k] = kmeans_1d(data, k).within_ss;
+  std::size_t best = 1;
+  for (std::size_t k = 2; k <= max_k && k <= data.size(); ++k) {
+    if (wss[k - 1] <= 0.0) break;  // already a perfect fit
+    if (wss[k] < 0.3 * wss[k - 1]) best = k;
+  }
+  return best;
+}
+
+std::size_t count_level_shifts(const std::vector<double>& values,
+                               std::size_t window, double threshold) {
+  if (window == 0 || values.size() < 2 * window) return 0;
+  auto median_of = [&](std::size_t begin) {
+    std::vector<double> w(values.begin() + static_cast<std::ptrdiff_t>(begin),
+                          values.begin() + static_cast<std::ptrdiff_t>(begin + window));
+    std::nth_element(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(w.size() / 2), w.end());
+    return w[w.size() / 2];
+  };
+  std::size_t shifts = 0;
+  double prev = median_of(0);
+  for (std::size_t i = window; i + window <= values.size(); i += window) {
+    const double cur = median_of(i);
+    if (std::abs(cur - prev) > threshold) ++shifts;
+    prev = cur;
+  }
+  return shifts;
+}
+
+}  // namespace debuglet

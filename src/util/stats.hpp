@@ -1,0 +1,95 @@
+// Streaming and batch statistics used by measurement reports.
+//
+// RunningStats keeps O(1) state (Welford) for mean/std; SampleSet keeps the
+// raw samples for percentiles, densities and cluster analysis — the tools
+// needed to reproduce the paper's Table I and Figures 1–3 summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace debuglet {
+
+/// Constant-space mean / variance / extrema accumulator (Welford's method).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A batch of samples with order statistics and clustering helpers.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated percentile, p in [0,100]. Precondition: non-empty.
+  double percentile(double p) const;
+
+  /// Fixed-bin histogram over [lo, hi]; out-of-range samples clamp to the
+  /// edge bins. Returns per-bin counts.
+  std::vector<std::size_t> histogram(double lo, double hi,
+                                     std::size_t bins) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Result of one-dimensional k-means clustering.
+struct Clusters {
+  std::vector<double> centers;       // ascending
+  std::vector<std::size_t> sizes;    // same order as centers
+  double within_ss = 0.0;            // total within-cluster sum of squares
+};
+
+/// One-dimensional k-means (k-means++-style farthest seeding, deterministic).
+/// Precondition: k >= 1 and data non-empty.
+Clusters kmeans_1d(const std::vector<double>& data, std::size_t k,
+                   std::size_t iterations = 32);
+
+/// Picks the cluster count in [1, max_k] minimizing within-cluster variance
+/// with an elbow penalty; used to count UDP route modes (paper Fig. 2).
+std::size_t estimate_mode_count(const std::vector<double>& data,
+                                std::size_t max_k);
+
+/// A labelled (time, value) series plus summaries; benches use it to emit
+/// figure data as text.
+struct Series {
+  std::string label;
+  std::vector<double> times_s;
+  std::vector<double> values;
+};
+
+/// Counts level shifts in a series: windows whose medians differ by more
+/// than `threshold`. Reproduces "RTT varies several times during a day"
+/// observations (paper Fig. 3 discussion).
+std::size_t count_level_shifts(const std::vector<double>& values,
+                               std::size_t window, double threshold);
+
+}  // namespace debuglet

@@ -1,0 +1,39 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace debuglet {
+
+std::string format_time(SimTime t) {
+  const bool neg = t < 0;
+  std::int64_t ns = neg ? -t : t;
+  const std::int64_t ms = (ns / 1'000'000) % 1000;
+  const std::int64_t total_s = ns / 1'000'000'000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = total_s / 3600;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld.%03lld",
+                neg ? "-" : "", static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  const double abs = std::abs(static_cast<double>(d));
+  char buf[48];
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", static_cast<double>(d) / 1e3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(d) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(d) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace debuglet

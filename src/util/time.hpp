@@ -1,0 +1,49 @@
+// Simulated-time primitives.
+//
+// All Debuglet libraries operate on simulated time: a signed 64-bit count of
+// nanoseconds since the start of a scenario. Library code never reads the
+// wall clock; determinism is a design requirement (see DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace debuglet {
+
+/// A point in simulated time, in nanoseconds since scenario start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+namespace duration {
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t n) { return n * 1'000; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t n) { return n * 1'000'000'000; }
+constexpr SimDuration minutes(std::int64_t n) { return seconds(n * 60); }
+constexpr SimDuration hours(std::int64_t n) { return minutes(n * 60); }
+
+/// Converts a duration to a floating-point number of milliseconds.
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a duration to a floating-point number of seconds.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+/// Builds a duration from a floating-point number of milliseconds.
+constexpr SimDuration from_ms(double ms) {
+  return static_cast<SimDuration>(ms * 1e6);
+}
+
+}  // namespace duration
+
+/// Renders a time point as "HH:MM:SS.mmm" for logs and reports.
+std::string format_time(SimTime t);
+
+/// Renders a duration as a human-readable quantity ("12.3 ms", "4.56 s").
+std::string format_duration(SimDuration d);
+
+}  // namespace debuglet

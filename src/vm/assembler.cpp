@@ -1,0 +1,294 @@
+#include "vm/assembler.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace debuglet::vm {
+
+namespace {
+
+struct Line {
+  std::size_t number;
+  std::vector<std::string> tokens;
+};
+
+std::vector<Line> tokenize(std::string_view source) {
+  std::vector<Line> lines;
+  std::size_t number = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++number;
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    const std::size_t comment = line.find_first_of(";#");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    Line out{number, {}};
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      if (i > start) out.tokens.emplace_back(line.substr(start, i - start));
+    }
+    if (!out.tokens.empty()) lines.push_back(std::move(out));
+  }
+  return lines;
+}
+
+Result<std::int64_t> parse_int(const std::string& token, std::size_t line) {
+  std::int64_t value = 0;
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    return fail("line " + std::to_string(line) + ": expected integer, got '" +
+                token + "'");
+  return value;
+}
+
+}  // namespace
+
+Result<Module> assemble(std::string_view source) {
+  const std::vector<Line> lines = tokenize(source);
+
+  // Pass 1: collect function names (for forward calls) and import order.
+  Module m;
+  std::map<std::string, std::uint32_t> function_ids;
+  std::map<std::string, std::uint32_t> import_ids;
+  for (const Line& line : lines) {
+    if (line.tokens[0] == "func") {
+      if (line.tokens.size() < 2)
+        return fail("line " + std::to_string(line.number) +
+                    ": func requires a name");
+      const std::string& name = line.tokens[1];
+      if (function_ids.contains(name))
+        return fail("line " + std::to_string(line.number) +
+                    ": duplicate function '" + name + "'");
+      function_ids[name] = static_cast<std::uint32_t>(function_ids.size());
+    } else if (line.tokens[0] == "import") {
+      if (line.tokens.size() != 2)
+        return fail("line " + std::to_string(line.number) +
+                    ": import requires a name");
+      if (!import_ids.contains(line.tokens[1])) {
+        import_ids[line.tokens[1]] =
+            static_cast<std::uint32_t>(m.host_imports.size());
+        m.host_imports.push_back(line.tokens[1]);
+      }
+    }
+  }
+
+  // Pass 2: full parse.
+  Function* current = nullptr;
+  std::map<std::string, std::size_t> labels;               // current function
+  std::vector<std::pair<std::size_t, std::string>> fixups;  // (pc, label)
+  std::size_t current_line = 0;
+
+  auto finish_function = [&]() -> Status {
+    for (const auto& [pc, label] : fixups) {
+      auto it = labels.find(label);
+      if (it == labels.end())
+        return fail("function '" + current->name + "': undefined label '" +
+                    label + "'");
+      current->code[pc].imm = static_cast<std::int64_t>(it->second);
+    }
+    labels.clear();
+    fixups.clear();
+    current = nullptr;
+    return ok_status();
+  };
+
+  for (const Line& line : lines) {
+    current_line = line.number;
+    const std::string& head = line.tokens[0];
+    const auto expect_args = [&](std::size_t n) -> Status {
+      if (line.tokens.size() != n + 1)
+        return fail("line " + std::to_string(line.number) + ": '" + head +
+                    "' expects " + std::to_string(n) + " operand(s)");
+      return ok_status();
+    };
+
+    if (current == nullptr) {
+      if (head == "memory") {
+        if (auto s = expect_args(1); !s) return s.error();
+        auto v = parse_int(line.tokens[1], line.number);
+        if (!v) return v.error();
+        if (*v < 0 || *v > (1 << 24))
+          return fail("line " + std::to_string(line.number) +
+                      ": memory size out of range");
+        m.memory_size = static_cast<std::uint32_t>(*v);
+      } else if (head == "global") {
+        if (auto s = expect_args(1); !s) return s.error();
+        auto v = parse_int(line.tokens[1], line.number);
+        if (!v) return v.error();
+        m.globals.push_back(*v);
+      } else if (head == "import") {
+        // handled in pass 1
+      } else if (head == "buffer") {
+        if (auto s = expect_args(3); !s) return s.error();
+        auto offset = parse_int(line.tokens[2], line.number);
+        if (!offset) return offset.error();
+        auto size = parse_int(line.tokens[3], line.number);
+        if (!size) return size.error();
+        if (*offset < 0 || *size < 0)
+          return fail("line " + std::to_string(line.number) +
+                      ": negative buffer bounds");
+        m.buffers.push_back(BufferDecl{line.tokens[1],
+                                       static_cast<std::uint32_t>(*offset),
+                                       static_cast<std::uint32_t>(*size)});
+      } else if (head == "func") {
+        Function f;
+        f.name = line.tokens[1];
+        for (std::size_t i = 2; i + 1 < line.tokens.size(); i += 2) {
+          auto v = parse_int(line.tokens[i + 1], line.number);
+          if (!v) return v.error();
+          if (line.tokens[i] == "params")
+            f.param_count = static_cast<std::uint32_t>(*v);
+          else if (line.tokens[i] == "locals")
+            f.local_count = static_cast<std::uint32_t>(*v);
+          else
+            return fail("line " + std::to_string(line.number) +
+                        ": unknown func attribute '" + line.tokens[i] + "'");
+        }
+        m.functions.push_back(std::move(f));
+        current = &m.functions.back();
+      } else {
+        return fail("line " + std::to_string(line.number) +
+                    ": unexpected '" + head + "' outside function");
+      }
+      continue;
+    }
+
+    // Inside a function body.
+    if (head == "end") {
+      if (auto s = finish_function(); !s) return s.error();
+      continue;
+    }
+    if (head.size() > 1 && head.back() == ':') {
+      const std::string label = head.substr(0, head.size() - 1);
+      if (labels.contains(label))
+        return fail("line " + std::to_string(line.number) +
+                    ": duplicate label '" + label + "'");
+      labels[label] = current->code.size();
+      continue;
+    }
+
+    auto [op, known] = opcode_from_name(head);
+    if (!known)
+      return fail("line " + std::to_string(line.number) +
+                  ": unknown mnemonic '" + head + "'");
+    Instruction ins{op, 0};
+    const bool is_memory_op =
+        op == Opcode::kLoad8 || op == Opcode::kLoad32 ||
+        op == Opcode::kLoad64 || op == Opcode::kStore8 ||
+        op == Opcode::kStore32 || op == Opcode::kStore64;
+    if (is_memory_op && line.tokens.size() == 1) {
+      // Load/store static offsets default to 0 when omitted.
+      current->code.push_back(ins);
+      continue;
+    }
+    if (opcode_has_immediate(op)) {
+      if (auto s = expect_args(1); !s) return s.error();
+      const std::string& operand = line.tokens[1];
+      switch (op) {
+        case Opcode::kJump:
+        case Opcode::kJumpIf:
+        case Opcode::kJumpIfZ:
+          fixups.emplace_back(current->code.size(), operand);
+          break;
+        case Opcode::kCall: {
+          auto it = function_ids.find(operand);
+          if (it == function_ids.end())
+            return fail("line " + std::to_string(line.number) +
+                        ": unknown function '" + operand + "'");
+          ins.imm = it->second;
+          break;
+        }
+        case Opcode::kCallHost: {
+          auto it = import_ids.find(operand);
+          if (it == import_ids.end())
+            return fail("line " + std::to_string(line.number) +
+                        ": unknown import '" + operand +
+                        "' (declare with 'import')");
+          ins.imm = it->second;
+          break;
+        }
+        default: {
+          auto v = parse_int(operand, line.number);
+          if (!v) return v.error();
+          ins.imm = *v;
+          break;
+        }
+      }
+    } else if (line.tokens.size() != 1) {
+      return fail("line " + std::to_string(line.number) + ": '" + head +
+                  "' takes no operand");
+    }
+    current->code.push_back(ins);
+  }
+
+  if (current != nullptr)
+    return fail("line " + std::to_string(current_line) +
+                ": missing 'end' for function '" + current->name + "'");
+  return m;
+}
+
+std::string disassemble(const Module& m) {
+  std::ostringstream out;
+  out << "memory " << m.memory_size << "\n";
+  for (std::int64_t g : m.globals) out << "global " << g << "\n";
+  for (const std::string& name : m.host_imports) out << "import " << name << "\n";
+  for (const BufferDecl& b : m.buffers)
+    out << "buffer " << b.name << " " << b.offset << " " << b.size << "\n";
+  for (const Function& f : m.functions) {
+    out << "func " << f.name;
+    if (f.param_count) out << " params " << f.param_count;
+    if (f.local_count) out << " locals " << f.local_count;
+    out << "\n";
+    // Collect jump targets so we can print labels.
+    std::map<std::int64_t, std::string> targets;
+    for (const Instruction& ins : f.code) {
+      if (ins.op == Opcode::kJump || ins.op == Opcode::kJumpIf ||
+          ins.op == Opcode::kJumpIfZ) {
+        if (!targets.contains(ins.imm))
+          targets[ins.imm] = "L" + std::to_string(targets.size());
+      }
+    }
+    for (std::size_t pc = 0; pc < f.code.size(); ++pc) {
+      if (auto it = targets.find(static_cast<std::int64_t>(pc));
+          it != targets.end())
+        out << it->second << ":\n";
+      const Instruction& ins = f.code[pc];
+      out << "  " << opcode_name(ins.op);
+      if (opcode_has_immediate(ins.op)) {
+        switch (ins.op) {
+          case Opcode::kJump:
+          case Opcode::kJumpIf:
+          case Opcode::kJumpIfZ:
+            out << " " << targets.at(ins.imm);
+            break;
+          case Opcode::kCall:
+            out << " "
+                << m.functions[static_cast<std::size_t>(ins.imm)].name;
+            break;
+          case Opcode::kCallHost:
+            out << " "
+                << m.host_imports[static_cast<std::size_t>(ins.imm)];
+            break;
+          default:
+            out << " " << ins.imm;
+            break;
+        }
+      }
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+}  // namespace debuglet::vm

@@ -1,0 +1,33 @@
+// Text assembler for DVM modules.
+//
+// A small line-oriented language so examples and tests can write Debuglets
+// readably. Grammar (one construct per line; ';' or '#' start comments):
+//
+//   memory <bytes>
+//   global <init>
+//   import <host_name>
+//   buffer <name> <offset> <size>
+//   func <name> [params <n>] [locals <n>]
+//     <label>:
+//     <mnemonic> [<operand>]
+//   end
+//
+// Operands: integers for immediates; label names for jump/jump_if/jump_ifz;
+// function names for call; import names for call_host. Functions may call
+// functions declared later in the file.
+#pragma once
+
+#include <string_view>
+
+#include "util/result.hpp"
+#include "vm/module.hpp"
+
+namespace debuglet::vm {
+
+/// Assembles source text into a Module. Errors carry line numbers.
+Result<Module> assemble(std::string_view source);
+
+/// Renders a module back to assembler text (labels synthesized as L<n>).
+std::string disassemble(const Module& module);
+
+}  // namespace debuglet::vm

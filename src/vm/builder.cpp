@@ -1,0 +1,106 @@
+#include "vm/builder.hpp"
+
+#include <stdexcept>
+
+namespace debuglet::vm {
+
+FunctionBuilder& FunctionBuilder::emit(Opcode op, std::int64_t imm) {
+  code_.push_back(Instruction{op, opcode_has_immediate(op) ? imm : 0});
+  return *this;
+}
+
+FunctionBuilder::Label FunctionBuilder::make_label() {
+  label_targets_.push_back(-1);
+  return static_cast<Label>(label_targets_.size() - 1);
+}
+
+FunctionBuilder& FunctionBuilder::bind(Label label) {
+  if (label >= label_targets_.size())
+    throw std::logic_error("bind: unknown label");
+  if (label_targets_[label] != -1)
+    throw std::logic_error("bind: label already bound");
+  label_targets_[label] = static_cast<std::int64_t>(code_.size());
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::jump_op(Opcode op, Label label) {
+  if (label >= label_targets_.size())
+    throw std::logic_error("jump: unknown label");
+  fixups_.emplace_back(code_.size(), label);
+  return emit(op, 0);
+}
+
+FunctionBuilder& FunctionBuilder::call(std::string callee) {
+  call_fixups_.emplace_back(code_.size(), std::move(callee));
+  return emit(Opcode::kCall, 0);
+}
+
+FunctionBuilder& FunctionBuilder::call_host(std::string import_name) {
+  const std::uint32_t idx = parent_->import(std::move(import_name));
+  return emit(Opcode::kCallHost, idx);
+}
+
+ModuleBuilder& ModuleBuilder::memory(std::uint32_t bytes) {
+  module_.memory_size = bytes;
+  return *this;
+}
+
+std::uint32_t ModuleBuilder::add_global(std::int64_t init) {
+  module_.globals.push_back(init);
+  return static_cast<std::uint32_t>(module_.globals.size() - 1);
+}
+
+ModuleBuilder& ModuleBuilder::add_buffer(std::string name,
+                                         std::uint32_t offset,
+                                         std::uint32_t size) {
+  module_.buffers.push_back(BufferDecl{std::move(name), offset, size});
+  return *this;
+}
+
+std::uint32_t ModuleBuilder::import(std::string name) {
+  auto it = import_indices_.find(name);
+  if (it != import_indices_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(module_.host_imports.size());
+  module_.host_imports.push_back(name);
+  import_indices_.emplace(std::move(name), idx);
+  return idx;
+}
+
+FunctionBuilder& ModuleBuilder::function(std::string name,
+                                         std::uint32_t params,
+                                         std::uint32_t locals) {
+  for (std::size_t i = 0; i < module_.functions.size(); ++i) {
+    if (module_.functions[i].name == name) return builders_[i];
+  }
+  Function f;
+  f.name = std::move(name);
+  f.param_count = params;
+  f.local_count = locals;
+  module_.functions.push_back(std::move(f));
+  builders_.push_back(
+      FunctionBuilder(*this, module_.functions.size() - 1));
+  return builders_.back();
+}
+
+Module ModuleBuilder::build() {
+  for (std::size_t i = 0; i < builders_.size(); ++i) {
+    FunctionBuilder& fb = builders_[i];
+    for (const auto& [pc, label] : fb.fixups_) {
+      const std::int64_t target = fb.label_targets_[label];
+      if (target < 0)
+        throw std::logic_error("build: unbound label in function '" +
+                               module_.functions[i].name + "'");
+      fb.code_[pc].imm = target;
+    }
+    for (const auto& [pc, callee] : fb.call_fixups_) {
+      const int idx = module_.function_index(callee);
+      if (idx < 0)
+        throw std::logic_error("build: unknown callee '" + callee + "'");
+      fb.code_[pc].imm = idx;
+    }
+    module_.functions[i].code = fb.code_;
+  }
+  return module_;
+}
+
+}  // namespace debuglet::vm

@@ -1,0 +1,94 @@
+// Programmatic DVM module construction.
+//
+// The apps module composes Debuglet programs (echo clients/servers, probe
+// loops) with this builder; tests use it to make targeted modules. Labels
+// resolve forward references, so loops read naturally.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vm/module.hpp"
+
+namespace debuglet::vm {
+
+class ModuleBuilder;
+
+/// Builds one function's body. Obtained from ModuleBuilder::function().
+class FunctionBuilder {
+ public:
+  using Label = std::uint32_t;
+
+  /// Emits an instruction (imm ignored for immediate-less opcodes).
+  FunctionBuilder& emit(Opcode op, std::int64_t imm = 0);
+
+  /// Shorthands for the common cases.
+  FunctionBuilder& constant(std::int64_t v) { return emit(Opcode::kConst, v); }
+  FunctionBuilder& local_get(std::uint32_t i) { return emit(Opcode::kLocalGet, i); }
+  FunctionBuilder& local_set(std::uint32_t i) { return emit(Opcode::kLocalSet, i); }
+  FunctionBuilder& global_get(std::uint32_t i) { return emit(Opcode::kGlobalGet, i); }
+  FunctionBuilder& global_set(std::uint32_t i) { return emit(Opcode::kGlobalSet, i); }
+
+  /// Creates an unbound label.
+  Label make_label();
+
+  /// Binds a label to the next emitted instruction.
+  FunctionBuilder& bind(Label label);
+
+  /// Emits a jump-family instruction targeting a label (bound or not yet).
+  FunctionBuilder& jump(Label label) { return jump_op(Opcode::kJump, label); }
+  FunctionBuilder& jump_if(Label label) { return jump_op(Opcode::kJumpIf, label); }
+  FunctionBuilder& jump_ifz(Label label) { return jump_op(Opcode::kJumpIfZ, label); }
+
+  /// Emits a call to a function by name (resolved at build()).
+  FunctionBuilder& call(std::string callee);
+
+  /// Emits a host call by import name (import registered on first use).
+  FunctionBuilder& call_host(std::string import_name);
+
+  FunctionBuilder& ret() { return emit(Opcode::kReturn); }
+
+ private:
+  friend class ModuleBuilder;
+  FunctionBuilder(ModuleBuilder& parent, std::size_t index)
+      : parent_(&parent), index_(index) {}
+  FunctionBuilder& jump_op(Opcode op, Label label);
+
+  ModuleBuilder* parent_;
+  std::size_t index_;
+  std::vector<Instruction> code_;
+  std::vector<std::int64_t> label_targets_;           // -1 = unbound
+  std::vector<std::pair<std::size_t, Label>> fixups_;  // (pc, label)
+  std::vector<std::pair<std::size_t, std::string>> call_fixups_;
+};
+
+/// Builds a whole module.
+class ModuleBuilder {
+ public:
+  ModuleBuilder& memory(std::uint32_t bytes);
+  /// Returns the new global's index.
+  std::uint32_t add_global(std::int64_t init);
+  /// Declares a named buffer region.
+  ModuleBuilder& add_buffer(std::string name, std::uint32_t offset,
+                            std::uint32_t size);
+  /// Registers a host import explicitly; returns its index. Idempotent.
+  std::uint32_t import(std::string name);
+
+  /// Starts (or continues) a function. Function order = declaration order.
+  FunctionBuilder& function(std::string name, std::uint32_t params = 0,
+                            std::uint32_t locals = 0);
+
+  /// Resolves all labels and call fixups. Throws std::logic_error on
+  /// unbound labels or unknown callees (builder misuse is a bug).
+  Module build();
+
+ private:
+  friend class FunctionBuilder;
+  Module module_;
+  std::vector<FunctionBuilder> builders_;
+  std::map<std::string, std::uint32_t> import_indices_;
+};
+
+}  // namespace debuglet::vm

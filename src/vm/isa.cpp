@@ -1,0 +1,97 @@
+#include "vm/isa.hpp"
+
+#include <map>
+
+namespace debuglet::vm {
+
+namespace {
+
+const std::map<Opcode, std::string>& names() {
+  static const std::map<Opcode, std::string> kNames = {
+      {Opcode::kNop, "nop"},
+      {Opcode::kConst, "const"},
+      {Opcode::kDrop, "drop"},
+      {Opcode::kDup, "dup"},
+      {Opcode::kLocalGet, "local.get"},
+      {Opcode::kLocalSet, "local.set"},
+      {Opcode::kGlobalGet, "global.get"},
+      {Opcode::kGlobalSet, "global.set"},
+      {Opcode::kAdd, "add"},
+      {Opcode::kSub, "sub"},
+      {Opcode::kMul, "mul"},
+      {Opcode::kDivS, "div_s"},
+      {Opcode::kRemS, "rem_s"},
+      {Opcode::kAnd, "and"},
+      {Opcode::kOr, "or"},
+      {Opcode::kXor, "xor"},
+      {Opcode::kShl, "shl"},
+      {Opcode::kShrS, "shr_s"},
+      {Opcode::kShrU, "shr_u"},
+      {Opcode::kEq, "eq"},
+      {Opcode::kNe, "ne"},
+      {Opcode::kLtS, "lt_s"},
+      {Opcode::kGtS, "gt_s"},
+      {Opcode::kLeS, "le_s"},
+      {Opcode::kGeS, "ge_s"},
+      {Opcode::kEqz, "eqz"},
+      {Opcode::kLoad8, "load8"},
+      {Opcode::kLoad32, "load32"},
+      {Opcode::kLoad64, "load64"},
+      {Opcode::kStore8, "store8"},
+      {Opcode::kStore32, "store32"},
+      {Opcode::kStore64, "store64"},
+      {Opcode::kMemSize, "mem.size"},
+      {Opcode::kJump, "jump"},
+      {Opcode::kJumpIf, "jump_if"},
+      {Opcode::kJumpIfZ, "jump_ifz"},
+      {Opcode::kCall, "call"},
+      {Opcode::kCallHost, "call_host"},
+      {Opcode::kReturn, "return"},
+      {Opcode::kAbort, "abort"},
+  };
+  return kNames;
+}
+
+}  // namespace
+
+bool opcode_has_immediate(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kLocalGet:
+    case Opcode::kLocalSet:
+    case Opcode::kGlobalGet:
+    case Opcode::kGlobalSet:
+    case Opcode::kLoad8:
+    case Opcode::kLoad32:
+    case Opcode::kLoad64:
+    case Opcode::kStore8:
+    case Opcode::kStore32:
+    case Opcode::kStore64:
+    case Opcode::kJump:
+    case Opcode::kJumpIf:
+    case Opcode::kJumpIfZ:
+    case Opcode::kCall:
+    case Opcode::kCallHost:
+    case Opcode::kAbort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool opcode_is_valid(std::uint8_t byte) {
+  return names().contains(static_cast<Opcode>(byte));
+}
+
+std::string opcode_name(Opcode op) {
+  auto it = names().find(op);
+  return it != names().end() ? it->second : "invalid";
+}
+
+std::pair<Opcode, bool> opcode_from_name(const std::string& name) {
+  for (const auto& [op, n] : names())
+    if (n == name) return {op, true};
+  return {Opcode::kNop, false};
+}
+
+}  // namespace debuglet::vm

@@ -1,0 +1,87 @@
+// The DVM instruction set.
+//
+// DVM is Debuglet's sandboxed bytecode machine — this repo's substitute for
+// WebAssembly/Wasmer (DESIGN.md §2). It keeps the properties the paper
+// needs from WA (§IV-B): memory safety (every access bounds-checked against
+// a fixed linear memory), bounded execution (fuel), and no ambient
+// authority (the only I/O is through host functions the executor chooses to
+// expose, plus named buffers mapped into linear memory).
+//
+// The machine is a stack machine over 64-bit signed integers. Instructions
+// carry at most one immediate. Control flow is flat jumps with validated
+// in-function targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace debuglet::vm {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0x00,
+  kConst = 0x01,      // imm: value            | push imm
+  kDrop = 0x02,       //                       | pop
+  kDup = 0x03,        //                       | push top
+  kLocalGet = 0x10,   // imm: local index      | push local
+  kLocalSet = 0x11,   // imm: local index      | pop into local
+  kGlobalGet = 0x12,  // imm: global index     | push global
+  kGlobalSet = 0x13,  // imm: global index     | pop into global
+
+  kAdd = 0x20,  // pop b, a; push a + b (wrapping)
+  kSub = 0x21,
+  kMul = 0x22,
+  kDivS = 0x23,  // traps on divide-by-zero or INT64_MIN / -1
+  kRemS = 0x24,  // traps on divide-by-zero
+  kAnd = 0x25,
+  kOr = 0x26,
+  kXor = 0x27,
+  kShl = 0x28,   // shift count masked to 6 bits
+  kShrS = 0x29,
+  kShrU = 0x2A,
+
+  kEq = 0x30,  // pop b, a; push (a == b) ? 1 : 0
+  kNe = 0x31,
+  kLtS = 0x32,
+  kGtS = 0x33,
+  kLeS = 0x34,
+  kGeS = 0x35,
+  kEqz = 0x36,  // pop a; push (a == 0) ? 1 : 0
+
+  kLoad8 = 0x40,    // imm: static offset | pop addr; push mem[addr+imm] (zero-extended)
+  kLoad32 = 0x41,   // little-endian
+  kLoad64 = 0x42,
+  kStore8 = 0x43,   // imm: static offset | pop value, addr; store
+  kStore32 = 0x44,
+  kStore64 = 0x45,
+  kMemSize = 0x46,  // push linear memory size in bytes
+
+  kJump = 0x50,       // imm: instruction index within the function
+  kJumpIf = 0x51,     // pop cond; jump when cond != 0
+  kJumpIfZ = 0x52,    // pop cond; jump when cond == 0
+  kCall = 0x53,       // imm: function index
+  kCallHost = 0x54,   // imm: host import index
+  kReturn = 0x55,     // pop return value; return to caller
+  kAbort = 0x56,      // imm: abort code | trap immediately
+};
+
+/// A decoded instruction.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::int64_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// True if the opcode carries an immediate.
+bool opcode_has_immediate(Opcode op);
+
+/// True if the byte is a defined opcode.
+bool opcode_is_valid(std::uint8_t byte);
+
+/// Mnemonic ("const", "local.get", ...) used by the assembler and traps.
+std::string opcode_name(Opcode op);
+
+/// Reverse of opcode_name; returns false in .second when unknown.
+std::pair<Opcode, bool> opcode_from_name(const std::string& name);
+
+}  // namespace debuglet::vm

@@ -1,0 +1,190 @@
+#include "vm/module.hpp"
+
+namespace debuglet::vm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44564D31;  // "DVM1"
+
+constexpr std::uint8_t kSectionMemory = 1;
+constexpr std::uint8_t kSectionGlobals = 2;
+constexpr std::uint8_t kSectionImports = 3;
+constexpr std::uint8_t kSectionBuffers = 4;
+constexpr std::uint8_t kSectionFunctions = 5;
+constexpr std::uint8_t kSectionEnd = 0;
+
+// Limits enforced at parse time; the validator re-checks semantics.
+constexpr std::uint64_t kMaxMemory = 16 * 1024 * 1024;
+constexpr std::uint64_t kMaxFunctions = 4096;
+constexpr std::uint64_t kMaxCodeLength = 1 << 20;
+constexpr std::uint64_t kMaxGlobals = 4096;
+constexpr std::uint64_t kMaxImports = 256;
+constexpr std::uint64_t kMaxBuffers = 256;
+constexpr std::uint64_t kMaxLocals = 65536;
+
+}  // namespace
+
+int Module::function_index(std::string_view name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i)
+    if (functions[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+int Module::buffer_index(std::string_view name) const {
+  for (std::size_t i = 0; i < buffers.size(); ++i)
+    if (buffers[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+Bytes Module::serialize() const {
+  BytesWriter w;
+  w.u32(kMagic);
+
+  w.u8(kSectionMemory);
+  w.varint(memory_size);
+
+  w.u8(kSectionGlobals);
+  w.varint(globals.size());
+  for (std::int64_t g : globals) w.i64(g);
+
+  w.u8(kSectionImports);
+  w.varint(host_imports.size());
+  for (const std::string& name : host_imports) w.str(name);
+
+  w.u8(kSectionBuffers);
+  w.varint(buffers.size());
+  for (const BufferDecl& b : buffers) {
+    w.str(b.name);
+    w.varint(b.offset);
+    w.varint(b.size);
+  }
+
+  w.u8(kSectionFunctions);
+  w.varint(functions.size());
+  for (const Function& f : functions) {
+    w.str(f.name);
+    w.varint(f.param_count);
+    w.varint(f.local_count);
+    w.varint(f.code.size());
+    for (const Instruction& ins : f.code) {
+      w.u8(static_cast<std::uint8_t>(ins.op));
+      if (opcode_has_immediate(ins.op)) w.i64(ins.imm);
+    }
+  }
+
+  w.u8(kSectionEnd);
+  return w.take();
+}
+
+Result<Module> Module::parse(BytesView data) {
+  BytesReader r(data);
+  auto magic = r.u32();
+  if (!magic) return magic.error();
+  if (*magic != kMagic) return fail("bad DVM module magic");
+
+  Module m;
+  m.memory_size = 0;
+  bool saw_functions = false;
+  for (;;) {
+    auto section = r.u8();
+    if (!section) return section.error();
+    if (*section == kSectionEnd) break;
+    switch (*section) {
+      case kSectionMemory: {
+        auto size = r.varint();
+        if (!size) return size.error();
+        if (*size > kMaxMemory) return fail("memory size exceeds limit");
+        m.memory_size = static_cast<std::uint32_t>(*size);
+        break;
+      }
+      case kSectionGlobals: {
+        auto count = r.varint();
+        if (!count) return count.error();
+        if (*count > kMaxGlobals) return fail("too many globals");
+        m.globals.resize(*count);
+        for (auto& g : m.globals) {
+          auto v = r.i64();
+          if (!v) return v.error();
+          g = *v;
+        }
+        break;
+      }
+      case kSectionImports: {
+        auto count = r.varint();
+        if (!count) return count.error();
+        if (*count > kMaxImports) return fail("too many imports");
+        m.host_imports.resize(*count);
+        for (auto& name : m.host_imports) {
+          auto s = r.str();
+          if (!s) return s.error();
+          name = std::move(*s);
+        }
+        break;
+      }
+      case kSectionBuffers: {
+        auto count = r.varint();
+        if (!count) return count.error();
+        if (*count > kMaxBuffers) return fail("too many buffers");
+        m.buffers.resize(*count);
+        for (auto& b : m.buffers) {
+          auto name = r.str();
+          if (!name) return name.error();
+          auto offset = r.varint();
+          if (!offset) return offset.error();
+          auto size = r.varint();
+          if (!size) return size.error();
+          if (*offset > kMaxMemory || *size > kMaxMemory)
+            return fail("buffer bounds exceed limits");
+          b = BufferDecl{std::move(*name), static_cast<std::uint32_t>(*offset),
+                         static_cast<std::uint32_t>(*size)};
+        }
+        break;
+      }
+      case kSectionFunctions: {
+        auto count = r.varint();
+        if (!count) return count.error();
+        if (*count > kMaxFunctions) return fail("too many functions");
+        m.functions.resize(*count);
+        for (auto& f : m.functions) {
+          auto name = r.str();
+          if (!name) return name.error();
+          f.name = std::move(*name);
+          auto params = r.varint();
+          if (!params) return params.error();
+          auto locals = r.varint();
+          if (!locals) return locals.error();
+          if (*params > kMaxLocals || *locals > kMaxLocals)
+            return fail("too many parameters or locals");
+          f.param_count = static_cast<std::uint32_t>(*params);
+          f.local_count = static_cast<std::uint32_t>(*locals);
+          auto code_len = r.varint();
+          if (!code_len) return code_len.error();
+          if (*code_len > kMaxCodeLength) return fail("function too long");
+          f.code.resize(*code_len);
+          for (auto& ins : f.code) {
+            auto op = r.u8();
+            if (!op) return op.error();
+            if (!opcode_is_valid(*op))
+              return fail("invalid opcode 0x" +
+                          to_hex(BytesView(&*op, 1)));
+            ins.op = static_cast<Opcode>(*op);
+            if (opcode_has_immediate(ins.op)) {
+              auto imm = r.i64();
+              if (!imm) return imm.error();
+              ins.imm = *imm;
+            }
+          }
+        }
+        saw_functions = true;
+        break;
+      }
+      default:
+        return fail("unknown section tag " + std::to_string(*section));
+    }
+  }
+  if (!saw_functions) return fail("module has no function section");
+  if (!r.exhausted()) return fail("trailing bytes after module end");
+  return m;
+}
+
+}  // namespace debuglet::vm

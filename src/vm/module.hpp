@@ -1,0 +1,73 @@
+// DVM module format.
+//
+// A module is the unit a Debuglet is shipped as (the paper ships WA
+// bytecode strings through the marketplace). It declares linear memory
+// size, global variables, host imports by name, named buffer regions
+// (the paper's udp_send_buffer / tcp_receive_buffer / output buffer
+// namespaces, §IV-B), and functions. The entry point is the function named
+// "run_debuglet", mirroring the paper's convention.
+//
+// The binary encoding is a magic header followed by tagged sections; it
+// round-trips exactly and rejects malformed input with precise errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "vm/isa.hpp"
+
+namespace debuglet::vm {
+
+/// Entry-point name every Debuglet must export (paper §IV-B).
+inline constexpr const char* kEntryPointName = "run_debuglet";
+
+/// Well-known buffer names the executor maps (paper §IV-B).
+inline constexpr const char* kUdpSendBuffer = "udp_send_buffer";
+inline constexpr const char* kUdpReceiveBuffer = "udp_receive_buffer";
+inline constexpr const char* kTcpSendBuffer = "tcp_send_buffer";
+inline constexpr const char* kTcpReceiveBuffer = "tcp_receive_buffer";
+inline constexpr const char* kOutputBuffer = "output_buffer";
+
+/// A named region of linear memory.
+struct BufferDecl {
+  std::string name;
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+  bool operator==(const BufferDecl&) const = default;
+};
+
+/// One function: fixed parameter and local counts, flat instruction list.
+/// Every function returns exactly one i64.
+struct Function {
+  std::string name;
+  std::uint32_t param_count = 0;
+  std::uint32_t local_count = 0;  // additional locals beyond parameters
+  std::vector<Instruction> code;
+  bool operator==(const Function&) const = default;
+};
+
+/// A complete DVM module.
+struct Module {
+  std::uint32_t memory_size = 4096;     // linear memory, bytes
+  std::vector<std::int64_t> globals;    // initial global values
+  std::vector<std::string> host_imports;  // names bound at instantiation
+  std::vector<BufferDecl> buffers;
+  std::vector<Function> functions;
+
+  bool operator==(const Module&) const = default;
+
+  /// Index of a function by name; -1 if absent.
+  int function_index(std::string_view name) const;
+
+  /// Index of a buffer by name; -1 if absent.
+  int buffer_index(std::string_view name) const;
+
+  /// Serialized size is what the marketplace charges storage for.
+  Bytes serialize() const;
+  static Result<Module> parse(BytesView data);
+};
+
+}  // namespace debuglet::vm

@@ -1,0 +1,150 @@
+// Decentralized discovery (§VI-A) and bilateral execution tests.
+#include <gtest/gtest.h>
+
+#include "core/debuglet.hpp"
+
+namespace debuglet::core {
+namespace {
+
+using net::Protocol;
+
+TEST(Discovery, FloodReachesEveryAs) {
+  simnet::Scenario s = simnet::build_chain_scenario(6, 55);
+  DiscoveryGossip gossip(*s.network, duration::milliseconds(50));
+  gossip.originate_all();
+  EXPECT_FALSE(gossip.converged()) << "propagation takes simulated time";
+  s.queue->run();
+  EXPECT_TRUE(gossip.converged());
+  // Farthest advertisement crosses 5 hops at 50 ms each.
+  EXPECT_EQ(gossip.last_arrival(), duration::milliseconds(250));
+
+  // Every AS knows every other AS's executors.
+  for (topology::AsNumber viewer : s.network->topology().as_numbers()) {
+    EXPECT_EQ(gossip.known_at(viewer).size(), 6u);
+  }
+  auto adv = gossip.lookup(1, 6);
+  ASSERT_TRUE(adv.ok());
+  EXPECT_EQ(adv->origin, 6u);
+  ASSERT_EQ(adv->executors.size(), 1u);  // chain tail has one interface
+  EXPECT_EQ(adv->executors[0], (topology::InterfaceKey{6, 1}));
+  EXPECT_EQ(adv->addresses[0],
+            s.network->topology().address_of({6, 1}));
+}
+
+TEST(Discovery, DuplicateSuppressionBoundsMessages) {
+  simnet::Scenario s = simnet::build_chain_scenario(5, 56);
+  DiscoveryGossip gossip(*s.network);
+  gossip.originate_all();
+  s.queue->run();
+  // On a 5-node chain each advertisement traverses each directed edge at
+  // most once: 5 origins x 8 directed edges = 40 messages upper bound.
+  EXPECT_LE(gossip.messages_sent(), 40u);
+  EXPECT_TRUE(gossip.converged());
+}
+
+TEST(Discovery, LookupBeforeArrivalFails) {
+  simnet::Scenario s = simnet::build_chain_scenario(4, 57);
+  DiscoveryGossip gossip(*s.network, duration::milliseconds(100));
+  gossip.originate(4);
+  EXPECT_FALSE(gossip.lookup(1, 4).ok());
+  s.queue->run_until(duration::milliseconds(150));
+  EXPECT_FALSE(gossip.lookup(1, 4).ok()) << "3 hops need 300 ms";
+  EXPECT_TRUE(gossip.lookup(3, 4).ok()) << "1 hop done after 100 ms";
+  s.queue->run();
+  EXPECT_TRUE(gossip.lookup(1, 4).ok());
+}
+
+TEST(Discovery, ReoriginationSupersedes) {
+  simnet::Scenario s = simnet::build_chain_scenario(3, 58);
+  DiscoveryGossip gossip(*s.network);
+  gossip.originate(1);
+  s.queue->run();
+  const auto first = gossip.lookup(3, 1);
+  ASSERT_TRUE(first.ok());
+  gossip.originate(1);
+  s.queue->run();
+  const auto second = gossip.lookup(3, 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->sequence, first->sequence);
+}
+
+TEST(Bilateral, DirectExecutionWithoutChain) {
+  simnet::Scenario s = simnet::build_chain_scenario(4, 59, 5.0);
+  const crypto::KeyPair as1_key = crypto::KeyPair::from_seed(71);
+  const crypto::KeyPair as4_key = crypto::KeyPair::from_seed(74);
+  executor::ExecutorService client_exec(*s.network, simnet::chain_egress(0),
+                                        as1_key, {}, 81);
+  executor::ExecutorService server_exec(*s.network,
+                                        simnet::chain_ingress(3), as4_key, {},
+                                        82);
+
+  // Discover the peer executor through routing metadata, then negotiate
+  // directly (no marketplace, no chain).
+  DiscoveryGossip gossip(*s.network);
+  gossip.originate_all();
+  s.queue->run();
+  auto adv = gossip.lookup(1, 4);
+  ASSERT_TRUE(adv.ok());
+  const net::Ipv4Address server_addr = adv->addresses[0];
+  ASSERT_EQ(server_addr, server_exec.address());
+
+  constexpr std::uint16_t kPort = 47000;
+  apps::ProbeClientParams client_params;
+  client_params.protocol = Protocol::kUdp;
+  client_params.server = server_addr;
+  client_params.server_port = kPort;
+  client_params.probe_count = 6;
+  client_params.interval_ms = 100;
+  client_params.recv_timeout_ms = 500;
+  executor::DebugletApp client_app;
+  client_app.application_id = 1;
+  client_app.module_bytes = apps::make_probe_client_debuglet().serialize();
+  client_app.manifest = apps::client_manifest(Protocol::kUdp, server_addr, 6,
+                                              duration::seconds(30));
+  client_app.parameters = client_params.to_parameters();
+
+  apps::EchoServerParams server_params;
+  server_params.protocol = Protocol::kUdp;
+  server_params.idle_timeout_ms = 2000;
+  executor::DebugletApp server_app;
+  server_app.application_id = 2;
+  server_app.module_bytes = apps::make_echo_server_debuglet().serialize();
+  server_app.manifest = apps::server_manifest(
+      Protocol::kUdp, client_exec.address(), 20, duration::seconds(30));
+  server_app.parameters = server_params.to_parameters();
+  server_app.listen_port = kPort;
+
+  std::optional<BilateralOutcome> outcome;
+  ASSERT_TRUE(run_bilateral(client_exec, server_exec, std::move(client_app),
+                            std::move(server_app), duration::seconds(1),
+                            [&](const BilateralOutcome& o) { outcome = o; })
+                  .ok());
+  s.queue->run();
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->client.record.trapped)
+      << outcome->client.record.trap_message;
+  EXPECT_EQ(outcome->client.record.exit_value, 6);
+  // The results are still AS-signed even though nothing is on a chain.
+  EXPECT_TRUE(executor::verify_certified(outcome->client));
+  EXPECT_TRUE(executor::verify_certified(outcome->server));
+  const crypto::PublicKey pk1 = as1_key.public_key();
+  EXPECT_TRUE(executor::verify_certified(outcome->client, &pk1));
+}
+
+TEST(Bilateral, RejectsUndeployableApp) {
+  simnet::Scenario s = simnet::build_chain_scenario(2, 60);
+  executor::ExecutorService a(*s.network, simnet::chain_egress(0),
+                              crypto::KeyPair::from_seed(1), {}, 1);
+  executor::ExecutorService b(*s.network, simnet::chain_ingress(1),
+                              crypto::KeyPair::from_seed(2), {}, 2);
+  executor::DebugletApp bad;
+  bad.module_bytes = bytes_of("garbage");
+  executor::DebugletApp also_bad = bad;
+  EXPECT_FALSE(run_bilateral(a, b, std::move(bad), std::move(also_bad), 0,
+                             [](const BilateralOutcome&) {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace debuglet::core

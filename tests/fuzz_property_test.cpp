@@ -1,0 +1,351 @@
+// Property and fuzz-style tests: the safety claims the sandbox and the
+// codecs make must hold for ARBITRARY inputs, not just well-formed ones.
+//
+//  * Module::parse and net::parse_packet never crash and never accept
+//    garbage silently — random bytes and random mutations of valid inputs
+//    produce clean Result errors or equal re-serializations.
+//  * Randomly generated (validated) DVM programs execute without any
+//    undefined behaviour: they either finish, or trap with a defined trap
+//    kind; fuel strictly bounds execution; identical programs behave
+//    identically.
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/validator.hpp"
+
+namespace debuglet {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.index(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+// --- Codec fuzzing -----------------------------------------------------------
+
+TEST(FuzzModuleParse, RandomBytesNeverCrash) {
+  Rng rng(0xF00D);
+  int accepted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Bytes data = random_bytes(rng, 200);
+    auto parsed = vm::Module::parse(BytesView(data.data(), data.size()));
+    if (parsed.ok()) ++accepted;
+  }
+  // Random bytes essentially never form a module (magic + sections).
+  EXPECT_LE(accepted, 1);
+}
+
+TEST(FuzzModuleParse, MutatedValidModulesParseOrFailCleanly) {
+  // Build a representative valid module once.
+  auto source = R"(
+    memory 4096
+    global 3
+    import dbg_now
+    buffer output_buffer 1024 128
+    func run_debuglet locals 2
+    top:
+      local.get 0
+      const 50
+      ge_s
+      jump_if done
+      local.get 0
+      const 1
+      add
+      local.set 0
+      jump top
+    done:
+      const 0
+      return
+    end
+  )";
+  Rng rng(0xBEEF);
+  // (Assembled through the public pipeline in vm_module_test; here keep a
+  // serialized copy and mutate it.)
+  auto module = vm::Module::parse(BytesView());
+  (void)module;
+  // Build via functions already covered: serialize a valid module.
+  auto parsed_src = [] {
+    vm::Module m;
+    m.memory_size = 4096;
+    m.globals = {3};
+    m.host_imports = {"dbg_now"};
+    m.buffers = {{"output_buffer", 1024, 128}};
+    vm::Function f;
+    f.name = vm::kEntryPointName;
+    f.local_count = 2;
+    f.code = {{vm::Opcode::kConst, 0}, {vm::Opcode::kReturn, 0}};
+    m.functions.push_back(f);
+    return m;
+  }();
+  (void)source;
+  const Bytes valid = parsed_src.serialize();
+  ASSERT_TRUE(vm::Module::parse(BytesView(valid.data(), valid.size())).ok());
+
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.index(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.index(3)) {
+        case 0:  // flip a byte
+          mutated[rng.index(mutated.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.index(255));
+          break;
+        case 1:  // truncate
+          mutated.resize(rng.index(mutated.size()) + 1);
+          break;
+        case 2:  // append junk
+          mutated.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+          break;
+      }
+    }
+    auto result = vm::Module::parse(BytesView(mutated.data(),
+                                              mutated.size()));
+    if (result.ok()) {
+      // Anything accepted must re-serialize canonically and validate-or-
+      // fail without crashing.
+      (void)vm::validate(*result);
+      auto again = vm::Module::parse(BytesView(mutated.data(),
+                                               mutated.size()));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *result);
+    }
+  }
+}
+
+TEST(FuzzPacketParse, RandomBytesNeverCrash) {
+  Rng rng(0xCAFE);
+  for (int i = 0; i < 5000; ++i) {
+    const Bytes data = random_bytes(rng, 120);
+    auto parsed = net::parse_packet(BytesView(data.data(), data.size()));
+    // Overwhelmingly rejected; the checksum makes random acceptance
+    // essentially impossible, but acceptance would not be a bug per se.
+    (void)parsed;
+  }
+  SUCCEED();
+}
+
+TEST(FuzzPacketParse, MutatedProbesDetected) {
+  Rng rng(0xD00F);
+  net::ProbeSpec spec;
+  spec.protocol = net::Protocol::kUdp;
+  spec.source = net::Ipv4Address(10, 0, 1, 200);
+  spec.destination = net::Ipv4Address(10, 0, 2, 200);
+  spec.source_port = 1000;
+  spec.destination_port = 2000;
+  spec.payload = bytes_of("0123456789abcdef");
+  spec.equalized_length = 64;
+  const Bytes valid = *net::build_probe(spec);
+  ASSERT_TRUE(net::parse_packet(BytesView(valid.data(), valid.size())).ok());
+
+  int header_mutations_accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = valid;
+    const std::size_t pos = rng.index(net::Ipv4Header::kSize);
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.index(255));
+    if (net::parse_packet(BytesView(mutated.data(), mutated.size())).ok())
+      ++header_mutations_accepted;
+  }
+  // Single-byte IP-header corruption is caught by the header checksum
+  // except when the flip lands in the checksum-neutral positions; in 2000
+  // random single-byte flips essentially none should slip through.
+  EXPECT_EQ(header_mutations_accepted, 0);
+}
+
+// --- Random-program execution safety -----------------------------------------
+
+// Generates a random module that PASSES validation: indices in range, jump
+// targets in range, body terminated. Stack discipline is NOT guaranteed —
+// underflow/overflow must be caught at run time.
+vm::Module random_program(Rng& rng) {
+  vm::Module m;
+  m.memory_size = 256 + static_cast<std::uint32_t>(rng.index(4096));
+  const std::size_t n_globals = rng.index(4);
+  for (std::size_t i = 0; i < n_globals; ++i)
+    m.globals.push_back(static_cast<std::int64_t>(rng.next_u64()));
+
+  const std::size_t n_functions = 1 + rng.index(3);
+  for (std::size_t fi = 0; fi < n_functions; ++fi) {
+    vm::Function f;
+    f.name = fi == 0 ? vm::kEntryPointName : "fn" + std::to_string(fi);
+    f.param_count = fi == 0 ? 0 : static_cast<std::uint32_t>(rng.index(3));
+    f.local_count = static_cast<std::uint32_t>(rng.index(4));
+    const std::size_t body = 4 + rng.index(60);
+    for (std::size_t pc = 0; pc < body; ++pc) {
+      static const vm::Opcode kPool[] = {
+          vm::Opcode::kNop,      vm::Opcode::kConst,   vm::Opcode::kDrop,
+          vm::Opcode::kDup,      vm::Opcode::kLocalGet, vm::Opcode::kLocalSet,
+          vm::Opcode::kGlobalGet, vm::Opcode::kGlobalSet, vm::Opcode::kAdd,
+          vm::Opcode::kSub,      vm::Opcode::kMul,     vm::Opcode::kDivS,
+          vm::Opcode::kRemS,     vm::Opcode::kAnd,     vm::Opcode::kXor,
+          vm::Opcode::kShl,      vm::Opcode::kShrU,    vm::Opcode::kEq,
+          vm::Opcode::kLtS,      vm::Opcode::kEqz,     vm::Opcode::kLoad8,
+          vm::Opcode::kLoad64,   vm::Opcode::kStore8,  vm::Opcode::kStore64,
+          vm::Opcode::kMemSize,  vm::Opcode::kJump,    vm::Opcode::kJumpIf,
+          vm::Opcode::kJumpIfZ,  vm::Opcode::kCall,    vm::Opcode::kReturn,
+      };
+      vm::Instruction ins;
+      ins.op = kPool[rng.index(std::size(kPool))];
+      switch (ins.op) {
+        case vm::Opcode::kConst:
+          ins.imm = static_cast<std::int64_t>(rng.next_u64());
+          break;
+        case vm::Opcode::kLocalGet:
+        case vm::Opcode::kLocalSet: {
+          const std::uint32_t total = f.param_count + f.local_count;
+          if (total == 0) {
+            ins.op = vm::Opcode::kNop;
+            break;
+          }
+          ins.imm = static_cast<std::int64_t>(rng.index(total));
+          break;
+        }
+        case vm::Opcode::kGlobalGet:
+        case vm::Opcode::kGlobalSet:
+          if (m.globals.empty()) {
+            ins.op = vm::Opcode::kNop;
+            break;
+          }
+          ins.imm = static_cast<std::int64_t>(rng.index(m.globals.size()));
+          break;
+        case vm::Opcode::kLoad8:
+        case vm::Opcode::kLoad64:
+        case vm::Opcode::kStore8:
+        case vm::Opcode::kStore64:
+          ins.imm = static_cast<std::int64_t>(rng.index(m.memory_size));
+          break;
+        case vm::Opcode::kJump:
+        case vm::Opcode::kJumpIf:
+        case vm::Opcode::kJumpIfZ:
+          ins.imm = static_cast<std::int64_t>(rng.index(body));
+          break;
+        case vm::Opcode::kCall:
+          ins.imm = static_cast<std::int64_t>(rng.index(n_functions));
+          break;
+        default:
+          break;
+      }
+      f.code.push_back(ins);
+    }
+    // Ensure a terminating instruction.
+    f.code.push_back({vm::Opcode::kConst, 0});
+    f.code.push_back({vm::Opcode::kReturn, 0});
+    m.functions.push_back(std::move(f));
+  }
+  return m;
+}
+
+TEST(FuzzExecution, RandomProgramsAreContained) {
+  Rng rng(0x5AFE);
+  int finished = 0, trapped = 0;
+  for (int i = 0; i < 400; ++i) {
+    vm::Module m = random_program(rng);
+    ASSERT_TRUE(vm::validate(m).ok()) << "generator produced invalid module";
+    vm::ExecutionLimits limits;
+    limits.fuel = 20'000;
+    auto instance = vm::Instance::create(std::move(m), {}, limits);
+    ASSERT_TRUE(instance.ok());
+    const vm::RunOutcome out = instance->run();
+    if (out.trapped) {
+      ++trapped;
+      EXPECT_NE(out.trap, vm::TrapKind::kNone);
+      EXPECT_FALSE(out.trap_message.empty());
+    } else {
+      ++finished;
+    }
+    EXPECT_LE(out.fuel_used, limits.fuel);
+  }
+  // Unconstrained stack programs nearly always trap (underflow within a
+  // few instructions); what matters is that BOTH outcomes occur and every
+  // trap is a defined kind.
+  EXPECT_GE(finished, 1);
+  EXPECT_GT(trapped, 300);
+}
+
+TEST(FuzzExecution, DeterministicAcrossRuns) {
+  Rng rng_a(0xD373), rng_b(0xD373);
+  for (int i = 0; i < 50; ++i) {
+    vm::Module ma = random_program(rng_a);
+    vm::Module mb = random_program(rng_b);
+    ASSERT_EQ(ma, mb);
+    vm::ExecutionLimits limits;
+    limits.fuel = 20'000;
+    auto ia = vm::Instance::create(std::move(ma), {}, limits);
+    auto ib = vm::Instance::create(std::move(mb), {}, limits);
+    const vm::RunOutcome oa = ia->run();
+    const vm::RunOutcome ob = ib->run();
+    EXPECT_EQ(oa.trapped, ob.trapped);
+    EXPECT_EQ(oa.trap, ob.trap);
+    EXPECT_EQ(oa.value, ob.value);
+    EXPECT_EQ(oa.fuel_used, ob.fuel_used);
+  }
+}
+
+TEST(FuzzExecution, FuelStrictlyBoundsWork) {
+  // The same infinite loop under different fuel budgets must report
+  // exactly the budget as used.
+  vm::Module m;
+  m.memory_size = 64;
+  vm::Function f;
+  f.name = vm::kEntryPointName;
+  f.code = {{vm::Opcode::kJump, 0}};
+  m.functions.push_back(f);
+  ASSERT_TRUE(vm::validate(m).ok());
+  for (std::uint64_t fuel : {1ULL, 10ULL, 1000ULL, 123456ULL}) {
+    vm::ExecutionLimits limits;
+    limits.fuel = fuel;
+    auto instance = vm::Instance::create(m, {}, limits);
+    const vm::RunOutcome out = instance->run();
+    EXPECT_TRUE(out.trapped);
+    EXPECT_EQ(out.trap, vm::TrapKind::kOutOfFuel);
+    EXPECT_EQ(out.fuel_used, fuel);
+  }
+}
+
+// --- Round-trip property over random manifests -------------------------------
+
+TEST(FuzzRoundTrip, BytesWriterReaderArbitrarySequences) {
+  Rng rng(0x0DDB);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Write a random sequence of typed fields, then read it back.
+    std::vector<int> kinds;
+    BytesWriter w;
+    std::vector<std::uint64_t> u64s;
+    std::vector<std::string> strs;
+    const std::size_t n = 1 + rng.index(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        kinds.push_back(0);
+        u64s.push_back(rng.next_u64());
+        w.varint(u64s.back());
+      } else {
+        kinds.push_back(1);
+        std::string s;
+        const std::size_t len = rng.index(40);
+        for (std::size_t c = 0; c < len; ++c)
+          s.push_back(static_cast<char>('a' + rng.index(26)));
+        strs.push_back(s);
+        w.str(s);
+      }
+    }
+    BytesReader r(BytesView(w.bytes().data(), w.bytes().size()));
+    std::size_t ui = 0, si = 0;
+    for (int kind : kinds) {
+      if (kind == 0) {
+        auto v = r.varint();
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(*v, u64s[ui++]);
+      } else {
+        auto s = r.str();
+        ASSERT_TRUE(s.ok());
+        EXPECT_EQ(*s, strs[si++]);
+      }
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+}  // namespace
+}  // namespace debuglet

@@ -1,0 +1,130 @@
+// Measurement archive and degradation-onset tests (paper §VI-F).
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+
+namespace debuglet::core {
+namespace {
+
+RttSummary summary(double mean_ms, std::size_t answered = 10,
+                   std::size_t sent = 10) {
+  RttSummary s;
+  s.probes_sent = sent;
+  s.probes_answered = answered;
+  s.mean_ms = mean_ms;
+  s.std_ms = 1.0;
+  s.min_ms = mean_ms - 2;
+  s.max_ms = mean_ms + 2;
+  return s;
+}
+
+const DiagnosticKey kKey{{1, 2}, {4, 1}, net::Protocol::kUdp};
+
+TEST(Archive, RecordAndHistory) {
+  MeasurementArchive archive;
+  archive.record(kKey, duration::seconds(1), summary(20));
+  archive.record(kKey, duration::seconds(2), summary(21));
+  ASSERT_EQ(archive.history(kKey).size(), 2u);
+  EXPECT_EQ(archive.history(kKey)[0].measured_at, duration::seconds(1));
+  EXPECT_DOUBLE_EQ(archive.history(kKey)[1].summary.mean_ms, 21.0);
+  EXPECT_TRUE(archive.history({{9, 9}, {9, 9}}).empty());
+  EXPECT_EQ(archive.total_entries(), 2u);
+}
+
+TEST(Archive, RetentionPrunes) {
+  MeasurementArchive archive(duration::hours(1));
+  archive.record(kKey, duration::minutes(0), summary(20));
+  archive.record(kKey, duration::minutes(30), summary(20));
+  archive.record(kKey, duration::minutes(90), summary(20));
+  // The 0-minute entry fell out of the 1-hour window.
+  ASSERT_EQ(archive.history(kKey).size(), 2u);
+  EXPECT_EQ(archive.history(kKey)[0].measured_at, duration::minutes(30));
+}
+
+TEST(Archive, EntriesRoundTrip) {
+  const ArchivedMeasurement m{duration::seconds(5), summary(33.5, 9, 10)};
+  const Bytes b = m.serialize();
+  auto back = ArchivedMeasurement::parse(BytesView(b.data(), b.size()));
+  ASSERT_TRUE(back.ok()) << back.error_message();
+  EXPECT_EQ(back->measured_at, m.measured_at);
+  EXPECT_DOUBLE_EQ(back->summary.mean_ms, 33.5);
+  EXPECT_EQ(back->summary.probes_answered, 9u);
+}
+
+TEST(Archive, AnchorCommitsToContent) {
+  MeasurementArchive a, b;
+  a.record(kKey, 1, summary(20));
+  b.record(kKey, 1, summary(20));
+  EXPECT_EQ(a.anchor(kKey), b.anchor(kKey));
+  b.record(kKey, 2, summary(25));
+  EXPECT_NE(a.anchor(kKey), b.anchor(kKey));
+}
+
+TEST(Archive, ProofsVerifyAgainstAnchor) {
+  MeasurementArchive archive;
+  for (int i = 0; i < 7; ++i)
+    archive.record(kKey, duration::seconds(i), summary(20.0 + i));
+  const crypto::Digest root = archive.anchor(kKey);
+  for (std::size_t i = 0; i < 7; ++i) {
+    auto proof = archive.prove(kKey, i);
+    ASSERT_TRUE(proof.ok());
+    const Bytes leaf = archive.history(kKey)[i].serialize();
+    EXPECT_TRUE(crypto::merkle_verify(root,
+                                      BytesView(leaf.data(), leaf.size()),
+                                      *proof));
+  }
+  EXPECT_FALSE(archive.prove(kKey, 7).ok());
+}
+
+TEST(Degradation, FindsRttOnset) {
+  std::vector<ArchivedMeasurement> series;
+  for (int i = 0; i < 10; ++i)
+    series.push_back({duration::minutes(i), summary(20.0)});
+  for (int i = 10; i < 20; ++i)
+    series.push_back({duration::minutes(i), summary(55.0)});
+  const DegradationReport report = detect_degradation(series, 10.0);
+  ASSERT_TRUE(report.degraded);
+  EXPECT_EQ(report.onset, duration::minutes(10));
+  EXPECT_NEAR(report.baseline_ms, 20.0, 0.1);
+  EXPECT_NEAR(report.degraded_ms, 55.0, 0.1);
+}
+
+TEST(Degradation, ToleratesNoiseBelowThreshold) {
+  std::vector<ArchivedMeasurement> series;
+  for (int i = 0; i < 20; ++i)
+    series.push_back({duration::minutes(i), summary(20.0 + (i % 3))});
+  EXPECT_FALSE(detect_degradation(series, 10.0).degraded);
+}
+
+TEST(Degradation, LossOnsetDetected) {
+  std::vector<ArchivedMeasurement> series;
+  for (int i = 0; i < 8; ++i)
+    series.push_back({duration::minutes(i), summary(20.0, 10, 10)});
+  for (int i = 8; i < 16; ++i)
+    series.push_back({duration::minutes(i), summary(20.0, 5, 10)});
+  const DegradationReport report = detect_degradation(series, 10.0);
+  ASSERT_TRUE(report.degraded);
+  EXPECT_EQ(report.onset, duration::minutes(8));
+}
+
+TEST(Degradation, ShortSeriesInconclusive) {
+  std::vector<ArchivedMeasurement> series = {
+      {0, summary(20)}, {1, summary(90)}, {2, summary(90)}};
+  EXPECT_FALSE(detect_degradation(series, 10.0).degraded);
+}
+
+TEST(Degradation, EarliestOnsetChosen) {
+  std::vector<ArchivedMeasurement> series;
+  for (int i = 0; i < 6; ++i)
+    series.push_back({duration::minutes(i), summary(20.0)});
+  for (int i = 6; i < 12; ++i)
+    series.push_back({duration::minutes(i), summary(40.0)});
+  for (int i = 12; i < 18; ++i)
+    series.push_back({duration::minutes(i), summary(70.0)});
+  const DegradationReport report = detect_degradation(series, 10.0);
+  ASSERT_TRUE(report.degraded);
+  EXPECT_EQ(report.onset, duration::minutes(6)) << "first step wins";
+}
+
+}  // namespace
+}  // namespace debuglet::core

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include "marketplace/contract.hpp"
+
+namespace debuglet::marketplace {
+namespace {
+
+using topology::InterfaceKey;
+
+struct MarketFixture : ::testing::Test {
+  void SetUp() override {
+    auto contract = std::make_unique<MarketplaceContract>();
+    market = contract.get();
+    ASSERT_TRUE(chain.register_contract(std::move(contract)).ok());
+    for (auto* key : {&as1, &as2, &initiator})
+      chain.mint(chain::Address::of(key->public_key()), 1'000'000'000'000ULL);
+  }
+
+  chain::Receipt must_submit(const crypto::KeyPair& key,
+                             const std::string& function, Bytes args,
+                             chain::Mist tokens = 0) {
+    auto receipt = chain.submit(chain.make_transaction(
+        key, kContractName, function, std::move(args), tokens));
+    EXPECT_TRUE(receipt.ok()) << receipt.error_message();
+    return *receipt;
+  }
+
+  void register_executor(const crypto::KeyPair& owner, InterfaceKey key) {
+    auto r = must_submit(owner, "RegisterExecutor",
+                         RegisterExecutorArgs{key}.serialize());
+    ASSERT_TRUE(r.success) << r.error;
+  }
+
+  void register_slots(const crypto::KeyPair& owner, InterfaceKey key,
+                      std::vector<TimeSlot> slots) {
+    auto r = must_submit(owner, "RegisterTimeSlot",
+                         RegisterTimeSlotArgs{key, std::move(slots)}
+                             .serialize());
+    ASSERT_TRUE(r.success) << r.error;
+  }
+
+  static TimeSlot slot(SimTime start, SimTime end, chain::Mist price) {
+    TimeSlot s;
+    s.start = start;
+    s.end = end;
+    s.price = price;
+    return s;
+  }
+
+  ApplicationPayload payload(const std::string& tag) const {
+    ApplicationPayload p;
+    p.bytecode = bytes_of("bytecode-" + tag);
+    p.manifest = bytes_of("manifest-" + tag);
+    p.parameters = {1, 2, 3};
+    p.listen_port = 4500;
+    return p;
+  }
+
+  chain::Blockchain chain;
+  MarketplaceContract* market = nullptr;
+  crypto::KeyPair as1 = crypto::KeyPair::from_seed(201);
+  crypto::KeyPair as2 = crypto::KeyPair::from_seed(202);
+  crypto::KeyPair initiator = crypto::KeyPair::from_seed(203);
+  const InterfaceKey key1{1, 2};
+  const InterfaceKey key2{2, 1};
+};
+
+TEST_F(MarketFixture, RegisterExecutorIdempotentButExclusive) {
+  register_executor(as1, key1);
+  EXPECT_EQ(market->registered_executors(), 1u);
+  // Same owner re-registering is fine.
+  auto again = must_submit(as1, "RegisterExecutor",
+                           RegisterExecutorArgs{key1}.serialize());
+  EXPECT_TRUE(again.success);
+  // A different owner claiming the same key is rejected.
+  auto steal = must_submit(as2, "RegisterExecutor",
+                           RegisterExecutorArgs{key1}.serialize());
+  EXPECT_FALSE(steal.success);
+}
+
+TEST_F(MarketFixture, RegisterTimeSlotRequiresOwnership) {
+  register_executor(as1, key1);
+  auto r = must_submit(as2, "RegisterTimeSlot",
+                       RegisterTimeSlotArgs{key1, {slot(0, 100, 5)}}
+                           .serialize());
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("own"), std::string::npos);
+}
+
+TEST_F(MarketFixture, RejectsOverlappingAndEmptySlots) {
+  register_executor(as1, key1);
+  auto bad = must_submit(as1, "RegisterTimeSlot",
+                         RegisterTimeSlotArgs{key1, {slot(10, 10, 5)}}
+                             .serialize());
+  EXPECT_FALSE(bad.success);
+  register_slots(as1, key1, {slot(0, 100, 5)});
+  auto overlap = must_submit(as1, "RegisterTimeSlot",
+                             RegisterTimeSlotArgs{key1, {slot(50, 150, 5)}}
+                                 .serialize());
+  EXPECT_FALSE(overlap.success);
+}
+
+TEST_F(MarketFixture, LookupFindsEarliestCommonWindow) {
+  register_executor(as1, key1);
+  register_executor(as2, key2);
+  register_slots(as1, key1, {slot(0, 100, 5), slot(200, 300, 5)});
+  register_slots(as2, key2, {slot(150, 260, 7)});
+
+  LookupSlotArgs query;
+  query.client_key = key1;
+  query.server_key = key2;
+  auto r = must_submit(initiator, "LookupSlot", query.serialize());
+  ASSERT_TRUE(r.success) << r.error;
+  auto quote = SlotQuote::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+  ASSERT_TRUE(quote.ok());
+  ASSERT_TRUE(quote->found);
+  EXPECT_EQ(quote->window_start, 200);
+  EXPECT_EQ(quote->window_end, 260);
+  EXPECT_EQ(quote->total_price, 12u);
+}
+
+TEST_F(MarketFixture, LookupHonorsResourcesAndEarliestStart) {
+  register_executor(as1, key1);
+  register_executor(as2, key2);
+  TimeSlot small = slot(0, 100, 5);
+  small.cores = 1;
+  TimeSlot big = slot(200, 300, 9);
+  big.cores = 8;
+  register_slots(as1, key1, {small, big});
+  TimeSlot server_slot = slot(0, 400, 3);
+  server_slot.cores = 8;
+  register_slots(as2, key2, {server_slot});
+
+  LookupSlotArgs query;
+  query.client_key = key1;
+  query.server_key = key2;
+  query.cores = 4;  // only `big` qualifies
+  auto r = must_submit(initiator, "LookupSlot", query.serialize());
+  auto quote = SlotQuote::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+  ASSERT_TRUE(quote->found);
+  EXPECT_EQ(quote->window_start, 200);
+
+  LookupSlotArgs late = query;
+  late.cores = 1;
+  late.earliest_start = 150;
+  auto r2 = must_submit(initiator, "LookupSlot", late.serialize());
+  auto quote2 = SlotQuote::parse(
+      BytesView(r2.return_value.data(), r2.return_value.size()));
+  ASSERT_TRUE(quote2->found);
+  EXPECT_GE(quote2->window_start, 150);
+}
+
+TEST_F(MarketFixture, LookupNotFoundCases) {
+  register_executor(as1, key1);
+  register_slots(as1, key1, {slot(0, 100, 5)});
+  LookupSlotArgs query;
+  query.client_key = key1;
+  query.server_key = key2;  // never registered
+  auto r = must_submit(initiator, "LookupSlot", query.serialize());
+  auto quote = SlotQuote::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+  EXPECT_FALSE(quote->found);
+}
+
+struct PurchasedFixture : MarketFixture {
+  void SetUp() override {
+    MarketFixture::SetUp();
+    register_executor(as1, key1);
+    register_executor(as2, key2);
+    register_slots(as1, key1, {slot(1000, 2000, 50)});
+    register_slots(as2, key2, {slot(1500, 2500, 70)});
+  }
+
+  chain::Receipt purchase(chain::Mist tokens) {
+    PurchaseSlotArgs args;
+    args.client_key = key1;
+    args.server_key = key2;
+    args.client_slot = slot(1000, 2000, 50);
+    args.server_slot = slot(1500, 2500, 70);
+    args.client_app = payload("client");
+    args.server_app = payload("server");
+    return must_submit(initiator, "PurchaseSlot", args.serialize(), tokens);
+  }
+};
+
+TEST_F(PurchasedFixture, PurchaseCreatesApplicationsAndEmitsEvents) {
+  std::vector<std::string> deployed_keys;
+  chain.subscribe(kContractName, kEventDebugletDeployed, "",
+                  [&](const chain::Event& e) {
+                    deployed_keys.push_back(e.key);
+                  });
+  auto r = purchase(120);
+  ASSERT_TRUE(r.success) << r.error;
+  auto receipt = PurchaseReceipt::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->window_start, 1500);
+  EXPECT_EQ(receipt->window_end, 2000);
+  EXPECT_EQ(deployed_keys,
+            (std::vector<std::string>{"AS1#2", "AS2#1"}));
+
+  // The application objects live on-chain with the bytecode inside.
+  auto obj = chain.read_object(receipt->client_application);
+  ASSERT_TRUE(obj.ok());
+  auto app = ApplicationObject::parse(BytesView(obj->data(), obj->size()));
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app->executor_key, key1);
+  EXPECT_EQ(app->role, 0);
+  EXPECT_EQ(app->embedded_tokens, 50u);
+  EXPECT_EQ(string_of(BytesView(app->payload.bytecode.data(),
+                                app->payload.bytecode.size())),
+            "bytecode-client");
+
+  // The purchased slots are gone.
+  EXPECT_TRUE(market->available_slots(key1).empty());
+  EXPECT_TRUE(market->available_slots(key2).empty());
+  EXPECT_EQ(market->applications_for(key1, key2).size(), 2u);
+}
+
+TEST_F(PurchasedFixture, PurchaseRefundsExcessTokens) {
+  const chain::Address addr = chain::Address::of(initiator.public_key());
+  const chain::Mist before = chain.balance(addr);
+  auto r = purchase(500);  // price is 120
+  ASSERT_TRUE(r.success);
+  // Net spend: gas + 120 (excess 380 refunded).
+  EXPECT_EQ(before - chain.balance(addr), r.gas_charged + 120);
+  EXPECT_EQ(chain.escrow_balance(kContractName), 120u);
+}
+
+TEST_F(PurchasedFixture, PurchaseInsufficientTokensFails) {
+  auto r = purchase(100);  // needs 120
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("below slot price"), std::string::npos);
+  // Slots remain available.
+  EXPECT_EQ(market->available_slots(key1).size(), 1u);
+}
+
+TEST_F(PurchasedFixture, DoublePurchaseFails) {
+  ASSERT_TRUE(purchase(120).success);
+  auto r = purchase(120);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("not available"), std::string::npos);
+}
+
+TEST_F(PurchasedFixture, ResultReadyPaysExecutorAndPublishes) {
+  auto r = purchase(120);
+  ASSERT_TRUE(r.success);
+  auto receipt = *PurchaseReceipt::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+
+  std::vector<std::string> result_events;
+  chain.subscribe(kContractName, kEventResultReady,
+                  std::to_string(receipt.client_application),
+                  [&](const chain::Event& e) {
+                    result_events.push_back(e.key);
+                  });
+
+  const chain::Address as1_addr = chain::Address::of(as1.public_key());
+  const chain::Mist before = chain.balance(as1_addr);
+  ResultReadyArgs args;
+  args.application = receipt.client_application;
+  args.result = bytes_of("certified-result-bytes");
+  auto rr = must_submit(as1, "ResultReady", args.serialize());
+  ASSERT_TRUE(rr.success) << rr.error;
+  // as1 earned the embedded 50 tokens (minus its gas for the call).
+  EXPECT_EQ(chain.balance(as1_addr) + rr.gas_charged - before, 50u);
+  EXPECT_EQ(result_events.size(), 1u);
+
+  // LookupResult returns the stored result.
+  LookupResultArgs lookup;
+  lookup.application = receipt.client_application;
+  auto view = chain.view(kContractName, "LookupResult", lookup.serialize());
+  ASSERT_TRUE(view.ok());
+  auto entry = ResultEntry::parse(BytesView(view->data(), view->size()));
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(entry->found);
+  EXPECT_EQ(string_of(BytesView(entry->result.data(), entry->result.size())),
+            "certified-result-bytes");
+  // The result object itself is on-chain.
+  EXPECT_TRUE(chain.object_exists(entry->result_object));
+}
+
+TEST_F(PurchasedFixture, ResultReadyOnlyByAssignedExecutor) {
+  auto r = purchase(120);
+  auto receipt = *PurchaseReceipt::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+  ResultReadyArgs args;
+  args.application = receipt.client_application;  // assigned to as1
+  args.result = bytes_of("forged");
+  auto rr = must_submit(as2, "ResultReady", args.serialize());
+  EXPECT_FALSE(rr.success);
+  EXPECT_NE(rr.error.find("not the executor"), std::string::npos);
+}
+
+TEST_F(PurchasedFixture, ResultReadyRejectsDoubleReport) {
+  auto r = purchase(120);
+  auto receipt = *PurchaseReceipt::parse(
+      BytesView(r.return_value.data(), r.return_value.size()));
+  ResultReadyArgs args;
+  args.application = receipt.client_application;
+  args.result = bytes_of("first");
+  ASSERT_TRUE(must_submit(as1, "ResultReady", args.serialize()).success);
+  args.result = bytes_of("second, revised to look better");
+  auto again = must_submit(as1, "ResultReady", args.serialize());
+  EXPECT_FALSE(again.success);
+  EXPECT_NE(again.error.find("already reported"), std::string::npos);
+}
+
+TEST_F(PurchasedFixture, LookupResultUnknownApplication) {
+  LookupResultArgs lookup;
+  lookup.application = 9999;
+  auto view = chain.view(kContractName, "LookupResult", lookup.serialize());
+  ASSERT_TRUE(view.ok());
+  auto entry = ResultEntry::parse(BytesView(view->data(), view->size()));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry->found);
+}
+
+TEST_F(MarketFixture, UnknownFunctionRejected) {
+  auto r = must_submit(initiator, "Nonsense", {});
+  EXPECT_FALSE(r.success);
+}
+
+TEST(MarketplaceTypes, AllCodecsRoundTrip) {
+  RegisterExecutorArgs re{InterfaceKey{64500, 9}};
+  EXPECT_EQ(RegisterExecutorArgs::parse(
+                BytesView(re.serialize().data(), re.serialize().size()))
+                ->key,
+            re.key);
+
+  TimeSlot s;
+  s.cores = 4;
+  s.memory_bytes = 123456;
+  s.bandwidth_bps = 999;
+  s.start = -5;
+  s.end = 100;
+  s.price = 77;
+  RegisterTimeSlotArgs rts{InterfaceKey{1, 1}, {s, s}};
+  const Bytes rts_b = rts.serialize();
+  auto rts_back = RegisterTimeSlotArgs::parse(
+      BytesView(rts_b.data(), rts_b.size()));
+  ASSERT_TRUE(rts_back.ok());
+  EXPECT_EQ(rts_back->slots.size(), 2u);
+  EXPECT_EQ(rts_back->slots[0], s);
+
+  ApplicationPayload p;
+  p.bytecode = bytes_of("code");
+  p.manifest = bytes_of("manifest");
+  p.parameters = {-1, 0, 42};
+  p.listen_port = 40123;
+  const Bytes pb = p.serialize();
+  auto p_back = ApplicationPayload::parse(BytesView(pb.data(), pb.size()));
+  ASSERT_TRUE(p_back.ok());
+  EXPECT_EQ(p_back->parameters, p.parameters);
+  EXPECT_EQ(p_back->listen_port, 40123);
+
+  ApplicationObject obj;
+  obj.executor_key = InterfaceKey{3, 4};
+  obj.role = 1;
+  obj.window_start = 10;
+  obj.window_end = 20;
+  obj.embedded_tokens = 5;
+  obj.payload = p;
+  const Bytes ob = obj.serialize();
+  auto obj_back = ApplicationObject::parse(BytesView(ob.data(), ob.size()));
+  ASSERT_TRUE(obj_back.ok());
+  EXPECT_EQ(obj_back->executor_key, obj.executor_key);
+  EXPECT_EQ(obj_back->embedded_tokens, 5u);
+
+  // Truncation fails cleanly for every codec.
+  EXPECT_FALSE(ApplicationObject::parse(BytesView(ob.data(), 3)).ok());
+  EXPECT_FALSE(RegisterTimeSlotArgs::parse(BytesView(rts_b.data(), 5)).ok());
+}
+
+}  // namespace
+}  // namespace debuglet::marketplace

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace debuglet::net {
+namespace {
+
+TEST(Address, ParseAndFormat) {
+  auto a = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->to_string(), "10.1.2.3");
+  EXPECT_EQ(a->value, 0x0A010203u);
+  EXPECT_EQ(Ipv4Address(10, 1, 2, 3), *a);
+}
+
+TEST(Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2").ok());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.3.4").ok());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.300").ok());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").ok());
+  EXPECT_FALSE(Ipv4Address::parse("").ok());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").ok());
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: verifying over data + checksum yields 0.
+  const Bytes data = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+                      0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+                      0xc0, 0xa8, 0x00, 0xc7};
+  const std::uint16_t sum = internet_checksum(BytesView(data.data(),
+                                                        data.size()));
+  Bytes with = data;
+  with[10] = static_cast<std::uint8_t>(sum >> 8);
+  with[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(BytesView(with.data(), with.size())), 0);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const Bytes data = {0x01, 0x02, 0x03};
+  EXPECT_NE(internet_checksum(BytesView(data.data(), data.size())), 0);
+}
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.identification = 777;
+  h.ttl = 61;
+  h.protocol = 17;
+  h.source = Ipv4Address(10, 0, 1, 2);
+  h.destination = Ipv4Address(10, 0, 3, 4);
+  Bytes wire = h.serialize();
+  wire.resize(40, 0);  // pad to the declared total length
+  auto back = Ipv4Header::parse(BytesView(wire.data(), wire.size()));
+  ASSERT_TRUE(back.ok()) << back.error_message();
+  EXPECT_EQ(back->total_length, 40);
+  EXPECT_EQ(back->identification, 777);
+  EXPECT_EQ(back->ttl, 61);
+  EXPECT_EQ(back->protocol, 17);
+  EXPECT_EQ(back->source, h.source);
+  EXPECT_EQ(back->destination, h.destination);
+}
+
+TEST(Ipv4Header, CorruptionDetected) {
+  Ipv4Header h;
+  h.total_length = 20;
+  h.protocol = 6;
+  h.source = Ipv4Address(1, 2, 3, 4);
+  h.destination = Ipv4Address(5, 6, 7, 8);
+  Bytes wire = h.serialize();
+  wire[12] ^= 0xFF;  // flip a source-address byte
+  EXPECT_FALSE(Ipv4Header::parse(BytesView(wire.data(), wire.size())).ok());
+}
+
+TEST(Ipv4Header, RejectsTruncation) {
+  Ipv4Header h;
+  h.total_length = 20;
+  Bytes wire = h.serialize();
+  EXPECT_FALSE(Ipv4Header::parse(BytesView(wire.data(), 19)).ok());
+}
+
+class ProbeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Protocol, std::uint16_t>> {};
+
+TEST_P(ProbeRoundTrip, BuildsParsesAndEqualizesLength) {
+  const auto [protocol, length] = GetParam();
+  ProbeSpec spec;
+  spec.protocol = protocol;
+  spec.source = Ipv4Address(10, 0, 100, 200);
+  spec.destination = Ipv4Address(10, 0, 101, 201);
+  spec.source_port = 40001;
+  spec.destination_port = 50001;
+  spec.sequence = 321;
+  spec.tcp_sequence = 0xABCD1234;
+  spec.payload = bytes_of("probe-payload!!!");  // 16 bytes
+  spec.equalized_length = length;
+
+  auto wire = build_probe(spec);
+  ASSERT_TRUE(wire.ok()) << wire.error_message();
+  EXPECT_EQ(wire->size(), length);  // the paper's equal-length requirement
+
+  auto packet = parse_packet(BytesView(wire->data(), wire->size()));
+  ASSERT_TRUE(packet.ok()) << packet.error_message();
+  EXPECT_EQ(packet->protocol, protocol);
+  EXPECT_EQ(packet->ip.source, spec.source);
+  EXPECT_EQ(packet->ip.destination, spec.destination);
+  ASSERT_GE(packet->payload.size(), 16u);
+  EXPECT_EQ(Bytes(packet->payload.begin(), packet->payload.begin() + 16),
+            spec.payload);
+  switch (protocol) {
+    case Protocol::kUdp:
+      ASSERT_TRUE(packet->udp.has_value());
+      EXPECT_EQ(packet->udp->source_port, 40001);
+      EXPECT_EQ(packet->udp->destination_port, 50001);
+      break;
+    case Protocol::kTcp:
+      ASSERT_TRUE(packet->tcp.has_value());
+      EXPECT_EQ(packet->tcp->sequence, 0xABCD1234u);
+      EXPECT_EQ(packet->tcp->flags, 0) << "probes carry no TCP flags";
+      break;
+    case Protocol::kIcmp:
+      ASSERT_TRUE(packet->icmp.has_value());
+      EXPECT_EQ(packet->icmp->type, 8);
+      // (identifier, sequence) carry (dst port, src port) by convention.
+      EXPECT_EQ(packet->icmp->identifier, 50001);
+      EXPECT_EQ(packet->icmp->sequence, 40001);
+      EXPECT_EQ(packet->ip.identification, 321);
+      break;
+    case Protocol::kRawIp:
+      EXPECT_EQ(packet->ip.protocol, 201);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAndSizes, ProbeRoundTrip,
+    ::testing::Combine(::testing::Values(Protocol::kUdp, Protocol::kTcp,
+                                         Protocol::kIcmp, Protocol::kRawIp),
+                       ::testing::Values<std::uint16_t>(64, 128, 512, 1400)));
+
+TEST(Probe, EqualizedLengthTooSmallFails) {
+  ProbeSpec spec;
+  spec.protocol = Protocol::kTcp;
+  spec.payload = bytes_of("0123456789abcdef");
+  spec.equalized_length = 50;  // < 20 IP + 20 TCP + 16 payload
+  EXPECT_FALSE(build_probe(spec).ok());
+}
+
+TEST(Probe, ZeroEqualizationKeepsPayload) {
+  ProbeSpec spec;
+  spec.protocol = Protocol::kUdp;
+  spec.payload = bytes_of("xy");
+  auto wire = build_probe(spec);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->size(), 20u + 8u + 2u);
+}
+
+class EchoReply : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(EchoReply, SwapsEndpointsAndEchoesPayload) {
+  ProbeSpec spec;
+  spec.protocol = GetParam();
+  spec.source = Ipv4Address(10, 0, 1, 1);
+  spec.destination = Ipv4Address(10, 0, 2, 2);
+  spec.source_port = 1111;
+  spec.destination_port = 2222;
+  spec.sequence = 99;
+  spec.payload = bytes_of("echo-me-please!!");
+  spec.equalized_length = 96;
+  auto wire = build_probe(spec);
+  ASSERT_TRUE(wire.ok());
+  auto request = parse_packet(BytesView(wire->data(), wire->size()));
+  ASSERT_TRUE(request.ok());
+
+  auto reply_wire = build_echo_reply(*request);
+  ASSERT_TRUE(reply_wire.ok()) << reply_wire.error_message();
+  auto reply = parse_packet(BytesView(reply_wire->data(), reply_wire->size()));
+  ASSERT_TRUE(reply.ok()) << reply.error_message();
+
+  EXPECT_EQ(reply->ip.source, spec.destination);
+  EXPECT_EQ(reply->ip.destination, spec.source);
+  EXPECT_EQ(reply->payload, request->payload);
+  EXPECT_EQ(reply->wire_size(), request->wire_size())
+      << "replies must stay length-equalized";
+  if (GetParam() == Protocol::kUdp) {
+    EXPECT_EQ(reply->udp->source_port, 2222);
+    EXPECT_EQ(reply->udp->destination_port, 1111);
+  }
+  if (GetParam() == Protocol::kIcmp) {
+    EXPECT_EQ(reply->icmp->type, 0) << "reply must be echo-reply";
+    EXPECT_EQ(reply->icmp->identifier, 1111) << "ports swapped";
+    EXPECT_EQ(reply->icmp->sequence, 2222);
+    EXPECT_EQ(reply->ip.identification, 99) << "probe number echoed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, EchoReply,
+                         ::testing::Values(Protocol::kUdp, Protocol::kTcp,
+                                           Protocol::kIcmp,
+                                           Protocol::kRawIp));
+
+TEST(ParsePacket, RejectsUnknownProtocol) {
+  Ipv4Header h;
+  h.total_length = 20;
+  h.protocol = 99;
+  h.source = Ipv4Address(1, 1, 1, 1);
+  h.destination = Ipv4Address(2, 2, 2, 2);
+  const Bytes wire = h.serialize();
+  EXPECT_FALSE(parse_packet(BytesView(wire.data(), wire.size())).ok());
+}
+
+TEST(ParsePacket, ValidatesIcmpChecksum) {
+  ProbeSpec spec;
+  spec.protocol = Protocol::kIcmp;
+  spec.payload = bytes_of("0123456789abcdef");
+  auto wire = build_probe(spec);
+  ASSERT_TRUE(wire.ok());
+  (*wire)[Ipv4Header::kSize + 5] ^= 0x55;  // corrupt ICMP body
+  EXPECT_FALSE(parse_packet(BytesView(wire->data(), wire->size())).ok());
+}
+
+TEST(ProtocolNames, AreStable) {
+  EXPECT_EQ(protocol_name(Protocol::kUdp), "UDP");
+  EXPECT_EQ(protocol_name(Protocol::kTcp), "TCP");
+  EXPECT_EQ(protocol_name(Protocol::kIcmp), "ICMP");
+  EXPECT_EQ(protocol_name(Protocol::kRawIp), "RawIP");
+}
+
+TEST(TransportHeaderSize, MatchesProtocols) {
+  EXPECT_EQ(transport_header_size(Protocol::kUdp), 8u);
+  EXPECT_EQ(transport_header_size(Protocol::kTcp), 20u);
+  EXPECT_EQ(transport_header_size(Protocol::kIcmp), 8u);
+  EXPECT_EQ(transport_header_size(Protocol::kRawIp), 0u);
+}
+
+}  // namespace
+}  // namespace debuglet::net

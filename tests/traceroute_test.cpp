@@ -1,0 +1,202 @@
+// TTL expiry, ICMP time-exceeded policies, and the traceroute baseline
+// (the tool whose §II limitations motivate Debuglet).
+#include <gtest/gtest.h>
+
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace debuglet::simnet {
+namespace {
+
+using net::Protocol;
+
+struct Collector : Host {
+  void on_packet(const Delivery& delivery) override {
+    deliveries.push_back(delivery);
+  }
+  std::vector<Delivery> deliveries;
+};
+
+Bytes probe_with_ttl(net::Ipv4Address src, net::Ipv4Address dst,
+                     std::uint8_t ttl, std::uint16_t ident) {
+  net::ProbeSpec spec;
+  spec.protocol = Protocol::kUdp;
+  spec.source = src;
+  spec.destination = dst;
+  spec.destination_port = 33434;
+  spec.sequence = ident;
+  spec.ttl = ttl;
+  spec.payload = bytes_of("ttl-probe");
+  return *net::build_probe(spec);
+}
+
+TEST(Ttl, ExpiryGeneratesTimeExceeded) {
+  Scenario s = build_chain_scenario(4, 1, 5.0);
+  Collector prober;
+  const auto src = s.network->allocate_host_address(1);
+  ASSERT_TRUE(s.network->attach_host(src, &prober).ok());
+  const auto dst = s.network->allocate_host_address(4);
+
+  ASSERT_TRUE(s.network->send(src, probe_with_ttl(src, dst, 2, 77)).ok());
+  s.queue->run();
+
+  ASSERT_EQ(prober.deliveries.size(), 1u);
+  const net::Packet& reply = prober.deliveries[0].packet;
+  EXPECT_EQ(reply.protocol, Protocol::kIcmp);
+  ASSERT_TRUE(reply.icmp.has_value());
+  EXPECT_EQ(reply.icmp->type, net::kIcmpTimeExceeded);
+  EXPECT_EQ(reply.ip.identification, 77);
+  // TTL 2 expires arriving at AS3's ingress border router.
+  EXPECT_EQ(reply.ip.source,
+            s.network->topology().address_of(chain_ingress(2)));
+  // Slow path: total probe-to-reply time exceeds the pure forward + back
+  // propagation (20 ms). (The probe left at t = 0.)
+  const double rtt = duration::to_ms(prober.deliveries[0].received_at);
+  EXPECT_GT(rtt, 20.0 + 2.0);
+  EXPECT_LT(rtt, 20.0 + 15.0);
+}
+
+TEST(Ttl, SufficientTtlDeliversNormally) {
+  Scenario s = build_chain_scenario(3, 2, 5.0);
+  Collector sink, prober;
+  const auto src = s.network->allocate_host_address(1);
+  const auto dst = s.network->allocate_host_address(3);
+  ASSERT_TRUE(s.network->attach_host(src, &prober).ok());
+  ASSERT_TRUE(s.network->attach_host(dst, &sink).ok());
+  ASSERT_TRUE(s.network->send(src, probe_with_ttl(src, dst, 64, 5)).ok());
+  s.queue->run();
+  EXPECT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_TRUE(prober.deliveries.empty());
+}
+
+TEST(Ttl, DisabledPolicySilencesRouter) {
+  Scenario s = build_chain_scenario(4, 3, 5.0);
+  Collector prober;
+  const auto src = s.network->allocate_host_address(1);
+  ASSERT_TRUE(s.network->attach_host(src, &prober).ok());
+  const auto dst = s.network->allocate_host_address(4);
+  IcmpReplyPolicy muted;
+  muted.time_exceeded_enabled = false;
+  s.network->configure_icmp_policy(3, muted);
+  ASSERT_TRUE(s.network->send(src, probe_with_ttl(src, dst, 2, 9)).ok());
+  s.queue->run();
+  EXPECT_TRUE(prober.deliveries.empty());
+  // Other ASes still reply.
+  ASSERT_TRUE(s.network->send(src, probe_with_ttl(src, dst, 1, 10)).ok());
+  s.queue->run();
+  EXPECT_EQ(prober.deliveries.size(), 1u);
+}
+
+TEST(Ttl, RateLimitCapsReplies) {
+  Scenario s = build_chain_scenario(3, 4, 5.0);
+  Collector prober;
+  const auto src = s.network->allocate_host_address(1);
+  ASSERT_TRUE(s.network->attach_host(src, &prober).ok());
+  const auto dst = s.network->allocate_host_address(3);
+  IcmpReplyPolicy limited;
+  limited.rate_limit_per_s = 3;
+  s.network->configure_icmp_policy(2, limited);
+  // 10 expiring probes within one second: only 3 replies.
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(s.network
+                    ->send(src, probe_with_ttl(src, dst, 1,
+                                               static_cast<std::uint16_t>(i)))
+                    .ok());
+  s.queue->run();
+  EXPECT_EQ(prober.deliveries.size(), 3u);
+}
+
+TEST(Traceroute, DiscoversChainHops) {
+  Scenario s = build_chain_scenario(5, 5, 5.0);
+  const auto dst_addr = s.network->allocate_host_address(5);
+  EchoServerHost destination(*s.network, dst_addr);
+  ASSERT_TRUE(s.network->attach_host(dst_addr, &destination).ok());
+
+  const auto prober_addr = s.network->allocate_host_address(1);
+  TracerouteConfig cfg;
+  cfg.destination = dst_addr;
+  cfg.max_ttl = 8;
+  TracerouteProber prober(*s.network, prober_addr, cfg, 6);
+  ASSERT_TRUE(s.network->attach_host(prober_addr, &prober).ok());
+  prober.start();
+  s.queue->run();
+
+  const TracerouteReport& report = prober.report();
+  EXPECT_TRUE(report.reached_destination);
+  // Hops 1..3 are the ingress border routers of AS2..AS4; hop 4 is the
+  // destination host in AS5.
+  for (std::uint8_t ttl = 1; ttl <= 3; ++ttl) {
+    const TracerouteHop& hop = report.hops[ttl - 1];
+    EXPECT_TRUE(hop.responded) << "ttl " << int(ttl);
+    EXPECT_EQ(hop.responder,
+              s.network->topology().address_of(chain_ingress(ttl)))
+        << "ttl " << int(ttl);
+    // Per-hop RTT grows with distance.
+    if (ttl > 1) {
+      EXPECT_GT(hop.rtt_ms.mean(), report.hops[ttl - 2].rtt_ms.mean());
+    }
+  }
+  ASSERT_TRUE(report.hops[3].responded);
+  EXPECT_EQ(report.hops[3].responder, dst_addr);
+}
+
+TEST(Traceroute, SilentHopsUnderRestrictivePolicies) {
+  Scenario s = build_chain_scenario(6, 7, 5.0);
+  const auto dst_addr = s.network->allocate_host_address(6);
+  EchoServerHost destination(*s.network, dst_addr);
+  ASSERT_TRUE(s.network->attach_host(dst_addr, &destination).ok());
+
+  IcmpReplyPolicy muted;
+  muted.time_exceeded_enabled = false;
+  s.network->configure_icmp_policy(3, muted);  // AS3 never replies
+  IcmpReplyPolicy limited;
+  limited.rate_limit_per_s = 1;
+  s.network->configure_icmp_policy(4, limited);  // AS4 mostly silent
+
+  const auto prober_addr = s.network->allocate_host_address(1);
+  TracerouteConfig cfg;
+  cfg.destination = dst_addr;
+  cfg.max_ttl = 6;
+  cfg.probes_per_ttl = 5;
+  TracerouteProber prober(*s.network, prober_addr, cfg, 8);
+  ASSERT_TRUE(s.network->attach_host(prober_addr, &prober).ok());
+  prober.start();
+  s.queue->run();
+
+  const TracerouteReport& report = prober.report();
+  EXPECT_TRUE(report.hops[0].responded) << "AS2 replies";
+  EXPECT_FALSE(report.hops[1].responded) << "AS3 disabled -> silent hop";
+  ASSERT_TRUE(report.hops[2].responded) << "AS4 rate-limited but not mute";
+  EXPECT_LT(report.hops[2].rtt_ms.count(), 5u)
+      << "rate limiting answered fewer than the probes sent";
+  EXPECT_GT(report.silent_hop_fraction(), 0.0);
+}
+
+TEST(Traceroute, SlowPathBiasesHopRtt) {
+  Scenario s = build_chain_scenario(3, 9, 5.0);
+  IcmpReplyPolicy slow;
+  slow.slow_path_ms = 30.0;
+  slow.slow_path_jitter_ms = 0.0;
+  s.network->configure_icmp_policy(2, slow);
+
+  const auto dst_addr = s.network->allocate_host_address(3);
+  EchoServerHost destination(*s.network, dst_addr);
+  ASSERT_TRUE(s.network->attach_host(dst_addr, &destination).ok());
+  const auto prober_addr = s.network->allocate_host_address(1);
+  TracerouteConfig cfg;
+  cfg.destination = dst_addr;
+  cfg.max_ttl = 3;
+  TracerouteProber prober(*s.network, prober_addr, cfg, 10);
+  ASSERT_TRUE(s.network->attach_host(prober_addr, &prober).ok());
+  prober.start();
+  s.queue->run();
+
+  // The hop-1 "RTT" includes 30 ms of control-plane slow path that data
+  // packets never see: traceroute overestimates by 3x here.
+  ASSERT_TRUE(prober.report().hops[0].responded);
+  EXPECT_GT(prober.report().hops[0].rtt_ms.mean(), 38.0);
+  // Data-plane RTT to the same router's AS is ~10 ms.
+}
+
+}  // namespace
+}  // namespace debuglet::simnet

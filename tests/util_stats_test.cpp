@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace debuglet {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+}
+
+TEST(SampleSet, PercentileOnEmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50), std::invalid_argument);
+}
+
+TEST(SampleSet, HistogramClampsOutliers) {
+  SampleSet s;
+  s.add(-10.0);
+  s.add(5.0);
+  s.add(999.0);
+  auto h = s.histogram(0.0, 10.0, 10);
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[0], 1u);   // clamped low
+  EXPECT_EQ(h[5], 1u);
+  EXPECT_EQ(h[9], 1u);   // clamped high
+}
+
+TEST(Kmeans, FindsWellSeparatedClusters) {
+  Rng rng(1);
+  std::vector<double> data;
+  for (double center : {10.0, 20.0, 30.0, 40.0}) {
+    for (int i = 0; i < 200; ++i) data.push_back(rng.normal(center, 0.4));
+  }
+  Clusters c = kmeans_1d(data, 4);
+  ASSERT_EQ(c.centers.size(), 4u);
+  EXPECT_NEAR(c.centers[0], 10.0, 0.5);
+  EXPECT_NEAR(c.centers[1], 20.0, 0.5);
+  EXPECT_NEAR(c.centers[2], 30.0, 0.5);
+  EXPECT_NEAR(c.centers[3], 40.0, 0.5);
+}
+
+TEST(Kmeans, SingleClusterIsMean) {
+  Clusters c = kmeans_1d({5.0, 5.0, 5.0}, 1);
+  ASSERT_EQ(c.centers.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.centers[0], 5.0);
+  EXPECT_EQ(c.sizes[0], 3u);
+}
+
+TEST(Kmeans, RejectsEmptyInput) {
+  EXPECT_THROW(kmeans_1d({}, 2), std::invalid_argument);
+}
+
+class ModeCountCase : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModeCountCase, EstimatesClusterCount) {
+  const std::size_t k = GetParam();
+  Rng rng(7 + k);
+  std::vector<double> data;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (int i = 0; i < 400; ++i)
+      data.push_back(rng.normal(10.0 + 8.0 * static_cast<double>(c), 0.35));
+  }
+  EXPECT_EQ(estimate_mode_count(data, 8), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToFive, ModeCountCase,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(LevelShifts, CountsMedianJumps) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(10.0);
+  for (int i = 0; i < 100; ++i) values.push_back(20.0);
+  for (int i = 0; i < 100; ++i) values.push_back(10.0);
+  EXPECT_EQ(count_level_shifts(values, 50, 5.0), 2u);
+  EXPECT_EQ(count_level_shifts(values, 50, 15.0), 0u);
+}
+
+TEST(LevelShifts, ShortInputIsZero) {
+  EXPECT_EQ(count_level_shifts({1.0, 2.0}, 50, 0.5), 0u);
+}
+
+TEST(TimeFormat, RendersHoursMinutesSeconds) {
+  EXPECT_EQ(format_time(duration::hours(2) + duration::minutes(3) +
+                        duration::seconds(4) + duration::milliseconds(56)),
+            "02:03:04.056");
+}
+
+TEST(DurationFormat, PicksUnits) {
+  EXPECT_EQ(format_duration(500), "500 ns");
+  EXPECT_EQ(format_duration(duration::microseconds(12) + 340),
+            "12.34 us");
+  EXPECT_EQ(format_duration(duration::milliseconds(3)), "3.00 ms");
+  EXPECT_EQ(format_duration(duration::seconds(2)), "2.00 s");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng rng(6);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(7);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.2);
+}
+
+TEST(Rng, NextBelowUnbiasedAndGuarded) {
+  Rng rng(8);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+}
+
+}  // namespace
+}  // namespace debuglet

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/builder.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/validator.hpp"
+
+namespace debuglet::vm {
+namespace {
+
+Module sample_module() {
+  ModuleBuilder b;
+  b.memory(8192);
+  b.add_global(7);
+  b.add_global(-3);
+  b.add_buffer("udp_send_buffer", 1024, 256);
+  b.add_buffer("output_buffer", 4096, 512);
+  FunctionBuilder& f = b.function(kEntryPointName, 0, 2);
+  const auto top = f.make_label();
+  f.constant(5).local_set(0);
+  f.bind(top);
+  f.local_get(0).emit(Opcode::kEqz);
+  const auto done = f.make_label();
+  f.jump_if(done);
+  f.local_get(0).constant(1).emit(Opcode::kSub).local_set(0);
+  f.local_get(1).constant(2).emit(Opcode::kAdd).local_set(1);
+  f.jump(top);
+  f.bind(done);
+  f.local_get(1).ret();
+  FunctionBuilder& g = b.function("helper", 2, 0);
+  g.local_get(0).local_get(1).emit(Opcode::kAdd).ret();
+  return b.build();
+}
+
+TEST(ModuleCodec, RoundTripsExactly) {
+  const Module m = sample_module();
+  const Bytes wire = m.serialize();
+  auto back = Module::parse(BytesView(wire.data(), wire.size()));
+  ASSERT_TRUE(back.ok()) << back.error_message();
+  EXPECT_EQ(*back, m);
+  // Serialization is canonical: re-serializing yields identical bytes.
+  EXPECT_EQ(back->serialize(), wire);
+}
+
+TEST(ModuleCodec, RejectsBadMagic) {
+  Bytes wire = sample_module().serialize();
+  wire[0] ^= 0xFF;
+  EXPECT_FALSE(Module::parse(BytesView(wire.data(), wire.size())).ok());
+}
+
+TEST(ModuleCodec, RejectsTruncation) {
+  const Bytes wire = sample_module().serialize();
+  for (std::size_t cut : {4u, 10u, 20u}) {
+    ASSERT_LT(cut, wire.size());
+    EXPECT_FALSE(Module::parse(BytesView(wire.data(), cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(ModuleCodec, RejectsTrailingBytes) {
+  Bytes wire = sample_module().serialize();
+  wire.push_back(0);
+  EXPECT_FALSE(Module::parse(BytesView(wire.data(), wire.size())).ok());
+}
+
+TEST(ModuleCodec, RejectsUnknownOpcode) {
+  Module m = sample_module();
+  m.functions[0].code[0].op = static_cast<Opcode>(0xEE);
+  const Bytes wire = m.serialize();
+  EXPECT_FALSE(Module::parse(BytesView(wire.data(), wire.size())).ok());
+}
+
+TEST(ModuleCodec, BuilderAndRunAgree) {
+  Module m = sample_module();
+  ASSERT_TRUE(validate(m).ok());
+  auto inst = Instance::create(std::move(m), {});
+  ASSERT_TRUE(inst.ok());
+  auto out = inst->run();
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 10);  // 5 iterations adding 2
+}
+
+TEST(ModuleCodec, RunNamedFunctionWithArgs) {
+  auto inst = Instance::create(sample_module(), {});
+  ASSERT_TRUE(inst.ok());
+  const std::int64_t args[] = {30, 12};
+  auto out = inst->run_function("helper", args);
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 42);
+  EXPECT_TRUE(inst->run_function("nope", {}).trapped);
+  EXPECT_TRUE(inst->run_function("helper", {}).trapped) << "arity mismatch";
+}
+
+// --- Validator -----------------------------------------------------------
+
+Module minimal_with(Function f) {
+  Module m;
+  m.memory_size = 128;
+  m.functions.push_back(std::move(f));
+  return m;
+}
+
+TEST(Validator, AcceptsSample) {
+  EXPECT_TRUE(validate(sample_module()).ok());
+}
+
+TEST(Validator, RequiresEntryPoint) {
+  Function f;
+  f.name = "not_entry";
+  f.code = {{Opcode::kConst, 0}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, EntryPointMustBeNullary) {
+  Function f;
+  f.name = kEntryPointName;
+  f.param_count = 1;
+  f.code = {{Opcode::kConst, 0}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsWildJump) {
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kJump, 99}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsBadLocalIndex) {
+  Function f;
+  f.name = kEntryPointName;
+  f.local_count = 1;
+  f.code = {{Opcode::kLocalGet, 5}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsBadGlobalIndex) {
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kGlobalGet, 0}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsBadCallIndex) {
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kCall, 3}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsBadImportIndex) {
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kCallHost, 0}, {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsStaticOffsetBeyondMemory) {
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kConst, 0},
+            {Opcode::kLoad64, 1 << 20},
+            {Opcode::kReturn, 0}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RequiresTerminatingInstruction) {
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kConst, 1}};
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsEmptyBody) {
+  Function f;
+  f.name = kEntryPointName;
+  EXPECT_FALSE(validate(minimal_with(std::move(f))).ok());
+}
+
+TEST(Validator, RejectsDuplicateFunctionNames) {
+  Module m;
+  Function f;
+  f.name = kEntryPointName;
+  f.code = {{Opcode::kConst, 0}, {Opcode::kReturn, 0}};
+  m.functions.push_back(f);
+  m.functions.push_back(f);
+  EXPECT_FALSE(validate(m).ok());
+}
+
+TEST(Validator, RejectsBufferOutsideMemory) {
+  Module m = sample_module();
+  m.buffers.push_back(BufferDecl{"huge", 8000, 1000});
+  EXPECT_FALSE(validate(m).ok());
+}
+
+TEST(Validator, RejectsDuplicateBufferNames) {
+  Module m = sample_module();
+  m.buffers.push_back(BufferDecl{"udp_send_buffer", 0, 8});
+  EXPECT_FALSE(validate(m).ok());
+}
+
+TEST(Validator, RejectsDuplicateImports) {
+  Module m = sample_module();
+  m.host_imports = {"a", "a"};
+  EXPECT_FALSE(validate(m).ok());
+}
+
+TEST(Validator, EnforcesLimits) {
+  ValidationLimits limits;
+  limits.max_memory = 64;
+  Module m = sample_module();  // memory 8192
+  EXPECT_FALSE(validate(m, limits).ok());
+}
+
+// --- Assembler -----------------------------------------------------------
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto r = assemble("func run_debuglet\n  bogus_mnemonic\nend\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, UndefinedLabelRejected) {
+  auto r = assemble(R"(
+    func run_debuglet
+      jump nowhere
+    end
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  auto r = assemble(R"(
+    func run_debuglet
+    x:
+    x:
+      const 0
+      return
+    end
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, MissingEndRejected) {
+  EXPECT_FALSE(assemble("func run_debuglet\n  const 0\n  return\n").ok());
+}
+
+TEST(Assembler, ForwardCallsResolve) {
+  auto m = assemble(R"(
+    func run_debuglet
+      call later
+      return
+    end
+    func later
+      const 5
+      return
+    end
+  )");
+  ASSERT_TRUE(m.ok()) << m.error_message();
+  auto inst = Instance::create(std::move(*m), {});
+  EXPECT_EQ(inst->run().value, 5);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  auto m = assemble(R"(
+    ; leading comment
+    # another comment style
+
+    func run_debuglet   ; trailing comment
+      const 3  # and here
+      return
+    end
+  )");
+  ASSERT_TRUE(m.ok()) << m.error_message();
+  EXPECT_EQ(Instance::create(std::move(*m), {})->run().value, 3);
+}
+
+TEST(Assembler, DisassembleReassembleRoundTrips) {
+  const Module m = sample_module();
+  const std::string text = disassemble(m);
+  auto back = assemble(text);
+  ASSERT_TRUE(back.ok()) << back.error_message() << "\n" << text;
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ModuleBuilder b;
+  FunctionBuilder& f = b.function(kEntryPointName);
+  const auto label = f.make_label();
+  f.jump(label);
+  f.constant(0).ret();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, UnknownCalleeThrows) {
+  ModuleBuilder b;
+  FunctionBuilder& f = b.function(kEntryPointName);
+  f.call("ghost");
+  f.constant(0).ret();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, ImportDeduplication) {
+  ModuleBuilder b;
+  FunctionBuilder& f = b.function(kEntryPointName);
+  f.call_host("dbg_now");
+  f.call_host("dbg_now");
+  f.ret();
+  const Module m = b.build();
+  EXPECT_EQ(m.host_imports.size(), 1u);
+}
+
+}  // namespace
+}  // namespace debuglet::vm

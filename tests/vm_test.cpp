@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/builder.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/validator.hpp"
+
+namespace debuglet::vm {
+namespace {
+
+// Assembles, validates, instantiates and runs a source program.
+RunOutcome run_source(std::string_view source,
+                      std::vector<HostFunction> host = {},
+                      ExecutionLimits limits = {}) {
+  auto module = assemble(source);
+  EXPECT_TRUE(module.ok()) << module.error_message();
+  auto valid = validate(*module);
+  EXPECT_TRUE(valid.ok()) << valid.error_message();
+  auto instance = Instance::create(std::move(*module), std::move(host),
+                                   limits);
+  EXPECT_TRUE(instance.ok()) << instance.error_message();
+  return instance->run();
+}
+
+TEST(Interpreter, ConstReturn) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const 42
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 42);
+}
+
+TEST(Interpreter, Arithmetic) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const 10
+      const 3
+      mul          ; 30
+      const 4
+      sub          ; 26
+      const 5
+      div_s        ; 5
+      const 2
+      rem_s        ; 1
+      const 7
+      add          ; 8
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 8);
+}
+
+TEST(Interpreter, BitwiseAndShifts) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const 12
+      const 10
+      and          ; 8
+      const 1
+      or           ; 9
+      const 15
+      xor          ; 6
+      const 2
+      shl          ; 24
+      const 1
+      shr_u        ; 12
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value, 12);
+}
+
+TEST(Interpreter, NegativeShrSKeepsSign) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const -8
+      const 1
+      shr_s
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value, -4);
+}
+
+TEST(Interpreter, Comparisons) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const 3
+      const 5
+      lt_s         ; 1
+      const 1
+      eq           ; 1
+      eqz          ; 0
+      eqz          ; 1
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value, 1);
+}
+
+TEST(Interpreter, LoopSumsOneToTen) {
+  auto out = run_source(R"(
+    func run_debuglet locals 2
+    top:
+      local.get 0
+      const 10
+      ge_s
+      jump_if done
+      local.get 0
+      const 1
+      add
+      local.set 0
+      local.get 1
+      local.get 0
+      add
+      local.set 1
+      jump top
+    done:
+      local.get 1
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 55);
+}
+
+TEST(Interpreter, FunctionCallsAndRecursion) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const 10
+      call fib
+      return
+    end
+    func fib params 1
+      local.get 0
+      const 2
+      lt_s
+      jump_if base
+      local.get 0
+      const 1
+      sub
+      call fib
+      local.get 0
+      const 2
+      sub
+      call fib
+      add
+      return
+    base:
+      local.get 0
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 55);
+}
+
+TEST(Interpreter, GlobalsPersistAcrossCalls) {
+  auto module = assemble(R"(
+    global 100
+    func run_debuglet
+      global.get 0
+      const 1
+      add
+      global.set 0
+      global.get 0
+      return
+    end
+  )");
+  ASSERT_TRUE(module.ok());
+  auto inst = Instance::create(std::move(*module), {});
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->run().value, 101);
+  EXPECT_EQ(inst->run().value, 102);
+}
+
+TEST(Interpreter, MemoryLoadStore) {
+  auto out = run_source(R"(
+    memory 256
+    func run_debuglet
+      const 16
+      const -123456789
+      store64
+      const 8
+      load64 8     ; load from 8 + 8 = 16
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, -123456789);
+}
+
+TEST(Interpreter, Store8Load8Masks) {
+  auto out = run_source(R"(
+    memory 64
+    func run_debuglet
+      const 0
+      const 511     ; 0x1FF -> stored as 0xFF
+      store8
+      const 0
+      load8
+      return
+    end
+  )");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value, 0xFF);
+}
+
+// --- Traps ---------------------------------------------------------------
+
+TEST(Traps, DivideByZero) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const 1
+      const 0
+      div_s
+      return
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kDivideByZero);
+}
+
+TEST(Traps, MemoryOutOfBounds) {
+  auto out = run_source(R"(
+    memory 64
+    func run_debuglet
+      const 60
+      load64
+      return
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kMemoryOutOfBounds);
+}
+
+TEST(Traps, NegativeAddress) {
+  auto out = run_source(R"(
+    memory 64
+    func run_debuglet
+      const -1
+      load8
+      return
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kMemoryOutOfBounds);
+}
+
+TEST(Traps, OutOfFuel) {
+  ExecutionLimits limits;
+  limits.fuel = 100;
+  auto out = run_source(R"(
+    func run_debuglet
+    top:
+      jump top
+    end
+  )",
+                        {}, limits);
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kOutOfFuel);
+  EXPECT_EQ(out.fuel_used, 100u);
+}
+
+TEST(Traps, CallDepthExceeded) {
+  auto out = run_source(R"(
+    func run_debuglet
+      call f
+      return
+    end
+    func f
+      call f
+      return
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kCallDepthExceeded);
+}
+
+TEST(Traps, ExplicitAbort) {
+  auto out = run_source(R"(
+    func run_debuglet
+      abort 7
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kAbort);
+  EXPECT_NE(out.trap_message.find("7"), std::string::npos);
+}
+
+TEST(Traps, StackUnderflow) {
+  auto out = run_source(R"(
+    func run_debuglet
+      drop
+      const 0
+      return
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kStackUnderflow);
+}
+
+TEST(Traps, IntegerOverflowOnDiv) {
+  auto out = run_source(R"(
+    func run_debuglet
+      const -9223372036854775808
+      const -1
+      div_s
+      return
+    end
+  )");
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kIntegerOverflow);
+}
+
+// --- Host functions ------------------------------------------------------
+
+TEST(Host, SyncHostFunctionCalled) {
+  std::int64_t seen = 0;
+  std::vector<HostFunction> host;
+  host.push_back(HostFunction{
+      "double_it", 1,
+      [&seen](Instance&, std::span<const std::int64_t> args)
+          -> Result<std::int64_t> {
+        seen = args[0];
+        return args[0] * 2;
+      },
+      false});
+  auto out = run_source(R"(
+    import double_it
+    func run_debuglet
+      const 21
+      call_host double_it
+      return
+    end
+  )",
+                        std::move(host));
+  ASSERT_TRUE(out.ok()) << out.trap_message;
+  EXPECT_EQ(out.value, 42);
+  EXPECT_EQ(seen, 21);
+  EXPECT_EQ(out.host_calls, 1u);
+}
+
+TEST(Host, HostErrorTraps) {
+  std::vector<HostFunction> host;
+  host.push_back(HostFunction{
+      "boom", 0,
+      [](Instance&, std::span<const std::int64_t>) -> Result<std::int64_t> {
+        return fail("kaput");
+      },
+      false});
+  auto out = run_source(R"(
+    import boom
+    func run_debuglet
+      call_host boom
+      return
+    end
+  )",
+                        std::move(host));
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kHostError);
+  EXPECT_NE(out.trap_message.find("kaput"), std::string::npos);
+}
+
+TEST(Host, UnresolvedImportFailsInstantiation) {
+  auto module = assemble(R"(
+    import missing
+    func run_debuglet
+      const 0
+      return
+    end
+  )");
+  ASSERT_TRUE(module.ok());
+  EXPECT_FALSE(Instance::create(std::move(*module), {}).ok());
+}
+
+TEST(Host, AsyncImportSuspendsAndResumes) {
+  std::vector<HostFunction> host;
+  host.push_back(HostFunction{"wait_for", 1, nullptr, true});
+  auto module = assemble(R"(
+    import wait_for
+    func run_debuglet
+      const 9
+      call_host wait_for
+      const 1
+      add
+      return
+    end
+  )");
+  ASSERT_TRUE(module.ok());
+  auto inst = Instance::create(std::move(*module), std::move(host));
+  ASSERT_TRUE(inst.ok());
+  auto exec = Execution::start_entry(*inst);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->step(), Execution::State::kBlocked);
+  EXPECT_EQ(exec->block().import_name, "wait_for");
+  ASSERT_EQ(exec->block().args.size(), 1u);
+  EXPECT_EQ(exec->block().args[0], 9);
+  exec->resume(100);
+  EXPECT_EQ(exec->step(), Execution::State::kDone);
+  ASSERT_TRUE(exec->outcome().ok());
+  EXPECT_EQ(exec->outcome().value, 101);
+}
+
+TEST(Host, AsyncImportInSynchronousRunTraps) {
+  std::vector<HostFunction> host;
+  host.push_back(HostFunction{"sleepy", 0, nullptr, true});
+  auto module = assemble(R"(
+    import sleepy
+    func run_debuglet
+      call_host sleepy
+      return
+    end
+  )");
+  ASSERT_TRUE(module.ok());
+  auto inst = Instance::create(std::move(*module), std::move(host));
+  ASSERT_TRUE(inst.ok());
+  auto out = inst->run();
+  ASSERT_TRUE(out.trapped);
+  EXPECT_EQ(out.trap, TrapKind::kHostError);
+}
+
+TEST(Host, FailWhileBlockedTraps) {
+  std::vector<HostFunction> host;
+  host.push_back(HostFunction{"wait", 0, nullptr, true});
+  auto module = assemble(R"(
+    import wait
+    func run_debuglet
+      call_host wait
+      return
+    end
+  )");
+  auto inst = Instance::create(std::move(*module), std::move(host));
+  auto exec = Execution::start_entry(*inst);
+  ASSERT_EQ(exec->step(), Execution::State::kBlocked);
+  exec->fail("deadline");
+  ASSERT_EQ(exec->state(), Execution::State::kDone);
+  EXPECT_TRUE(exec->outcome().trapped);
+}
+
+// --- Buffers -------------------------------------------------------------
+
+TEST(Buffers, HostReadsAndWritesNamedBuffers) {
+  auto module = assemble(R"(
+    memory 4096
+    buffer udp_send_buffer 1024 256
+    buffer output_buffer 2048 128
+    func run_debuglet
+      const 1024
+      const 77
+      store64
+      const 0
+      return
+    end
+  )");
+  ASSERT_TRUE(module.ok());
+  auto inst = Instance::create(std::move(*module), {});
+  ASSERT_TRUE(inst.ok());
+  ASSERT_TRUE(inst->run().ok());
+  auto buf = inst->read_buffer("udp_send_buffer");
+  ASSERT_TRUE(buf.ok());
+  ASSERT_EQ(buf->size(), 256u);
+  EXPECT_EQ((*buf)[0], 77);
+  EXPECT_FALSE(inst->read_buffer("nonexistent").ok());
+  const Bytes data = bytes_of("result!");
+  EXPECT_TRUE(inst->write_buffer("output_buffer",
+                                 BytesView(data.data(), data.size())).ok());
+  const Bytes too_big(4096, 1);
+  EXPECT_FALSE(inst->write_buffer("output_buffer",
+                                  BytesView(too_big.data(), too_big.size()))
+                   .ok());
+}
+
+TEST(Buffers, MemoryAccessorsBoundsChecked) {
+  auto module = assemble(R"(
+    memory 128
+    func run_debuglet
+      const 0
+      return
+    end
+  )");
+  auto inst = Instance::create(std::move(*module), {});
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(inst->read_memory(0, 128).ok());
+  EXPECT_FALSE(inst->read_memory(1, 128).ok());
+  const Bytes data(64, 0xAB);
+  EXPECT_TRUE(inst->write_memory(64, BytesView(data.data(), 64)).ok());
+  EXPECT_FALSE(inst->write_memory(65, BytesView(data.data(), 64)).ok());
+}
+
+}  // namespace
+}  // namespace debuglet::vm

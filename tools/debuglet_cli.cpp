@@ -1,0 +1,415 @@
+// debuglet — command-line front end for the Debuglet system.
+//
+// Subcommands (all run on simulated worlds; everything is deterministic
+// under --seed):
+//
+//   debuglet measure   --ases N --client AS#IF --server AS#IF
+//                      [--proto udp|tcp|icmp|raw] [--probes N]
+//                      [--interval MS] [--seal] [--seed S]
+//       Purchase and run one marketplace measurement; print the certified,
+//       verified results.
+//
+//   debuglet localize  --ases N --fault-link K [--fault-ms D]
+//                      [--strategy linear|binary|parallel] [--seed S]
+//       Inject a fault and localize it with Debuglet-pair measurements.
+//
+//   debuglet traceroute --ases N [--mute AS]... [--rate-limit AS]...
+//                      [--seed S]
+//       Run the traceroute baseline over the same kind of chain.
+//
+//   debuglet motivation [--city NAME] [--hours H] [--seed S]
+//       Re-run the paper's §II protocol-differential experiment.
+//
+//   debuglet asm FILE / debuglet disasm FILE
+//       Assemble DVM assembly to a module file (FILE.dvm), or print the
+//       assembly of a serialized module.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/debuglet.hpp"
+#include "vm/assembler.hpp"
+#include "vm/validator.hpp"
+
+namespace {
+
+using namespace debuglet;
+
+// Minimal flag parser: --name value and --name (boolean) forms.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[name].push_back(argv[++i]);
+        } else {
+          values_[name].push_back("");
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() || it->second.empty() || it->second[0].empty()
+               ? fallback
+               : it->second[0];
+  }
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty() || it->second[0].empty())
+      return fallback;
+    return std::atoll(it->second[0].c_str());
+  }
+  bool has(const std::string& name) const { return values_.contains(name); }
+  std::vector<std::int64_t> get_ints(const std::string& name) const {
+    std::vector<std::int64_t> out;
+    auto it = values_.find(name);
+    if (it == values_.end()) return out;
+    for (const std::string& v : it->second)
+      if (!v.empty()) out.push_back(std::atoll(v.c_str()));
+    return out;
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+Result<topology::InterfaceKey> parse_key(const std::string& text) {
+  // "AS3#2" or "3#2".
+  std::string s = text;
+  if (s.rfind("AS", 0) == 0) s = s.substr(2);
+  const std::size_t hash = s.find('#');
+  if (hash == std::string::npos)
+    return fail("expected AS#IF (e.g. 3#2), got '" + text + "'");
+  return topology::InterfaceKey{
+      static_cast<topology::AsNumber>(std::atoll(s.substr(0, hash).c_str())),
+      static_cast<topology::InterfaceId>(
+          std::atoll(s.substr(hash + 1).c_str()))};
+}
+
+Result<net::Protocol> parse_protocol(const std::string& name) {
+  if (name == "udp") return net::Protocol::kUdp;
+  if (name == "tcp") return net::Protocol::kTcp;
+  if (name == "icmp") return net::Protocol::kIcmp;
+  if (name == "raw") return net::Protocol::kRawIp;
+  return fail("unknown protocol '" + name + "'");
+}
+
+int cmd_measure(const Args& args) {
+  const auto ases = static_cast<std::size_t>(args.get_int("ases", 4));
+  auto client = parse_key(args.get("client", "1#2"));
+  auto server = parse_key(
+      args.get("server", "AS" + std::to_string(ases) + "#1"));
+  auto protocol = parse_protocol(args.get("proto", "udp"));
+  if (!client || !server || !protocol) {
+    std::printf("error: %s%s%s\n", client.error_message().c_str(),
+                server.error_message().c_str(),
+                protocol.error_message().c_str());
+    return 1;
+  }
+  const std::int64_t probes = args.get_int("probes", 10);
+  const std::int64_t interval = args.get_int("interval", 200);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  core::DebugletSystem system(simnet::build_chain_scenario(ases, seed, 5.0));
+  core::Initiator initiator(system, seed + 1, 500'000'000'000ULL);
+  auto handle = initiator.purchase_rtt_measurement(
+      *client, *server, *protocol, probes, interval, 0, args.has("seal"));
+  if (!handle) {
+    std::printf("purchase failed: %s\n", handle.error_message().c_str());
+    return 1;
+  }
+  std::printf("purchased window [%s, %s] for %.4f SUI\n",
+              format_time(handle->window_start).c_str(),
+              format_time(handle->window_end).c_str(),
+              chain::mist_to_sui(handle->price_paid));
+  SimTime deadline = handle->window_end + duration::seconds(2);
+  Result<core::MeasurementOutcome> outcome = fail("pending");
+  for (int i = 0; i < 6 && !outcome; ++i) {
+    system.queue().run_until(deadline);
+    outcome = initiator.collect(*handle);
+    deadline += duration::seconds(10);
+  }
+  if (!outcome) {
+    std::printf("collect failed: %s\n", outcome.error_message().c_str());
+    return 1;
+  }
+  Bytes output = outcome->client.record.output;
+  if (args.has("seal")) {
+    auto opened = initiator.open_result(outcome->client);
+    if (!opened) {
+      std::printf("unseal failed: %s\n", opened.error_message().c_str());
+      return 1;
+    }
+    std::printf("results were sealed on-chain (%zu bytes ciphertext)\n",
+                output.size());
+    output = *opened;
+  }
+  auto samples = apps::decode_samples(BytesView(output.data(), output.size()));
+  if (!samples) {
+    std::printf("decode failed: %s\n", samples.error_message().c_str());
+    return 1;
+  }
+  RunningStats stats;
+  for (const auto& s : *samples)
+    stats.add(static_cast<double>(s.delay_ns) / 1e6);
+  std::printf("%s %s -> %s: %zu/%lld answered, RTT mean %.2f ms, std %.2f "
+              "ms\n",
+              net::protocol_name(*protocol).c_str(),
+              client->to_string().c_str(), server->to_string().c_str(),
+              samples->size(), static_cast<long long>(probes), stats.mean(),
+              stats.stddev());
+  std::printf("certified by AS%u (verified), chain integrity %s\n",
+              client->asn,
+              system.chain().verify_integrity() ? "OK" : "BROKEN");
+  return 0;
+}
+
+int cmd_localize(const Args& args) {
+  const auto ases = static_cast<std::size_t>(args.get_int("ases", 10));
+  const auto fault_link =
+      static_cast<std::size_t>(args.get_int("fault-link", ases - 2));
+  const double fault_ms =
+      static_cast<double>(args.get_int("fault-ms", 60));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string strategy_name = args.get("strategy", "binary");
+  core::Strategy strategy = core::Strategy::kBinarySearch;
+  if (strategy_name == "linear")
+    strategy = core::Strategy::kLinearSequential;
+  else if (strategy_name == "parallel")
+    strategy = core::Strategy::kParallelSweep;
+  else if (strategy_name != "binary") {
+    std::printf("unknown strategy '%s'\n", strategy_name.c_str());
+    return 1;
+  }
+  if (fault_link + 1 >= ases) {
+    std::printf("fault-link must be < %zu\n", ases - 1);
+    return 1;
+  }
+
+  core::DebugletSystem system(simnet::build_chain_scenario(ases, seed, 5.0));
+  simnet::FaultSpec fault;
+  fault.extra_delay_ms = fault_ms;
+  fault.start = 0;
+  fault.end = duration::hours(100);
+  (void)system.network().inject_fault(simnet::chain_egress(fault_link),
+                                simnet::chain_ingress(fault_link + 1), fault);
+  (void)system.network().inject_fault(simnet::chain_ingress(fault_link + 1),
+                                simnet::chain_egress(fault_link), fault);
+
+  core::Initiator initiator(system, seed + 1, 2'000'000'000'000ULL);
+  auto path = system.network().topology().shortest_path(
+      1, static_cast<topology::AsNumber>(ases));
+  core::FaultCriteria criteria;
+  criteria.per_link_rtt_ms = 10.5;
+  criteria.slack_ms = 15.0;
+  core::FaultLocalizer localizer(system, initiator, *path, criteria,
+                                 net::Protocol::kUdp, 8, 100);
+  auto report = localizer.run(strategy);
+  if (!report) {
+    std::printf("localization failed: %s\n", report.error_message().c_str());
+    return 1;
+  }
+  for (const core::LocalizationStep& step : report->steps) {
+    std::printf("  AS%u..AS%u: %7.2f ms, loss %4.1f%%  %s\n",
+                path->hops[step.from_hop].asn, path->hops[step.to_hop].asn,
+                step.summary.mean_ms, 100.0 * step.summary.loss_rate(),
+                step.faulty ? "FAULTY" : "");
+  }
+  if (report->located) {
+    std::printf("fault on link AS%u - AS%u (injected after hop %zu)\n",
+                path->hops[report->fault_link].asn,
+                path->hops[report->fault_link + 1].asn, fault_link);
+  } else {
+    std::printf("no fault located\n");
+  }
+  std::printf("%zu measurements, %.4f SUI, time-to-locate %s\n",
+              report->measurements, chain::mist_to_sui(report->tokens_spent),
+              format_duration(report->time_to_locate()).c_str());
+  return report->located && report->fault_link == fault_link ? 0 : 1;
+}
+
+int cmd_traceroute(const Args& args) {
+  const auto ases = static_cast<std::size_t>(args.get_int("ases", 6));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  simnet::Scenario s = simnet::build_chain_scenario(ases, seed, 5.0);
+  for (std::int64_t muted : args.get_ints("mute")) {
+    simnet::IcmpReplyPolicy policy;
+    policy.time_exceeded_enabled = false;
+    s.network->configure_icmp_policy(
+        static_cast<topology::AsNumber>(muted), policy);
+  }
+  for (std::int64_t limited : args.get_ints("rate-limit")) {
+    simnet::IcmpReplyPolicy policy;
+    policy.rate_limit_per_s = 1;
+    s.network->configure_icmp_policy(
+        static_cast<topology::AsNumber>(limited), policy);
+  }
+
+  const auto dst = s.network->allocate_host_address(
+      static_cast<topology::AsNumber>(ases));
+  simnet::EchoServerHost destination(*s.network, dst);
+  if (!s.network->attach_host(dst, &destination)) return 1;
+  const auto src = s.network->allocate_host_address(1);
+  simnet::TracerouteConfig cfg;
+  cfg.destination = dst;
+  cfg.max_ttl = static_cast<std::uint8_t>(ases);
+  simnet::TracerouteProber prober(*s.network, src, cfg, seed + 2);
+  if (!s.network->attach_host(src, &prober)) return 1;
+  prober.start();
+  s.queue->run();
+  std::printf("traceroute to %s, %u hops max\n", dst.to_string().c_str(),
+              cfg.max_ttl);
+  for (const simnet::TracerouteHop& hop : prober.report().hops) {
+    if (hop.probes_sent == 0) continue;
+    if (hop.responded) {
+      std::printf("%3u  %-14s %7.3f ms (%zu/%u)\n", hop.ttl,
+                  hop.responder.to_string().c_str(), hop.rtt_ms.mean(),
+                  hop.rtt_ms.count(), hop.probes_sent);
+    } else {
+      std::printf("%3u  *\n", hop.ttl);
+    }
+  }
+  return 0;
+}
+
+int cmd_motivation(const Args& args) {
+  const std::string city = args.get("city", "NewYork");
+  const double hours = static_cast<double>(args.get_int("hours", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  bool known = false;
+  for (const std::string& name : simnet::city_names())
+    known = known || name == city;
+  if (!known) {
+    std::printf("unknown city '%s'; options:", city.c_str());
+    for (const std::string& name : simnet::city_names())
+      std::printf(" %s", name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  simnet::Scenario s = simnet::build_city_scenario(seed);
+  const auto server_addr =
+      s.network->allocate_host_address(simnet::london_as());
+  simnet::EchoServerHost server(*s.network, server_addr);
+  if (!s.network->attach_host(server_addr, &server)) return 1;
+  const auto client_addr =
+      s.network->allocate_host_address(simnet::city_as(city));
+  simnet::ProbeClientConfig cfg;
+  cfg.server = server_addr;
+  cfg.probe_count = static_cast<std::uint64_t>(hours * 3600.0);
+  cfg.interval = duration::seconds(1);
+  simnet::ProbeClientHost client(*s.network, client_addr, cfg, seed + 1);
+  if (!s.network->attach_host(client_addr, &client)) return 1;
+  client.start();
+  s.queue->run();
+  std::printf("%s <-> London, %.0f simulated hours:\n", city.c_str(), hours);
+  std::printf("%-6s %9s %8s %9s\n", "proto", "mean(ms)", "std(ms)",
+              "loss(pm)");
+  for (net::Protocol p : net::kAllProtocols) {
+    const auto& rtt = client.report().rtt_ms.at(p);
+    std::printf("%-6s %9.2f %8.2f %9.2f\n", net::protocol_name(p).c_str(),
+                rtt.mean(), rtt.stddev(), client.report().loss_per_mille(p));
+  }
+  return 0;
+}
+
+int cmd_asm(const Args& args) {
+  if (args.positional().empty()) {
+    std::printf("usage: debuglet asm FILE\n");
+    return 1;
+  }
+  const std::string path = args.positional()[0];
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto module = vm::assemble(buffer.str());
+  if (!module) {
+    std::printf("assembly error: %s\n", module.error_message().c_str());
+    return 1;
+  }
+  if (auto valid = vm::validate(*module); !valid) {
+    std::printf("validation error: %s\n", valid.error_message().c_str());
+    return 1;
+  }
+  const Bytes wire = module->serialize();
+  const std::string out_path = path + ".dvm";
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(wire.data()),
+            static_cast<std::streamsize>(wire.size()));
+  std::printf("wrote %s (%zu bytes, %zu functions)\n", out_path.c_str(),
+              wire.size(), module->functions.size());
+  return 0;
+}
+
+int cmd_disasm(const Args& args) {
+  if (args.positional().empty()) {
+    std::printf("usage: debuglet disasm FILE\n");
+    return 1;
+  }
+  std::ifstream in(args.positional()[0], std::ios::binary);
+  if (!in) {
+    std::printf("cannot open %s\n", args.positional()[0].c_str());
+    return 1;
+  }
+  Bytes wire((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  auto module = vm::Module::parse(BytesView(wire.data(), wire.size()));
+  if (!module) {
+    std::printf("parse error: %s\n", module.error_message().c_str());
+    return 1;
+  }
+  std::printf("%s", vm::disassemble(*module).c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "debuglet — programmable, verifiable inter-domain telemetry "
+      "(simulated)\n\n"
+      "usage: debuglet <command> [flags]\n\n"
+      "commands:\n"
+      "  measure     purchase and run one marketplace measurement\n"
+      "  localize    inject a fault into a chain topology and localize it\n"
+      "  traceroute  run the traceroute baseline\n"
+      "  motivation  the paper's Section II protocol comparison\n"
+      "  asm FILE    assemble DVM assembly into FILE.dvm\n"
+      "  disasm FILE print the assembly of a serialized module\n\n"
+      "run a command with no flags for sensible defaults; see tools/\n"
+      "debuglet_cli.cpp header for every flag.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "measure") return cmd_measure(args);
+  if (command == "localize") return cmd_localize(args);
+  if (command == "traceroute") return cmd_traceroute(args);
+  if (command == "motivation") return cmd_motivation(args);
+  if (command == "asm") return cmd_asm(args);
+  if (command == "disasm") return cmd_disasm(args);
+  usage();
+  return command == "help" || command == "--help" ? 0 : 1;
+}
