@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_age_of_information"
+  "../bench/ablation_age_of_information.pdb"
+  "CMakeFiles/ablation_age_of_information.dir/ablation_age_of_information.cpp.o"
+  "CMakeFiles/ablation_age_of_information.dir/ablation_age_of_information.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_age_of_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fault_hiding"
+  "../bench/ablation_fault_hiding.pdb"
+  "CMakeFiles/ablation_fault_hiding.dir/ablation_fault_hiding.cpp.o"
+  "CMakeFiles/ablation_fault_hiding.dir/ablation_fault_hiding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

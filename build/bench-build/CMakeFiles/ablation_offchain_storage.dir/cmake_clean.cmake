@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_offchain_storage"
+  "../bench/ablation_offchain_storage.pdb"
+  "CMakeFiles/ablation_offchain_storage.dir/ablation_offchain_storage.cpp.o"
+  "CMakeFiles/ablation_offchain_storage.dir/ablation_offchain_storage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offchain_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_unidirectional"
+  "../bench/ablation_unidirectional.pdb"
+  "CMakeFiles/ablation_unidirectional.dir/ablation_unidirectional.cpp.o"
+  "CMakeFiles/ablation_unidirectional.dir/ablation_unidirectional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

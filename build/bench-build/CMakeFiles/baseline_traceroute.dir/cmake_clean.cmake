@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_traceroute"
+  "../bench/baseline_traceroute.pdb"
+  "CMakeFiles/baseline_traceroute.dir/baseline_traceroute.cpp.o"
+  "CMakeFiles/baseline_traceroute.dir/baseline_traceroute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

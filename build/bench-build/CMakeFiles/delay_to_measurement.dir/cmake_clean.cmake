@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/delay_to_measurement"
+  "../bench/delay_to_measurement.pdb"
+  "CMakeFiles/delay_to_measurement.dir/delay_to_measurement.cpp.o"
+  "CMakeFiles/delay_to_measurement.dir/delay_to_measurement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_to_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

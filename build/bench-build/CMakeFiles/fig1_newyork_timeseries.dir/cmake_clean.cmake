@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_newyork_timeseries"
+  "../bench/fig1_newyork_timeseries.pdb"
+  "CMakeFiles/fig1_newyork_timeseries.dir/fig1_newyork_timeseries.cpp.o"
+  "CMakeFiles/fig1_newyork_timeseries.dir/fig1_newyork_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_newyork_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

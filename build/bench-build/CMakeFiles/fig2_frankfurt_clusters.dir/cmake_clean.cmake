@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_frankfurt_clusters"
+  "../bench/fig2_frankfurt_clusters.pdb"
+  "CMakeFiles/fig2_frankfurt_clusters.dir/fig2_frankfurt_clusters.cpp.o"
+  "CMakeFiles/fig2_frankfurt_clusters.dir/fig2_frankfurt_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_frankfurt_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_bangalore_spread"
+  "../bench/fig3_bangalore_spread.pdb"
+  "CMakeFiles/fig3_bangalore_spread.dir/fig3_bangalore_spread.cpp.o"
+  "CMakeFiles/fig3_bangalore_spread.dir/fig3_bangalore_spread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bangalore_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

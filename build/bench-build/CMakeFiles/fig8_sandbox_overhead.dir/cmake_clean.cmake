@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_sandbox_overhead"
+  "../bench/fig8_sandbox_overhead.pdb"
+  "CMakeFiles/fig8_sandbox_overhead.dir/fig8_sandbox_overhead.cpp.o"
+  "CMakeFiles/fig8_sandbox_overhead.dir/fig8_sandbox_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sandbox_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_chain"
+  "../bench/micro_chain.pdb"
+  "CMakeFiles/micro_chain.dir/micro_chain.cpp.o"
+  "CMakeFiles/micro_chain.dir/micro_chain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_crypto"
+  "../bench/micro_crypto.pdb"
+  "CMakeFiles/micro_crypto.dir/micro_crypto.cpp.o"
+  "CMakeFiles/micro_crypto.dir/micro_crypto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_simnet"
+  "../bench/micro_simnet.pdb"
+  "CMakeFiles/micro_simnet.dir/micro_simnet.cpp.o"
+  "CMakeFiles/micro_simnet.dir/micro_simnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

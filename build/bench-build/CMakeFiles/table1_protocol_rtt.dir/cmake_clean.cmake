@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_protocol_rtt"
+  "../bench/table1_protocol_rtt.pdb"
+  "CMakeFiles/table1_protocol_rtt.dir/table1_protocol_rtt.cpp.o"
+  "CMakeFiles/table1_protocol_rtt.dir/table1_protocol_rtt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_protocol_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

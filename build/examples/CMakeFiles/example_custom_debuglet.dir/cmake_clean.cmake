@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_debuglet.dir/custom_debuglet.cpp.o"
+  "CMakeFiles/example_custom_debuglet.dir/custom_debuglet.cpp.o.d"
+  "example_custom_debuglet"
+  "example_custom_debuglet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_debuglet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

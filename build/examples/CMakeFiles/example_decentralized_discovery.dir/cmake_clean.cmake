@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_decentralized_discovery.dir/decentralized_discovery.cpp.o"
+  "CMakeFiles/example_decentralized_discovery.dir/decentralized_discovery.cpp.o.d"
+  "example_decentralized_discovery"
+  "example_decentralized_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_decentralized_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

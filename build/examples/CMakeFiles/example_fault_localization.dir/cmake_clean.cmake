@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_localization.dir/fault_localization.cpp.o"
+  "CMakeFiles/example_fault_localization.dir/fault_localization.cpp.o.d"
+  "example_fault_localization"
+  "example_fault_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

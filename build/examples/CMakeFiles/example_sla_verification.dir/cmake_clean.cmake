@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sla_verification.dir/sla_verification.cpp.o"
+  "CMakeFiles/example_sla_verification.dir/sla_verification.cpp.o.d"
+  "example_sla_verification"
+  "example_sla_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sla_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_apps.dir/apps/debuglets.cpp.o"
+  "CMakeFiles/debuglet_apps.dir/apps/debuglets.cpp.o.d"
+  "libdebuglet_apps.a"
+  "libdebuglet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

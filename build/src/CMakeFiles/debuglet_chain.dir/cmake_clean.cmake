@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_chain.dir/chain/chain.cpp.o"
+  "CMakeFiles/debuglet_chain.dir/chain/chain.cpp.o.d"
+  "libdebuglet_chain.a"
+  "libdebuglet_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

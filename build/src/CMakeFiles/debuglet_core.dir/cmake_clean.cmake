@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_core.dir/core/discovery.cpp.o"
+  "CMakeFiles/debuglet_core.dir/core/discovery.cpp.o.d"
+  "CMakeFiles/debuglet_core.dir/core/history.cpp.o"
+  "CMakeFiles/debuglet_core.dir/core/history.cpp.o.d"
+  "CMakeFiles/debuglet_core.dir/core/initiator.cpp.o"
+  "CMakeFiles/debuglet_core.dir/core/initiator.cpp.o.d"
+  "CMakeFiles/debuglet_core.dir/core/localization.cpp.o"
+  "CMakeFiles/debuglet_core.dir/core/localization.cpp.o.d"
+  "CMakeFiles/debuglet_core.dir/core/system.cpp.o"
+  "CMakeFiles/debuglet_core.dir/core/system.cpp.o.d"
+  "libdebuglet_core.a"
+  "libdebuglet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/box.cpp" "src/CMakeFiles/debuglet_crypto.dir/crypto/box.cpp.o" "gcc" "src/CMakeFiles/debuglet_crypto.dir/crypto/box.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/CMakeFiles/debuglet_crypto.dir/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/debuglet_crypto.dir/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/CMakeFiles/debuglet_crypto.dir/crypto/schnorr.cpp.o" "gcc" "src/CMakeFiles/debuglet_crypto.dir/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/debuglet_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/debuglet_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/stream.cpp" "src/CMakeFiles/debuglet_crypto.dir/crypto/stream.cpp.o" "gcc" "src/CMakeFiles/debuglet_crypto.dir/crypto/stream.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/CMakeFiles/debuglet_crypto.dir/crypto/u256.cpp.o" "gcc" "src/CMakeFiles/debuglet_crypto.dir/crypto/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/debuglet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

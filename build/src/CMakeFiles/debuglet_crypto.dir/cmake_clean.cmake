@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_crypto.dir/crypto/box.cpp.o"
+  "CMakeFiles/debuglet_crypto.dir/crypto/box.cpp.o.d"
+  "CMakeFiles/debuglet_crypto.dir/crypto/merkle.cpp.o"
+  "CMakeFiles/debuglet_crypto.dir/crypto/merkle.cpp.o.d"
+  "CMakeFiles/debuglet_crypto.dir/crypto/schnorr.cpp.o"
+  "CMakeFiles/debuglet_crypto.dir/crypto/schnorr.cpp.o.d"
+  "CMakeFiles/debuglet_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/debuglet_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/debuglet_crypto.dir/crypto/stream.cpp.o"
+  "CMakeFiles/debuglet_crypto.dir/crypto/stream.cpp.o.d"
+  "CMakeFiles/debuglet_crypto.dir/crypto/u256.cpp.o"
+  "CMakeFiles/debuglet_crypto.dir/crypto/u256.cpp.o.d"
+  "libdebuglet_crypto.a"
+  "libdebuglet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

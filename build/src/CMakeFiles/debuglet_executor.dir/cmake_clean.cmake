@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_executor.dir/executor/executor.cpp.o"
+  "CMakeFiles/debuglet_executor.dir/executor/executor.cpp.o.d"
+  "CMakeFiles/debuglet_executor.dir/executor/manifest.cpp.o"
+  "CMakeFiles/debuglet_executor.dir/executor/manifest.cpp.o.d"
+  "CMakeFiles/debuglet_executor.dir/executor/result.cpp.o"
+  "CMakeFiles/debuglet_executor.dir/executor/result.cpp.o.d"
+  "libdebuglet_executor.a"
+  "libdebuglet_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

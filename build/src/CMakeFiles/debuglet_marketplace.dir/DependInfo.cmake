@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marketplace/contract.cpp" "src/CMakeFiles/debuglet_marketplace.dir/marketplace/contract.cpp.o" "gcc" "src/CMakeFiles/debuglet_marketplace.dir/marketplace/contract.cpp.o.d"
+  "/root/repo/src/marketplace/types.cpp" "src/CMakeFiles/debuglet_marketplace.dir/marketplace/types.cpp.o" "gcc" "src/CMakeFiles/debuglet_marketplace.dir/marketplace/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/debuglet_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

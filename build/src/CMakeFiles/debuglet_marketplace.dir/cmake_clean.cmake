@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_marketplace.dir/marketplace/contract.cpp.o"
+  "CMakeFiles/debuglet_marketplace.dir/marketplace/contract.cpp.o.d"
+  "CMakeFiles/debuglet_marketplace.dir/marketplace/types.cpp.o"
+  "CMakeFiles/debuglet_marketplace.dir/marketplace/types.cpp.o.d"
+  "libdebuglet_marketplace.a"
+  "libdebuglet_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

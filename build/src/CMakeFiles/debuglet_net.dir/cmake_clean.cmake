@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_net.dir/net/address.cpp.o"
+  "CMakeFiles/debuglet_net.dir/net/address.cpp.o.d"
+  "CMakeFiles/debuglet_net.dir/net/packet.cpp.o"
+  "CMakeFiles/debuglet_net.dir/net/packet.cpp.o.d"
+  "libdebuglet_net.a"
+  "libdebuglet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdebuglet_net.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/event_queue.cpp" "src/CMakeFiles/debuglet_simnet.dir/simnet/event_queue.cpp.o" "gcc" "src/CMakeFiles/debuglet_simnet.dir/simnet/event_queue.cpp.o.d"
+  "/root/repo/src/simnet/hosts.cpp" "src/CMakeFiles/debuglet_simnet.dir/simnet/hosts.cpp.o" "gcc" "src/CMakeFiles/debuglet_simnet.dir/simnet/hosts.cpp.o.d"
+  "/root/repo/src/simnet/link_model.cpp" "src/CMakeFiles/debuglet_simnet.dir/simnet/link_model.cpp.o" "gcc" "src/CMakeFiles/debuglet_simnet.dir/simnet/link_model.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/CMakeFiles/debuglet_simnet.dir/simnet/network.cpp.o" "gcc" "src/CMakeFiles/debuglet_simnet.dir/simnet/network.cpp.o.d"
+  "/root/repo/src/simnet/scenarios.cpp" "src/CMakeFiles/debuglet_simnet.dir/simnet/scenarios.cpp.o" "gcc" "src/CMakeFiles/debuglet_simnet.dir/simnet/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/debuglet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

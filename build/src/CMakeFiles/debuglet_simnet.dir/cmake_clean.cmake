@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_simnet.dir/simnet/event_queue.cpp.o"
+  "CMakeFiles/debuglet_simnet.dir/simnet/event_queue.cpp.o.d"
+  "CMakeFiles/debuglet_simnet.dir/simnet/hosts.cpp.o"
+  "CMakeFiles/debuglet_simnet.dir/simnet/hosts.cpp.o.d"
+  "CMakeFiles/debuglet_simnet.dir/simnet/link_model.cpp.o"
+  "CMakeFiles/debuglet_simnet.dir/simnet/link_model.cpp.o.d"
+  "CMakeFiles/debuglet_simnet.dir/simnet/network.cpp.o"
+  "CMakeFiles/debuglet_simnet.dir/simnet/network.cpp.o.d"
+  "CMakeFiles/debuglet_simnet.dir/simnet/scenarios.cpp.o"
+  "CMakeFiles/debuglet_simnet.dir/simnet/scenarios.cpp.o.d"
+  "libdebuglet_simnet.a"
+  "libdebuglet_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

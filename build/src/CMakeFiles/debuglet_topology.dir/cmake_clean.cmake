@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/debuglet_topology.dir/topology/topology.cpp.o.d"
+  "libdebuglet_topology.a"
+  "libdebuglet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

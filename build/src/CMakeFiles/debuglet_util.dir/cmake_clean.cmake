@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/debuglet_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/debuglet_util.dir/util/log.cpp.o"
+  "CMakeFiles/debuglet_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/debuglet_util.dir/util/rng.cpp.o"
+  "CMakeFiles/debuglet_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/debuglet_util.dir/util/stats.cpp.o"
+  "CMakeFiles/debuglet_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/debuglet_util.dir/util/time.cpp.o"
+  "CMakeFiles/debuglet_util.dir/util/time.cpp.o.d"
+  "libdebuglet_util.a"
+  "libdebuglet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cpp" "src/CMakeFiles/debuglet_vm.dir/vm/assembler.cpp.o" "gcc" "src/CMakeFiles/debuglet_vm.dir/vm/assembler.cpp.o.d"
+  "/root/repo/src/vm/builder.cpp" "src/CMakeFiles/debuglet_vm.dir/vm/builder.cpp.o" "gcc" "src/CMakeFiles/debuglet_vm.dir/vm/builder.cpp.o.d"
+  "/root/repo/src/vm/interpreter.cpp" "src/CMakeFiles/debuglet_vm.dir/vm/interpreter.cpp.o" "gcc" "src/CMakeFiles/debuglet_vm.dir/vm/interpreter.cpp.o.d"
+  "/root/repo/src/vm/isa.cpp" "src/CMakeFiles/debuglet_vm.dir/vm/isa.cpp.o" "gcc" "src/CMakeFiles/debuglet_vm.dir/vm/isa.cpp.o.d"
+  "/root/repo/src/vm/module.cpp" "src/CMakeFiles/debuglet_vm.dir/vm/module.cpp.o" "gcc" "src/CMakeFiles/debuglet_vm.dir/vm/module.cpp.o.d"
+  "/root/repo/src/vm/validator.cpp" "src/CMakeFiles/debuglet_vm.dir/vm/validator.cpp.o" "gcc" "src/CMakeFiles/debuglet_vm.dir/vm/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/debuglet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_vm.dir/vm/assembler.cpp.o"
+  "CMakeFiles/debuglet_vm.dir/vm/assembler.cpp.o.d"
+  "CMakeFiles/debuglet_vm.dir/vm/builder.cpp.o"
+  "CMakeFiles/debuglet_vm.dir/vm/builder.cpp.o.d"
+  "CMakeFiles/debuglet_vm.dir/vm/interpreter.cpp.o"
+  "CMakeFiles/debuglet_vm.dir/vm/interpreter.cpp.o.d"
+  "CMakeFiles/debuglet_vm.dir/vm/isa.cpp.o"
+  "CMakeFiles/debuglet_vm.dir/vm/isa.cpp.o.d"
+  "CMakeFiles/debuglet_vm.dir/vm/module.cpp.o"
+  "CMakeFiles/debuglet_vm.dir/vm/module.cpp.o.d"
+  "CMakeFiles/debuglet_vm.dir/vm/validator.cpp.o"
+  "CMakeFiles/debuglet_vm.dir/vm/validator.cpp.o.d"
+  "libdebuglet_vm.a"
+  "libdebuglet_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_protocols_test.dir/executor_protocols_test.cpp.o"
+  "CMakeFiles/executor_protocols_test.dir/executor_protocols_test.cpp.o.d"
+  "executor_protocols_test"
+  "executor_protocols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_test.dir/marketplace_test.cpp.o"
+  "CMakeFiles/marketplace_test.dir/marketplace_test.cpp.o.d"
+  "marketplace_test"
+  "marketplace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_bytes_test.cpp" "tests/CMakeFiles/util_bytes_test.dir/util_bytes_test.cpp.o" "gcc" "tests/CMakeFiles/util_bytes_test.dir/util_bytes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/debuglet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_marketplace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/debuglet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_module_test.dir/vm_module_test.cpp.o"
+  "CMakeFiles/vm_module_test.dir/vm_module_test.cpp.o.d"
+  "vm_module_test"
+  "vm_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

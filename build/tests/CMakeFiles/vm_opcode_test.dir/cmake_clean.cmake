@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_opcode_test.dir/vm_opcode_test.cpp.o"
+  "CMakeFiles/vm_opcode_test.dir/vm_opcode_test.cpp.o.d"
+  "vm_opcode_test"
+  "vm_opcode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_opcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

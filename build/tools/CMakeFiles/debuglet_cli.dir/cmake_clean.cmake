@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debuglet_cli.dir/debuglet_cli.cpp.o"
+  "CMakeFiles/debuglet_cli.dir/debuglet_cli.cpp.o.d"
+  "debuglet"
+  "debuglet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debuglet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
