@@ -1,11 +1,16 @@
-// Shared helpers for the reproduction benches: fixed-width table printing
-// and paper-vs-measured row formatting.
+// Shared helpers for the reproduction benches: fixed-width table printing,
+// paper-vs-measured row formatting, and the machine-readable Report built
+// on the obs metrics registry + exporters.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace debuglet::bench {
 
@@ -55,6 +60,56 @@ class ShapeChecks {
  private:
   std::size_t passed_ = 0;
   std::size_t total_ = 0;
+};
+
+/// A bench report: shape checks plus metrics collected into a private
+/// (always-enabled) registry, written as BENCH_<name>.json on summary().
+/// The private registry leaves the process-global one untouched, so a
+/// bench can measure itself while the system under test stays
+/// uninstrumented.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {
+    registry_.set_enabled(true);
+  }
+
+  /// Records a scalar result (a cell of the reproduced table/figure).
+  void metric(const std::string& name, double value,
+              const obs::Labels& labels = {}) {
+    registry_.gauge(name, labels).set(value);
+  }
+
+  /// A distribution to feed samples into; summarized in the JSON as
+  /// count/mean/percentiles.
+  obs::Histogram& histogram(const std::string& name,
+                            const obs::Labels& labels = {}) {
+    return registry_.histogram(name, labels);
+  }
+
+  void check(bool ok, const std::string& description) {
+    checks_.check(ok, description);
+  }
+
+  /// Prints the tally and writes BENCH_<name>.json (to $DEBUGLET_BENCH_DIR
+  /// when set, else the working directory). Returns a process exit code.
+  int summary() {
+    const char* dir = std::getenv("DEBUGLET_BENCH_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                             "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) {
+      obs::write_metrics_json(registry_.snapshot(), out);
+      std::printf("(wrote %s)\n", path.c_str());
+    } else {
+      std::printf("(could not write %s)\n", path.c_str());
+    }
+    return checks_.summary();
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry registry_;
+  ShapeChecks checks_;
 };
 
 }  // namespace debuglet::bench

@@ -236,24 +236,30 @@ int main() {
   std::printf("\nSandbox overhead (D2D - A2A): %.0f us (paper: ~300 us)\n",
               (d2d.mean_ms - a2a.mean_ms) * 1000.0);
 
-  bench::ShapeChecks checks;
-  checks.check(d2d.mean_ms > d2a.mean_ms && d2a.mean_ms > a2d.mean_ms &&
+  bench::Report report("fig8_sandbox_overhead");
+  for (const ComboResult& c : {d2d, a2d, d2a, a2a}) {
+    report.metric("fig8.rtt_mean_ms", c.mean_ms, {{"combo", c.name}});
+    report.metric("fig8.rtt_std_ms", c.std_ms, {{"combo", c.name}});
+    report.metric("fig8.loss_percent", c.loss_percent, {{"combo", c.name}});
+  }
+  const double overhead_us = (d2d.mean_ms - a2a.mean_ms) * 1000.0;
+  report.metric("fig8.sandbox_overhead_us", overhead_us);
+  report.check(d2d.mean_ms > d2a.mean_ms && d2a.mean_ms > a2d.mean_ms &&
                    a2d.mean_ms > a2a.mean_ms,
                "ordering D2D > D2A > A2D > A2A holds");
-  const double overhead_us = (d2d.mean_ms - a2a.mean_ms) * 1000.0;
-  checks.check(overhead_us > 150.0 && overhead_us < 500.0,
+  report.check(overhead_us > 150.0 && overhead_us < 500.0,
                "sandbox adds a few hundred microseconds");
-  checks.check(std::abs(d2d.std_ms - a2a.std_ms) < 0.3,
+  report.check(std::abs(d2d.std_ms - a2a.std_ms) < 0.3,
                "overhead is near-constant (negligible extra variance)");
   for (const ComboResult& c : {d2d, a2d, d2a, a2a})
-    checks.check(c.loss_percent > 1.0 && c.loss_percent < 2.3,
+    report.check(c.loss_percent > 1.0 && c.loss_percent < 2.3,
                  c.name + " loss in the paper's 1.4-1.7% band");
   const double spread =
       std::max({d2d.loss_percent, a2d.loss_percent, d2a.loss_percent,
                 a2a.loss_percent}) -
       std::min({d2d.loss_percent, a2d.loss_percent, d2a.loss_percent,
                 a2a.loss_percent});
-  checks.check(spread < 0.5,
+  report.check(spread < 0.5,
                "loss is indistinguishable across combinations");
-  return checks.summary();
+  return report.summary();
 }

@@ -11,7 +11,6 @@ namespace {
 
 using namespace debuglet;
 using namespace debuglet::simnet;
-using debuglet::bench::ShapeChecks;
 using net::Protocol;
 
 struct PairResult {
@@ -58,7 +57,7 @@ int main() {
               "--------------------------------------------------------------"
               "----------------------------------");
 
-  ShapeChecks checks;
+  bench::Report checks("table1_protocol_rtt");
   std::uint64_t seed = 20240514;
   for (const std::string& city : city_names()) {
     const PairResult result = run_city(city, hours, seed);
@@ -71,6 +70,11 @@ int main() {
                   city.c_str(), net::protocol_name(p).c_str(), rtt.mean(),
                   rtt.stddev(), loss, paper.mean_ms, paper.std_ms,
                   paper.loss_pm);
+      const obs::Labels labels = {{"city", city},
+                                  {"proto", net::protocol_name(p)}};
+      checks.metric("table1.rtt_mean_ms", rtt.mean(), labels);
+      checks.metric("table1.rtt_std_ms", rtt.stddev(), labels);
+      checks.metric("table1.loss_per_mille", loss, labels);
     }
 
     const auto& r = result.report;

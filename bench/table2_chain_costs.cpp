@@ -69,7 +69,7 @@ int main() {
   std::printf("%.*s\n", 72,
               "------------------------------------------------------------------------");
 
-  bench::ShapeChecks checks;
+  bench::Report checks("table2_chain_costs");
   std::vector<double> totals;
   for (const auto& row : kRows) {
     const Mist before = chain.balance(addr);
@@ -94,6 +94,10 @@ int main() {
                 mist_to_sui(total), mist_to_sui(rebate), row.paper_total,
                 row.paper_rebate);
     totals.push_back(mist_to_sui(total));
+    checks.metric("table2.total_sui", mist_to_sui(total),
+                  {{"size", row.label}});
+    checks.metric("table2.rebate_sui", mist_to_sui(rebate),
+                  {{"size", row.label}});
     checks.check(std::abs(mist_to_sui(total) - row.paper_total) < 1e-4,
                  std::string(row.label) + " total matches Table II");
     checks.check(std::abs(mist_to_sui(rebate) - row.paper_rebate) < 1e-4,
@@ -115,6 +119,7 @@ int main() {
   std::printf("\nHash-only submission (32 B): %.5f SUI = %.2f cents "
               "(paper: ~1 cent)\n",
               mist_to_sui(hash_only), usd * 100.0);
+  checks.metric("table2.hash_only_sui", mist_to_sui(hash_only));
   checks.check(usd < 0.02, "hash-only submissions cost about a cent");
   return checks.summary();
 }

@@ -1,5 +1,7 @@
 #include "chain/chain.hpp"
 
+#include "obs/trace.hpp"
+
 namespace debuglet::chain {
 
 Address Address::of(const crypto::PublicKey& pk) {
@@ -40,8 +42,12 @@ Result<ObjectId> CallContext::create_object(Bytes data) {
   bytes_stored += data.size();
   ++objects_created;
   rebate_accrued += obj.rebate_credit;
+  chain_.object_bytes_total_ += data.size();
   obj.data = std::move(data);
   chain_.objects_.emplace(id, std::move(obj));
+  chain_.obs_.objects->set(static_cast<double>(chain_.objects_.size()));
+  chain_.obs_.object_bytes->set(
+      static_cast<double>(chain_.object_bytes_total_));
   return id;
 }
 
@@ -61,7 +67,11 @@ Status CallContext::delete_object(ObjectId id) {
   if (it == chain_.objects_.end())
     return fail("no object " + std::to_string(id));
   chain_.balances_[it->second.owner] += it->second.rebate_credit;
+  chain_.object_bytes_total_ -= it->second.data.size();
   chain_.objects_.erase(it);
+  chain_.obs_.objects->set(static_cast<double>(chain_.objects_.size()));
+  chain_.obs_.object_bytes->set(
+      static_cast<double>(chain_.object_bytes_total_));
   return ok_status();
 }
 
@@ -76,11 +86,14 @@ void CallContext::emit_event(std::string name, std::string key,
   ev.timestamp = chain_.now();
   chain_.event_log_.push_back(ev);
   // Dispatch after appending so subscribers observe a consistent log.
+  std::uint64_t fanout = 0;
   for (const auto& [_, sub] : chain_.subscriptions_) {
     if (sub.contract != ev.contract || sub.name != ev.name) continue;
     if (!sub.key.empty() && sub.key != ev.key) continue;
+    ++fanout;
     sub.callback(ev);
   }
+  chain_.obs_.event_fanout->record(static_cast<double>(fanout));
 }
 
 Status CallContext::pay_from_escrow(const Address& to, Mist amount) {
@@ -100,6 +113,15 @@ Blockchain::Blockchain(ChainConfig config) : config_(config) {
   genesis.transactions_root =
       crypto::MerkleTree(std::vector<Bytes>{}).root();
   blocks_.push_back(genesis);
+  obs::MetricsRegistry& reg = obs::registry();
+  obs_.tx_submitted = &reg.counter("chain.tx_submitted");
+  obs_.tx_rejected = &reg.counter("chain.tx_rejected");
+  obs_.tx_failed = &reg.counter("chain.tx_failed");
+  obs_.gas_charged = &reg.histogram("chain.gas_charged_mist");
+  obs_.block_build_ms = &reg.histogram("chain.block_build_ms");
+  obs_.event_fanout = &reg.histogram("chain.event_fanout");
+  obs_.objects = &reg.gauge("chain.object_store.objects");
+  obs_.object_bytes = &reg.gauge("chain.object_store.bytes");
 }
 
 Status Blockchain::register_contract(std::unique_ptr<Contract> contract) {
@@ -144,26 +166,35 @@ Transaction Blockchain::make_transaction(const crypto::KeyPair& key,
 }
 
 Result<Receipt> Blockchain::submit(const Transaction& tx) {
+  obs_.tx_submitted->add();
   // 1. Authenticate.
   const Bytes body = tx.signing_bytes();
   if (!crypto::verify(tx.sender, BytesView(body.data(), body.size()),
-                      tx.signature))
+                      tx.signature)) {
+    obs_.tx_rejected->add();
     return fail("invalid transaction signature");
+  }
   const Address sender = Address::of(tx.sender);
-  if (tx.nonce != nonce(sender))
+  if (tx.nonce != nonce(sender)) {
+    obs_.tx_rejected->add();
     return fail("bad nonce: expected " + std::to_string(nonce(sender)) +
                 ", got " + std::to_string(tx.nonce));
+  }
 
   auto contract_it = contracts_.find(tx.contract);
-  if (contract_it == contracts_.end())
+  if (contract_it == contracts_.end()) {
+    obs_.tx_rejected->add();
     return fail("unknown contract '" + tx.contract + "'");
+  }
 
   // 2. Ensure the sender can cover the worst case up front.
   const Mist worst_case = tx.gas_budget + tx.attached_tokens;
-  if (balance(sender) < worst_case)
+  if (balance(sender) < worst_case) {
+    obs_.tx_rejected->add();
     return fail("insufficient balance: have " +
                 std::to_string(balance(sender)) + " MIST, need " +
                 std::to_string(worst_case));
+  }
 
   ++nonces_[sender];
 
@@ -185,8 +216,11 @@ Result<Receipt> Blockchain::submit(const Transaction& tx) {
   if (gas > tx.gas_budget) gas = tx.gas_budget;  // budget caps the charge
   if (balances_[sender] < gas) gas = balances_[sender];
   balances_[sender] -= gas;
+  obs_.gas_charged->record(static_cast<double>(gas));
 
   // 6. Seal the block (instant finality, one transaction per block).
+  const bool time_block = obs_.block_build_ms->enabled();
+  const std::int64_t build_begin_us = time_block ? obs::wall_now_us() : 0;
   Receipt receipt;
   receipt.transaction_digest = tx.digest();
   Block block;
@@ -208,6 +242,9 @@ Result<Receipt> Blockchain::submit(const Transaction& tx) {
   block.timestamp = now();
   block.transaction_digests.push_back(receipt.transaction_digest);
   blocks_.push_back(block);
+  if (time_block)
+    obs_.block_build_ms->record(
+        static_cast<double>(obs::wall_now_us() - build_begin_us) / 1000.0);
 
   receipt.block_height = block.height;
   receipt.gas_charged = gas;
@@ -222,6 +259,7 @@ Result<Receipt> Blockchain::submit(const Transaction& tx) {
     // already charged) to the sender.
     escrow_[tx.contract] -= tx.attached_tokens;
     balances_[sender] += tx.attached_tokens;
+    obs_.tx_failed->add();
   }
   return receipt;
 }

@@ -23,6 +23,7 @@
 #include "chain/gas.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/schnorr.hpp"
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 #include "util/time.hpp"
@@ -251,6 +252,19 @@ class Blockchain {
   std::map<SubscriptionId, Subscription> subscriptions_;
   SubscriptionId next_subscription_ = 1;
   std::function<SimTime()> clock_;
+  // Observability handles cached at construction (no-ops while disabled).
+  struct ObsHandles {
+    obs::Counter* tx_submitted = nullptr;
+    obs::Counter* tx_rejected = nullptr;  // failed verification, not recorded
+    obs::Counter* tx_failed = nullptr;    // committed with success=false
+    obs::Histogram* gas_charged = nullptr;
+    obs::Histogram* block_build_ms = nullptr;  // wall time to seal a block
+    obs::Histogram* event_fanout = nullptr;    // subscribers hit per event
+    obs::Gauge* objects = nullptr;
+    obs::Gauge* object_bytes = nullptr;
+  };
+  ObsHandles obs_;
+  std::uint64_t object_bytes_total_ = 0;
 };
 
 }  // namespace debuglet::chain

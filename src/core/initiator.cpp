@@ -27,6 +27,10 @@ Initiator::Initiator(DebugletSystem& system, std::uint64_t seed,
                      chain::Mist funding)
     : system_(system), key_(crypto::KeyPair::from_seed(seed)) {
   system_.chain().mint(address(), funding);
+  obs::MetricsRegistry& reg = obs::registry();
+  obs_.purchased = &reg.counter("core.measurements_purchased");
+  obs_.collected = &reg.counter("core.results_collected");
+  obs_.spent = &reg.counter("core.tokens_spent_mist");
 }
 
 Result<Bytes> Initiator::open_result(
@@ -50,6 +54,7 @@ Result<chain::Mist> Initiator::reclaim(const MeasurementHandle& handle) {
     if (!receipt->success)
       return fail("ReclaimApplication: " + receipt->error);
     total_spent_ += receipt->gas_charged;
+    obs_.spent->add(receipt->gas_charged);
     // Balance delta = rebate - gas.
     total_rebate += chain.balance(address()) + receipt->gas_charged - before;
   }
@@ -76,6 +81,7 @@ Result<MeasurementHandle> Initiator::purchase(
   if (!lookup_receipt->success)
     return fail("LookupSlot: " + lookup_receipt->error);
   total_spent_ += lookup_receipt->gas_charged;
+  obs_.spent->add(lookup_receipt->gas_charged);
   auto quote = marketplace::SlotQuote::parse(
       BytesView(lookup_receipt->return_value.data(),
                 lookup_receipt->return_value.size()));
@@ -105,6 +111,8 @@ Result<MeasurementHandle> Initiator::purchase(
   if (!purchase_receipt->success)
     return fail("PurchaseSlot: " + purchase_receipt->error);
   total_spent_ += purchase_receipt->gas_charged + quote->total_price;
+  obs_.spent->add(purchase_receipt->gas_charged + quote->total_price);
+  obs_.purchased->add();
   auto receipt = marketplace::PurchaseReceipt::parse(
       BytesView(purchase_receipt->return_value.data(),
                 purchase_receipt->return_value.size()));
@@ -163,6 +171,7 @@ Result<MeasurementOutcome> Initiator::collect(
   if (!client) return client.error();
   auto server = fetch_result(handle.server_application, handle.server_key);
   if (!server) return server.error();
+  obs_.collected->add();
   return MeasurementOutcome{std::move(*client), std::move(*server)};
 }
 

@@ -9,6 +9,7 @@
 
 #include "apps/debuglets.hpp"
 #include "core/system.hpp"
+#include "obs/metrics.hpp"
 
 namespace debuglet::core {
 
@@ -119,6 +120,13 @@ class Initiator {
   crypto::KeyPair key_;
   chain::Mist total_spent_ = 0;
   std::uint16_t next_rendezvous_port_ = 40000;
+  // Observability handles cached at construction (no-ops while disabled).
+  struct ObsHandles {
+    obs::Counter* purchased = nullptr;
+    obs::Counter* collected = nullptr;
+    obs::Counter* spent = nullptr;  // MIST: gas + slot prices
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace debuglet::core

@@ -1,5 +1,8 @@
 #include "core/localization.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace debuglet::core {
 
 std::string strategy_name(Strategy s) {
@@ -59,6 +62,7 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
                                           path_.hops[from_hop].egress};
   const topology::InterfaceKey server_key{path_.hops[to_hop].asn,
                                           path_.hops[to_hop].ingress};
+  const SimTime segment_begin = system_.queue().now();
   auto handle = initiator_.purchase_rtt_measurement(
       client_key, server_key, protocol_, probes_, interval_ms_,
       system_.queue().now());
@@ -68,6 +72,17 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
   auto summary = summarize_rtt(outcome->client,
                                static_cast<std::size_t>(probes_));
   if (!summary) return summary.error();
+
+  obs::registry().counter("core.localization.segments_measured").add();
+  if (obs::tracer().enabled()) {
+    obs::Span span;
+    span.name = "segment " + client_key.to_string() + ".." +
+                server_key.to_string();
+    span.category = "localization";
+    span.sim_begin = segment_begin;
+    span.sim_end = system_.queue().now();
+    obs::tracer().record(std::move(span));
+  }
 
   LocalizationStep step;
   step.from_hop = from_hop;
@@ -173,6 +188,14 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
 
   report.finished = system_.queue().now();
   report.tokens_spent = initiator_.total_spent() - spent_before;
+  obs::registry()
+      .histogram("core.localization.measurements_per_run",
+                 {{"strategy", strategy_name(strategy)}})
+      .record(static_cast<double>(report.measurements));
+  obs::registry()
+      .histogram("core.localization.time_to_locate_s",
+                 {{"strategy", strategy_name(strategy)}})
+      .record(duration::to_ms(report.time_to_locate()) / 1000.0);
   return report;
 }
 

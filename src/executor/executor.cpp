@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "crypto/box.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace debuglet::executor {
@@ -40,6 +41,18 @@ ExecutorService::ExecutorService(simnet::SimulatedNetwork& network,
   if (!status)
     throw std::runtime_error("executor at " + key_.to_string() + ": " +
                              status.error_message());
+  obs::MetricsRegistry& reg = obs::registry();
+  const obs::Labels labels{{"as", std::to_string(key_.asn)},
+                           {"intf", std::to_string(key_.interface)}};
+  obs_.admitted = &reg.counter("executor.deployments_admitted", labels);
+  obs_.rejected = &reg.counter("executor.deployments_rejected", labels);
+  obs_.completed = &reg.counter("executor.deployments_completed", labels);
+  obs_.failed = &reg.counter("executor.deployments_failed", labels);
+  obs_.active = &reg.gauge("executor.active_deployments", labels);
+  // Timing and occupancy aggregate across executors (one histogram each).
+  obs_.setup_ms = &reg.histogram("executor.sandbox_setup_ms");
+  obs_.io_us = &reg.histogram("executor.host_call_io_us");
+  obs_.inbox_depth = &reg.histogram("executor.inbox_depth");
 }
 
 ExecutorService::~ExecutorService() { network_.detach_host(address_); }
@@ -52,6 +65,17 @@ std::size_t ExecutorService::active_deployments() const {
 }
 
 Result<DeploymentId> ExecutorService::deploy(DebugletApp app) {
+  auto id = admit(std::move(app));
+  if (id) {
+    obs_.admitted->add();
+    obs_.active->set(static_cast<double>(active_deployments()));
+  } else {
+    obs_.rejected->add();
+  }
+  return id;
+}
+
+Result<DeploymentId> ExecutorService::admit(DebugletApp app) {
   if (config_.max_concurrent_deployments != 0 &&
       active_deployments() >= config_.max_concurrent_deployments)
     return fail("executor at capacity: " +
@@ -110,6 +134,7 @@ SimDuration ExecutorService::io_delay() {
   if (config_.io_overhead_jitter_ns > 0.0)
     d += static_cast<SimDuration>(
         std::abs(rng_.normal(0.0, config_.io_overhead_jitter_ns)));
+  obs_.io_us->record(static_cast<double>(d) / 1000.0);
   return d;
 }
 
@@ -281,6 +306,7 @@ void ExecutorService::begin_execution(DeploymentId id) {
   if (config_.setup_jitter_ns > 0.0)
     setup += static_cast<SimDuration>(
         std::abs(rng_.normal(0.0, config_.setup_jitter_ns)));
+  obs_.setup_ms->record(duration::to_ms(setup));
 
   network_.queue().schedule_after(setup, [this, id] {
     auto it = deployments_.find(id);
@@ -475,6 +501,7 @@ void ExecutorService::on_packet(const simnet::Delivery& delivery) {
       if (dep.inbox.size() < config_.inbox_capacity)
         dep.inbox.push_back(delivery.packet);
       // else: inbox overflow, packet dropped (bounded memory per sandbox)
+      obs_.inbox_depth->record(static_cast<double>(dep.inbox.size()));
     }
     return;
   }
@@ -485,6 +512,18 @@ void ExecutorService::on_packet(const simnet::Delivery& delivery) {
 void ExecutorService::finish(Deployment& dep, const vm::RunOutcome& outcome) {
   if (dep.finished) return;
   dep.finished = true;
+  (outcome.trapped ? obs_.failed : obs_.completed)->add();
+  obs_.active->set(static_cast<double>(active_deployments()));
+  if (obs::tracer().enabled()) {
+    obs::Span span;
+    span.name = "deployment#" + std::to_string(dep.id);
+    span.category = "executor " + key_.to_string();
+    // Deployments that fail before the sandbox starts have no actual_start;
+    // anchor their span at the failure instant.
+    span.sim_begin = dep.actual_start != 0 ? dep.actual_start : network_.now();
+    span.sim_end = network_.now();
+    obs::tracer().record(std::move(span));
+  }
 
   ResultRecord record;
   record.application_id = dep.app.application_id;

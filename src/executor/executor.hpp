@@ -35,6 +35,7 @@
 #include "crypto/schnorr.hpp"
 #include "executor/manifest.hpp"
 #include "executor/result.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/hosts.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/validator.hpp"
@@ -144,6 +145,7 @@ class ExecutorService : public simnet::Host {
   };
 
   std::vector<vm::HostFunction> bind_host_api(Deployment& dep);
+  Result<DeploymentId> admit(DebugletApp app);
   void begin_execution(DeploymentId id);
   void pump(Deployment& dep);
   void handle_block(Deployment& dep);
@@ -162,6 +164,18 @@ class ExecutorService : public simnet::Host {
   std::map<DeploymentId, Deployment> deployments_;
   DeploymentId next_id_ = 1;
   std::uint16_t next_port_ = 50000;
+  // Observability handles cached at construction (no-ops while disabled).
+  struct ObsHandles {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* setup_ms = nullptr;
+    obs::Histogram* io_us = nullptr;
+    obs::Histogram* inbox_depth = nullptr;
+    obs::Gauge* active = nullptr;
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace debuglet::executor

@@ -4,6 +4,16 @@
 
 namespace debuglet::marketplace {
 
+MarketplaceContract::MarketplaceContract() {
+  obs::MetricsRegistry& reg = obs::registry();
+  obs_.executors_registered = &reg.counter("marketplace.executors_registered");
+  obs_.slots_registered = &reg.counter("marketplace.slots_registered");
+  obs_.slots_purchased = &reg.counter("marketplace.slots_purchased");
+  obs_.results_reported = &reg.counter("marketplace.results_reported");
+  obs_.escrow_volume = &reg.counter("marketplace.escrow_volume_mist");
+  obs_.result_latency_ms = &reg.histogram("marketplace.result_latency_ms");
+}
+
 Result<Bytes> MarketplaceContract::call(chain::CallContext& context,
                                         const std::string& function,
                                         BytesView arguments) {
@@ -31,6 +41,7 @@ Result<Bytes> MarketplaceContract::register_executor(chain::CallContext& ctx,
                   " already registered to a different address");
     return Bytes{};  // idempotent re-registration
   }
+  obs_.executors_registered->add();
   ctx.emit_event(kEventExecutorRegistered, parsed->key.to_string(), Bytes{});
   return Bytes{};
 }
@@ -61,6 +72,7 @@ Result<Bytes> MarketplaceContract::register_time_slot(chain::CallContext& ctx,
     if (list[i].end > list[i + 1].start)
       return fail("overlapping time slots for " + parsed->key.to_string());
   }
+  obs_.slots_registered->add(parsed->slots.size());
   return Bytes{};
 }
 
@@ -170,7 +182,7 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
     obj.payload = payload;
     auto id = ctx.create_object(obj.serialize());
     if (!id) return id;
-    pending_[*id] = PendingApplication{key, tokens, false};
+    pending_[*id] = PendingApplication{key, tokens, window_end, false};
     return id;
   };
 
@@ -188,6 +200,9 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
         !s)
       return s.error();
   }
+
+  obs_.slots_purchased->add(2);
+  obs_.escrow_volume->add(price);
 
   MeasurementKey mk{parsed->client_key, parsed->server_key, window_start,
                     window_end};
@@ -243,6 +258,12 @@ Result<Bytes> MarketplaceContract::result_ready(chain::CallContext& ctx,
   if (!object_id) return object_id.error();
   entry.result_object = *object_id;
   results_[parsed->application] = entry;
+
+  obs_.results_reported->add();
+  // Latency between the end of the purchased window and the report landing
+  // on chain (clamped: early reports inside the window count as zero).
+  const SimTime lag = entry.reported_at - pending.window_end;
+  obs_.result_latency_ms->record(lag > 0 ? duration::to_ms(lag) : 0.0);
 
   BytesWriter w;
   w.u64(entry.result_object);

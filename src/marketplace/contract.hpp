@@ -15,6 +15,7 @@
 #include <map>
 
 #include "marketplace/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace debuglet::marketplace {
 
@@ -22,6 +23,8 @@ inline constexpr const char* kContractName = "debuglet_marketplace";
 
 class MarketplaceContract : public chain::Contract {
  public:
+  MarketplaceContract();
+
   std::string name() const override { return kContractName; }
 
   Result<Bytes> call(chain::CallContext& context, const std::string& function,
@@ -46,6 +49,7 @@ class MarketplaceContract : public chain::Contract {
   struct PendingApplication {
     topology::InterfaceKey executor_key;
     chain::Mist embedded_tokens = 0;
+    SimTime window_end = 0;  // for result-latency accounting
     bool reported = false;
   };
 
@@ -64,6 +68,16 @@ class MarketplaceContract : public chain::Contract {
   std::map<MeasurementKey, std::vector<chain::ObjectId>> applications_;
   std::map<chain::ObjectId, PendingApplication> pending_;
   std::map<chain::ObjectId, ResultEntry> results_;
+  // Observability handles cached at construction (no-ops while disabled).
+  struct ObsHandles {
+    obs::Counter* executors_registered = nullptr;
+    obs::Counter* slots_registered = nullptr;
+    obs::Counter* slots_purchased = nullptr;
+    obs::Counter* results_reported = nullptr;
+    obs::Counter* escrow_volume = nullptr;     // MIST embedded at purchase
+    obs::Histogram* result_latency_ms = nullptr;  // report vs. window end
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace debuglet::marketplace

@@ -1,0 +1,306 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace debuglet::obs {
+
+namespace {
+
+const char* kind_name(MetricRow::Kind kind) {
+  switch (kind) {
+    case MetricRow::Kind::kCounter: return "counter";
+    case MetricRow::Kind::kGauge: return "gauge";
+    case MetricRow::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// Shortest representation that parses back to the same double.
+std::string number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  if (std::strtod(buf, nullptr) == v) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.15g", v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+void write_row_json(const MetricRow& row, std::ostream& out) {
+  out << "{\"name\":\"" << json_escape(row.name) << "\"";
+  if (!row.labels.empty()) {
+    out << ",\"labels\":{";
+    for (std::size_t i = 0; i < row.labels.size(); ++i) {
+      if (i != 0) out << ',';
+      out << '"' << json_escape(row.labels[i].first) << "\":\""
+          << json_escape(row.labels[i].second) << '"';
+    }
+    out << '}';
+  }
+  out << ",\"type\":\"" << kind_name(row.kind) << "\"";
+  switch (row.kind) {
+    case MetricRow::Kind::kCounter:
+      out << ",\"value\":" << number(row.value);
+      break;
+    case MetricRow::Kind::kGauge:
+      out << ",\"value\":" << number(row.value)
+          << ",\"max\":" << number(row.max);
+      break;
+    case MetricRow::Kind::kHistogram:
+      out << ",\"count\":" << row.count << ",\"sum\":" << number(row.sum)
+          << ",\"min\":" << number(row.min) << ",\"max\":" << number(row.max)
+          << ",\"p50\":" << number(row.p50) << ",\"p90\":" << number(row.p90)
+          << ",\"p99\":" << number(row.p99);
+      break;
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_metrics_jsonl(const std::vector<MetricRow>& rows,
+                         std::ostream& out) {
+  for (const MetricRow& row : rows) {
+    write_row_json(row, out);
+    out << '\n';
+  }
+}
+
+void write_metrics_json(const std::vector<MetricRow>& rows,
+                        std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "\n  ";
+    write_row_json(rows[i], out);
+  }
+  out << "\n]\n";
+}
+
+void write_metrics_csv(const std::vector<MetricRow>& rows, std::ostream& out) {
+  out << "name,labels,type,value,count,sum,min,max,p50,p90,p99\n";
+  for (const MetricRow& row : rows) {
+    const std::string labels = labels_to_string(row.labels);
+    out << row.name << ",\"" << labels << "\"," << kind_name(row.kind) << ',';
+    if (row.kind == MetricRow::Kind::kHistogram) {
+      out << ',' << row.count << ',' << number(row.sum) << ','
+          << number(row.min) << ',' << number(row.max) << ','
+          << number(row.p50) << ',' << number(row.p90) << ','
+          << number(row.p99);
+    } else {
+      out << number(row.value) << ",,,,,,,";
+    }
+    out << '\n';
+  }
+}
+
+void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    const double ts_us = static_cast<double>(span.sim_begin) / 1000.0;
+    double dur_us = static_cast<double>(span.sim_end - span.sim_begin) / 1000.0;
+    if (dur_us <= 0.0)
+      dur_us = static_cast<double>(span.wall_dur_us < 0 ? 0 : span.wall_dur_us);
+    if (i != 0) out << ',';
+    out << "\n  {\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+        << json_escape(span.category)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << number(ts_us)
+        << ",\"dur\":" << number(dur_us) << ",\"args\":{\"wall_us\":"
+        << span.wall_dur_us << ",\"sim_begin_ns\":" << span.sim_begin << "}}";
+  }
+  out << "\n]\n";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal parser for the exact JSON subset write_metrics_jsonl emits: one
+// flat object per line whose values are strings, numbers, or the flat
+// "labels" object of string -> string.
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= text.size();
+  }
+};
+
+Result<std::string> parse_string(Cursor& c) {
+  if (!c.eat('"')) return fail("expected '\"'");
+  std::string out;
+  while (c.pos < c.text.size()) {
+    char ch = c.text[c.pos++];
+    if (ch == '"') return out;
+    if (ch == '\\') {
+      if (c.pos >= c.text.size()) break;
+      char esc = c.text[c.pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (c.pos + 4 > c.text.size()) return fail("bad \\u escape");
+          const std::string hex(c.text.substr(c.pos, 4));
+          out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          c.pos += 4;
+          break;
+        }
+        default:
+          return fail(std::string("bad escape '\\") + esc + "'");
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return fail("unterminated string");
+}
+
+Result<double> parse_number(Cursor& c) {
+  c.skip_ws();
+  const char* begin = c.text.data() + c.pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return fail("expected a number");
+  c.pos += static_cast<std::size_t>(end - begin);
+  return v;
+}
+
+Result<Labels> parse_labels(Cursor& c) {
+  if (!c.eat('{')) return fail("labels: expected '{'");
+  Labels out;
+  if (c.eat('}')) return out;
+  do {
+    auto key = parse_string(c);
+    if (!key) return key.error();
+    if (!c.eat(':')) return fail("labels: expected ':'");
+    auto value = parse_string(c);
+    if (!value) return value.error();
+    out.emplace_back(std::move(*key), std::move(*value));
+  } while (c.eat(','));
+  if (!c.eat('}')) return fail("labels: expected '}'");
+  return out;
+}
+
+Result<MetricRow> parse_row(std::string_view line) {
+  Cursor c{line};
+  if (!c.eat('{')) return fail("expected '{'");
+  MetricRow row;
+  std::string type;
+  do {
+    auto key = parse_string(c);
+    if (!key) return key.error();
+    if (!c.eat(':')) return fail("expected ':'");
+    if (*key == "name") {
+      auto v = parse_string(c);
+      if (!v) return v.error();
+      row.name = std::move(*v);
+    } else if (*key == "labels") {
+      auto v = parse_labels(c);
+      if (!v) return v.error();
+      row.labels = std::move(*v);
+    } else if (*key == "type") {
+      auto v = parse_string(c);
+      if (!v) return v.error();
+      type = std::move(*v);
+    } else {
+      auto v = parse_number(c);
+      if (!v) return fail(*key + ": " + v.error_message());
+      if (*key == "value") row.value = *v;
+      else if (*key == "count") row.count = static_cast<std::uint64_t>(*v);
+      else if (*key == "sum") row.sum = *v;
+      else if (*key == "min") row.min = *v;
+      else if (*key == "max") row.max = *v;
+      else if (*key == "p50") row.p50 = *v;
+      else if (*key == "p90") row.p90 = *v;
+      else if (*key == "p99") row.p99 = *v;
+      // Unknown numeric keys parse and drop (forward compatibility).
+    }
+  } while (c.eat(','));
+  if (!c.eat('}')) return fail("expected '}'");
+  if (!c.done()) return fail("trailing characters after object");
+  if (type == "counter") {
+    row.kind = MetricRow::Kind::kCounter;
+    row.count = static_cast<std::uint64_t>(row.value);
+  } else if (type == "gauge") {
+    row.kind = MetricRow::Kind::kGauge;
+  } else if (type == "histogram") {
+    row.kind = MetricRow::Kind::kHistogram;
+  } else {
+    return fail("unknown metric type '" + type + "'");
+  }
+  return row;
+}
+
+}  // namespace
+
+Result<std::vector<MetricRow>> parse_metrics_jsonl(std::string_view text) {
+  std::vector<MetricRow> rows;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    ++line_number;
+    start = end + 1;
+    bool blank = true;
+    for (char ch : line)
+      if (!std::isspace(static_cast<unsigned char>(ch))) blank = false;
+    if (blank) continue;
+    auto row = parse_row(line);
+    if (!row)
+      return fail("line " + std::to_string(line_number) + ": " +
+                  row.error_message());
+    rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+}  // namespace debuglet::obs

@@ -1,0 +1,46 @@
+// Exporters: registry snapshots to JSON lines / CSV / a JSON array, and
+// span dumps to the Chrome trace-event format.
+//
+// JSON lines is the machine-readable interchange format (one metric per
+// line; bench reports and the CLI's `stats --json` use it) and round-trips
+// through parse_metrics_jsonl. The Chrome format loads directly in
+// chrome://tracing or https://ui.perfetto.dev: a JSON array of complete
+// ("ph":"X") events with microsecond timestamps on the simulated timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace debuglet::obs {
+
+/// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// One metric per line:
+///   {"name":"simnet.packets_sent","labels":{"proto":"UDP"},
+///    "type":"counter","value":42}
+void write_metrics_jsonl(const std::vector<MetricRow>& rows,
+                         std::ostream& out);
+
+/// Same rows as a single JSON array (a valid standalone .json document).
+void write_metrics_json(const std::vector<MetricRow>& rows, std::ostream& out);
+
+/// Header + one metric per row; empty cells where a column does not apply.
+void write_metrics_csv(const std::vector<MetricRow>& rows, std::ostream& out);
+
+/// Spans as a Chrome trace-event JSON array. `ts`/`dur` are microseconds
+/// of simulated time; wall-clock cost rides in args.wall_us. Spans with no
+/// simulated extent (pure computation, e.g. block building) fall back to
+/// their wall duration so they stay visible.
+void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out);
+
+/// Parses write_metrics_jsonl output back into rows (blank lines skipped).
+/// Fails on malformed lines — the round-trip guard for exporter changes.
+Result<std::vector<MetricRow>> parse_metrics_jsonl(std::string_view text);
+
+}  // namespace debuglet::obs

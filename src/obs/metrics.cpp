@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace debuglet::obs {
+
+std::string labels_to_string(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) out += ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+void Histogram::record_always(double v) {
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives and NaN underflow
+  const double position =
+      (std::log10(v) - kMinExponent) * kSubBucketsPerDecade;
+  if (position < 0.0) return 0;
+  if (position >= static_cast<double>(kInteriorBuckets))
+    return kBucketCount - 1;
+  return 1 + static_cast<std::size_t>(position);
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) {
+  if (index == 0) return 0.0;
+  const double exponent =
+      kMinExponent +
+      static_cast<double>(index - 1) / kSubBucketsPerDecade;
+  return std::pow(10.0, exponent);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Target rank in [1, count]; geometric interpolation inside the bucket.
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = bucket_lower_bound(i);
+    const double hi = i + 1 < kBucketCount
+                          ? bucket_lower_bound(i + 1)
+                          : max_;
+    const double fraction =
+        (target - before) / static_cast<double>(buckets_[i]);
+    double estimate;
+    if (lo <= 0.0 || hi <= lo) {
+      estimate = lo;
+    } else {
+      estimate = lo * std::pow(hi / lo, std::clamp(fraction, 0.0, 1.0));
+    }
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+template <typename T>
+T& MetricsRegistry::lookup(std::map<std::string, Entry<T>>& map,
+                           const std::string& name, const Labels& labels) {
+  const std::string key = name + labels_to_string(labels);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    Entry<T> entry;
+    entry.name = name;
+    entry.labels = labels;
+    std::sort(entry.labels.begin(), entry.labels.end());
+    entry.metric = std::make_unique<T>(&enabled_);
+    it = map.emplace(key, std::move(entry)).first;
+  }
+  return *it->second.metric;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return lookup(counters_, name, labels);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return lookup(gauges_, name, labels);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  return lookup(histograms_, name, labels);
+}
+
+std::vector<MetricRow> MetricsRegistry::snapshot() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(size());
+  for (const auto& [key, entry] : counters_) {
+    MetricRow row;
+    row.name = entry.name;
+    row.labels = entry.labels;
+    row.kind = MetricRow::Kind::kCounter;
+    row.value = static_cast<double>(entry.metric->value());
+    row.count = entry.metric->value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [key, entry] : gauges_) {
+    MetricRow row;
+    row.name = entry.name;
+    row.labels = entry.labels;
+    row.kind = MetricRow::Kind::kGauge;
+    row.value = entry.metric->value();
+    row.max = entry.metric->max_seen();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram& h = *entry.metric;
+    MetricRow row;
+    row.name = entry.name;
+    row.labels = entry.labels;
+    row.kind = MetricRow::Kind::kHistogram;
+    row.count = h.count();
+    row.sum = h.sum();
+    row.min = h.min();
+    row.max = h.max();
+    row.p50 = h.p50();
+    row.p90 = h.p90();
+    row.p99 = h.p99();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return labels_to_string(a.labels) < labels_to_string(b.labels);
+            });
+  return rows;
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [_, entry] : counters_) entry.metric->reset();
+  for (auto& [_, entry] : gauges_) entry.metric->reset();
+  for (auto& [_, entry] : histograms_) entry.metric->reset();
+}
+
+namespace {
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never freed
+  return *instance;
+}
+
+MetricsRegistry* g_current = nullptr;
+
+}  // namespace
+
+MetricsRegistry& registry() {
+  return g_current != nullptr ? *g_current : global_registry();
+}
+
+MetricsRegistry* set_registry(MetricsRegistry* r) {
+  MetricsRegistry* previous = g_current;
+  g_current = r;
+  return previous;
+}
+
+void set_enabled(bool on) { registry().set_enabled(on); }
+
+}  // namespace debuglet::obs

@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace debuglet::obs {
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void Tracer::record(Span span) {
+  if (!enabled()) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[head_] = std::move(span);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  if (!enabled()) return;
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.sim_begin = span.sim_end = sim_now();
+  span.wall_begin_us = wall_now_us();
+  record(std::move(span));
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, head_ points at the oldest retained span.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+namespace {
+
+Tracer& global_tracer() {
+  static Tracer* instance = new Tracer();  // never freed
+  return *instance;
+}
+
+Tracer* g_current = nullptr;
+
+}  // namespace
+
+Tracer& tracer() { return g_current != nullptr ? *g_current : global_tracer(); }
+
+Tracer* set_tracer(Tracer* t) {
+  Tracer* previous = g_current;
+  g_current = t;
+  return previous;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category)
+    : active_(tracer().enabled()) {
+  if (!active_) return;
+  span_.name = std::move(name);
+  span_.category = std::move(category);
+  span_.sim_begin = tracer().sim_now();
+  span_.wall_begin_us = wall_now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  span_.sim_end = tracer().sim_now();
+  span_.wall_dur_us = wall_now_us() - span_.wall_begin_us;
+  tracer().record(std::move(span_));
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram.enabled() ? &histogram : nullptr) {
+  if (histogram_ != nullptr) begin_us_ = wall_now_us();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->record(static_cast<double>(wall_now_us() - begin_us_) / 1000.0);
+}
+
+}  // namespace debuglet::obs

@@ -1,0 +1,117 @@
+// Span/event tracing with a ring-buffer backend.
+//
+// Spans are keyed to BOTH clocks: simulated time (where the span sits in
+// the scenario timeline) and wall time (what it actually cost to compute).
+// The Chrome trace exporter (obs/export.hpp) lays spans out on the
+// simulated timeline so a dump opens directly in chrome://tracing /
+// Perfetto; wall durations ride along in the event args.
+//
+// Like metrics, tracing is off by default and costs one relaxed atomic
+// load per call site when off. The ring buffer overwrites the oldest spans
+// once full, so long runs keep the tail instead of growing without bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace debuglet::obs {
+
+class Histogram;
+
+/// Current wall time in microseconds (steady clock; only comparable within
+/// one process). Never called by simulation logic — determinism holds.
+std::int64_t wall_now_us();
+
+/// One completed span or instant event.
+struct Span {
+  std::string name;
+  std::string category;  // subsystem tag: "executor", "chain", ...
+  SimTime sim_begin = 0;
+  SimTime sim_end = 0;
+  std::int64_t wall_begin_us = 0;
+  std::int64_t wall_dur_us = 0;
+};
+
+/// Fixed-capacity span recorder.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 16384);
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Wires the simulated clock (scenarios point this at their EventQueue).
+  /// Unset, sim timestamps record as 0.
+  void set_sim_clock(std::function<SimTime()> clock) {
+    sim_clock_ = std::move(clock);
+  }
+  SimTime sim_now() const { return sim_clock_ ? sim_clock_() : 0; }
+
+  /// Appends a span; drops the oldest when the ring is full. No-op when
+  /// disabled.
+  void record(Span span);
+
+  /// Records a zero-duration event at the current clocks.
+  void instant(std::string name, std::string category);
+
+  /// Retained spans, oldest first.
+  std::vector<Span> spans() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t recorded() const { return total_; }
+  std::size_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_;
+  std::vector<Span> ring_;  // grows to capacity_, then wraps at head_
+  std::size_t head_ = 0;    // next slot to overwrite once full
+  std::size_t total_ = 0;
+  std::function<SimTime()> sim_clock_;
+};
+
+/// The active tracer (process-global unless injected; see set_tracer).
+Tracer& tracer();
+
+/// Injects a tracer (tests); null restores the built-in global. Returns
+/// the previously active tracer.
+Tracer* set_tracer(Tracer* t);
+
+/// RAII span: captures both clocks at construction, records into the
+/// active tracer at destruction. Skips all clock reads when tracing is off
+/// at construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string category);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  Span span_;
+};
+
+/// RAII timer: records the scope's wall duration, in milliseconds, into a
+/// histogram. Skips the clock reads when the histogram is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;  // null when inactive
+  std::int64_t begin_us_ = 0;
+};
+
+}  // namespace debuglet::obs

@@ -1,26 +1,50 @@
 #include "simnet/event_queue.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace debuglet::simnet {
 
+EventQueue::EventQueue()
+    : depth_gauge_(&obs::registry().gauge("simnet.event_queue.depth")),
+      pop_latency_ns_(
+          &obs::registry().histogram("simnet.event_queue.pop_ns")),
+      events_processed_(
+          &obs::registry().counter("simnet.event_queue.events")) {}
+
 void EventQueue::schedule_at(SimTime at, Callback fn) {
   if (at < now_) at = now_;
   events_.push(Event{at, next_seq_++, std::move(fn)});
+  depth_gauge_->set(static_cast<double>(events_.size()));
 }
 
 void EventQueue::schedule_after(SimDuration delay, Callback fn) {
   schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
 }
 
+void EventQueue::dispatch_next() {
+  // Copy out before pop so the callback may schedule new events.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.at;
+  if (pop_latency_ns_->enabled()) {
+    const auto begin = std::chrono::steady_clock::now();
+    ev.fn();
+    const auto end = std::chrono::steady_clock::now();
+    pop_latency_ns_->record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count()));
+    depth_gauge_->set(static_cast<double>(events_.size()));
+  } else {
+    ev.fn();
+  }
+  events_processed_->add();
+}
+
 std::size_t EventQueue::run() {
   std::size_t processed = 0;
   while (!events_.empty()) {
-    // Copy out before pop so the callback may schedule new events.
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
-    ev.fn();
+    dispatch_next();
     ++processed;
   }
   return processed;
@@ -29,10 +53,7 @@ std::size_t EventQueue::run() {
 std::size_t EventQueue::run_until(SimTime deadline) {
   std::size_t processed = 0;
   while (!events_.empty() && events_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
-    ev.fn();
+    dispatch_next();
     ++processed;
   }
   if (now_ < deadline) now_ = deadline;

@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/time.hpp"
 
 namespace debuglet::simnet {
@@ -18,6 +19,8 @@ namespace debuglet::simnet {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  EventQueue();
 
   /// Current virtual time.
   SimTime now() const { return now_; }
@@ -50,9 +53,18 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// Pops the next event, advances the clock, runs the callback and
+  /// updates the queue metrics around it.
+  void dispatch_next();
+
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  // Cached at construction from the active obs registry; the registry owns
+  // them and record operations no-op while observability is disabled.
+  obs::Gauge* depth_gauge_;
+  obs::Histogram* pop_latency_ns_;
+  obs::Counter* events_processed_;
 };
 
 }  // namespace debuglet::simnet

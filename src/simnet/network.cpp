@@ -39,7 +39,19 @@ std::uint64_t flow_hash_of(const net::Packet& packet) {
 SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
                                    topology::Topology topology,
                                    std::uint64_t seed)
-    : queue_(queue), topology_(std::move(topology)), rng_(seed) {}
+    : queue_(queue), topology_(std::move(topology)), rng_(seed) {
+  obs::MetricsRegistry& reg = obs::registry();
+  for (net::Protocol p : net::kAllProtocols) {
+    const obs::Labels labels{{"proto", net::protocol_name(p)}};
+    obs_.sent[proto_index(p)] = &reg.counter("simnet.packets_sent", labels);
+    obs_.delivered[proto_index(p)] =
+        &reg.counter("simnet.packets_delivered", labels);
+    obs_.dropped[proto_index(p)] =
+        &reg.counter("simnet.packets_dropped", labels);
+  }
+  obs_.link_delay_ms = &reg.histogram("simnet.link.delay_ms");
+  obs_.path_links = &reg.histogram("simnet.path_links");
+}
 
 Status SimulatedNetwork::configure_link(topology::InterfaceKey from,
                                         topology::InterfaceKey to,
@@ -227,6 +239,8 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
 
   const net::Protocol protocol = protocol_of(packet);
   ++stats_.sent[protocol];
+  obs_.sent[proto_index(protocol)]->add();
+  obs_.path_links->record(static_cast<double>(path.hops.size()) - 1.0);
 
   const std::uint64_t flow = flow_hash_of(packet);
   const SimTime sent_at = queue_.now();
@@ -259,12 +273,14 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
       dropped = true;
       break;
     }
+    obs_.link_delay_ms->record(duration::to_ms(out.delay));
     total_delay_ms += duration::to_ms(out.delay);
     if (ttl > 0) --ttl;
     if (ttl == 0 && i + 2 < path.hops.size()) {
       // Expired at the ingress border router of hops[i+1].
       expire_with_time_exceeded(packet, path.hops[i + 1], to, total_delay_ms);
       ++stats_.dropped[protocol];
+      obs_.dropped[proto_index(protocol)]->add();
       return ok_status();
     }
   }
@@ -291,6 +307,7 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
 
   if (dropped) {
     ++stats_.dropped[protocol];
+    obs_.dropped[proto_index(protocol)]->add();
     return ok_status();  // loss is a silent network outcome, not an error
   }
 
@@ -299,6 +316,7 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     // No listener: the packet blackholes at the destination. Counted as a
     // drop; sending is still not an error (mirrors real networks).
     ++stats_.dropped[protocol];
+    obs_.dropped[proto_index(protocol)]->add();
     DEBUGLET_LOG(kDebug, "simnet")
         << "no host at " << packet.ip.destination.to_string();
     return ok_status();
@@ -323,10 +341,12 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     auto it = hosts_.find(dst);
     if (it == hosts_.end() || it->second.host != host) {
       ++stats_.dropped[d.packet.protocol];
+      obs_.dropped[proto_index(d.packet.protocol)]->add();
       return;
     }
     d.received_at = queue_.now();
     ++stats_.delivered[d.packet.protocol];
+    obs_.delivered[proto_index(d.packet.protocol)]->add();
     host->on_packet(d);
   });
   return ok_status();

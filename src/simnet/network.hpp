@@ -7,12 +7,14 @@
 // per-link treatment — or never, if any link dropped the packet.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/link_model.hpp"
 #include "topology/topology.hpp"
@@ -166,6 +168,27 @@ class SimulatedNetwork {
                    topology::AsPath>
       path_cache_;
   NetworkStats stats_;
+  // Observability handles, cached per protocol at construction (the obs
+  // registry owns them; all record calls no-op while obs is disabled).
+  /// Dense index for per-protocol metric arrays (Protocol values are
+  /// sparse wire numbers; the hot path must not pay a map lookup).
+  static constexpr std::size_t proto_index(net::Protocol p) {
+    switch (p) {
+      case net::Protocol::kIcmp: return 0;
+      case net::Protocol::kTcp: return 1;
+      case net::Protocol::kUdp: return 2;
+      case net::Protocol::kRawIp: return 3;
+    }
+    return 0;
+  }
+  struct ObsHandles {
+    std::array<obs::Counter*, 4> sent{};
+    std::array<obs::Counter*, 4> delivered{};
+    std::array<obs::Counter*, 4> dropped{};
+    obs::Histogram* link_delay_ms = nullptr;
+    obs::Histogram* path_links = nullptr;
+  };
+  ObsHandles obs_;
 };
 
 /// Hashes a parsed packet's flow identity (5-tuple; protocol-dependent).

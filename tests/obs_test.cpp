@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace debuglet::obs {
+namespace {
+
+// --- Histogram bucketing -------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Non-positive and below-range values land in the underflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e-12), 0u);
+  // Values beyond the top decade land in the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e13), Histogram::kBucketCount - 1);
+
+  // Exact powers of ten start a fresh decade: their bucket's lower bound
+  // is the value itself.
+  for (double v : {1e-9, 1e-3, 1.0, 1e3, 1e9}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GT(idx, 0u);
+    EXPECT_LT(idx, Histogram::kBucketCount - 1);
+    EXPECT_NEAR(Histogram::bucket_lower_bound(idx), v, v * 1e-9)
+        << "value " << v;
+  }
+
+  // bucket_index is monotone in the value.
+  std::size_t prev = 0;
+  for (double v = 1e-9; v < 1e11; v *= 1.31) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "value " << v;
+    prev = idx;
+  }
+
+  // A value inside a bucket sits within [lower_bound, next lower_bound).
+  const double v = 42.0;
+  const std::size_t idx = Histogram::bucket_index(v);
+  EXPECT_LE(Histogram::bucket_lower_bound(idx), v);
+  EXPECT_GT(Histogram::bucket_lower_bound(idx + 1), v);
+}
+
+TEST(Histogram, ExactStatsAndEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  h.record(2.0);
+  h.record(8.0);
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  // Percentiles clamp to the recorded extremes.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 8.0);
+}
+
+TEST(Histogram, PercentilesTrackExactOrderStatistics) {
+  // Log-normal-ish latencies spanning several decades; compare the
+  // bucket-interpolated percentiles against the exact ones from
+  // util/stats' SampleSet. Bucket width is 10^(1/32) ~ 7.5%, so 10%
+  // relative tolerance is the contract.
+  Rng rng(7);
+  Histogram h;
+  SampleSet exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(rng.normal(0.0, 1.5)) * 1e-3;
+    h.record(v);
+    exact.add(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double want = exact.percentile(p);
+    const double got = h.percentile(p);
+    EXPECT_NEAR(got, want, 0.10 * want) << "p" << p;
+  }
+  EXPECT_NEAR(h.mean(), exact.mean(), 1e-9);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Rng rng(11);
+  Histogram a, b, combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double va = rng.uniform(0.001, 10.0);
+    const double vb = rng.uniform(5.0, 500.0);
+    a.record(va);
+    b.record(vb);
+    combined.record(va);
+    combined.record(vb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.p50(), combined.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), combined.p99());
+}
+
+// --- Registry, labels, enable gating -------------------------------------
+
+TEST(Labels, CanonicalRendering) {
+  EXPECT_EQ(labels_to_string({}), "");
+  EXPECT_EQ(labels_to_string({{"as", "3"}}), "{as=3}");
+  // Keys render sorted regardless of insertion order.
+  EXPECT_EQ(labels_to_string({{"intf", "2"}, {"as", "3"}}), "{as=3,intf=2}");
+}
+
+TEST(Registry, SameNameAndLabelsIsOneMetric) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Counter& a = reg.counter("x.hits", {{"as", "1"}});
+  Counter& b = reg.counter("x.hits", {{"as", "1"}});
+  Counter& c = reg.counter("x.hits", {{"intf", "9"}, {"as", "1"}});
+  Counter& other = reg.counter("x.hits", {{"as", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_NE(&a, &other);
+  a.add(3);
+  b.add();
+  EXPECT_EQ(a.value(), 4u);
+  EXPECT_EQ(other.value(), 0u);
+  // Label order does not create a second metric.
+  Counter& c2 = reg.counter("x.hits", {{"as", "1"}, {"intf", "9"}});
+  EXPECT_EQ(&c, &c2);
+}
+
+TEST(Registry, DisabledMetricsRecordNothing) {
+  MetricsRegistry reg;  // starts disabled
+  Counter& c = reg.counter("x.count");
+  Gauge& g = reg.gauge("x.depth");
+  Histogram& h = reg.histogram("x.ms");
+  c.add(5);
+  g.set(7.0);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_FALSE(h.enabled());
+
+  reg.set_enabled(true);
+  c.add(5);
+  g.set(7.0);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(g.value(), 7.0);
+  EXPECT_EQ(h.count(), 1u);
+
+  // Disabling again freezes the values.
+  reg.set_enabled(false);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Registry, ScopedRegistryIsolatesAndRestores) {
+  MetricsRegistry& global = registry();
+  {
+    ScopedRegistry scoped;
+    EXPECT_EQ(&registry(), &scoped.get());
+    EXPECT_TRUE(registry().enabled());
+    registry().counter("isolated.hits").add();
+    EXPECT_EQ(scoped.get().snapshot().size(), 1u);
+  }
+  EXPECT_EQ(&registry(), &global);
+}
+
+TEST(Registry, SnapshotSortedAndComplete) {
+  ScopedRegistry scoped;
+  registry().counter("b.count").add(2);
+  registry().gauge("a.depth").set(3.0);
+  registry().histogram("c.ms").record(1.5);
+  const std::vector<MetricRow> rows = registry().snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "a.depth");
+  EXPECT_EQ(rows[1].name, "b.count");
+  EXPECT_EQ(rows[2].name, "c.ms");
+  EXPECT_EQ(rows[0].kind, MetricRow::Kind::kGauge);
+  EXPECT_EQ(rows[1].kind, MetricRow::Kind::kCounter);
+  EXPECT_EQ(rows[2].kind, MetricRow::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(rows[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(rows[1].value, 2.0);
+  EXPECT_EQ(rows[2].count, 1u);
+  EXPECT_DOUBLE_EQ(rows[2].min, 1.5);
+}
+
+// --- Exporters ------------------------------------------------------------
+
+TEST(Export, JsonlRoundTrip) {
+  ScopedRegistry scoped;
+  registry().counter("simnet.packets_sent", {{"proto", "UDP"}}).add(42);
+  registry().gauge("chain.object_store.bytes").set(1234.0);
+  Histogram& h = registry().histogram("executor.sandbox_ms");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  const std::vector<MetricRow> rows = registry().snapshot();
+  std::ostringstream out;
+  write_metrics_jsonl(rows, out);
+
+  auto parsed = parse_metrics_jsonl(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  ASSERT_EQ(parsed->size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MetricRow& want = rows[i];
+    const MetricRow& got = (*parsed)[i];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.labels, want.labels);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_DOUBLE_EQ(got.value, want.value);
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_DOUBLE_EQ(got.sum, want.sum);
+    EXPECT_DOUBLE_EQ(got.min, want.min);
+    EXPECT_DOUBLE_EQ(got.max, want.max);
+    EXPECT_DOUBLE_EQ(got.p50, want.p50);
+    EXPECT_DOUBLE_EQ(got.p99, want.p99);
+  }
+}
+
+TEST(Export, JsonlEscapesSpecialCharacters) {
+  ScopedRegistry scoped;
+  registry().counter("weird.name", {{"k", "a\"b\\c\n"}}).add(1);
+  std::ostringstream out;
+  write_metrics_jsonl(registry().snapshot(), out);
+  auto parsed = parse_metrics_jsonl(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  ASSERT_EQ(parsed->size(), 1u);
+  ASSERT_EQ((*parsed)[0].labels.size(), 1u);
+  EXPECT_EQ((*parsed)[0].labels[0].second, "a\"b\\c\n");
+}
+
+TEST(Export, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_metrics_jsonl("{\"name\":}").ok());
+  EXPECT_FALSE(parse_metrics_jsonl("not json at all").ok());
+  EXPECT_TRUE(parse_metrics_jsonl("").ok());
+  EXPECT_TRUE(parse_metrics_jsonl("\n\n").ok());
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerMetric) {
+  ScopedRegistry scoped;
+  registry().counter("a.count").add(7);
+  registry().histogram("b.ms").record(2.0);
+  std::ostringstream out;
+  write_metrics_csv(registry().snapshot(), out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("name,labels,type,value,count,sum,min,max,p50,p90,p99"),
+            0u);
+  // Header + 2 rows = 3 newline-terminated lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceShape) {
+  Tracer t(16);
+  t.set_enabled(true);
+  Span s;
+  s.name = "deployment#1";
+  s.category = "executor AS1#2";
+  s.sim_begin = 1'000'000;   // 1 ms
+  s.sim_end = 3'500'000;     // 3.5 ms
+  s.wall_begin_us = 10;
+  s.wall_dur_us = 25;
+  t.record(s);
+  t.instant("marker", "test");
+
+  std::ostringstream out;
+  write_chrome_trace(t.spans(), out);
+  const std::string text = out.str();
+  // A JSON array of complete events on the simulated timeline.
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text[text.find_last_not_of(" \n")], ']');
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"deployment#1\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":1000"), std::string::npos);   // 1 ms -> 1000 us
+  EXPECT_NE(text.find("\"dur\":2500"), std::string::npos);  // 2.5 ms extent
+  EXPECT_NE(text.find("\"wall_us\":25"), std::string::npos);
+}
+
+// --- Tracer ring buffer ---------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t(8);
+  Span s;
+  s.name = "x";
+  t.record(s);
+  t.instant("y", "z");
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestKeepsOrder) {
+  Tracer t(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span s;
+    s.name = "span" + std::to_string(i);
+    s.sim_begin = i;
+    t.record(s);
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const std::vector<Span> spans = t.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first ordering of the surviving tail.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].name,
+              "span" + std::to_string(6 + i));
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Tracer, ScopedSpanUsesInjectedTracerAndSimClock) {
+  Tracer local(16);
+  Tracer* previous = set_tracer(&local);
+  local.set_enabled(true);
+  SimTime fake_now = 500;
+  local.set_sim_clock([&fake_now] { return fake_now; });
+  {
+    ScopedSpan span("work", "test");
+    fake_now = 1700;
+  }
+  set_tracer(previous);
+  const std::vector<Span> spans = local.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].sim_begin, 500);
+  EXPECT_EQ(spans[0].sim_end, 1700);
+  EXPECT_GE(spans[0].wall_dur_us, 0);
+}
+
+TEST(Tracer, ScopedTimerFeedsHistogram) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Histogram& h = reg.histogram("t.ms");
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  // Disabled histograms skip the clock path entirely.
+  reg.set_enabled(false);
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace debuglet::obs

@@ -20,6 +20,15 @@
 //   debuglet motivation [--city NAME] [--hours H] [--seed S]
 //       Re-run the paper's §II protocol-differential experiment.
 //
+//   debuglet stats     [--ases N] [--probes N] [--interval MS] [--seed S]
+//                      [--json [FILE]] [--csv [FILE]]
+//       Run one measurement with metrics enabled and print every metric
+//       the subsystems emitted; optionally export JSON lines / CSV.
+//
+//   debuglet trace     [--ases N] [--fault-link K] [--seed S] [--out FILE]
+//       Run a binary-search localization with span tracing enabled and
+//       write a Chrome trace-event file of the run.
+//
 //   debuglet asm FILE / debuglet disasm FILE
 //       Assemble DVM assembly to a module file (FILE.dvm), or print the
 //       assembly of a serialized module.
@@ -33,6 +42,7 @@
 #include <vector>
 
 #include "core/debuglet.hpp"
+#include "obs/export.hpp"
 #include "vm/assembler.hpp"
 #include "vm/validator.hpp"
 
@@ -326,6 +336,130 @@ int cmd_motivation(const Args& args) {
   return 0;
 }
 
+int cmd_stats(const Args& args) {
+  // Metrics must be on BEFORE the world exists: instrumented objects cache
+  // their handles (and the enabled flag) at construction.
+  obs::set_enabled(true);
+  const auto ases = static_cast<std::size_t>(args.get_int("ases", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::int64_t probes = args.get_int("probes", 10);
+  const std::int64_t interval = args.get_int("interval", 200);
+
+  core::DebugletSystem system(simnet::build_chain_scenario(ases, seed, 5.0));
+  core::Initiator initiator(system, seed + 1, 500'000'000'000ULL);
+  const topology::InterfaceKey client{1, 2};
+  const topology::InterfaceKey server{static_cast<topology::AsNumber>(ases),
+                                      1};
+  auto handle = initiator.purchase_rtt_measurement(
+      client, server, net::Protocol::kUdp, probes, interval, 0, false);
+  if (!handle) {
+    std::printf("purchase failed: %s\n", handle.error_message().c_str());
+    return 1;
+  }
+  SimTime deadline = handle->window_end + duration::seconds(2);
+  Result<core::MeasurementOutcome> outcome = fail("pending");
+  for (int i = 0; i < 6 && !outcome; ++i) {
+    system.queue().run_until(deadline);
+    outcome = initiator.collect(*handle);
+    deadline += duration::seconds(10);
+  }
+  if (!outcome) {
+    std::printf("collect failed: %s\n", outcome.error_message().c_str());
+    return 1;
+  }
+
+  const std::vector<obs::MetricRow> rows = obs::registry().snapshot();
+  std::printf("metrics after one %zu-AS measurement (seed %llu):\n\n", ases,
+              static_cast<unsigned long long>(seed));
+  for (const obs::MetricRow& row : rows) {
+    const std::string name = row.name + obs::labels_to_string(row.labels);
+    switch (row.kind) {
+      case obs::MetricRow::Kind::kCounter:
+        std::printf("  %-52s counter %14.0f\n", name.c_str(), row.value);
+        break;
+      case obs::MetricRow::Kind::kGauge:
+        std::printf("  %-52s gauge   %14.2f  (max %.2f)\n", name.c_str(),
+                    row.value, row.max);
+        break;
+      case obs::MetricRow::Kind::kHistogram:
+        std::printf("  %-52s hist    count %-8llu mean %-10.3f p50 %-10.3f "
+                    "p99 %-10.3f max %-10.3f\n",
+                    name.c_str(), static_cast<unsigned long long>(row.count),
+                    row.count ? row.sum / static_cast<double>(row.count) : 0.0,
+                    row.p50, row.p99, row.max);
+        break;
+    }
+  }
+  if (args.has("json")) {
+    const std::string path = args.get("json", "debuglet_stats.jsonl");
+    std::ofstream out(path);
+    obs::write_metrics_jsonl(rows, out);
+    std::printf("\nwrote %zu metrics to %s\n", rows.size(), path.c_str());
+  }
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", "debuglet_stats.csv");
+    std::ofstream out(path);
+    obs::write_metrics_csv(rows, out);
+    std::printf("\nwrote %zu metrics to %s\n", rows.size(), path.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  obs::set_enabled(true);
+  obs::tracer().set_enabled(true);
+  const auto ases = static_cast<std::size_t>(args.get_int("ases", 6));
+  const auto fault_link =
+      static_cast<std::size_t>(args.get_int("fault-link", ases - 2));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string out_path = args.get("out", "debuglet_trace.json");
+  if (fault_link + 1 >= ases) {
+    std::printf("fault-link must be < %zu\n", ases - 1);
+    return 1;
+  }
+
+  core::DebugletSystem system(simnet::build_chain_scenario(ases, seed, 5.0));
+  obs::tracer().set_sim_clock([&system] { return system.queue().now(); });
+  simnet::FaultSpec fault;
+  fault.extra_delay_ms = 60.0;
+  fault.start = 0;
+  fault.end = duration::hours(100);
+  (void)system.network().inject_fault(simnet::chain_egress(fault_link),
+                                simnet::chain_ingress(fault_link + 1), fault);
+  (void)system.network().inject_fault(simnet::chain_ingress(fault_link + 1),
+                                simnet::chain_egress(fault_link), fault);
+
+  core::Initiator initiator(system, seed + 1, 2'000'000'000'000ULL);
+  auto path = system.network().topology().shortest_path(
+      1, static_cast<topology::AsNumber>(ases));
+  core::FaultCriteria criteria;
+  criteria.per_link_rtt_ms = 10.5;
+  criteria.slack_ms = 15.0;
+  core::FaultLocalizer localizer(system, initiator, *path, criteria,
+                                 net::Protocol::kUdp, 8, 100);
+  auto report = localizer.run(core::Strategy::kBinarySearch);
+  obs::tracer().set_sim_clock(nullptr);
+  if (!report) {
+    std::printf("localization failed: %s\n", report.error_message().c_str());
+    return 1;
+  }
+
+  const std::vector<obs::Span> spans = obs::tracer().spans();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::write_chrome_trace(spans, out);
+  std::printf("localized after %zu measurements; %zu spans (%zu dropped) "
+              "-> %s\n",
+              report->measurements, spans.size(), obs::tracer().dropped(),
+              out_path.c_str());
+  std::printf("open chrome://tracing or https://ui.perfetto.dev and load "
+              "the file.\n");
+  return 0;
+}
+
 int cmd_asm(const Args& args) {
   if (args.positional().empty()) {
     std::printf("usage: debuglet asm FILE\n");
@@ -389,6 +523,9 @@ void usage() {
       "  localize    inject a fault into a chain topology and localize it\n"
       "  traceroute  run the traceroute baseline\n"
       "  motivation  the paper's Section II protocol comparison\n"
+      "  stats       run a measurement with metrics on; print/export them\n"
+      "  trace       run a localization with tracing on; dump a Chrome\n"
+      "              trace (chrome://tracing / Perfetto) of the run\n"
       "  asm FILE    assemble DVM assembly into FILE.dvm\n"
       "  disasm FILE print the assembly of a serialized module\n\n"
       "run a command with no flags for sensible defaults; see tools/\n"
@@ -408,6 +545,8 @@ int main(int argc, char** argv) {
   if (command == "localize") return cmd_localize(args);
   if (command == "traceroute") return cmd_traceroute(args);
   if (command == "motivation") return cmd_motivation(args);
+  if (command == "stats") return cmd_stats(args);
+  if (command == "trace") return cmd_trace(args);
   if (command == "asm") return cmd_asm(args);
   if (command == "disasm") return cmd_disasm(args);
   usage();
