@@ -56,6 +56,11 @@ std::vector<std::int64_t> OneWayReceiverParams::to_parameters() const {
           idle_timeout_ms};
 }
 
+std::vector<std::int64_t> StatsServerParams::to_parameters() const {
+  return {static_cast<std::int64_t>(protocol), chunk_payload, idle_timeout_ms,
+          max_requests};
+}
+
 vm::Module make_probe_client_debuglet() {
   // Locals: 0 = i (probes sent), 1 = received, 2 = t0, 3 = len, 4 = tmp.
   constexpr std::uint32_t kI = 0, kReceived = 1, kT0 = 2, kLen = 3, kTmp = 4;
@@ -342,6 +347,116 @@ vm::Module make_oneway_receiver_debuglet() {
   return b.build();
 }
 
+vm::Module make_stats_debuglet() {
+  // Locals: 0 = served, 1 = len, 2 = idx, 3 = max, 4 = chunks.
+  constexpr std::uint32_t kServed = 0, kLen = 1, kIdx = 2, kMax = 3,
+                          kChunks = 4;
+  ModuleBuilder b;
+  declare_buffers(b);
+  FunctionBuilder& f = b.function(vm::kEntryPointName, 0, 5);
+
+  const auto loop_top = f.make_label();
+  const auto serve = f.make_label();
+  const auto done = f.make_label();
+
+  // max = dbg_param(3); chunks = dbg_metrics_prepare(chunk_payload)
+  push_param(f, 3);
+  f.local_set(kMax);
+  push_param(f, 1);
+  f.call_host("dbg_metrics_prepare");
+  f.local_set(kChunks);
+
+  f.bind(loop_top);
+  // len = dbg_recv(proto, recv_buffer, cap, idle_timeout)
+  push_param(f, 0);
+  f.constant(kRecvBufferOffset);
+  f.constant(kBufferSize);
+  push_param(f, 2);
+  f.call_host("dbg_recv");
+  f.local_set(kLen);
+
+  // idle timeout → finish
+  f.local_get(kLen);
+  f.constant(0);
+  f.emit(Opcode::kLtS);
+  f.jump_if(done);
+
+  // runt request (no 8-byte index) → ignore
+  f.local_get(kLen);
+  f.constant(8);
+  f.emit(Opcode::kLtS);
+  f.jump_if(loop_top);
+
+  // idx = recv_buffer[0..8)
+  f.constant(kRecvBufferOffset);
+  f.emit(Opcode::kLoad64, 0);
+  f.local_set(kIdx);
+
+  // A chunk-0 request starts a scrape session: re-freeze a fresh snapshot
+  // so the scraper observes the registry at scrape time, not start time.
+  f.local_get(kIdx);
+  f.constant(0);
+  f.emit(Opcode::kNe);
+  f.jump_if(serve);
+  push_param(f, 1);
+  f.call_host("dbg_metrics_prepare");
+  f.local_set(kChunks);
+
+  f.bind(serve);
+  // len = dbg_metrics_chunk(idx, send_buffer, cap)
+  f.local_get(kIdx);
+  f.constant(kSendBufferOffset);
+  f.constant(kBufferSize);
+  f.call_host("dbg_metrics_chunk");
+  f.local_set(kLen);
+
+  // bad index / buffer too small → ignore the request
+  f.local_get(kLen);
+  f.constant(0);
+  f.emit(Opcode::kLtS);
+  f.jump_if(loop_top);
+
+  // dbg_send(proto, last_sender, last_sender_port, send_buffer, len)
+  push_param(f, 0);
+  f.call_host("dbg_last_sender");
+  f.call_host("dbg_last_sender_port");
+  f.constant(kSendBufferOffset);
+  f.local_get(kLen);
+  f.call_host("dbg_send");
+  f.emit(Opcode::kDrop);
+
+  // served += 1
+  f.local_get(kServed);
+  f.constant(1);
+  f.emit(Opcode::kAdd);
+  f.local_set(kServed);
+
+  // unbounded if max == 0
+  f.local_get(kMax);
+  f.emit(Opcode::kEqz);
+  f.jump_if(loop_top);
+  f.local_get(kServed);
+  f.local_get(kMax);
+  f.emit(Opcode::kLtS);
+  f.jump_if(loop_top);
+
+  f.bind(done);
+  // output (served, chunks)
+  f.constant(kScratchOffset);
+  f.local_get(kServed);
+  f.emit(Opcode::kStore64, 0);
+  f.constant(kScratchOffset);
+  f.local_get(kChunks);
+  f.emit(Opcode::kStore64, 8);
+  f.constant(kScratchOffset);
+  f.constant(16);
+  f.call_host("dbg_output");
+  f.emit(Opcode::kDrop);
+  f.local_get(kServed);
+  f.ret();
+  return b.build();
+}
+
 namespace {
 
 executor::Manifest base_manifest(net::Protocol protocol,
@@ -381,6 +496,17 @@ executor::Manifest server_manifest(net::Protocol protocol,
                                    std::int64_t packet_budget,
                                    SimDuration max_duration) {
   return base_manifest(protocol, peer, packet_budget, max_duration);
+}
+
+executor::Manifest stats_manifest(net::Protocol protocol,
+                                  net::Ipv4Address scraper,
+                                  std::int64_t request_budget,
+                                  SimDuration max_duration) {
+  executor::Manifest m =
+      base_manifest(protocol, scraper, request_budget, max_duration);
+  m.capabilities = {executor::capability_for(protocol),
+                    executor::Capability::kHostMetrics};
+  return m;
 }
 
 Result<std::vector<MeasurementSample>> decode_samples(BytesView output) {

@@ -15,6 +15,7 @@
 //   echo server    : 8 bytes — total packets echoed (u64)
 //   one-way sender : 8 bytes — packets sent (u64)
 //   one-way recv   : 16 bytes per packet — (seq u64, one_way_delay_ns i64)
+//   stats server   : 16 bytes — (requests served u64, chunk count u64)
 #pragma once
 
 #include <vector>
@@ -75,6 +76,18 @@ struct OneWayReceiverParams {
   std::vector<std::int64_t> to_parameters() const;
 };
 
+/// Parameters of the stats (telemetry-serving) Debuglet.
+struct StatsServerParams {
+  net::Protocol protocol = net::Protocol::kUdp;
+  /// Snapshot bytes per chunk (obs::wire payload size). Must leave room
+  /// for ~30 bytes of chunk framing inside the 512-byte send buffer.
+  std::int64_t chunk_payload = 400;
+  std::int64_t idle_timeout_ms = 5000;
+  std::int64_t max_requests = 0;  // 0 = until idle timeout
+
+  std::vector<std::int64_t> to_parameters() const;
+};
+
 /// Builds the probe client Debuglet: sends `probe_count` equal-payload
 /// probes, matches echoed sequence numbers, records (seq, RTT) pairs.
 vm::Module make_probe_client_debuglet();
@@ -89,6 +102,15 @@ vm::Module make_oneway_sender_debuglet();
 /// Builds the one-way receiver: records (seq, one-way delay) per packet.
 vm::Module make_oneway_receiver_debuglet();
 
+/// Builds the stats Debuglet: freezes the hosting executor's metrics
+/// registry via dbg_metrics_prepare, then serves chunk requests (an
+/// 8-byte LE chunk index per request packet) with obs::wire chunk
+/// messages until max_requests or an idle timeout. A request for chunk 0
+/// re-freezes a fresh snapshot, so each scrape session observes the
+/// registry at scrape time; malformed and out-of-range requests are
+/// ignored, never fatal.
+vm::Module make_stats_debuglet();
+
 /// A manifest sized for a probe-client/one-way-sender run against `peer`.
 executor::Manifest client_manifest(net::Protocol protocol,
                                    net::Ipv4Address peer,
@@ -101,6 +123,13 @@ executor::Manifest server_manifest(net::Protocol protocol,
                                    net::Ipv4Address peer,
                                    std::int64_t packet_budget,
                                    SimDuration max_duration);
+
+/// A manifest for the stats Debuglet: the protocol's I/O capability plus
+/// Capability::kHostMetrics, with `scraper` as the one contactable peer.
+executor::Manifest stats_manifest(net::Protocol protocol,
+                                  net::Ipv4Address scraper,
+                                  std::int64_t request_budget,
+                                  SimDuration max_duration);
 
 /// One decoded (sequence, delay) measurement sample.
 struct MeasurementSample {

@@ -9,5 +9,6 @@
 #include "core/discovery.hpp"        // IWYU pragma: export
 #include "core/initiator.hpp"        // IWYU pragma: export
 #include "core/localization.hpp"     // IWYU pragma: export
+#include "core/remote_stats.hpp"     // IWYU pragma: export
 #include "core/system.hpp"           // IWYU pragma: export
 #include "simnet/scenarios.hpp"      // IWYU pragma: export

@@ -90,6 +90,8 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
   step.summary = *summary;
   step.faulty = is_faulty(to_hop - from_hop, *summary);
   step.measured_at = system_.queue().now();
+  if (evidence_collector_)
+    step.evidence = evidence_collector_(step, client_key, server_key);
   return step;
 }
 
@@ -155,6 +157,13 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
         step.summary = *summary;
         step.faulty = is_faulty(1, *summary);
         step.measured_at = system_.queue().now();
+        if (evidence_collector_) {
+          const topology::InterfaceKey client_key{path_.hops[p.link].asn,
+                                                  path_.hops[p.link].egress};
+          const topology::InterfaceKey server_key{
+              path_.hops[p.link + 1].asn, path_.hops[p.link + 1].ingress};
+          step.evidence = evidence_collector_(step, client_key, server_key);
+        }
         report.steps.push_back(step);
         ++report.measurements;
         if (step.faulty && !report.located) {

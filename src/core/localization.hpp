@@ -7,6 +7,8 @@
 // accounting (the A2 ablation compares them).
 #pragma once
 
+#include <functional>
+
 #include "core/initiator.hpp"
 
 namespace debuglet::core {
@@ -29,6 +31,10 @@ struct LocalizationStep {
   RttSummary summary;
   bool faulty = false;
   SimTime measured_at = 0;
+  /// Remote executor counters attached as supporting evidence (scraped via
+  /// core/remote_stats when an evidence collector is installed); rows
+  /// carry the scraper's remote_host labels. Empty without a collector.
+  std::vector<obs::MetricRow> evidence;
 };
 
 /// §VI-D strategies.
@@ -90,6 +96,19 @@ class FaultLocalizer {
   /// (0 < as_hop < path length - 1).
   Result<IntraAsDerivation> derive_intra_as(std::size_t as_hop);
 
+  /// Gathers remote-executor metric rows to attach to a step as evidence —
+  /// typically a closure around a RemoteScraper aimed at the segment's
+  /// executors. Called after each segment measurement with the step and
+  /// the executor pair it ran on; whatever it returns lands in
+  /// LocalizationStep::evidence. Keeps localization decoupled from how
+  /// (and whether) stats Debuglets were deployed.
+  using EvidenceCollector = std::function<std::vector<obs::MetricRow>(
+      const LocalizationStep& step, topology::InterfaceKey client_key,
+      topology::InterfaceKey server_key)>;
+  void set_evidence_collector(EvidenceCollector collector) {
+    evidence_collector_ = std::move(collector);
+  }
+
  private:
   Result<MeasurementOutcome> await(const MeasurementHandle& handle);
   bool is_faulty(std::size_t links_crossed, const RttSummary& s) const;
@@ -101,6 +120,7 @@ class FaultLocalizer {
   net::Protocol protocol_;
   std::int64_t probes_;
   std::int64_t interval_ms_;
+  EvidenceCollector evidence_collector_;
 };
 
 }  // namespace debuglet::core

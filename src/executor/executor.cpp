@@ -4,6 +4,7 @@
 
 #include "crypto/box.hpp"
 #include "obs/trace.hpp"
+#include "obs/wire.hpp"
 #include "util/log.hpp"
 
 namespace debuglet::executor {
@@ -289,6 +290,66 @@ std::vector<vm::HostFunction> ExecutorService::bind_host_api(Deployment& dep) {
                     << "send failed: " << s.error_message();
             });
         return 0;
+      },
+      false});
+
+  api.push_back(vm::HostFunction{
+      "dbg_metrics_prepare", 1,
+      [this, id, require_capability](vm::Instance&,
+                                     std::span<const std::int64_t> args)
+          -> Result<std::int64_t> {
+        if (auto s = require_capability(Capability::kHostMetrics); !s)
+          return s.error();
+        Deployment& dep = deployments_.at(id);
+        if (args[0] < static_cast<std::int64_t>(obs::wire::kMinChunkPayload) ||
+            args[0] > static_cast<std::int64_t>(obs::wire::kMaxChunkPayload))
+          return fail("chunk payload " + std::to_string(args[0]) +
+                      " outside [" +
+                      std::to_string(obs::wire::kMinChunkPayload) + ", " +
+                      std::to_string(obs::wire::kMaxChunkPayload) + "]");
+        // Snapshot the ACTIVE registry — the one this executor's own
+        // counters live in — and freeze its encoding so every chunk a
+        // scraper fetches describes one consistent instant.
+        dep.metrics_wire = obs::wire::encode_snapshot(obs::registry().snapshot());
+        dep.metrics_chunk_payload = static_cast<std::uint32_t>(args[0]);
+        const std::size_t count = obs::wire::chunk_count(
+            dep.metrics_wire.size(), dep.metrics_chunk_payload);
+        if (count > obs::wire::kMaxChunks)
+          return fail("snapshot needs more than " +
+                      std::to_string(obs::wire::kMaxChunks) + " chunks");
+        return static_cast<std::int64_t>(count);
+      },
+      false});
+
+  api.push_back(vm::HostFunction{
+      "dbg_metrics_chunk", 3,
+      [this, id, require_capability](vm::Instance& inst,
+                                     std::span<const std::int64_t> args)
+          -> Result<std::int64_t> {
+        if (auto s = require_capability(Capability::kHostMetrics); !s)
+          return s.error();
+        Deployment& dep = deployments_.at(id);
+        if (dep.metrics_wire.empty())
+          return fail("dbg_metrics_chunk before dbg_metrics_prepare");
+        if (args[1] < 0 || args[2] < 0)
+          return fail("negative chunk destination range");
+        const std::size_t count = obs::wire::chunk_count(
+            dep.metrics_wire.size(), dep.metrics_chunk_payload);
+        // Out-of-range indices come from the network (a scraper's request),
+        // not from the Debuglet's own logic: report, don't trap.
+        if (args[0] < 0 || args[0] >= static_cast<std::int64_t>(count))
+          return -1;
+        auto chunk = obs::wire::build_chunk(
+            BytesView(dep.metrics_wire.data(), dep.metrics_wire.size()),
+            static_cast<std::size_t>(args[0]), dep.metrics_chunk_payload);
+        if (!chunk) return chunk.error();
+        if (chunk->size() > static_cast<std::uint64_t>(args[2])) return -2;
+        if (auto s = inst.write_memory(
+                static_cast<std::uint64_t>(args[1]),
+                BytesView(chunk->data(), chunk->size()));
+            !s)
+          return s.error();
+        return static_cast<std::int64_t>(chunk->size());
       },
       false});
 

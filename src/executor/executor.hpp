@@ -21,6 +21,15 @@
 //   dbg_last_sender()                      -> IPv4 of last dbg_recv packet
 //   dbg_last_sender_port()                 -> port of last dbg_recv packet
 //   dbg_output(off, len)                   -> 0; appends to the result
+//   dbg_metrics_prepare(chunk_payload)     -> chunk count   [host-metrics]
+//   dbg_metrics_chunk(i, off, cap)         -> wire len; -1 bad index,
+//                                             -2 cap too small [host-metrics]
+//
+// dbg_metrics_prepare snapshots the hosting executor's metrics registry
+// and freezes its wire encoding (obs/wire) for the deployment;
+// dbg_metrics_chunk then copies chunk i's wire bytes into sandbox memory.
+// Bad chunk requests return negative values instead of trapping, so a
+// malformed scrape request cannot kill a serving stats Debuglet.
 //
 // If a Debuglet never calls dbg_output but declares the conventional
 // "output_buffer", the buffer's full contents become the result.
@@ -141,6 +150,9 @@ class ExecutorService : public simnet::Host {
     std::uint64_t recv_token = 0;  // invalidates stale timeout events
     net::Ipv4Address last_sender;
     std::uint16_t last_sender_port = 0;
+    // Frozen registry snapshot (set by dbg_metrics_prepare; empty before).
+    Bytes metrics_wire;
+    std::uint32_t metrics_chunk_payload = 0;
     bool finished = false;
   };
 

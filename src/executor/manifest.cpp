@@ -12,6 +12,7 @@ std::string capability_name(Capability c) {
     case Capability::kRawIp: return "rawip";
     case Capability::kClock: return "clock";
     case Capability::kRandom: return "random";
+    case Capability::kHostMetrics: return "host-metrics";
   }
   return "capability-" + std::to_string(static_cast<int>(c));
 }
@@ -74,7 +75,7 @@ Result<Manifest> Manifest::parse(BytesView data) {
   for (std::uint64_t i = 0; i < *cap_count; ++i) {
     auto c = r.u8();
     if (!c) return c.error();
-    if (*c > static_cast<std::uint8_t>(Capability::kRandom))
+    if (*c > static_cast<std::uint8_t>(Capability::kHostMetrics))
       return fail("manifest: unknown capability " + std::to_string(*c));
     m.capabilities.insert(static_cast<Capability>(*c));
   }

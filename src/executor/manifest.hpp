@@ -26,6 +26,10 @@ enum class Capability : std::uint8_t {
   kRawIp = 3,
   kClock = 4,
   kRandom = 5,
+  /// Read-only access to the hosting executor's metrics registry
+  /// (dbg_metrics_prepare / dbg_metrics_chunk) — what the stats Debuglet
+  /// uses to serve telemetry-about-telemetry.
+  kHostMetrics = 6,
 };
 
 std::string capability_name(Capability c);
@@ -56,9 +60,10 @@ struct ExecutorPolicy {
   SimDuration max_duration = duration::minutes(10);
   std::uint32_t max_memory = 1 << 20;
   std::uint32_t max_packets = 100'000;
-  std::set<Capability> grantable{Capability::kUdp,   Capability::kTcp,
-                                 Capability::kIcmp,  Capability::kRawIp,
-                                 Capability::kClock, Capability::kRandom};
+  std::set<Capability> grantable{
+      Capability::kUdp,    Capability::kTcp,    Capability::kIcmp,
+      Capability::kRawIp,  Capability::kClock,  Capability::kRandom,
+      Capability::kHostMetrics};
 };
 
 /// Admission check: does the policy accept this manifest? Returns a

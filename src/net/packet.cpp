@@ -187,29 +187,19 @@ Result<IcmpEchoHeader> IcmpEchoHeader::parse(BytesView data) {
   return h;
 }
 
-std::size_t transport_header_size(Protocol p) {
-  switch (p) {
-    case Protocol::kUdp: return UdpHeader::kSize;
-    case Protocol::kTcp: return TcpHeader::kSize;
-    case Protocol::kIcmp: return IcmpEchoHeader::kSize;
-    case Protocol::kRawIp: return 0;
-  }
-  return 0;
-}
-
 Result<Bytes> build_probe(const ProbeSpec& spec) {
-  const std::size_t header_overhead =
-      Ipv4Header::kSize + transport_header_size(spec.protocol);
+  const std::size_t overhead = header_overhead(spec.protocol);
   Bytes payload = spec.payload;
   if (spec.equalized_length != 0) {
-    const std::size_t minimum = header_overhead + payload.size();
+    const std::size_t minimum = overhead + payload.size();
     if (spec.equalized_length < minimum)
       return fail("equalized length " + std::to_string(spec.equalized_length) +
                   " smaller than headers+payload " + std::to_string(minimum));
-    payload.resize(spec.equalized_length - header_overhead, 0);
+    payload.resize(spec.equalized_length - overhead, 0);
   }
-  const std::size_t total = header_overhead + payload.size();
-  if (total > 65535) return fail("packet exceeds 65535 bytes");
+  if (payload.size() > max_payload_size(spec.protocol))
+    return fail("packet exceeds 65535 bytes");
+  const std::size_t total = overhead + payload.size();
 
   Ipv4Header ip;
   ip.total_length = static_cast<std::uint16_t>(total);

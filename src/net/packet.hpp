@@ -129,7 +129,28 @@ Result<Bytes> build_echo_reply(const Packet& request);
 Result<Bytes> build_time_exceeded(const Packet& expired,
                                   Ipv4Address router_address);
 
-/// Transport-header overhead for a protocol (0 for raw IP).
-std::size_t transport_header_size(Protocol p);
+/// Transport-header overhead for a protocol (0 for raw IP). Defined from
+/// the header types' kSize constants — the single source of truth the
+/// packet builder, payload accounting, and tests all share.
+constexpr std::size_t transport_header_size(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return UdpHeader::kSize;
+    case Protocol::kTcp: return TcpHeader::kSize;
+    case Protocol::kIcmp: return IcmpEchoHeader::kSize;
+    case Protocol::kRawIp: return 0;
+  }
+  return 0;
+}
+
+/// Layer-3 overhead in front of a probe's application payload.
+constexpr std::size_t header_overhead(Protocol p) {
+  return Ipv4Header::kSize + transport_header_size(p);
+}
+
+/// The largest application payload a probe of protocol `p` can carry
+/// (total_length is a u16, so 65535 minus the headers).
+constexpr std::size_t max_payload_size(Protocol p) {
+  return 65535 - header_overhead(p);
+}
 
 }  // namespace debuglet::net

@@ -99,6 +99,25 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+Status Histogram::restore(const std::vector<std::uint64_t>& buckets,
+                          std::uint64_t count, double sum, double min,
+                          double max) {
+  if (buckets.size() != kBucketCount)
+    return fail("histogram restore: " + std::to_string(buckets.size()) +
+                " buckets, layout has " + std::to_string(kBucketCount));
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total != count)
+    return fail("histogram restore: bucket sum " + std::to_string(total) +
+                " != count " + std::to_string(count));
+  buckets_ = buckets;
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+  return ok_status();
+}
+
 template <typename T>
 T& MetricsRegistry::lookup(std::map<std::string, Entry<T>>& map,
                            const std::string& name, const Labels& labels) {
@@ -163,6 +182,7 @@ std::vector<MetricRow> MetricsRegistry::snapshot() const {
     row.p50 = h.p50();
     row.p90 = h.p90();
     row.p99 = h.p99();
+    row.hist_buckets = h.buckets();
     rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(),

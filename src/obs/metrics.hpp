@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace debuglet::obs {
 
 /// Metric labels, e.g. {{"as", "3"}, {"intf", "2"}}. Stored sorted by key
@@ -46,6 +48,10 @@ class Counter {
   }
   std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
+  /// Sets the absolute value, ignoring the enabled flag — the snapshot
+  /// import path (obs/wire merge_rows); re-imports overwrite, never
+  /// double-count.
+  void set_total(std::uint64_t v) { value_ = v; }
 
  private:
   const std::atomic<bool>* enabled_ = nullptr;  // null = always on
@@ -74,6 +80,12 @@ class Gauge {
   /// Largest value ever set (high-water mark; useful for queue depths).
   double max_seen() const { return max_seen_; }
   void reset() { value_ = max_seen_ = 0.0; }
+  /// Restores value and high-water mark, ignoring the enabled flag (the
+  /// snapshot import path).
+  void restore(double value, double max_seen) {
+    value_ = value;
+    max_seen_ = max_seen;
+  }
 
  private:
   const std::atomic<bool>* enabled_ = nullptr;
@@ -132,6 +144,12 @@ class Histogram {
   void merge(const Histogram& other);
   void reset();
 
+  /// Replaces this histogram's state from serialized parts (the snapshot
+  /// import path, ignoring the enabled flag). `buckets` must have
+  /// kBucketCount entries whose sum equals `count`.
+  Status restore(const std::vector<std::uint64_t>& buckets,
+                 std::uint64_t count, double sum, double min, double max);
+
   /// The bucket a value lands in (0 = underflow, kBucketCount-1 = overflow).
   static std::size_t bucket_index(double v);
   /// Inclusive lower bound of an interior bucket's value range.
@@ -163,6 +181,10 @@ struct MetricRow {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Histogram rows carry their full bucket vector (kBucketCount entries)
+  /// so snapshots merge exactly across hosts (obs/wire); empty otherwise.
+  /// Exporters ignore it.
+  std::vector<std::uint64_t> hist_buckets;
 };
 
 /// Owns metrics, keyed by name + canonical labels. Lookups create on first

@@ -225,11 +225,52 @@ TEST(ProtocolNames, AreStable) {
   EXPECT_EQ(protocol_name(Protocol::kRawIp), "RawIP");
 }
 
-TEST(TransportHeaderSize, MatchesProtocols) {
-  EXPECT_EQ(transport_header_size(Protocol::kUdp), 8u);
-  EXPECT_EQ(transport_header_size(Protocol::kTcp), 20u);
-  EXPECT_EQ(transport_header_size(Protocol::kIcmp), 8u);
-  EXPECT_EQ(transport_header_size(Protocol::kRawIp), 0u);
+// transport_header_size is defined FROM the header types' kSize constants
+// (the single source of truth), so assert against those — not duplicated
+// literals — and check the builder's payload accounting agrees end to end.
+TEST(TransportHeaderSize, DerivedFromHeaderConstants) {
+  static_assert(transport_header_size(Protocol::kUdp) == UdpHeader::kSize);
+  static_assert(transport_header_size(Protocol::kTcp) == TcpHeader::kSize);
+  static_assert(transport_header_size(Protocol::kIcmp) ==
+                IcmpEchoHeader::kSize);
+  static_assert(transport_header_size(Protocol::kRawIp) == 0);
+  static_assert(header_overhead(Protocol::kUdp) ==
+                Ipv4Header::kSize + UdpHeader::kSize);
+  for (Protocol p : kAllProtocols)
+    EXPECT_EQ(max_payload_size(p), 65535u - header_overhead(p));
+}
+
+TEST(TransportHeaderSize, BuildProbeAccountingAgrees) {
+  for (Protocol p : kAllProtocols) {
+    ProbeSpec spec;
+    spec.protocol = p;
+    spec.source = Ipv4Address(10, 0, 1, 2);
+    spec.destination = Ipv4Address(10, 0, 2, 2);
+    spec.source_port = 1111;
+    spec.destination_port = 2222;
+    spec.payload = Bytes(48, 0xAB);
+    auto wire = build_probe(spec);
+    ASSERT_TRUE(wire.ok()) << wire.error_message();
+    // On-wire bytes = IP header + transport header + payload, exactly.
+    EXPECT_EQ(wire->size(), header_overhead(p) + spec.payload.size());
+    auto packet = parse_packet(BytesView(wire->data(), wire->size()));
+    ASSERT_TRUE(packet.ok()) << packet.error_message();
+    EXPECT_EQ(packet->payload.size(), spec.payload.size());
+    EXPECT_EQ(packet->wire_size(), wire->size());
+  }
+}
+
+TEST(TransportHeaderSize, BuildProbeRejectsOverlongPayload) {
+  for (Protocol p : kAllProtocols) {
+    ProbeSpec spec;
+    spec.protocol = p;
+    spec.source = Ipv4Address(10, 0, 1, 2);
+    spec.destination = Ipv4Address(10, 0, 2, 2);
+    spec.payload = Bytes(max_payload_size(p), 0);
+    EXPECT_TRUE(build_probe(spec).ok());
+    spec.payload.push_back(0);  // one byte past the u16 total_length limit
+    EXPECT_FALSE(build_probe(spec).ok());
+  }
 }
 
 }  // namespace

@@ -25,6 +25,11 @@
 //       Run one measurement with metrics enabled and print every metric
 //       the subsystems emitted; optionally export JSON lines / CSV.
 //
+//   debuglet stats --remote AS#IF [--partner AS#IF] [--ases N] [--seed S]
+//       Purchase a stats-Debuglet pair, scrape the remote executor's
+//       registry over the simulated network, and print the rows merged
+//       under their remote_host label.
+//
 //   debuglet trace     [--ases N] [--fault-link K] [--seed S] [--out FILE]
 //       Run a binary-search localization with span tracing enabled and
 //       write a Chrome trace-event file of the run.
@@ -336,7 +341,91 @@ int cmd_motivation(const Args& args) {
   return 0;
 }
 
+void print_metric_rows(const std::vector<obs::MetricRow>& rows) {
+  for (const obs::MetricRow& row : rows) {
+    const std::string name = row.name + obs::labels_to_string(row.labels);
+    switch (row.kind) {
+      case obs::MetricRow::Kind::kCounter:
+        std::printf("  %-52s counter %14.0f\n", name.c_str(), row.value);
+        break;
+      case obs::MetricRow::Kind::kGauge:
+        std::printf("  %-52s gauge   %14.2f  (max %.2f)\n", name.c_str(),
+                    row.value, row.max);
+        break;
+      case obs::MetricRow::Kind::kHistogram:
+        std::printf("  %-52s hist    count %-8llu mean %-10.3f p50 %-10.3f "
+                    "p99 %-10.3f max %-10.3f\n",
+                    name.c_str(), static_cast<unsigned long long>(row.count),
+                    row.count ? row.sum / static_cast<double>(row.count) : 0.0,
+                    row.p50, row.p99, row.max);
+        break;
+    }
+  }
+}
+
+int cmd_stats_remote(const Args& args) {
+  obs::set_enabled(true);
+  const auto ases = static_cast<std::size_t>(args.get_int("ases", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  auto remote = parse_key(
+      args.get("remote", "AS" + std::to_string(ases) + "#1"));
+  auto partner = parse_key(args.get("partner", "1#2"));
+  if (!remote || !partner) {
+    std::printf("error: %s%s\n", remote.error_message().c_str(),
+                partner.error_message().c_str());
+    return 1;
+  }
+
+  core::DebugletSystem system(simnet::build_chain_scenario(ases, seed, 5.0));
+  core::Initiator initiator(system, seed + 1, 500'000'000'000ULL);
+  const auto scraper_addr = system.network().allocate_host_address(1);
+
+  core::StatsPairRequest request;
+  request.first_key = *remote;
+  request.second_key = *partner;
+  request.scraper_address = scraper_addr;
+  auto deployment = core::purchase_stats_pair(initiator, system, request);
+  if (!deployment) {
+    std::printf("purchase failed: %s\n", deployment.error_message().c_str());
+    return 1;
+  }
+  std::printf("stats pair deployed for window [%s, %s]; scraping %s:%u "
+              "from %s\n",
+              format_time(deployment->handle.window_start).c_str(),
+              format_time(deployment->handle.window_end).c_str(),
+              deployment->first_address.to_string().c_str(),
+              deployment->first_port, scraper_addr.to_string().c_str());
+
+  // Let the serving Debuglet boot (~10 ms sandbox setup after the window
+  // opens), then scrape within its idle timeout.
+  system.queue().run_until(deployment->handle.window_start +
+                           duration::seconds(1));
+  core::ScrapeConfig config;
+  config.target = deployment->first_address;
+  config.target_port = deployment->first_port;
+  auto report = core::scrape_once(system, scraper_addr, config,
+                                  system.queue().now() + duration::seconds(4));
+  if (!report) {
+    std::printf("scrape failed: %s\n", report.error_message().c_str());
+    return 1;
+  }
+
+  obs::MetricsRegistry merged;
+  if (auto s = obs::wire::merge_rows(merged, report->rows,
+                                     deployment->first_address.to_string());
+      !s) {
+    std::printf("merge failed: %s\n", s.error_message().c_str());
+    return 1;
+  }
+  std::printf("scraped %zu rows in %zu chunks (%zu requests, %zu retries)\n\n",
+              report->rows.size(), report->chunks, report->requests_sent,
+              report->retries);
+  print_metric_rows(merged.snapshot());
+  return 0;
+}
+
 int cmd_stats(const Args& args) {
+  if (args.has("remote")) return cmd_stats_remote(args);
   // Metrics must be on BEFORE the world exists: instrumented objects cache
   // their handles (and the enabled flag) at construction.
   obs::set_enabled(true);
@@ -371,25 +460,7 @@ int cmd_stats(const Args& args) {
   const std::vector<obs::MetricRow> rows = obs::registry().snapshot();
   std::printf("metrics after one %zu-AS measurement (seed %llu):\n\n", ases,
               static_cast<unsigned long long>(seed));
-  for (const obs::MetricRow& row : rows) {
-    const std::string name = row.name + obs::labels_to_string(row.labels);
-    switch (row.kind) {
-      case obs::MetricRow::Kind::kCounter:
-        std::printf("  %-52s counter %14.0f\n", name.c_str(), row.value);
-        break;
-      case obs::MetricRow::Kind::kGauge:
-        std::printf("  %-52s gauge   %14.2f  (max %.2f)\n", name.c_str(),
-                    row.value, row.max);
-        break;
-      case obs::MetricRow::Kind::kHistogram:
-        std::printf("  %-52s hist    count %-8llu mean %-10.3f p50 %-10.3f "
-                    "p99 %-10.3f max %-10.3f\n",
-                    name.c_str(), static_cast<unsigned long long>(row.count),
-                    row.count ? row.sum / static_cast<double>(row.count) : 0.0,
-                    row.p50, row.p99, row.max);
-        break;
-    }
-  }
+  print_metric_rows(rows);
   if (args.has("json")) {
     const std::string path = args.get("json", "debuglet_stats.jsonl");
     std::ofstream out(path);
@@ -524,6 +595,8 @@ void usage() {
       "  traceroute  run the traceroute baseline\n"
       "  motivation  the paper's Section II protocol comparison\n"
       "  stats       run a measurement with metrics on; print/export them\n"
+      "              (--remote AS#IF scrapes a remote executor's registry\n"
+      "              over the simulated network instead)\n"
       "  trace       run a localization with tracing on; dump a Chrome\n"
       "              trace (chrome://tracing / Perfetto) of the run\n"
       "  asm FILE    assemble DVM assembly into FILE.dvm\n"
