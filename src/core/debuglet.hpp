@@ -10,5 +10,7 @@
 #include "core/initiator.hpp"        // IWYU pragma: export
 #include "core/localization.hpp"     // IWYU pragma: export
 #include "core/remote_stats.hpp"     // IWYU pragma: export
+#include "core/retry.hpp"            // IWYU pragma: export
 #include "core/system.hpp"           // IWYU pragma: export
+#include "simnet/host_faults.hpp"    // IWYU pragma: export
 #include "simnet/scenarios.hpp"      // IWYU pragma: export

@@ -1,9 +1,56 @@
 #include "core/initiator.hpp"
 
+#include <algorithm>
+
 #include "crypto/box.hpp"
 #include "util/stats.hpp"
 
 namespace debuglet::core {
+
+const char* collect_error_name(CollectErrorKind kind) {
+  switch (kind) {
+    case CollectErrorKind::kNone: return "ok";
+    case CollectErrorKind::kNotPublished: return "not-published";
+    case CollectErrorKind::kVerificationFailed: return "verification-failed";
+    case CollectErrorKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* incident_kind_name(MeasurementIncident::Kind kind) {
+  using Kind = MeasurementIncident::Kind;
+  switch (kind) {
+    case Kind::kPurchaseFailed: return "purchase-failed";
+    case Kind::kResultMissing: return "result-missing";
+    case Kind::kVerificationRejected: return "verification-rejected";
+    case Kind::kReclaimed: return "reclaimed";
+    case Kind::kFailover: return "failover";
+    case Kind::kBackoff: return "backoff";
+    case Kind::kAllProbesLost: return "all-probes-lost";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string MeasurementIncident::to_string() const {
+  std::string out = "attempt " + std::to_string(attempt) + " " +
+                    incident_kind_name(kind) + " " + client_key.to_string() +
+                    ".." + server_key.to_string();
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+std::string ResilientMeasurement::trace() const {
+  std::string out;
+  for (const MeasurementIncident& incident : incidents) {
+    out += incident.to_string();
+    out += '\n';
+  }
+  return out;
+}
 
 Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
                                  std::size_t probes_sent) {
@@ -25,12 +72,18 @@ Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
 
 Initiator::Initiator(DebugletSystem& system, std::uint64_t seed,
                      chain::Mist funding)
-    : system_(system), key_(crypto::KeyPair::from_seed(seed)) {
+    : system_(system),
+      key_(crypto::KeyPair::from_seed(seed)),
+      chaos_rng_(Rng(seed).fork(0xC4A05)) {
   system_.chain().mint(address(), funding);
   obs::MetricsRegistry& reg = obs::registry();
   obs_.purchased = &reg.counter("core.measurements_purchased");
   obs_.collected = &reg.counter("core.results_collected");
   obs_.spent = &reg.counter("core.tokens_spent_mist");
+  obs_.verification_rejected = &reg.counter("core.results_rejected");
+  obs_.executor_down = &reg.counter("core.executor_down_detected");
+  obs_.failovers = &reg.counter("core.measurement_failovers");
+  obs_.measurements_abandoned = &reg.counter("core.measurements_abandoned");
 }
 
 Result<Bytes> Initiator::open_result(
@@ -39,24 +92,41 @@ Result<Bytes> Initiator::open_result(
                                           result.record.output.size()));
 }
 
-Result<chain::Mist> Initiator::reclaim(const MeasurementHandle& handle) {
+Status Initiator::reclaim_one(chain::ObjectId application,
+                              chain::Mist& rebate) {
   chain::Blockchain& chain = system_.chain();
+  const chain::Mist before = chain.balance(address());
+  marketplace::ReclaimApplicationArgs args;
+  args.application = application;
+  auto receipt = chain.submit(chain.make_transaction(
+      key_, marketplace::kContractName, "ReclaimApplication",
+      args.serialize()));
+  if (!receipt) return receipt.error();
+  if (!receipt->success) return fail("ReclaimApplication: " + receipt->error);
+  total_spent_ += receipt->gas_charged;
+  obs_.spent->add(receipt->gas_charged);
+  // Balance delta = rebate - gas.
+  rebate += chain.balance(address()) + receipt->gas_charged - before;
+  return ok_status();
+}
+
+Result<chain::Mist> Initiator::reclaim(const MeasurementHandle& handle) {
   chain::Mist total_rebate = 0;
   for (chain::ObjectId application :
        {handle.client_application, handle.server_application}) {
-    const chain::Mist before = chain.balance(address());
-    marketplace::ReclaimApplicationArgs args;
-    args.application = application;
-    auto receipt = chain.submit(chain.make_transaction(
-        key_, marketplace::kContractName, "ReclaimApplication",
-        args.serialize()));
-    if (!receipt) return receipt.error();
-    if (!receipt->success)
-      return fail("ReclaimApplication: " + receipt->error);
-    total_spent_ += receipt->gas_charged;
-    obs_.spent->add(receipt->gas_charged);
-    // Balance delta = rebate - gas.
-    total_rebate += chain.balance(address()) + receipt->gas_charged - before;
+    if (auto s = reclaim_one(application, total_rebate); !s) return s.error();
+  }
+  return total_rebate;
+}
+
+chain::Mist Initiator::reclaim_available(const MeasurementHandle& handle) {
+  chain::Mist total_rebate = 0;
+  for (chain::ObjectId application :
+       {handle.client_application, handle.server_application}) {
+    // The contract refuses to reclaim before a result reported; reclaim
+    // what it allows and leave the rest locked until the executor (maybe)
+    // comes back.
+    (void)reclaim_one(application, total_rebate);
   }
   return total_rebate;
 }
@@ -129,50 +199,95 @@ Result<MeasurementHandle> Initiator::purchase(
   return handle;
 }
 
-Result<executor::CertifiedResult> Initiator::fetch_result(
-    chain::ObjectId application, topology::InterfaceKey key) {
+Initiator::FetchOutcome Initiator::fetch_result(chain::ObjectId application,
+                                                topology::InterfaceKey key) {
+  FetchOutcome out;
+  auto failed = [&out](CollectErrorKind kind,
+                       std::string message) -> FetchOutcome& {
+    out.error = kind;
+    // Prefix with the kind name so even the flattened collect() string is
+    // unambiguous — but code should branch on the enum, not this text.
+    out.message =
+        std::string(collect_error_name(kind)) + ": " + std::move(message);
+    return out;
+  };
+
   chain::Blockchain& chain = system_.chain();
   marketplace::LookupResultArgs args;
   args.application = application;
   auto view = chain.view(marketplace::kContractName, "LookupResult",
                          args.serialize());
-  if (!view) return view.error();
+  if (!view)
+    return failed(CollectErrorKind::kOther, view.error_message());
   auto entry =
       marketplace::ResultEntry::parse(BytesView(view->data(), view->size()));
-  if (!entry) return entry.error();
+  if (!entry)
+    return failed(CollectErrorKind::kOther, entry.error_message());
   if (!entry->found)
-    return fail("result for application " + std::to_string(application) +
-                " not yet published");
+    return failed(CollectErrorKind::kNotPublished,
+                  "result for application " + std::to_string(application) +
+                      " not yet published");
+  // Everything past this point is a published-but-unacceptable result:
+  // waiting longer cannot fix it, only a retry against a different
+  // executor can — hence kVerificationFailed, not kOther.
   auto certified = executor::CertifiedResult::parse(
       BytesView(entry->result.data(), entry->result.size()));
-  if (!certified) return certified.error();
+  if (!certified)
+    return failed(CollectErrorKind::kVerificationFailed,
+                  "undecodable certified result: " +
+                      certified.error_message());
 
   // Verify: the signature must check out AND belong to the AS that hosts
   // the executor the application was assigned to.
   auto expected = system_.as_public_key(key.asn);
-  if (!expected) return expected.error();
+  if (!expected)
+    return failed(CollectErrorKind::kOther, expected.error_message());
   if (!executor::verify_certified(*certified, &*expected))
-    return fail("result for application " + std::to_string(application) +
-                " failed certification check");
+    return failed(CollectErrorKind::kVerificationFailed,
+                  "result for application " + std::to_string(application) +
+                      " failed certification check");
   if (!(certified->record.executor_key == key))
-    return fail("result reports wrong executor key");
+    return failed(CollectErrorKind::kVerificationFailed,
+                  "result reports wrong executor key");
 
   // Cross-check against the on-chain stored object (tamper evidence).
   auto stored = chain.read_object(entry->result_object);
-  if (!stored) return stored.error();
+  if (!stored)
+    return failed(CollectErrorKind::kOther, stored.error_message());
   if (!(*stored == entry->result))
-    return fail("on-chain result object mismatch");
-  return certified;
+    return failed(CollectErrorKind::kVerificationFailed,
+                  "on-chain result object mismatch");
+  out.result = std::move(*certified);
+  return out;
+}
+
+CollectProbe Initiator::try_collect(const MeasurementHandle& handle) {
+  CollectProbe probe;
+  FetchOutcome client = fetch_result(handle.client_application,
+                                     handle.client_key);
+  FetchOutcome server = fetch_result(handle.server_application,
+                                     handle.server_key);
+  probe.client = CollectSide{client.error, client.message};
+  probe.server = CollectSide{server.error, server.message};
+  if (probe.any(CollectErrorKind::kVerificationFailed))
+    obs_.verification_rejected->add();
+  if (client.result && server.result) {
+    probe.outcome = MeasurementOutcome{std::move(*client.result),
+                                       std::move(*server.result)};
+    obs_.collected->add();
+  }
+  return probe;
 }
 
 Result<MeasurementOutcome> Initiator::collect(
     const MeasurementHandle& handle) {
-  auto client = fetch_result(handle.client_application, handle.client_key);
-  if (!client) return client.error();
-  auto server = fetch_result(handle.server_application, handle.server_key);
-  if (!server) return server.error();
-  obs_.collected->add();
-  return MeasurementOutcome{std::move(*client), std::move(*server)};
+  CollectProbe probe = try_collect(handle);
+  if (probe.ok()) return std::move(*probe.outcome);
+  // Surface the first failing side, client first (matches purchase order).
+  const CollectSide& side =
+      probe.client.error != CollectErrorKind::kNone ? probe.client
+                                                    : probe.server;
+  return fail(side.message);
 }
 
 Result<MeasurementHandle> Initiator::purchase_rtt_measurement(
@@ -229,6 +344,134 @@ Result<MeasurementHandle> Initiator::purchase_rtt_measurement(
   request.client_app.parameters = client_params.to_parameters();
   request.server_app.parameters = server_params.to_parameters();
   return purchase(request);
+}
+
+Result<ResilientMeasurement> Initiator::measure_rtt_resilient(
+    const ResilientRttRequest& request) {
+  using Kind = MeasurementIncident::Kind;
+  if (request.retry.max_attempts == 0)
+    return fail("measure_rtt_resilient: max_attempts must be >= 1");
+  simnet::EventQueue& queue = system_.queue();
+  const auto& topo = system_.network().topology();
+
+  // The candidate rings: the primary first, then the explicit alternates,
+  // or — by default — the other border interfaces of the same AS. The
+  // endpoints of a measurement never traverse their own AS interior, so
+  // an alternate interface of the same AS measures the same segment.
+  auto candidates_for = [&](topology::InterfaceKey primary,
+                            const std::vector<topology::InterfaceKey>& extra) {
+    std::vector<topology::InterfaceKey> out{primary};
+    if (!extra.empty()) {
+      out.insert(out.end(), extra.begin(), extra.end());
+    } else if (request.allow_failover) {
+      for (topology::InterfaceId intf : topo.interfaces_of(primary.asn))
+        if (intf != primary.interface)
+          out.push_back(topology::InterfaceKey{primary.asn, intf});
+    }
+    return out;
+  };
+  const std::vector<topology::InterfaceKey> client_candidates =
+      candidates_for(request.client_key, request.client_alternates);
+  const std::vector<topology::InterfaceKey> server_candidates =
+      candidates_for(request.server_key, request.server_alternates);
+
+  ResilientMeasurement rm;
+  std::size_t ci = 0;
+  std::size_t si = 0;
+  auto note = [&](Kind kind, std::uint32_t attempt, std::string detail) {
+    MeasurementIncident incident;
+    incident.kind = kind;
+    incident.attempt = attempt;
+    incident.client_key = client_candidates[ci];
+    incident.server_key = server_candidates[si];
+    incident.detail = std::move(detail);
+    rm.incidents.push_back(std::move(incident));
+  };
+  auto fail_over = [&](bool client_side, bool server_side,
+                       std::uint32_t attempt) {
+    if (!request.allow_failover) return;
+    bool moved = false;
+    if (client_side && client_candidates.size() > 1) {
+      ci = (ci + 1) % client_candidates.size();
+      moved = true;
+    }
+    if (server_side && server_candidates.size() > 1) {
+      si = (si + 1) % server_candidates.size();
+      moved = true;
+    }
+    if (moved) {
+      ++rm.failovers;
+      obs_.failovers->add();
+      note(Kind::kFailover, attempt,
+           "next pair " + client_candidates[ci].to_string() + ".." +
+               server_candidates[si].to_string());
+    }
+  };
+  RetryObs retry_obs("resilient_rtt");
+
+  for (std::uint32_t attempt = 1; attempt <= request.retry.max_attempts;
+       ++attempt) {
+    retry_obs.attempt();
+    rm.attempts = attempt;
+    if (attempt > 1) {
+      const SimDuration backoff =
+          request.retry.delay_before(attempt, chaos_rng_);
+      note(Kind::kBackoff, attempt, format_duration(backoff));
+      retry_obs.retry(backoff);
+      queue.run_until(queue.now() + backoff);
+    }
+
+    auto handle = purchase_rtt_measurement(
+        client_candidates[ci], server_candidates[si], request.protocol,
+        request.probe_count, request.interval_ms,
+        std::max(request.earliest_start, queue.now()), request.seal_results);
+    if (!handle) {
+      note(Kind::kPurchaseFailed, attempt, handle.error_message());
+      // A pair that cannot even trade a slot: rotate both sides.
+      fail_over(true, true, attempt);
+      continue;
+    }
+
+    queue.run_until(handle->window_end + request.grace);
+    CollectProbe probe = try_collect(*handle);
+    if (!probe.ok() && probe.any(CollectErrorKind::kNotPublished)) {
+      // One grace extension covers a ResultReady still in finality flight.
+      queue.run_until(queue.now() + request.grace);
+      probe = try_collect(*handle);
+    }
+    if (probe.ok()) {
+      rm.outcome = std::move(*probe.outcome);
+      rm.handle = *handle;
+      rm.client_key = client_candidates[ci];
+      rm.server_key = server_candidates[si];
+      return rm;
+    }
+
+    for (const CollectSide* side : {&probe.client, &probe.server}) {
+      if (side->error == CollectErrorKind::kNone) continue;
+      if (side->error == CollectErrorKind::kVerificationFailed) {
+        ++rm.byzantine_rejections;
+        note(Kind::kVerificationRejected, attempt, side->message);
+      } else {
+        // kNotPublished after window + 2x grace (or an infrastructure
+        // error): treat the executor as down.
+        obs_.executor_down->add();
+        note(Kind::kResultMissing, attempt, side->message);
+      }
+    }
+    const chain::Mist rebate = reclaim_available(*handle);
+    if (rebate > 0) {
+      rm.reclaimed += rebate;
+      note(Kind::kReclaimed, attempt, std::to_string(rebate) + " mist");
+    }
+    fail_over(probe.client.error != CollectErrorKind::kNone,
+              probe.server.error != CollectErrorKind::kNone, attempt);
+  }
+
+  obs_.measurements_abandoned->add();
+  retry_obs.gave_up();
+  return fail("resilient measurement abandoned after " +
+              std::to_string(request.retry.max_attempts) + " attempts");
 }
 
 }  // namespace debuglet::core

@@ -8,8 +8,10 @@
 #include <optional>
 
 #include "apps/debuglets.hpp"
+#include "core/retry.hpp"
 #include "core/system.hpp"
 #include "obs/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace debuglet::core {
 
@@ -30,6 +32,39 @@ struct MeasurementHandle {
 struct MeasurementOutcome {
   executor::CertifiedResult client;
   executor::CertifiedResult server;
+};
+
+/// Why collecting one side of a measurement failed. Retry logic branches
+/// on these codes — never on error-message strings. kNotPublished means
+/// "run the queue further or the executor is down"; kVerificationFailed
+/// means a published result was rejected (bad signature, wrong executor
+/// key, on-chain tamper mismatch, undecodable) and waiting cannot help.
+enum class CollectErrorKind : std::uint8_t {
+  kNone = 0,
+  kNotPublished,
+  kVerificationFailed,
+  kOther,  // chain lookup / decoding infrastructure failure
+};
+
+const char* collect_error_name(CollectErrorKind kind);
+
+/// Per-side classification of a try_collect().
+struct CollectSide {
+  CollectErrorKind error = CollectErrorKind::kNone;
+  std::string message;
+};
+
+/// Outcome of a try_collect(): the verified results when both sides are
+/// in, otherwise which side failed and why.
+struct CollectProbe {
+  std::optional<MeasurementOutcome> outcome;
+  CollectSide client;
+  CollectSide server;
+
+  bool ok() const { return outcome.has_value(); }
+  bool any(CollectErrorKind kind) const {
+    return client.error == kind || server.error == kind;
+  }
 };
 
 /// Everything needed to purchase one measurement.
@@ -68,6 +103,65 @@ struct RttSummary {
 Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
                                  std::size_t probes_sent);
 
+/// One noteworthy event during a resilient measurement. The incident
+/// sequence is the deterministic "retry/failover trace" the chaos suite
+/// compares bit-for-bit across equal-seed runs.
+struct MeasurementIncident {
+  enum class Kind : std::uint8_t {
+    kPurchaseFailed,
+    kResultMissing,         // no ResultReady after window + grace
+    kVerificationRejected,  // published result failed verification
+    kReclaimed,             // partial refund recovered from a dead attempt
+    kFailover,              // switched to an alternate executor
+    kBackoff,               // waited per RetryPolicy before re-trying
+    kAllProbesLost,         // verified result, zero answers: crashed host?
+  };
+  Kind kind = Kind::kResultMissing;
+  std::uint32_t attempt = 0;
+  topology::InterfaceKey client_key;
+  topology::InterfaceKey server_key;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// A purchase-measure-collect loop that survives executor failure.
+struct ResilientRttRequest {
+  topology::InterfaceKey client_key;
+  topology::InterfaceKey server_key;
+  net::Protocol protocol = net::Protocol::kUdp;
+  std::int64_t probe_count = 10;
+  std::int64_t interval_ms = 200;
+  SimTime earliest_start = 0;
+  bool seal_results = false;
+  RetryPolicy retry;
+  /// Extra wait past the slot window before declaring ResultReady missing.
+  SimDuration grace = duration::seconds(2);
+  /// Alternates tried (in order, wrapping) when a side's executor fails.
+  /// Empty = derive from the other border interfaces of the same AS —
+  /// endpoints never traverse their own AS interior, so an alternate
+  /// interface of the same AS measures the same inter-domain segment.
+  std::vector<topology::InterfaceKey> client_alternates;
+  std::vector<topology::InterfaceKey> server_alternates;
+  bool allow_failover = true;
+};
+
+/// What a resilient measurement went through before succeeding.
+struct ResilientMeasurement {
+  MeasurementOutcome outcome;
+  MeasurementHandle handle;  // the purchase that finally served
+  topology::InterfaceKey client_key;
+  topology::InterfaceKey server_key;
+  std::uint32_t attempts = 1;
+  std::uint32_t failovers = 0;
+  std::uint32_t byzantine_rejections = 0;
+  chain::Mist reclaimed = 0;
+  std::vector<MeasurementIncident> incidents;
+
+  /// One line per incident — the determinism-check trace.
+  std::string trace() const;
+};
+
 /// An initiator identity: a funded chain account that purchases
 /// measurements and verifies published results.
 class Initiator {
@@ -87,8 +181,27 @@ class Initiator {
 
   /// Retrieves and verifies both certified results of a measurement from
   /// the chain. Fails if either result is missing (run the queue further)
-  /// or fails signature/AS-key verification.
+  /// or fails signature/AS-key verification; error messages are prefixed
+  /// with the CollectErrorKind name. Use try_collect for the typed codes.
   Result<MeasurementOutcome> collect(const MeasurementHandle& handle);
+
+  /// Like collect, but classifies each side's failure instead of folding
+  /// everything into one error string.
+  CollectProbe try_collect(const MeasurementHandle& handle);
+
+  /// Steps 1–5 with chaos tolerance: purchase, run the queue through the
+  /// window plus grace, collect; on a missing or rejected result, reclaim
+  /// what it can, fail over to an alternate executor on the same segment
+  /// and back off per the policy — all in deterministic simulated time.
+  /// DRIVES THE EVENT QUEUE (like localization's await).
+  Result<ResilientMeasurement> measure_rtt_resilient(
+      const ResilientRttRequest& request);
+
+  /// Best-effort reclaim: frees whichever of the handle's application
+  /// objects are reclaimable and ignores the rest (a dead executor's
+  /// unserved application cannot be reclaimed until its result reports).
+  /// Returns the total rebate recovered, possibly zero.
+  chain::Mist reclaim_available(const MeasurementHandle& handle);
 
   /// Convenience for the common RTT measurement: builds the probe-client /
   /// echo-server pair from apps::, purchases it, and returns the handle.
@@ -113,18 +226,29 @@ class Initiator {
   chain::Mist total_spent() const { return total_spent_; }
 
  private:
-  Result<executor::CertifiedResult> fetch_result(chain::ObjectId application,
-                                                 topology::InterfaceKey key);
+  struct FetchOutcome {
+    std::optional<executor::CertifiedResult> result;
+    CollectErrorKind error = CollectErrorKind::kNone;
+    std::string message;
+  };
+  FetchOutcome fetch_result(chain::ObjectId application,
+                            topology::InterfaceKey key);
+  Status reclaim_one(chain::ObjectId application, chain::Mist& rebate);
 
   DebugletSystem& system_;
   crypto::KeyPair key_;
   chain::Mist total_spent_ = 0;
   std::uint16_t next_rendezvous_port_ = 40000;
+  Rng chaos_rng_;  // backoff jitter; forked from the initiator seed
   // Observability handles cached at construction (no-ops while disabled).
   struct ObsHandles {
     obs::Counter* purchased = nullptr;
     obs::Counter* collected = nullptr;
     obs::Counter* spent = nullptr;  // MIST: gas + slot prices
+    obs::Counter* verification_rejected = nullptr;
+    obs::Counter* executor_down = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* measurements_abandoned = nullptr;
   };
   ObsHandles obs_;
 };

@@ -63,11 +63,34 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
   const topology::InterfaceKey server_key{path_.hops[to_hop].asn,
                                           path_.hops[to_hop].ingress};
   const SimTime segment_begin = system_.queue().now();
-  auto handle = initiator_.purchase_rtt_measurement(
-      client_key, server_key, protocol_, probes_, interval_ms_,
-      system_.queue().now());
-  if (!handle) return handle.error();
-  auto outcome = await(*handle);
+  Result<MeasurementOutcome> outcome = [&]() -> Result<MeasurementOutcome> {
+    if (resilience_.use_retry) {
+      ResilientRttRequest request;
+      request.client_key = client_key;
+      request.server_key = server_key;
+      request.protocol = protocol_;
+      request.probe_count = probes_;
+      request.interval_ms = interval_ms_;
+      request.earliest_start = system_.queue().now();
+      request.retry = resilience_.retry;
+      request.grace = resilience_.grace;
+      request.allow_failover = resilience_.allow_failover;
+      auto resilient = initiator_.measure_rtt_resilient(request);
+      if (!resilient) return resilient.error();
+      return std::move(resilient->outcome);
+    }
+    auto handle = initiator_.purchase_rtt_measurement(
+        client_key, server_key, protocol_, probes_, interval_ms_,
+        system_.queue().now());
+    if (!handle) return handle.error();
+    auto awaited = await(*handle);
+    if (!awaited) {
+      // Reclaim whatever the dead attempt allows before reporting.
+      initiator_.reclaim_available(*handle);
+      return awaited.error();
+    }
+    return awaited;
+  }();
   if (!outcome) return outcome.error();
   auto summary = summarize_rtt(outcome->client,
                                static_cast<std::size_t>(probes_));
@@ -95,32 +118,78 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
   return step;
 }
 
+LocalizationStep FaultLocalizer::tolerant_segment(std::size_t from_hop,
+                                                  std::size_t to_hop,
+                                                  LocalizationReport& report) {
+  auto measured = measure_segment(from_hop, to_hop);
+  if (measured) return *measured;
+  LocalizationStep step;
+  step.from_hop = from_hop;
+  step.to_hop = to_hop;
+  step.measured = false;
+  step.failure = measured.error_message();
+  step.measured_at = system_.queue().now();
+  ++report.segments_unmeasured;
+  report.notes.push_back("segment " + std::to_string(from_hop) + ".." +
+                         std::to_string(to_hop) +
+                         " unmeasured: " + step.failure);
+  obs::registry().counter("core.localization.segments_unmeasured").add();
+  return step;
+}
+
 Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
   LocalizationReport report;
   report.started = system_.queue().now();
   const chain::Mist spent_before = initiator_.total_spent();
   const std::size_t n = path_.length();
   if (n < 2) return fail("localization needs a path of at least 2 ASes");
+  report.links_total = n - 1;
 
-  auto record = [&](Result<LocalizationStep> step)
-      -> Result<LocalizationStep> {
-    if (step) {
-      report.steps.push_back(*step);
-      ++report.measurements;
-    }
+  // Every attempted segment lands in report.steps; only measured ones
+  // count toward report.measurements (healthy runs: identical to before).
+  auto attempt = [&](std::size_t from, std::size_t to) -> LocalizationStep {
+    LocalizationStep step = tolerant_segment(from, to, report);
+    report.steps.push_back(step);
+    if (step.measured) ++report.measurements;
     return step;
   };
 
   switch (strategy) {
     case Strategy::kLinearSequential: {
-      for (std::size_t link = 0; link + 1 < n; ++link) {
-        auto step = record(measure_segment(link, link + 1));
-        if (!step) return step.error();
-        if (step->faulty) {
-          report.located = true;
-          report.fault_link = link;
+      // Scan from the front. When a boundary's executors are dead, grow
+      // the span past them until a surviving pair covers it; a faulty
+      // widened span then only BRACKETS the fault.
+      std::size_t cursor = 0;
+      while (cursor + 1 < n) {
+        std::size_t to = cursor + 1;
+        LocalizationStep step = attempt(cursor, to);
+        while (!step.measured && to + 1 < n) {
+          ++to;
+          step = attempt(cursor, to);
+        }
+        if (!step.measured) {
+          // Ran off the end of the path: no surviving pair covers the
+          // remaining links at all.
+          report.links_unresolved += (n - 1) - cursor;
+          report.notes.push_back(
+              "links " + std::to_string(cursor) + ".." +
+              std::to_string(n - 2) + " unresolved: no surviving pair");
           break;
         }
+        if (step.faulty) {
+          report.located = true;
+          report.fault_link = cursor;
+          report.fault_link_hi = to - 1;
+          report.exact = (to == cursor + 1);
+          if (!report.exact) {
+            report.links_unresolved += to - cursor;
+            report.notes.push_back(
+                "fault bracketed to links [" + std::to_string(cursor) +
+                ", " + std::to_string(to - 1) + "]");
+          }
+          break;
+        }
+        cursor = to;
       }
       break;
     }
@@ -146,17 +215,36 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
         pending.push_back(Pending{link, *handle});
       }
       for (const Pending& p : pending) {
-        auto outcome = await(p.handle);
-        if (!outcome) return outcome.error();
-        auto summary = summarize_rtt(outcome->client,
-                                     static_cast<std::size_t>(probes_));
-        if (!summary) return summary.error();
+        auto fetch = [&]() -> Result<RttSummary> {
+          auto outcome = await(p.handle);
+          if (!outcome) {
+            initiator_.reclaim_available(p.handle);
+            return outcome.error();
+          }
+          return summarize_rtt(outcome->client,
+                               static_cast<std::size_t>(probes_));
+        }();
         LocalizationStep step;
         step.from_hop = p.link;
         step.to_hop = p.link + 1;
-        step.summary = *summary;
-        step.faulty = is_faulty(1, *summary);
         step.measured_at = system_.queue().now();
+        if (!fetch) {
+          // Other links were bought independently — keep sweeping, just
+          // mark this one unresolvable.
+          step.measured = false;
+          step.failure = fetch.error_message();
+          ++report.segments_unmeasured;
+          ++report.links_unresolved;
+          report.notes.push_back("link " + std::to_string(p.link) +
+                                 " unmeasured: " + step.failure);
+          obs::registry()
+              .counter("core.localization.segments_unmeasured")
+              .add();
+          report.steps.push_back(step);
+          continue;
+        }
+        step.summary = *fetch;
+        step.faulty = is_faulty(1, *fetch);
         if (evidence_collector_) {
           const topology::InterfaceKey client_key{path_.hops[p.link].asn,
                                                   path_.hops[p.link].egress};
@@ -169,28 +257,58 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
         if (step.faulty && !report.located) {
           report.located = true;
           report.fault_link = p.link;
+          report.fault_link_hi = p.link;
         }
       }
       break;
     }
     case Strategy::kBinarySearch: {
-      // Confirm the path is faulty end to end, then halve.
-      auto whole = record(measure_segment(0, n - 1));
-      if (!whole) return whole.error();
-      if (!whole->faulty) break;  // nothing to localize
+      // Confirm the path is faulty end to end, then halve. When the
+      // preferred midpoint's executors are dead, slide deterministically
+      // to the nearest split that still divides (lo, hi); when none is
+      // measurable the fault is bracketed to [lo, hi - 1].
+      LocalizationStep whole = attempt(0, n - 1);
+      if (!whole.measured) {
+        report.links_unresolved = n - 1;
+        report.notes.push_back(
+            "whole-path check impossible: no verdict on any link");
+        break;
+      }
+      if (!whole.faulty) break;  // nothing to localize
       std::size_t lo = 0, hi = n - 1;
       while (hi - lo > 1) {
         const std::size_t mid = lo + (hi - lo) / 2;
-        auto left = record(measure_segment(lo, mid));
-        if (!left) return left.error();
-        if (left->faulty) {
-          hi = mid;
-        } else {
-          lo = mid;
+        // Candidate splits strictly inside (lo, hi), nearest-to-mid
+        // first; ties prefer the right (deterministic order).
+        std::vector<std::size_t> splits;
+        for (std::size_t d = 0; d < hi - lo; ++d) {
+          if (mid + d > lo && mid + d < hi) splits.push_back(mid + d);
+          if (d > 0 && mid >= lo + d + 1 && mid - d < hi)
+            splits.push_back(mid - d);
         }
+        bool advanced = false;
+        for (std::size_t m : splits) {
+          LocalizationStep step = attempt(lo, m);
+          if (!step.measured) continue;
+          if (step.faulty)
+            hi = m;
+          else
+            lo = m;
+          advanced = true;
+          break;
+        }
+        if (!advanced) break;  // no measurable split: bracket [lo, hi-1]
       }
       report.located = true;
       report.fault_link = lo;
+      report.fault_link_hi = hi - 1;
+      report.exact = (hi - lo == 1);
+      if (!report.exact) {
+        report.links_unresolved += hi - lo;
+        report.notes.push_back("fault bracketed to links [" +
+                               std::to_string(lo) + ", " +
+                               std::to_string(hi - 1) + "]");
+      }
       break;
     }
   }

@@ -30,6 +30,11 @@ struct LocalizationStep {
   std::size_t to_hop = 0;    // (server side)
   RttSummary summary;
   bool faulty = false;
+  /// False when this segment could not be measured at all (its executors
+  /// never produced a verifiable result); `failure` says why and
+  /// `summary`/`faulty` are meaningless.
+  bool measured = true;
+  std::string failure;
   SimTime measured_at = 0;
   /// Remote executor counters attached as supporting evidence (scraped via
   /// core/remote_stats when an evidence collector is installed); rows
@@ -50,14 +55,41 @@ std::string strategy_name(Strategy s);
 struct LocalizationReport {
   bool located = false;
   /// Fault lies on the inter-domain link after path hop `fault_link`.
+  /// When executors died mid-run the localizer may only BRACKET the
+  /// fault: it lies in [fault_link, fault_link_hi] (equal when exact).
   std::size_t fault_link = 0;
+  std::size_t fault_link_hi = 0;
+  /// True when the fault was pinned to a single link.
+  bool exact = true;
   std::vector<LocalizationStep> steps;
   std::size_t measurements = 0;
   SimTime started = 0;
   SimTime finished = 0;
   chain::Mist tokens_spent = 0;
 
+  // Degraded-mode accounting (all zero on a healthy run).
+  std::size_t links_total = 0;
+  /// Links the run could not individually resolve: links inside a
+  /// multi-link fault bracket, plus links no surviving pair could cover.
+  std::size_t links_unresolved = 0;
+  std::size_t segments_unmeasured = 0;
+  std::vector<std::string> notes;  // one line per degradation
+
   SimDuration time_to_locate() const { return finished - started; }
+  /// Fraction of the path's links individually resolved (1.0 = full).
+  double coverage() const {
+    return links_total == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(links_unresolved) /
+                           static_cast<double>(links_total);
+  }
+  /// "exact" | "bracketed" | "partial" | "clean" — how much to trust
+  /// fault_link. "partial" = not located AND parts of the path went
+  /// unresolved, so absence of evidence is not evidence of health.
+  const char* confidence() const {
+    if (located) return exact ? "exact" : "bracketed";
+    return links_unresolved > 0 ? "partial" : "clean";
+  }
 };
 
 /// §IV-B's intra-AS derivation: performance of the interior of an AS
@@ -109,9 +141,26 @@ class FaultLocalizer {
     evidence_collector_ = std::move(collector);
   }
 
+  /// Chaos tolerance: route every segment measurement through the
+  /// initiator's resilient path (retry + failover) instead of plain
+  /// purchase/await. Healthy runs behave identically; runs with dead or
+  /// byzantine executors degrade to bracketed / partial reports instead
+  /// of erroring out.
+  struct Resilience {
+    bool use_retry = false;
+    RetryPolicy retry;
+    SimDuration grace = duration::seconds(2);
+    bool allow_failover = true;
+  };
+  void set_resilience(Resilience resilience) { resilience_ = resilience; }
+
  private:
   Result<MeasurementOutcome> await(const MeasurementHandle& handle);
   bool is_faulty(std::size_t links_crossed, const RttSummary& s) const;
+  /// measure_segment that degrades instead of failing: on error, returns
+  /// a step with measured=false and records the degradation in `report`.
+  LocalizationStep tolerant_segment(std::size_t from_hop, std::size_t to_hop,
+                                    LocalizationReport& report);
 
   DebugletSystem& system_;
   Initiator& initiator_;
@@ -121,6 +170,7 @@ class FaultLocalizer {
   std::int64_t probes_;
   std::int64_t interval_ms_;
   EvidenceCollector evidence_collector_;
+  Resilience resilience_;
 };
 
 }  // namespace debuglet::core

@@ -6,7 +6,11 @@ namespace debuglet::core {
 
 RemoteScraper::RemoteScraper(simnet::SimulatedNetwork& network,
                              net::Ipv4Address address, ScrapeConfig config)
-    : network_(network), address_(address), config_(config) {}
+    : network_(network),
+      address_(address),
+      config_(config),
+      retry_rng_(config.retry_seed),
+      retry_obs_("scrape_chunk") {}
 
 void RemoteScraper::start(DoneCallback on_done) {
   if (started_) return;
@@ -36,28 +40,33 @@ void RemoteScraper::request_chunk(std::uint16_t index) {
     return;
   }
   ++report_.requests_sent;
-  ++attempts_[index];
+  const std::uint32_t attempt = ++attempts_[index];
+  retry_obs_.attempt();
   const std::uint64_t token = next_token_++;
   pending_[index] = token;
   if (auto s = network_.send(address_, std::move(*wire)); !s) {
     fail_scrape("request send: " + s.error_message());
     return;
   }
-  // Retry on timeout; give up after max_retries re-requests of one chunk.
-  network_.queue().schedule_after(
-      config_.request_timeout, [this, index, token] {
-        if (finished_) return;
-        auto it = pending_.find(index);
-        if (it == pending_.end() || it->second != token) return;
-        pending_.erase(it);
-        if (attempts_[index] > config_.max_retries) {
-          fail_scrape("chunk " + std::to_string(index) + " timed out after " +
-                      std::to_string(config_.max_retries) + " retries");
-          return;
-        }
-        ++report_.retries;
-        request_chunk(index);
-      });
+  // The policy's backoff before attempt k doubles as attempt k-1's
+  // response timeout; give up once max_attempts is exhausted.
+  const SimDuration timeout =
+      config_.retry.delay_before(attempt + 1, retry_rng_);
+  network_.queue().schedule_after(timeout, [this, index, token, timeout] {
+    if (finished_) return;
+    auto it = pending_.find(index);
+    if (it == pending_.end() || it->second != token) return;
+    pending_.erase(it);
+    if (attempts_[index] >= config_.retry.max_attempts) {
+      retry_obs_.gave_up();
+      fail_scrape("chunk " + std::to_string(index) + " timed out after " +
+                  std::to_string(attempts_[index]) + " attempts");
+      return;
+    }
+    ++report_.retries;
+    retry_obs_.retry(timeout);
+    request_chunk(index);
+  });
 }
 
 void RemoteScraper::fill_window() {

@@ -33,10 +33,13 @@ struct ScrapeConfig {
   net::Protocol protocol = net::Protocol::kUdp;
   net::Ipv4Address target;        // the serving executor's address
   std::uint16_t target_port = 0;  // the stats Debuglet's listen port
-  /// How long to wait for a chunk before re-requesting it.
-  SimDuration request_timeout = duration::milliseconds(500);
-  /// Re-requests per chunk before the whole scrape fails.
-  std::uint32_t max_retries = 5;
+  /// Per-chunk retry schedule (shared core::RetryPolicy): the backoff
+  /// before attempt k is also how long attempt k-1 waits for its
+  /// response. Defaults reproduce the scraper's historical timing — six
+  /// attempts at a flat 500 ms, no jitter.
+  RetryPolicy retry{6, duration::milliseconds(500), 1.0, 0.0};
+  /// Seeds the jitter stream (unused while retry.jitter == 0).
+  std::uint64_t retry_seed = 0x5C4A9EULL;
   /// Maximum outstanding chunk requests once the count is known.
   std::uint32_t window = 4;
 };
@@ -99,6 +102,8 @@ class RemoteScraper : public simnet::Host {
   std::map<std::uint16_t, std::uint64_t> pending_;  // index -> timeout token
   std::map<std::uint16_t, std::uint32_t> attempts_;
   std::uint64_t next_token_ = 1;
+  Rng retry_rng_;
+  RetryObs retry_obs_;
 };
 
 /// A purchased pair of stats Debuglets. The marketplace only trades slot

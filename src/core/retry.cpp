@@ -1,0 +1,25 @@
+#include "core/retry.hpp"
+
+#include <cmath>
+
+namespace debuglet::core {
+
+SimDuration RetryPolicy::delay_before(std::uint32_t attempt, Rng& rng) const {
+  if (attempt <= 1) return 0;
+  double delay = static_cast<double>(base_delay) *
+                 std::pow(multiplier, static_cast<double>(attempt - 2));
+  if (jitter > 0.0) delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  if (delay < 0.0) delay = 0.0;
+  return static_cast<SimDuration>(delay);
+}
+
+RetryObs::RetryObs(const std::string& op) {
+  obs::MetricsRegistry& reg = obs::registry();
+  const obs::Labels labels{{"op", op}};
+  attempts_ = &reg.counter("core.retry.attempts", labels);
+  retries_ = &reg.counter("core.retry.retries", labels);
+  gave_up_ = &reg.counter("core.retry.gave_up", labels);
+  backoff_ms_ = &reg.histogram("core.retry.backoff_ms", labels);
+}
+
+}  // namespace debuglet::core

@@ -1,0 +1,66 @@
+// Shared retry/backoff policy for control-plane operations.
+//
+// One backoff implementation for everything that re-tries over the
+// simulated network — resilient measurement collection, remote-stats
+// chunk requests, and whatever comes next. All delays are SIMULATED
+// time and jitter draws from the caller's seeded Rng, so runs with
+// equal seeds produce bit-identical retry schedules (the chaos suite's
+// determinism acceptance check).
+//
+// RetryObs is the matching observability shape: every retried operation
+// counts attempts / retries / give-ups under one metric family keyed by
+// an `op` label, so a chaos run's retry pressure is visible through the
+// ordinary stats and remote-scrape pipelines (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace debuglet::core {
+
+/// Exponential backoff with jitter. Attempts are 1-based and
+/// `max_attempts` counts the first try: max_attempts = 4 means one
+/// initial attempt plus up to three retries.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  SimDuration base_delay = duration::milliseconds(400);
+  double multiplier = 2.0;
+  /// Relative jitter: the delay is scaled by uniform(1 - j, 1 + j).
+  /// Zero keeps the schedule exact AND skips the RNG draw, so callers
+  /// that disable jitter do not perturb their RNG stream.
+  double jitter = 0.1;
+
+  /// The backoff to wait before issuing attempt `attempt` (1-based).
+  /// Attempt 1 is free; attempt n waits base_delay * multiplier^(n-2),
+  /// jittered. Never negative.
+  SimDuration delay_before(std::uint32_t attempt, Rng& rng) const;
+};
+
+/// Cached counters for one retried operation, labelled {op=<name>}:
+///   core.retry.attempts   — every attempt, including the first
+///   core.retry.retries    — attempts after the first
+///   core.retry.gave_up    — operations that exhausted max_attempts
+///   core.retry.backoff_ms — histogram of waited backoffs
+class RetryObs {
+ public:
+  explicit RetryObs(const std::string& op);
+
+  void attempt() { attempts_->add(); }
+  void retry(SimDuration backoff) {
+    retries_->add();
+    backoff_ms_->record(duration::to_ms(backoff));
+  }
+  void gave_up() { gave_up_->add(); }
+
+ private:
+  obs::Counter* attempts_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* gave_up_ = nullptr;
+  obs::Histogram* backoff_ms_ = nullptr;
+};
+
+}  // namespace debuglet::core

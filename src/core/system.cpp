@@ -17,24 +17,20 @@ ExecutorAgent::ExecutorAgent(chain::Blockchain& chain,
   service_ = std::make_unique<executor::ExecutorService>(
       network_, key_, operator_key_, config.executor,
       0xE0ECu ^ (static_cast<std::uint64_t>(key.asn) << 16) ^ key.interface);
+  subscribe();
+}
+
+void ExecutorAgent::subscribe() {
   subscription_ = chain_.subscribe(
       marketplace::kContractName, marketplace::kEventDebugletDeployed,
       key_.to_string(),
       [this](const chain::Event& event) { on_deployment_event(event); });
 }
 
-Status ExecutorAgent::bootstrap(SimTime horizon_start) {
-  marketplace::RegisterExecutorArgs reg{key_};
-  auto receipt = chain_.submit(chain_.make_transaction(
-      operator_key_, marketplace::kContractName, "RegisterExecutor",
-      reg.serialize()));
-  if (!receipt) return receipt.error();
-  if (!receipt->success) return fail("RegisterExecutor: " + receipt->error);
-
+Status ExecutorAgent::register_slots(SimTime from, SimTime until) {
   marketplace::RegisterTimeSlotArgs slots;
   slots.key = key_;
-  for (SimTime t = horizon_start; t < horizon_start + config_->slot_horizon;
-       t += config_->slot_length) {
+  for (SimTime t = from; t < until; t += config_->slot_length) {
     marketplace::TimeSlot slot;
     slot.cores = 2;
     slot.memory_bytes = 1 << 20;
@@ -44,13 +40,90 @@ Status ExecutorAgent::bootstrap(SimTime horizon_start) {
     slot.price = config_->slot_price;
     slots.slots.push_back(slot);
   }
+  if (slots.slots.empty()) return ok_status();
   auto slot_receipt = chain_.submit(chain_.make_transaction(
       operator_key_, marketplace::kContractName, "RegisterTimeSlot",
       slots.serialize()));
   if (!slot_receipt) return slot_receipt.error();
   if (!slot_receipt->success)
     return fail("RegisterTimeSlot: " + slot_receipt->error);
+  slots_registered_until_ = std::max(slots_registered_until_, until);
   return ok_status();
+}
+
+Status ExecutorAgent::bootstrap(SimTime horizon_start) {
+  marketplace::RegisterExecutorArgs reg{key_};
+  auto receipt = chain_.submit(chain_.make_transaction(
+      operator_key_, marketplace::kContractName, "RegisterExecutor",
+      reg.serialize()));
+  if (!receipt) return receipt.error();
+  if (!receipt->success) return fail("RegisterExecutor: " + receipt->error);
+  return register_slots(horizon_start, horizon_start + config_->slot_horizon);
+}
+
+void ExecutorAgent::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  chain_.unsubscribe(subscription_);
+  subscription_ = 0;
+  service_->halt();
+  obs::registry()
+      .counter("core.agent_kills",
+               {{"as", std::to_string(key_.asn)},
+                {"intf", std::to_string(key_.interface)}})
+      .add();
+  DEBUGLET_LOG(kInfo, "agent") << key_.to_string() << ": killed";
+}
+
+Status ExecutorAgent::restart() {
+  if (alive_) return ok_status();
+  if (auto s = service_->revive(); !s) return s;
+  subscribe();
+  alive_ = true;
+  obs::registry()
+      .counter("core.agent_restarts",
+               {{"as", std::to_string(key_.asn)},
+                {"intf", std::to_string(key_.interface)}})
+      .add();
+  // The calendar registered before the kill is still on-chain (slots are
+  // not liveness-aware), so only the tail past the old horizon — if the
+  // outage outlasted it — needs re-registering.
+  const SimTime now = network_.queue().now();
+  if (slots_registered_until_ < now + config_->slot_horizon) {
+    const SimTime from = std::max(slots_registered_until_, now);
+    if (auto s = register_slots(from, now + config_->slot_horizon); !s)
+      return s;
+  }
+  DEBUGLET_LOG(kInfo, "agent") << key_.to_string() << ": restarted";
+  return ok_status();
+}
+
+executor::CertifiedResult ExecutorAgent::corrupt(
+    executor::CertifiedResult result) const {
+  switch (byzantine_) {
+    case ByzantineMode::kHonest:
+      break;
+    case ByzantineMode::kBadSignature: {
+      // Flip the low bit of the signature's response scalar: the record
+      // is intact but certification no longer checks out.
+      Bytes sig = result.signature.to_bytes();
+      if (!sig.empty()) sig.back() ^= 0x01;
+      if (auto parsed = crypto::Signature::from_bytes(
+              BytesView(sig.data(), sig.size()));
+          parsed)
+        result.signature = *parsed;
+      break;
+    }
+    case ByzantineMode::kTamperedOutput:
+      // Mutate the measurement after signing: the signature itself is
+      // genuine but no longer covers what the record now claims.
+      if (result.record.output.empty())
+        result.record.output.push_back(0xFF);
+      else
+        result.record.output.front() ^= 0xFF;
+      break;
+  }
+  return result;
 }
 
 void ExecutorAgent::on_deployment_event(const chain::Event& event) {
@@ -105,9 +178,18 @@ void ExecutorAgent::handle_application(chain::ObjectId application_id) {
   auto deployment = service_->deploy_and_schedule(
       std::move(app), start,
       [this, application_id](const executor::CertifiedResult& result) {
+        executor::CertifiedResult published = result;
+        if (byzantine_ != ByzantineMode::kHonest) {
+          published = corrupt(std::move(published));
+          obs::registry()
+              .counter("core.byzantine_results_published",
+                       {{"as", std::to_string(key_.asn)},
+                        {"intf", std::to_string(key_.interface)}})
+              .add();
+        }
         marketplace::ResultReadyArgs args;
         args.application = application_id;
-        args.result = result.serialize();
+        args.result = published.serialize();
         auto receipt = chain_.submit(chain_.make_transaction(
             operator_key_, marketplace::kContractName, "ResultReady",
             args.serialize()));

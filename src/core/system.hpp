@@ -31,6 +31,15 @@ struct SystemConfig {
   chain::ChainConfig chain;
 };
 
+/// How a byzantine executor agent corrupts the results it publishes
+/// (chaos mode; exercises the initiator's verification rejections the way
+/// §VI-E's fault-hiding ISP would).
+enum class ByzantineMode : std::uint8_t {
+  kHonest = 0,
+  kBadSignature,     // flip a bit in the signature before publishing
+  kTamperedOutput,   // mutate the measurement output after signing
+};
+
 /// One AS's control-plane agent (operator identity + event handling).
 class ExecutorAgent {
  public:
@@ -48,9 +57,33 @@ class ExecutorAgent {
   }
   topology::InterfaceKey key() const { return key_; }
 
+  /// Chaos: stops participating — unsubscribes from deployment events,
+  /// halts the data-plane service and abandons in-flight executions. The
+  /// on-chain slot calendar SURVIVES: the chain has no liveness notion,
+  /// so purchasers can still buy slots a dead executor will never serve.
+  /// That hole is exactly what the initiator-side RetryPolicy covers.
+  void kill();
+
+  /// Returns to service after kill(): re-attaches the service,
+  /// re-subscribes to deployment events, and tops up the slot calendar
+  /// when the registered horizon has passed. Idempotent while alive.
+  Status restart();
+
+  bool alive() const { return alive_; }
+
+  /// Chaos: publish results corrupted the chosen way so verification
+  /// rejection paths run end-to-end. The data plane stays honest — only
+  /// the published control-plane artifact lies. kHonest restores normal
+  /// behaviour.
+  void set_byzantine_mode(ByzantineMode mode) { byzantine_ = mode; }
+  ByzantineMode byzantine_mode() const { return byzantine_; }
+
  private:
+  void subscribe();
+  Status register_slots(SimTime from, SimTime until);
   void on_deployment_event(const chain::Event& event);
   void handle_application(chain::ObjectId application_id);
+  executor::CertifiedResult corrupt(executor::CertifiedResult result) const;
 
   chain::Blockchain& chain_;
   simnet::SimulatedNetwork& network_;
@@ -59,6 +92,11 @@ class ExecutorAgent {
   const SystemConfig* config_;
   std::unique_ptr<executor::ExecutorService> service_;
   chain::SubscriptionId subscription_ = 0;
+  bool alive_ = true;
+  ByzantineMode byzantine_ = ByzantineMode::kHonest;
+  /// End of the slot calendar registered so far (restart only registers
+  /// the tail past this — RegisterTimeSlot rejects overlapping slots).
+  SimTime slots_registered_until_ = 0;
 };
 
 /// The wired system.

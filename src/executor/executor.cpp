@@ -49,6 +49,7 @@ ExecutorService::ExecutorService(simnet::SimulatedNetwork& network,
   obs_.rejected = &reg.counter("executor.deployments_rejected", labels);
   obs_.completed = &reg.counter("executor.deployments_completed", labels);
   obs_.failed = &reg.counter("executor.deployments_failed", labels);
+  obs_.abandoned = &reg.counter("executor.deployments_abandoned", labels);
   obs_.active = &reg.gauge("executor.active_deployments", labels);
   // Timing and occupancy aggregate across executors (one histogram each).
   obs_.setup_ms = &reg.histogram("executor.sandbox_setup_ms");
@@ -56,7 +57,42 @@ ExecutorService::ExecutorService(simnet::SimulatedNetwork& network,
   obs_.inbox_depth = &reg.histogram("executor.inbox_depth");
 }
 
-ExecutorService::~ExecutorService() { network_.detach_host(address_); }
+ExecutorService::~ExecutorService() {
+  if (!halted_) network_.detach_host(address_);
+}
+
+void ExecutorService::halt() {
+  if (halted_) return;
+  halted_ = true;
+  network_.detach_host(address_);
+  abandon_all();
+}
+
+Status ExecutorService::revive() {
+  if (!halted_) return ok_status();
+  if (auto s = network_.attach_host(address_, this); !s) return s;
+  halted_ = false;
+  return ok_status();
+}
+
+std::size_t ExecutorService::abandon_all() {
+  std::size_t abandoned = 0;
+  for (auto& [_, dep] : deployments_) {
+    if (dep.finished) continue;
+    // Marking finished (without calling on_complete) is the whole trick:
+    // every queued lambda — start, sleep wake, recv timeout, io resume —
+    // checks this flag and becomes a no-op, so abandonment is safe with
+    // events in flight.
+    dep.finished = true;
+    dep.waiting_recv = false;
+    ++dep.recv_token;
+    ++abandoned;
+    obs_.abandoned->add();
+  }
+  if (abandoned > 0)
+    obs_.active->set(static_cast<double>(active_deployments()));
+  return abandoned;
+}
 
 std::size_t ExecutorService::active_deployments() const {
   std::size_t n = 0;
@@ -77,6 +113,8 @@ Result<DeploymentId> ExecutorService::deploy(DebugletApp app) {
 }
 
 Result<DeploymentId> ExecutorService::admit(DebugletApp app) {
+  if (halted_)
+    return fail("executor at " + key_.to_string() + " is halted");
   if (config_.max_concurrent_deployments != 0 &&
       active_deployments() >= config_.max_concurrent_deployments)
     return fail("executor at capacity: " +
@@ -361,7 +399,8 @@ std::vector<vm::HostFunction> ExecutorService::bind_host_api(Deployment& dep) {
 }
 
 void ExecutorService::begin_execution(DeploymentId id) {
-  if (!deployments_.contains(id)) return;
+  auto it = deployments_.find(id);
+  if (it == deployments_.end() || it->second.finished) return;
 
   SimDuration setup = config_.setup_time;
   if (config_.setup_jitter_ns > 0.0)
@@ -371,7 +410,7 @@ void ExecutorService::begin_execution(DeploymentId id) {
 
   network_.queue().schedule_after(setup, [this, id] {
     auto it = deployments_.find(id);
-    if (it == deployments_.end()) return;
+    if (it == deployments_.end() || it->second.finished) return;
     Deployment& dep = it->second;
     dep.actual_start = network_.now();
     dep.deadline = dep.actual_start + dep.app.manifest.max_duration;

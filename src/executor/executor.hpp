@@ -125,6 +125,23 @@ class ExecutorService : public simnet::Host {
   /// Number of deployments not yet finished.
   std::size_t active_deployments() const;
 
+  /// Chaos: takes the executor out of service — detaches from the network
+  /// and abandons every unfinished deployment (no result is ever certified
+  /// for them; their purchasers see a missing ResultReady). New deploys
+  /// are rejected until revive(). Idempotent. The service object stays
+  /// alive so events already queued against it resolve harmlessly.
+  void halt();
+
+  /// Returns a halted executor to service: re-attaches at its address and
+  /// accepts deployments again. Abandoned deployments stay abandoned.
+  Status revive();
+
+  bool halted() const { return halted_; }
+
+  /// Abandons all unfinished deployments without invoking their completion
+  /// callbacks; returns how many were abandoned.
+  std::size_t abandon_all();
+
  private:
   struct Deployment {
     DeploymentId id = 0;
@@ -176,12 +193,14 @@ class ExecutorService : public simnet::Host {
   std::map<DeploymentId, Deployment> deployments_;
   DeploymentId next_id_ = 1;
   std::uint16_t next_port_ = 50000;
+  bool halted_ = false;
   // Observability handles cached at construction (no-ops while disabled).
   struct ObsHandles {
     obs::Counter* admitted = nullptr;
     obs::Counter* rejected = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* failed = nullptr;
+    obs::Counter* abandoned = nullptr;
     obs::Histogram* setup_ms = nullptr;
     obs::Histogram* io_us = nullptr;
     obs::Histogram* inbox_depth = nullptr;

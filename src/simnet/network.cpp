@@ -51,6 +51,10 @@ SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
   }
   obs_.link_delay_ms = &reg.histogram("simnet.link.delay_ms");
   obs_.path_links = &reg.histogram("simnet.path_links");
+  obs_.host_fault_egress_drops =
+      &reg.counter("simnet.host_fault_drops", {{"side", "egress"}});
+  obs_.host_fault_ingress_drops =
+      &reg.counter("simnet.host_fault_drops", {{"side", "ingress"}});
 }
 
 Status SimulatedNetwork::configure_link(topology::InterfaceKey from,
@@ -152,6 +156,34 @@ Status SimulatedNetwork::clear_fault(topology::InterfaceKey from,
   return ok_status();
 }
 
+Status SimulatedNetwork::install_host_faults(net::Ipv4Address address,
+                                             HostFaultPlan plan) {
+  if (!topology_.has_as(as_of(address)))
+    return fail("install_host_faults: AS of " + address.to_string() +
+                " unknown");
+  host_faults_[address] = std::move(plan);
+  return ok_status();
+}
+
+Status SimulatedNetwork::install_host_faults(topology::InterfaceKey key,
+                                             HostFaultPlan plan) {
+  if (!topology_.has_as(key.asn))
+    return fail("install_host_faults: AS" + std::to_string(key.asn) +
+                " unknown");
+  return install_host_faults(topology_.address_of(key), std::move(plan));
+}
+
+void SimulatedNetwork::clear_host_faults(net::Ipv4Address address) {
+  host_faults_.erase(address);
+}
+
+HostFaultState SimulatedNetwork::host_fault_state(net::Ipv4Address address,
+                                                  SimTime t) const {
+  auto it = host_faults_.find(address);
+  if (it == host_faults_.end()) return HostFaultState{};
+  return it->second.state_at(t);
+}
+
 LinkModel* SimulatedNetwork::link_model(topology::InterfaceKey from,
                                         topology::InterfaceKey to) {
   auto it = links_.find({from, to});
@@ -247,6 +279,19 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   double total_delay_ms = 0.0;
   bool dropped = false;
 
+  // Host-level faults (chaos layer): a crashed sender is off and a
+  // silenced one never gets its packets onto the wire. Either way the
+  // packet is lost silently — not an error, exactly like dead hardware.
+  const HostFaultState sender_state = host_fault_state(from_address, sent_at);
+  if (sender_state.crashed() || sender_state.silent()) {
+    ++stats_.dropped[protocol];
+    obs_.dropped[proto_index(protocol)]->add();
+    obs_.host_fault_egress_drops->add();
+    return ok_status();
+  }
+  // A slow sender pays its service delay before the wire.
+  total_delay_ms += sender_state.extra_delay_ms;
+
   // The sender's intra-AS access stub (zero for border-router hosts).
   if (auto it = hosts_.find(from_address); it != hosts_.end()) {
     const AccessConfig& access = it->second.access;
@@ -332,6 +377,12 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
 
   Host* host = host_it->second.host;
   const net::Ipv4Address dst = packet.ip.destination;
+  // A slow destination adds its service delay, evaluated at the nominal
+  // arrival instant (the fault window that matters is the one the packet
+  // lands in, not the one it was sent in).
+  total_delay_ms +=
+      host_fault_state(dst, sent_at + duration::from_ms(total_delay_ms))
+          .extra_delay_ms;
   Delivery delivery{std::move(packet), sent_at, 0, path};
   const SimDuration delay = duration::from_ms(total_delay_ms);
   queue_.schedule_after(delay, [this, host, dst,
@@ -342,6 +393,14 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     if (it == hosts_.end() || it->second.host != host) {
       ++stats_.dropped[d.packet.protocol];
       obs_.dropped[proto_index(d.packet.protocol)]->add();
+      return;
+    }
+    // A destination that crashed while the packet was in flight drops it
+    // at arrival. Silenced hosts still receive — they just never answer.
+    if (host_fault_state(dst, queue_.now()).crashed()) {
+      ++stats_.dropped[d.packet.protocol];
+      obs_.dropped[proto_index(d.packet.protocol)]->add();
+      obs_.host_fault_ingress_drops->add();
       return;
     }
     d.received_at = queue_.now();

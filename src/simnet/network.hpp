@@ -16,6 +16,7 @@
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
 #include "simnet/event_queue.hpp"
+#include "simnet/host_faults.hpp"
 #include "simnet/link_model.hpp"
 #include "topology/topology.hpp"
 
@@ -126,6 +127,18 @@ class SimulatedNetwork {
                       const FaultSpec& fault);
   Status clear_fault(topology::InterfaceKey from, topology::InterfaceKey to);
 
+  /// Installs a node-level fault schedule for the host at `address`
+  /// (replacing any previous plan). The address's AS must exist; the host
+  /// itself need not be attached yet — plans outlive attach/detach cycles.
+  Status install_host_faults(net::Ipv4Address address, HostFaultPlan plan);
+  /// Convenience: faults the executor host at a border interface.
+  Status install_host_faults(topology::InterfaceKey key, HostFaultPlan plan);
+  void clear_host_faults(net::Ipv4Address address);
+
+  /// The resolved host-fault state of an address at time `t` (kNone when
+  /// no plan is installed) — ground truth for tests and schedulers.
+  HostFaultState host_fault_state(net::Ipv4Address address, SimTime t) const;
+
   /// Ground-truth expected one-way delay for a protocol on a path now.
   Result<double> expected_path_delay_ms(const topology::AsPath& path,
                                         net::Protocol protocol) const;
@@ -161,6 +174,7 @@ class SimulatedNetwork {
     AccessConfig access;
   };
   std::map<net::Ipv4Address, AttachedHost> hosts_;
+  std::map<net::Ipv4Address, HostFaultPlan> host_faults_;
   std::map<topology::AsNumber, std::uint8_t> next_host_octet_;
   std::map<std::pair<topology::AsNumber, topology::AsNumber>, topology::AsPath>
       pinned_paths_;
@@ -187,6 +201,8 @@ class SimulatedNetwork {
     std::array<obs::Counter*, 4> dropped{};
     obs::Histogram* link_delay_ms = nullptr;
     obs::Histogram* path_links = nullptr;
+    obs::Counter* host_fault_egress_drops = nullptr;
+    obs::Counter* host_fault_ingress_drops = nullptr;
   };
   ObsHandles obs_;
 };

@@ -247,7 +247,7 @@ TEST(RemoteStats, ScrapeGivesUpWhenNothingListens) {
   ScrapeConfig config;
   config.target = system.network().allocate_host_address(kChainAses);
   config.target_port = 45000;
-  config.max_retries = 2;
+  config.retry.max_attempts = 3;
   auto report = scrape_once(system, scraper_addr, config,
                             system.queue().now() + duration::seconds(10));
   EXPECT_FALSE(report.ok());

@@ -1,0 +1,99 @@
+// Shared RetryPolicy backoff semantics and the RetryObs counters.
+#include <gtest/gtest.h>
+
+#include "core/retry.hpp"
+
+#include "core/initiator.hpp"
+#include "obs/metrics.hpp"
+
+namespace debuglet::core {
+namespace {
+
+TEST(RetryPolicy, FirstAttemptIsFree) {
+  RetryPolicy policy;
+  Rng rng(1);
+  EXPECT_EQ(policy.delay_before(1, rng), 0);
+}
+
+TEST(RetryPolicy, ExponentialGrowthWithoutJitter) {
+  RetryPolicy policy;
+  policy.base_delay = duration::milliseconds(100);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(policy.delay_before(2, rng), duration::milliseconds(100));
+  EXPECT_EQ(policy.delay_before(3, rng), duration::milliseconds(200));
+  EXPECT_EQ(policy.delay_before(4, rng), duration::milliseconds(400));
+  EXPECT_EQ(policy.delay_before(5, rng), duration::milliseconds(800));
+}
+
+TEST(RetryPolicy, FlatScheduleWithUnitMultiplier) {
+  // The remote-stats scraper's historical timing: a flat per-attempt wait.
+  RetryPolicy policy{6, duration::milliseconds(500), 1.0, 0.0};
+  Rng rng(1);
+  for (std::uint32_t attempt = 2; attempt <= 6; ++attempt)
+    EXPECT_EQ(policy.delay_before(attempt, rng),
+              duration::milliseconds(500));
+}
+
+TEST(RetryPolicy, ZeroJitterDoesNotPerturbRngStream) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  Rng used(42), untouched(42);
+  (void)policy.delay_before(3, used);
+  (void)policy.delay_before(4, used);
+  // The stream must be exactly where a policy-free run would be.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(used.uniform(0.0, 1.0), untouched.uniform(0.0, 1.0));
+}
+
+TEST(RetryPolicy, JitterStaysWithinBoundsAndIsSeedDeterministic) {
+  RetryPolicy policy;
+  policy.base_delay = duration::milliseconds(400);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  Rng a(7), b(7), c(8);
+  bool saw_different_from_c = false;
+  for (std::uint32_t attempt = 2; attempt <= 6; ++attempt) {
+    const SimDuration nominal =
+        duration::milliseconds(400) *
+        static_cast<SimDuration>(1 << (attempt - 2));
+    const SimDuration da = policy.delay_before(attempt, a);
+    EXPECT_EQ(da, policy.delay_before(attempt, b))
+        << "equal seeds must give identical backoff";
+    EXPECT_GE(da, static_cast<SimDuration>(0.74 * nominal));
+    EXPECT_LE(da, static_cast<SimDuration>(1.26 * nominal));
+    saw_different_from_c |= da != policy.delay_before(attempt, c);
+  }
+  EXPECT_TRUE(saw_different_from_c)
+      << "different seeds should jitter differently";
+}
+
+TEST(RetryObs, CountsAttemptsRetriesAndGiveUps) {
+  obs::ScopedRegistry scoped;
+  RetryObs obs("unit_test_op");
+  obs.attempt();
+  obs.attempt();
+  obs.retry(duration::milliseconds(250));
+  obs.gave_up();
+  const obs::Labels labels{{"op", "unit_test_op"}};
+  EXPECT_EQ(scoped.get().counter("core.retry.attempts", labels).value(), 2u);
+  EXPECT_EQ(scoped.get().counter("core.retry.retries", labels).value(), 1u);
+  EXPECT_EQ(scoped.get().counter("core.retry.gave_up", labels).value(), 1u);
+  EXPECT_EQ(scoped.get().histogram("core.retry.backoff_ms", labels).count(),
+            1u);
+}
+
+TEST(CollectErrorKind, NamesAreStable) {
+  // Error strings are prefixed with these names; retry logic must branch
+  // on the enum, but humans grep for the prefixes.
+  EXPECT_STREQ(collect_error_name(CollectErrorKind::kNone), "ok");
+  EXPECT_STREQ(collect_error_name(CollectErrorKind::kNotPublished),
+               "not-published");
+  EXPECT_STREQ(collect_error_name(CollectErrorKind::kVerificationFailed),
+               "verification-failed");
+  EXPECT_STREQ(collect_error_name(CollectErrorKind::kOther), "other");
+}
+
+}  // namespace
+}  // namespace debuglet::core

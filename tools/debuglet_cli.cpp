@@ -34,6 +34,17 @@
 //       Run a binary-search localization with span tracing enabled and
 //       write a Chrome trace-event file of the run.
 //
+//   debuglet chaos     [--ases N] [--fault-link K] [--fault-ms D]
+//                      [--kill AS#IF]... [--crash AS#IF]...
+//                      [--byzantine AS#IF] [--attempts N] [--seed S]
+//                      [--check-determinism]
+//       Inject a link fault AND executor failures (killed agents, crashed
+//       hosts, optionally a byzantine signer), then run a resilient
+//       end-to-end measurement plus a degraded-mode localization. Exits 0
+//       when the measurement survives and the report brackets the injected
+//       link. --check-determinism replays the scenario with the same seed
+//       and verifies the retry/failover trace is bit-identical.
+//
 //   debuglet asm FILE / debuglet disasm FILE
 //       Assemble DVM assembly to a module file (FILE.dvm), or print the
 //       assembly of a serialized module.
@@ -87,6 +98,10 @@ class Args {
     return std::atoll(it->second[0].c_str());
   }
   bool has(const std::string& name) const { return values_.contains(name); }
+  std::vector<std::string> get_all(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
   std::vector<std::int64_t> get_ints(const std::string& name) const {
     std::vector<std::int64_t> out;
     auto it = values_.find(name);
@@ -531,6 +546,215 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+struct ChaosParams {
+  std::size_t ases = 8;
+  std::size_t fault_link = 6;
+  double fault_ms = 60.0;
+  std::vector<topology::InterfaceKey> kills;
+  std::vector<topology::InterfaceKey> crashes;
+  std::vector<topology::InterfaceKey> byzantine;
+  std::uint32_t attempts = 4;
+  std::uint64_t seed = 1;
+};
+
+struct ChaosOutcome {
+  bool measurement_ok = false;
+  bool bracketed = false;
+  /// The deterministic retry/failover/localization trace: equal seeds
+  /// must reproduce it bit for bit.
+  std::string trace;
+};
+
+ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
+  ChaosOutcome out;
+  core::DebugletSystem system(
+      simnet::build_chain_scenario(p.ases, p.seed, 5.0));
+
+  simnet::FaultSpec fault;
+  fault.extra_delay_ms = p.fault_ms;
+  fault.start = 0;
+  fault.end = duration::hours(100);
+  (void)system.network().inject_fault(
+      simnet::chain_egress(p.fault_link),
+      simnet::chain_ingress(p.fault_link + 1), fault);
+  (void)system.network().inject_fault(
+      simnet::chain_ingress(p.fault_link + 1),
+      simnet::chain_egress(p.fault_link), fault);
+
+  for (const topology::InterfaceKey& key : p.kills) {
+    if (auto agent = system.agent(key)) (*agent)->kill();
+  }
+  for (const topology::InterfaceKey& key : p.crashes) {
+    simnet::HostFaultPlan plan;
+    plan.crash(0, duration::hours(100));
+    (void)system.network().install_host_faults(key, plan);
+  }
+  for (const topology::InterfaceKey& key : p.byzantine) {
+    if (auto agent = system.agent(key))
+      (*agent)->set_byzantine_mode(core::ByzantineMode::kBadSignature);
+  }
+
+  core::Initiator initiator(system, p.seed + 1, 2'000'000'000'000ULL);
+
+  core::ResilientRttRequest request;
+  request.client_key = topology::InterfaceKey{1, 2};
+  request.server_key = topology::InterfaceKey{
+      static_cast<topology::AsNumber>(p.ases), 1};
+  request.probe_count = 8;
+  request.interval_ms = 100;
+  request.retry.max_attempts = p.attempts;
+  auto rm = initiator.measure_rtt_resilient(request);
+  if (rm) {
+    out.measurement_ok = true;
+    auto summary = core::summarize_rtt(rm->outcome.client, 8);
+    if (verbose) {
+      std::printf("end-to-end measurement survived: %u attempt(s), %u "
+                  "failover(s), %u byzantine rejection(s)\n",
+                  rm->attempts, rm->failovers, rm->byzantine_rejections);
+      if (summary)
+        std::printf("  RTT mean %.2f ms over %zu/%zu probes\n",
+                    summary->mean_ms, summary->probes_answered,
+                    summary->probes_sent);
+      if (!rm->incidents.empty())
+        std::printf("%s\n", rm->trace().c_str());
+    }
+    out.trace += rm->trace();
+  } else {
+    if (verbose)
+      std::printf("end-to-end measurement failed: %s\n",
+                  rm.error_message().c_str());
+    out.trace += "measurement failed: " + rm.error_message();
+  }
+  out.trace += "\n";
+
+  auto path = system.network().topology().shortest_path(
+      1, static_cast<topology::AsNumber>(p.ases));
+  core::FaultCriteria criteria;
+  criteria.per_link_rtt_ms = 10.5;
+  criteria.slack_ms = 15.0;
+  core::FaultLocalizer localizer(system, initiator, *path, criteria,
+                                 net::Protocol::kUdp, 8, 100);
+  core::FaultLocalizer::Resilience resilience;
+  resilience.use_retry = true;
+  resilience.retry.max_attempts = p.attempts;
+  localizer.set_resilience(resilience);
+  auto report = localizer.run(core::Strategy::kLinearSequential);
+  if (!report) {
+    if (verbose)
+      std::printf("localization failed: %s\n",
+                  report.error_message().c_str());
+    out.trace += "localization failed: " + report.error_message();
+    return out;
+  }
+  if (verbose) {
+    for (const core::LocalizationStep& step : report->steps) {
+      if (step.measured) {
+        std::printf("  AS%u..AS%u: %7.2f ms, loss %4.1f%%  %s\n",
+                    path->hops[step.from_hop].asn,
+                    path->hops[step.to_hop].asn, step.summary.mean_ms,
+                    100.0 * step.summary.loss_rate(),
+                    step.faulty ? "FAULTY" : "");
+      } else {
+        std::printf("  AS%u..AS%u: unmeasured (%s)\n",
+                    path->hops[step.from_hop].asn,
+                    path->hops[step.to_hop].asn, step.failure.c_str());
+      }
+    }
+    for (const std::string& note : report->notes)
+      std::printf("  note: %s\n", note.c_str());
+  }
+  out.bracketed = report->located && report->fault_link <= p.fault_link &&
+                  p.fault_link <= report->fault_link_hi;
+  if (report->located) {
+    out.trace += "fault in links [" + std::to_string(report->fault_link) +
+                 ", " + std::to_string(report->fault_link_hi) + "] (" +
+                 report->confidence() + ")";
+    if (verbose)
+      std::printf("fault in links [%zu, %zu] — %s, coverage %.0f%% "
+                  "(injected at link %zu)\n",
+                  report->fault_link, report->fault_link_hi,
+                  report->confidence(), 100.0 * report->coverage(),
+                  p.fault_link);
+  } else {
+    out.trace += "no fault located (" + std::string(report->confidence()) +
+                 ")";
+    if (verbose) std::printf("no fault located\n");
+  }
+  for (const std::string& note : report->notes) out.trace += "\n" + note;
+  return out;
+}
+
+int cmd_chaos(const Args& args) {
+  obs::set_enabled(true);
+  ChaosParams p;
+  p.ases = static_cast<std::size_t>(args.get_int("ases", 8));
+  p.fault_link = static_cast<std::size_t>(
+      args.get_int("fault-link", static_cast<std::int64_t>(p.ases) - 2));
+  p.fault_ms = static_cast<double>(args.get_int("fault-ms", 60));
+  p.attempts = static_cast<std::uint32_t>(args.get_int("attempts", 4));
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (p.fault_link + 1 >= p.ases) {
+    std::printf("fault-link must be < %zu\n", p.ases - 1);
+    return 1;
+  }
+  auto parse_keys = [&](const char* flag,
+                        std::vector<topology::InterfaceKey>& into) -> bool {
+    for (const std::string& text : args.get_all(flag)) {
+      if (text.empty()) continue;
+      auto key = parse_key(text);
+      if (!key) {
+        std::printf("--%s: %s\n", flag, key.error_message().c_str());
+        return false;
+      }
+      into.push_back(*key);
+    }
+    return true;
+  };
+  if (!parse_keys("kill", p.kills) || !parse_keys("crash", p.crashes) ||
+      !parse_keys("byzantine", p.byzantine))
+    return 1;
+  if (p.kills.empty() && p.crashes.empty() && p.byzantine.empty()) {
+    // Default chaos: the AS on the near side of the faulty link goes
+    // completely dark (both border executors killed), so localization
+    // must bracket the fault from the surviving neighbours.
+    const auto dark = static_cast<topology::AsNumber>(p.fault_link + 1);
+    p.kills.push_back(topology::InterfaceKey{dark, 1});
+    p.kills.push_back(topology::InterfaceKey{dark, 2});
+    std::printf("no chaos flags given; defaulting to --kill AS%u#1 "
+                "--kill AS%u#2\n",
+                dark, dark);
+  }
+
+  ChaosOutcome first = run_chaos(p, /*verbose=*/true);
+
+  std::printf("\nchaos counters:\n");
+  std::vector<obs::MetricRow> interesting;
+  for (const obs::MetricRow& row : obs::registry().snapshot()) {
+    if (row.name.rfind("core.retry", 0) == 0 ||
+        row.name.rfind("core.measurement", 0) == 0 ||
+        row.name.rfind("core.executor_down", 0) == 0 ||
+        row.name.rfind("core.results_rejected", 0) == 0 ||
+        row.name.rfind("core.byzantine", 0) == 0 ||
+        row.name.rfind("core.agent_", 0) == 0 ||
+        row.name.rfind("core.localization", 0) == 0 ||
+        row.name.rfind("simnet.host_fault", 0) == 0 ||
+        row.name.rfind("executor.deployments_abandoned", 0) == 0)
+      interesting.push_back(row);
+  }
+  print_metric_rows(interesting);
+
+  bool deterministic = true;
+  if (args.has("check-determinism")) {
+    ChaosOutcome second = run_chaos(p, /*verbose=*/false);
+    deterministic = first.trace == second.trace;
+    std::printf("\ndeterminism check: %s\n",
+                deterministic ? "traces identical" : "TRACES DIVERGED");
+  }
+  const bool ok = first.measurement_ok && first.bracketed && deterministic;
+  std::printf("\nchaos verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int cmd_asm(const Args& args) {
   if (args.positional().empty()) {
     std::printf("usage: debuglet asm FILE\n");
@@ -599,6 +823,8 @@ void usage() {
       "              over the simulated network instead)\n"
       "  trace       run a localization with tracing on; dump a Chrome\n"
       "              trace (chrome://tracing / Perfetto) of the run\n"
+      "  chaos       kill/crash executors on a faulty path, then run a\n"
+      "              resilient measurement and a degraded localization\n"
       "  asm FILE    assemble DVM assembly into FILE.dvm\n"
       "  disasm FILE print the assembly of a serialized module\n\n"
       "run a command with no flags for sensible defaults; see tools/\n"
@@ -620,6 +846,7 @@ int main(int argc, char** argv) {
   if (command == "motivation") return cmd_motivation(args);
   if (command == "stats") return cmd_stats(args);
   if (command == "trace") return cmd_trace(args);
+  if (command == "chaos") return cmd_chaos(args);
   if (command == "asm") return cmd_asm(args);
   if (command == "disasm") return cmd_disasm(args);
   usage();
