@@ -430,7 +430,10 @@ void ExecutorService::begin_execution(DeploymentId id) {
       return;
     }
     dep.instance = std::make_unique<vm::Instance>(std::move(*instance));
-    auto execution = vm::Execution::start_entry(*dep.instance);
+    auto execution = vm::Execution::start_entry(
+        *dep.instance, config_.use_reference_interpreter
+                           ? vm::Engine::kReference
+                           : vm::Engine::kFast);
     if (!execution) {
       fail_deployment(dep, "start: " + execution.error_message());
       return;

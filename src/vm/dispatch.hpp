@@ -1,0 +1,129 @@
+// Decode-once execution pipeline for the DVM.
+//
+// Instance::create translates validated bytecode into a dense pre-decoded
+// instruction array: one fixed-size DecodedInst per executed step, with the
+// immediate widened in place, jump targets rewritten to decoded indices,
+// hot instruction pairs fused into superinstructions, and fuel accounting
+// batched per basic block. The interpreter then dispatches over DecodedInst
+// via computed-goto threaded code (or a portable switch fallback, see
+// DEBUGLET_VM_COMPUTED_GOTO) instead of re-inspecting Instruction in the
+// loop.
+//
+// The translation is strictly semantics-preserving: for every module and
+// every input, the fast engine must produce the same return value, trap
+// kind/message/pc, fuel_used, host-call sequence, and final memory as the
+// ReferenceInterpreter (vm/reference.hpp). tests/vm_differential_test.cpp
+// enforces this over seeded random modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "vm/module.hpp"
+
+namespace debuglet::vm {
+
+/// Decoded operations: the base ISA one-to-one, plus translation-internal
+/// pseudo-ops and fused superinstructions.
+enum class FusedOp : std::uint8_t {
+  // Base opcodes (same semantics as the matching Opcode).
+  kNop = 0,
+  kConst,
+  kDrop,
+  kDup,
+  kLocalGet,
+  kLocalSet,
+  kGlobalGet,
+  kGlobalSet,
+  kAdd,
+  kSub,
+  kMul,
+  kDivS,
+  kRemS,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShrS,
+  kShrU,
+  kEq,
+  kNe,
+  kLtS,
+  kGtS,
+  kLeS,
+  kGeS,
+  kEqz,
+  kLoad8,
+  kLoad32,
+  kLoad64,
+  kStore8,
+  kStore32,
+  kStore64,
+  kMemSize,
+  kJump,
+  kJumpIf,
+  kJumpIfZ,
+  kCall,
+  kCallHost,
+  kReturn,
+  kAbort,
+
+  // Pseudo-ops inserted by the translator.
+  kChargeFuel,  // basic-block leader: batch-charge `a` units of fuel
+  kFallOff,     // sentinel after the last instruction ("fell off body")
+
+  // Superinstructions (the hot pairs/quads the apps and benches emit).
+  kFusedLocalBranchIf,       // if (locals[a] <sub> imm) goto target
+  kFusedLocalBranchIfZ,      // if (!(locals[a] <sub> imm)) goto target
+  kFusedLocalConstArithSet,  // locals[b] = locals[a] <sub> imm
+  kFusedConstArith,          // top = top <sub> imm
+  kFusedLocalArith,          // top = top <sub> locals[a]
+
+  kCount,
+};
+
+/// One pre-decoded instruction. 32 bytes, laid out for dense sequential
+/// access; `src_pc` maps back to the first source instruction the entry
+/// covers so traps report original program counters.
+struct DecodedInst {
+  FusedOp op = FusedOp::kNop;
+  std::uint8_t cost = 1;       // source instructions covered (fuel units)
+  Opcode sub = Opcode::kNop;   // component operator of a fused op
+  std::uint32_t a = 0;         // local/global/function/import index, charge
+  std::uint32_t b = 0;         // destination local of a fused set
+  std::uint32_t target = 0;    // decoded jump target
+  std::uint32_t src_pc = 0;    // source pc of the first covered instruction
+  std::int64_t imm = 0;        // widened immediate
+};
+
+struct TranslatedFunction {
+  std::vector<DecodedInst> code;  // always ends with a kFallOff sentinel
+};
+
+struct TranslatedModule {
+  std::vector<TranslatedFunction> functions;
+};
+
+struct TranslateOptions {
+  bool fuse = true;  // emit superinstructions (off: 1:1 decode only)
+};
+
+/// Translates a module that passed vm::validate(). Re-checks the structural
+/// properties translation relies on (jump targets and indices in range) and
+/// fails — never misbehaves — when handed an unvalidated module.
+Result<TranslatedModule> translate(const Module& module,
+                                   const TranslateOptions& options = {});
+
+/// Name of a decoded op, for diagnostics and the coverage audit.
+std::string fused_op_name(FusedOp op);
+
+/// Every decoded op, in enum order (pseudo-ops and fusions included).
+const std::vector<FusedOp>& all_fused_ops();
+
+/// Compile-time dispatch strategy of the fast engine: "threaded"
+/// (computed goto) or "switch" (portable fallback).
+const char* dispatch_mode();
+
+}  // namespace debuglet::vm

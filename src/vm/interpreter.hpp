@@ -11,6 +11,16 @@
 // when the awaited simulated event occurs. This is how a strictly
 // deterministic event-driven simulator hosts code written in a blocking
 // style, mirroring how Wasmer host calls block on real sockets.
+//
+// Two engines execute the same Instance state:
+//  - Engine::kFast runs the decode-once pipeline (vm/dispatch.hpp): dense
+//    pre-decoded instructions, threaded dispatch, superinstructions, and
+//    per-basic-block fuel batching.
+//  - Engine::kReference is the original decode-in-the-loop switch
+//    interpreter (vm/reference.hpp), kept as the trusted semantics the
+//    differential harness compares the fast engine against.
+// Both must agree bit-for-bit on every observable: return value, trap
+// kind/message/pc, fuel_used, host-call sequence, memory, and globals.
 #pragma once
 
 #include <functional>
@@ -20,11 +30,18 @@
 #include <vector>
 
 #include "util/result.hpp"
+#include "vm/dispatch.hpp"
 #include "vm/module.hpp"
 
 namespace debuglet::vm {
 
 class Instance;
+
+/// Which interpreter executes a run. See the file comment.
+enum class Engine {
+  kFast,
+  kReference,
+};
 
 /// A host function. If `async` is false, `fn` runs inline and its value is
 /// pushed. If `async` is true, the call suspends the Execution; the
@@ -44,6 +61,7 @@ struct ExecutionLimits {
   std::uint32_t max_value_stack = 4096;
   std::uint32_t max_call_depth = 256;
   std::uint64_t host_call_fuel_cost = 32;  // fuel charged per host call
+  bool fuse_superinstructions = true;      // fast engine: emit fused ops
 };
 
 /// Why a run ended.
@@ -70,6 +88,8 @@ struct RunOutcome {
   std::int64_t value = 0;  // return value when !trapped
   std::uint64_t fuel_used = 0;
   std::uint64_t host_calls = 0;
+  std::uint32_t trap_function = 0;  // function index of the trap site
+  std::uint32_t trap_pc = 0;        // source pc of the trapping instruction
 
   bool ok() const { return !trapped; }
 };
@@ -77,8 +97,9 @@ struct RunOutcome {
 /// One instantiated module.
 class Instance {
  public:
-  /// Binds the module against the provided host functions. Fails on
-  /// unresolved imports or duplicate host-function names. The module must
+  /// Binds the module against the provided host functions and translates
+  /// the code for the fast engine. Fails on unresolved imports, duplicate
+  /// host-function names, or code the translator rejects. The module must
   /// already have passed validate().
   static Result<Instance> create(Module module,
                                  std::vector<HostFunction> host_functions,
@@ -90,7 +111,8 @@ class Instance {
 
   /// Runs an arbitrary exported function to completion (same restriction).
   RunOutcome run_function(std::string_view name,
-                          std::span<const std::int64_t> args);
+                          std::span<const std::int64_t> args,
+                          Engine engine = Engine::kFast);
 
   // --- Host-facing API ------------------------------------------------
 
@@ -107,6 +129,8 @@ class Instance {
 
   const Module& module() const { return module_; }
   const ExecutionLimits& limits() const { return limits_; }
+  const TranslatedModule& translated() const { return translated_; }
+  std::span<const std::int64_t> globals() const { return globals_; }
   std::uint32_t memory_size() const {
     return static_cast<std::uint32_t>(memory_.size());
   }
@@ -120,6 +144,7 @@ class Instance {
            ExecutionLimits limits);
 
   Module module_;
+  TranslatedModule translated_;
   std::vector<HostFunction> imports_;  // index-aligned with module imports
   ExecutionLimits limits_;
   std::vector<std::uint8_t> memory_;
@@ -142,10 +167,12 @@ class Execution {
   /// is missing or the argument count mismatches.
   static Result<Execution> start(Instance& instance,
                                  std::string_view function_name,
-                                 std::span<const std::int64_t> args);
+                                 std::span<const std::int64_t> args,
+                                 Engine engine = Engine::kFast);
 
   /// Prepares a run of the entry point.
-  static Result<Execution> start_entry(Instance& instance);
+  static Result<Execution> start_entry(Instance& instance,
+                                       Engine engine = Engine::kFast);
 
   /// Runs until completion or suspension on an async host call.
   /// Returns the state after stepping (kDone or kBlocked).
@@ -160,6 +187,7 @@ class Execution {
   void fail(std::string message);
 
   State state() const { return state_; }
+  Engine engine() const { return engine_; }
   /// Valid when state() == kBlocked.
   const BlockInfo& block() const { return block_; }
   /// Valid when state() == kDone.
@@ -172,6 +200,10 @@ class Execution {
 
   struct Frame {
     std::uint32_t function = 0;
+    // Resume position. Source-instruction index under Engine::kReference,
+    // decoded-instruction index under Engine::kFast — never mixed: the
+    // fast engine's fall-back to reference semantics (out-of-fuel blocks)
+    // is entered only at states where no saved pc is ever re-read.
     std::uint32_t pc = 0;
     std::uint32_t locals_base = 0;
   };
@@ -179,10 +211,15 @@ class Execution {
   void push_frame(std::uint32_t function_index,
                   std::span<const std::int64_t> args);
   void finish_value(std::int64_t value);
-  void finish_trap(TrapKind kind, std::string message);
+  void finish_trap(TrapKind kind, std::string message, std::uint32_t function,
+                   std::uint32_t pc);
   std::uint64_t fuel_used() const { return instance_->limits_.fuel - fuel_; }
 
+  State step_fast();
+  State step_reference();
+
   Instance* instance_;
+  Engine engine_ = Engine::kFast;
   State state_ = State::kReady;
   RunOutcome outcome_;
   BlockInfo block_;
@@ -191,6 +228,17 @@ class Execution {
   std::vector<Frame> frames_;
   std::uint64_t fuel_ = 0;
   std::uint64_t host_calls_ = 0;
+  // Fast-engine block accounting: end (exclusive, source pc) of the basic
+  // block whose fuel was last batch-charged. A trap at source pc P inside
+  // that block refunds block_end_src_ - (P + 1) so fuel_used matches the
+  // reference engine's pay-per-instruction totals exactly.
+  std::uint64_t block_end_src_ = 0;
+  // Source position of the call_host an Execution blocked on; used so
+  // resume()/fail() traps report engine-independent trap pcs.
+  std::uint32_t block_src_pc_ = 0;
+  std::uint32_t block_src_function_ = 0;
+
+  friend struct ReferenceInterpreter;
 };
 
 }  // namespace debuglet::vm

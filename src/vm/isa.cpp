@@ -94,4 +94,13 @@ std::pair<Opcode, bool> opcode_from_name(const std::string& name) {
   return {Opcode::kNop, false};
 }
 
+const std::vector<Opcode>& all_opcodes() {
+  static const std::vector<Opcode> kAll = [] {
+    std::vector<Opcode> out;
+    for (const auto& [op, _] : names()) out.push_back(op);
+    return out;
+  }();
+  return kAll;
+}
+
 }  // namespace debuglet::vm

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace debuglet::vm {
 
@@ -83,5 +84,9 @@ std::string opcode_name(Opcode op);
 
 /// Reverse of opcode_name; returns false in .second when unknown.
 std::pair<Opcode, bool> opcode_from_name(const std::string& name);
+
+/// Every defined opcode, in enum order. The coverage audit walks this so a
+/// newly added opcode fails tests until it is exercised.
+const std::vector<Opcode>& all_opcodes();
 
 }  // namespace debuglet::vm

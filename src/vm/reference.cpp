@@ -1,0 +1,365 @@
+// Execution::step_reference — the original decode-in-the-loop switch
+// interpreter, unchanged except that every trap site now records the
+// function index and source pc of the trapping instruction. See
+// reference.hpp for why this engine stays deliberately simple.
+#include <limits>
+
+#include "vm/reference.hpp"
+
+namespace debuglet::vm {
+
+Execution::State Execution::step_reference() {
+  const ExecutionLimits& limits = instance_->limits_;
+  const Module& module = instance_->module_;
+
+  while (state_ == State::kRunning) {
+    if (frames_.empty()) {
+      finish_trap(TrapKind::kAbort, "no active frame", 0, 0);
+      break;
+    }
+    Frame& frame = frames_.back();
+    const Function& f = module.functions[frame.function];
+    const std::uint32_t at_func = frame.function;
+    const std::uint32_t at_pc = frame.pc;
+    if (frame.pc >= f.code.size()) {
+      finish_trap(TrapKind::kAbort, "fell off function body", at_func, at_pc);
+      break;
+    }
+    const Instruction ins = f.code[frame.pc];
+
+    if (fuel_ == 0) {
+      finish_trap(TrapKind::kOutOfFuel, "fuel exhausted in '" + f.name + "'",
+                  at_func, at_pc);
+      break;
+    }
+    --fuel_;
+
+    auto pop = [&](std::int64_t& out) {
+      if (stack_.empty()) return false;
+      out = stack_.back();
+      stack_.pop_back();
+      return true;
+    };
+    auto push = [&](std::int64_t v) {
+      if (stack_.size() >= limits.max_value_stack) return false;
+      stack_.push_back(v);
+      return true;
+    };
+    const auto underflow = [&] {
+      finish_trap(TrapKind::kStackUnderflow,
+                  "stack underflow at " + opcode_name(ins.op), at_func, at_pc);
+    };
+    const auto overflow = [&] {
+      finish_trap(TrapKind::kStackOverflow,
+                  "value stack overflow at " + opcode_name(ins.op), at_func,
+                  at_pc);
+    };
+
+    ++frame.pc;
+    switch (ins.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kConst:
+        if (!push(ins.imm)) overflow();
+        break;
+      case Opcode::kDrop: {
+        std::int64_t v;
+        if (!pop(v)) underflow();
+        break;
+      }
+      case Opcode::kDup: {
+        if (stack_.empty()) {
+          underflow();
+          break;
+        }
+        if (!push(stack_.back())) overflow();
+        break;
+      }
+      case Opcode::kLocalGet:
+        if (!push(locals_[frame.locals_base +
+                          static_cast<std::uint32_t>(ins.imm)]))
+          overflow();
+        break;
+      case Opcode::kLocalSet: {
+        std::int64_t v;
+        if (!pop(v)) {
+          underflow();
+          break;
+        }
+        locals_[frame.locals_base + static_cast<std::uint32_t>(ins.imm)] = v;
+        break;
+      }
+      case Opcode::kGlobalGet:
+        if (!push(instance_->globals_[static_cast<std::size_t>(ins.imm)]))
+          overflow();
+        break;
+      case Opcode::kGlobalSet: {
+        std::int64_t v;
+        if (!pop(v)) {
+          underflow();
+          break;
+        }
+        instance_->globals_[static_cast<std::size_t>(ins.imm)] = v;
+        break;
+      }
+
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDivS:
+      case Opcode::kRemS:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShrS:
+      case Opcode::kShrU:
+      case Opcode::kEq:
+      case Opcode::kNe:
+      case Opcode::kLtS:
+      case Opcode::kGtS:
+      case Opcode::kLeS:
+      case Opcode::kGeS: {
+        std::int64_t b, a;
+        if (!pop(b) || !pop(a)) {
+          underflow();
+          break;
+        }
+        std::int64_t r = 0;
+        const auto ua = static_cast<std::uint64_t>(a);
+        const auto ub = static_cast<std::uint64_t>(b);
+        bool trapped = false;
+        switch (ins.op) {
+          case Opcode::kAdd: r = static_cast<std::int64_t>(ua + ub); break;
+          case Opcode::kSub: r = static_cast<std::int64_t>(ua - ub); break;
+          case Opcode::kMul: r = static_cast<std::int64_t>(ua * ub); break;
+          case Opcode::kDivS:
+            if (b == 0) {
+              finish_trap(TrapKind::kDivideByZero, "div_s by zero", at_func,
+                          at_pc);
+              trapped = true;
+            } else if (a == std::numeric_limits<std::int64_t>::min() &&
+                       b == -1) {
+              finish_trap(TrapKind::kIntegerOverflow, "div_s overflow",
+                          at_func, at_pc);
+              trapped = true;
+            } else {
+              r = a / b;
+            }
+            break;
+          case Opcode::kRemS:
+            if (b == 0) {
+              finish_trap(TrapKind::kDivideByZero, "rem_s by zero", at_func,
+                          at_pc);
+              trapped = true;
+            } else if (a == std::numeric_limits<std::int64_t>::min() &&
+                       b == -1) {
+              r = 0;
+            } else {
+              r = a % b;
+            }
+            break;
+          case Opcode::kAnd: r = a & b; break;
+          case Opcode::kOr: r = a | b; break;
+          case Opcode::kXor: r = a ^ b; break;
+          case Opcode::kShl:
+            r = static_cast<std::int64_t>(ua << (ub & 63));
+            break;
+          case Opcode::kShrS: r = a >> (ub & 63); break;
+          case Opcode::kShrU:
+            r = static_cast<std::int64_t>(ua >> (ub & 63));
+            break;
+          case Opcode::kEq: r = a == b; break;
+          case Opcode::kNe: r = a != b; break;
+          case Opcode::kLtS: r = a < b; break;
+          case Opcode::kGtS: r = a > b; break;
+          case Opcode::kLeS: r = a <= b; break;
+          case Opcode::kGeS: r = a >= b; break;
+          default: break;
+        }
+        if (!trapped && !push(r)) overflow();
+        break;
+      }
+      case Opcode::kEqz: {
+        std::int64_t a;
+        if (!pop(a)) {
+          underflow();
+          break;
+        }
+        if (!push(a == 0 ? 1 : 0)) overflow();
+        break;
+      }
+
+      case Opcode::kLoad8:
+      case Opcode::kLoad32:
+      case Opcode::kLoad64: {
+        std::int64_t addr;
+        if (!pop(addr)) {
+          underflow();
+          break;
+        }
+        const std::uint64_t width =
+            ins.op == Opcode::kLoad8 ? 1 : ins.op == Opcode::kLoad32 ? 4 : 8;
+        const std::uint64_t base = static_cast<std::uint64_t>(addr) +
+                                   static_cast<std::uint64_t>(ins.imm);
+        if (addr < 0 || base + width > instance_->memory_.size() ||
+            base + width < base) {
+          finish_trap(TrapKind::kMemoryOutOfBounds,
+                      "load at " + std::to_string(base), at_func, at_pc);
+          break;
+        }
+        std::uint64_t v = 0;
+        for (std::uint64_t i = 0; i < width; ++i)
+          v |= static_cast<std::uint64_t>(instance_->memory_[base + i])
+               << (i * 8);
+        if (!push(static_cast<std::int64_t>(v))) overflow();
+        break;
+      }
+      case Opcode::kStore8:
+      case Opcode::kStore32:
+      case Opcode::kStore64: {
+        std::int64_t value, addr;
+        if (!pop(value) || !pop(addr)) {
+          underflow();
+          break;
+        }
+        const std::uint64_t width =
+            ins.op == Opcode::kStore8 ? 1 : ins.op == Opcode::kStore32 ? 4 : 8;
+        const std::uint64_t base = static_cast<std::uint64_t>(addr) +
+                                   static_cast<std::uint64_t>(ins.imm);
+        if (addr < 0 || base + width > instance_->memory_.size() ||
+            base + width < base) {
+          finish_trap(TrapKind::kMemoryOutOfBounds,
+                      "store at " + std::to_string(base), at_func, at_pc);
+          break;
+        }
+        for (std::uint64_t i = 0; i < width; ++i)
+          instance_->memory_[base + i] = static_cast<std::uint8_t>(
+              static_cast<std::uint64_t>(value) >> (i * 8));
+        break;
+      }
+      case Opcode::kMemSize:
+        if (!push(static_cast<std::int64_t>(instance_->memory_.size())))
+          overflow();
+        break;
+
+      case Opcode::kJump:
+        frame.pc = static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Opcode::kJumpIf: {
+        std::int64_t cond;
+        if (!pop(cond)) {
+          underflow();
+          break;
+        }
+        if (cond != 0) frame.pc = static_cast<std::uint32_t>(ins.imm);
+        break;
+      }
+      case Opcode::kJumpIfZ: {
+        std::int64_t cond;
+        if (!pop(cond)) {
+          underflow();
+          break;
+        }
+        if (cond == 0) frame.pc = static_cast<std::uint32_t>(ins.imm);
+        break;
+      }
+      case Opcode::kCall: {
+        if (frames_.size() >= limits.max_call_depth) {
+          finish_trap(TrapKind::kCallDepthExceeded, "call depth limit",
+                      at_func, at_pc);
+          break;
+        }
+        const auto callee = static_cast<std::uint32_t>(ins.imm);
+        const Function& target = module.functions[callee];
+        if (stack_.size() < target.param_count) {
+          underflow();
+          break;
+        }
+        std::vector<std::int64_t> call_args(stack_.end() - target.param_count,
+                                            stack_.end());
+        stack_.resize(stack_.size() - target.param_count);
+        push_frame(callee, call_args);
+        break;
+      }
+      case Opcode::kCallHost: {
+        const HostFunction& hf =
+            instance_->imports_[static_cast<std::size_t>(ins.imm)];
+        if (stack_.size() < hf.arity) {
+          underflow();
+          break;
+        }
+        std::vector<std::int64_t> call_args(stack_.end() - hf.arity,
+                                            stack_.end());
+        stack_.resize(stack_.size() - hf.arity);
+        if (fuel_ < limits.host_call_fuel_cost) {
+          finish_trap(TrapKind::kOutOfFuel, "fuel exhausted on host call",
+                      at_func, at_pc);
+          break;
+        }
+        fuel_ -= limits.host_call_fuel_cost;
+        ++host_calls_;
+        if (hf.async) {
+          block_ = BlockInfo{static_cast<std::uint32_t>(ins.imm), hf.name,
+                             std::move(call_args)};
+          block_src_function_ = at_func;
+          block_src_pc_ = at_pc;
+          state_ = State::kBlocked;
+          break;
+        }
+        auto result = hf.fn(*instance_, call_args);
+        if (!result) {
+          finish_trap(TrapKind::kHostError,
+                      hf.name + ": " + result.error_message(), at_func, at_pc);
+          break;
+        }
+        if (!push(*result)) overflow();
+        break;
+      }
+      case Opcode::kReturn: {
+        std::int64_t value;
+        if (!pop(value)) {
+          underflow();
+          break;
+        }
+        locals_.resize(frames_.back().locals_base);
+        frames_.pop_back();
+        if (frames_.empty()) {
+          finish_value(value);
+          break;
+        }
+        if (!push(value)) overflow();
+        break;
+      }
+      case Opcode::kAbort:
+        finish_trap(TrapKind::kAbort,
+                    "abort(" + std::to_string(ins.imm) + ") in '" + f.name +
+                        "'",
+                    at_func, at_pc);
+        break;
+    }
+  }
+  return state_;
+}
+
+RunOutcome ReferenceInterpreter::run(Instance& instance) {
+  return run_function(instance, kEntryPointName, {});
+}
+
+RunOutcome ReferenceInterpreter::run_function(
+    Instance& instance, std::string_view name,
+    std::span<const std::int64_t> args) {
+  return instance.run_function(name, args, Engine::kReference);
+}
+
+Result<Execution> ReferenceInterpreter::start(
+    Instance& instance, std::string_view function_name,
+    std::span<const std::int64_t> args) {
+  return Execution::start(instance, function_name, args, Engine::kReference);
+}
+
+Result<Execution> ReferenceInterpreter::start_entry(Instance& instance) {
+  return Execution::start_entry(instance, Engine::kReference);
+}
+
+}  // namespace debuglet::vm

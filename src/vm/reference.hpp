@@ -1,0 +1,38 @@
+// The reference DVM interpreter.
+//
+// This is the original decode-in-the-loop switch interpreter, preserved
+// verbatim as the trusted definition of DVM semantics. The fast engine
+// (vm/dispatch.hpp) must be observably indistinguishable from it;
+// tests/vm_differential_test.cpp runs both over seeded random modules and
+// asserts bit-for-bit agreement. Keep this implementation boring: no
+// superinstructions, no batching, one fuel check per instruction.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "vm/interpreter.hpp"
+
+namespace debuglet::vm {
+
+/// Convenience entry points that run with Engine::kReference. The actual
+/// loop lives in Execution::step_reference (reference.cpp); this facade
+/// exists so tests and tools can name the trusted engine explicitly.
+struct ReferenceInterpreter {
+  /// Runs the entry point to completion (async host calls trap).
+  static RunOutcome run(Instance& instance);
+
+  /// Runs an arbitrary exported function to completion.
+  static RunOutcome run_function(Instance& instance, std::string_view name,
+                                 std::span<const std::int64_t> args);
+
+  /// Prepares a suspendable reference-engine run.
+  static Result<Execution> start(Instance& instance,
+                                 std::string_view function_name,
+                                 std::span<const std::int64_t> args);
+
+  /// Prepares a suspendable reference-engine run of the entry point.
+  static Result<Execution> start_entry(Instance& instance);
+};
+
+}  // namespace debuglet::vm

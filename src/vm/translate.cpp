@@ -1,0 +1,364 @@
+#include <algorithm>
+
+#include "vm/dispatch.hpp"
+
+namespace debuglet::vm {
+
+namespace {
+
+bool is_control(Opcode op) {
+  switch (op) {
+    case Opcode::kJump:
+    case Opcode::kJumpIf:
+    case Opcode::kJumpIfZ:
+    case Opcode::kCall:
+    case Opcode::kCallHost:
+    case Opcode::kReturn:
+    case Opcode::kAbort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_comparison(Opcode op) {
+  switch (op) {
+    case Opcode::kEq:
+    case Opcode::kNe:
+    case Opcode::kLtS:
+    case Opcode::kGtS:
+    case Opcode::kLeS:
+    case Opcode::kGeS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Binary operators that can never trap regardless of operand values.
+bool is_nontrapping_binop(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShrS:
+    case Opcode::kShrU:
+      return true;
+    default:
+      return is_comparison(op);
+  }
+}
+
+// div_s/rem_s trap (or hit the INT64_MIN special case) only for divisors 0
+// and -1; any other constant divisor makes the pair fusable.
+bool is_safe_const_divisor(Opcode op, std::int64_t k) {
+  return (op == Opcode::kDivS || op == Opcode::kRemS) && k != 0 && k != -1;
+}
+
+FusedOp base_fused_op(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return FusedOp::kNop;
+    case Opcode::kConst: return FusedOp::kConst;
+    case Opcode::kDrop: return FusedOp::kDrop;
+    case Opcode::kDup: return FusedOp::kDup;
+    case Opcode::kLocalGet: return FusedOp::kLocalGet;
+    case Opcode::kLocalSet: return FusedOp::kLocalSet;
+    case Opcode::kGlobalGet: return FusedOp::kGlobalGet;
+    case Opcode::kGlobalSet: return FusedOp::kGlobalSet;
+    case Opcode::kAdd: return FusedOp::kAdd;
+    case Opcode::kSub: return FusedOp::kSub;
+    case Opcode::kMul: return FusedOp::kMul;
+    case Opcode::kDivS: return FusedOp::kDivS;
+    case Opcode::kRemS: return FusedOp::kRemS;
+    case Opcode::kAnd: return FusedOp::kAnd;
+    case Opcode::kOr: return FusedOp::kOr;
+    case Opcode::kXor: return FusedOp::kXor;
+    case Opcode::kShl: return FusedOp::kShl;
+    case Opcode::kShrS: return FusedOp::kShrS;
+    case Opcode::kShrU: return FusedOp::kShrU;
+    case Opcode::kEq: return FusedOp::kEq;
+    case Opcode::kNe: return FusedOp::kNe;
+    case Opcode::kLtS: return FusedOp::kLtS;
+    case Opcode::kGtS: return FusedOp::kGtS;
+    case Opcode::kLeS: return FusedOp::kLeS;
+    case Opcode::kGeS: return FusedOp::kGeS;
+    case Opcode::kEqz: return FusedOp::kEqz;
+    case Opcode::kLoad8: return FusedOp::kLoad8;
+    case Opcode::kLoad32: return FusedOp::kLoad32;
+    case Opcode::kLoad64: return FusedOp::kLoad64;
+    case Opcode::kStore8: return FusedOp::kStore8;
+    case Opcode::kStore32: return FusedOp::kStore32;
+    case Opcode::kStore64: return FusedOp::kStore64;
+    case Opcode::kMemSize: return FusedOp::kMemSize;
+    case Opcode::kJump: return FusedOp::kJump;
+    case Opcode::kJumpIf: return FusedOp::kJumpIf;
+    case Opcode::kJumpIfZ: return FusedOp::kJumpIfZ;
+    case Opcode::kCall: return FusedOp::kCall;
+    case Opcode::kCallHost: return FusedOp::kCallHost;
+    case Opcode::kReturn: return FusedOp::kReturn;
+    case Opcode::kAbort: return FusedOp::kAbort;
+  }
+  return FusedOp::kNop;
+}
+
+// The structural facts translation relies on. vm::validate() established
+// them already for any module an executor runs; re-checking here keeps
+// Instance::create safe for callers that skipped validation.
+Status check_function(const Module& m, const Function& f) {
+  const auto code_len = static_cast<std::int64_t>(f.code.size());
+  const auto local_total =
+      static_cast<std::int64_t>(f.param_count) + f.local_count;
+  for (std::size_t pc = 0; pc < f.code.size(); ++pc) {
+    const Instruction& ins = f.code[pc];
+    const std::string at = "translate: function '" + f.name + "' pc " +
+                           std::to_string(pc) + " (" + opcode_name(ins.op) +
+                           "): ";
+    switch (ins.op) {
+      case Opcode::kLocalGet:
+      case Opcode::kLocalSet:
+        if (ins.imm < 0 || ins.imm >= local_total)
+          return fail(at + "local index out of range");
+        break;
+      case Opcode::kGlobalGet:
+      case Opcode::kGlobalSet:
+        if (ins.imm < 0 ||
+            ins.imm >= static_cast<std::int64_t>(m.globals.size()))
+          return fail(at + "global index out of range");
+        break;
+      case Opcode::kJump:
+      case Opcode::kJumpIf:
+      case Opcode::kJumpIfZ:
+        if (ins.imm < 0 || ins.imm >= code_len)
+          return fail(at + "jump target out of range");
+        break;
+      case Opcode::kCall:
+        if (ins.imm < 0 ||
+            ins.imm >= static_cast<std::int64_t>(m.functions.size()))
+          return fail(at + "function index out of range");
+        break;
+      case Opcode::kCallHost:
+        if (ins.imm < 0 ||
+            ins.imm >= static_cast<std::int64_t>(m.host_imports.size()))
+          return fail(at + "host import index out of range");
+        break;
+      default:
+        break;
+    }
+  }
+  return ok_status();
+}
+
+struct Emitter {
+  std::vector<DecodedInst> code;
+  std::vector<std::int64_t> src2dec;  // source pc -> decoded index
+  std::vector<std::size_t> jump_sites;  // decoded indices needing fixup
+};
+
+Result<TranslatedFunction> translate_function(const Module& m,
+                                              const Function& f,
+                                              const TranslateOptions& opts) {
+  if (auto s = check_function(m, f); !s) return s.error();
+
+  const std::size_t n = f.code.size();
+  const auto& code = f.code;
+
+  // Basic-block leaders: entry, every jump target, and the instruction
+  // after any control transfer (fall-through, call return, host resume).
+  std::vector<std::uint8_t> leader(n + 1, 0);
+  if (n > 0) leader[0] = 1;
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const Opcode op = code[pc].op;
+    if (!is_control(op)) continue;
+    leader[pc + 1] = 1;
+    if (op == Opcode::kJump || op == Opcode::kJumpIf ||
+        op == Opcode::kJumpIfZ)
+      leader[static_cast<std::size_t>(code[pc].imm)] = 1;
+  }
+
+  Emitter e;
+  e.code.reserve(n + n / 4 + 2);
+  e.src2dec.assign(n + 1, -1);
+
+  std::size_t pc = 0;
+  while (pc < n) {
+    if (leader[pc]) {
+      // Block extent: up to and including the first control transfer, or
+      // up to (excluding) the next leader / end of body. The charge is the
+      // number of source instructions — fusion never changes fuel totals.
+      std::size_t end = pc + 1;
+      bool terminated = is_control(code[pc].op);
+      while (!terminated && end < n && !leader[end]) {
+        terminated = is_control(code[end].op);
+        ++end;
+      }
+      DecodedInst charge;
+      charge.op = FusedOp::kChargeFuel;
+      charge.cost = 0;
+      charge.a = static_cast<std::uint32_t>(end - pc);
+      charge.src_pc = static_cast<std::uint32_t>(pc);
+      e.src2dec[pc] = static_cast<std::int64_t>(e.code.size());
+      e.code.push_back(charge);
+    } else if (e.src2dec[pc] < 0) {
+      e.src2dec[pc] = static_cast<std::int64_t>(e.code.size());
+    }
+
+    // A fused group may not contain an interior leader: a jump landing in
+    // the middle of the group must still find its own charge entry.
+    const auto fusable = [&](std::size_t len) {
+      if (pc + len > n) return false;
+      for (std::size_t i = 1; i < len; ++i)
+        if (leader[pc + i]) return false;
+      return true;
+    };
+
+    DecodedInst d;
+    d.src_pc = static_cast<std::uint32_t>(pc);
+    std::size_t consumed = 1;
+
+    const Opcode op0 = code[pc].op;
+    if (opts.fuse && op0 == Opcode::kLocalGet && fusable(4) &&
+        code[pc + 1].op == Opcode::kConst && is_comparison(code[pc + 2].op) &&
+        (code[pc + 3].op == Opcode::kJumpIf ||
+         code[pc + 3].op == Opcode::kJumpIfZ)) {
+      // local.get i; const k; cmp; jump_if/_ifz L
+      d.op = code[pc + 3].op == Opcode::kJumpIf ? FusedOp::kFusedLocalBranchIf
+                                                : FusedOp::kFusedLocalBranchIfZ;
+      d.cost = 4;
+      d.sub = code[pc + 2].op;
+      d.a = static_cast<std::uint32_t>(code[pc].imm);
+      d.imm = code[pc + 1].imm;
+      d.target = static_cast<std::uint32_t>(code[pc + 3].imm);  // fixed later
+      e.jump_sites.push_back(e.code.size());
+      consumed = 4;
+    } else if (opts.fuse && op0 == Opcode::kLocalGet && fusable(4) &&
+               code[pc + 1].op == Opcode::kConst &&
+               is_nontrapping_binop(code[pc + 2].op) &&
+               !is_comparison(code[pc + 2].op) &&
+               code[pc + 3].op == Opcode::kLocalSet) {
+      // local.get i; const k; arith; local.set j  (the loop-counter bump)
+      d.op = FusedOp::kFusedLocalConstArithSet;
+      d.cost = 4;
+      d.sub = code[pc + 2].op;
+      d.a = static_cast<std::uint32_t>(code[pc].imm);
+      d.b = static_cast<std::uint32_t>(code[pc + 3].imm);
+      d.imm = code[pc + 1].imm;
+      consumed = 4;
+    } else if (opts.fuse && op0 == Opcode::kConst && fusable(2) &&
+               (is_nontrapping_binop(code[pc + 1].op) ||
+                is_safe_const_divisor(code[pc + 1].op, code[pc].imm))) {
+      // const k; binop
+      d.op = FusedOp::kFusedConstArith;
+      d.cost = 2;
+      d.sub = code[pc + 1].op;
+      d.imm = code[pc].imm;
+      consumed = 2;
+    } else if (opts.fuse && op0 == Opcode::kLocalGet && fusable(2) &&
+               is_nontrapping_binop(code[pc + 1].op)) {
+      // local.get i; binop
+      d.op = FusedOp::kFusedLocalArith;
+      d.cost = 2;
+      d.sub = code[pc + 1].op;
+      d.a = static_cast<std::uint32_t>(code[pc].imm);
+      consumed = 2;
+    } else {
+      // 1:1 decode with the immediate widened into its dedicated slot.
+      const Instruction& ins = code[pc];
+      d.op = base_fused_op(ins.op);
+      d.cost = 1;
+      d.imm = ins.imm;
+      switch (ins.op) {
+        case Opcode::kLocalGet:
+        case Opcode::kLocalSet:
+        case Opcode::kGlobalGet:
+        case Opcode::kGlobalSet:
+        case Opcode::kCall:
+        case Opcode::kCallHost:
+          d.a = static_cast<std::uint32_t>(ins.imm);
+          break;
+        case Opcode::kJump:
+        case Opcode::kJumpIf:
+        case Opcode::kJumpIfZ:
+          d.target = static_cast<std::uint32_t>(ins.imm);  // fixed later
+          e.jump_sites.push_back(e.code.size());
+          break;
+        default:
+          break;
+      }
+    }
+    e.code.push_back(d);
+    pc += consumed;
+  }
+
+  // Sentinel replacing the reference engine's per-iteration bounds check:
+  // falling past the body traps exactly like `pc >= code.size()` does.
+  DecodedInst fall;
+  fall.op = FusedOp::kFallOff;
+  fall.cost = 0;
+  fall.src_pc = static_cast<std::uint32_t>(n);
+  e.code.push_back(fall);
+
+  // Rewrite jump targets from source pcs to decoded indices. Targets are
+  // leaders, so they map to their block's kChargeFuel entry.
+  for (std::size_t site : e.jump_sites) {
+    const std::uint32_t src_target = e.code[site].target;
+    const std::int64_t dec = e.src2dec[src_target];
+    if (dec < 0)
+      return fail("translate: function '" + f.name +
+                  "': jump target lands inside a fused group");
+    e.code[site].target = static_cast<std::uint32_t>(dec);
+  }
+
+  TranslatedFunction out;
+  out.code = std::move(e.code);
+  return out;
+}
+
+}  // namespace
+
+Result<TranslatedModule> translate(const Module& module,
+                                   const TranslateOptions& options) {
+  TranslatedModule out;
+  out.functions.reserve(module.functions.size());
+  for (const Function& f : module.functions) {
+    auto tf = translate_function(module, f, options);
+    if (!tf) return tf.error();
+    out.functions.push_back(std::move(*tf));
+  }
+  return out;
+}
+
+std::string fused_op_name(FusedOp op) {
+  switch (op) {
+    case FusedOp::kChargeFuel: return "charge_fuel";
+    case FusedOp::kFallOff: return "fall_off";
+    case FusedOp::kFusedLocalBranchIf: return "fused.local_branch_if";
+    case FusedOp::kFusedLocalBranchIfZ: return "fused.local_branch_ifz";
+    case FusedOp::kFusedLocalConstArithSet: return "fused.local_const_arith_set";
+    case FusedOp::kFusedConstArith: return "fused.const_arith";
+    case FusedOp::kFusedLocalArith: return "fused.local_arith";
+    case FusedOp::kCount: return "invalid";
+    default:
+      break;
+  }
+  // Base ops share the source opcode's position and name.
+  for (Opcode op8 : all_opcodes())
+    if (base_fused_op(op8) == op) return opcode_name(op8);
+  return "invalid";
+}
+
+const std::vector<FusedOp>& all_fused_ops() {
+  static const std::vector<FusedOp> kAll = [] {
+    std::vector<FusedOp> out;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(FusedOp::kCount);
+         ++i)
+      out.push_back(static_cast<FusedOp>(i));
+    return out;
+  }();
+  return kAll;
+}
+
+}  // namespace debuglet::vm

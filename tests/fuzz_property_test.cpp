@@ -304,6 +304,143 @@ TEST(FuzzExecution, FuelStrictlyBoundsWork) {
   }
 }
 
+// --- Differential fuzzing: mutate, validate, run both engines -----------------
+
+// A module rich enough that single-byte mutations of its serialized form
+// frequently survive parse + validate and still exercise loops, fused
+// shapes, memory traffic, calls and host calls in the engines.
+vm::Module rich_module() {
+  vm::Module m;
+  m.memory_size = 256;
+  m.globals = {7, -1};
+  m.host_imports = {"h"};
+
+  vm::Function helper;
+  helper.name = "helper";
+  helper.param_count = 2;
+  helper.code = {{vm::Opcode::kLocalGet, 0},
+                 {vm::Opcode::kLocalGet, 1},
+                 {vm::Opcode::kAdd, 0},
+                 {vm::Opcode::kReturn, 0}};
+  m.functions.push_back(helper);
+
+  vm::Function f;
+  f.name = vm::kEntryPointName;
+  f.local_count = 2;
+  f.code = {
+      // Counter loop in the canonical fused shapes.
+      /* 0*/ {vm::Opcode::kLocalGet, 0},
+      /* 1*/ {vm::Opcode::kConst, 12},
+      /* 2*/ {vm::Opcode::kGeS, 0},
+      /* 3*/ {vm::Opcode::kJumpIf, 13},
+      /* 4*/ {vm::Opcode::kLocalGet, 1},
+      /* 5*/ {vm::Opcode::kConst, 5},
+      /* 6*/ {vm::Opcode::kMul, 0},
+      /* 7*/ {vm::Opcode::kLocalSet, 1},
+      /* 8*/ {vm::Opcode::kLocalGet, 0},
+      /* 9*/ {vm::Opcode::kConst, 1},
+      /*10*/ {vm::Opcode::kAdd, 0},
+      /*11*/ {vm::Opcode::kLocalSet, 0},
+      /*12*/ {vm::Opcode::kJump, 0},
+      // Memory traffic, an intra-module call, and a host call.
+      /*13*/ {vm::Opcode::kLocalGet, 1},
+      /*14*/ {vm::Opcode::kConst, 40},
+      /*15*/ {vm::Opcode::kStore64, 0},
+      /*16*/ {vm::Opcode::kConst, 40},
+      /*17*/ {vm::Opcode::kLoad64, 0},
+      /*18*/ {vm::Opcode::kGlobalGet, 0},
+      /*19*/ {vm::Opcode::kCall, 0},
+      /*20*/ {vm::Opcode::kCallHost, 0},
+      /*21*/ {vm::Opcode::kGlobalSet, 1},
+      /*22*/ {vm::Opcode::kGlobalGet, 1},
+      /*23*/ {vm::Opcode::kReturn, 0},
+  };
+  m.functions.push_back(f);
+  return m;
+}
+
+TEST(FuzzDifferential, MutatedModulesNeverDiverge) {
+  const vm::Module base = rich_module();
+  ASSERT_TRUE(vm::validate(base).ok());
+  const Bytes valid = base.serialize();
+
+  // Host import: logs its calls so the sequence is comparable per engine.
+  auto make_host = [](std::vector<std::int64_t>* log) {
+    return std::vector<vm::HostFunction>{
+        {"h", 1,
+         [log](vm::Instance&,
+               std::span<const std::int64_t> args) -> Result<std::int64_t> {
+           log->push_back(args[0]);
+           return static_cast<std::int64_t>(
+               static_cast<std::uint64_t>(args[0]) ^ 0x5A5Au);
+         },
+         false}};
+  };
+
+  Rng rng(0xD1FFBEEF);
+  int survived = 0, diverged = 0;
+  for (int i = 0; i < 2500; ++i) {
+    Bytes mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.index(3));
+    for (int mu = 0; mu < mutations; ++mu) {
+      switch (rng.index(3)) {
+        case 0:
+          mutated[rng.index(mutated.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.index(255));
+          break;
+        case 1:
+          mutated.resize(1 + rng.index(mutated.size()));
+          break;
+        case 2:
+          mutated.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+          break;
+      }
+    }
+    auto parsed = vm::Module::parse(BytesView(mutated.data(), mutated.size()));
+    if (!parsed.ok()) continue;
+    if (!vm::validate(*parsed).ok()) continue;
+
+    vm::ExecutionLimits limits;
+    limits.fuel = 50'000;
+    vm::ExecutionLimits nofuse = limits;
+    nofuse.fuse_superinstructions = false;
+    std::vector<std::int64_t> log_fast, log_ref, log_plain;
+    auto fast = vm::Instance::create(*parsed, make_host(&log_fast), limits);
+    auto ref = vm::Instance::create(*parsed, make_host(&log_ref), limits);
+    auto plain = vm::Instance::create(*parsed, make_host(&log_plain), nofuse);
+    // A validated module must instantiate under every engine or none.
+    ASSERT_EQ(fast.ok(), ref.ok()) << "mutant " << i;
+    ASSERT_EQ(fast.ok(), plain.ok()) << "mutant " << i;
+    if (!fast.ok()) continue;
+    ++survived;
+
+    const vm::RunOutcome of =
+        fast->run_function(vm::kEntryPointName, {}, vm::Engine::kFast);
+    const vm::RunOutcome orf =
+        ref->run_function(vm::kEntryPointName, {}, vm::Engine::kReference);
+    const vm::RunOutcome op =
+        plain->run_function(vm::kEntryPointName, {}, vm::Engine::kFast);
+    for (const vm::RunOutcome* other : {&orf, &op}) {
+      if (of.trapped != other->trapped || of.trap != other->trap ||
+          of.trap_message != other->trap_message ||
+          of.trap_pc != other->trap_pc ||
+          of.trap_function != other->trap_function ||
+          of.value != other->value || of.fuel_used != other->fuel_used ||
+          of.host_calls != other->host_calls)
+        ++diverged;
+    }
+    EXPECT_EQ(log_fast, log_ref) << "mutant " << i;
+    EXPECT_EQ(log_fast, log_plain) << "mutant " << i;
+    EXPECT_EQ(diverged, 0) << "mutant " << i << " diverged: fast={"
+                           << of.trap_message << ", v=" << of.value
+                           << ", fuel=" << of.fuel_used << "}";
+    if (diverged) break;
+  }
+  // The mutation loop must actually reach execution, not just parse.
+  EXPECT_GE(survived, 50) << "mutation corpus too weak";
+  EXPECT_EQ(diverged, 0);
+}
+
 // --- Round-trip property over random manifests -------------------------------
 
 TEST(FuzzRoundTrip, BytesWriterReaderArbitrarySequences) {

@@ -1,0 +1,227 @@
+// Opcode coverage audit.
+//
+// Walks the full Opcode enum (vm::all_opcodes) and the full decoded-op
+// enum (vm::all_fused_ops) against a fixed corpus of builder programs.
+// Adding an opcode to isa.hpp without exercising it here — or adding a
+// superinstruction the corpus never produces — fails the audit, so the
+// differential harness can never silently lose coverage of a new
+// instruction. Every corpus program is also run under both engines and
+// must agree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vm/builder.hpp"
+#include "vm/dispatch.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/reference.hpp"
+#include "vm/validator.hpp"
+
+namespace debuglet {
+namespace {
+
+using vm::Opcode;
+
+// One corpus entry: a named module exercising a cluster of opcodes.
+struct CorpusEntry {
+  std::string name;
+  vm::Module module;
+  bool needs_host = false;
+};
+
+std::vector<CorpusEntry> corpus() {
+  std::vector<CorpusEntry> out;
+
+  {  // Arithmetic and bitwise ops, plus const/dup/drop plumbing.
+    vm::ModuleBuilder mb;
+    mb.memory(64);
+    auto& fb = mb.function(vm::kEntryPointName, 0, 1);
+    fb.constant(1000).constant(7).emit(Opcode::kDivS);
+    fb.constant(13).emit(Opcode::kRemS);
+    fb.constant(3).emit(Opcode::kMul);
+    fb.constant(5).emit(Opcode::kAdd);
+    fb.constant(2).emit(Opcode::kSub);
+    fb.constant(0xFF).emit(Opcode::kAnd);
+    fb.constant(0x10).emit(Opcode::kOr);
+    fb.constant(0x3).emit(Opcode::kXor);
+    fb.constant(2).emit(Opcode::kShl);
+    fb.constant(1).emit(Opcode::kShrS);
+    fb.constant(1).emit(Opcode::kShrU);
+    fb.emit(Opcode::kDup);
+    fb.emit(Opcode::kDrop);
+    fb.emit(Opcode::kEqz);
+    fb.emit(Opcode::kNop);
+    fb.ret();
+    out.push_back({"arith", mb.build()});
+  }
+
+  {  // Comparisons, both fused (after local.get/const) and plain.
+    vm::ModuleBuilder mb;
+    mb.memory(64);
+    auto& fb = mb.function(vm::kEntryPointName, 0, 2);
+    const auto ops = {Opcode::kEq,  Opcode::kNe,  Opcode::kLtS,
+                      Opcode::kGtS, Opcode::kLeS, Opcode::kGeS};
+    for (Opcode op : ops) {
+      // Plain: both operands via dup so no fusion pattern matches.
+      fb.constant(4).emit(Opcode::kDup).emit(op).emit(Opcode::kDrop);
+      // Fused const-arith shape: const k; cmp.
+      fb.constant(9).constant(5).emit(op).emit(Opcode::kDrop);
+    }
+    fb.constant(0).ret();
+    out.push_back({"compare", mb.build()});
+  }
+
+  {  // Memory: all load/store widths plus mem.size.
+    vm::ModuleBuilder mb;
+    mb.memory(128);
+    auto& fb = mb.function(vm::kEntryPointName, 0, 0);
+    fb.constant(8).constant(0x1122334455667788).emit(Opcode::kStore64, 0);
+    fb.constant(8).constant(0xAABBCCDD).emit(Opcode::kStore32, 16);
+    fb.constant(8).constant(0x5A).emit(Opcode::kStore8, 24);
+    fb.constant(8).emit(Opcode::kLoad64, 0).emit(Opcode::kDrop);
+    fb.constant(8).emit(Opcode::kLoad32, 16).emit(Opcode::kDrop);
+    fb.constant(8).emit(Opcode::kLoad8, 24);
+    fb.emit(Opcode::kMemSize).emit(Opcode::kAdd);
+    fb.ret();
+    out.push_back({"memory", mb.build()});
+  }
+
+  {  // Locals, globals, and the fused local/const shapes the apps emit.
+    vm::ModuleBuilder mb;
+    mb.memory(64);
+    const auto g = mb.add_global(11);
+    auto& fb = mb.function(vm::kEntryPointName, 0, 2);
+    const auto top = fb.make_label();
+    const auto done = fb.make_label();
+    fb.bind(top);
+    // kFusedLocalBranchIf: local.get; const; cmp; jump_if.
+    fb.local_get(0).constant(10).emit(Opcode::kGeS).jump_if(done);
+    // kFusedLocalConstArithSet: local.get; const; arith; local.set.
+    fb.local_get(1).constant(3).emit(Opcode::kAdd).local_set(1);
+    fb.local_get(0).constant(1).emit(Opcode::kAdd).local_set(0);
+    fb.jump(top);
+    fb.bind(done);
+    const auto tail = fb.make_label();
+    // kFusedLocalBranchIfZ.
+    fb.local_get(0).constant(10).emit(Opcode::kEq).jump_ifz(tail);
+    fb.bind(tail);
+    // kFusedLocalArith: value on stack, then local.get; arith.
+    fb.global_get(g).local_get(1).emit(Opcode::kAdd);
+    fb.global_set(g);
+    fb.global_get(g).ret();
+    out.push_back({"locals_globals", mb.build()});
+  }
+
+  {  // Control: call, call_host, conditional jumps, return.
+    vm::ModuleBuilder mb;
+    mb.memory(64);
+    auto& helper = mb.function("helper", 2, 0);
+    helper.local_get(0).local_get(1).emit(Opcode::kAdd).ret();
+    auto& fb = mb.function(vm::kEntryPointName, 0, 1);
+    fb.constant(20).constant(22).call("helper");
+    fb.call_host("h_probe");
+    fb.ret();
+    out.push_back({"calls", mb.build(), true});
+  }
+
+  {  // Abort: the only trapping corpus entry (still engine-compared).
+    vm::ModuleBuilder mb;
+    mb.memory(64);
+    auto& fb = mb.function(vm::kEntryPointName, 0, 0);
+    const auto skip = fb.make_label();
+    fb.constant(1).jump_ifz(skip);
+    fb.emit(Opcode::kAbort, 42);
+    fb.bind(skip);
+    fb.constant(0).ret();
+    out.push_back({"abort", mb.build()});
+  }
+
+  return out;
+}
+
+std::vector<vm::HostFunction> corpus_hosts() {
+  return {{"h_probe", 1,
+           [](vm::Instance&, std::span<const std::int64_t> args)
+               -> Result<std::int64_t> { return args[0] + 1; },
+           false}};
+}
+
+TEST(VmCoverage, EveryOpcodeIsExercisedByTheCorpus) {
+  std::set<Opcode> seen;
+  for (const CorpusEntry& entry : corpus()) {
+    ASSERT_TRUE(vm::validate(entry.module).ok()) << entry.name;
+    for (const vm::Function& f : entry.module.functions)
+      for (const vm::Instruction& ins : f.code) seen.insert(ins.op);
+  }
+  for (Opcode op : vm::all_opcodes())
+    EXPECT_TRUE(seen.contains(op))
+        << "opcode '" << vm::opcode_name(op)
+        << "' is not exercised by the coverage corpus; extend "
+           "tests/vm_coverage_test.cpp when adding instructions";
+}
+
+TEST(VmCoverage, EveryDecodedOpIsProducedByTheCorpus) {
+  // Union of decoded ops over fused AND unfused translations: base ops
+  // that always fuse in real code still must appear somewhere unfused.
+  std::set<vm::FusedOp> produced;
+  for (const CorpusEntry& entry : corpus()) {
+    for (bool fuse : {true, false}) {
+      vm::TranslateOptions opts;
+      opts.fuse = fuse;
+      auto tm = vm::translate(entry.module, opts);
+      ASSERT_TRUE(tm.ok()) << entry.name << ": " << tm.error_message();
+      for (const vm::TranslatedFunction& tf : tm->functions)
+        for (const vm::DecodedInst& d : tf.code) produced.insert(d.op);
+    }
+  }
+  for (vm::FusedOp op : vm::all_fused_ops()) {
+    if (op == vm::FusedOp::kCount) continue;
+    EXPECT_TRUE(produced.contains(op))
+        << "decoded op '" << vm::fused_op_name(op)
+        << "' is never produced when translating the coverage corpus; "
+           "extend tests/vm_coverage_test.cpp when adding "
+           "superinstructions";
+  }
+}
+
+TEST(VmCoverage, CorpusAgreesAcrossEngines) {
+  for (const CorpusEntry& entry : corpus()) {
+    auto hosts = entry.needs_host ? corpus_hosts()
+                                  : std::vector<vm::HostFunction>{};
+    auto fast_inst = vm::Instance::create(entry.module, hosts, {});
+    auto ref_inst = vm::Instance::create(entry.module, hosts, {});
+    ASSERT_TRUE(fast_inst.ok() && ref_inst.ok()) << entry.name;
+    const vm::RunOutcome fast = fast_inst->run_function(
+        vm::kEntryPointName, {}, vm::Engine::kFast);
+    const vm::RunOutcome ref = ref_inst->run_function(
+        vm::kEntryPointName, {}, vm::Engine::kReference);
+    EXPECT_EQ(fast.trapped, ref.trapped) << entry.name;
+    EXPECT_EQ(fast.trap, ref.trap) << entry.name;
+    EXPECT_EQ(fast.trap_message, ref.trap_message) << entry.name;
+    EXPECT_EQ(fast.trap_pc, ref.trap_pc) << entry.name;
+    EXPECT_EQ(fast.value, ref.value) << entry.name;
+    EXPECT_EQ(fast.fuel_used, ref.fuel_used) << entry.name;
+    EXPECT_EQ(fast.host_calls, ref.host_calls) << entry.name;
+  }
+}
+
+// The dispatch loop's handler table and the decoded-op enum must stay in
+// lockstep; fused_op_name doubles as the existence check.
+TEST(VmCoverage, DecodedOpNamesAreDistinctAndDefined) {
+  std::set<std::string> names;
+  for (vm::FusedOp op : vm::all_fused_ops()) {
+    if (op == vm::FusedOp::kCount) continue;
+    const std::string name = vm::fused_op_name(op);
+    EXPECT_NE(name, "invalid") << static_cast<int>(op);
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate decoded-op name '" << name << "'";
+  }
+  EXPECT_TRUE(vm::dispatch_mode() == std::string("threaded") ||
+              vm::dispatch_mode() == std::string("switch"));
+}
+
+}  // namespace
+}  // namespace debuglet

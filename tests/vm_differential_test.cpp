@@ -1,0 +1,601 @@
+// Differential testing of the two DVM engines.
+//
+// The fast decode-once engine (vm/dispatch.hpp) claims to be observably
+// indistinguishable from the reference interpreter (vm/reference.hpp).
+// These tests enforce the claim the only way that scales: generate seeded
+// random valid modules through ModuleBuilder — biased toward the fusable
+// instruction shapes real Debuglets emit, but with plenty of adversarial
+// soup (stack abuse, wild addresses, division corner cases, recursion) —
+// run each under the reference engine, the fast engine, and the fast
+// engine with superinstructions disabled, and require bit-for-bit
+// agreement on every observable: return value, trap kind/message/source
+// pc/function, fuel_used, host-call count and sequence, final linear
+// memory, and final globals. Suspendable step()/resume() executions are
+// compared block-by-block. All seeds are fixed so CI is deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/reference.hpp"
+#include "vm/validator.hpp"
+
+namespace debuglet {
+namespace {
+
+using vm::Engine;
+using vm::Opcode;
+
+// One observed host call: import name + arguments.
+using HostCall = std::pair<std::string, std::vector<std::int64_t>>;
+
+// Everything observable about one finished run.
+struct Observation {
+  vm::RunOutcome outcome;
+  Bytes memory;
+  std::vector<std::int64_t> globals;
+  std::vector<HostCall> host_log;
+  // For suspendable runs: the async host calls, in suspension order.
+  std::vector<HostCall> block_log;
+};
+
+bool same_observation(const Observation& a, const Observation& b,
+                      std::string* why) {
+  const vm::RunOutcome& x = a.outcome;
+  const vm::RunOutcome& y = b.outcome;
+  auto mismatch = [&](const std::string& field) {
+    *why = field + " differs";
+    return false;
+  };
+  if (x.trapped != y.trapped) return mismatch("trapped");
+  if (x.trap != y.trap)
+    return mismatch("trap kind (" + vm::trap_name(x.trap) + " vs " +
+                    vm::trap_name(y.trap) + ")");
+  if (x.trap_message != y.trap_message)
+    return mismatch("trap message ('" + x.trap_message + "' vs '" +
+                    y.trap_message + "')");
+  if (x.trap_pc != y.trap_pc)
+    return mismatch("trap pc (" + std::to_string(x.trap_pc) + " vs " +
+                    std::to_string(y.trap_pc) + ")");
+  if (x.trap_function != y.trap_function) return mismatch("trap function");
+  if (!x.trapped && x.value != y.value)
+    return mismatch("return value (" + std::to_string(x.value) + " vs " +
+                    std::to_string(y.value) + ")");
+  if (x.fuel_used != y.fuel_used)
+    return mismatch("fuel_used (" + std::to_string(x.fuel_used) + " vs " +
+                    std::to_string(y.fuel_used) + ")");
+  if (x.host_calls != y.host_calls) return mismatch("host_calls");
+  if (a.memory != b.memory) return mismatch("final memory");
+  if (a.globals != b.globals) return mismatch("final globals");
+  if (a.host_log != b.host_log) return mismatch("host-call sequence");
+  if (a.block_log != b.block_log) return mismatch("async block sequence");
+  return true;
+}
+
+// Host functions every generated module may import. Synchronous ones
+// record their calls into `log`; h_fail returns an error; h_block is
+// async and driven by the suspendable runner.
+std::vector<vm::HostFunction> make_hosts(std::vector<HostCall>* log,
+                                         bool with_async) {
+  std::vector<vm::HostFunction> hosts;
+  hosts.push_back({"h_log", 1,
+                   [log](vm::Instance&, std::span<const std::int64_t> args)
+                       -> Result<std::int64_t> {
+                     log->emplace_back(
+                         "h_log", std::vector<std::int64_t>(args.begin(),
+                                                            args.end()));
+                     return static_cast<std::int64_t>(
+                         static_cast<std::uint64_t>(args[0]) * 2 + 1);
+                   },
+                   false});
+  hosts.push_back({"h_add2", 2,
+                   [log](vm::Instance&, std::span<const std::int64_t> args)
+                       -> Result<std::int64_t> {
+                     log->emplace_back(
+                         "h_add2", std::vector<std::int64_t>(args.begin(),
+                                                             args.end()));
+                     return static_cast<std::int64_t>(
+                         static_cast<std::uint64_t>(args[0]) +
+                         static_cast<std::uint64_t>(args[1]));
+                   },
+                   false});
+  hosts.push_back({"h_fail", 0,
+                   [log](vm::Instance&, std::span<const std::int64_t>)
+                       -> Result<std::int64_t> {
+                     log->emplace_back("h_fail",
+                                       std::vector<std::int64_t>{});
+                     return fail("deliberate host failure");
+                   },
+                   false});
+  if (with_async) {
+    hosts.push_back({"h_block", 1, nullptr, true});
+    hosts.push_back({"h_block0", 0, nullptr, true});
+  }
+  return hosts;
+}
+
+// --- Random module generation -------------------------------------------
+
+struct GenOptions {
+  bool with_async = false;
+};
+
+std::int64_t interesting_const(Rng& rng) {
+  switch (rng.index(8)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return -1;
+    case 3: return std::numeric_limits<std::int64_t>::min();
+    case 4: return std::numeric_limits<std::int64_t>::max();
+    case 5: return static_cast<std::int64_t>(rng.index(64));
+    case 6: return -static_cast<std::int64_t>(rng.index(4096));
+    default: return static_cast<std::int64_t>(rng.next_u64());
+  }
+}
+
+Opcode random_binop(Rng& rng) {
+  static const Opcode kOps[] = {
+      Opcode::kAdd,  Opcode::kSub,  Opcode::kMul, Opcode::kDivS,
+      Opcode::kRemS, Opcode::kAnd,  Opcode::kOr,  Opcode::kXor,
+      Opcode::kShl,  Opcode::kShrS, Opcode::kShrU};
+  return kOps[rng.index(std::size(kOps))];
+}
+
+Opcode random_cmp(Rng& rng) {
+  static const Opcode kOps[] = {Opcode::kEq,  Opcode::kNe,  Opcode::kLtS,
+                                Opcode::kGtS, Opcode::kLeS, Opcode::kGeS};
+  return kOps[rng.index(std::size(kOps))];
+}
+
+// Emits one function body as a sequence of fragments biased toward the
+// shapes the translator fuses, closed with `const; return`. Stack
+// discipline is intentionally not guaranteed.
+void random_body(Rng& rng, vm::FunctionBuilder& fb, std::uint32_t n_locals,
+                 std::uint32_t n_globals, std::uint32_t memory_size,
+                 const std::vector<std::string>& callees,
+                 const std::vector<std::pair<std::string, std::uint32_t>>&
+                     host_imports) {
+  const std::size_t n_fragments = 2 + rng.index(8);
+  std::vector<vm::FunctionBuilder::Label> pending;  // forward labels
+
+  const auto rand_local = [&] {
+    return static_cast<std::uint32_t>(rng.index(n_locals));
+  };
+
+  for (std::size_t frag = 0; frag < n_fragments; ++frag) {
+    switch (rng.index(10)) {
+      case 0: {  // counter loop: exercises both fused branch + arith-set
+        const std::uint32_t counter = rand_local();
+        const std::int64_t bound = static_cast<std::int64_t>(rng.index(24));
+        const auto top = fb.make_label();
+        const auto done = fb.make_label();
+        fb.bind(top);
+        fb.local_get(counter)
+            .constant(bound)
+            .emit(Opcode::kGeS)
+            .jump_if(done);
+        if (rng.chance(0.5))
+          fb.local_get(rand_local())
+              .constant(interesting_const(rng))
+              .emit(Opcode::kXor)
+              .local_set(rand_local());
+        fb.local_get(counter).constant(1).emit(Opcode::kAdd).local_set(
+            counter);
+        fb.jump(top);
+        fb.bind(done);
+        break;
+      }
+      case 1: {  // forward fused branch
+        fb.local_get(rand_local()).constant(interesting_const(rng));
+        fb.emit(random_cmp(rng));
+        const auto skip = fb.make_label();
+        if (rng.chance(0.5))
+          fb.jump_if(skip);
+        else
+          fb.jump_ifz(skip);
+        fb.constant(interesting_const(rng));
+        pending.push_back(skip);
+        break;
+      }
+      case 2:  // const-arith pair (fusable, incl. div/rem corner divisors)
+        fb.constant(interesting_const(rng)).emit(random_binop(rng));
+        break;
+      case 3:  // local-arith pair
+        fb.local_get(rand_local()).emit(random_binop(rng));
+        break;
+      case 4: {  // memory traffic, sometimes wildly out of bounds
+        const bool wild = rng.chance(0.3);
+        const std::int64_t addr =
+            wild ? interesting_const(rng)
+                 : static_cast<std::int64_t>(rng.index(memory_size));
+        const std::int64_t off =
+            static_cast<std::int64_t>(rng.index(memory_size));
+        static const Opcode kStores[] = {Opcode::kStore8, Opcode::kStore32,
+                                         Opcode::kStore64};
+        static const Opcode kLoads[] = {Opcode::kLoad8, Opcode::kLoad32,
+                                        Opcode::kLoad64};
+        fb.constant(addr)
+            .constant(interesting_const(rng))
+            .emit(kStores[rng.index(3)], off);
+        fb.constant(addr).emit(kLoads[rng.index(3)], off);
+        break;
+      }
+      case 5: {  // division corner cases on the stack (not fused)
+        fb.constant(interesting_const(rng))
+            .constant(rng.chance(0.4) ? (rng.chance(0.5) ? 0 : -1)
+                                      : interesting_const(rng))
+            .emit(rng.chance(0.5) ? Opcode::kDivS : Opcode::kRemS);
+        break;
+      }
+      case 6: {  // call (any callee; recursion bounded by depth/fuel)
+        if (callees.empty()) break;
+        const auto& name = callees[rng.index(callees.size())];
+        // Push a plausible-but-not-guaranteed number of args.
+        const std::size_t pushed = rng.index(4);
+        for (std::size_t i = 0; i < pushed; ++i)
+          fb.constant(interesting_const(rng));
+        fb.call(name);
+        break;
+      }
+      case 7: {  // host call
+        if (host_imports.empty()) break;
+        const auto& [name, arity] =
+            host_imports[rng.index(host_imports.size())];
+        for (std::uint32_t i = 0; i < arity; ++i)
+          fb.constant(interesting_const(rng));
+        fb.call_host(name);
+        break;
+      }
+      case 8: {  // globals round trip
+        if (n_globals == 0) break;
+        const auto g = static_cast<std::uint32_t>(rng.index(n_globals));
+        fb.global_get(g).constant(interesting_const(rng)).emit(Opcode::kAdd);
+        fb.global_set(g);
+        break;
+      }
+      default: {  // plain soup
+        static const Opcode kSoup[] = {
+            Opcode::kNop,  Opcode::kConst, Opcode::kDrop,    Opcode::kDup,
+            Opcode::kEqz,  Opcode::kAdd,   Opcode::kMemSize, Opcode::kSub,
+            Opcode::kShrU, Opcode::kLtS,   Opcode::kMul};
+        const std::size_t len = 1 + rng.index(6);
+        for (std::size_t i = 0; i < len; ++i) {
+          const Opcode op = kSoup[rng.index(std::size(kSoup))];
+          fb.emit(op, op == Opcode::kConst ? interesting_const(rng) : 0);
+        }
+        break;
+      }
+    }
+  }
+
+  for (auto label : pending) fb.bind(label);
+  if (rng.chance(0.1)) {
+    fb.emit(Opcode::kAbort, static_cast<std::int64_t>(rng.index(100)));
+  } else {
+    fb.constant(interesting_const(rng)).ret();
+  }
+}
+
+vm::Module random_module(Rng& rng, const GenOptions& opts) {
+  vm::ModuleBuilder mb;
+  const auto memory_size = 64 + static_cast<std::uint32_t>(rng.index(1024));
+  mb.memory(memory_size);
+  const auto n_globals = static_cast<std::uint32_t>(rng.index(4));
+  for (std::uint32_t i = 0; i < n_globals; ++i)
+    mb.add_global(interesting_const(rng));
+
+  std::vector<std::pair<std::string, std::uint32_t>> host_imports = {
+      {"h_log", 1}, {"h_add2", 2}};
+  if (rng.chance(0.15)) host_imports.push_back({"h_fail", 0});
+  if (opts.with_async) host_imports.push_back({"h_block", 1});
+
+  const std::size_t n_helpers = rng.index(3);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n_helpers; ++i)
+    names.push_back("fn" + std::to_string(i));
+
+  // Entry first: the validator requires a nullary run_debuglet.
+  {
+    const auto locals = 1 + static_cast<std::uint32_t>(rng.index(3));
+    auto& fb = mb.function(vm::kEntryPointName, 0, locals);
+    // Random soup usually traps within a few instructions; lead with a
+    // guaranteed-reachable async call so the suspendable sweep actually
+    // exercises block/resume on most seeds.
+    if (opts.with_async && rng.chance(0.7))
+      fb.constant(interesting_const(rng))
+          .call_host("h_block")
+          .local_set(0);
+    random_body(rng, fb, locals, n_globals, memory_size, names,
+                host_imports);
+  }
+  for (std::size_t i = 0; i < n_helpers; ++i) {
+    const auto params = static_cast<std::uint32_t>(rng.index(3));
+    const auto locals = 1 + static_cast<std::uint32_t>(rng.index(2));
+    auto& fb = mb.function(names[i], params, locals);
+    random_body(rng, fb, params + locals, n_globals, memory_size, names,
+                host_imports);
+  }
+  return mb.build();
+}
+
+vm::ExecutionLimits random_limits(Rng& rng) {
+  vm::ExecutionLimits limits;
+  static const std::uint64_t kFuel[] = {37, 150, 999, 5'000, 20'000};
+  static const std::uint32_t kStack[] = {8, 16, 32, 4096};
+  static const std::uint32_t kDepth[] = {3, 8, 256};
+  limits.fuel = kFuel[rng.index(std::size(kFuel))];
+  limits.max_value_stack = kStack[rng.index(std::size(kStack))];
+  limits.max_call_depth = kDepth[rng.index(std::size(kDepth))];
+  return limits;
+}
+
+// --- Runners ------------------------------------------------------------
+
+Observation run_sync(const vm::Module& m, vm::ExecutionLimits limits,
+                     Engine engine) {
+  Observation obs;
+  auto instance =
+      vm::Instance::create(m, make_hosts(&obs.host_log, false), limits);
+  EXPECT_TRUE(instance.ok()) << instance.error_message();
+  obs.outcome = instance->run_function(vm::kEntryPointName, {}, engine);
+  obs.memory = *instance->read_memory(0, instance->memory_size());
+  obs.globals.assign(instance->globals().begin(), instance->globals().end());
+  return obs;
+}
+
+// Drives a suspendable execution, resuming each async host call with a
+// value derived deterministically from its arguments and position.
+Observation run_async(const vm::Module& m, vm::ExecutionLimits limits,
+                      Engine engine) {
+  Observation obs;
+  auto instance =
+      vm::Instance::create(m, make_hosts(&obs.host_log, true), limits);
+  EXPECT_TRUE(instance.ok()) << instance.error_message();
+  auto exec = vm::Execution::start(*instance, vm::kEntryPointName, {},
+                                   engine);
+  EXPECT_TRUE(exec.ok()) << exec.error_message();
+  std::int64_t tick = 0;
+  while (exec->step() == vm::Execution::State::kBlocked) {
+    const auto& block = exec->block();
+    obs.block_log.emplace_back(block.import_name, block.args);
+    const std::uint64_t base =
+        block.args.empty() ? 0 : static_cast<std::uint64_t>(block.args[0]);
+    exec->resume(
+        static_cast<std::int64_t>(base + static_cast<std::uint64_t>(++tick)));
+  }
+  obs.outcome = exec->outcome();
+  obs.memory = *instance->read_memory(0, instance->memory_size());
+  obs.globals.assign(instance->globals().begin(), instance->globals().end());
+  return obs;
+}
+
+// --- The differential sweeps --------------------------------------------
+
+TEST(VmDifferential, SyncSeededModulesNeverDiverge) {
+  int traps = 0, finishes = 0;
+  for (std::uint64_t seed = 0; seed < 1200; ++seed) {
+    Rng rng(0xD1FF0000 + seed);
+    const vm::Module m = random_module(rng, {});
+    ASSERT_TRUE(vm::validate(m).ok())
+        << "seed " << seed << ": generator produced invalid module";
+    const vm::ExecutionLimits limits = random_limits(rng);
+
+    const Observation ref = run_sync(m, limits, Engine::kReference);
+    const Observation fast = run_sync(m, limits, Engine::kFast);
+    vm::ExecutionLimits nofuse = limits;
+    nofuse.fuse_superinstructions = false;
+    const Observation plain = run_sync(m, nofuse, Engine::kFast);
+
+    std::string why;
+    ASSERT_TRUE(same_observation(ref, fast, &why))
+        << "seed " << seed << " (fast vs reference): " << why;
+    ASSERT_TRUE(same_observation(ref, plain, &why))
+        << "seed " << seed << " (unfused fast vs reference): " << why;
+    (ref.outcome.trapped ? traps : finishes) += 1;
+  }
+  // The generator must exercise both outcome shapes heavily.
+  EXPECT_GE(traps, 100);
+  EXPECT_GE(finishes, 100);
+}
+
+TEST(VmDifferential, SuspendableSeededModulesNeverDiverge) {
+  int blocked_runs = 0;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(0xA57C0000 + seed);
+    const vm::Module m = random_module(rng, {.with_async = true});
+    ASSERT_TRUE(vm::validate(m).ok()) << "seed " << seed;
+    const vm::ExecutionLimits limits = random_limits(rng);
+
+    const Observation ref = run_async(m, limits, Engine::kReference);
+    const Observation fast = run_async(m, limits, Engine::kFast);
+
+    std::string why;
+    ASSERT_TRUE(same_observation(ref, fast, &why))
+        << "seed " << seed << " (async, fast vs reference): " << why;
+    if (!ref.block_log.empty()) ++blocked_runs;
+  }
+  EXPECT_GE(blocked_runs, 30);
+}
+
+// --- Targeted edge cases the sweeps could plausibly miss ----------------
+
+// A fused compare-and-branch whose unfused expansion would overflow the
+// value stack mid-pattern: the fast engine must report the same
+// per-instruction trap pc and message as the reference.
+TEST(VmDifferential, FusedBranchOverflowMatchesReference) {
+  for (std::uint32_t max_stack : {1u, 2u, 3u}) {
+    vm::ModuleBuilder mb;
+    mb.memory(64);
+    auto& fb = mb.function(vm::kEntryPointName, 0, 1);
+    const auto done = fb.make_label();
+    // Fill the stack with `max_stack - 1` values, then hit the pattern.
+    for (std::uint32_t i = 0; i + 1 < max_stack; ++i) fb.constant(7);
+    fb.local_get(0).constant(5).emit(Opcode::kLtS).jump_if(done);
+    fb.bind(done);
+    fb.constant(0).ret();
+    const vm::Module m = mb.build();
+    ASSERT_TRUE(vm::validate(m).ok());
+
+    vm::ExecutionLimits limits;
+    limits.max_value_stack = max_stack;
+    const Observation ref = run_sync(m, limits, Engine::kReference);
+    const Observation fast = run_sync(m, limits, Engine::kFast);
+    std::string why;
+    ASSERT_TRUE(same_observation(ref, fast, &why))
+        << "max_value_stack=" << max_stack << ": " << why;
+  }
+}
+
+// A const-arith pair executed against an empty stack must underflow at
+// the arithmetic op (second source pc), not the const.
+TEST(VmDifferential, FusedConstArithUnderflowMatchesReference) {
+  vm::ModuleBuilder mb;
+  mb.memory(64);
+  auto& fb = mb.function(vm::kEntryPointName, 0, 1);
+  fb.constant(3).emit(Opcode::kAdd);  // underflow: only one operand
+  fb.constant(0).ret();
+  const vm::Module m = mb.build();
+  ASSERT_TRUE(vm::validate(m).ok());
+
+  const Observation ref = run_sync(m, {}, Engine::kReference);
+  const Observation fast = run_sync(m, {}, Engine::kFast);
+  std::string why;
+  ASSERT_TRUE(same_observation(ref, fast, &why)) << why;
+  EXPECT_TRUE(ref.outcome.trapped);
+  EXPECT_EQ(ref.outcome.trap, vm::TrapKind::kStackUnderflow);
+  EXPECT_EQ(ref.outcome.trap_pc, 1u);  // the add, not the const
+}
+
+// Fuel exhaustion inside a batched block: the fast engine pre-charges the
+// block, so it must fall back to per-instruction accounting and report
+// the exact same fuel_used and trap pc as the reference for every
+// possible budget of an arithmetic loop.
+TEST(VmDifferential, MidBlockFuelExhaustionMatchesReference) {
+  vm::ModuleBuilder mb;
+  mb.memory(64);
+  auto& fb = mb.function(vm::kEntryPointName, 0, 2);
+  const auto top = fb.make_label();
+  const auto done = fb.make_label();
+  fb.bind(top);
+  fb.local_get(0).constant(50).emit(Opcode::kGeS).jump_if(done);
+  fb.local_get(1).local_get(0).emit(Opcode::kMul).constant(7).emit(
+      Opcode::kAdd);
+  fb.local_set(1);
+  fb.local_get(0).constant(1).emit(Opcode::kAdd).local_set(0);
+  fb.jump(top);
+  fb.bind(done);
+  fb.local_get(1).ret();
+  const vm::Module m = mb.build();
+  ASSERT_TRUE(vm::validate(m).ok());
+
+  for (std::uint64_t fuel = 0; fuel < 160; ++fuel) {
+    vm::ExecutionLimits limits;
+    limits.fuel = fuel;
+    const Observation ref = run_sync(m, limits, Engine::kReference);
+    const Observation fast = run_sync(m, limits, Engine::kFast);
+    std::string why;
+    ASSERT_TRUE(same_observation(ref, fast, &why))
+        << "fuel=" << fuel << ": " << why;
+    if (ref.outcome.trapped) {
+      EXPECT_EQ(ref.outcome.fuel_used, fuel) << "fuel=" << fuel;
+    }
+  }
+}
+
+// A mid-block memory trap must refund the unexecuted tail of the
+// batch-charged block so fuel_used matches pay-per-instruction.
+TEST(VmDifferential, MidBlockTrapRefundsBatchedFuel) {
+  vm::ModuleBuilder mb;
+  mb.memory(64);
+  auto& fb = mb.function(vm::kEntryPointName, 0, 1);
+  fb.constant(1).constant(2).emit(Opcode::kAdd);  // 3 insts execute
+  fb.constant(1 << 20).emit(Opcode::kLoad64);     // 5th inst traps
+  fb.emit(Opcode::kDrop);                         // never reached
+  fb.constant(0).ret();
+  const vm::Module m = mb.build();
+  ASSERT_TRUE(vm::validate(m).ok());
+
+  const Observation ref = run_sync(m, {}, Engine::kReference);
+  const Observation fast = run_sync(m, {}, Engine::kFast);
+  std::string why;
+  ASSERT_TRUE(same_observation(ref, fast, &why)) << why;
+  EXPECT_TRUE(fast.outcome.trapped);
+  EXPECT_EQ(fast.outcome.trap, vm::TrapKind::kMemoryOutOfBounds);
+  EXPECT_EQ(fast.outcome.fuel_used, 5u);  // not the whole block
+  EXPECT_EQ(fast.outcome.trap_pc, 4u);
+}
+
+// resume() into a full value stack must trap identically in both engines.
+// Only a zero-arity async call can block with a full stack (popping args
+// frees slots), so the module parks a value and calls h_block0.
+TEST(VmDifferential, ResumeOverflowMatchesReference) {
+  vm::ModuleBuilder mb;
+  mb.memory(64);
+  auto& fb = mb.function(vm::kEntryPointName, 0, 1);
+  fb.constant(1);  // occupies the whole (size-1) stack
+  fb.call_host("h_block0");
+  fb.emit(Opcode::kDrop);
+  fb.constant(0).ret();
+  const vm::Module m = mb.build();
+  ASSERT_TRUE(vm::validate(m).ok());
+
+  auto run_blocked = [&](Engine engine) {
+    Observation obs;
+    vm::ExecutionLimits limits;
+    limits.max_value_stack = 1;
+    auto instance =
+        vm::Instance::create(m, make_hosts(&obs.host_log, true), limits);
+    EXPECT_TRUE(instance.ok()) << instance.error_message();
+    auto exec =
+        vm::Execution::start(*instance, vm::kEntryPointName, {}, engine);
+    EXPECT_TRUE(exec.ok());
+    EXPECT_EQ(exec->step(), vm::Execution::State::kBlocked);
+    obs.block_log.emplace_back(exec->block().import_name,
+                               exec->block().args);
+    exec->resume(42);  // stack already full: traps without running code
+    EXPECT_EQ(exec->step(), vm::Execution::State::kDone);
+    obs.outcome = exec->outcome();
+    obs.memory = *instance->read_memory(0, instance->memory_size());
+    obs.globals.assign(instance->globals().begin(),
+                       instance->globals().end());
+    return obs;
+  };
+  const Observation ref = run_blocked(Engine::kReference);
+  const Observation fast = run_blocked(Engine::kFast);
+  std::string why;
+  ASSERT_TRUE(same_observation(ref, fast, &why)) << why;
+}
+
+// Globals persist on the instance; a second run through a DIFFERENT
+// engine must observe the first run's writes (the engines share all
+// instance state).
+TEST(VmDifferential, EnginesShareInstanceState) {
+  vm::ModuleBuilder mb;
+  mb.memory(64);
+  const auto g = mb.add_global(0);
+  auto& fb = mb.function(vm::kEntryPointName, 0, 0);
+  fb.global_get(g).constant(1).emit(Opcode::kAdd).global_set(g);
+  fb.global_get(g).ret();
+  const vm::Module m = mb.build();
+  ASSERT_TRUE(vm::validate(m).ok());
+
+  auto instance = vm::Instance::create(m, {}, {});
+  ASSERT_TRUE(instance.ok());
+  const auto first =
+      instance->run_function(vm::kEntryPointName, {}, Engine::kFast);
+  const auto second =
+      instance->run_function(vm::kEntryPointName, {}, Engine::kReference);
+  const auto third =
+      instance->run_function(vm::kEntryPointName, {}, Engine::kFast);
+  EXPECT_EQ(first.value, 1);
+  EXPECT_EQ(second.value, 2);
+  EXPECT_EQ(third.value, 3);
+}
+
+}  // namespace
+}  // namespace debuglet
