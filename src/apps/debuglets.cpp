@@ -69,6 +69,7 @@ vm::Module make_probe_client_debuglet() {
   FunctionBuilder& f = b.function(vm::kEntryPointName, 0, 5);
 
   const auto loop_top = f.make_label();
+  const auto recv_retry = f.make_label();
   const auto after_record = f.make_label();
   const auto done = f.make_label();
 
@@ -100,26 +101,56 @@ vm::Module make_probe_client_debuglet() {
   f.call_host("dbg_send");
   f.emit(Opcode::kDrop);
 
-  // len = dbg_recv(proto, recv_buffer, cap, timeout)
+  // Receive loop: a duplicated or reordered echo of an EARLIER probe can
+  // be sitting in the inbox, and a single recv would hand it to us here —
+  // mismatching this probe's sequence and, worse, leaving our genuine
+  // echo queued to poison the next probe the same way (one wire
+  // duplicate would cascade into losing most of the batch). So drain:
+  // stale and runt replies are discarded and the recv repeats with
+  // whatever remains of this probe's listen window.
+  f.bind(recv_retry);
+  // tmp = recv_timeout_ms - (now - t0) ms; if exhausted, count lost
+  f.call_host("dbg_now");
+  f.local_get(kT0);
+  f.emit(Opcode::kSub);
+  f.constant(1'000'000);
+  f.emit(Opcode::kDivS);
+  f.local_set(kTmp);
+  push_param(f, 5);
+  f.local_get(kTmp);
+  f.emit(Opcode::kSub);
+  f.local_set(kTmp);
+  f.local_get(kTmp);
+  f.constant(0);
+  f.emit(Opcode::kLeS);
+  f.jump_if(after_record);
+
+  // len = dbg_recv(proto, recv_buffer, cap, remaining)
   push_param(f, 0);
   f.constant(kRecvBufferOffset);
   f.constant(kBufferSize);
-  push_param(f, 5);
+  f.local_get(kTmp);
   f.call_host("dbg_recv");
   f.local_set(kLen);
 
-  // if (len < 16) goto after_record            — timeout or runt reply
+  // if (len < 0) goto after_record             — timed out, count lost
   f.local_get(kLen);
-  f.constant(16);
+  f.constant(0);
   f.emit(Opcode::kLtS);
   f.jump_if(after_record);
 
-  // if (recv_buffer.seq != i) goto after_record — stale reply, count lost
+  // if (len < 16) goto recv_retry              — runt reply, drain it
+  f.local_get(kLen);
+  f.constant(16);
+  f.emit(Opcode::kLtS);
+  f.jump_if(recv_retry);
+
+  // if (recv_buffer.seq != i) goto recv_retry  — stale echo, drain it
   f.constant(kRecvBufferOffset);
   f.emit(Opcode::kLoad64, 0);
   f.local_get(kI);
   f.emit(Opcode::kNe);
-  f.jump_if(after_record);
+  f.jump_if(recv_retry);
 
   // scratch = (seq, now - t0); dbg_output(scratch, 16)
   f.constant(kScratchOffset);
@@ -474,7 +505,12 @@ executor::Manifest base_manifest(net::Protocol protocol,
   m.peak_memory = kMemorySize;
   m.max_packets_sent =
       static_cast<std::uint32_t>(std::max<std::int64_t>(packet_budget, 0));
-  m.max_packets_received = m.max_packets_sent;
+  // The receive budget counts every packet HANDED to the sandbox, and the
+  // probe client drains stale echoes — under wire-level duplication it
+  // legitimately receives more than it sends. Budget headroom keeps a
+  // duplicated wire from being a deployment-fatal event while still
+  // bounding a flood.
+  m.max_packets_received = 4 * m.max_packets_sent + 16;
   m.allowed_addresses = {peer};
   m.capabilities = {executor::capability_for(protocol),
                     executor::Capability::kClock,

@@ -1,6 +1,7 @@
 #include "core/initiator.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "crypto/box.hpp"
 #include "util/stats.hpp"
@@ -52,16 +53,71 @@ std::string ResilientMeasurement::trace() const {
   return out;
 }
 
+SampleFilterResult filter_probe_samples(
+    std::vector<apps::MeasurementSample> samples) {
+  SampleFilterResult out;
+
+  // Dedup by sequence, keeping the smallest RTT per sequence: the first
+  // arrival of a duplicated echo carries the true clock delta; each later
+  // copy adds its duplication delay on top.
+  std::map<std::uint64_t, std::int64_t> best;
+  for (const apps::MeasurementSample& s : samples) {
+    auto [it, inserted] = best.try_emplace(s.sequence, s.delay_ns);
+    if (!inserted) {
+      ++out.duplicates_dropped;
+      it->second = std::min(it->second, s.delay_ns);
+    }
+  }
+
+  // Corrupted timestamps produce RTTs no network could: negative, or far
+  // beyond the batch median. A genuine fault delays every probe, moving
+  // the median with them — so real faults pass while damage is dropped.
+  std::vector<double> rtts;
+  rtts.reserve(best.size());
+  for (const auto& [seq, delay_ns] : best)
+    if (delay_ns > 0) rtts.push_back(static_cast<double>(delay_ns));
+  std::sort(rtts.begin(), rtts.end());
+  const double median =
+      rtts.empty() ? 0.0
+                   : (rtts.size() % 2 == 1
+                          ? rtts[rtts.size() / 2]
+                          : 0.5 * (rtts[rtts.size() / 2 - 1] +
+                                   rtts[rtts.size() / 2]));
+  const double cutoff = median * kRttOutlierFactor;
+  for (const auto& [seq, delay_ns] : best) {
+    const bool damaged =
+        delay_ns <= 0 ||
+        (rtts.size() >= 3 && static_cast<double>(delay_ns) > cutoff);
+    if (damaged) {
+      ++out.outliers_dropped;
+      continue;
+    }
+    out.kept.push_back(apps::MeasurementSample{seq, delay_ns});
+  }
+  return out;
+}
+
 Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
                                  std::size_t probes_sent) {
   auto samples = apps::decode_samples(
       BytesView(client.record.output.data(), client.record.output.size()));
   if (!samples) return samples.error();
+  SampleFilterResult filtered = filter_probe_samples(std::move(*samples));
+  if (filtered.duplicates_dropped > 0)
+    obs::registry()
+        .counter("core.probe_duplicates_dropped")
+        .add(filtered.duplicates_dropped);
+  if (filtered.outliers_dropped > 0)
+    obs::registry()
+        .counter("core.probe_outliers_dropped")
+        .add(filtered.outliers_dropped);
   RttSummary out;
   out.probes_sent = probes_sent;
-  out.probes_answered = samples->size();
+  out.probes_answered = filtered.kept.size();
+  out.duplicates_dropped = filtered.duplicates_dropped;
+  out.outliers_dropped = filtered.outliers_dropped;
   RunningStats stats;
-  for (const apps::MeasurementSample& s : *samples)
+  for (const apps::MeasurementSample& s : filtered.kept)
     stats.add(static_cast<double>(s.delay_ns) / 1e6);
   out.mean_ms = stats.mean();
   out.std_ms = stats.stddev();

@@ -90,6 +90,12 @@ struct RttSummary {
   double std_ms = 0.0;
   double min_ms = 0.0;
   double max_ms = 0.0;
+  /// Samples discarded before the statistics: repeats of an
+  /// already-answered sequence (duplicated probes or echoes) and samples
+  /// whose RTT a damaged timestamp made impossible (negative) or
+  /// implausible (far beyond the batch median).
+  std::size_t duplicates_dropped = 0;
+  std::size_t outliers_dropped = 0;
 
   double loss_rate() const {
     return probes_sent == 0
@@ -99,7 +105,31 @@ struct RttSummary {
   }
 };
 
-/// Computes the summary from a client Debuglet's certified result.
+/// A client Debuglet's raw samples after integrity filtering.
+struct SampleFilterResult {
+  std::vector<apps::MeasurementSample> kept;
+  std::size_t duplicates_dropped = 0;
+  std::size_t outliers_dropped = 0;
+};
+
+/// Cleans raw probe samples before they feed localization: deduplicates
+/// by sequence (keeping each sequence's smallest RTT — the first arrival;
+/// later repeats are duplicated echoes carrying inflated clock deltas) and
+/// drops damaged samples (negative RTTs from corrupted timestamps, and
+/// RTTs beyond kRttOutlierFactor x the batch median — a genuine link fault
+/// shifts the whole batch, so it survives this filter).
+SampleFilterResult filter_probe_samples(
+    std::vector<apps::MeasurementSample> samples);
+
+/// The median-multiple beyond which a sample is judged damaged rather
+/// than delayed. Wide enough that episode jitter never trips it.
+inline constexpr double kRttOutlierFactor = 16.0;
+
+/// Computes the summary from a client Debuglet's certified result. Raw
+/// samples pass through filter_probe_samples first, so duplicated or
+/// damaged probes cannot poison localization inputs; the counters
+/// core.probe_duplicates_dropped / core.probe_outliers_dropped record
+/// what the filter removed.
 Result<RttSummary> summarize_rtt(const executor::CertifiedResult& client,
                                  std::size_t probes_sent);
 

@@ -43,6 +43,19 @@ Result<MeasurementOutcome> FaultLocalizer::await(
   return initiator_.collect(handle);
 }
 
+simnet::LinkIntegrityStats FaultLocalizer::segment_integrity(
+    std::size_t from_hop, std::size_t to_hop) const {
+  simnet::LinkIntegrityStats total;
+  for (std::size_t i = from_hop; i < to_hop && i + 1 < path_.length(); ++i) {
+    const topology::InterfaceKey a{path_.hops[i].asn, path_.hops[i].egress};
+    const topology::InterfaceKey b{path_.hops[i + 1].asn,
+                                   path_.hops[i + 1].ingress};
+    total += system_.network().link_integrity(a, b);
+    total += system_.network().link_integrity(b, a);
+  }
+  return total;
+}
+
 bool FaultLocalizer::is_faulty(std::size_t links_crossed,
                                const RttSummary& s) const {
   if (s.probes_answered == 0) return true;  // blackhole
@@ -63,6 +76,8 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
   const topology::InterfaceKey server_key{path_.hops[to_hop].asn,
                                           path_.hops[to_hop].ingress};
   const SimTime segment_begin = system_.queue().now();
+  const simnet::LinkIntegrityStats integrity_before =
+      segment_integrity(from_hop, to_hop);
   Result<MeasurementOutcome> outcome = [&]() -> Result<MeasurementOutcome> {
     if (resilience_.use_retry) {
       ResilientRttRequest request;
@@ -113,6 +128,8 @@ Result<LocalizationStep> FaultLocalizer::measure_segment(std::size_t from_hop,
   step.summary = *summary;
   step.faulty = is_faulty(to_hop - from_hop, *summary);
   step.measured_at = system_.queue().now();
+  step.wire_integrity =
+      segment_integrity(from_hop, to_hop) - integrity_before;
   if (evidence_collector_)
     step.evidence = evidence_collector_(step, client_key, server_key);
   return step;
@@ -201,6 +218,7 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
       struct Pending {
         std::size_t link;
         MeasurementHandle handle;
+        simnet::LinkIntegrityStats integrity_before;
       };
       std::vector<Pending> pending;
       for (std::size_t link = 0; link + 1 < n; ++link) {
@@ -212,7 +230,8 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
             client_key, server_key, protocol_, probes_, interval_ms_,
             system_.queue().now());
         if (!handle) return handle.error();
-        pending.push_back(Pending{link, *handle});
+        pending.push_back(
+            Pending{link, *handle, segment_integrity(link, link + 1)});
       }
       for (const Pending& p : pending) {
         auto fetch = [&]() -> Result<RttSummary> {
@@ -245,6 +264,8 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
         }
         step.summary = *fetch;
         step.faulty = is_faulty(1, *fetch);
+        step.wire_integrity =
+            segment_integrity(p.link, p.link + 1) - p.integrity_before;
         if (evidence_collector_) {
           const topology::InterfaceKey client_key{path_.hops[p.link].asn,
                                                   path_.hops[p.link].egress};

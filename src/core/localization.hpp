@@ -40,6 +40,11 @@ struct LocalizationStep {
   /// core/remote_stats when an evidence collector is installed); rows
   /// carry the scraper's remote_host labels. Empty without a collector.
   std::vector<obs::MetricRow> evidence;
+  /// Wire faults injected on this segment's inter-domain links (both
+  /// directions, summed) WHILE this measurement ran — the per-segment
+  /// delivery-integrity evidence a chaos report correlates with the
+  /// verdict. All-zero when no LinkFaultPlan covers the segment.
+  simnet::LinkIntegrityStats wire_integrity;
 };
 
 /// §VI-D strategies.
@@ -157,6 +162,11 @@ class FaultLocalizer {
  private:
   Result<MeasurementOutcome> await(const MeasurementHandle& handle);
   bool is_faulty(std::size_t links_crossed, const RttSummary& s) const;
+  /// Cumulative injected-fault counters over the segment's inter-domain
+  /// links (both directions); sampled before/after a measurement to get
+  /// the step's wire_integrity delta.
+  simnet::LinkIntegrityStats segment_integrity(std::size_t from_hop,
+                                               std::size_t to_hop) const;
   /// measure_segment that degrades instead of failing: on error, returns
   /// a step with measured=false and records the degradation in `report`.
   LocalizationStep tolerant_segment(std::size_t from_hop, std::size_t to_hop,

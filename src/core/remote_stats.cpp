@@ -69,6 +69,19 @@ void RemoteScraper::request_chunk(std::uint16_t index) {
   });
 }
 
+void RemoteScraper::rerequest_oldest_pending() {
+  if (pending_.empty()) return;
+  const std::uint16_t index = pending_.begin()->first;
+  // The shared RetryPolicy still governs the budget: once this index has
+  // burned its attempts, leave the timeout timer to declare failure.
+  if (attempts_[index] >= config_.retry.max_attempts) return;
+  pending_.erase(index);  // invalidates the old timer's token match
+  ++report_.retries;
+  retry_obs_.retry(0);
+  obs::registry().counter("core.scrape_chunks_rereq").add();
+  request_chunk(index);
+}
+
 void RemoteScraper::fill_window() {
   // The cursor visits each index exactly once (the timeout timer owns
   // re-requests), so everything between it and the window is missing.
@@ -93,9 +106,22 @@ void RemoteScraper::on_packet(const simnet::Delivery& delivery) {
   const BytesView payload(packet.payload.data(), packet.payload.size());
   auto chunk = obs::wire::parse_chunk(payload);
   if (!chunk) {
+    // The per-chunk digest caught in-flight damage. The response carries
+    // no usable index, so re-request the oldest outstanding chunk — the
+    // one most likely to have produced this response — instead of waiting
+    // out its full timeout.
+    ++report_.corrupt_rejected;
+    obs::registry().counter("core.scrape_chunks_corrupt").add();
     DEBUGLET_LOG(kDebug, "scrape")
-        << "discarding response: " << chunk.error_message();
-    return;  // corrupted or foreign payload — the retry timer covers us
+        << "discarding corrupt response: " << chunk.error_message();
+    rerequest_oldest_pending();
+    return;
+  }
+  if (assembler_.has_chunk(chunk->index)) {
+    // Redundant retransmission (a duplicated frame, or a retry crossing
+    // its answer): note it and let the assembler verify it matches.
+    ++report_.duplicate_chunks;
+    obs::registry().counter("core.scrape_chunks_duplicate").add();
   }
   if (auto s = assembler_.add_chunk(payload); !s) {
     // A rejected chunk 0 usually means the server re-froze the snapshot

@@ -51,6 +51,13 @@ struct ScrapeReport {
   std::size_t chunks = 0;
   std::size_t requests_sent = 0;
   std::size_t retries = 0;
+  /// Responses that failed chunk parsing (in-flight corruption caught by
+  /// the per-chunk digest) — each one triggers an immediate re-request of
+  /// the oldest outstanding chunk instead of waiting out its timeout.
+  std::size_t corrupt_rejected = 0;
+  /// Redundant retransmissions of chunks already held (duplicated frames
+  /// or crossed retries); the assembler absorbs them.
+  std::size_t duplicate_chunks = 0;
   SimTime started = 0;
   SimTime finished = 0;
   std::vector<obs::MetricRow> rows;  // the decoded remote snapshot
@@ -85,6 +92,7 @@ class RemoteScraper : public simnet::Host {
 
  private:
   void request_chunk(std::uint16_t index);
+  void rerequest_oldest_pending();
   void fill_window();
   void fail_scrape(const std::string& reason);
   void complete_scrape();

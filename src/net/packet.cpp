@@ -47,7 +47,28 @@ std::uint16_t checksum_with_pseudo(const Ipv4Header& ip, std::uint8_t protocol,
   return internet_checksum(BytesView(all.data(), all.size()));
 }
 
+// Records the typed cause (when the caller asked for it) and builds the
+// human-readable error in one step, so every rejection path stays typed.
+Error reject(ParseErrorKind* kind, ParseErrorKind k, std::string message) {
+  if (kind != nullptr) *kind = k;
+  return fail(std::move(message));
+}
+
 }  // namespace
+
+const char* parse_error_name(ParseErrorKind kind) {
+  switch (kind) {
+    case ParseErrorKind::kNone: return "none";
+    case ParseErrorKind::kTruncatedHeader: return "truncated_header";
+    case ParseErrorKind::kNotIpv4: return "not_ipv4";
+    case ParseErrorKind::kOptionsUnsupported: return "options_unsupported";
+    case ParseErrorKind::kBadChecksum: return "bad_checksum";
+    case ParseErrorKind::kBadLength: return "bad_length";
+    case ParseErrorKind::kFrameTruncated: return "frame_truncated";
+    case ParseErrorKind::kUnsupportedProtocol: return "unsupported_protocol";
+  }
+  return "unknown";
+}
 
 std::uint16_t internet_checksum(BytesView data) {
   std::uint32_t sum = 0;
@@ -78,12 +99,18 @@ Bytes Ipv4Header::serialize() const {
   return out;
 }
 
-Result<Ipv4Header> Ipv4Header::parse(BytesView data) {
-  if (data.size() < kSize) return fail("IPv4 header truncated");
-  if ((data[0] >> 4) != 4) return fail("not an IPv4 packet");
-  if ((data[0] & 0x0F) != 5) return fail("IPv4 options unsupported");
+Result<Ipv4Header> Ipv4Header::parse(BytesView data, ParseErrorKind* kind) {
+  if (data.size() < kSize)
+    return reject(kind, ParseErrorKind::kTruncatedHeader,
+                  "IPv4 header truncated");
+  if ((data[0] >> 4) != 4)
+    return reject(kind, ParseErrorKind::kNotIpv4, "not an IPv4 packet");
+  if ((data[0] & 0x0F) != 5)
+    return reject(kind, ParseErrorKind::kOptionsUnsupported,
+                  "IPv4 options unsupported");
   if (internet_checksum(data.subspan(0, kSize)) != 0)
-    return fail("IPv4 header checksum mismatch");
+    return reject(kind, ParseErrorKind::kBadChecksum,
+                  "IPv4 header checksum mismatch");
   Ipv4Header h;
   h.dscp = data[1] >> 2;
   h.total_length = get_u16_be(data, 2);
@@ -92,8 +119,16 @@ Result<Ipv4Header> Ipv4Header::parse(BytesView data) {
   h.protocol = data[9];
   h.source = Ipv4Address(get_u32_be(data, 12));
   h.destination = Ipv4Address(get_u32_be(data, 16));
-  if (h.total_length < kSize || h.total_length > data.size())
-    return fail("IPv4 total length inconsistent with frame");
+  // Two distinct failure shapes hide behind "length inconsistent": a
+  // length field no header could have (field damage), and a valid header
+  // whose frame lost its tail in flight (truncation damage). Receive
+  // paths and the fuzz suite care which one happened.
+  if (h.total_length < kSize)
+    return reject(kind, ParseErrorKind::kBadLength,
+                  "IPv4 total length smaller than header");
+  if (h.total_length > data.size())
+    return reject(kind, ParseErrorKind::kFrameTruncated,
+                  "IPv4 total length exceeds frame");
   return h;
 }
 
@@ -114,14 +149,20 @@ Bytes UdpHeader::serialize(const Ipv4Header& ip, BytesView payload) const {
   return out;
 }
 
-Result<UdpHeader> UdpHeader::parse(BytesView data) {
-  if (data.size() < kSize) return fail("UDP header truncated");
+Result<UdpHeader> UdpHeader::parse(BytesView data, ParseErrorKind* kind) {
+  if (data.size() < kSize)
+    return reject(kind, ParseErrorKind::kTruncatedHeader,
+                  "UDP header truncated");
   UdpHeader h;
   h.source_port = get_u16_be(data, 0);
   h.destination_port = get_u16_be(data, 2);
   h.length = get_u16_be(data, 4);
-  if (h.length < kSize || h.length > data.size())
-    return fail("UDP length inconsistent");
+  if (h.length < kSize)
+    return reject(kind, ParseErrorKind::kBadLength,
+                  "UDP length smaller than header");
+  if (h.length > data.size())
+    return reject(kind, ParseErrorKind::kFrameTruncated,
+                  "UDP length exceeds datagram");
   return h;
 }
 
@@ -146,9 +187,13 @@ Bytes TcpHeader::serialize(const Ipv4Header& ip, BytesView payload) const {
   return out;
 }
 
-Result<TcpHeader> TcpHeader::parse(BytesView data) {
-  if (data.size() < kSize) return fail("TCP header truncated");
-  if ((data[12] >> 4) != 5) return fail("TCP options unsupported");
+Result<TcpHeader> TcpHeader::parse(BytesView data, ParseErrorKind* kind) {
+  if (data.size() < kSize)
+    return reject(kind, ParseErrorKind::kTruncatedHeader,
+                  "TCP header truncated");
+  if ((data[12] >> 4) != 5)
+    return reject(kind, ParseErrorKind::kOptionsUnsupported,
+                  "TCP options unsupported");
   TcpHeader h;
   h.source_port = get_u16_be(data, 0);
   h.destination_port = get_u16_be(data, 2);
@@ -174,12 +219,18 @@ Bytes IcmpEchoHeader::serialize(BytesView payload) const {
   return out;
 }
 
-Result<IcmpEchoHeader> IcmpEchoHeader::parse(BytesView data) {
-  if (data.size() < kSize) return fail("ICMP header truncated");
-  if (internet_checksum(data) != 0) return fail("ICMP checksum mismatch");
+Result<IcmpEchoHeader> IcmpEchoHeader::parse(BytesView data,
+                                             ParseErrorKind* kind) {
+  if (data.size() < kSize)
+    return reject(kind, ParseErrorKind::kTruncatedHeader,
+                  "ICMP header truncated");
+  if (internet_checksum(data) != 0)
+    return reject(kind, ParseErrorKind::kBadChecksum,
+                  "ICMP checksum mismatch");
   if (data[0] != kIcmpEchoRequest && data[0] != kIcmpEchoReply &&
       data[0] != kIcmpTimeExceeded)
-    return fail("unsupported ICMP type " + std::to_string(data[0]));
+    return reject(kind, ParseErrorKind::kUnsupportedProtocol,
+                  "unsupported ICMP type " + std::to_string(data[0]));
   IcmpEchoHeader h;
   h.type = data[0];
   h.identifier = get_u16_be(data, 4);
@@ -275,8 +326,8 @@ Result<Bytes> build_time_exceeded(const Packet& expired,
   return wire;
 }
 
-Result<Packet> parse_packet(BytesView wire) {
-  auto ip = Ipv4Header::parse(wire);
+Result<Packet> parse_packet(BytesView wire, ParseErrorKind* kind) {
+  auto ip = Ipv4Header::parse(wire, kind);
   if (!ip) return ip.error();
   Packet pkt;
   pkt.ip = *ip;
@@ -285,7 +336,7 @@ Result<Packet> parse_packet(BytesView wire) {
   switch (ip->protocol) {
     case static_cast<std::uint8_t>(Protocol::kUdp): {
       pkt.protocol = Protocol::kUdp;
-      auto udp = UdpHeader::parse(rest);
+      auto udp = UdpHeader::parse(rest, kind);
       if (!udp) return udp.error();
       pkt.udp = *udp;
       pkt.payload.assign(rest.begin() + UdpHeader::kSize, rest.end());
@@ -293,7 +344,7 @@ Result<Packet> parse_packet(BytesView wire) {
     }
     case static_cast<std::uint8_t>(Protocol::kTcp): {
       pkt.protocol = Protocol::kTcp;
-      auto tcp = TcpHeader::parse(rest);
+      auto tcp = TcpHeader::parse(rest, kind);
       if (!tcp) return tcp.error();
       pkt.tcp = *tcp;
       pkt.payload.assign(rest.begin() + TcpHeader::kSize, rest.end());
@@ -301,7 +352,7 @@ Result<Packet> parse_packet(BytesView wire) {
     }
     case static_cast<std::uint8_t>(Protocol::kIcmp): {
       pkt.protocol = Protocol::kIcmp;
-      auto icmp = IcmpEchoHeader::parse(rest);
+      auto icmp = IcmpEchoHeader::parse(rest, kind);
       if (!icmp) return icmp.error();
       pkt.icmp = *icmp;
       pkt.payload.assign(rest.begin() + IcmpEchoHeader::kSize, rest.end());
@@ -313,7 +364,8 @@ Result<Packet> parse_packet(BytesView wire) {
       break;
     }
     default:
-      return fail("unsupported IP protocol " + std::to_string(ip->protocol));
+      return reject(kind, ParseErrorKind::kUnsupportedProtocol,
+                    "unsupported IP protocol " + std::to_string(ip->protocol));
   }
   return pkt;
 }

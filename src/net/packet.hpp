@@ -19,6 +19,25 @@ namespace debuglet::net {
 /// RFC 1071 Internet checksum over a byte span.
 std::uint16_t internet_checksum(BytesView data);
 
+/// Why a wire buffer failed to parse. Receive paths branch on the kind
+/// (never on error strings) and export it as the `reason` label of the
+/// `net.parse_rejected` counter, so in-flight damage is visible instead of
+/// silently dropped.
+enum class ParseErrorKind : std::uint8_t {
+  kNone = 0,
+  kTruncatedHeader,      // buffer shorter than a fixed header
+  kNotIpv4,              // version nibble != 4
+  kOptionsUnsupported,   // IPv4 IHL != 5 / TCP data offset != 5
+  kBadChecksum,          // IPv4 or ICMP checksum mismatch
+  kBadLength,            // a length field is impossibly small
+  kFrameTruncated,       // valid-looking header claims more bytes than
+                         // the buffer holds (in-flight truncation)
+  kUnsupportedProtocol,  // unknown IP protocol or ICMP type
+};
+
+/// Stable label text for a kind ("frame_truncated", ...).
+const char* parse_error_name(ParseErrorKind kind);
+
 /// IPv4 header (no options; IHL = 5).
 struct Ipv4Header {
   std::uint8_t dscp = 0;
@@ -34,8 +53,10 @@ struct Ipv4Header {
   /// Serializes with a correct header checksum.
   Bytes serialize() const;
 
-  /// Parses and validates version, IHL, length, and checksum.
-  static Result<Ipv4Header> parse(BytesView data);
+  /// Parses and validates version, IHL, length, and checksum. On failure
+  /// `kind` (when non-null) receives the typed cause.
+  static Result<Ipv4Header> parse(BytesView data,
+                                  ParseErrorKind* kind = nullptr);
 };
 
 /// UDP header.
@@ -46,7 +67,8 @@ struct UdpHeader {
 
   static constexpr std::size_t kSize = 8;
   Bytes serialize(const Ipv4Header& ip, BytesView payload) const;
-  static Result<UdpHeader> parse(BytesView data);
+  static Result<UdpHeader> parse(BytesView data,
+                                 ParseErrorKind* kind = nullptr);
 };
 
 /// TCP header (20 bytes, no options). Probe packets carry a random
@@ -61,7 +83,8 @@ struct TcpHeader {
 
   static constexpr std::size_t kSize = 20;
   Bytes serialize(const Ipv4Header& ip, BytesView payload) const;
-  static Result<TcpHeader> parse(BytesView data);
+  static Result<TcpHeader> parse(BytesView data,
+                                 ParseErrorKind* kind = nullptr);
 };
 
 /// ICMP header for the message types the simulator carries: echo request
@@ -74,7 +97,8 @@ struct IcmpEchoHeader {
 
   static constexpr std::size_t kSize = 8;
   Bytes serialize(BytesView payload) const;
-  static Result<IcmpEchoHeader> parse(BytesView data);
+  static Result<IcmpEchoHeader> parse(BytesView data,
+                                      ParseErrorKind* kind = nullptr);
 };
 
 inline constexpr std::uint8_t kIcmpEchoRequest = 8;
@@ -115,8 +139,10 @@ struct ProbeSpec {
 /// too small for headers + payload or exceeds 65535.
 Result<Bytes> build_probe(const ProbeSpec& spec);
 
-/// Parses on-wire bytes into a Packet (validating all checksums).
-Result<Packet> parse_packet(BytesView wire);
+/// Parses on-wire bytes into a Packet (validating all checksums). On
+/// failure `kind` (when non-null) receives the typed cause — simnet's
+/// receive path feeds it to the `net.parse_rejected{reason}` counter.
+Result<Packet> parse_packet(BytesView wire, ParseErrorKind* kind = nullptr);
 
 /// Builds the reply a Debuglet echo server sends for `request`: source and
 /// destination swapped, ICMP type flipped to reply, payload echoed.

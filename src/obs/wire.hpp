@@ -100,6 +100,12 @@ class SnapshotAssembler {
   std::size_t expected_chunks() const { return expected_; }
   std::size_t received_chunks() const { return received_; }
 
+  /// True when chunk `index` has already been accepted — lets callers
+  /// distinguish a redundant retransmission from fresh progress.
+  bool has_chunk(std::uint16_t index) const {
+    return index < have_.size() && have_[index];
+  }
+
   /// Indices not yet received (empty before the first chunk arrives).
   std::vector<std::uint16_t> missing() const;
 

@@ -42,6 +42,27 @@ LinkModel::LinkModel(LinkConfig config, Rng rng)
   }
 }
 
+void LinkModel::install_fault_plan(LinkFaultPlan plan, Rng rng) {
+  fault_plan_ = std::move(plan);
+  fault_rng_ = rng;
+  // Cache the counters on install, not construction: links without a plan
+  // never touch the registry, and installs happen inside whatever scoped
+  // registry the scenario runs under.
+  obs::MetricsRegistry& reg = obs::registry();
+  fault_obs_.corrupted =
+      &reg.counter("simnet.wire_faults", {{"kind", "corrupt"}});
+  fault_obs_.truncated =
+      &reg.counter("simnet.wire_faults", {{"kind", "truncate"}});
+  fault_obs_.duplicated =
+      &reg.counter("simnet.wire_faults", {{"kind", "duplicate"}});
+  fault_obs_.reordered =
+      &reg.counter("simnet.wire_faults", {{"kind", "reorder"}});
+  fault_obs_.flap_dropped =
+      &reg.counter("simnet.wire_faults", {{"kind", "flap_drop"}});
+}
+
+void LinkModel::clear_fault_plan() { fault_plan_ = LinkFaultPlan{}; }
+
 const ProtocolPolicy& LinkModel::policy_for(net::Protocol p) const {
   auto it = config_.policies.find(p);
   return it != config_.policies.end() ? it->second : default_policy_;
@@ -145,7 +166,83 @@ TraverseOutcome LinkModel::traverse(net::Protocol protocol,
   }
   if (route.jitter_ms > 0.0) delay_ms += rng_.normal(0.0, route.jitter_ms);
   out.delay = duration::from_ms(std::max(delay_ms, 0.0));
+  out.copies.push_back(DeliveryCopy{out.delay, route_idx, false, false, {}});
+  if (!fault_plan_.empty()) apply_fault_plan(out, now, size_bytes);
   return out;
+}
+
+void LinkModel::apply_fault_plan(TraverseOutcome& out, SimTime now,
+                                 std::uint32_t size_bytes) {
+  // A flap outranks everything: the direction is dead, nothing crosses.
+  if (fault_plan_.flapped_at(now)) {
+    ++integrity_.flap_dropped;
+    fault_obs_.flap_dropped->add();
+    out.copies.clear();
+    out.dropped = true;
+    out.delay = 0;
+    return;
+  }
+
+  // Duplication first (per packet): extra copies then share the per-copy
+  // damage draws below, so a duplicated frame can arrive clean while its
+  // twin arrives corrupted — exactly the case dedup must survive.
+  const DuplicateSpec& dup = fault_plan_.duplication();
+  if (dup.probability_pm > 0.0 && dup.window.active_at(now) &&
+      fault_rng_.chance(dup.probability_pm / 1000.0)) {
+    const std::uint32_t extras =
+        1 + static_cast<std::uint32_t>(fault_rng_.next_below(dup.max_copies));
+    const DeliveryCopy original = out.copies.front();
+    for (std::uint32_t i = 0; i < extras; ++i) {
+      DeliveryCopy copy = original;
+      copy.duplicate = true;
+      copy.delay += duration::from_ms(
+          fault_rng_.uniform(dup.extra_delay_min_ms, dup.extra_delay_max_ms));
+      out.copies.push_back(copy);
+      ++integrity_.duplicated;
+      fault_obs_.duplicated->add();
+    }
+  }
+
+  const ReorderSpec& reorder = fault_plan_.reordering();
+  const CorruptSpec& corrupt = fault_plan_.corruption();
+  const TruncateSpec& truncate = fault_plan_.truncation();
+  for (DeliveryCopy& copy : out.copies) {
+    if (reorder.probability_pm > 0.0 && reorder.window.active_at(now) &&
+        fault_rng_.chance(reorder.probability_pm / 1000.0)) {
+      copy.delay += duration::from_ms(
+          fault_rng_.uniform(0.0, reorder.max_extra_delay_ms));
+      copy.reordered = true;
+      ++integrity_.reordered;
+      fault_obs_.reordered->add();
+    }
+    if (corrupt.probability_pm > 0.0 && corrupt.window.active_at(now) &&
+        fault_rng_.chance(corrupt.probability_pm / 1000.0)) {
+      copy.damage.kind = WireDamage::Kind::kCorrupt;
+      copy.damage.bit_flips =
+          1 +
+          static_cast<std::uint32_t>(fault_rng_.next_below(
+              corrupt.max_bit_flips));
+      copy.damage.seed = fault_rng_.next_u64();
+      ++integrity_.corrupted;
+      fault_obs_.corrupted->add();
+    }
+    // One damage kind per copy: truncation only hits still-intact copies
+    // (WireDamage carries a single kind; a chopped frame is damaged enough).
+    if (copy.damage.kind == WireDamage::Kind::kNone &&
+        truncate.probability_pm > 0.0 && truncate.window.active_at(now) &&
+        size_bytes >= 2 &&
+        fault_rng_.chance(truncate.probability_pm / 1000.0)) {
+      copy.damage.kind = WireDamage::Kind::kTruncate;
+      copy.damage.truncate_to = static_cast<std::uint32_t>(
+          1 + fault_rng_.next_below(size_bytes - 1));
+      ++integrity_.truncated;
+      fault_obs_.truncated->add();
+    }
+  }
+
+  // Keep the pre-fault-layer summary fields in sync with the primary copy.
+  out.dropped = out.copies.empty();
+  out.delay = out.dropped ? 0 : out.copies.front().delay;
 }
 
 double LinkModel::expected_delay_ms(net::Protocol protocol,

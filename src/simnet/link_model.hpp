@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/link_faults.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -104,11 +106,26 @@ struct LinkConfig {
   }
 };
 
-/// The outcome of one packet crossing one link.
+/// One copy of a frame coming off the far end of a link. A healthy
+/// crossing yields exactly one undamaged copy; a LinkFaultPlan can damage
+/// it, hold it back, or mint extra copies.
+struct DeliveryCopy {
+  SimDuration delay = 0;
+  std::size_t route = 0;
+  bool duplicate = false;  // an extra copy beyond the original
+  bool reordered = false;  // held back by a forced-reordering burst
+  WireDamage damage;       // corruption/truncation to apply to the bytes
+};
+
+/// The outcome of one packet crossing one link: zero or more delivery
+/// copies (zero = lost). `dropped`/`delay`/`route` summarize the primary
+/// copy for callers that predate the wire-fault layer; `copies` is the
+/// full story and what the network actually forwards.
 struct TraverseOutcome {
   bool dropped = false;
   SimDuration delay = 0;
   std::size_t route = 0;  // which route carried the packet (if not dropped)
+  std::vector<DeliveryCopy> copies;
 };
 
 /// Stateful directional link simulator. All stochastic state (episode
@@ -133,6 +150,17 @@ class LinkModel {
   void clear_fault() { fault_ = FaultSpec{}; }
   const FaultSpec& fault() const { return fault_; }
 
+  /// Installs (replaces) the wire-fault schedule. `rng` must be forked
+  /// from the scenario seed by the caller (SimulatedNetwork derives it
+  /// from the network seed and the link identity) so that equal-seed runs
+  /// damage the same packets the same way regardless of install order.
+  void install_fault_plan(LinkFaultPlan plan, Rng rng);
+  void clear_fault_plan();
+  const LinkFaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Running totals of wire faults this link has injected.
+  const LinkIntegrityStats& integrity() const { return integrity_; }
+
   const LinkConfig& config() const { return config_; }
 
   /// Mean delay this link would add for a protocol right now, faults and
@@ -149,6 +177,8 @@ class LinkModel {
   void advance_shift(SimTime now);
   std::size_t select_route(const ProtocolPolicy& policy,
                            std::uint64_t flow_hash);
+  void apply_fault_plan(TraverseOutcome& out, SimTime now,
+                        std::uint32_t size_bytes);
 
   LinkConfig config_;
   Rng rng_;
@@ -159,6 +189,19 @@ class LinkModel {
   std::map<std::uint64_t, std::size_t> flow_pins_;
   std::uint64_t pin_epoch_ = 0;  // flows re-pin after each route shift
   FaultSpec fault_;
+  LinkFaultPlan fault_plan_;
+  Rng fault_rng_{0};  // replaced on install; untouched while plan empty
+  LinkIntegrityStats integrity_;
+  // Registry counters mirroring `integrity_` (shared across links via the
+  // kind label; all no-op while obs is disabled).
+  struct WireFaultObs {
+    obs::Counter* corrupted = nullptr;
+    obs::Counter* truncated = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* reordered = nullptr;
+    obs::Counter* flap_dropped = nullptr;
+  };
+  WireFaultObs fault_obs_;
 };
 
 }  // namespace debuglet::simnet

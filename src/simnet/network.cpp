@@ -39,7 +39,7 @@ std::uint64_t flow_hash_of(const net::Packet& packet) {
 SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
                                    topology::Topology topology,
                                    std::uint64_t seed)
-    : queue_(queue), topology_(std::move(topology)), rng_(seed) {
+    : queue_(queue), topology_(std::move(topology)), rng_(seed), seed_(seed) {
   obs::MetricsRegistry& reg = obs::registry();
   for (net::Protocol p : net::kAllProtocols) {
     const obs::Labels labels{{"proto", net::protocol_name(p)}};
@@ -154,6 +154,42 @@ Status SimulatedNetwork::clear_fault(topology::InterfaceKey from,
                 to.to_string());
   it->second->clear_fault();
   return ok_status();
+}
+
+Status SimulatedNetwork::install_link_faults(topology::InterfaceKey from,
+                                             topology::InterfaceKey to,
+                                             LinkFaultPlan plan) {
+  auto it = links_.find({from, to});
+  if (it == links_.end())
+    return fail("no configured link " + from.to_string() + " -> " +
+                to.to_string());
+  // The fault stream forks from the scenario seed and the link identity
+  // alone (never from rng_, whose state depends on traffic so far), so
+  // equal-seed runs damage identically no matter when plans are installed.
+  const std::uint64_t label = (static_cast<std::uint64_t>(from.asn) << 32) ^
+                              (static_cast<std::uint64_t>(from.interface)
+                               << 16) ^
+                              to.asn ^
+                              (static_cast<std::uint64_t>(to.interface) << 48);
+  it->second->install_fault_plan(std::move(plan),
+                                 Rng(seed_).fork(label ^ 0xFA177ULL));
+  return ok_status();
+}
+
+Status SimulatedNetwork::clear_link_faults(topology::InterfaceKey from,
+                                           topology::InterfaceKey to) {
+  auto it = links_.find({from, to});
+  if (it == links_.end())
+    return fail("no configured link " + from.to_string() + " -> " +
+                to.to_string());
+  it->second->clear_fault_plan();
+  return ok_status();
+}
+
+LinkIntegrityStats SimulatedNetwork::link_integrity(
+    topology::InterfaceKey from, topology::InterfaceKey to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? LinkIntegrityStats{} : it->second->integrity();
 }
 
 Status SimulatedNetwork::install_host_faults(net::Ipv4Address address,
@@ -277,7 +313,6 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   const std::uint64_t flow = flow_hash_of(packet);
   const SimTime sent_at = queue_.now();
   double total_delay_ms = 0.0;
-  bool dropped = false;
 
   // Host-level faults (chaos layer): a crashed sender is off and a
   // silenced one never gets its packets onto the wire. Either way the
@@ -304,37 +339,76 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   // decrements the TTL; packets that hit zero before the final hop expire
   // at that border router, which may answer with ICMP time exceeded per
   // its AS's policy (enabling — and rate-limiting — traceroute).
-  std::uint8_t ttl = packet.ip.ttl;
-  for (std::size_t i = 0; i + 1 < path.hops.size() && !dropped; ++i) {
-    const auto [from, to] = path.link_after(i);
-    auto it = links_.find({from, to});
-    if (it == links_.end())
-      return fail("send: unconfigured link " + from.to_string() + " -> " +
-                  to.to_string());
-    const TraverseOutcome out = it->second->traverse(
-        protocol, flow, sent_at, packet.ip.source, packet.ip.destination,
-        packet.ip.total_length);
-    if (out.dropped) {
-      dropped = true;
-      break;
-    }
-    obs_.link_delay_ms->record(duration::to_ms(out.delay));
-    total_delay_ms += duration::to_ms(out.delay);
-    if (ttl > 0) --ttl;
-    if (ttl == 0 && i + 2 < path.hops.size()) {
-      // Expired at the ingress border router of hops[i+1].
-      expire_with_time_exceeded(packet, path.hops[i + 1], to, total_delay_ms);
-      ++stats_.dropped[protocol];
-      obs_.dropped[proto_index(protocol)]->add();
-      return ok_status();
-    }
-  }
+  //
+  // A link's fault plan can mint extra copies of a frame, so the walk is a
+  // worklist: each copy continues through the remaining links with its own
+  // delay, TTL and accumulated damage. The healthy case stays a single
+  // pass with the exact RNG draw order the pre-fault-layer code used.
+  std::vector<TransitCopy> work;
+  work.push_back(TransitCopy{0, total_delay_ms, packet.ip.ttl, {}});
+  std::size_t copies_emitted = 1;
+  constexpr std::size_t kMaxCopies = 16;  // duplication fan-out bound
 
-  // Intra-AS transit applies only to ASes the packet crosses border to
-  // border. Endpoints (hosts and border-router executors) do not traverse
-  // their own AS interior — this is what lets an executor pair at the two
-  // ends of an inter-domain link measure just that link (paper Fig. 6).
-  if (!dropped) {
+  while (!work.empty()) {
+    TransitCopy cur = std::move(work.back());
+    work.pop_back();
+    double delay_ms = cur.delay_ms;
+    std::uint8_t ttl = cur.ttl;
+    std::vector<WireDamage> damages = std::move(cur.damages);
+    bool consumed = false;  // dropped or expired mid-path
+
+    for (std::size_t i = cur.next_link; i + 1 < path.hops.size(); ++i) {
+      const auto [from, to] = path.link_after(i);
+      auto it = links_.find({from, to});
+      if (it == links_.end())
+        return fail("send: unconfigured link " + from.to_string() + " -> " +
+                    to.to_string());
+      const TraverseOutcome out = it->second->traverse(
+          protocol, flow, sent_at, packet.ip.source, packet.ip.destination,
+          packet.ip.total_length);
+      if (out.copies.empty()) {
+        ++stats_.dropped[protocol];
+        obs_.dropped[proto_index(protocol)]->add();
+        consumed = true;
+        break;
+      }
+      const std::uint8_t next_ttl = ttl > 0 ? ttl - 1 : 0;
+      // Extra copies fork off here and continue from the next link with
+      // their own delay and damage; the primary copy continues in-line.
+      for (std::size_t c = 1; c < out.copies.size(); ++c) {
+        if (copies_emitted >= kMaxCopies) break;
+        const DeliveryCopy& extra = out.copies[c];
+        TransitCopy forked;
+        forked.next_link = i + 1;
+        forked.delay_ms = delay_ms + duration::to_ms(extra.delay);
+        forked.ttl = next_ttl;
+        forked.damages = damages;
+        if (extra.damage.damaged()) forked.damages.push_back(extra.damage);
+        work.push_back(std::move(forked));
+        ++copies_emitted;
+      }
+      const DeliveryCopy& primary = out.copies.front();
+      obs_.link_delay_ms->record(duration::to_ms(primary.delay));
+      delay_ms += duration::to_ms(primary.delay);
+      if (primary.damage.damaged()) damages.push_back(primary.damage);
+      ttl = next_ttl;
+      if (ttl == 0 && i + 2 < path.hops.size()) {
+        // Expired at the ingress border router of hops[i+1].
+        expire_with_time_exceeded(packet, path.hops[i + 1], to, delay_ms);
+        ++stats_.dropped[protocol];
+        obs_.dropped[proto_index(protocol)]->add();
+        consumed = true;
+        break;
+      }
+    }
+    if (consumed) continue;  // other copies (if any) still run
+
+    // Intra-AS transit applies only to ASes the packet crosses border to
+    // border. Endpoints (hosts and border-router executors) do not
+    // traverse their own AS interior — this is what lets an executor pair
+    // at the two ends of an inter-domain link measure just that link
+    // (paper Fig. 6). Each surviving copy draws its own transit jitter.
+    bool dropped = false;
     for (std::size_t i = 1; i + 1 < path.hops.size(); ++i) {
       const topology::PathHop& hop = path.hops[i];
       auto it = transit_.find(hop.asn);
@@ -346,16 +420,24 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
       }
       double d = cfg.delay_ms;
       if (cfg.jitter_ms > 0.0) d += std::abs(rng_.normal(0.0, cfg.jitter_ms));
-      total_delay_ms += d;
+      delay_ms += d;
     }
+    if (dropped) {
+      ++stats_.dropped[protocol];
+      obs_.dropped[proto_index(protocol)]->add();
+      continue;  // loss is a silent network outcome, not an error
+    }
+    schedule_delivery(packet, wire, damages, path, sent_at, delay_ms);
   }
+  return ok_status();
+}
 
-  if (dropped) {
-    ++stats_.dropped[protocol];
-    obs_.dropped[proto_index(protocol)]->add();
-    return ok_status();  // loss is a silent network outcome, not an error
-  }
-
+void SimulatedNetwork::schedule_delivery(const net::Packet& packet,
+                                         const Bytes& wire,
+                                         const std::vector<WireDamage>& damages,
+                                         const topology::AsPath& path,
+                                         SimTime sent_at, double delay_ms) {
+  const net::Protocol protocol = packet.protocol;
   auto host_it = hosts_.find(packet.ip.destination);
   if (host_it == hosts_.end()) {
     // No listener: the packet blackholes at the destination. Counted as a
@@ -364,7 +446,7 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     obs_.dropped[proto_index(protocol)]->add();
     DEBUGLET_LOG(kDebug, "simnet")
         << "no host at " << packet.ip.destination.to_string();
-    return ok_status();
+    return;
   }
 
   // The receiver's intra-AS access stub.
@@ -372,7 +454,7 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     const AccessConfig& access = host_it->second.access;
     double d = access.delay_ms;
     if (access.jitter_ms > 0.0) d += rng_.normal(0.0, access.jitter_ms);
-    total_delay_ms += std::max(d, 0.0);
+    delay_ms += std::max(d, 0.0);
   }
 
   Host* host = host_it->second.host;
@@ -380,35 +462,64 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   // A slow destination adds its service delay, evaluated at the nominal
   // arrival instant (the fault window that matters is the one the packet
   // lands in, not the one it was sent in).
-  total_delay_ms +=
-      host_fault_state(dst, sent_at + duration::from_ms(total_delay_ms))
-          .extra_delay_ms;
-  Delivery delivery{std::move(packet), sent_at, 0, path};
-  const SimDuration delay = duration::from_ms(total_delay_ms);
-  queue_.schedule_after(delay, [this, host, dst,
-                                d = std::move(delivery)]() mutable {
+  delay_ms += host_fault_state(dst, sent_at + duration::from_ms(delay_ms))
+                  .extra_delay_ms;
+  const SimDuration delay = duration::from_ms(delay_ms);
+
+  // Damaged copies carry their wire bytes and are re-parsed at arrival —
+  // the receive path, not the sender, discovers in-flight damage. The
+  // rejection is typed and counted, never silent.
+  std::optional<Bytes> damaged_wire;
+  if (!damages.empty()) {
+    damaged_wire = wire;
+    for (const WireDamage& d : damages) apply_wire_damage(*damaged_wire, d);
+  }
+
+  queue_.schedule_after(delay, [this, host, dst, protocol, sent_at, path,
+                                pkt = packet,
+                                dw = std::move(damaged_wire)]() mutable {
     // Hosts may detach while packets are in flight; deliver only if the
     // same host is still attached.
     auto it = hosts_.find(dst);
     if (it == hosts_.end() || it->second.host != host) {
-      ++stats_.dropped[d.packet.protocol];
-      obs_.dropped[proto_index(d.packet.protocol)]->add();
+      ++stats_.dropped[protocol];
+      obs_.dropped[proto_index(protocol)]->add();
       return;
     }
     // A destination that crashed while the packet was in flight drops it
     // at arrival. Silenced hosts still receive — they just never answer.
     if (host_fault_state(dst, queue_.now()).crashed()) {
-      ++stats_.dropped[d.packet.protocol];
-      obs_.dropped[proto_index(d.packet.protocol)]->add();
+      ++stats_.dropped[protocol];
+      obs_.dropped[proto_index(protocol)]->add();
       obs_.host_fault_ingress_drops->add();
       return;
     }
-    d.received_at = queue_.now();
+    Delivery d{std::move(pkt), sent_at, queue_.now(), path};
+    if (dw.has_value()) {
+      net::ParseErrorKind kind = net::ParseErrorKind::kNone;
+      auto reparsed =
+          net::parse_packet(BytesView(dw->data(), dw->size()), &kind);
+      if (!reparsed) {
+        ++stats_.dropped[protocol];
+        obs_.dropped[proto_index(protocol)]->add();
+        obs::registry()
+            .counter("net.parse_rejected",
+                     {{"reason", net::parse_error_name(kind)}})
+            .add();
+        DEBUGLET_LOG(kDebug, "simnet")
+            << "damaged frame rejected at " << dst.to_string() << ": "
+            << reparsed.error_message();
+        return;
+      }
+      // Damage the checksums cannot see (e.g. UDP payload bits) arrives
+      // as-is: application layers must defend themselves (obs/wire
+      // digests, probe-sample filtering).
+      d.packet = std::move(*reparsed);
+    }
     ++stats_.delivered[d.packet.protocol];
     obs_.delivered[proto_index(d.packet.protocol)]->add();
     host->on_packet(d);
   });
-  return ok_status();
 }
 
 }  // namespace debuglet::simnet

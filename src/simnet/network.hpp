@@ -127,6 +127,21 @@ class SimulatedNetwork {
                       const FaultSpec& fault);
   Status clear_fault(topology::InterfaceKey from, topology::InterfaceKey to);
 
+  /// Installs (replaces) a wire-fault schedule on one direction of a
+  /// configured link. The plan's RNG derives from the network seed and the
+  /// link identity, so equal-seed scenarios damage identically regardless
+  /// of install order — `--check-determinism` holds under link chaos.
+  Status install_link_faults(topology::InterfaceKey from,
+                             topology::InterfaceKey to, LinkFaultPlan plan);
+  Status clear_link_faults(topology::InterfaceKey from,
+                           topology::InterfaceKey to);
+
+  /// Wire-fault totals injected so far on one direction (zeroes when the
+  /// link is unconfigured) — per-segment delivery-integrity evidence for
+  /// the localizer.
+  LinkIntegrityStats link_integrity(topology::InterfaceKey from,
+                                    topology::InterfaceKey to) const;
+
   /// Installs a node-level fault schedule for the host at `address`
   /// (replacing any previous plan). The address's AS must exist; the host
   /// itself need not be attached yet — plans outlive attach/detach cycles.
@@ -158,9 +173,23 @@ class SimulatedNetwork {
                                  topology::InterfaceKey router,
                                  double forward_delay_ms);
 
+  /// One in-flight copy of a frame during the path walk: where it is,
+  /// what it has accumulated, and how it has been damaged so far.
+  struct TransitCopy {
+    std::size_t next_link = 0;
+    double delay_ms = 0.0;
+    std::uint8_t ttl = 0;
+    std::vector<WireDamage> damages;
+  };
+  void schedule_delivery(const net::Packet& packet, const Bytes& wire,
+                         const std::vector<WireDamage>& damages,
+                         const topology::AsPath& path, SimTime sent_at,
+                         double delay_ms);
+
   EventQueue& queue_;
   topology::Topology topology_;
   Rng rng_;
+  const std::uint64_t seed_;  // scenario seed; link-fault RNGs derive here
   std::map<DirectedKey, std::unique_ptr<LinkModel>> links_;
   std::map<topology::AsNumber, TransitConfig> transit_;
   std::map<topology::AsNumber, IcmpReplyPolicy> icmp_policies_;

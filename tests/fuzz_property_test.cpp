@@ -10,7 +10,15 @@
 //    identically.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "crypto/schnorr.hpp"
+#include "executor/manifest.hpp"
+#include "executor/result.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/wire.hpp"
+#include "simnet/link_faults.hpp"
 #include "util/rng.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/validator.hpp"
@@ -439,6 +447,232 @@ TEST(FuzzDifferential, MutatedModulesNeverDiverge) {
   // The mutation loop must actually reach execution, not just parse.
   EXPECT_GE(survived, 50) << "mutation corpus too weak";
   EXPECT_EQ(diverged, 0);
+}
+
+// --- Structure-aware wire-parser fuzzing (the link-chaos corpus) --------------
+//
+// Rather than pure random bytes, these passes damage REAL wire frames the
+// way the simnet link-fault layer does (bit flips, truncation) plus codec-
+// shaped mutations (splices, junk tails). Every parser on the receive path
+// must reject cleanly — typed, no crash, no silent acceptance — because
+// under link chaos these exact inputs arrive in production paths.
+// CI's fuzz-smoke job raises the iteration counts via DEBUGLET_FUZZ_SCALE.
+
+int fuzz_iterations(int base) {
+  const char* scale = std::getenv("DEBUGLET_FUZZ_SCALE");
+  if (scale == nullptr) return base;
+  const long factor = std::strtol(scale, nullptr, 10);
+  return factor > 1 ? base * static_cast<int>(factor) : base;
+}
+
+// Damages a frame the way LinkFaultPlan does, plus two codec-shaped
+// mutations the wire layer cannot produce but a hostile AS could.
+Bytes link_damage(Rng& rng, const Bytes& valid) {
+  Bytes out = valid;
+  switch (rng.index(4)) {
+    case 0: {  // corruption: the real chaos mutator
+      simnet::WireDamage damage;
+      damage.kind = simnet::WireDamage::Kind::kCorrupt;
+      damage.seed = rng.next_u64();
+      damage.bit_flips = 1 + static_cast<std::uint32_t>(rng.index(8));
+      simnet::apply_wire_damage(out, damage);
+      break;
+    }
+    case 1: {  // truncation: the real chaos mutator
+      simnet::WireDamage damage;
+      damage.kind = simnet::WireDamage::Kind::kTruncate;
+      damage.truncate_to = static_cast<std::uint32_t>(1 + rng.index(out.size()));
+      simnet::apply_wire_damage(out, damage);
+      break;
+    }
+    case 2: {  // splice a random run of bytes into the middle
+      const std::size_t at = rng.index(out.size());
+      const std::size_t len = 1 + rng.index(16);
+      Bytes junk(len);
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(),
+                 junk.end());
+      break;
+    }
+    case 3:  // junk tail
+      out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      break;
+  }
+  return out;
+}
+
+TEST(FuzzWireParsers, DamagedProbesRejectTypedOrParse) {
+  // Corpus: real build_probe output across all four probe protocols and a
+  // spread of payload shapes — what actually crosses faulted links.
+  std::vector<Bytes> corpus;
+  int sequence = 0;
+  for (const net::Protocol protocol :
+       {net::Protocol::kUdp, net::Protocol::kTcp, net::Protocol::kIcmp,
+        net::Protocol::kRawIp}) {
+    for (const std::uint16_t equalized : {std::uint16_t{0}, std::uint16_t{64},
+                                          std::uint16_t{120}}) {
+      net::ProbeSpec spec;
+      spec.protocol = protocol;
+      spec.source = net::Ipv4Address(10, 0, 1, 200);
+      spec.destination = net::Ipv4Address(10, 0, 2, 200);
+      spec.source_port = 1000;
+      spec.destination_port = 2000;
+      spec.sequence = static_cast<std::uint16_t>(++sequence);
+      spec.tcp_sequence = 0xC0FFEE;
+      spec.payload = bytes_of("0123456789abcdef");
+      spec.equalized_length = equalized;
+      auto wire = net::build_probe(spec);
+      ASSERT_TRUE(wire.ok()) << protocol_name(protocol);
+      ASSERT_TRUE(
+          net::parse_packet(BytesView(wire->data(), wire->size())).ok());
+      corpus.push_back(std::move(*wire));
+    }
+  }
+
+  Rng rng(0x11CAFE);
+  int rejected = 0, typed = 0;
+  const int iterations = fuzz_iterations(4000);
+  for (int i = 0; i < iterations; ++i) {
+    const Bytes mutated = link_damage(rng, corpus[rng.index(corpus.size())]);
+    net::ParseErrorKind kind = net::ParseErrorKind::kNone;
+    auto parsed =
+        net::parse_packet(BytesView(mutated.data(), mutated.size()), &kind);
+    if (!parsed.ok()) {
+      ++rejected;
+      // Every rejection must carry a typed reason — the receive path keys
+      // its net.parse_rejected counter off it.
+      EXPECT_NE(kind, net::ParseErrorKind::kNone) << parsed.error_message();
+      EXPECT_STRNE(net::parse_error_name(kind), "none");
+      if (kind != net::ParseErrorKind::kNone) ++typed;
+    }
+  }
+  EXPECT_GT(rejected, iterations / 4) << "mutator too gentle to mean much";
+  EXPECT_EQ(typed, rejected);
+}
+
+TEST(FuzzWireParsers, DamagedSnapshotsNeverDecodeSilently) {
+  // A realistic metrics snapshot, chunked exactly as RemoteScraper ships
+  // it, then damaged in flight.
+  std::vector<obs::MetricRow> rows;
+  for (int i = 0; i < 24; ++i) {
+    obs::MetricRow row;
+    row.name = "fuzz.metric_" + std::to_string(i % 6);
+    row.labels = {{"shard", std::to_string(i)}};
+    row.value = static_cast<double>(i * 37);
+    rows.push_back(row);
+  }
+  const Bytes encoded = obs::wire::encode_snapshot(rows);
+  ASSERT_TRUE(obs::wire::decode_snapshot(BytesView(encoded.data(), encoded.size()))
+                  .ok());
+  const std::size_t chunks =
+      obs::wire::chunk_count(encoded.size(), obs::wire::kDefaultChunkPayload);
+
+  Rng rng(0x0B5C);
+  const int iterations = fuzz_iterations(2500);
+  for (int i = 0; i < iterations; ++i) {
+    if (i % 2 == 0) {
+      // Whole-snapshot damage: the digest must catch any change.
+      const Bytes mutated = link_damage(rng, encoded);
+      if (mutated == encoded) continue;
+      auto decoded =
+          obs::wire::decode_snapshot(BytesView(mutated.data(), mutated.size()));
+      EXPECT_FALSE(decoded.ok())
+          << "damaged snapshot decoded silently at iteration " << i;
+    } else {
+      // Per-chunk damage: parse_chunk rejects or yields a bounded header.
+      auto chunk = obs::wire::build_chunk(BytesView(encoded.data(), encoded.size()),
+                                    rng.index(chunks),
+                                    obs::wire::kDefaultChunkPayload);
+      ASSERT_TRUE(chunk.ok());
+      const Bytes mutated = link_damage(rng, *chunk);
+      auto parsed = obs::wire::parse_chunk(BytesView(mutated.data(), mutated.size()));
+      if (parsed.ok()) {
+        EXPECT_LT(parsed->index, parsed->count);
+        EXPECT_LE(parsed->payload.size(), parsed->total_length);
+      }
+    }
+  }
+}
+
+TEST(FuzzExecutorCodecs, DamagedManifestsParseCanonicallyOrFail) {
+  executor::Manifest manifest;
+  manifest.cpu_fuel = 5'000'000;
+  manifest.max_duration = duration::seconds(30);
+  manifest.peak_memory = 128 * 1024;
+  manifest.max_packets_sent = 64;
+  manifest.max_packets_received = 64;
+  manifest.allowed_addresses = {net::Ipv4Address(10, 0, 7, 1),
+                                net::Ipv4Address(10, 0, 9, 2)};
+  manifest.capabilities = {executor::Capability::kUdp,
+                           executor::Capability::kClock,
+                           executor::Capability::kHostMetrics};
+  const Bytes valid = manifest.serialize();
+  ASSERT_TRUE(
+      executor::Manifest::parse(BytesView(valid.data(), valid.size())).ok());
+
+  Rng rng(0x3AF3);
+  const int iterations = fuzz_iterations(3000);
+  for (int i = 0; i < iterations; ++i) {
+    const Bytes mutated = link_damage(rng, valid);
+    auto parsed =
+        executor::Manifest::parse(BytesView(mutated.data(), mutated.size()));
+    if (!parsed.ok()) continue;
+    // Accepted mutants must round-trip canonically: re-serializing and
+    // re-parsing yields the same manifest (no state escapes the codec).
+    const Bytes again = parsed->serialize();
+    auto reparsed =
+        executor::Manifest::parse(BytesView(again.data(), again.size()));
+    ASSERT_TRUE(reparsed.ok()) << "canonical re-parse failed at " << i;
+    EXPECT_EQ(*reparsed, *parsed);
+  }
+}
+
+TEST(FuzzExecutorCodecs, DamagedCertifiedResultsNeverVerifyAltered) {
+  executor::ResultRecord record;
+  record.application_id = 42;
+  record.executor_key = topology::InterfaceKey{3, 1};
+  record.scheduled_start = duration::seconds(5);
+  record.actual_start = duration::seconds(5) + duration::milliseconds(3);
+  record.end_time = duration::seconds(6);
+  record.exit_value = 17;
+  record.packets_sent = 8;
+  record.packets_received = 7;
+  record.fuel_used = 123'456;
+  record.output = bytes_of("sequence/delay samples would live here");
+  const crypto::KeyPair key = crypto::KeyPair::from_seed(0x51337);
+  const executor::CertifiedResult certified = executor::certify(record, key);
+  const Bytes valid = certified.serialize();
+  {
+    auto parsed = executor::CertifiedResult::parse(
+        BytesView(valid.data(), valid.size()));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(executor::verify_certified(*parsed));
+  }
+
+  Rng rng(0xC397);
+  const int iterations = fuzz_iterations(2000);
+  int verified_unaltered = 0;
+  for (int i = 0; i < iterations; ++i) {
+    const Bytes mutated = link_damage(rng, valid);
+    if (mutated == valid) continue;
+    auto parsed = executor::CertifiedResult::parse(
+        BytesView(mutated.data(), mutated.size()));
+    if (!parsed.ok()) continue;
+    // The end-to-end integrity claim: whatever damage the wire (or a
+    // hostile AS) applies, a record that still VERIFIES is the original.
+    if (executor::verify_certified(*parsed)) {
+      ++verified_unaltered;
+      EXPECT_EQ(parsed->record, record)
+          << "altered record passed signature verification at " << i;
+    }
+    // Altered-but-parsed records must also fail a bound-signer check
+    // unless genuinely untouched.
+    if (!(parsed->record == record)) {
+      EXPECT_FALSE(executor::verify_certified(*parsed, &key.public_key()))
+          << "mutant " << i;
+    }
+  }
+  (void)verified_unaltered;  // mutations may hit only dead padding: rare, fine
 }
 
 // --- Round-trip property over random manifests -------------------------------

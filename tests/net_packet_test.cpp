@@ -273,5 +273,146 @@ TEST(TransportHeaderSize, BuildProbeRejectsOverlongPayload) {
   }
 }
 
+// --- Typed parse errors ------------------------------------------------------
+// The chaos receive path keys its net.parse_rejected{reason} counter off
+// ParseErrorKind; these regressions pin each rejection to its type.
+
+Bytes valid_udp_probe() {
+  ProbeSpec spec;
+  spec.source = Ipv4Address(10, 0, 1, 1);
+  spec.destination = Ipv4Address(10, 0, 2, 2);
+  spec.source_port = 7;
+  spec.destination_port = 9;
+  spec.sequence = 1;
+  spec.payload = bytes_of("0123456789abcdef");
+  auto wire = build_probe(spec);
+  EXPECT_TRUE(wire.ok());
+  return *wire;
+}
+
+TEST(ParseErrorKinds, NamesAreStable) {
+  // Counter label values; renaming one silently forks dashboard series.
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kNone), "none");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kTruncatedHeader),
+               "truncated_header");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kNotIpv4), "not_ipv4");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kOptionsUnsupported),
+               "options_unsupported");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kBadChecksum),
+               "bad_checksum");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kBadLength), "bad_length");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kFrameTruncated),
+               "frame_truncated");
+  EXPECT_STREQ(parse_error_name(ParseErrorKind::kUnsupportedProtocol),
+               "unsupported_protocol");
+}
+
+TEST(ParseErrorKinds, TruncatedTransportBehindValidHeader) {
+  // The link-truncation signature: the IPv4 header survives intact — its
+  // checksum still verifies — but total_length claims bytes that never
+  // arrived. This must be typed as truncation, NOT a checksum error.
+  Bytes wire = valid_udp_probe();
+  ASSERT_EQ(wire.size(), 44u);  // 20 IP + 8 UDP + 16 payload
+  wire.resize(30);
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  auto parsed = parse_packet(BytesView(wire.data(), wire.size()), &kind);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(kind, ParseErrorKind::kFrameTruncated);
+}
+
+TEST(ParseErrorKinds, HeaderPhysicallyTruncated) {
+  const Bytes wire = valid_udp_probe();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{19}}) {
+    ParseErrorKind kind = ParseErrorKind::kNone;
+    auto parsed = parse_packet(BytesView(wire.data(), keep), &kind);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(kind, ParseErrorKind::kTruncatedHeader) << "keep=" << keep;
+  }
+}
+
+TEST(ParseErrorKinds, TotalLengthBelowHeaderIsBadLength) {
+  Ipv4Header h;
+  h.total_length = 8;  // a 20-byte header cannot carry an 8-byte packet
+  h.protocol = 17;
+  h.source = Ipv4Address(1, 2, 3, 4);
+  h.destination = Ipv4Address(5, 6, 7, 8);
+  const Bytes wire = h.serialize();  // checksum is CORRECT for these fields
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  auto parsed = Ipv4Header::parse(BytesView(wire.data(), wire.size()), &kind);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(kind, ParseErrorKind::kBadLength);
+}
+
+TEST(ParseErrorKinds, ChecksumCorruptionIsTyped) {
+  Bytes wire = valid_udp_probe();
+  wire[13] ^= 0x01;  // source-address byte: covered by the header checksum
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  auto parsed = parse_packet(BytesView(wire.data(), wire.size()), &kind);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(kind, ParseErrorKind::kBadChecksum);
+}
+
+TEST(ParseErrorKinds, NonIpv4VersionIsTyped) {
+  Bytes wire = valid_udp_probe();
+  wire[0] = (wire[0] & 0x0F) | 0x60;  // claim IPv6
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  auto parsed = parse_packet(BytesView(wire.data(), wire.size()), &kind);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(kind, ParseErrorKind::kNotIpv4);
+}
+
+TEST(ParseErrorKinds, UnknownTransportIsTyped) {
+  Ipv4Header h;
+  h.total_length = 20;
+  h.protocol = 99;
+  h.source = Ipv4Address(1, 1, 1, 1);
+  h.destination = Ipv4Address(2, 2, 2, 2);
+  const Bytes wire = h.serialize();
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  auto parsed = parse_packet(BytesView(wire.data(), wire.size()), &kind);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(kind, ParseErrorKind::kUnsupportedProtocol);
+}
+
+TEST(ParseErrorKinds, UdpLengthFieldLies) {
+  // The UDP length bytes sit at IP+4..5 and carry no validated checksum,
+  // so in-flight corruption reaches them undetected; the parser itself
+  // must bound-check. Shorter than its own header: bad length. Longer
+  // than the transport slice actually present: truncation.
+  Bytes under = valid_udp_probe();
+  under[Ipv4Header::kSize + 4] = 0;
+  under[Ipv4Header::kSize + 5] = 4;  // UDP length 4 < 8
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  ASSERT_FALSE(parse_packet(BytesView(under.data(), under.size()), &kind).ok());
+  EXPECT_EQ(kind, ParseErrorKind::kBadLength);
+
+  Bytes over = valid_udp_probe();
+  over[Ipv4Header::kSize + 4] = 0;
+  over[Ipv4Header::kSize + 5] = 200;  // UDP length 200 > 24 present
+  kind = ParseErrorKind::kNone;
+  ASSERT_FALSE(parse_packet(BytesView(over.data(), over.size()), &kind).ok());
+  EXPECT_EQ(kind, ParseErrorKind::kFrameTruncated);
+}
+
+TEST(ParseErrorKinds, IcmpChecksumIsTyped) {
+  ProbeSpec spec;
+  spec.protocol = Protocol::kIcmp;
+  spec.payload = bytes_of("0123456789abcdef");
+  auto wire = build_probe(spec);
+  ASSERT_TRUE(wire.ok());
+  (*wire)[Ipv4Header::kSize + 5] ^= 0x55;
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  ASSERT_FALSE(parse_packet(BytesView(wire->data(), wire->size()), &kind).ok());
+  EXPECT_EQ(kind, ParseErrorKind::kBadChecksum);
+}
+
+TEST(ParseErrorKinds, SuccessLeavesKindNone) {
+  const Bytes wire = valid_udp_probe();
+  ParseErrorKind kind = ParseErrorKind::kNone;
+  EXPECT_TRUE(parse_packet(BytesView(wire.data(), wire.size()), &kind).ok());
+  EXPECT_EQ(kind, ParseErrorKind::kNone);
+}
+
 }  // namespace
 }  // namespace debuglet::net

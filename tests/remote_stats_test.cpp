@@ -14,6 +14,7 @@
 #include "core/system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/wire.hpp"
+#include "simnet/link_faults.hpp"
 #include "simnet/scenarios.hpp"
 
 namespace debuglet::core {
@@ -33,10 +34,20 @@ struct RunResult {
   SimTime finished_at = 0;
 };
 
+// Optional wire chaos for run_scrape: the plan is installed on EVERY
+// directed inter-domain link after the stats pair boots, so only the
+// scrape traffic itself crosses damaged wires; `max_attempts`/`deadline`
+// override the scrape budget (0 keeps the defaults).
+struct ScrapeChaos {
+  simnet::LinkFaultPlan plan;
+  std::uint32_t max_attempts = 0;
+  SimDuration deadline = 0;
+};
+
 // Builds a chain scenario, purchases a stats pair (serving executor at
 // AS4#1, partner at AS1#2), scrapes AS4#1 from a host in AS1, and merges
 // the result into a fresh registry.
-RunResult run_scrape(std::uint64_t seed) {
+RunResult run_scrape(std::uint64_t seed, const ScrapeChaos* chaos = nullptr) {
   RunResult out;
   obs::ScopedRegistry scoped;  // executors cache pointers into this
   DebugletSystem system(simnet::build_chain_scenario(kChainAses, seed, 5.0));
@@ -56,11 +67,30 @@ RunResult run_scrape(std::uint64_t seed) {
   // Let the serving Debuglet boot after its window opens, then scrape.
   system.queue().run_until(deployment->handle.window_start +
                            duration::seconds(1));
+  SimDuration deadline = duration::seconds(4);
   ScrapeConfig config;
   config.target = deployment->first_address;
   config.target_port = deployment->first_port;
+  if (chaos != nullptr) {
+    for (topology::AsNumber i = 0; i + 1 < kChainAses; ++i) {
+      for (const auto& [from, to] :
+           {std::pair{simnet::chain_egress(i), simnet::chain_ingress(i + 1)},
+            std::pair{simnet::chain_ingress(i + 1),
+                      simnet::chain_egress(i)}}) {
+        if (auto s = system.network().install_link_faults(from, to,
+                                                          chaos->plan);
+            !s) {
+          out.error = "install: " + s.error_message();
+          return out;
+        }
+      }
+    }
+    if (chaos->max_attempts > 0)
+      config.retry.max_attempts = chaos->max_attempts;
+    if (chaos->deadline > 0) deadline = chaos->deadline;
+  }
   auto report = scrape_once(system, scraper_addr, config,
-                            system.queue().now() + duration::seconds(4));
+                            system.queue().now() + deadline);
   if (!report) {
     out.error = "scrape: " + report.error_message();
     return out;
@@ -236,6 +266,38 @@ TEST(RemoteStats, LocalizationAttachesScrapedEvidence) {
     EXPECT_GT(row.count, 0u);
   }
   EXPECT_TRUE(found) << "no admission counter for AS3#1 in the evidence";
+}
+
+TEST(RemoteStats, ScrapeConvergesThroughDamagedLinks) {
+  // Corruption + duplication on every directed link of the chain while
+  // the scrape runs. Damaged chunks are rejected by the chunk digest and
+  // re-requested; duplicated responses are absorbed by the assembler —
+  // and the reassembled remote registry still equals the live one.
+  ScrapeChaos chaos;
+  chaos.plan.corrupt(80.0, 6).duplicate(150.0, 1);
+  chaos.max_attempts = 10;
+  chaos.deadline = duration::seconds(30);
+  RunResult run = run_scrape(91, &chaos);
+  ASSERT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(run.report.complete);
+  EXPECT_GT(run.report.corrupt_rejected + run.report.duplicate_chunks, 0u)
+      << "the chaos plan never touched the scrape; the test is vacuous";
+  EXPECT_GT(run.local_admitted, 0u);
+  EXPECT_EQ(run.remote_admitted, run.local_admitted)
+      << "wire damage leaked into the reassembled snapshot";
+}
+
+TEST(RemoteStats, ScrapeFailsTypedWhenEveryFrameIsDestroyed) {
+  // 100% truncation: no chunk request ever reaches the serving Debuglet.
+  // The scrape must give up with a typed error within its budget, not
+  // hang or return a partial snapshot as complete.
+  ScrapeChaos chaos;
+  chaos.plan.truncate(1000.0);
+  chaos.max_attempts = 3;
+  chaos.deadline = duration::seconds(8);
+  RunResult run = run_scrape(92, &chaos);
+  ASSERT_FALSE(run.error.empty());
+  EXPECT_NE(run.error.find("scrape:"), std::string::npos) << run.error;
 }
 
 TEST(RemoteStats, ScrapeGivesUpWhenNothingListens) {

@@ -37,13 +37,19 @@
 //   debuglet chaos     [--ases N] [--fault-link K] [--fault-ms D]
 //                      [--kill AS#IF]... [--crash AS#IF]...
 //                      [--byzantine AS#IF] [--attempts N] [--seed S]
-//                      [--check-determinism]
+//                      [--link-corrupt PM] [--link-truncate PM]
+//                      [--link-dup PM] [--link-reorder PM]
+//                      [--link-flap-ms D] [--check-determinism]
 //       Inject a link fault AND executor failures (killed agents, crashed
 //       hosts, optionally a byzantine signer), then run a resilient
-//       end-to-end measurement plus a degraded-mode localization. Exits 0
-//       when the measurement survives and the report brackets the injected
-//       link. --check-determinism replays the scenario with the same seed
-//       and verifies the retry/failover trace is bit-identical.
+//       end-to-end measurement plus a degraded-mode localization. The
+//       --link-* flags add wire-level chaos (per-mille rates) on every
+//       directed chain link — bit corruption, truncation, duplication,
+//       reordering, and a timed flap of the faulty link — and print a
+//       fault matrix of injections vs. defenses. Exits 0 when the
+//       measurement survives and the report brackets the injected link.
+//       --check-determinism replays the scenario with the same seed and
+//       verifies the retry/failover/fault-matrix trace is bit-identical.
 //
 //   debuglet asm FILE / debuglet disasm FILE
 //       Assemble DVM assembly to a module file (FILE.dvm), or print the
@@ -555,17 +561,55 @@ struct ChaosParams {
   std::vector<topology::InterfaceKey> byzantine;
   std::uint32_t attempts = 4;
   std::uint64_t seed = 1;
+  // Wire-level chaos: per-mille fault rates installed on EVERY directed
+  // chain link (zero = off). The flap, when set, takes down the injected
+  // fault link's forward direction for its first N milliseconds.
+  std::int64_t link_corrupt_pm = 0;
+  std::int64_t link_truncate_pm = 0;
+  std::int64_t link_dup_pm = 0;
+  std::int64_t link_reorder_pm = 0;
+  std::int64_t link_flap_ms = 0;
+
+  bool link_faults() const {
+    return link_corrupt_pm > 0 || link_truncate_pm > 0 || link_dup_pm > 0 ||
+           link_reorder_pm > 0 || link_flap_ms > 0;
+  }
 };
 
 struct ChaosOutcome {
   bool measurement_ok = false;
   bool bracketed = false;
-  /// The deterministic retry/failover/localization trace: equal seeds
-  /// must reproduce it bit for bit.
+  /// The deterministic retry/failover/localization trace (plus, under
+  /// link chaos, the fault-matrix report): equal seeds must reproduce it
+  /// bit for bit.
   std::string trace;
+  /// This run's full metric snapshot (each run gets its own registry, so
+  /// a determinism replay never double-counts).
+  std::vector<obs::MetricRow> counters;
 };
 
+/// Sums one counter family (optionally one label value) out of a snapshot.
+double counter_sum(const std::vector<obs::MetricRow>& rows,
+                   const std::string& name, const std::string& label_key = "",
+                   const std::string& label_value = "") {
+  double total = 0.0;
+  for (const obs::MetricRow& row : rows) {
+    if (row.name != name) continue;
+    if (!label_key.empty()) {
+      bool match = false;
+      for (const auto& [k, v] : row.labels)
+        match = match || (k == label_key && v == label_value);
+      if (!match) continue;
+    }
+    total += row.value;
+  }
+  return total;
+}
+
 ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
+  // Each run (first pass and determinism replay) counts into its own
+  // registry; the snapshot rides out in the outcome.
+  obs::ScopedRegistry scoped;
   ChaosOutcome out;
   core::DebugletSystem system(
       simnet::build_chain_scenario(p.ases, p.seed, 5.0));
@@ -580,6 +624,27 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   (void)system.network().inject_fault(
       simnet::chain_ingress(p.fault_link + 1),
       simnet::chain_egress(p.fault_link), fault);
+
+  if (p.link_faults()) {
+    simnet::LinkFaultPlan plan;
+    if (p.link_corrupt_pm > 0)
+      plan.corrupt(static_cast<double>(p.link_corrupt_pm));
+    if (p.link_truncate_pm > 0)
+      plan.truncate(static_cast<double>(p.link_truncate_pm));
+    if (p.link_dup_pm > 0)
+      plan.duplicate(static_cast<double>(p.link_dup_pm), 2);
+    if (p.link_reorder_pm > 0)
+      plan.reorder(static_cast<double>(p.link_reorder_pm), 10.0);
+    for (std::size_t i = 0; i + 1 < p.ases; ++i) {
+      simnet::LinkFaultPlan directed = plan;
+      if (p.link_flap_ms > 0 && i == p.fault_link)
+        directed.flap(0, duration::milliseconds(p.link_flap_ms));
+      (void)system.network().install_link_faults(
+          simnet::chain_egress(i), simnet::chain_ingress(i + 1), directed);
+      (void)system.network().install_link_faults(
+          simnet::chain_ingress(i + 1), simnet::chain_egress(i), plan);
+    }
+  }
 
   for (const topology::InterfaceKey& key : p.kills) {
     if (auto agent = system.agent(key)) (*agent)->kill();
@@ -632,6 +697,10 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   core::FaultCriteria criteria;
   criteria.per_link_rtt_ms = 10.5;
   criteria.slack_ms = 15.0;
+  // Under wire chaos, corruption-induced drops hit EVERY segment — loss
+  // stops discriminating (one lost probe out of eight is already 12.5%).
+  // Let delay carry the verdict and only flag catastrophic loss.
+  if (p.link_faults()) criteria.max_loss = 0.5;
   core::FaultLocalizer localizer(system, initiator, *path, criteria,
                                  net::Protocol::kUdp, 8, 100);
   core::FaultLocalizer::Resilience resilience;
@@ -644,6 +713,7 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
       std::printf("localization failed: %s\n",
                   report.error_message().c_str());
     out.trace += "localization failed: " + report.error_message();
+    out.counters = obs::registry().snapshot();
     return out;
   }
   if (verbose) {
@@ -654,6 +724,20 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
                     path->hops[step.to_hop].asn, step.summary.mean_ms,
                     100.0 * step.summary.loss_rate(),
                     step.faulty ? "FAULTY" : "");
+        if (step.wire_integrity.total() > 0)
+          std::printf("      wire faults while measuring: %llu corrupt, "
+                      "%llu truncated, %llu duplicated, %llu reordered, "
+                      "%llu flap-dropped\n",
+                      static_cast<unsigned long long>(
+                          step.wire_integrity.corrupted),
+                      static_cast<unsigned long long>(
+                          step.wire_integrity.truncated),
+                      static_cast<unsigned long long>(
+                          step.wire_integrity.duplicated),
+                      static_cast<unsigned long long>(
+                          step.wire_integrity.reordered),
+                      static_cast<unsigned long long>(
+                          step.wire_integrity.flap_dropped));
       } else {
         std::printf("  AS%u..AS%u: unmeasured (%s)\n",
                     path->hops[step.from_hop].asn,
@@ -662,6 +746,18 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
     }
     for (const std::string& note : report->notes)
       std::printf("  note: %s\n", note.c_str());
+  }
+  // Per-segment delivery-integrity evidence is part of the deterministic
+  // trace: equal seeds must injure the same segments identically.
+  for (const core::LocalizationStep& step : report->steps) {
+    if (!step.measured || step.wire_integrity.total() == 0) continue;
+    out.trace += "segment " + std::to_string(step.from_hop) + ".." +
+                 std::to_string(step.to_hop) + " wire-faults " +
+                 std::to_string(step.wire_integrity.corrupted) + "c/" +
+                 std::to_string(step.wire_integrity.truncated) + "t/" +
+                 std::to_string(step.wire_integrity.duplicated) + "d/" +
+                 std::to_string(step.wire_integrity.reordered) + "r/" +
+                 std::to_string(step.wire_integrity.flap_dropped) + "f\n";
   }
   out.bracketed = report->located && report->fault_link <= p.fault_link &&
                   p.fault_link <= report->fault_link_hi;
@@ -681,6 +777,36 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
     if (verbose) std::printf("no fault located\n");
   }
   for (const std::string& note : report->notes) out.trace += "\n" + note;
+
+  out.counters = obs::registry().snapshot();
+  if (p.link_faults()) {
+    // Fault matrix: what the wire injected vs. what each defense caught.
+    // Counter values are deterministic, so this is part of the trace too.
+    const auto n = [&](const char* name, const char* k = "",
+                       const char* v = "") {
+      return std::to_string(
+          static_cast<long long>(counter_sum(out.counters, name, k, v)));
+    };
+    out.trace += "\nfault matrix:";
+    out.trace += "\n  corrupt: injected " +
+                 n("simnet.wire_faults", "kind", "corrupt") +
+                 ", checksum-rejected " + n("net.parse_rejected") +
+                 ", scrape-digest-rejected " + n("core.scrape_chunks_corrupt") +
+                 ", re-requested " + n("core.scrape_chunks_rereq") +
+                 ", outliers dropped " + n("core.probe_outliers_dropped");
+    out.trace += "\n  truncate: injected " +
+                 n("simnet.wire_faults", "kind", "truncate");
+    out.trace += "\n  duplicate: injected " +
+                 n("simnet.wire_faults", "kind", "duplicate") +
+                 ", probe dups dropped " + n("core.probe_duplicates_dropped") +
+                 ", scrape dups absorbed " +
+                 n("core.scrape_chunks_duplicate");
+    out.trace += "\n  reorder: injected " +
+                 n("simnet.wire_faults", "kind", "reorder");
+    out.trace += "\n  flap: dropped " +
+                 n("simnet.wire_faults", "kind", "flap_drop") + ", retries " +
+                 n("core.retry.retries");
+  }
   return out;
 }
 
@@ -713,7 +839,13 @@ int cmd_chaos(const Args& args) {
   if (!parse_keys("kill", p.kills) || !parse_keys("crash", p.crashes) ||
       !parse_keys("byzantine", p.byzantine))
     return 1;
-  if (p.kills.empty() && p.crashes.empty() && p.byzantine.empty()) {
+  p.link_corrupt_pm = args.get_int("link-corrupt", 0);
+  p.link_truncate_pm = args.get_int("link-truncate", 0);
+  p.link_dup_pm = args.get_int("link-dup", 0);
+  p.link_reorder_pm = args.get_int("link-reorder", 0);
+  p.link_flap_ms = args.get_int("link-flap-ms", 0);
+  if (p.kills.empty() && p.crashes.empty() && p.byzantine.empty() &&
+      !p.link_faults()) {
     // Default chaos: the AS on the near side of the faulty link goes
     // completely dark (both border executors killed), so localization
     // must bracket the fault from the surviving neighbours.
@@ -729,7 +861,7 @@ int cmd_chaos(const Args& args) {
 
   std::printf("\nchaos counters:\n");
   std::vector<obs::MetricRow> interesting;
-  for (const obs::MetricRow& row : obs::registry().snapshot()) {
+  for (const obs::MetricRow& row : first.counters) {
     if (row.name.rfind("core.retry", 0) == 0 ||
         row.name.rfind("core.measurement", 0) == 0 ||
         row.name.rfind("core.executor_down", 0) == 0 ||
@@ -737,11 +869,19 @@ int cmd_chaos(const Args& args) {
         row.name.rfind("core.byzantine", 0) == 0 ||
         row.name.rfind("core.agent_", 0) == 0 ||
         row.name.rfind("core.localization", 0) == 0 ||
+        row.name.rfind("core.probe_", 0) == 0 ||
+        row.name.rfind("core.scrape_chunks", 0) == 0 ||
+        row.name.rfind("net.parse_rejected", 0) == 0 ||
         row.name.rfind("simnet.host_fault", 0) == 0 ||
+        row.name.rfind("simnet.wire_faults", 0) == 0 ||
         row.name.rfind("executor.deployments_abandoned", 0) == 0)
       interesting.push_back(row);
   }
   print_metric_rows(interesting);
+  if (const std::size_t at = first.trace.find("\nfault matrix:");
+      at != std::string::npos) {
+    std::printf("%s\n", first.trace.substr(at).c_str());
+  }
 
   bool deterministic = true;
   if (args.has("check-determinism")) {
@@ -825,6 +965,8 @@ void usage() {
       "              trace (chrome://tracing / Perfetto) of the run\n"
       "  chaos       kill/crash executors on a faulty path, then run a\n"
       "              resilient measurement and a degraded localization\n"
+      "              (--link-corrupt/--link-truncate/--link-dup/\n"
+      "              --link-reorder/--link-flap-ms add wire-level chaos)\n"
       "  asm FILE    assemble DVM assembly into FILE.dvm\n"
       "  disasm FILE print the assembly of a serialized module\n\n"
       "run a command with no flags for sensible defaults; see tools/\n"
