@@ -1,16 +1,26 @@
 // Ablation A2: initiator strategies for selecting Debuglet executions
-// (paper §VI-D). The paper's example — a path over 10 consecutive ASes
-// with a fault in the last inter-domain link — argues a linear scan costs
-// long time-to-locate and high price, while binary search is cost- and
-// time-effective. This bench runs both strategies against faults at every
-// position and reports measurements, tokens, and time-to-locate.
+// (paper §VI-D), extended with the in-band telemetry shortcut.
+//
+// The paper's example — a path over 10 consecutive ASes with a fault in
+// the last inter-domain link — argues a linear scan costs long
+// time-to-locate and high price, while binary search is cost- and
+// time-effective. With every-router Debuglets appending INT records the
+// comparison collapses further: ONE probe round localizes any single
+// link, spending zero marketplace tokens. This bench runs all four
+// strategies against faults at every position and reports measurements,
+// tokens, time-to-locate, and the in-band header overhead, as
+// BENCH_int_localization.json.
 #include "bench_util.hpp"
 #include "core/debuglet.hpp"
+#include "telemetry/int_header.hpp"
 
 namespace {
 
 using namespace debuglet;
 using core::Strategy;
+
+constexpr std::size_t kAses = 10;
+constexpr std::size_t kLinks = kAses - 1;
 
 struct RunResult {
   bool located = false;
@@ -22,7 +32,6 @@ struct RunResult {
 
 RunResult run_one(Strategy strategy, std::size_t fault_link,
                   std::uint64_t seed) {
-  constexpr std::size_t kAses = 10;
   core::DebugletSystem system(simnet::build_chain_scenario(kAses, seed, 5.0));
   core::Initiator initiator(system, seed + 1, 2'000'000'000'000ULL);
 
@@ -56,33 +65,43 @@ RunResult run_one(Strategy strategy, std::size_t fault_link,
 
 int main() {
   bench::banner("Ablation A2 — executor-selection strategy for localization",
-                "Debuglet (ICDCS'24), Section VI-D");
-  bench::ShapeChecks checks;
+                "Debuglet (ICDCS'24), Section VI-D + in-band telemetry");
+  bench::Report report("int_localization");
 
-  std::printf("\n10-AS path (9 inter-domain links), fault injected per "
-              "position:\n\n");
+  std::printf("\n%zu-AS path (%zu inter-domain links), fault injected per "
+              "position:\n\n", kAses, kLinks);
   std::printf("%-10s %-18s | %12s %12s %12s %8s\n", "fault@", "strategy",
               "measurements", "tokens(SUI)", "time(s)", "correct");
   std::printf("%.*s\n", 84,
               "------------------------------------------------------------"
               "-----------------------------");
 
-  double linear_total_meas = 0, binary_total_meas = 0;
+  double linear_total_meas = 0, binary_total_meas = 0, inband_total_meas = 0;
   double linear_last_meas = 0, binary_last_meas = 0;
   double linear_last_time = 0, binary_last_time = 0;
-  bool all_correct = true;
+  double inband_last_time = 0, inband_total_tokens = 0;
+  bool all_correct = true, inband_correct = true, inband_single_round = true;
   double parallel_last_time = 0;
   for (std::size_t fault_link : {0u, 2u, 4u, 6u, 8u}) {
     for (Strategy strategy :
          {Strategy::kLinearSequential, Strategy::kBinarySearch,
-          Strategy::kParallelSweep}) {
+          Strategy::kParallelSweep, Strategy::kInband}) {
       const RunResult r = run_one(strategy, fault_link, 9000 + fault_link);
       const bool correct = r.located && r.fault_link == fault_link;
       all_correct = all_correct && correct;
+      const std::string name = core::strategy_name(strategy);
       std::printf("link %-5zu %-18s | %12zu %12.4f %12.1f %8s\n", fault_link,
-                  core::strategy_name(strategy).c_str(), r.measurements,
+                  name.c_str(), r.measurements,
                   chain::mist_to_sui(r.tokens), r.seconds,
                   correct ? "yes" : "NO");
+      const obs::Labels labels = {
+          {"strategy", name}, {"fault_link", std::to_string(fault_link)}};
+      report.metric("localization.measurements",
+                    static_cast<double>(r.measurements), labels);
+      report.metric("localization.tokens_sui", chain::mist_to_sui(r.tokens),
+                    labels);
+      report.metric("localization.time_to_locate_s", r.seconds, labels);
+      report.metric("localization.correct", correct ? 1.0 : 0.0, labels);
       if (strategy == Strategy::kLinearSequential) {
         linear_total_meas += static_cast<double>(r.measurements);
         if (fault_link == 8) {
@@ -95,26 +114,53 @@ int main() {
           binary_last_meas = static_cast<double>(r.measurements);
           binary_last_time = r.seconds;
         }
+      } else if (strategy == Strategy::kInband) {
+        inband_total_meas += static_cast<double>(r.measurements);
+        inband_total_tokens += chain::mist_to_sui(r.tokens);
+        inband_correct = inband_correct && correct;
+        inband_single_round = inband_single_round && r.measurements == 1;
+        if (fault_link == 8) inband_last_time = r.seconds;
       } else if (fault_link == 8) {
         parallel_last_time = r.seconds;
       }
     }
   }
 
-  std::printf("\nTotals: linear %.0f measurements, binary %.0f\n",
-              linear_total_meas, binary_total_meas);
-  checks.check(all_correct, "both strategies localize every fault position");
+  // The in-band shortcut's two costs, made explicit in the JSON: probe
+  // rounds saved versus the best out-of-band strategy, and the bytes of
+  // INT header+records each probe carries for this path length.
+  const double probes_saved = binary_total_meas - inband_total_meas;
+  const double header_overhead =
+      static_cast<double>(telemetry::IntHeader::wire_size(kLinks));
+  report.metric("inband.probe_rounds_saved_vs_binary", probes_saved);
+  report.metric("inband.header_overhead_bytes", header_overhead);
+  report.metric("inband.tokens_sui_total", inband_total_tokens);
+
+  std::printf("\nTotals: linear %.0f measurements, binary %.0f, in-band "
+              "%.0f (saving %.0f rounds vs binary at %.0f bytes of INT "
+              "header per probe)\n",
+              linear_total_meas, binary_total_meas, inband_total_meas,
+              probes_saved, header_overhead);
+  report.check(all_correct, "all strategies localize every fault position");
   // Linear needs one measurement per link up to the fault (9 for the far
   // link); binary needs 1 end-to-end check + ceil(log2(9)) = 5 total.
-  checks.check(binary_last_meas <= 5.0 && linear_last_meas >= 9.0,
+  report.check(binary_last_meas <= 5.0 && linear_last_meas >= 9.0,
                "far fault (paper's example): binary O(log n) vs linear "
                "O(n) measurements");
-  checks.check(binary_last_time < linear_last_time,
+  report.check(binary_last_time < linear_last_time,
                "far fault: binary locates faster");
-  checks.check(binary_total_meas < linear_total_meas,
+  report.check(binary_total_meas < linear_total_meas,
                "binary cheaper on average across fault positions");
-  checks.check(parallel_last_time < binary_last_time,
-               "parallel sweep is the fastest (but always buys all 9 "
-               "measurements — the cost concern of §VI-D)");
-  return checks.summary();
+  report.check(parallel_last_time < binary_last_time,
+               "parallel sweep is the fastest purchased strategy (but "
+               "always buys all 9 measurements — the cost concern of "
+               "§VI-D)");
+  report.check(inband_single_round && inband_correct,
+               "in-band telemetry localizes every fault position in "
+               "exactly one probe round");
+  report.check(inband_total_tokens == 0.0,
+               "the in-band round buys no marketplace measurements");
+  report.check(inband_last_time < binary_last_time,
+               "far fault: in-band locates faster than binary search");
+  return report.summary();
 }

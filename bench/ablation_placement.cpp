@@ -4,20 +4,28 @@
 // Question: given a performance problem around AS X, can the initiator
 // tell a faulty inter-domain link from a faulty AS interior?
 //
-//   border       — executors co-located with border routers (the paper's
-//                  choice): the A/B/C/D procedure separates link from
-//                  interior exactly.
-//   arbitrary    — executors somewhere inside each AS, behind an unknown
-//                  intra-AS stub: measurements conflate the stub, the
-//                  interior, and the link; classification degrades.
-//   every-router — border accuracy, but at much higher resource cost and
-//                  full interior exposure (counted, not simulated).
+//   border           — executors co-located with border routers (the
+//                      paper's choice): the A/B/C/D procedure separates
+//                      link from interior exactly.
+//   arbitrary        — executors somewhere inside each AS, behind an
+//                      unknown intra-AS stub: measurements conflate the
+//                      stub, the interior, and the link; classification
+//                      degrades.
+//   every-router+INT — a Debuglet on every forwarding device appends INT
+//                      records in band: one probe carries per-link
+//                      latencies AND per-AS residence times, so the same
+//                      classification needs no purchased measurements at
+//                      all — at the highest resource cost and full
+//                      interior exposure.
 //
 // The bench runs repeated trials; each trial flips a coin between
 // "link fault" and "interior fault" and asks each placement to classify.
+// Results land in BENCH_placement.json.
 #include "bench_util.hpp"
 #include "core/debuglet.hpp"
 #include "simnet/hosts.hpp"
+#include "telemetry/int_header.hpp"
+#include "telemetry/path_evidence.hpp"
 
 namespace {
 
@@ -114,16 +122,65 @@ bool classify_arbitrary(TrialSetup& t, std::uint64_t seed, Rng& rng) {
   return link_excess > intra;
 }
 
+// Every-router + INT: one probe AS2 -> AS4 whose record stack separates
+// link crossing time (ingress-to-ingress) from AS3 residence
+// (ingress-to-egress) directly — no purchased measurements, no stub
+// guessing.
+bool classify_int(TrialSetup& t) {
+  auto& net = *t.scenario.network;
+  struct Collector : simnet::Host {
+    std::vector<simnet::Delivery> deliveries;
+    void on_packet(const simnet::Delivery& d) override {
+      deliveries.push_back(d);
+    }
+  } collector;
+  const auto src = net.allocate_host_address(2);
+  const auto dst = net.allocate_host_address(4);
+  if (!net.attach_host(dst, &collector)) return false;
+  net.set_int_enabled(true);
+
+  net::ProbeSpec spec;
+  spec.protocol = Protocol::kUdp;
+  spec.source = src;
+  spec.destination = dst;
+  spec.source_port = 46000;
+  spec.destination_port = 46001;
+  spec.payload = telemetry::IntHeader::reserve(2).serialize();
+  auto wire = net::build_probe(spec);
+  if (!wire || !net.send(src, std::move(*wire))) return false;
+  t.scenario.queue->run();
+
+  net.set_int_enabled(false);
+  net.detach_host(dst);
+  if (collector.deliveries.empty()) return false;
+  const auto& d = collector.deliveries.front();
+  auto header = telemetry::IntHeader::parse(
+      BytesView(d.packet.payload.data(), d.packet.payload.size()));
+  if (!header) return false;
+  auto path = net.topology().shortest_path(2, 4);
+  if (!path) return false;
+  auto evidence = telemetry::PathEvidence::from_header(*header, *path,
+                                                       d.sent_at);
+  if (!evidence) return false;
+  // Observation 0 carries AS3's residence; observation 1 the AS3->AS4
+  // link. The same attribution rule as the out-of-band classifiers.
+  const double intra = evidence->observations()[0].residence_ms;
+  const double link_excess =
+      evidence->observations()[1].one_way_ms - (kHopMs + 0.5);
+  return link_excess > intra;
+}
+
 }  // namespace
 
 int main() {
   bench::banner("Ablation A1 — executor placement models",
                 "Debuglet (ICDCS'24), Sections IV-B and VI-G");
+  bench::Report report("placement");
   const auto trials =
       static_cast<int>(bench::env_scale("DEBUGLET_BENCH_TRIALS", 40));
 
   Rng rng(314159);
-  int border_correct = 0, arbitrary_correct = 0;
+  int border_correct = 0, arbitrary_correct = 0, int_correct = 0;
   for (int i = 0; i < trials; ++i) {
     const bool on_link = (i % 2) == 0;
     TrialSetup border_trial = make_trial(5000 + i, on_link);
@@ -131,12 +188,15 @@ int main() {
     TrialSetup arb_trial = make_trial(5000 + i, on_link);
     if (classify_arbitrary(arb_trial, 200 + i, rng) == on_link)
       ++arbitrary_correct;
+    TrialSetup int_trial = make_trial(5000 + i, on_link);
+    if (classify_int(int_trial) == on_link) ++int_correct;
   }
 
   const double border_acc =
       100.0 * border_correct / static_cast<double>(trials);
   const double arbitrary_acc =
       100.0 * arbitrary_correct / static_cast<double>(trials);
+  const double int_acc = 100.0 * int_correct / static_cast<double>(trials);
 
   // Resource / exposure accounting for a 5-AS chain with 3-router interiors.
   constexpr int kInteriorRouters = 3;
@@ -145,31 +205,45 @@ int main() {
     double accuracy;
     int executors_per_as;
     int interior_exposed;
+    int probes_per_trial;
   } rows[] = {
-      {"border (paper)", border_acc, 2, 0},
-      {"arbitrary", arbitrary_acc, 1, 1},
-      {"every-router", border_acc, 2 + kInteriorRouters, kInteriorRouters},
+      {"border (paper)", border_acc, 2, 0, 30},
+      {"arbitrary", arbitrary_acc, 1, 1, 30},
+      {"every-router+INT", int_acc, 2 + kInteriorRouters, kInteriorRouters, 1},
   };
 
-  std::printf("\n%-16s | %12s %14s %18s\n", "placement", "accuracy(%)",
-              "executors/AS", "interior exposed");
-  std::printf("%.*s\n", 68,
-              "--------------------------------------------------------------------");
+  std::printf("\n%-18s | %12s %14s %18s %14s\n", "placement", "accuracy(%)",
+              "executors/AS", "interior exposed", "probes/trial");
+  std::printf("%.*s\n", 84,
+              "------------------------------------------------------------"
+              "-----------------------------");
   for (const PlacementRow& row : rows) {
-    std::printf("%-16s | %12.1f %14d %18d\n", row.name, row.accuracy,
-                row.executors_per_as, row.interior_exposed);
+    std::printf("%-18s | %12.1f %14d %18d %14d\n", row.name, row.accuracy,
+                row.executors_per_as, row.interior_exposed,
+                row.probes_per_trial);
+    const obs::Labels labels = {{"placement", row.name}};
+    report.metric("placement.accuracy_pct", row.accuracy, labels);
+    report.metric("placement.executors_per_as",
+                  static_cast<double>(row.executors_per_as), labels);
+    report.metric("placement.interior_exposed",
+                  static_cast<double>(row.interior_exposed), labels);
+    report.metric("placement.probes_per_trial",
+                  static_cast<double>(row.probes_per_trial), labels);
   }
   std::printf("\n(link-vs-interior classification over %d trials; "
-              "every-router inherits border accuracy at %dx the resource "
-              "cost plus full interior exposure)\n",
+              "every-router+INT reads both quantities off one probe's "
+              "record stack at %dx the resource cost plus full interior "
+              "exposure)\n",
               trials, 2 + kInteriorRouters);
 
-  bench::ShapeChecks checks;
-  checks.check(border_acc >= 95.0,
+  report.check(border_acc >= 95.0,
                "border placement separates link from interior reliably");
-  checks.check(arbitrary_acc <= border_acc - 15.0,
+  report.check(arbitrary_acc <= border_acc - 15.0,
                "arbitrary placement is substantially less accurate");
-  checks.check(arbitrary_acc >= 40.0,
+  report.check(arbitrary_acc >= 40.0,
                "arbitrary placement is roughly guessing, not inverted");
-  return checks.summary();
+  report.check(int_acc >= 95.0,
+               "every-router INT matches border accuracy from a single "
+               "in-band probe");
+  return report.summary();
 }

@@ -1,7 +1,11 @@
 #include "core/localization.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "telemetry/int_header.hpp"
+#include "telemetry/path_evidence.hpp"
 
 namespace debuglet::core {
 
@@ -10,6 +14,7 @@ std::string strategy_name(Strategy s) {
     case Strategy::kLinearSequential: return "linear-sequential";
     case Strategy::kBinarySearch: return "binary-search";
     case Strategy::kParallelSweep: return "parallel-sweep";
+    case Strategy::kInband: return "inband";
   }
   return "unknown";
 }
@@ -154,6 +159,214 @@ LocalizationStep FaultLocalizer::tolerant_segment(std::size_t from_hop,
   return step;
 }
 
+void FaultLocalizer::binary_search_pass(LocalizationReport& report) {
+  // Confirm the path is faulty end to end, then halve. When the
+  // preferred midpoint's executors are dead, slide deterministically
+  // to the nearest split that still divides (lo, hi); when none is
+  // measurable the fault is bracketed to [lo, hi - 1].
+  const std::size_t n = path_.length();
+  auto attempt = [&](std::size_t from, std::size_t to) -> LocalizationStep {
+    LocalizationStep step = tolerant_segment(from, to, report);
+    report.steps.push_back(step);
+    if (step.measured) ++report.measurements;
+    return step;
+  };
+  LocalizationStep whole = attempt(0, n - 1);
+  if (!whole.measured) {
+    report.links_unresolved = n - 1;
+    report.notes.push_back(
+        "whole-path check impossible: no verdict on any link");
+    return;
+  }
+  if (!whole.faulty) return;  // nothing to localize
+  std::size_t lo = 0, hi = n - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    // Candidate splits strictly inside (lo, hi), nearest-to-mid
+    // first; ties prefer the right (deterministic order).
+    std::vector<std::size_t> splits;
+    for (std::size_t d = 0; d < hi - lo; ++d) {
+      if (mid + d > lo && mid + d < hi) splits.push_back(mid + d);
+      if (d > 0 && mid >= lo + d + 1 && mid - d < hi)
+        splits.push_back(mid - d);
+    }
+    bool advanced = false;
+    for (std::size_t m : splits) {
+      LocalizationStep step = attempt(lo, m);
+      if (!step.measured) continue;
+      if (step.faulty)
+        hi = m;
+      else
+        lo = m;
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;  // no measurable split: bracket [lo, hi-1]
+  }
+  report.located = true;
+  report.fault_link = lo;
+  report.fault_link_hi = hi - 1;
+  report.exact = (hi - lo == 1);
+  if (!report.exact) {
+    report.links_unresolved += hi - lo;
+    report.notes.push_back("fault bracketed to links [" +
+                           std::to_string(lo) + ", " +
+                           std::to_string(hi - 1) + "]");
+  }
+}
+
+bool FaultLocalizer::inband_pass(LocalizationReport& report) {
+  simnet::SimulatedNetwork& network = system_.network();
+  simnet::EventQueue& queue = system_.queue();
+  const std::size_t n = path_.length();
+  const std::size_t links = n - 1;
+  if (links > telemetry::IntHeader::kMaxHopsLimit) {
+    report.notes.push_back("in-band: path longer than the INT hop budget");
+    return false;
+  }
+
+  // Collector at the destination AS; the probe originates at the source
+  // AS's egress border router, like the paper's executor A. send() needs
+  // only a valid source address, not an attached sender.
+  struct Collector : simnet::Host {
+    std::vector<simnet::Delivery> deliveries;
+    void on_packet(const simnet::Delivery& d) override {
+      deliveries.push_back(d);
+    }
+  } collector;
+  const net::Ipv4Address collector_addr =
+      network.allocate_host_address(path_.hops.back().asn);
+  if (Status attached = network.attach_host(collector_addr, &collector);
+      !attached) {
+    report.notes.push_back("in-band: " + attached.error_message());
+    return false;
+  }
+  const net::Ipv4Address source_addr = network.topology().address_of(
+      {path_.hops.front().asn, path_.hops.front().egress});
+
+  const bool was_enabled = network.int_enabled();
+  network.set_int_enabled(true);
+
+  // One probe round: a few redundant copies of the same INT probe, sent
+  // together. A single intact arrival suffices; redundancy only covers
+  // wire loss, not extra measurement rounds.
+  const telemetry::IntHeader prototype = telemetry::IntHeader::reserve(
+      static_cast<std::uint8_t>(links), network.has_hop_program());
+  constexpr int kProbesPerRound = 3;
+  const SimTime round_sent_at = queue.now();
+  int sent = 0;
+  for (int p = 0; p < kProbesPerRound; ++p) {
+    net::ProbeSpec spec;
+    spec.protocol = protocol_ == net::Protocol::kRawIp
+                        ? net::Protocol::kRawIp
+                        : net::Protocol::kUdp;  // INT rides UDP or raw IP
+    spec.source = source_addr;
+    spec.destination = collector_addr;
+    spec.source_port = static_cast<std::uint16_t>(45000 + p);
+    spec.destination_port = 45100;
+    spec.sequence = static_cast<std::uint16_t>(p);
+    spec.payload = prototype.serialize();
+    auto wire = net::build_probe(spec);
+    if (!wire) continue;
+    if (network.send(source_addr, std::move(*wire))) ++sent;
+  }
+  queue.run_until(queue.now() + duration::seconds(2));
+
+  network.set_int_enabled(was_enabled);
+  network.detach_host(collector_addr);
+
+  // First delivery with intact, path-matching evidence wins; rejected
+  // ones are counted by typed reason so chaos runs show WHY in-band
+  // degraded instead of silently falling back.
+  std::optional<telemetry::PathEvidence> evidence;
+  std::size_t rejected = 0;
+  for (const simnet::Delivery& d : collector.deliveries) {
+    telemetry::IntParseError kind = telemetry::IntParseError::kNone;
+    auto header = telemetry::IntHeader::parse(
+        BytesView(d.packet.payload.data(), d.packet.payload.size()), &kind);
+    if (!header) {
+      obs::registry()
+          .counter("telemetry.parse_rejected",
+                   {{"reason", telemetry::int_parse_error_name(kind)}})
+          .add();
+      ++rejected;
+      continue;
+    }
+    auto built =
+        telemetry::PathEvidence::from_header(*header, path_, d.sent_at);
+    if (!built) {
+      obs::registry()
+          .counter("telemetry.evidence_rejected")
+          .add();
+      report.notes.push_back("in-band evidence rejected: " +
+                             built.error_message());
+      ++rejected;
+      continue;
+    }
+    evidence = std::move(*built);
+    break;
+  }
+  if (!evidence) {
+    report.notes.push_back(
+        "in-band: no intact evidence (" + std::to_string(sent) +
+        " probes, " + std::to_string(collector.deliveries.size()) +
+        " delivered, " + std::to_string(rejected) +
+        " rejected); falling back to binary search");
+    obs::registry().counter("core.localization.inband_fallbacks").add();
+    return false;
+  }
+
+  // Verdict from one round. The per-link RTT criterion halves into a
+  // one-way budget; a hop-program alarm (when installed) pins the link
+  // directly.
+  const double one_way_budget_ms =
+      criteria_.per_link_rtt_ms / 2.0 + criteria_.slack_ms / 2.0;
+  report.measurements = 1;
+  LocalizationStep step;
+  step.from_hop = 0;
+  step.to_hop = n - 1;
+  step.summary.probes_sent = static_cast<std::size_t>(sent);
+  step.summary.probes_answered = collector.deliveries.size();
+  step.measured_at = queue.now();
+  step.summary.mean_ms =
+      duration::to_ms(queue.now() - round_sent_at);  // round wall time
+
+  std::vector<std::size_t> over = evidence->links_over(one_way_budget_ms);
+  if (evidence->alarmed() &&
+      evidence->alarm_hop() < links) {
+    report.located = true;
+    report.fault_link = evidence->alarm_hop();
+    report.fault_link_hi = evidence->alarm_hop();
+    report.exact = true;
+    report.notes.push_back("in-band: hop program alarm at link " +
+                           std::to_string(report.fault_link));
+  } else if (!over.empty()) {
+    report.located = true;
+    report.fault_link = over.front();
+    report.fault_link_hi = over.back();
+    report.exact = (over.size() == 1);
+    if (!report.exact) {
+      report.links_unresolved += over.size();
+      report.notes.push_back("in-band: " + std::to_string(over.size()) +
+                             " links over budget");
+    }
+  }
+  step.faulty = report.located;
+  if (report.located) {
+    report.notes.push_back(
+        "in-band: localized from one probe round, link " +
+        std::to_string(report.fault_link) + " one-way " +
+        std::to_string(
+            evidence->link(report.fault_link).one_way_ms) +
+        " ms (budget " + std::to_string(one_way_budget_ms) + " ms)");
+  } else {
+    report.notes.push_back("in-band: all links within one-way budget");
+  }
+  report.steps.push_back(std::move(step));
+  obs::registry().counter("core.localization.inband_rounds").add();
+  return true;
+}
+
 Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
   LocalizationReport report;
   report.started = system_.queue().now();
@@ -283,55 +496,15 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
       }
       break;
     }
-    case Strategy::kBinarySearch: {
-      // Confirm the path is faulty end to end, then halve. When the
-      // preferred midpoint's executors are dead, slide deterministically
-      // to the nearest split that still divides (lo, hi); when none is
-      // measurable the fault is bracketed to [lo, hi - 1].
-      LocalizationStep whole = attempt(0, n - 1);
-      if (!whole.measured) {
-        report.links_unresolved = n - 1;
-        report.notes.push_back(
-            "whole-path check impossible: no verdict on any link");
-        break;
-      }
-      if (!whole.faulty) break;  // nothing to localize
-      std::size_t lo = 0, hi = n - 1;
-      while (hi - lo > 1) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        // Candidate splits strictly inside (lo, hi), nearest-to-mid
-        // first; ties prefer the right (deterministic order).
-        std::vector<std::size_t> splits;
-        for (std::size_t d = 0; d < hi - lo; ++d) {
-          if (mid + d > lo && mid + d < hi) splits.push_back(mid + d);
-          if (d > 0 && mid >= lo + d + 1 && mid - d < hi)
-            splits.push_back(mid - d);
-        }
-        bool advanced = false;
-        for (std::size_t m : splits) {
-          LocalizationStep step = attempt(lo, m);
-          if (!step.measured) continue;
-          if (step.faulty)
-            hi = m;
-          else
-            lo = m;
-          advanced = true;
-          break;
-        }
-        if (!advanced) break;  // no measurable split: bracket [lo, hi-1]
-      }
-      report.located = true;
-      report.fault_link = lo;
-      report.fault_link_hi = hi - 1;
-      report.exact = (hi - lo == 1);
-      if (!report.exact) {
-        report.links_unresolved += hi - lo;
-        report.notes.push_back("fault bracketed to links [" +
-                               std::to_string(lo) + ", " +
-                               std::to_string(hi - 1) + "]");
-      }
+    case Strategy::kBinarySearch:
+      binary_search_pass(report);
       break;
-    }
+    case Strategy::kInband:
+      // One probe round of in-band per-hop records. Any failure to obtain
+      // intact evidence (damaged wire, truncated stack, unexpected path)
+      // degrades to purchased binary search — never a wrong verdict.
+      if (!inband_pass(report)) binary_search_pass(report);
+      break;
   }
 
   report.finished = system_.queue().now();

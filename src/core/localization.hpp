@@ -47,11 +47,12 @@ struct LocalizationStep {
   simnet::LinkIntegrityStats wire_integrity;
 };
 
-/// §VI-D strategies.
+/// §VI-D strategies, plus the in-band telemetry shortcut.
 enum class Strategy {
   kLinearSequential,  // probe link by link from the front, await each
   kBinarySearch,      // halve the suspect range each round
   kParallelSweep,     // buy every link at once: fastest, most expensive
+  kInband,            // one INT probe round: per-hop records localize O(1)
 };
 
 std::string strategy_name(Strategy s);
@@ -171,6 +172,13 @@ class FaultLocalizer {
   /// a step with measured=false and records the degradation in `report`.
   LocalizationStep tolerant_segment(std::size_t from_hop, std::size_t to_hop,
                                     LocalizationReport& report);
+  /// The binary-search pass, shared by Strategy::kBinarySearch and the
+  /// in-band strategy's degraded fallback.
+  void binary_search_pass(LocalizationReport& report);
+  /// One in-band INT probe round. Returns true when intact per-hop
+  /// evidence produced a verdict; false (with the degradation noted in
+  /// `report`) tells the caller to fall back to out-of-band search.
+  bool inband_pass(LocalizationReport& report);
 
   DebugletSystem& system_;
   Initiator& initiator_;

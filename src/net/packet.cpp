@@ -303,8 +303,46 @@ Result<Bytes> build_probe(const ProbeSpec& spec) {
   return wire;
 }
 
+Result<Bytes> serialize_packet(const Packet& packet) {
+  const std::size_t total = header_overhead(packet.protocol) +
+                            packet.payload.size();
+  if (total > 65535) return fail("serialize_packet: exceeds 65535 bytes");
+  Ipv4Header ip = packet.ip;
+  ip.total_length = static_cast<std::uint16_t>(total);
+  ip.protocol = static_cast<std::uint8_t>(packet.protocol);
+  const BytesView payload(packet.payload.data(), packet.payload.size());
+  Bytes transport;
+  switch (packet.protocol) {
+    case Protocol::kUdp:
+      if (!packet.udp) return fail("serialize_packet: missing UDP header");
+      transport = packet.udp->serialize(ip, payload);
+      break;
+    case Protocol::kTcp:
+      if (!packet.tcp) return fail("serialize_packet: missing TCP header");
+      transport = packet.tcp->serialize(ip, payload);
+      break;
+    case Protocol::kIcmp:
+      if (!packet.icmp) return fail("serialize_packet: missing ICMP header");
+      transport = packet.icmp->serialize(payload);
+      break;
+    case Protocol::kRawIp:
+      transport.assign(packet.payload.begin(), packet.payload.end());
+      break;
+  }
+  Bytes wire = ip.serialize();
+  wire.insert(wire.end(), transport.begin(), transport.end());
+  return wire;
+}
+
 Result<Bytes> build_time_exceeded(const Packet& expired,
                                   Ipv4Address router_address) {
+  // RFC 1122 §3.2.2: an ICMP error message is never sent about an ICMP
+  // error message. Without this, two looping pinned paths bounce
+  // time-exceeded replies back and forth forever, each expiry minting a
+  // fresh TTL-64 reply about the previous one.
+  if (expired.protocol == Protocol::kIcmp && expired.icmp &&
+      expired.icmp->type == kIcmpTimeExceeded)
+    return fail("no ICMP errors about ICMP errors (RFC 1122)");
   Ipv4Header ip;
   ip.protocol = static_cast<std::uint8_t>(Protocol::kIcmp);
   ip.source = router_address;

@@ -144,6 +144,14 @@ Result<Bytes> build_probe(const ProbeSpec& spec);
 /// receive path feeds it to the `net.parse_rejected{reason}` counter.
 Result<Packet> parse_packet(BytesView wire, ParseErrorKind* kind = nullptr);
 
+/// Re-serializes a parsed (possibly modified) Packet to wire bytes,
+/// recomputing lengths and every checksum — the inverse of parse_packet.
+/// Forwarding devices that rewrite a packet in flight (TTL decrement,
+/// in-band telemetry pushes) use this so the emitted frame parses cleanly
+/// again. Fails when the transport header required by the protocol is
+/// missing or the payload exceeds the 65535-byte IPv4 budget.
+Result<Bytes> serialize_packet(const Packet& packet);
+
 /// Builds the reply a Debuglet echo server sends for `request`: source and
 /// destination swapped, ICMP type flipped to reply, payload echoed.
 Result<Bytes> build_echo_reply(const Packet& request);

@@ -81,6 +81,14 @@ void LinkModel::advance_episodes(SimTime now) {
   }
 }
 
+std::uint32_t LinkModel::active_episodes(SimTime now) {
+  advance_episodes(now);
+  std::uint32_t on = 0;
+  for (const EpisodeState& st : episode_states_)
+    if (st.on) ++on;
+  return on;
+}
+
 void LinkModel::advance_shift(SimTime now) {
   for (std::size_t r = 0; r < next_route_shift_.size(); ++r) {
     while (next_route_shift_[r] <= now) {

@@ -161,6 +161,12 @@ class LinkModel {
   /// Running totals of wire faults this link has injected.
   const LinkIntegrityStats& integrity() const { return integrity_; }
 
+  /// Episode processes currently ON at `now` — the queue-depth proxy an
+  /// INT hop record snapshots at enqueue. Advancing to a time the link
+  /// has already been queried at draws no randomness, so calling this
+  /// right after traverse() leaves the RNG stream untouched.
+  std::uint32_t active_episodes(SimTime now);
+
   const LinkConfig& config() const { return config_; }
 
   /// Mean delay this link would add for a protocol right now, faults and

@@ -55,6 +55,21 @@ SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
       &reg.counter("simnet.host_fault_drops", {{"side", "egress"}});
   obs_.host_fault_ingress_drops =
       &reg.counter("simnet.host_fault_drops", {{"side", "ingress"}});
+  obs_.ttl_expired = &reg.counter("net.ttl_expired");
+  obs_.int_pushes = &reg.counter("telemetry.int_pushes");
+  obs_.int_truncations = &reg.counter("telemetry.int_truncations");
+  obs_.hop_program_runs = &reg.counter("telemetry.hop_program_runs");
+  obs_.hop_program_traps = &reg.counter("telemetry.hop_program_traps");
+}
+
+Status SimulatedNetwork::install_hop_program(vm::Module module,
+                                             telemetry::HopProgramLimits
+                                                 limits) {
+  auto runtime = telemetry::HopProgramRuntime::create(std::move(module),
+                                                      limits);
+  if (!runtime) return runtime.error();
+  hop_program_ = std::move(*runtime);
+  return ok_status();
 }
 
 Status SimulatedNetwork::configure_link(topology::InterfaceKey from,
@@ -314,6 +329,26 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   const SimTime sent_at = queue_.now();
   double total_delay_ms = 0.0;
 
+  // In-band telemetry: one branch when off. A packet opts in by carrying
+  // a parseable IntHeader as its payload prefix (UDP/raw-IP only — the
+  // other transports' checksums cover the payload, so a forwarding device
+  // must not rewrite them). Malformed INT forwards untouched as an
+  // ordinary opaque payload.
+  telemetry::IntHeader int_prototype;
+  bool int_active = false;
+  if (int_enabled_ &&
+      (protocol == net::Protocol::kUdp ||
+       protocol == net::Protocol::kRawIp) &&
+      telemetry::IntHeader::looks_like_int(
+          BytesView(packet.payload.data(), packet.payload.size()))) {
+    auto parsed = telemetry::IntHeader::parse(
+        BytesView(packet.payload.data(), packet.payload.size()));
+    if (parsed) {
+      int_active = true;
+      int_prototype = std::move(*parsed);
+    }
+  }
+
   // Host-level faults (chaos layer): a crashed sender is off and a
   // silenced one never gets its packets onto the wire. Either way the
   // packet is lost silently — not an error, exactly like dead hardware.
@@ -344,8 +379,9 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   // worklist: each copy continues through the remaining links with its own
   // delay, TTL and accumulated damage. The healthy case stays a single
   // pass with the exact RNG draw order the pre-fault-layer code used.
+  const double pre_wire_ms = total_delay_ms;  // before the first link
   std::vector<TransitCopy> work;
-  work.push_back(TransitCopy{0, total_delay_ms, packet.ip.ttl, {}});
+  work.push_back(TransitCopy{0, total_delay_ms, packet.ip.ttl, {}, {}});
   std::size_t copies_emitted = 1;
   constexpr std::size_t kMaxCopies = 16;  // duplication fan-out bound
 
@@ -355,6 +391,7 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     double delay_ms = cur.delay_ms;
     std::uint8_t ttl = cur.ttl;
     std::vector<WireDamage> damages = std::move(cur.damages);
+    std::vector<IntCrossing> crossings = std::move(cur.crossings);
     bool consumed = false;  // dropped or expired mid-path
 
     for (std::size_t i = cur.next_link; i + 1 < path.hops.size(); ++i) {
@@ -372,6 +409,16 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
         consumed = true;
         break;
       }
+      // INT observations for this link. active_episodes() re-queries the
+      // time traverse() already advanced to, so the RNG stream is the
+      // same whether telemetry is on or off.
+      std::uint32_t link_queue_depth = 0;
+      std::uint32_t link_wire_faults = 0;
+      if (int_active) {
+        link_queue_depth = it->second->active_episodes(sent_at);
+        link_wire_faults = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            it->second->integrity().total(), 0xFFFFFFFFULL));
+      }
       const std::uint8_t next_ttl = ttl > 0 ? ttl - 1 : 0;
       // Extra copies fork off here and continue from the next link with
       // their own delay and damage; the primary copy continues in-line.
@@ -384,6 +431,12 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
         forked.ttl = next_ttl;
         forked.damages = damages;
         if (extra.damage.damaged()) forked.damages.push_back(extra.damage);
+        if (int_active) {
+          forked.crossings = crossings;
+          forked.crossings.push_back(IntCrossing{
+              duration::to_ms(extra.delay), link_queue_depth,
+              link_wire_faults});
+        }
         work.push_back(std::move(forked));
         ++copies_emitted;
       }
@@ -391,9 +444,13 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
       obs_.link_delay_ms->record(duration::to_ms(primary.delay));
       delay_ms += duration::to_ms(primary.delay);
       if (primary.damage.damaged()) damages.push_back(primary.damage);
+      if (int_active)
+        crossings.push_back(IntCrossing{duration::to_ms(primary.delay),
+                                        link_queue_depth, link_wire_faults});
       ttl = next_ttl;
       if (ttl == 0 && i + 2 < path.hops.size()) {
         // Expired at the ingress border router of hops[i+1].
+        obs_.ttl_expired->add();
         expire_with_time_exceeded(packet, path.hops[i + 1], to, delay_ms);
         ++stats_.dropped[protocol];
         obs_.dropped[proto_index(protocol)]->add();
@@ -409,6 +466,8 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
     // at the two ends of an inter-domain link measure just that link
     // (paper Fig. 6). Each surviving copy draws its own transit jitter.
     bool dropped = false;
+    std::vector<double> transit_ms;
+    if (int_active) transit_ms.assign(path.hops.size(), 0.0);
     for (std::size_t i = 1; i + 1 < path.hops.size(); ++i) {
       const topology::PathHop& hop = path.hops[i];
       auto it = transit_.find(hop.asn);
@@ -421,15 +480,88 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
       double d = cfg.delay_ms;
       if (cfg.jitter_ms > 0.0) d += std::abs(rng_.normal(0.0, cfg.jitter_ms));
       delay_ms += d;
+      if (int_active) transit_ms[i] = d;
     }
     if (dropped) {
       ++stats_.dropped[protocol];
       obs_.dropped[proto_index(protocol)]->add();
       continue;  // loss is a silent network outcome, not an error
     }
-    schedule_delivery(packet, wire, damages, path, sent_at, delay_ms);
+    // The delivered frame carries the on-path TTL decrements, and — when
+    // this packet opted into telemetry — the per-hop INT record stack.
+    net::Packet out_packet = packet;
+    out_packet.ip.ttl = ttl;
+    if (int_active) {
+      Bytes int_wire = wire;
+      apply_int_records(out_packet, int_wire, int_prototype, crossings,
+                        transit_ms, path, sent_at, pre_wire_ms);
+      schedule_delivery(out_packet, int_wire, damages, path, sent_at,
+                        delay_ms);
+    } else {
+      schedule_delivery(out_packet, wire, damages, path, sent_at, delay_ms);
+    }
   }
   return ok_status();
+}
+
+void SimulatedNetwork::apply_int_records(
+    net::Packet& packet, Bytes& wire, const telemetry::IntHeader& prototype,
+    const std::vector<IntCrossing>& crossings,
+    const std::vector<double>& transit_ms, const topology::AsPath& path,
+    SimTime sent_at, double pre_wire_ms) {
+  telemetry::IntHeader header = prototype;
+  // Drop-counter snapshot: one network-wide tally, same value at every hop
+  // of this walk (the walk is instantaneous in sim time).
+  std::uint64_t drops_total = 0;
+  for (const auto& [proto, count] : stats_.dropped) drops_total += count;
+  const std::uint32_t drops_seen = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(drops_total, 0xFFFFFFFFULL));
+  const bool run_program =
+      header.hop_program_requested() && hop_program_ != nullptr;
+
+  // Record k is appended by the ingress border router of path.hops[k+1]:
+  // ingress is the cumulative wire time up to and across link k, egress
+  // adds the AS's interior transit (zero at the final AS, which delivers
+  // locally instead of forwarding).
+  double cum_ms = pre_wire_ms;
+  for (std::size_t k = 0; k < crossings.size(); ++k) {
+    if (k + 1 >= path.hops.size()) break;
+    cum_ms += crossings[k].link_delay_ms;
+    const topology::PathHop& hop = path.hops[k + 1];
+    const bool interior = k + 2 < path.hops.size();
+    const double residence_ms = interior ? transit_ms[k + 1] : 0.0;
+    telemetry::HopRecord rec;
+    rec.asn = hop.asn;
+    rec.ingress_interface = hop.ingress;
+    rec.egress_interface = interior ? hop.egress : 0;
+    rec.ingress_ns = sent_at + duration::from_ms(cum_ms);
+    rec.egress_ns = rec.ingress_ns + duration::from_ms(residence_ms);
+    rec.queue_depth = crossings[k].queue_depth;
+    rec.drops_seen = drops_seen;
+    rec.wire_faults = crossings[k].wire_faults;
+    if (header.push(rec)) {
+      obs_.int_pushes->add();
+      if (run_program) {
+        obs_.hop_program_runs->add();
+        const telemetry::HopRunResult hp = hop_program_->run_hop(
+            header, header.hop_count() - 1, rec,
+            duration::from_ms(crossings[k].link_delay_ms));
+        if (hp.trapped) obs_.hop_program_traps->add();
+      }
+    } else {
+      obs_.int_truncations->add();
+    }
+    cum_ms += residence_ms;
+  }
+
+  // Splice the updated header back over the payload prefix (serialized
+  // size is fixed by max_hops, so the frame length never changes) and
+  // re-serialize the frame so lengths and checksums stay valid.
+  const Bytes block = header.serialize();
+  if (block.size() <= packet.payload.size())
+    std::copy(block.begin(), block.end(), packet.payload.begin());
+  auto rewired = net::serialize_packet(packet);
+  if (rewired) wire = std::move(*rewired);
 }
 
 void SimulatedNetwork::schedule_delivery(const net::Packet& packet,

@@ -18,6 +18,8 @@
 #include "simnet/event_queue.hpp"
 #include "simnet/host_faults.hpp"
 #include "simnet/link_model.hpp"
+#include "telemetry/hop_program.hpp"
+#include "telemetry/int_header.hpp"
 #include "topology/topology.hpp"
 
 namespace debuglet::simnet {
@@ -154,6 +156,26 @@ class SimulatedNetwork {
   /// no plan is installed) — ground truth for tests and schedulers.
   HostFaultState host_fault_state(net::Ipv4Address address, SimTime t) const;
 
+  /// In-band telemetry (INT). When enabled, UDP and raw-IP packets whose
+  /// payload begins with a valid telemetry::IntHeader get one HopRecord
+  /// appended per inter-domain link crossed (at the terminating AS's
+  /// ingress border router). Off by default; when off the forwarding path
+  /// pays exactly one branch and the RNG draw order is unchanged either
+  /// way. ICMP/TCP packets never carry INT: their transport checksums
+  /// cover the payload, and a forwarding device must not rewrite them.
+  void set_int_enabled(bool on) { int_enabled_ = on; }
+  bool int_enabled() const { return int_enabled_; }
+
+  /// Installs (replaces) the every-router hop program: a validated DVM
+  /// mini-module run once per traversed device for INT packets that set
+  /// the hop-program flag (paper §VI-G's every-router placement,
+  /// TPP-style). Validation and translation happen here, once; each hop
+  /// pays only a fresh fuel-capped execution.
+  Status install_hop_program(vm::Module module,
+                             telemetry::HopProgramLimits limits = {});
+  void clear_hop_program() { hop_program_.reset(); }
+  bool has_hop_program() const { return hop_program_ != nullptr; }
+
   /// Ground-truth expected one-way delay for a protocol on a path now.
   Result<double> expected_path_delay_ms(const topology::AsPath& path,
                                         net::Protocol protocol) const;
@@ -173,6 +195,15 @@ class SimulatedNetwork {
                                  topology::InterfaceKey router,
                                  double forward_delay_ms);
 
+  /// Raw per-link observations collected during the path walk while INT
+  /// is active; turned into HopRecords once the copy survives to
+  /// delivery (timestamps need the transit delays drawn after the link
+  /// loop, so records are materialized late).
+  struct IntCrossing {
+    double link_delay_ms = 0.0;    // this copy's crossing delay
+    std::uint32_t queue_depth = 0; // active episodes on the link
+    std::uint32_t wire_faults = 0; // link integrity total so far
+  };
   /// One in-flight copy of a frame during the path walk: where it is,
   /// what it has accumulated, and how it has been damaged so far.
   struct TransitCopy {
@@ -180,11 +211,20 @@ class SimulatedNetwork {
     double delay_ms = 0.0;
     std::uint8_t ttl = 0;
     std::vector<WireDamage> damages;
+    std::vector<IntCrossing> crossings;  // populated only while INT active
   };
   void schedule_delivery(const net::Packet& packet, const Bytes& wire,
                          const std::vector<WireDamage>& damages,
                          const topology::AsPath& path, SimTime sent_at,
                          double delay_ms);
+  /// Builds this copy's INT record stack (plus optional hop-program runs)
+  /// and rewrites packet payload + wire bytes accordingly.
+  void apply_int_records(net::Packet& packet, Bytes& wire,
+                         const telemetry::IntHeader& prototype,
+                         const std::vector<IntCrossing>& crossings,
+                         const std::vector<double>& transit_ms,
+                         const topology::AsPath& path, SimTime sent_at,
+                         double pre_wire_ms);
 
   EventQueue& queue_;
   topology::Topology topology_;
@@ -232,8 +272,15 @@ class SimulatedNetwork {
     obs::Histogram* path_links = nullptr;
     obs::Counter* host_fault_egress_drops = nullptr;
     obs::Counter* host_fault_ingress_drops = nullptr;
+    obs::Counter* ttl_expired = nullptr;
+    obs::Counter* int_pushes = nullptr;
+    obs::Counter* int_truncations = nullptr;
+    obs::Counter* hop_program_runs = nullptr;
+    obs::Counter* hop_program_traps = nullptr;
   };
   ObsHandles obs_;
+  bool int_enabled_ = false;
+  std::unique_ptr<telemetry::HopProgramRuntime> hop_program_;
 };
 
 /// Hashes a parsed packet's flow identity (5-tuple; protocol-dependent).

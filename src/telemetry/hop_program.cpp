@@ -1,0 +1,130 @@
+#include "telemetry/hop_program.hpp"
+
+#include "vm/validator.hpp"
+
+namespace debuglet::telemetry {
+
+Result<std::unique_ptr<HopProgramRuntime>> HopProgramRuntime::create(
+    vm::Module module, HopProgramLimits limits) {
+  if (!module.host_imports.empty())
+    return fail("hop program: host imports are not allowed on the "
+                "forwarding path");
+  if (module.globals.size() < IntHeader::kRegisterCount)
+    return fail("hop program: needs at least " +
+                std::to_string(IntHeader::kRegisterCount) +
+                " globals (the carried hop registers)");
+  vm::ValidationLimits vl;
+  vl.max_memory = limits.max_memory;
+  vl.max_functions = 8;
+  vl.max_code_length = limits.max_code_length;
+  vl.max_locals = 32;
+  vl.max_globals = 16;
+  vl.entry_param_count = 4;  // (asn, hop_latency_ns, queue_depth, wire_faults)
+  if (auto s = vm::validate(module, vl); !s)
+    return fail("hop program: " + s.error_message());
+  const int entry = module.function_index(vm::kEntryPointName);
+  if (module.functions[static_cast<std::size_t>(entry)].param_count != 4)
+    return fail("hop program: run_debuglet must take (asn, hop_latency_ns, "
+                "queue_depth, wire_faults)");
+  vm::ExecutionLimits el;
+  el.fuel = limits.fuel_per_hop;
+  std::vector<std::int64_t> initial_globals = module.globals;
+  auto instance = vm::Instance::create(std::move(module), {}, el);
+  if (!instance) return instance.error();
+  return std::unique_ptr<HopProgramRuntime>(new HopProgramRuntime(
+      std::move(*instance), limits, std::move(initial_globals)));
+}
+
+HopRunResult HopProgramRuntime::run_hop(IntHeader& header,
+                                        std::uint8_t hop_index,
+                                        const HopRecord& record,
+                                        std::int64_t hop_latency_ns) {
+  HopRunResult out;
+  out.ran = true;
+  // Model a fresh per-device instance: every global starts at its module
+  // initial value; only the header's four carried registers travel between
+  // hops (and at the path's first hop there is nothing to carry yet).
+  for (std::size_t i = 0; i < initial_globals_.size(); ++i)
+    (void)instance_.set_global(i, initial_globals_[i]);
+  if (hop_index > 0)
+    for (std::size_t i = 0; i < IntHeader::kRegisterCount; ++i)
+      (void)instance_.set_global(i, header.registers()[i]);
+  const std::int64_t args[4] = {
+      static_cast<std::int64_t>(record.asn), hop_latency_ns,
+      static_cast<std::int64_t>(record.queue_depth),
+      static_cast<std::int64_t>(record.wire_faults)};
+  const vm::RunOutcome outcome =
+      instance_.run_function(vm::kEntryPointName, args);
+  out.fuel_used = outcome.fuel_used;
+  if (outcome.trapped) {
+    // The header's registers stay at their pre-hop values (the program
+    // may have half-written the globals); plain INT continues.
+    out.trapped = true;
+    header.mark_fell_back();
+    return out;
+  }
+  for (std::size_t i = 0; i < IntHeader::kRegisterCount; ++i)
+    header.registers()[i] = instance_.globals()[i];
+  if (outcome.value != 0) {
+    header.raise_alarm(hop_index);
+    out.alarmed = true;
+  }
+  return out;
+}
+
+vm::Module make_latency_watchdog(std::int64_t threshold_ns) {
+  using vm::Opcode;
+  vm::Module m;
+  m.memory_size = 256;
+  // g0 = max hop latency, g1 = hops executed, g2 = threshold,
+  // g3 = threshold crossings.
+  m.globals = {0, 0, threshold_ns, 0};
+  vm::Function f;
+  f.name = vm::kEntryPointName;
+  f.param_count = 4;  // (asn, hop_latency_ns, queue_depth, wire_faults)
+  f.code = {
+      {Opcode::kGlobalGet, 1},  //  0: ++g1
+      {Opcode::kConst, 1},      //  1
+      {Opcode::kAdd, 0},        //  2
+      {Opcode::kGlobalSet, 1},  //  3
+      {Opcode::kLocalGet, 1},   //  4: if (latency > g0) g0 = latency
+      {Opcode::kGlobalGet, 0},  //  5
+      {Opcode::kGtS, 0},        //  6
+      {Opcode::kJumpIfZ, 10},   //  7
+      {Opcode::kLocalGet, 1},   //  8
+      {Opcode::kGlobalSet, 0},  //  9
+      {Opcode::kLocalGet, 1},   // 10: if (latency > g2) { ++g3; return 1 }
+      {Opcode::kGlobalGet, 2},  // 11
+      {Opcode::kGtS, 0},        // 12
+      {Opcode::kJumpIfZ, 20},   // 13
+      {Opcode::kGlobalGet, 3},  // 14
+      {Opcode::kConst, 1},      // 15
+      {Opcode::kAdd, 0},        // 16
+      {Opcode::kGlobalSet, 3},  // 17
+      {Opcode::kConst, 1},      // 18
+      {Opcode::kReturn, 0},     // 19
+      {Opcode::kConst, 0},      // 20
+      {Opcode::kReturn, 0},     // 21
+  };
+  m.functions.push_back(std::move(f));
+  return m;
+}
+
+vm::Module make_fuel_burner() {
+  using vm::Opcode;
+  vm::Module m;
+  m.memory_size = 256;
+  m.globals = {0, 0, 0, 0};
+  vm::Function f;
+  f.name = vm::kEntryPointName;
+  f.param_count = 4;
+  f.code = {
+      {Opcode::kConst, 0},  // 0: spin until the fuel cap traps the run
+      {Opcode::kDrop, 0},   // 1
+      {Opcode::kJump, 0},   // 2
+  };
+  m.functions.push_back(std::move(f));
+  return m;
+}
+
+}  // namespace debuglet::telemetry

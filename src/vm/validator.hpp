@@ -20,6 +20,10 @@ struct ValidationLimits {
   std::uint32_t max_code_length = 1 << 16;  // instructions per function
   std::uint32_t max_locals = 256;           // params + locals per function
   std::uint32_t max_globals = 256;
+  /// Exact parameter count the entry point must declare. Executors run
+  /// parameterless Debuglets (0); the forwarding-path hop-program ABI
+  /// passes per-hop facts as arguments instead.
+  std::uint32_t entry_param_count = 0;
 };
 
 /// Checks a module against the limits and internal consistency rules:

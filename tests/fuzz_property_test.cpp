@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/wire.hpp"
 #include "simnet/link_faults.hpp"
+#include "telemetry/int_header.hpp"
 #include "util/rng.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/validator.hpp"
@@ -592,6 +593,111 @@ TEST(FuzzWireParsers, DamagedSnapshotsNeverDecodeSilently) {
       }
     }
   }
+}
+
+TEST(FuzzWireParsers, DamagedIntStacksRejectTypedOrRoundTrip) {
+  // Corpus: real serialized INT stacks across hop budgets and flag
+  // combinations — what a collector actually receives once probes opt in.
+  std::vector<Bytes> corpus;
+  for (const std::uint8_t budget :
+       {std::uint8_t{1}, std::uint8_t{5}, telemetry::IntHeader::kMaxHopsLimit}) {
+    telemetry::IntHeader h =
+        telemetry::IntHeader::reserve(budget, /*request_hop_program=*/budget == 5);
+    h.registers() = {1, -2, 3, -4};
+    for (std::uint8_t hop = 0; hop < budget; ++hop) {
+      telemetry::HopRecord rec;
+      rec.asn = 10u + hop;
+      rec.ingress_interface = 1;
+      rec.egress_interface = static_cast<std::uint16_t>(hop + 1 < budget ? 2 : 0);
+      rec.ingress_ns = 1'000'000ULL * (hop + 1u);
+      rec.egress_ns = rec.ingress_ns + 50'000;
+      rec.queue_depth = hop;
+      rec.drops_seen = 3u * hop;
+      rec.wire_faults = hop % 2;
+      ASSERT_TRUE(h.push(rec));
+    }
+    if (budget == 5) h.raise_alarm(2);
+    if (budget == telemetry::IntHeader::kMaxHopsLimit) {
+      EXPECT_FALSE(h.push(telemetry::HopRecord{}));  // latches TRUNCATED
+    }
+    Bytes wire = h.serialize();
+    ASSERT_EQ(wire.size(), telemetry::IntHeader::wire_size(budget));
+    ASSERT_TRUE(
+        telemetry::IntHeader::parse(BytesView(wire.data(), wire.size())).ok());
+    corpus.push_back(std::move(wire));
+  }
+
+  Rng rng(0x1D17);
+  int rejected = 0, typed = 0, accepted = 0;
+  bool kind_seen[6] = {};
+  const int iterations = fuzz_iterations(4000);
+  for (int i = 0; i < iterations; ++i) {
+    Bytes mutated = corpus[rng.index(corpus.size())];
+    // Structure-aware damage: alongside the generic link-chaos mutators,
+    // target the fields the parser branches on so every typed rejection
+    // path is exercised, not just the digest backstop.
+    switch (rng.index(7)) {
+      case 0:  // magic
+        mutated[rng.index(4)] ^= static_cast<std::uint8_t>(1 + rng.index(255));
+        break;
+      case 1:  // version
+        mutated[4] ^= static_cast<std::uint8_t>(1 + rng.index(255));
+        break;
+      case 2:  // hop bookkeeping: budget zeroed, blown past the limit, or
+               // a hop_count the budget cannot hold
+        if (rng.chance(0.5))
+          mutated[6] = rng.chance(0.5) ? 0 : 200;
+        else
+          mutated[7] = static_cast<std::uint8_t>(
+              mutated[6] + 1 + rng.index(50));
+        break;
+      case 3:  // truncate mid-stack
+        mutated.resize(1 + rng.index(mutated.size()));
+        break;
+      case 4:  // flip inside registers/records/digest
+        mutated[12 + rng.index(mutated.size() - 12)] ^=
+            static_cast<std::uint8_t>(1 + rng.index(255));
+        break;
+      default:  // the real link-chaos mutators + codec-shaped damage
+        mutated = link_damage(rng, mutated);
+        break;
+    }
+    telemetry::IntParseError kind = telemetry::IntParseError::kNone;
+    auto parsed = telemetry::IntHeader::parse(
+        BytesView(mutated.data(), mutated.size()), &kind);
+    if (!parsed.ok()) {
+      ++rejected;
+      EXPECT_NE(kind, telemetry::IntParseError::kNone)
+          << parsed.error_message();
+      EXPECT_STRNE(telemetry::int_parse_error_name(kind), "none");
+      if (kind != telemetry::IntParseError::kNone) ++typed;
+      kind_seen[static_cast<std::size_t>(kind)] = true;
+      continue;
+    }
+    // Accepted mutants (junk tails past the digest, or untouched frames)
+    // must round-trip canonically and keep every bound intact.
+    ++accepted;
+    EXPECT_LE(parsed->hop_count(), parsed->max_hops());
+    EXPECT_LE(parsed->max_hops(), telemetry::IntHeader::kMaxHopsLimit);
+    EXPECT_EQ(parsed->records().size(), parsed->hop_count());
+    const Bytes again = parsed->serialize();
+    auto reparsed =
+        telemetry::IntHeader::parse(BytesView(again.data(), again.size()));
+    ASSERT_TRUE(reparsed.ok()) << "canonical re-parse failed at " << i;
+    EXPECT_EQ(*reparsed, *parsed);
+  }
+  EXPECT_EQ(typed, rejected);
+  EXPECT_GT(rejected, iterations / 2) << "mutator too gentle to mean much";
+  EXPECT_GE(accepted, 1) << "junk tails should still parse (trailing ignored)";
+  // The targeted mutations must reach every typed rejection, digest
+  // backstop included.
+  for (const telemetry::IntParseError k :
+       {telemetry::IntParseError::kTruncated, telemetry::IntParseError::kBadMagic,
+        telemetry::IntParseError::kBadVersion,
+        telemetry::IntParseError::kBadHopCount,
+        telemetry::IntParseError::kDigestMismatch})
+    EXPECT_TRUE(kind_seen[static_cast<std::size_t>(k)])
+        << "never saw " << telemetry::int_parse_error_name(k);
 }
 
 TEST(FuzzExecutorCodecs, DamagedManifestsParseCanonicallyOrFail) {

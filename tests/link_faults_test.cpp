@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "simnet/link_faults.hpp"
 #include "simnet/scenarios.hpp"
+#include "telemetry/int_header.hpp"
 
 namespace debuglet {
 namespace {
@@ -120,10 +121,12 @@ struct CountingHost : simnet::Host {
     ++received;
     arrivals.push_back(delivery.received_at);
     payload_bytes += delivery.packet.payload.size();
+    payloads.push_back(delivery.packet.payload);
   }
   int received = 0;
   std::size_t payload_bytes = 0;
   std::vector<SimTime> arrivals;
+  std::vector<Bytes> payloads;
 };
 
 struct LinkFaultNetFixture : ::testing::Test {
@@ -379,12 +382,13 @@ TEST(LinkFaultDeterminism, EmptyPlanLeavesLegacyStreamUntouched) {
     const auto src = scenario.network->allocate_host_address(1);
     const auto dst = scenario.network->allocate_host_address(3);
     ASSERT_TRUE(scenario.network->attach_host(dst, &rx).ok());
-    if (install_empty_plan)
+    if (install_empty_plan) {
       ASSERT_TRUE(scenario.network
                       ->install_link_faults(simnet::chain_egress(0),
                                             simnet::chain_ingress(1),
                                             LinkFaultPlan{}.flap(5, 3))
                       .ok());
+    }
     for (int i = 0; i < 10; ++i) {
       net::ProbeSpec spec;
       spec.source = src;
@@ -513,6 +517,104 @@ TEST(LinkFaultLocalization, BracketsInjectedFaultUnderWireChaos) {
     evidence += step.wire_integrity;
   EXPECT_GT(evidence.total(), 0u)
       << "wire chaos never fired; the scenario is vacuous";
+}
+
+// --- In-band telemetry under wire chaos --------------------------------------
+
+TEST_F(LinkFaultNetFixture, CorruptedIntStacksAreRejectedTyped) {
+  // Certain corruption on the first link while INT is collecting: damage
+  // the L3 checksums miss lands in the INT block, where the trailing
+  // digest catches it — a typed rejection, never a crash and never
+  // trusted evidence.
+  scenario.network->set_int_enabled(true);
+  LinkFaultPlan plan;
+  plan.corrupt(1000.0, 2);
+  ASSERT_TRUE(install_first_link(plan).ok());
+  const int sent = 40;
+  for (int i = 0; i < sent; ++i) {
+    net::ProbeSpec spec;
+    spec.source = sender_addr;
+    spec.destination = receiver_addr;
+    spec.source_port = 40001;
+    spec.destination_port = 40002;
+    spec.sequence = static_cast<std::uint16_t>(i);
+    spec.payload = telemetry::IntHeader::reserve(2).serialize();
+    auto wire = net::build_probe(spec);
+    ASSERT_TRUE(wire.ok());
+    ASSERT_TRUE(scenario.network->send(sender_addr, std::move(*wire)).ok());
+    scenario.queue->run();
+  }
+  // Every frame carried (and accumulated) INT records before the damage.
+  EXPECT_EQ(scoped.get().counter("telemetry.int_pushes").value(),
+            static_cast<std::uint64_t>(2 * sent));
+  int intact = 0, rejected_digest = 0, rejected_other = 0;
+  for (const Bytes& payload : receiver.payloads) {
+    telemetry::IntParseError kind = telemetry::IntParseError::kNone;
+    auto parsed = telemetry::IntHeader::parse(
+        BytesView(payload.data(), payload.size()), &kind);
+    if (parsed.ok())
+      ++intact;
+    else if (kind == telemetry::IntParseError::kDigestMismatch)
+      ++rejected_digest;
+    else
+      ++rejected_other;
+  }
+  EXPECT_GT(rejected_digest, 0)
+      << "payload-only corruption must be caught by the INT digest";
+  EXPECT_EQ(intact + rejected_digest + rejected_other,
+            receiver.received)
+      << "every delivery classifies; none crashes the parser";
+}
+
+TEST(IntChaosLocalization, InbandDegradesToBinarySearchNeverMislocalizes) {
+  // The in-band round runs into certain truncation on the first link
+  // (windowed over the round), so no intact evidence arrives; the
+  // strategy must fall back to purchased binary search and still pin the
+  // 60 ms delay fault on link 1 — degraded, never wrong.
+  obs::ScopedRegistry scoped;
+  constexpr std::size_t kAses = 4;
+  core::DebugletSystem system(simnet::build_chain_scenario(kAses, 616, 5.0));
+  core::Initiator initiator(system, 617, 2'000'000'000'000ULL);
+
+  simnet::FaultSpec fault;
+  fault.extra_delay_ms = 60.0;
+  fault.start = 0;
+  fault.end = duration::hours(100);
+  ASSERT_TRUE(system.network()
+                  .inject_fault(simnet::chain_egress(1),
+                                simnet::chain_ingress(2), fault)
+                  .ok());
+  ASSERT_TRUE(system.network()
+                  .inject_fault(simnet::chain_ingress(2),
+                                simnet::chain_egress(1), fault)
+                  .ok());
+  LinkFaultPlan plan;
+  plan.truncate(1000.0, FaultWindow{0, duration::milliseconds(500)});
+  ASSERT_TRUE(system.network()
+                  .install_link_faults(simnet::chain_egress(0),
+                                       simnet::chain_ingress(1), plan)
+                  .ok());
+
+  auto path = system.network().topology().shortest_path(1, kAses);
+  ASSERT_TRUE(path.ok());
+  core::FaultCriteria criteria;
+  criteria.per_link_rtt_ms = 10.5;
+  criteria.slack_ms = 15.0;
+  criteria.max_loss = 0.5;
+  core::FaultLocalizer localizer(system, initiator, *path, criteria,
+                                 net::Protocol::kUdp, 8, 100);
+  auto report = localizer.run(core::Strategy::kInband);
+  ASSERT_TRUE(report.ok()) << report.error_message();
+  ASSERT_TRUE(report->located) << "fallback search must still locate";
+  EXPECT_EQ(report->fault_link, 1u);
+  EXPECT_GE(report->measurements, 3u)
+      << "the verdict must come from the purchased fallback rounds";
+  bool noted_fallback = false;
+  for (const std::string& note : report->notes)
+    noted_fallback |= note.find("falling back") != std::string::npos;
+  EXPECT_TRUE(noted_fallback)
+      << "the degradation must be reported, not silent";
+  EXPECT_GT(report->tokens_spent, 0u);
 }
 
 }  // namespace

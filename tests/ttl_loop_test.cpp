@@ -1,0 +1,152 @@
+// TTL / hop-limit enforcement under routing loops.
+//
+// A pinned two-node routing loop (AS1 <-> AS2 bouncing until the hop limit
+// runs out) must terminate: the packet expires at a border router, the
+// expiry is counted on `net.ttl_expired`, at most one ICMP time exceeded
+// goes back (never an ICMP error about an ICMP error, RFC 1122 §3.2.2),
+// and the event queue drains even when BOTH directions loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace debuglet {
+namespace {
+
+struct RxHost : simnet::Host {
+  void on_packet(const simnet::Delivery& delivery) override {
+    packets.push_back(delivery.packet);
+  }
+  std::vector<net::Packet> packets;
+};
+
+// A path from AS1 to AS2 that bounces over the single inter-domain link
+// `links` times (odd, so it terminates at AS2). Interface numbers follow
+// the chain scenario: AS1 faces AS2 on interface 2, AS2 faces back on 1.
+topology::AsPath looping_path_1_to_2(std::size_t links) {
+  topology::AsPath path;
+  path.hops.push_back({1, 0, 2});
+  for (std::size_t i = 1; i <= links; ++i) {
+    if (i % 2 == 1)
+      path.hops.push_back({2, 1, 1});
+    else
+      path.hops.push_back({1, 2, 2});
+  }
+  path.hops.back().egress = 0;
+  return path;
+}
+
+topology::AsPath looping_path_2_to_1(std::size_t links) {
+  topology::AsPath path;
+  path.hops.push_back({2, 0, 1});
+  for (std::size_t i = 1; i <= links; ++i) {
+    if (i % 2 == 1)
+      path.hops.push_back({1, 2, 2});
+    else
+      path.hops.push_back({2, 1, 1});
+  }
+  path.hops.back().egress = 0;
+  return path;
+}
+
+struct TtlLoopFixture : ::testing::Test {
+  TtlLoopFixture() : scenario(simnet::build_chain_scenario(2, 99, 5.0)) {
+    sender_addr = scenario.network->allocate_host_address(1);
+    receiver_addr = scenario.network->allocate_host_address(2);
+    EXPECT_TRUE(scenario.network->attach_host(sender_addr, &sender).ok());
+    EXPECT_TRUE(scenario.network->attach_host(receiver_addr, &receiver).ok());
+  }
+
+  Status send_probe(std::uint8_t ttl) {
+    net::ProbeSpec spec;
+    spec.source = sender_addr;
+    spec.destination = receiver_addr;
+    spec.source_port = 40001;
+    spec.destination_port = 40002;
+    spec.ttl = ttl;
+    auto wire = net::build_probe(spec);
+    if (!wire) return wire.error();
+    return scenario.network->send(sender_addr, std::move(*wire));
+  }
+
+  std::uint64_t ttl_expired() {
+    return scoped.get().counter("net.ttl_expired").value();
+  }
+
+  obs::ScopedRegistry scoped;  // before the network: handles are cached
+  simnet::Scenario scenario;
+  net::Ipv4Address sender_addr, receiver_addr;
+  RxHost sender, receiver;
+};
+
+TEST_F(TtlLoopFixture, RoutingLoopExpiresCountsAndAnswers) {
+  // 69 bounces over the one link; a TTL-64 probe dies at crossing 64.
+  scenario.network->pin_path(1, 2, looping_path_1_to_2(69));
+  ASSERT_TRUE(send_probe(64).ok());
+  scenario.queue->run();
+
+  EXPECT_TRUE(receiver.packets.empty()) << "the looped probe must not arrive";
+  EXPECT_EQ(ttl_expired(), 1u);
+  // The expiring border router answers with ICMP time exceeded over the
+  // (healthy) reverse path.
+  ASSERT_EQ(sender.packets.size(), 1u);
+  ASSERT_TRUE(sender.packets[0].icmp.has_value());
+  EXPECT_EQ(sender.packets[0].icmp->type, net::kIcmpTimeExceeded);
+}
+
+TEST_F(TtlLoopFixture, MutuallyLoopingPathsStillDrainTheQueue) {
+  // Both directions loop: the probe expires, the time-exceeded reply then
+  // expires too — and the second expiry must NOT mint an ICMP error about
+  // an ICMP error, or the pair would ping-pong forever.
+  scenario.network->pin_path(1, 2, looping_path_1_to_2(69));
+  scenario.network->pin_path(2, 1, looping_path_2_to_1(69));
+  ASSERT_TRUE(send_probe(5).ok());  // expires at an AS2 border router
+  scenario.queue->run();  // pre-fix this never returned
+
+  EXPECT_TRUE(receiver.packets.empty());
+  EXPECT_TRUE(sender.packets.empty())
+      << "the reply itself loops and dies; nothing arrives";
+  EXPECT_EQ(ttl_expired(), 2u)
+      << "exactly two expiries: the probe and its reply";
+}
+
+TEST_F(TtlLoopFixture, DeliveredPacketsCarryTheDecrementedTtl) {
+  ASSERT_TRUE(send_probe(64).ok());
+  scenario.queue->run();
+  ASSERT_EQ(receiver.packets.size(), 1u);
+  EXPECT_EQ(receiver.packets[0].ip.ttl, 63) << "one link crossed";
+
+  // A TTL that reaches exactly zero ON the final link still delivers:
+  // expiry only applies to packets that still have links ahead.
+  receiver.packets.clear();
+  ASSERT_TRUE(send_probe(1).ok());
+  scenario.queue->run();
+  ASSERT_EQ(receiver.packets.size(), 1u);
+  EXPECT_EQ(receiver.packets[0].ip.ttl, 0);
+  EXPECT_EQ(ttl_expired(), 0u);
+}
+
+TEST(BuildTimeExceeded, RefusesIcmpErrorsAboutIcmpErrors) {
+  net::Packet expired;
+  expired.ip.source = net::Ipv4Address(10, 0, 1, 200);
+  expired.ip.destination = net::Ipv4Address(10, 0, 2, 200);
+  expired.ip.protocol = 1;
+  expired.protocol = net::Protocol::kIcmp;
+  net::IcmpEchoHeader icmp;
+  icmp.type = net::kIcmpTimeExceeded;
+  expired.icmp = icmp;
+  EXPECT_FALSE(
+      net::build_time_exceeded(expired, net::Ipv4Address(10, 0, 2, 1)).ok())
+      << "RFC 1122: never build an ICMP error about an ICMP error";
+
+  // Ordinary expired traffic still gets its reply.
+  expired.icmp->type = net::kIcmpEchoRequest;
+  EXPECT_TRUE(
+      net::build_time_exceeded(expired, net::Ipv4Address(10, 0, 2, 1)).ok());
+}
+
+}  // namespace
+}  // namespace debuglet

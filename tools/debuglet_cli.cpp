@@ -10,8 +10,9 @@
 //       verified results.
 //
 //   debuglet localize  --ases N --fault-link K [--fault-ms D]
-//                      [--strategy linear|binary|parallel] [--seed S]
-//       Inject a fault and localize it with Debuglet-pair measurements.
+//                      [--strategy linear|binary|parallel|inband] [--seed S]
+//       Inject a fault and localize it with Debuglet-pair measurements
+//       (inband: one INT probe round, falling back to binary search).
 //
 //   debuglet traceroute --ases N [--mute AS]... [--rate-limit AS]...
 //                      [--seed S]
@@ -31,15 +32,18 @@
 //       under their remote_host label.
 //
 //   debuglet trace     [--ases N] [--fault-link K] [--seed S] [--out FILE]
+//                      [--int]
 //       Run a binary-search localization with span tracing enabled and
-//       write a Chrome trace-event file of the run.
+//       write a Chrome trace-event file of the run. With --int the
+//       localization runs the in-band strategy instead and the per-hop
+//       INT path records of one probe are printed.
 //
 //   debuglet chaos     [--ases N] [--fault-link K] [--fault-ms D]
 //                      [--kill AS#IF]... [--crash AS#IF]...
 //                      [--byzantine AS#IF] [--attempts N] [--seed S]
 //                      [--link-corrupt PM] [--link-truncate PM]
 //                      [--link-dup PM] [--link-reorder PM]
-//                      [--link-flap-ms D] [--check-determinism]
+//                      [--link-flap-ms D] [--int] [--check-determinism]
 //       Inject a link fault AND executor failures (killed agents, crashed
 //       hosts, optionally a byzantine signer), then run a resilient
 //       end-to-end measurement plus a degraded-mode localization. The
@@ -48,6 +52,10 @@
 //       reordering, and a timed flap of the faulty link — and print a
 //       fault matrix of injections vs. defenses. Exits 0 when the
 //       measurement survives and the report brackets the injected link.
+//       --int localizes with the in-band INT strategy (every-router
+//       records; degrades to binary search when chaos destroys the
+//       probe's record stack) and adds the telemetry.* counters to the
+//       deterministic trace.
 //       --check-determinism replays the scenario with the same seed and
 //       verifies the retry/failover/fault-matrix trace is bit-identical.
 //
@@ -65,6 +73,8 @@
 
 #include "core/debuglet.hpp"
 #include "obs/export.hpp"
+#include "telemetry/int_header.hpp"
+#include "telemetry/path_evidence.hpp"
 #include "vm/assembler.hpp"
 #include "vm/validator.hpp"
 
@@ -227,6 +237,8 @@ int cmd_localize(const Args& args) {
     strategy = core::Strategy::kLinearSequential;
   else if (strategy_name == "parallel")
     strategy = core::Strategy::kParallelSweep;
+  else if (strategy_name == "inband")
+    strategy = core::Strategy::kInband;
   else if (strategy_name != "binary") {
     std::printf("unknown strategy '%s'\n", strategy_name.c_str());
     return 1;
@@ -265,6 +277,8 @@ int cmd_localize(const Args& args) {
                 step.summary.mean_ms, 100.0 * step.summary.loss_rate(),
                 step.faulty ? "FAULTY" : "");
   }
+  for (const std::string& note : report->notes)
+    std::printf("  note: %s\n", note.c_str());
   if (report->located) {
     std::printf("fault on link AS%u - AS%u (injected after hop %zu)\n",
                 path->hops[report->fault_link].asn,
@@ -497,6 +511,71 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// Sends one INT probe end to end over `path` and prints the per-hop
+// records (the `trace --int` / example_int_path_trace view of a path).
+void print_int_path_records(core::DebugletSystem& system,
+                            const topology::AsPath& path) {
+  simnet::SimulatedNetwork& network = system.network();
+  struct Collector : simnet::Host {
+    std::vector<simnet::Delivery> deliveries;
+    void on_packet(const simnet::Delivery& d) override {
+      deliveries.push_back(d);
+    }
+  } collector;
+  const auto dst = network.allocate_host_address(path.hops.back().asn);
+  if (!network.attach_host(dst, &collector)) return;
+  const auto src = network.topology().address_of(
+      {path.hops.front().asn, path.hops.front().egress});
+  const bool was_enabled = network.int_enabled();
+  network.set_int_enabled(true);
+
+  net::ProbeSpec spec;
+  spec.protocol = net::Protocol::kUdp;
+  spec.source = src;
+  spec.destination = dst;
+  spec.source_port = 48000;
+  spec.destination_port = 48001;
+  spec.payload = telemetry::IntHeader::reserve(
+                     static_cast<std::uint8_t>(path.length() - 1))
+                     .serialize();
+  auto wire = net::build_probe(spec);
+  if (wire) (void)network.send(src, std::move(*wire));
+  system.queue().run_until(system.queue().now() + duration::seconds(2));
+  network.set_int_enabled(was_enabled);
+  network.detach_host(dst);
+
+  if (collector.deliveries.empty()) {
+    std::printf("in-band trace probe was lost\n");
+    return;
+  }
+  const simnet::Delivery& d = collector.deliveries.front();
+  auto header = telemetry::IntHeader::parse(
+      BytesView(d.packet.payload.data(), d.packet.payload.size()));
+  if (!header) {
+    std::printf("in-band trace unreadable: %s\n",
+                header.error_message().c_str());
+    return;
+  }
+  auto evidence = telemetry::PathEvidence::from_header(*header, path,
+                                                       d.sent_at);
+  if (!evidence) {
+    std::printf("in-band trace rejected: %s\n",
+                evidence.error_message().c_str());
+    return;
+  }
+  std::printf("in-band path records (1 probe, %zu hops):\n",
+              evidence->links());
+  std::printf("  %-4s %-6s %-9s | %10s %10s %7s %7s %7s\n", "hop", "AS",
+              "iface", "link(ms)", "resid(ms)", "queue", "drops", "faults");
+  for (const telemetry::LinkObservation& o : evidence->observations()) {
+    std::printf("  %-4zu %-6u %3u->%-5u | %10.3f %10.3f %7u %7u %7u\n",
+                o.link, o.record.asn, o.record.ingress_interface,
+                o.record.egress_interface, o.one_way_ms, o.residence_ms,
+                o.record.queue_depth, o.record.drops_seen,
+                o.record.wire_faults);
+  }
+}
+
 int cmd_trace(const Args& args) {
   obs::set_enabled(true);
   obs::tracer().set_enabled(true);
@@ -529,7 +608,9 @@ int cmd_trace(const Args& args) {
   criteria.slack_ms = 15.0;
   core::FaultLocalizer localizer(system, initiator, *path, criteria,
                                  net::Protocol::kUdp, 8, 100);
-  auto report = localizer.run(core::Strategy::kBinarySearch);
+  auto report = localizer.run(args.has("int") ? core::Strategy::kInband
+                                              : core::Strategy::kBinarySearch);
+  if (args.has("int")) print_int_path_records(system, *path);
   obs::tracer().set_sim_clock(nullptr);
   if (!report) {
     std::printf("localization failed: %s\n", report.error_message().c_str());
@@ -569,6 +650,9 @@ struct ChaosParams {
   std::int64_t link_dup_pm = 0;
   std::int64_t link_reorder_pm = 0;
   std::int64_t link_flap_ms = 0;
+  /// Localize with the in-band INT strategy (falls back to binary search
+  /// when chaos destroys the probe's record stack).
+  bool int_mode = false;
 
   bool link_faults() const {
     return link_corrupt_pm > 0 || link_truncate_pm > 0 || link_dup_pm > 0 ||
@@ -707,7 +791,8 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   resilience.use_retry = true;
   resilience.retry.max_attempts = p.attempts;
   localizer.set_resilience(resilience);
-  auto report = localizer.run(core::Strategy::kLinearSequential);
+  auto report = localizer.run(p.int_mode ? core::Strategy::kInband
+                                         : core::Strategy::kLinearSequential);
   if (!report) {
     if (verbose)
       std::printf("localization failed: %s\n",
@@ -779,6 +864,20 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   for (const std::string& note : report->notes) out.trace += "\n" + note;
 
   out.counters = obs::registry().snapshot();
+  if (p.int_mode) {
+    // The in-band round's outcome is part of the deterministic trace:
+    // equal seeds must push, reject, and fall back identically.
+    const auto n = [&](const char* name) {
+      return std::to_string(
+          static_cast<long long>(counter_sum(out.counters, name)));
+    };
+    out.trace += "\nint: pushes " + n("telemetry.int_pushes") +
+                 ", truncations " + n("telemetry.int_truncations") +
+                 ", parse-rejected " + n("telemetry.parse_rejected") +
+                 ", evidence-rejected " + n("telemetry.evidence_rejected") +
+                 ", inband-rounds " + n("core.localization.inband_rounds") +
+                 ", fallbacks " + n("core.localization.inband_fallbacks");
+  }
   if (p.link_faults()) {
     // Fault matrix: what the wire injected vs. what each defense caught.
     // Counter values are deterministic, so this is part of the trace too.
@@ -844,6 +943,7 @@ int cmd_chaos(const Args& args) {
   p.link_dup_pm = args.get_int("link-dup", 0);
   p.link_reorder_pm = args.get_int("link-reorder", 0);
   p.link_flap_ms = args.get_int("link-flap-ms", 0);
+  p.int_mode = args.has("int");
   if (p.kills.empty() && p.crashes.empty() && p.byzantine.empty() &&
       !p.link_faults()) {
     // Default chaos: the AS on the near side of the faulty link goes
@@ -872,6 +972,8 @@ int cmd_chaos(const Args& args) {
         row.name.rfind("core.probe_", 0) == 0 ||
         row.name.rfind("core.scrape_chunks", 0) == 0 ||
         row.name.rfind("net.parse_rejected", 0) == 0 ||
+        row.name.rfind("net.ttl_expired", 0) == 0 ||
+        row.name.rfind("telemetry.", 0) == 0 ||
         row.name.rfind("simnet.host_fault", 0) == 0 ||
         row.name.rfind("simnet.wire_faults", 0) == 0 ||
         row.name.rfind("executor.deployments_abandoned", 0) == 0)
@@ -966,7 +1068,8 @@ void usage() {
       "  chaos       kill/crash executors on a faulty path, then run a\n"
       "              resilient measurement and a degraded localization\n"
       "              (--link-corrupt/--link-truncate/--link-dup/\n"
-      "              --link-reorder/--link-flap-ms add wire-level chaos)\n"
+      "              --link-reorder/--link-flap-ms add wire-level chaos;\n"
+      "              --int localizes via in-band INT records)\n"
       "  asm FILE    assemble DVM assembly into FILE.dvm\n"
       "  disasm FILE print the assembly of a serialized module\n\n"
       "run a command with no flags for sensible defaults; see tools/\n"
