@@ -49,10 +49,14 @@ void RemoteScraper::request_chunk(std::uint16_t index) {
     return;
   }
   // The policy's backoff before attempt k doubles as attempt k-1's
-  // response timeout; give up once max_attempts is exhausted.
+  // response timeout; give up once max_attempts is exhausted. The timer
+  // is homed on the scraper host's domain: deliveries (on_packet) run
+  // there, so pending_/attempts_ stay single-lane under sharding.
   const SimDuration timeout =
       config_.retry.delay_before(attempt + 1, retry_rng_);
-  network_.queue().schedule_after(timeout, [this, index, token, timeout] {
+  network_.queue().schedule_on(
+      network_.domain_of(address_), network_.now() + timeout,
+      [this, index, token, timeout] {
     if (finished_) return;
     auto it = pending_.find(index);
     if (it == pending_.end() || it->second != token) return;

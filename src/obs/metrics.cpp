@@ -21,6 +21,7 @@ std::string labels_to_string(const Labels& labels) {
 }
 
 void Histogram::record_always(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++buckets_[bucket_index(v)];
   if (count_ == 0) {
     min_ = max_ = v;
@@ -79,6 +80,7 @@ double Histogram::percentile(double p) const {
 }
 
 void Histogram::merge(const Histogram& other) {
+  std::scoped_lock lock(mu_, other.mu_);
   if (other.count_ == 0) return;
   for (std::size_t i = 0; i < kBucketCount; ++i)
     buckets_[i] += other.buckets_[i];
@@ -94,6 +96,7 @@ void Histogram::merge(const Histogram& other) {
 }
 
 void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
@@ -110,6 +113,7 @@ Status Histogram::restore(const std::vector<std::uint64_t>& buckets,
   if (total != count)
     return fail("histogram restore: bucket sum " + std::to_string(total) +
                 " != count " + std::to_string(count));
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_ = buckets;
   count_ = count;
   sum_ = sum;
@@ -136,21 +140,30 @@ T& MetricsRegistry::lookup(std::map<std::string, Entry<T>>& map,
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   return lookup(counters_, name, labels);
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   return lookup(gauges_, name, labels);
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   return lookup(histograms_, name, labels);
 }
 
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 std::vector<MetricRow> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricRow> rows;
-  rows.reserve(size());
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, entry] : counters_) {
     MetricRow row;
     row.name = entry.name;
@@ -194,6 +207,7 @@ std::vector<MetricRow> MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [_, entry] : counters_) entry.metric->reset();
   for (auto& [_, entry] : gauges_) entry.metric->reset();
   for (auto& [_, entry] : histograms_) entry.metric->reset();

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,7 +36,10 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// Canonical rendering: "{a=1,b=2}" with keys sorted; "" for no labels.
 std::string labels_to_string(const Labels& labels);
 
-/// A monotonically increasing count.
+/// A monotonically increasing count. Increments are lock-free and safe
+/// from any simnet shard thread (relaxed atomics: totals are exact, but a
+/// reader racing a writer may see a slightly stale value — reads happen
+/// between runs in practice).
 class Counter {
  public:
   Counter() = default;
@@ -44,21 +48,28 @@ class Counter {
   void add(std::uint64_t n = 1) {
     if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed))
       return;
-    value_ += n;
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
   /// Sets the absolute value, ignoring the enabled flag — the snapshot
   /// import path (obs/wire merge_rows); re-imports overwrite, never
   /// double-count.
-  void set_total(std::uint64_t v) { value_ = v; }
+  void set_total(std::uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+  }
 
  private:
   const std::atomic<bool>* enabled_ = nullptr;  // null = always on
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// A point-in-time value (queue depth, store size, balance).
+/// A point-in-time value (queue depth, store size, balance). Updates are
+/// atomic so shard threads may touch disjoint gauges concurrently; a
+/// single gauge written from several threads keeps a correct high-water
+/// mark but last-writer-wins on the point value.
 class Gauge {
  public:
   Gauge() = default;
@@ -67,30 +78,45 @@ class Gauge {
   void set(double v) {
     if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed))
       return;
-    value_ = v;
-    if (v > max_seen_) max_seen_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
   }
   void add(double d) {
     if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed))
       return;
-    value_ += d;
-    if (value_ > max_seen_) max_seen_ = value_;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+    raise_max(cur + d);
   }
-  double value() const { return value_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
   /// Largest value ever set (high-water mark; useful for queue depths).
-  double max_seen() const { return max_seen_; }
-  void reset() { value_ = max_seen_ = 0.0; }
+  double max_seen() const {
+    return max_seen_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0.0, std::memory_order_relaxed);
+    max_seen_.store(0.0, std::memory_order_relaxed);
+  }
   /// Restores value and high-water mark, ignoring the enabled flag (the
   /// snapshot import path).
   void restore(double value, double max_seen) {
-    value_ = value;
-    max_seen_ = max_seen;
+    value_.store(value, std::memory_order_relaxed);
+    max_seen_.store(max_seen, std::memory_order_relaxed);
   }
 
  private:
+  void raise_max(double v) {
+    double seen = max_seen_.load(std::memory_order_relaxed);
+    while (v > seen && !max_seen_.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
   const std::atomic<bool>* enabled_ = nullptr;
-  double value_ = 0.0;
-  double max_seen_ = 0.0;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_seen_{0.0};
 };
 
 /// A log-bucketed histogram over positive values.
@@ -158,6 +184,13 @@ class Histogram {
 
  private:
   const std::atomic<bool>* enabled_ = nullptr;
+  // Serializes writers: histograms are the one metric whose update is a
+  // read-modify-write over a whole bucket vector, and simnet shard
+  // threads record into shared histograms (link delay, pop latency).
+  // The enabled check stays outside the lock, so a disabled histogram
+  // still costs one relaxed load. Readers (percentiles, snapshots) run
+  // between runs, after the shard barrier, and stay lock-free.
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> buckets_ =
       std::vector<std::uint64_t>(kBucketCount, 0);
   std::uint64_t count_ = 0;
@@ -215,9 +248,7 @@ class MetricsRegistry {
   /// Zeroes every metric (keeps registrations and the enabled state).
   void reset_values();
 
-  std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  std::size_t size() const;
 
  private:
   template <typename T>
@@ -231,6 +262,11 @@ class MetricsRegistry {
             const Labels& labels);
 
   std::atomic<bool> enabled_{false};
+  // Guards the three maps: lookups can create metrics lazily from shard
+  // threads mid-run (e.g. net.parse_rejected{reason} on a damaged frame).
+  // Returned metric references stay stable — entries are unique_ptrs and
+  // never erased — so cached pointers remain lock-free.
+  mutable std::mutex mu_;
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;

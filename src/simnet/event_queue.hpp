@@ -1,13 +1,32 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine, sharded.
 //
-// A single global virtual clock with a priority queue of callbacks. Events
-// scheduled for equal times fire in scheduling order (stable sequence
-// numbers), which keeps every scenario bit-deterministic.
+// The queue is split into S lanes, each owning a 4-ary min-heap of events.
+// Every event belongs to a *domain* (0 = the control plane, otherwise an
+// AS number); a domain always maps to the same lane, so all state owned by
+// one domain is mutated by exactly one thread. Lanes execute windows of
+// [W, W + lookahead) concurrently, where the lookahead is half the
+// smallest configured link latency floor — the classic conservative
+// (null-message-free) barrier: no event can schedule work on another
+// domain closer than the lookahead, so a window's lanes are independent.
+//
+// Determinism contract (docs/SIMNET.md): events are totally ordered by
+// (time, id) where ids encode the scheduling context — the i-th event
+// scheduled while executing event E gets id (mix64(E.id) << 20) | i,
+// and events scheduled outside any event (the main thread seeding a
+// scenario) get ordered root ids (seq << 20), so equal-time events from
+// one context fire in scheduling order. Ids therefore do not depend on the shard count or on which
+// thread pushed the event first, and per-domain execution order — the
+// only order observable through simulated state — is bit-identical at any
+// shard count, including shards=1, which runs a plain pop-min loop with
+// no threads at all.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -19,17 +38,57 @@ namespace debuglet::simnet {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Allocation-free callback used on the packet hot path: a plain
+  /// function pointer plus a context argument (the in-flight packet).
+  using RawFn = void (*)(void*);
+
+  /// The domain of the control plane (executors, chain, marketplace, the
+  /// main thread) and of any event that never declared one.
+  static constexpr std::uint32_t kControlDomain = 0;
 
   EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Current virtual time.
-  SimTime now() const { return now_; }
+  /// Current virtual time: the executing event's timestamp on a dispatch
+  /// thread, the global clock (end of the last run) elsewhere.
+  SimTime now() const;
 
-  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  /// The domain of the currently executing event (kControlDomain outside
+  /// dispatch). New events inherit it unless scheduled with schedule_on.
+  std::uint32_t current_domain() const;
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()) on the
+  /// current domain.
   void schedule_at(SimTime at, Callback fn);
 
-  /// Schedules `fn` after `delay` from now.
+  /// Schedules `fn` after `delay` from now on the current domain.
   void schedule_after(SimDuration delay, Callback fn);
+
+  /// Schedules `fn` at `at` on an explicit domain. Cross-domain schedules
+  /// are clamped to now() + lookahead at EVERY shard count — the clamp is
+  /// part of the simulation semantics, not a sharding artifact, which is
+  /// what keeps traces identical when the shard count changes.
+  void schedule_on(std::uint32_t domain, SimTime at, Callback fn);
+
+  /// schedule_on without the std::function allocation; `fn(arg)` runs at
+  /// `at`. The caller keeps ownership of whatever `arg` points at.
+  void schedule_raw_on(std::uint32_t domain, SimTime at, RawFn fn, void* arg);
+
+  /// Repartitions the queue into `count` lanes (clamped to >= 1). Safe to
+  /// call between runs; pending events are re-dealt to their domains'
+  /// new lanes. Worker threads (count - 1 of them) start lazily at the
+  /// first sharded run.
+  void set_shards(std::size_t count);
+  std::size_t shards() const { return lanes_.size(); }
+
+  /// Registers a lower bound on some link's latency; the lookahead is
+  /// half the smallest registered floor. Links report their floor when
+  /// configured, before any traffic is scheduled.
+  void note_link_floor(SimDuration floor);
+  /// The cross-domain scheduling clamp, >= 1 ns.
+  SimDuration lookahead() const;
 
   /// Runs events until the queue empties. Returns events processed.
   std::size_t run();
@@ -38,28 +97,57 @@ class EventQueue {
   /// if the queue drained earlier. Returns events processed.
   std::size_t run_until(SimTime deadline);
 
-  bool empty() const { return events_.empty(); }
-  std::size_t pending() const { return events_.size(); }
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const;
 
  private:
   struct Event {
-    SimTime at;
-    std::uint64_t seq;
+    SimTime at = 0;
+    std::uint64_t id = 0;
+    std::uint32_t domain = kControlDomain;
+    RawFn raw = nullptr;
+    void* arg = nullptr;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-  /// Pops the next event, advances the clock, runs the callback and
-  /// updates the queue metrics around it.
-  void dispatch_next();
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  /// One shard: a heap the owning thread pops from and a mutex-guarded
+  /// inbox other lanes push cross-domain events through. The inbox is
+  /// drained into the heap at the window barrier, on the main thread.
+  struct Lane {
+    std::vector<Event> heap;
+    std::mutex inbox_mu;
+    std::vector<Event> inbox;
+    std::size_t processed = 0;
+    SimTime last_at = 0;
+  };
+
+  std::size_t lane_of(std::uint32_t domain) const;
+  void enqueue(std::uint32_t domain, SimTime at, Event ev);
+  void dispatch_single_lane(Event ev);
+  std::size_t run_single_lane(SimTime deadline, bool until_empty);
+  std::size_t run_sharded(SimTime deadline, bool until_empty);
+  void run_lane_window(std::size_t lane_index, SimTime horizon);
+  void ensure_workers();
+  void stop_workers();
+  void worker_main(std::size_t lane_index);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  SimTime global_now_ = 0;
+  std::uint64_t root_seq_ = 0;
+  SimDuration min_link_floor_ = 0;  // 0 = none registered yet
+
+  // Window barrier (only touched when shards() > 1). Workers sleep until
+  // window_gen_ changes, run their lane up to window_horizon_, then
+  // report done; the main thread runs lane 0 itself.
+  std::vector<std::thread> workers_;
+  std::mutex barrier_mu_;
+  std::condition_variable window_start_cv_;
+  std::condition_variable window_done_cv_;
+  std::uint64_t window_gen_ = 0;
+  SimTime window_horizon_ = 0;
+  std::size_t workers_done_ = 0;
+  bool stopping_ = false;
+
   // Cached at construction from the active obs registry; the registry owns
   // them and record operations no-op while observability is disabled.
   obs::Gauge* depth_gauge_;

@@ -68,8 +68,12 @@ void ProbeClientHost::send_round(std::uint64_t round) {
   if (round >= config_.probe_count) return;
   for (net::Protocol protocol : config_.protocols)
     send_probe(protocol, round);
-  network_.queue().schedule_after(config_.interval,
-                                  [this, round] { send_round(round + 1); });
+  // Self-timers are homed on the host's own domain so every mutation of
+  // report_/outstanding_ — timer sends and deliveries alike — runs on the
+  // one event-queue lane that owns this host.
+  network_.queue().schedule_on(
+      network_.domain_of(address_), network_.now() + config_.interval,
+      [this, round] { send_round(round + 1); });
 }
 
 void ProbeClientHost::send_probe(net::Protocol protocol, std::uint64_t round) {
@@ -109,8 +113,9 @@ void ProbeClientHost::send_probe(net::Protocol protocol, std::uint64_t round) {
   // sandbox processing overhead before the packet hits the wire is part of
   // the measured RTT (exactly what Fig. 8 quantifies).
   outstanding_[key] = Outstanding{network_.now(), round};
-  network_.queue().schedule_after(
-      overhead, [this, wire = std::move(*wire)]() mutable {
+  network_.queue().schedule_on(
+      network_.domain_of(address_), network_.now() + overhead,
+      [this, wire = std::move(*wire)]() mutable {
         auto status = network_.send(address_, std::move(wire));
         if (!status)
           DEBUGLET_LOG(kError, "probe") << "send: " << status.error_message();
@@ -170,12 +175,16 @@ void TracerouteProber::start() {
   for (std::uint8_t ttl = 1; ttl <= config_.max_ttl; ++ttl)
     report_.hops[ttl - 1].ttl = ttl;
   // Schedule the whole probe train up front; replies arrive as they may.
+  // Probe events are homed on the prober's domain so sends and deliveries
+  // mutate report_/outstanding_ from a single event-queue lane.
+  const SimTime base = network_.now();
   SimDuration offset = 0;
   for (std::uint8_t ttl = 1; ttl <= config_.max_ttl; ++ttl) {
     for (std::uint32_t attempt = 0; attempt < config_.probes_per_ttl;
          ++attempt) {
-      network_.queue().schedule_after(
-          offset, [this, ttl, attempt] { send_probe(ttl, attempt); });
+      network_.queue().schedule_on(
+          network_.domain_of(address_), base + offset,
+          [this, ttl, attempt] { send_probe(ttl, attempt); });
       offset += config_.probe_interval;
     }
   }

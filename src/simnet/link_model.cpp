@@ -173,7 +173,9 @@ TraverseOutcome LinkModel::traverse(net::Protocol protocol,
     return out;
   }
   if (route.jitter_ms > 0.0) delay_ms += rng_.normal(0.0, route.jitter_ms);
-  out.delay = duration::from_ms(std::max(delay_ms, 0.0));
+  // Fault-plan copies only ever add delay on top of the primary, so
+  // clamping here bounds every copy from below by the floor.
+  out.delay = duration::from_ms(std::max(delay_ms, floor_ms()));
   out.copies.push_back(DeliveryCopy{out.delay, route_idx, false, false, {}});
   if (!fault_plan_.empty()) apply_fault_plan(out, now, size_bytes);
   return out;
@@ -251,6 +253,10 @@ void LinkModel::apply_fault_plan(TraverseOutcome& out, SimTime now,
   // Keep the pre-fault-layer summary fields in sync with the primary copy.
   out.dropped = out.copies.empty();
   out.delay = out.dropped ? 0 : out.copies.front().delay;
+}
+
+double LinkModel::floor_ms() const {
+  return std::max(config_.propagation_ms * 0.5, 1e-3);
 }
 
 double LinkModel::expected_delay_ms(net::Protocol protocol,

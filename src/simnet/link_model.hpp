@@ -169,6 +169,15 @@ class LinkModel {
 
   const LinkConfig& config() const { return config_; }
 
+  /// Hard lower bound on this direction's delay, in milliseconds: half
+  /// the propagation time, at least 1 µs. traverse() never returns a
+  /// copy faster than this even when negative route offsets and jitter
+  /// conspire (it used to clamp at zero); the event queue's cross-shard
+  /// lookahead is derived from the smallest floor of any configured link
+  /// (docs/SIMNET.md). Calibrated scenarios sit far above their floors,
+  /// so the clamp never binds in practice.
+  double floor_ms() const;
+
   /// Mean delay this link would add for a protocol right now, faults and
   /// active episodes included — ground truth for localization tests.
   double expected_delay_ms(net::Protocol protocol, SimTime now) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/log.hpp"
 
@@ -9,7 +10,21 @@ namespace debuglet::simnet {
 
 namespace {
 
-net::Protocol protocol_of(const net::Packet& p) { return p.protocol; }
+// Per-domain RNG stream labels. Each domain's bundle forks purely from
+// the scenario seed and the domain number, never from traffic-dependent
+// state, so equal-seed runs draw identical streams at any shard count.
+constexpr std::uint64_t kTransitRngSalt = 0x7A4E517ULL;
+constexpr std::uint64_t kAccessRngSalt = 0xACCE55ULL;
+constexpr std::uint64_t kIcmpRngSalt = 0x1C3BULL;
+
+// Total duplication fan-out bound per original packet. The budget rides
+// with each copy and halves on every fork, so the bound holds no matter
+// which lane mints the copies.
+constexpr int kMaxCopies = 16;
+
+std::uint32_t clamp_u32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(v, 0xFFFFFFFFULL));
+}
 
 }  // namespace
 
@@ -36,10 +51,84 @@ std::uint64_t flow_hash_of(const net::Packet& packet) {
   return h;
 }
 
+/// All mutable forwarding state owned by one domain. Only the event-queue
+/// lane owning the domain ever touches it, so no field needs a lock.
+struct SimulatedNetwork::DomainState {
+  Rng transit_rng{0};
+  Rng access_rng{0};
+  Rng icmp_rng{0};
+  /// Drops counted while this domain was executing — the value INT hop
+  /// records snapshot as drops_seen (a border router knows its own AS's
+  /// tally, not a network-wide one).
+  std::uint64_t drops = 0;
+  // ICMP time-exceeded rate limiting (per-second window, per AS).
+  std::int64_t icmp_window_second = -1;
+  std::uint32_t icmp_sent_in_window = 0;
+  /// Lazily cloned hop-program runtime (the DVM instance is mutated per
+  /// run, so domains cannot share one).
+  std::unique_ptr<telemetry::HopProgramRuntime> hop_runtime;
+};
+
+/// One in-flight copy of a frame, moved hop by hop through raw events.
+/// `packet.ip.ttl` keeps the as-sent value until the final hop (ICMP
+/// time-exceeded quotes the original header); `ttl` tracks the live
+/// decrementing value.
+struct SimulatedNetwork::FlightCopy {
+  SimulatedNetwork* net = nullptr;
+  std::shared_ptr<const topology::AsPath> path;
+  net::Packet packet;
+  Bytes wire;
+  SimTime sent_at = 0;
+  net::Protocol protocol = net::Protocol::kUdp;
+  std::uint64_t flow = 0;
+  double delay_ms = 0.0;  // cumulative since sent_at, at entry of next_link
+  std::size_t next_link = 0;
+  std::uint8_t ttl = 0;
+  int dup_budget = 0;
+  bool int_active = false;
+  telemetry::IntHeader int_header;  // records appended as hops are crossed
+  std::vector<WireDamage> damages;
+  Host* deliver_host = nullptr;  // captured at arrival, checked at delivery
+};
+
+struct SimulatedNetwork::FlightPool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<FlightCopy>> all;  // owns every node
+  std::vector<FlightCopy*> free_list;
+
+  FlightCopy* acquire() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_list.empty()) {
+      FlightCopy* fc = free_list.back();
+      free_list.pop_back();
+      return fc;
+    }
+    all.push_back(std::make_unique<FlightCopy>());
+    return all.back().get();
+  }
+
+  void release(FlightCopy* fc) {
+    // Drop per-packet state but keep buffer capacity for reuse.
+    fc->path.reset();
+    fc->packet = net::Packet{};
+    fc->wire.clear();
+    fc->damages.clear();
+    fc->int_header = telemetry::IntHeader{};
+    fc->int_active = false;
+    fc->deliver_host = nullptr;
+    std::lock_guard<std::mutex> lock(mu);
+    free_list.push_back(fc);
+  }
+};
+
 SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
                                    topology::Topology topology,
                                    std::uint64_t seed)
-    : queue_(queue), topology_(std::move(topology)), rng_(seed), seed_(seed) {
+    : queue_(queue),
+      topology_(std::move(topology)),
+      rng_(seed),
+      seed_(seed),
+      flights_(std::make_unique<FlightPool>()) {
   obs::MetricsRegistry& reg = obs::registry();
   for (net::Protocol p : net::kAllProtocols) {
     const obs::Labels labels{{"proto", net::protocol_name(p)}};
@@ -60,16 +149,63 @@ SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
   obs_.int_truncations = &reg.counter("telemetry.int_truncations");
   obs_.hop_program_runs = &reg.counter("telemetry.hop_program_runs");
   obs_.hop_program_traps = &reg.counter("telemetry.hop_program_traps");
+
+  // One DomainState per AS plus the control domain, up front: the index
+  // is immutable once events run, so lanes can read it without locks.
+  auto make_domain = [this](std::uint32_t d) {
+    auto ds = std::make_unique<DomainState>();
+    const std::uint64_t salt = static_cast<std::uint64_t>(d) << 20;
+    ds->transit_rng = Rng(seed_).fork(kTransitRngSalt ^ salt);
+    ds->access_rng = Rng(seed_).fork(kAccessRngSalt ^ salt);
+    ds->icmp_rng = Rng(seed_).fork(kIcmpRngSalt ^ salt);
+    domain_index_.insert(d, ds.get());
+    domains_.push_back(std::move(ds));
+  };
+  make_domain(EventQueue::kControlDomain);
+  for (topology::AsNumber asn : topology_.as_numbers())
+    if (asn != EventQueue::kControlDomain) make_domain(asn);
+}
+
+SimulatedNetwork::~SimulatedNetwork() = default;
+
+SimulatedNetwork::DomainState& SimulatedNetwork::domain_state(
+    std::uint32_t domain) {
+  DomainState** found = domain_index_.find(domain);
+  return found != nullptr ? **found : *domains_.front();
+}
+
+SimulatedNetwork::DomainState& SimulatedNetwork::current_domain_state() {
+  return domain_state(queue_.current_domain());
 }
 
 Status SimulatedNetwork::install_hop_program(vm::Module module,
                                              telemetry::HopProgramLimits
                                                  limits) {
-  auto runtime = telemetry::HopProgramRuntime::create(std::move(module),
-                                                      limits);
+  // Validate and translate once; domains clone their runtimes lazily from
+  // the stored module.
+  auto runtime = telemetry::HopProgramRuntime::create(module, limits);
   if (!runtime) return runtime.error();
-  hop_program_ = std::move(*runtime);
+  hop_module_ = std::move(module);
+  hop_limits_ = limits;
+  for (auto& ds : domains_) ds->hop_runtime.reset();
   return ok_status();
+}
+
+void SimulatedNetwork::clear_hop_program() {
+  hop_module_.reset();
+  for (auto& ds : domains_) ds->hop_runtime.reset();
+}
+
+SimulatedNetwork::LinkEntry* SimulatedNetwork::find_link(
+    topology::InterfaceKey from, topology::InterfaceKey to) {
+  LinkEntry* entry = links_.find(link_key(from));
+  if (entry == nullptr || entry->to != to) return nullptr;
+  return entry;
+}
+
+const SimulatedNetwork::LinkEntry* SimulatedNetwork::find_link(
+    topology::InterfaceKey from, topology::InterfaceKey to) const {
+  return const_cast<SimulatedNetwork*>(this)->find_link(from, to);
 }
 
 Status SimulatedNetwork::configure_link(topology::InterfaceKey from,
@@ -80,11 +216,14 @@ Status SimulatedNetwork::configure_link(topology::InterfaceKey from,
   if (*remote != to)
     return fail("link " + from.to_string() + " does not reach " +
                 to.to_string());
-  links_[{from, to}] =
-      std::make_unique<LinkModel>(std::move(config), rng_.fork(
-          (static_cast<std::uint64_t>(from.asn) << 32) ^
-          (static_cast<std::uint64_t>(from.interface) << 16) ^ to.asn ^
-          (static_cast<std::uint64_t>(to.interface) << 48)));
+  auto model = std::make_unique<LinkModel>(std::move(config), rng_.fork(
+      (static_cast<std::uint64_t>(from.asn) << 32) ^
+      (static_cast<std::uint64_t>(from.interface) << 16) ^ to.asn ^
+      (static_cast<std::uint64_t>(to.interface) << 48)));
+  // The link's latency floor bounds how fast anything can cross it; the
+  // smallest floor over all links is the queue's cross-shard lookahead.
+  queue_.note_link_floor(duration::from_ms(model->floor_ms()));
+  links_.insert(link_key(from), LinkEntry{to, std::move(model)});
   return ok_status();
 }
 
@@ -98,12 +237,12 @@ Status SimulatedNetwork::configure_link_symmetric(topology::InterfaceKey a,
 
 void SimulatedNetwork::configure_transit(topology::AsNumber asn,
                                          TransitConfig config) {
-  transit_[asn] = config;
+  transit_.insert(asn, config);
 }
 
 void SimulatedNetwork::configure_icmp_policy(topology::AsNumber asn,
                                              IcmpReplyPolicy policy) {
-  icmp_policies_[asn] = policy;
+  icmp_policies_.insert(asn, policy);
 }
 
 Status SimulatedNetwork::attach_host(net::Ipv4Address address, Host* host,
@@ -111,12 +250,17 @@ Status SimulatedNetwork::attach_host(net::Ipv4Address address, Host* host,
   if (host == nullptr) return fail("attach_host: null host");
   if (hosts_.contains(address))
     return fail("host already attached at " + address.to_string());
-  hosts_[address] = AttachedHost{host, access};
+  auto [it, inserted] = hosts_.emplace(address, AttachedHost{host, access});
+  host_index_.insert(address.value, &it->second);
   return ok_status();
 }
 
 void SimulatedNetwork::detach_host(net::Ipv4Address address) {
   hosts_.erase(address);
+  // No erase on the flat index; rebuild from the (small) ordered map.
+  host_index_.clear();
+  for (auto& [addr, attached] : hosts_)
+    host_index_.insert(addr.value, &attached);
 }
 
 net::Ipv4Address SimulatedNetwork::allocate_host_address(
@@ -133,49 +277,60 @@ topology::AsNumber SimulatedNetwork::as_of(net::Ipv4Address address) const {
   return static_cast<topology::AsNumber>((address.value >> 8) & 0xFFFF);
 }
 
-Result<topology::AsPath> SimulatedNetwork::resolve_path(
+std::uint32_t SimulatedNetwork::domain_of(net::Ipv4Address address) const {
+  return (address.value & 0xFF) >= 200 ? as_of(address)
+                                       : EventQueue::kControlDomain;
+}
+
+Result<std::shared_ptr<const topology::AsPath>> SimulatedNetwork::resolve_path(
     topology::AsNumber src, topology::AsNumber dst) const {
   if (auto it = pinned_paths_.find({src, dst}); it != pinned_paths_.end())
     return it->second;
-  if (auto it = path_cache_.find({src, dst}); it != path_cache_.end())
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(path_mu_);
+    if (auto it = path_cache_.find({src, dst}); it != path_cache_.end())
+      return it->second;
+  }
   auto path = topology_.shortest_path(src, dst);
-  if (!path) return path;
-  path_cache_[{src, dst}] = *path;
-  return path;
+  if (!path) return fail(path.error_message());
+  auto shared = std::make_shared<const topology::AsPath>(std::move(*path));
+  std::lock_guard<std::mutex> lock(path_mu_);
+  path_cache_[{src, dst}] = shared;
+  return shared;
 }
 
 void SimulatedNetwork::pin_path(topology::AsNumber src, topology::AsNumber dst,
                                 topology::AsPath path) {
-  pinned_paths_[{src, dst}] = std::move(path);
+  pinned_paths_[{src, dst}] =
+      std::make_shared<const topology::AsPath>(std::move(path));
 }
 
 Status SimulatedNetwork::inject_fault(topology::InterfaceKey from,
                                       topology::InterfaceKey to,
                                       const FaultSpec& fault) {
-  auto it = links_.find({from, to});
-  if (it == links_.end())
+  LinkEntry* entry = find_link(from, to);
+  if (entry == nullptr)
     return fail("no configured link " + from.to_string() + " -> " +
                 to.to_string());
-  it->second->inject_fault(fault);
+  entry->model->inject_fault(fault);
   return ok_status();
 }
 
 Status SimulatedNetwork::clear_fault(topology::InterfaceKey from,
                                      topology::InterfaceKey to) {
-  auto it = links_.find({from, to});
-  if (it == links_.end())
+  LinkEntry* entry = find_link(from, to);
+  if (entry == nullptr)
     return fail("no configured link " + from.to_string() + " -> " +
                 to.to_string());
-  it->second->clear_fault();
+  entry->model->clear_fault();
   return ok_status();
 }
 
 Status SimulatedNetwork::install_link_faults(topology::InterfaceKey from,
                                              topology::InterfaceKey to,
                                              LinkFaultPlan plan) {
-  auto it = links_.find({from, to});
-  if (it == links_.end())
+  LinkEntry* entry = find_link(from, to);
+  if (entry == nullptr)
     return fail("no configured link " + from.to_string() + " -> " +
                 to.to_string());
   // The fault stream forks from the scenario seed and the link identity
@@ -186,25 +341,25 @@ Status SimulatedNetwork::install_link_faults(topology::InterfaceKey from,
                                << 16) ^
                               to.asn ^
                               (static_cast<std::uint64_t>(to.interface) << 48);
-  it->second->install_fault_plan(std::move(plan),
-                                 Rng(seed_).fork(label ^ 0xFA177ULL));
+  entry->model->install_fault_plan(std::move(plan),
+                                   Rng(seed_).fork(label ^ 0xFA177ULL));
   return ok_status();
 }
 
 Status SimulatedNetwork::clear_link_faults(topology::InterfaceKey from,
                                            topology::InterfaceKey to) {
-  auto it = links_.find({from, to});
-  if (it == links_.end())
+  LinkEntry* entry = find_link(from, to);
+  if (entry == nullptr)
     return fail("no configured link " + from.to_string() + " -> " +
                 to.to_string());
-  it->second->clear_fault_plan();
+  entry->model->clear_fault_plan();
   return ok_status();
 }
 
 LinkIntegrityStats SimulatedNetwork::link_integrity(
     topology::InterfaceKey from, topology::InterfaceKey to) const {
-  auto it = links_.find({from, to});
-  return it == links_.end() ? LinkIntegrityStats{} : it->second->integrity();
+  const LinkEntry* entry = find_link(from, to);
+  return entry == nullptr ? LinkIntegrityStats{} : entry->model->integrity();
 }
 
 Status SimulatedNetwork::install_host_faults(net::Ipv4Address address,
@@ -212,7 +367,7 @@ Status SimulatedNetwork::install_host_faults(net::Ipv4Address address,
   if (!topology_.has_as(as_of(address)))
     return fail("install_host_faults: AS of " + address.to_string() +
                 " unknown");
-  host_faults_[address] = std::move(plan);
+  host_faults_.insert(address.value, std::move(plan));
   return ok_status();
 }
 
@@ -225,20 +380,48 @@ Status SimulatedNetwork::install_host_faults(topology::InterfaceKey key,
 }
 
 void SimulatedNetwork::clear_host_faults(net::Ipv4Address address) {
-  host_faults_.erase(address);
+  // The flat index has no erase; an empty plan resolves to kNone forever,
+  // which is indistinguishable from no plan.
+  if (host_faults_.find(address.value) != nullptr)
+    host_faults_.insert(address.value, HostFaultPlan{});
 }
 
 HostFaultState SimulatedNetwork::host_fault_state(net::Ipv4Address address,
                                                   SimTime t) const {
-  auto it = host_faults_.find(address);
-  if (it == host_faults_.end()) return HostFaultState{};
-  return it->second.state_at(t);
+  const HostFaultPlan* plan = host_faults_.find(address.value);
+  return plan == nullptr ? HostFaultState{} : plan->state_at(t);
 }
 
 LinkModel* SimulatedNetwork::link_model(topology::InterfaceKey from,
                                         topology::InterfaceKey to) {
-  auto it = links_.find({from, to});
-  return it == links_.end() ? nullptr : it->second.get();
+  LinkEntry* entry = find_link(from, to);
+  return entry == nullptr ? nullptr : entry->model.get();
+}
+
+NetworkStats SimulatedNetwork::stats() const {
+  NetworkStats out;
+  for (net::Protocol p : net::kAllProtocols) {
+    const std::size_t i = proto_index(p);
+    if (auto v = sent_[i].load(std::memory_order_relaxed)) out.sent[p] = v;
+    if (auto v = delivered_[i].load(std::memory_order_relaxed))
+      out.delivered[p] = v;
+    if (auto v = dropped_[i].load(std::memory_order_relaxed))
+      out.dropped[p] = v;
+  }
+  return out;
+}
+
+void SimulatedNetwork::reset_stats() {
+  for (auto& a : sent_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : delivered_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : dropped_) a.store(0, std::memory_order_relaxed);
+  for (auto& ds : domains_) ds->drops = 0;
+}
+
+void SimulatedNetwork::count_drop(net::Protocol protocol) {
+  dropped_[proto_index(protocol)].fetch_add(1, std::memory_order_relaxed);
+  obs_.dropped[proto_index(protocol)]->add();
+  current_domain_state().drops += 1;
 }
 
 Result<double> SimulatedNetwork::expected_path_delay_ms(
@@ -246,38 +429,39 @@ Result<double> SimulatedNetwork::expected_path_delay_ms(
   double total = 0.0;
   for (std::size_t i = 0; i + 1 < path.hops.size(); ++i) {
     const auto [from, to] = path.link_after(i);
-    auto it = links_.find({from, to});
-    if (it == links_.end())
+    const LinkEntry* entry = find_link(from, to);
+    if (entry == nullptr)
       return fail("unconfigured link " + from.to_string() + " -> " +
                   to.to_string());
-    total += it->second->expected_delay_ms(protocol, queue_.now());
+    total += entry->model->expected_delay_ms(protocol, queue_.now());
   }
   for (std::size_t i = 1; i + 1 < path.hops.size(); ++i) {
-    auto it = transit_.find(path.hops[i].asn);
-    total += (it != transit_.end() ? it->second : TransitConfig{}).delay_ms;
+    const TransitConfig* cfg = transit_.find(path.hops[i].asn);
+    total += (cfg != nullptr ? *cfg : TransitConfig{}).delay_ms;
   }
   return total;
 }
 
 void SimulatedNetwork::expire_with_time_exceeded(
     const net::Packet& packet, const topology::PathHop& at,
-    topology::InterfaceKey router, double forward_delay_ms) {
-  auto policy_it = icmp_policies_.find(at.asn);
+    topology::InterfaceKey router, SimTime sent_at, double forward_delay_ms) {
+  const IcmpReplyPolicy* found = icmp_policies_.find(at.asn);
   const IcmpReplyPolicy policy =
-      policy_it != icmp_policies_.end() ? policy_it->second
-                                        : IcmpReplyPolicy{};
+      found != nullptr ? *found : IcmpReplyPolicy{};
   if (!policy.time_exceeded_enabled) return;
 
-  // Token-bucket-per-second rate limiting across the whole AS.
+  // Token-bucket-per-second rate limiting across the whole AS. The
+  // counter lives in the AS's own domain state — this runs on the hop
+  // event of the expiring border router, which that domain owns.
+  DomainState& ds = domain_state(at.asn);
   if (policy.rate_limit_per_s > 0) {
-    RateLimiterState& state = icmp_rate_[at.asn];
     const std::int64_t second = queue_.now() / 1'000'000'000;
-    if (state.window_second != second) {
-      state.window_second = second;
-      state.sent_in_window = 0;
+    if (ds.icmp_window_second != second) {
+      ds.icmp_window_second = second;
+      ds.icmp_sent_in_window = 0;
     }
-    if (state.sent_in_window >= policy.rate_limit_per_s) return;
-    ++state.sent_in_window;
+    if (ds.icmp_sent_in_window >= policy.rate_limit_per_s) return;
+    ++ds.icmp_sent_in_window;
   }
 
   const net::Ipv4Address router_address = topology_.address_of(router);
@@ -287,18 +471,20 @@ void SimulatedNetwork::expire_with_time_exceeded(
   // The reply is generated on the SLOW PATH after the probe's forward
   // delay, then travels back through the regular network (so it sees
   // reverse-path treatment too — one of the biases the paper calls out).
+  // The send itself is homed on the router's domain (the control plane:
+  // border addresses) so its draws come from that domain's streams.
   double delay_ms = forward_delay_ms + policy.slow_path_ms;
   if (policy.slow_path_jitter_ms > 0.0)
-    delay_ms += std::abs(rng_.normal(0.0, policy.slow_path_jitter_ms));
-  queue_.schedule_after(duration::from_ms(std::max(delay_ms, 0.0)),
-                        [this, router_address,
-                         wire = std::move(*reply)]() mutable {
-                          auto status = send(router_address, std::move(wire));
-                          if (!status)
-                            DEBUGLET_LOG(kDebug, "simnet")
-                                << "time-exceeded send: "
-                                << status.error_message();
-                        });
+    delay_ms += std::abs(ds.icmp_rng.normal(0.0, policy.slow_path_jitter_ms));
+  queue_.schedule_on(
+      EventQueue::kControlDomain,
+      sent_at + duration::from_ms(std::max(delay_ms, 0.0)),
+      [this, router_address, wire = std::move(*reply)]() mutable {
+        auto status = send(router_address, std::move(wire));
+        if (!status)
+          DEBUGLET_LOG(kDebug, "simnet")
+              << "time-exceeded send: " << status.error_message();
+      });
 }
 
 Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
@@ -318,16 +504,15 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
 
   auto path_result = resolve_path(src_as, dst_as);
   if (!path_result) return fail("send: " + path_result.error_message());
-  const topology::AsPath path = *path_result;
+  std::shared_ptr<const topology::AsPath> path = *path_result;
 
-  const net::Protocol protocol = protocol_of(packet);
-  ++stats_.sent[protocol];
-  obs_.sent[proto_index(protocol)]->add();
-  obs_.path_links->record(static_cast<double>(path.hops.size()) - 1.0);
-
+  const net::Protocol protocol = packet.protocol;
   const std::uint64_t flow = flow_hash_of(packet);
+  sent_[proto_index(protocol)].fetch_add(1, std::memory_order_relaxed);
+  obs_.sent[proto_index(protocol)]->add();
+  obs_.path_links->record(static_cast<double>(path->hops.size()) - 1.0);
+
   const SimTime sent_at = queue_.now();
-  double total_delay_ms = 0.0;
 
   // In-band telemetry: one branch when off. A packet opts in by carrying
   // a parseable IntHeader as its payload prefix (UDP/raw-IP only — the
@@ -341,11 +526,11 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
        protocol == net::Protocol::kRawIp) &&
       telemetry::IntHeader::looks_like_int(
           BytesView(packet.payload.data(), packet.payload.size()))) {
-    auto parsed = telemetry::IntHeader::parse(
+    auto parsed_int = telemetry::IntHeader::parse(
         BytesView(packet.payload.data(), packet.payload.size()));
-    if (parsed) {
+    if (parsed_int) {
       int_active = true;
-      int_prototype = std::move(*parsed);
+      int_prototype = std::move(*parsed_int);
     }
   }
 
@@ -354,304 +539,373 @@ Status SimulatedNetwork::send(net::Ipv4Address from_address, Bytes wire) {
   // packet is lost silently — not an error, exactly like dead hardware.
   const HostFaultState sender_state = host_fault_state(from_address, sent_at);
   if (sender_state.crashed() || sender_state.silent()) {
-    ++stats_.dropped[protocol];
-    obs_.dropped[proto_index(protocol)]->add();
+    count_drop(protocol);
     obs_.host_fault_egress_drops->add();
     return ok_status();
   }
   // A slow sender pays its service delay before the wire.
-  total_delay_ms += sender_state.extra_delay_ms;
+  double pre_wire_ms = sender_state.extra_delay_ms;
 
-  // The sender's intra-AS access stub (zero for border-router hosts).
-  if (auto it = hosts_.find(from_address); it != hosts_.end()) {
-    const AccessConfig& access = it->second.access;
+  // The sender's intra-AS access stub (zero for border-router hosts). The
+  // jitter draw comes from the executing domain's stream — sends run on
+  // the sender's home domain (hosts schedule their timers there).
+  if (AttachedHost** attached = host_index_.find(from_address.value)) {
+    const AccessConfig& access = (*attached)->access;
     double d = access.delay_ms;
-    if (access.jitter_ms > 0.0) d += rng_.normal(0.0, access.jitter_ms);
-    total_delay_ms += std::max(d, 0.0);
+    if (access.jitter_ms > 0.0)
+      d += current_domain_state().access_rng.normal(0.0, access.jitter_ms);
+    pre_wire_ms += std::max(d, 0.0);
   }
 
-  // Inter-domain links along the path, with TTL handling: each crossing
-  // decrements the TTL; packets that hit zero before the final hop expire
-  // at that border router, which may answer with ICMP time exceeded per
-  // its AS's policy (enabling — and rate-limiting — traceroute).
-  //
-  // A link's fault plan can mint extra copies of a frame, so the walk is a
-  // worklist: each copy continues through the remaining links with its own
-  // delay, TTL and accumulated damage. The healthy case stays a single
-  // pass with the exact RNG draw order the pre-fault-layer code used.
-  const double pre_wire_ms = total_delay_ms;  // before the first link
-  std::vector<TransitCopy> work;
-  work.push_back(TransitCopy{0, total_delay_ms, packet.ip.ttl, {}, {}});
-  std::size_t copies_emitted = 1;
-  constexpr std::size_t kMaxCopies = 16;  // duplication fan-out bound
+  // The walk is asynchronous from here on; surface unconfigured links now
+  // (the classic inline walk failed on the first such crossing).
+  const auto& hops = path->hops;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const auto [from, to] = path->link_after(i);
+    if (find_link(from, to) == nullptr)
+      return fail("send: unconfigured link " + from.to_string() + " -> " +
+                  to.to_string());
+  }
 
-  while (!work.empty()) {
-    TransitCopy cur = std::move(work.back());
-    work.pop_back();
-    double delay_ms = cur.delay_ms;
-    std::uint8_t ttl = cur.ttl;
-    std::vector<WireDamage> damages = std::move(cur.damages);
-    std::vector<IntCrossing> crossings = std::move(cur.crossings);
-    bool consumed = false;  // dropped or expired mid-path
+  FlightCopy* fc = flights_->acquire();
+  fc->net = this;
+  fc->path = path;
+  fc->packet = std::move(packet);
+  fc->wire = std::move(wire);
+  fc->sent_at = sent_at;
+  fc->protocol = protocol;
+  fc->flow = flow;
+  fc->delay_ms = pre_wire_ms;
+  fc->next_link = 0;
+  fc->ttl = fc->packet.ip.ttl;
+  fc->dup_budget = kMaxCopies - 1;
+  fc->int_active = int_active;
+  fc->int_header = std::move(int_prototype);
 
-    for (std::size_t i = cur.next_link; i + 1 < path.hops.size(); ++i) {
-      const auto [from, to] = path.link_after(i);
-      auto it = links_.find({from, to});
-      if (it == links_.end())
-        return fail("send: unconfigured link " + from.to_string() + " -> " +
-                    to.to_string());
-      const TraverseOutcome out = it->second->traverse(
-          protocol, flow, sent_at, packet.ip.source, packet.ip.destination,
-          packet.ip.total_length);
-      if (out.copies.empty()) {
-        ++stats_.dropped[protocol];
-        obs_.dropped[proto_index(protocol)]->add();
-        consumed = true;
-        break;
+  if (hops.size() == 1) {
+    // Same-AS delivery: no inter-domain links, straight to the receiver.
+    if (fc->int_active) {
+      const Bytes block = fc->int_header.serialize();
+      if (block.size() <= fc->packet.payload.size())
+        std::copy(block.begin(), block.end(), fc->packet.payload.begin());
+      auto rewired = net::serialize_packet(fc->packet);
+      if (rewired) fc->wire = std::move(*rewired);
+    }
+    schedule_arrival(fc);
+    return ok_status();
+  }
+
+  // First crossing: homed on the link's ingress AS, timed at the midpoint
+  // of the link's latency floor so both event edges clear the queue's
+  // cross-shard lookahead (which is half the smallest floor).
+  const auto [from0, to0] = path->link_after(0);
+  const LinkEntry* first = find_link(from0, to0);
+  queue_.schedule_raw_on(
+      hops[1].asn,
+      sent_at + duration::from_ms(pre_wire_ms + first->model->floor_ms() * 0.5),
+      &SimulatedNetwork::hop_event, fc);
+  return ok_status();
+}
+
+void SimulatedNetwork::hop_event(void* arg) {
+  FlightCopy* fc = static_cast<FlightCopy*>(arg);
+  fc->net->process_hop(fc);
+}
+
+void SimulatedNetwork::arrival_event(void* arg) {
+  FlightCopy* fc = static_cast<FlightCopy*>(arg);
+  fc->net->process_arrival(fc);
+}
+
+void SimulatedNetwork::delivery_event(void* arg) {
+  FlightCopy* fc = static_cast<FlightCopy*>(arg);
+  fc->net->process_delivery(fc);
+}
+
+void SimulatedNetwork::push_int_record(FlightCopy* fc,
+                                       const topology::PathHop& hop,
+                                       bool interior, double link_delay_ms,
+                                       double residence_ms,
+                                       double delay_at_entry_ms,
+                                       std::uint32_t queue_depth,
+                                       std::uint32_t wire_faults,
+                                       DomainState& ds) {
+  telemetry::HopRecord rec;
+  rec.asn = hop.asn;
+  rec.ingress_interface = hop.ingress;
+  rec.egress_interface = interior ? hop.egress : 0;
+  rec.ingress_ns =
+      fc->sent_at + duration::from_ms(delay_at_entry_ms + link_delay_ms);
+  rec.egress_ns = rec.ingress_ns + duration::from_ms(residence_ms);
+  rec.queue_depth = queue_depth;
+  rec.drops_seen = clamp_u32(ds.drops);
+  rec.wire_faults = wire_faults;
+  if (fc->int_header.push(rec)) {
+    obs_.int_pushes->add();
+    if (fc->int_header.hop_program_requested() && hop_module_.has_value()) {
+      if (ds.hop_runtime == nullptr) {
+        // First hop-program run in this domain: clone the runtime. The
+        // module was validated at install, so creation cannot fail; the
+        // clone's behaviour is identical to any other (run_hop resets the
+        // instance's globals per run).
+        auto runtime =
+            telemetry::HopProgramRuntime::create(*hop_module_, hop_limits_);
+        if (runtime) ds.hop_runtime = std::move(*runtime);
       }
-      // INT observations for this link. active_episodes() re-queries the
-      // time traverse() already advanced to, so the RNG stream is the
-      // same whether telemetry is on or off.
-      std::uint32_t link_queue_depth = 0;
-      std::uint32_t link_wire_faults = 0;
-      if (int_active) {
-        link_queue_depth = it->second->active_episodes(sent_at);
-        link_wire_faults = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-            it->second->integrity().total(), 0xFFFFFFFFULL));
-      }
-      const std::uint8_t next_ttl = ttl > 0 ? ttl - 1 : 0;
-      // Extra copies fork off here and continue from the next link with
-      // their own delay and damage; the primary copy continues in-line.
-      for (std::size_t c = 1; c < out.copies.size(); ++c) {
-        if (copies_emitted >= kMaxCopies) break;
-        const DeliveryCopy& extra = out.copies[c];
-        TransitCopy forked;
-        forked.next_link = i + 1;
-        forked.delay_ms = delay_ms + duration::to_ms(extra.delay);
-        forked.ttl = next_ttl;
-        forked.damages = damages;
-        if (extra.damage.damaged()) forked.damages.push_back(extra.damage);
-        if (int_active) {
-          forked.crossings = crossings;
-          forked.crossings.push_back(IntCrossing{
-              duration::to_ms(extra.delay), link_queue_depth,
-              link_wire_faults});
-        }
-        work.push_back(std::move(forked));
-        ++copies_emitted;
-      }
-      const DeliveryCopy& primary = out.copies.front();
-      obs_.link_delay_ms->record(duration::to_ms(primary.delay));
-      delay_ms += duration::to_ms(primary.delay);
-      if (primary.damage.damaged()) damages.push_back(primary.damage);
-      if (int_active)
-        crossings.push_back(IntCrossing{duration::to_ms(primary.delay),
-                                        link_queue_depth, link_wire_faults});
-      ttl = next_ttl;
-      if (ttl == 0 && i + 2 < path.hops.size()) {
-        // Expired at the ingress border router of hops[i+1].
-        obs_.ttl_expired->add();
-        expire_with_time_exceeded(packet, path.hops[i + 1], to, delay_ms);
-        ++stats_.dropped[protocol];
-        obs_.dropped[proto_index(protocol)]->add();
-        consumed = true;
-        break;
+      if (ds.hop_runtime != nullptr) {
+        obs_.hop_program_runs->add();
+        const telemetry::HopRunResult hp = ds.hop_runtime->run_hop(
+            fc->int_header, fc->int_header.hop_count() - 1, rec,
+            duration::from_ms(link_delay_ms));
+        if (hp.trapped) obs_.hop_program_traps->add();
       }
     }
-    if (consumed) continue;  // other copies (if any) still run
+  } else {
+    obs_.int_truncations->add();
+  }
+}
+
+void SimulatedNetwork::process_hop(FlightCopy* fc) {
+  const topology::AsPath& path = *fc->path;
+  const std::size_t k = fc->next_link;
+  const auto [from, to] = path.link_after(k);
+  LinkEntry* entry = find_link(from, to);
+  if (entry == nullptr) {  // defensive; send() pre-checked the path
+    count_drop(fc->protocol);
+    flights_->release(fc);
+    return;
+  }
+  LinkModel& link = *entry->model;
+  const TraverseOutcome out = link.traverse(
+      fc->protocol, fc->flow, fc->sent_at, fc->packet.ip.source,
+      fc->packet.ip.destination, fc->packet.ip.total_length);
+  if (out.copies.empty()) {
+    count_drop(fc->protocol);
+    flights_->release(fc);
+    return;
+  }
+
+  // INT observations for this link. active_episodes() re-queries the time
+  // traverse() already advanced to, so the RNG stream is the same whether
+  // telemetry is on or off.
+  std::uint32_t queue_depth = 0;
+  std::uint32_t wire_faults = 0;
+  if (fc->int_active) {
+    queue_depth = link.active_episodes(fc->sent_at);
+    wire_faults = clamp_u32(link.integrity().total());
+  }
+  const std::uint8_t next_ttl = fc->ttl > 0 ? fc->ttl - 1 : 0;
+  const topology::PathHop& hop = path.hops[k + 1];
+  const bool interior = k + 2 < path.hops.size();
+
+  // Fork the extra copies the link's fault plan minted; each child takes
+  // half the parent's remaining duplication budget, so total fan-out per
+  // original packet stays bounded by kMaxCopies wherever copies appear.
+  struct Pending {
+    FlightCopy* flight;
+    double link_delay_ms;
+    WireDamage damage;
+    bool primary;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(out.copies.size());
+  for (std::size_t c = 1; c < out.copies.size(); ++c) {
+    if (fc->dup_budget <= 0) break;
+    fc->dup_budget -= 1;
+    int child_budget = fc->dup_budget / 2;
+    fc->dup_budget -= child_budget;
+    FlightCopy* child = flights_->acquire();
+    child->net = this;
+    child->path = fc->path;
+    child->packet = fc->packet;
+    child->wire = fc->wire;
+    child->sent_at = fc->sent_at;
+    child->protocol = fc->protocol;
+    child->flow = fc->flow;
+    child->delay_ms = fc->delay_ms;
+    child->next_link = k;
+    child->ttl = fc->ttl;
+    child->dup_budget = child_budget;
+    child->int_active = fc->int_active;
+    child->int_header = fc->int_header;
+    child->damages = fc->damages;
+    pending.push_back(Pending{child, duration::to_ms(out.copies[c].delay),
+                              out.copies[c].damage, false});
+  }
+  const DeliveryCopy& primary = out.copies.front();
+  pending.push_back(Pending{fc, duration::to_ms(primary.delay),
+                            primary.damage, true});
+
+  DomainState& ds = current_domain_state();
+  const TransitConfig* transit_cfg =
+      interior ? transit_.find(hop.asn) : nullptr;
+  const TransitConfig transit =
+      transit_cfg != nullptr ? *transit_cfg : TransitConfig{};
+
+  for (Pending& p : pending) {
+    FlightCopy* f = p.flight;
+    if (p.primary) obs_.link_delay_ms->record(p.link_delay_ms);
+    const double entry_ms = f->delay_ms;
+    f->delay_ms += p.link_delay_ms;
+    if (p.damage.damaged()) f->damages.push_back(p.damage);
+    f->ttl = next_ttl;
+
+    if (next_ttl == 0 && interior) {
+      // Expired at the ingress border router of hops[k+1]. The quoted
+      // packet keeps its as-sent header (fc->packet.ip.ttl is original).
+      obs_.ttl_expired->add();
+      expire_with_time_exceeded(f->packet, hop, to, f->sent_at, f->delay_ms);
+      count_drop(f->protocol);
+      flights_->release(f);
+      continue;
+    }
 
     // Intra-AS transit applies only to ASes the packet crosses border to
     // border. Endpoints (hosts and border-router executors) do not
     // traverse their own AS interior — this is what lets an executor pair
     // at the two ends of an inter-domain link measure just that link
-    // (paper Fig. 6). Each surviving copy draws its own transit jitter.
-    bool dropped = false;
-    std::vector<double> transit_ms;
-    if (int_active) transit_ms.assign(path.hops.size(), 0.0);
-    for (std::size_t i = 1; i + 1 < path.hops.size(); ++i) {
-      const topology::PathHop& hop = path.hops[i];
-      auto it = transit_.find(hop.asn);
-      const TransitConfig cfg =
-          it != transit_.end() ? it->second : TransitConfig{};
-      if (rng_.chance(cfg.loss_pm / 1000.0)) {
-        dropped = true;
-        break;
+    // (paper Fig. 6). Each surviving copy draws its own transit jitter
+    // from this domain's stream.
+    double residence_ms = 0.0;
+    if (interior) {
+      if (ds.transit_rng.chance(transit.loss_pm / 1000.0)) {
+        count_drop(f->protocol);
+        flights_->release(f);
+        continue;  // loss is a silent network outcome, not an error
       }
-      double d = cfg.delay_ms;
-      if (cfg.jitter_ms > 0.0) d += std::abs(rng_.normal(0.0, cfg.jitter_ms));
-      delay_ms += d;
-      if (int_active) transit_ms[i] = d;
+      residence_ms = transit.delay_ms;
+      if (transit.jitter_ms > 0.0)
+        residence_ms += std::abs(ds.transit_rng.normal(0.0, transit.jitter_ms));
     }
-    if (dropped) {
-      ++stats_.dropped[protocol];
-      obs_.dropped[proto_index(protocol)]->add();
-      continue;  // loss is a silent network outcome, not an error
+
+    if (f->int_active)
+      push_int_record(f, hop, interior, p.link_delay_ms, residence_ms,
+                      entry_ms, queue_depth, wire_faults, ds);
+    f->delay_ms += residence_ms;
+    f->next_link = k + 1;
+
+    if (!interior) {
+      // Arrived at the destination AS's border: stamp the surviving TTL
+      // into the delivered header, splice the INT stack, and hand the
+      // copy to the destination's own domain.
+      f->packet.ip.ttl = f->ttl;
+      if (f->int_active) {
+        const Bytes block = f->int_header.serialize();
+        if (block.size() <= f->packet.payload.size())
+          std::copy(block.begin(), block.end(), f->packet.payload.begin());
+        auto rewired = net::serialize_packet(f->packet);
+        if (rewired) f->wire = std::move(*rewired);
+      }
+      schedule_arrival(f);
+      continue;
     }
-    // The delivered frame carries the on-path TTL decrements, and — when
-    // this packet opted into telemetry — the per-hop INT record stack.
-    net::Packet out_packet = packet;
-    out_packet.ip.ttl = ttl;
-    if (int_active) {
-      Bytes int_wire = wire;
-      apply_int_records(out_packet, int_wire, int_prototype, crossings,
-                        transit_ms, path, sent_at, pre_wire_ms);
-      schedule_delivery(out_packet, int_wire, damages, path, sent_at,
-                        delay_ms);
-    } else {
-      schedule_delivery(out_packet, wire, damages, path, sent_at, delay_ms);
+
+    // Next crossing, homed on the next link's ingress AS and timed at the
+    // midpoint of that link's latency floor.
+    const auto [nfrom, nto] = path.link_after(k + 1);
+    const LinkEntry* next_entry = find_link(nfrom, nto);
+    if (next_entry == nullptr) {  // defensive; send() pre-checked
+      count_drop(f->protocol);
+      flights_->release(f);
+      continue;
     }
+    queue_.schedule_raw_on(
+        path.hops[k + 2].asn,
+        f->sent_at +
+            duration::from_ms(f->delay_ms +
+                              next_entry->model->floor_ms() * 0.5),
+        &SimulatedNetwork::hop_event, f);
   }
-  return ok_status();
 }
 
-void SimulatedNetwork::apply_int_records(
-    net::Packet& packet, Bytes& wire, const telemetry::IntHeader& prototype,
-    const std::vector<IntCrossing>& crossings,
-    const std::vector<double>& transit_ms, const topology::AsPath& path,
-    SimTime sent_at, double pre_wire_ms) {
-  telemetry::IntHeader header = prototype;
-  // Drop-counter snapshot: one network-wide tally, same value at every hop
-  // of this walk (the walk is instantaneous in sim time).
-  std::uint64_t drops_total = 0;
-  for (const auto& [proto, count] : stats_.dropped) drops_total += count;
-  const std::uint32_t drops_seen = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(drops_total, 0xFFFFFFFFULL));
-  const bool run_program =
-      header.hop_program_requested() && hop_program_ != nullptr;
-
-  // Record k is appended by the ingress border router of path.hops[k+1]:
-  // ingress is the cumulative wire time up to and across link k, egress
-  // adds the AS's interior transit (zero at the final AS, which delivers
-  // locally instead of forwarding).
-  double cum_ms = pre_wire_ms;
-  for (std::size_t k = 0; k < crossings.size(); ++k) {
-    if (k + 1 >= path.hops.size()) break;
-    cum_ms += crossings[k].link_delay_ms;
-    const topology::PathHop& hop = path.hops[k + 1];
-    const bool interior = k + 2 < path.hops.size();
-    const double residence_ms = interior ? transit_ms[k + 1] : 0.0;
-    telemetry::HopRecord rec;
-    rec.asn = hop.asn;
-    rec.ingress_interface = hop.ingress;
-    rec.egress_interface = interior ? hop.egress : 0;
-    rec.ingress_ns = sent_at + duration::from_ms(cum_ms);
-    rec.egress_ns = rec.ingress_ns + duration::from_ms(residence_ms);
-    rec.queue_depth = crossings[k].queue_depth;
-    rec.drops_seen = drops_seen;
-    rec.wire_faults = crossings[k].wire_faults;
-    if (header.push(rec)) {
-      obs_.int_pushes->add();
-      if (run_program) {
-        obs_.hop_program_runs->add();
-        const telemetry::HopRunResult hp = hop_program_->run_hop(
-            header, header.hop_count() - 1, rec,
-            duration::from_ms(crossings[k].link_delay_ms));
-        if (hp.trapped) obs_.hop_program_traps->add();
-      }
-    } else {
-      obs_.int_truncations->add();
-    }
-    cum_ms += residence_ms;
-  }
-
-  // Splice the updated header back over the payload prefix (serialized
-  // size is fixed by max_hops, so the frame length never changes) and
-  // re-serialize the frame so lengths and checksums stay valid.
-  const Bytes block = header.serialize();
-  if (block.size() <= packet.payload.size())
-    std::copy(block.begin(), block.end(), packet.payload.begin());
-  auto rewired = net::serialize_packet(packet);
-  if (rewired) wire = std::move(*rewired);
+void SimulatedNetwork::schedule_arrival(FlightCopy* fc) {
+  queue_.schedule_raw_on(domain_of(fc->packet.ip.destination),
+                         fc->sent_at + duration::from_ms(fc->delay_ms),
+                         &SimulatedNetwork::arrival_event, fc);
 }
 
-void SimulatedNetwork::schedule_delivery(const net::Packet& packet,
-                                         const Bytes& wire,
-                                         const std::vector<WireDamage>& damages,
-                                         const topology::AsPath& path,
-                                         SimTime sent_at, double delay_ms) {
-  const net::Protocol protocol = packet.protocol;
-  auto host_it = hosts_.find(packet.ip.destination);
-  if (host_it == hosts_.end()) {
+void SimulatedNetwork::process_arrival(FlightCopy* fc) {
+  const net::Ipv4Address dst = fc->packet.ip.destination;
+  AttachedHost** attached = host_index_.find(dst.value);
+  if (attached == nullptr) {
     // No listener: the packet blackholes at the destination. Counted as a
     // drop; sending is still not an error (mirrors real networks).
-    ++stats_.dropped[protocol];
-    obs_.dropped[proto_index(protocol)]->add();
-    DEBUGLET_LOG(kDebug, "simnet")
-        << "no host at " << packet.ip.destination.to_string();
+    count_drop(fc->protocol);
+    DEBUGLET_LOG(kDebug, "simnet") << "no host at " << dst.to_string();
+    flights_->release(fc);
     return;
   }
 
-  // The receiver's intra-AS access stub.
-  {
-    const AccessConfig& access = host_it->second.access;
-    double d = access.delay_ms;
-    if (access.jitter_ms > 0.0) d += rng_.normal(0.0, access.jitter_ms);
-    delay_ms += std::max(d, 0.0);
-  }
+  // The receiver's intra-AS access stub, drawn from this domain's stream.
+  DomainState& ds = current_domain_state();
+  const AccessConfig& access = (*attached)->access;
+  double access_ms = access.delay_ms;
+  if (access.jitter_ms > 0.0)
+    access_ms += ds.access_rng.normal(0.0, access.jitter_ms);
+  const SimTime nominal =
+      queue_.now() + duration::from_ms(std::max(access_ms, 0.0));
 
-  Host* host = host_it->second.host;
-  const net::Ipv4Address dst = packet.ip.destination;
   // A slow destination adds its service delay, evaluated at the nominal
   // arrival instant (the fault window that matters is the one the packet
   // lands in, not the one it was sent in).
-  delay_ms += host_fault_state(dst, sent_at + duration::from_ms(delay_ms))
-                  .extra_delay_ms;
-  const SimDuration delay = duration::from_ms(delay_ms);
+  const double extra_ms = host_fault_state(dst, nominal).extra_delay_ms;
+  fc->deliver_host = (*attached)->host;
+  queue_.schedule_raw_on(queue_.current_domain(),
+                         nominal + duration::from_ms(extra_ms),
+                         &SimulatedNetwork::delivery_event, fc);
+}
 
-  // Damaged copies carry their wire bytes and are re-parsed at arrival —
-  // the receive path, not the sender, discovers in-flight damage. The
-  // rejection is typed and counted, never silent.
-  std::optional<Bytes> damaged_wire;
-  if (!damages.empty()) {
-    damaged_wire = wire;
-    for (const WireDamage& d : damages) apply_wire_damage(*damaged_wire, d);
+void SimulatedNetwork::process_delivery(FlightCopy* fc) {
+  const net::Ipv4Address dst = fc->packet.ip.destination;
+  // Hosts may detach while packets are in flight; deliver only if the
+  // same host is still attached.
+  AttachedHost** attached = host_index_.find(dst.value);
+  if (attached == nullptr || (*attached)->host != fc->deliver_host) {
+    count_drop(fc->protocol);
+    flights_->release(fc);
+    return;
   }
-
-  queue_.schedule_after(delay, [this, host, dst, protocol, sent_at, path,
-                                pkt = packet,
-                                dw = std::move(damaged_wire)]() mutable {
-    // Hosts may detach while packets are in flight; deliver only if the
-    // same host is still attached.
-    auto it = hosts_.find(dst);
-    if (it == hosts_.end() || it->second.host != host) {
-      ++stats_.dropped[protocol];
-      obs_.dropped[proto_index(protocol)]->add();
+  // A destination that crashed while the packet was in flight drops it
+  // at arrival. Silenced hosts still receive — they just never answer.
+  if (host_fault_state(dst, queue_.now()).crashed()) {
+    count_drop(fc->protocol);
+    obs_.host_fault_ingress_drops->add();
+    flights_->release(fc);
+    return;
+  }
+  Host* host = fc->deliver_host;
+  Delivery d{std::move(fc->packet), fc->sent_at, queue_.now(), *fc->path};
+  if (!fc->damages.empty()) {
+    // Damaged copies carry their wire bytes and are re-parsed at arrival —
+    // the receive path, not the sender, discovers in-flight damage. The
+    // rejection is typed and counted, never silent.
+    Bytes damaged = fc->wire;
+    for (const WireDamage& dmg : fc->damages) apply_wire_damage(damaged, dmg);
+    net::ParseErrorKind kind = net::ParseErrorKind::kNone;
+    auto reparsed =
+        net::parse_packet(BytesView(damaged.data(), damaged.size()), &kind);
+    if (!reparsed) {
+      count_drop(fc->protocol);
+      obs::registry()
+          .counter("net.parse_rejected",
+                   {{"reason", net::parse_error_name(kind)}})
+          .add();
+      DEBUGLET_LOG(kDebug, "simnet")
+          << "damaged frame rejected at " << dst.to_string() << ": "
+          << reparsed.error_message();
+      flights_->release(fc);
       return;
     }
-    // A destination that crashed while the packet was in flight drops it
-    // at arrival. Silenced hosts still receive — they just never answer.
-    if (host_fault_state(dst, queue_.now()).crashed()) {
-      ++stats_.dropped[protocol];
-      obs_.dropped[proto_index(protocol)]->add();
-      obs_.host_fault_ingress_drops->add();
-      return;
-    }
-    Delivery d{std::move(pkt), sent_at, queue_.now(), path};
-    if (dw.has_value()) {
-      net::ParseErrorKind kind = net::ParseErrorKind::kNone;
-      auto reparsed =
-          net::parse_packet(BytesView(dw->data(), dw->size()), &kind);
-      if (!reparsed) {
-        ++stats_.dropped[protocol];
-        obs_.dropped[proto_index(protocol)]->add();
-        obs::registry()
-            .counter("net.parse_rejected",
-                     {{"reason", net::parse_error_name(kind)}})
-            .add();
-        DEBUGLET_LOG(kDebug, "simnet")
-            << "damaged frame rejected at " << dst.to_string() << ": "
-            << reparsed.error_message();
-        return;
-      }
-      // Damage the checksums cannot see (e.g. UDP payload bits) arrives
-      // as-is: application layers must defend themselves (obs/wire
-      // digests, probe-sample filtering).
-      d.packet = std::move(*reparsed);
-    }
-    ++stats_.delivered[d.packet.protocol];
-    obs_.delivered[proto_index(d.packet.protocol)]->add();
-    host->on_packet(d);
-  });
+    // Damage the checksums cannot see (e.g. UDP payload bits) arrives
+    // as-is: application layers must defend themselves (obs/wire digests,
+    // probe-sample filtering).
+    d.packet = std::move(*reparsed);
+  }
+  delivered_[proto_index(d.packet.protocol)].fetch_add(
+      1, std::memory_order_relaxed);
+  obs_.delivered[proto_index(d.packet.protocol)]->add();
+  host->on_packet(d);
+  flights_->release(fc);
 }
 
 }  // namespace debuglet::simnet

@@ -5,12 +5,27 @@
 // by an EventQueue. Real on-wire bytes (net::build_probe output) go in;
 // parsed packets come out at the destination host after the accumulated
 // per-link treatment — or never, if any link dropped the packet.
+//
+// Sharding model (docs/SIMNET.md): every piece of mutable simulation state
+// belongs to a DOMAIN — an AS number for data-plane state (link models,
+// transit RNGs, hosts living at 10.x.y.200+ addresses) or the control
+// domain for everything else (executors at border-interface addresses, the
+// chain, the main thread). A packet is forwarded hop by hop: each link
+// crossing is its own event, homed on the ingress AS's domain, so a
+// domain's links, RNG streams and counters are only ever touched by the
+// one event-queue lane that owns the domain. That is what lets the event
+// queue run lanes in parallel without locks on the forwarding path, and —
+// because all randomness is drawn from per-domain streams in per-domain
+// event order — what keeps traces bit-identical at any shard count.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "net/packet.hpp"
@@ -21,6 +36,7 @@
 #include "telemetry/hop_program.hpp"
 #include "telemetry/int_header.hpp"
 #include "topology/topology.hpp"
+#include "util/flat_hash.hpp"
 
 namespace debuglet::simnet {
 
@@ -36,7 +52,9 @@ struct Delivery {
 class Host {
  public:
   virtual ~Host() = default;
-  /// Called when a packet addressed to this host arrives.
+  /// Called when a packet addressed to this host arrives. Runs on the
+  /// event-queue lane owning the host's domain; hosts that share state
+  /// with events on other domains must bounce through schedule_on.
   virtual void on_packet(const Delivery& delivery) = 0;
 };
 
@@ -66,7 +84,8 @@ struct IcmpReplyPolicy {
   std::uint32_t rate_limit_per_s = 0;  // 0 = unlimited
 };
 
-/// Aggregate send/drop accounting, per protocol.
+/// Aggregate send/drop accounting, per protocol. Only protocols with a
+/// nonzero count appear in the maps.
 struct NetworkStats {
   std::map<net::Protocol, std::uint64_t> sent;
   std::map<net::Protocol, std::uint64_t> delivered;
@@ -74,18 +93,22 @@ struct NetworkStats {
 };
 
 /// The simulator. Construction order: build the Topology, create the
-/// network, configure links and transit, attach hosts, then send.
+/// network, configure links and transit, attach hosts, then send. All
+/// configuration APIs are main-thread-only (between runs); send() and the
+/// forwarding pipeline are safe from any event-queue lane.
 class SimulatedNetwork {
  public:
   SimulatedNetwork(EventQueue& queue, topology::Topology topology,
                    std::uint64_t seed);
+  ~SimulatedNetwork();
 
   const topology::Topology& topology() const { return topology_; }
   EventQueue& queue() { return queue_; }
   SimTime now() const { return queue_.now(); }
 
   /// Configures one direction of an inter-domain link (from -> to). Both
-  /// keys must be the two ends of an existing link.
+  /// keys must be the two ends of an existing link. Registers the link's
+  /// latency floor with the event queue (the cross-shard lookahead).
   Status configure_link(topology::InterfaceKey from, topology::InterfaceKey to,
                         LinkConfig config);
 
@@ -111,6 +134,12 @@ class SimulatedNetwork {
 
   /// The AS an address belongs to (addresses encode the AS number).
   topology::AsNumber as_of(net::Ipv4Address address) const;
+
+  /// The event-queue domain an address's host events run on: the AS
+  /// number for in-AS hosts (last octet >= 200), the control domain for
+  /// border-interface addresses (executors, routers). Hosts scheduling
+  /// their own timers should home them here via EventQueue::schedule_on.
+  std::uint32_t domain_of(net::Ipv4Address address) const;
 
   /// Sends raw wire bytes originating at `from_address`. The packet's IP
   /// source must equal `from_address`. Fails on malformed packets, unknown
@@ -169,90 +198,88 @@ class SimulatedNetwork {
   /// Installs (replaces) the every-router hop program: a validated DVM
   /// mini-module run once per traversed device for INT packets that set
   /// the hop-program flag (paper §VI-G's every-router placement,
-  /// TPP-style). Validation and translation happen here, once; each hop
-  /// pays only a fresh fuel-capped execution.
+  /// TPP-style). Validation and translation happen here, once; each
+  /// domain lazily clones its own runtime (the DVM instance is stateful
+  /// during a run), so hop executions stay lock-free under sharding.
   Status install_hop_program(vm::Module module,
                              telemetry::HopProgramLimits limits = {});
-  void clear_hop_program() { hop_program_.reset(); }
-  bool has_hop_program() const { return hop_program_ != nullptr; }
+  void clear_hop_program();
+  bool has_hop_program() const { return hop_module_.has_value(); }
 
   /// Ground-truth expected one-way delay for a protocol on a path now.
   Result<double> expected_path_delay_ms(const topology::AsPath& path,
                                         net::Protocol protocol) const;
 
-  const NetworkStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = NetworkStats{}; }
+  /// Snapshot of the per-protocol counters (atomics; safe any time).
+  NetworkStats stats() const;
+  void reset_stats();
 
   /// The link model for a direction (for tests; null if unconfigured).
   LinkModel* link_model(topology::InterfaceKey from, topology::InterfaceKey to);
 
  private:
-  using DirectedKey = std::pair<topology::InterfaceKey, topology::InterfaceKey>;
-  Result<topology::AsPath> resolve_path(topology::AsNumber src,
-                                        topology::AsNumber dst) const;
-  void expire_with_time_exceeded(const net::Packet& packet,
-                                 const topology::PathHop& at,
-                                 topology::InterfaceKey router,
-                                 double forward_delay_ms);
+  /// Mutable state owned by one domain (one AS, or the control plane) and
+  /// therefore by exactly one event-queue lane. All forwarding-path
+  /// randomness that is not a link's own stream draws from here, in the
+  /// owning lane's event order — the shard-count-invariance anchor.
+  struct DomainState;
+  /// One in-flight copy of a frame, moved hop by hop through raw events.
+  struct FlightCopy;
+  /// Pool of FlightCopy nodes: reuses allocations (and their vector
+  /// capacity) across packets and reclaims in-flight copies on teardown.
+  struct FlightPool;
 
-  /// Raw per-link observations collected during the path walk while INT
-  /// is active; turned into HopRecords once the copy survives to
-  /// delivery (timestamps need the transit delays drawn after the link
-  /// loop, so records are materialized late).
-  struct IntCrossing {
-    double link_delay_ms = 0.0;    // this copy's crossing delay
-    std::uint32_t queue_depth = 0; // active episodes on the link
-    std::uint32_t wire_faults = 0; // link integrity total so far
+  /// A configured directed link, keyed by its egress interface (an
+  /// interface carries exactly one cable, so the egress key alone
+  /// identifies the direction; `to` is kept to validate lookups).
+  struct LinkEntry {
+    topology::InterfaceKey to;
+    std::unique_ptr<LinkModel> model;
   };
-  /// One in-flight copy of a frame during the path walk: where it is,
-  /// what it has accumulated, and how it has been damaged so far.
-  struct TransitCopy {
-    std::size_t next_link = 0;
-    double delay_ms = 0.0;
-    std::uint8_t ttl = 0;
-    std::vector<WireDamage> damages;
-    std::vector<IntCrossing> crossings;  // populated only while INT active
-  };
-  void schedule_delivery(const net::Packet& packet, const Bytes& wire,
-                         const std::vector<WireDamage>& damages,
-                         const topology::AsPath& path, SimTime sent_at,
-                         double delay_ms);
-  /// Builds this copy's INT record stack (plus optional hop-program runs)
-  /// and rewrites packet payload + wire bytes accordingly.
-  void apply_int_records(net::Packet& packet, Bytes& wire,
-                         const telemetry::IntHeader& prototype,
-                         const std::vector<IntCrossing>& crossings,
-                         const std::vector<double>& transit_ms,
-                         const topology::AsPath& path, SimTime sent_at,
-                         double pre_wire_ms);
-
-  EventQueue& queue_;
-  topology::Topology topology_;
-  Rng rng_;
-  const std::uint64_t seed_;  // scenario seed; link-fault RNGs derive here
-  std::map<DirectedKey, std::unique_ptr<LinkModel>> links_;
-  std::map<topology::AsNumber, TransitConfig> transit_;
-  std::map<topology::AsNumber, IcmpReplyPolicy> icmp_policies_;
-  struct RateLimiterState {
-    std::int64_t window_second = -1;
-    std::uint32_t sent_in_window = 0;
-  };
-  std::map<topology::AsNumber, RateLimiterState> icmp_rate_;
   struct AttachedHost {
     Host* host = nullptr;
     AccessConfig access;
   };
-  std::map<net::Ipv4Address, AttachedHost> hosts_;
-  std::map<net::Ipv4Address, HostFaultPlan> host_faults_;
-  std::map<topology::AsNumber, std::uint8_t> next_host_octet_;
-  std::map<std::pair<topology::AsNumber, topology::AsNumber>, topology::AsPath>
-      pinned_paths_;
-  mutable std::map<std::pair<topology::AsNumber, topology::AsNumber>,
-                   topology::AsPath>
-      path_cache_;
-  NetworkStats stats_;
-  // Observability handles, cached per protocol at construction (the obs
-  // registry owns them; all record calls no-op while obs is disabled).
+
+  static std::uint64_t link_key(topology::InterfaceKey from) {
+    return (static_cast<std::uint64_t>(from.asn) << 16) | from.interface;
+  }
+
+  LinkEntry* find_link(topology::InterfaceKey from, topology::InterfaceKey to);
+  const LinkEntry* find_link(topology::InterfaceKey from,
+                             topology::InterfaceKey to) const;
+  DomainState& domain_state(std::uint32_t domain);
+  DomainState& current_domain_state();
+
+  Result<std::shared_ptr<const topology::AsPath>> resolve_path(
+      topology::AsNumber src, topology::AsNumber dst) const;
+  void expire_with_time_exceeded(const net::Packet& packet,
+                                 const topology::PathHop& at,
+                                 topology::InterfaceKey router, SimTime sent_at,
+                                 double forward_delay_ms);
+
+  // The forwarding pipeline. Each stage is a raw event homed on the
+  // domain that owns the state it touches: process_hop on the crossed
+  // link's ingress AS, process_arrival on the destination's domain (access
+  // stub + fault window draws), process_delivery likewise (parse + host
+  // callback). Trampolines adapt to EventQueue::RawFn.
+  static void hop_event(void* arg);
+  static void arrival_event(void* arg);
+  static void delivery_event(void* arg);
+  void process_hop(FlightCopy* fc);
+  void process_arrival(FlightCopy* fc);
+  void process_delivery(FlightCopy* fc);
+  void schedule_arrival(FlightCopy* fc);
+  void push_int_record(FlightCopy* fc, const topology::PathHop& hop,
+                       bool interior, double link_delay_ms,
+                       double residence_ms, double delay_at_entry_ms,
+                       std::uint32_t queue_depth, std::uint32_t wire_faults,
+                       DomainState& ds);
+
+  /// Counts a drop in the global per-protocol tally and in the executing
+  /// domain's local drop counter (the value INT hop records snapshot).
+  void count_drop(net::Protocol protocol);
+
   /// Dense index for per-protocol metric arrays (Protocol values are
   /// sparse wire numbers; the hot path must not pay a map lookup).
   static constexpr std::size_t proto_index(net::Protocol p) {
@@ -264,6 +291,51 @@ class SimulatedNetwork {
     }
     return 0;
   }
+
+  EventQueue& queue_;
+  topology::Topology topology_;
+  Rng rng_;
+  const std::uint64_t seed_;  // scenario seed; per-domain RNGs derive here
+
+  util::FlatHash<std::uint64_t, LinkEntry, util::U64Hash, ~0ULL> links_;
+  util::FlatHash<std::uint64_t, TransitConfig, util::U64Hash, ~0ULL> transit_;
+  util::FlatHash<std::uint64_t, IcmpReplyPolicy, util::U64Hash, ~0ULL>
+      icmp_policies_;
+  util::FlatHash<std::uint64_t, HostFaultPlan, util::U64Hash, ~0ULL>
+      host_faults_;
+
+  // Hosts: the ordered map owns attachment records (node-stable), the flat
+  // index serves the per-packet lookups and is rebuilt on detach.
+  std::map<net::Ipv4Address, AttachedHost> hosts_;
+  util::FlatHash<std::uint64_t, AttachedHost*, util::U64Hash, ~0ULL>
+      host_index_;
+
+  // Domain states, one per AS plus the control domain, created eagerly at
+  // construction so the index is immutable while events run.
+  std::vector<std::unique_ptr<DomainState>> domains_;
+  util::FlatHash<std::uint64_t, DomainState*, util::U64Hash, ~0ULL>
+      domain_index_;
+
+  std::map<topology::AsNumber, std::uint8_t> next_host_octet_;
+  std::map<std::pair<topology::AsNumber, topology::AsNumber>,
+           std::shared_ptr<const topology::AsPath>>
+      pinned_paths_;
+  // Resolved-path cache: filled from any lane mid-run (send() resolves on
+  // the sender's domain), hence the mutex. Contents are a pure function of
+  // the topology, so cache state never affects simulation results.
+  mutable std::mutex path_mu_;
+  mutable std::map<std::pair<topology::AsNumber, topology::AsNumber>,
+                   std::shared_ptr<const topology::AsPath>>
+      path_cache_;
+
+  std::array<std::atomic<std::uint64_t>, 4> sent_{};
+  std::array<std::atomic<std::uint64_t>, 4> delivered_{};
+  std::array<std::atomic<std::uint64_t>, 4> dropped_{};
+
+  std::unique_ptr<FlightPool> flights_;
+
+  // Observability handles, cached per protocol at construction (the obs
+  // registry owns them; all record calls no-op while obs is disabled).
   struct ObsHandles {
     std::array<obs::Counter*, 4> sent{};
     std::array<obs::Counter*, 4> delivered{};
@@ -280,7 +352,11 @@ class SimulatedNetwork {
   };
   ObsHandles obs_;
   bool int_enabled_ = false;
-  std::unique_ptr<telemetry::HopProgramRuntime> hop_program_;
+  // The validated hop program, kept as a module so each domain can clone
+  // its own runtime on first use (HopProgramRuntime mutates its DVM
+  // instance per run and must not be shared across lanes).
+  std::optional<vm::Module> hop_module_;
+  telemetry::HopProgramLimits hop_limits_;
 };
 
 /// Hashes a parsed packet's flow identity (5-tuple; protocol-dependent).

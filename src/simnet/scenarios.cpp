@@ -291,4 +291,52 @@ Scenario build_chain_scenario(std::size_t as_count, std::uint64_t seed,
   return out;
 }
 
+Scenario build_internet_scenario(std::size_t as_count, std::uint64_t seed,
+                                 double hop_ms) {
+  if (as_count < 3)
+    throw std::invalid_argument("internet scenario needs at least 3 ASes");
+  topology::Topology topo;
+  for (std::size_t i = 0; i < as_count; ++i) {
+    if (auto s = topo.add_as(static_cast<topology::AsNumber>(i + 1),
+                             "AS" + std::to_string(i + 1));
+        !s)
+      throw std::runtime_error(s.error_message());
+  }
+  // Chain links AS_i#2 -> AS_{i+1}#1, plus the closing link AS_n#2 ->
+  // AS_1#1: same interface convention as the chain (1 faces the previous
+  // AS, 2 the next), so chain_egress/chain_ingress keys still apply.
+  const topology::InterfaceKey close_egress{
+      static_cast<topology::AsNumber>(as_count), 2};
+  const topology::InterfaceKey close_ingress{1, 1};
+  for (std::size_t i = 0; i + 1 < as_count; ++i) {
+    if (auto s = topo.add_link(chain_egress(i), chain_ingress(i + 1)); !s)
+      throw std::runtime_error(s.error_message());
+  }
+  if (auto s = topo.add_link(close_egress, close_ingress); !s)
+    throw std::runtime_error(s.error_message());
+
+  Scenario out;
+  out.queue = std::make_unique<EventQueue>();
+  out.network = std::make_unique<SimulatedNetwork>(*out.queue, std::move(topo),
+                                                   seed);
+  LinkConfig cfg;
+  cfg.propagation_ms = hop_ms;
+  cfg.routes = {{0.0, 0.05, 0.0}};
+  for (std::size_t i = 0; i + 1 < as_count; ++i) {
+    auto s = out.network->configure_link_symmetric(chain_egress(i),
+                                                   chain_ingress(i + 1), cfg);
+    if (!s) throw std::runtime_error(s.error_message());
+  }
+  if (auto s = out.network->configure_link_symmetric(close_egress,
+                                                     close_ingress, cfg);
+      !s)
+    throw std::runtime_error(s.error_message());
+  for (std::size_t i = 0; i < as_count; ++i) {
+    out.network->configure_transit(static_cast<topology::AsNumber>(i + 1),
+                                   {0.1, 0.01, 0.0});
+    out.ases.push_back(static_cast<topology::AsNumber>(i + 1));
+  }
+  return out;
+}
+
 }  // namespace debuglet::simnet

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace debuglet::util {
+
+/// Open-addressing hash map for the simulator's hot lookups (directed
+/// links, attached hosts, per-AS state). Linear probing over a
+/// power-of-two table of {key, value} slots; no tombstones — `erase` is
+/// not offered, callers that shrink (host detach) rebuild the index,
+/// which is cheap at the handful-of-hosts scale it happens at.
+///
+/// `Empty` is a reserved key that must never be inserted; it marks free
+/// slots. Lookups return pointers that stay valid until the next
+/// insert/clear (inserts may rehash).
+template <typename Key, typename Value, typename Hash, Key Empty>
+class FlatHash {
+ public:
+  FlatHash() = default;
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Value* find(const Key& key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key)&mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == Empty) return nullptr;
+      if (slot.key == key) return &slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  const Value* find(const Key& key) const {
+    return const_cast<FlatHash*>(this)->find(key);
+  }
+
+  /// Inserts or overwrites. Returns the stored value slot.
+  Value* insert(const Key& key, Value value) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key)&mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == Empty) {
+        slot.key = key;
+        slot.value = std::move(value);
+        ++size_;
+        return &slot.value;
+      }
+      if (slot.key == key) {
+        slot.value = std::move(value);
+        return &slot.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key = Empty;
+    Value value{};
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t next = old.empty() ? 16 : old.size() * 2;
+    // Default-insert (not fill-assign): values may be move-only.
+    slots_ = std::vector<Slot>(next);
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (!(slot.key == Empty)) insert(slot.key, std::move(slot.value));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+/// 64-bit finalizer (splitmix64); also the event-id mixing function in
+/// simnet::EventQueue.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+struct U64Hash {
+  std::size_t operator()(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix64(key));
+  }
+};
+
+}  // namespace debuglet::util

@@ -1,0 +1,166 @@
+// Sharded event-queue contracts: cross-shard ordering at equal
+// timestamps, barrier progress for shards with no local work, and the
+// bit-exact shard-count-invariance property on a real scenario under
+// faults. Doubles as the TSan stress target for the worker-thread
+// barrier (CI runs it under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simnet/hosts.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace debuglet::simnet {
+namespace {
+
+using net::Protocol;
+
+// Two domains, events at identical timestamps: the merged order must be
+// the (time, id) total order — i.e. independent of which lane popped
+// first — so any shard count produces the same interleaving. Events on
+// one domain record into that domain's slot only (single-writer per
+// lane); the cross-shard claim is that the per-domain sequences and the
+// final clock agree with the single-lane run.
+TEST(ShardedQueue, EqualTimestampCrossShardOrderIsShardInvariant) {
+  auto run = [](std::size_t shards) {
+    EventQueue q;
+    q.set_shards(shards);
+    // Domains 1 and 2 are distinct lanes at shards >= 3.
+    std::vector<int> d1, d2;
+    std::mutex mu;  // harmless under shards=1; required under threads
+    for (int i = 0; i < 8; ++i) {
+      q.schedule_on(1, 50, [&, i] {
+        std::lock_guard<std::mutex> lock(mu);
+        d1.push_back(i);
+      });
+      q.schedule_on(2, 50, [&, i] {
+        std::lock_guard<std::mutex> lock(mu);
+        d2.push_back(i);
+      });
+    }
+    q.run();
+    return std::make_pair(d1, d2);
+  };
+  const auto baseline = run(1);
+  for (std::size_t shards : {2u, 3u, 4u}) {
+    const auto sharded = run(shards);
+    EXPECT_EQ(sharded.first, baseline.first) << "shards=" << shards;
+    EXPECT_EQ(sharded.second, baseline.second) << "shards=" << shards;
+  }
+  // Root-scheduled equal-time events fire in scheduling order per domain.
+  EXPECT_EQ(baseline.first, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// A shard whose domain has no events of its own must still advance
+// through the window barrier: domain 1 keeps scheduling onto itself far
+// into the future while domain 2 waits for one late event. If the empty
+// lane could stall the barrier (or the busy lane could run ahead of it),
+// the late event would fire at the wrong time or never.
+TEST(ShardedQueue, EmptyShardStillAdvancesThroughBarrier) {
+  EventQueue q;
+  q.set_shards(4);
+  q.note_link_floor(duration::milliseconds(1));
+  int busy_fired = 0;
+  bool late_fired = false;
+  std::function<void(int)> chain = [&](int depth) {
+    ++busy_fired;
+    if (depth > 0)
+      q.schedule_after(duration::milliseconds(2),
+                       [&chain, depth] { chain(depth - 1); });
+  };
+  q.schedule_on(1, duration::milliseconds(1), [&] { chain(500); });
+  const SimTime late_at = duration::milliseconds(900);
+  q.schedule_on(2, late_at, [&] {
+    late_fired = true;
+    EXPECT_EQ(q.now(), late_at);
+  });
+  q.run();
+  EXPECT_EQ(busy_fired, 501);
+  EXPECT_TRUE(late_fired);
+}
+
+/// One deterministic "trace" of a faulted ring scenario: per-client
+/// received counts and the exact RTT sample streams, formatted so a
+/// mismatch prints usefully.
+std::string faulted_ring_trace(std::size_t shards) {
+  Scenario s = build_internet_scenario(24, 11, 4.0);
+  s.queue->set_shards(shards);
+
+  // A host fault window on one server and a lossy/duplicating wire on one
+  // ring link: the property must hold under chaos, not just clean runs.
+  FaultSpec fault;
+  fault.extra_delay_ms = 40.0;
+  fault.start = duration::milliseconds(300);
+  fault.end = duration::milliseconds(1500);
+  EXPECT_TRUE(s.network->inject_fault(chain_egress(4), chain_ingress(5),
+                                      fault));
+  LinkFaultPlan wire;
+  wire.corrupt(30.0);
+  wire.duplicate(30.0, 2);
+  EXPECT_TRUE(s.network->install_link_faults(chain_egress(9),
+                                             chain_ingress(10), wire));
+
+  std::vector<std::unique_ptr<EchoServerHost>> servers;
+  std::vector<std::unique_ptr<ProbeClientHost>> clients;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto server_as =
+        static_cast<topology::AsNumber>(1 + (i * 4 + 6) % 24);
+    const auto client_as = static_cast<topology::AsNumber>(1 + (i * 4) % 24);
+    const auto server_addr = s.network->allocate_host_address(server_as);
+    servers.push_back(
+        std::make_unique<EchoServerHost>(*s.network, server_addr));
+    EXPECT_TRUE(s.network->attach_host(server_addr, servers.back().get()));
+    ProbeClientConfig cfg;
+    cfg.server = server_addr;
+    cfg.probe_count = 20;
+    cfg.interval = duration::milliseconds(100);
+    cfg.protocols = {Protocol::kUdp, Protocol::kIcmp};
+    const auto client_addr = s.network->allocate_host_address(client_as);
+    clients.push_back(std::make_unique<ProbeClientHost>(
+        *s.network, client_addr, cfg, 42 + i));
+    EXPECT_TRUE(s.network->attach_host(client_addr, clients.back().get()));
+  }
+  for (auto& c : clients) c->start();
+  s.queue->run();
+
+  std::string trace;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ProbeReport& r = clients[i]->report();
+    trace += "client " + std::to_string(i) + ":";
+    for (const auto& [protocol, n] : r.received)
+      trace += " recv=" + std::to_string(n);
+    for (const auto& [protocol, set] : r.rtt_ms) {
+      trace += " [";
+      for (double sample : set.samples()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g,", sample);
+        trace += buf;
+      }
+      trace += "]";
+    }
+    trace += "\n";
+  }
+  trace += "drained at " + std::to_string(s.queue->now());
+  return trace;
+}
+
+// The headline property: a faulted multi-host scenario produces a
+// bit-identical observable trace at every shard count, and repeated runs
+// at the same (threaded) shard count never diverge.
+TEST(ShardedQueue, FaultedScenarioTraceIsShardCountInvariant) {
+  const std::string baseline = faulted_ring_trace(1);
+  for (std::size_t shards : {2u, 4u})
+    EXPECT_EQ(faulted_ring_trace(shards), baseline) << "shards=" << shards;
+}
+
+TEST(ShardedQueue, RepeatedThreadedRunsAreIdentical) {
+  const std::string first = faulted_ring_trace(4);
+  for (int rep = 0; rep < 3; ++rep) EXPECT_EQ(faulted_ring_trace(4), first);
+}
+
+}  // namespace
+}  // namespace debuglet::simnet

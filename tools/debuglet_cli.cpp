@@ -44,6 +44,7 @@
 //                      [--link-corrupt PM] [--link-truncate PM]
 //                      [--link-dup PM] [--link-reorder PM]
 //                      [--link-flap-ms D] [--int] [--check-determinism]
+//                      [--shards N] [--trace-out FILE]
 //       Inject a link fault AND executor failures (killed agents, crashed
 //       hosts, optionally a byzantine signer), then run a resilient
 //       end-to-end measurement plus a degraded-mode localization. The
@@ -58,6 +59,9 @@
 //       deterministic trace.
 //       --check-determinism replays the scenario with the same seed and
 //       verifies the retry/failover/fault-matrix trace is bit-identical.
+//       --shards N runs the simulation on N event-queue shards (worker
+//       threads); the trace must be byte-identical at every N. --trace-out
+//       writes the deterministic trace to FILE so CI can diff shard counts.
 //
 //   debuglet asm FILE / debuglet disasm FILE
 //       Assemble DVM assembly to a module file (FILE.dvm), or print the
@@ -653,6 +657,10 @@ struct ChaosParams {
   /// Localize with the in-band INT strategy (falls back to binary search
   /// when chaos destroys the probe's record stack).
   bool int_mode = false;
+  /// Event-queue shards: 1 = classic single-threaded pop-min loop; N>1
+  /// runs N lanes under the conservative window barrier. The trace is
+  /// shard-count-invariant by contract.
+  std::size_t shards = 1;
 
   bool link_faults() const {
     return link_corrupt_pm > 0 || link_truncate_pm > 0 || link_dup_pm > 0 ||
@@ -697,6 +705,7 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   ChaosOutcome out;
   core::DebugletSystem system(
       simnet::build_chain_scenario(p.ases, p.seed, 5.0));
+  system.queue().set_shards(p.shards);
 
   simnet::FaultSpec fault;
   fault.extra_delay_ms = p.fault_ms;
@@ -944,6 +953,7 @@ int cmd_chaos(const Args& args) {
   p.link_reorder_pm = args.get_int("link-reorder", 0);
   p.link_flap_ms = args.get_int("link-flap-ms", 0);
   p.int_mode = args.has("int");
+  p.shards = static_cast<std::size_t>(args.get_int("shards", 1));
   if (p.kills.empty() && p.crashes.empty() && p.byzantine.empty() &&
       !p.link_faults()) {
     // Default chaos: the AS on the near side of the faulty link goes
@@ -991,6 +1001,18 @@ int cmd_chaos(const Args& args) {
     deterministic = first.trace == second.trace;
     std::printf("\ndeterminism check: %s\n",
                 deterministic ? "traces identical" : "TRACES DIVERGED");
+  }
+  if (const std::string out_path = args.get("trace-out", "");
+      !out_path.empty()) {
+    // The file is the cross-shard determinism artifact: CI runs the same
+    // seed at several --shards values and byte-diffs the outputs.
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::printf("cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << first.trace << "\n";
+    std::printf("trace written to %s\n", out_path.c_str());
   }
   const bool ok = first.measurement_ok && first.bracketed && deterministic;
   std::printf("\nchaos verdict: %s\n", ok ? "PASS" : "FAIL");
