@@ -1,0 +1,108 @@
+// Ablation: twin-probe discrimination detection vs. severity.
+//
+// The adversary is the §VI-E fault-hiding middlebox from simnet/middlebox:
+// recognized measurement traffic rides clean while everything else takes a
+// slow-queue detour. The counter-measurement (core/discrimination) sends
+// twin probes that differ only in the port the DPI classifier keys on and
+// compares per-class treatment via INT residence. This sweep measures the
+// detection rate and the confidence the detector assigns as a function of
+// the discrimination severity (the hidden extra delay), including the
+// severity-zero control where any detection would be a false positive.
+#include "bench_util.hpp"
+#include "core/discrimination.hpp"
+#include "simnet/scenarios.hpp"
+
+namespace {
+
+using namespace debuglet;
+
+constexpr topology::AsNumber kCheatAs = 3;
+
+struct SweepPoint {
+  double detection_rate = 0.0;
+  double naming_rate = 0.0;  // detected AND named the cheating AS
+  double mean_confidence = 0.0;
+};
+
+SweepPoint run_severity(double severity_ms, std::uint64_t trials) {
+  SweepPoint point;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = 9000 + trial;
+    simnet::Scenario s = simnet::build_chain_scenario(5, seed, 5.0);
+    s.network->set_int_enabled(true);
+
+    if (severity_ms > 0.0) {
+      simnet::ClassPolicy slow;
+      slow.extra_delay_ms = severity_ms;
+      slow.drop_pm = 60.0;
+      simnet::MiddleboxPlan plan;
+      plan.policy_all(slow).recognize_probe_signatures(true);
+      const auto& topo = s.network->topology();
+      for (topology::AsNumber as = 1; as <= 5; ++as) {
+        plan.recognize(topo.address_of(topology::InterfaceKey{as, 1}));
+        plan.recognize(topo.address_of(topology::InterfaceKey{as, 2}));
+      }
+      if (!s.network->install_middlebox(kCheatAs, plan)) std::abort();
+    }
+
+    core::DiscriminationDetector detector(*s.network, 1, 5, seed + 31);
+    auto twins = detector.run();
+    if (!twins) std::abort();
+    point.mean_confidence += twins->top_confidence();
+    if (twins->detected) {
+      point.detection_rate += 1.0;
+      if (twins->named_as() == kCheatAs) point.naming_rate += 1.0;
+    }
+  }
+  point.detection_rate /= static_cast<double>(trials);
+  point.naming_rate /= static_cast<double>(trials);
+  point.mean_confidence /= static_cast<double>(trials);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation — twin-probe discrimination detection vs. severity",
+      "Debuglet (ICDCS'24), Section VI-E adversary + DPI counter-measurement");
+  bench::Report report("discrimination");
+  const auto trials = static_cast<std::uint64_t>(
+      bench::env_scale("DEBUGLET_BENCH_TRIALS", 6.0));
+
+  const double severities[] = {0.0, 0.5, 1.0, 2.0, 5.0, 20.0};
+  std::printf("\n%10s | %14s %12s %16s\n", "hidden ms", "detection rate",
+              "named AS3", "mean confidence");
+  std::printf("%.*s\n", 60,
+              "------------------------------------------------------------");
+
+  SweepPoint control, mild, clear;
+  for (const double severity : severities) {
+    const SweepPoint point = run_severity(severity, trials);
+    std::printf("%10.1f | %14.2f %12.2f %16.3f\n", severity,
+                point.detection_rate, point.naming_rate,
+                point.mean_confidence);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", severity);
+    const obs::Labels labels{{"severity_ms", label}};
+    report.metric("discrimination.detection_rate", point.detection_rate,
+                  labels);
+    report.metric("discrimination.naming_rate", point.naming_rate, labels);
+    report.metric("discrimination.mean_confidence", point.mean_confidence,
+                  labels);
+    if (severity == 0.0) control = point;
+    if (severity == 0.5) mild = point;
+    if (severity == 5.0) clear = point;
+  }
+
+  report.check(control.detection_rate == 0.0,
+               "honest network: no false positives");
+  report.check(mild.detection_rate == 0.0,
+               "sub-threshold discrimination (0.5 ms) stays below the "
+               "minimum-effect bar");
+  report.check(clear.detection_rate == 1.0,
+               "clear discrimination (5 ms) detected in every trial");
+  report.check(clear.naming_rate == 1.0,
+               "and the cheating AS is named every time");
+  return report.summary();
+}

@@ -47,6 +47,7 @@ VantageResult probe_between(simnet::Scenario& s, net::Ipv4Address client_addr,
 int main() {
   bench::banner("Ablation A5 — ISP fault hiding and cross-validation",
                 "Debuglet (ICDCS'24), Section VI-E");
+  bench::Report report("fault_hiding");
   const auto probes = static_cast<std::uint64_t>(
       bench::env_scale("DEBUGLET_BENCH_TRIALS", 3000));
 
@@ -111,14 +112,32 @@ int main() {
               "%.1f pm loss\n",
               discrepancy, cheat_user.loss_pm - cheat_exec.loss_pm);
 
-  bench::ShapeChecks checks;
-  checks.check(std::abs(honest_exec.mean_ms - honest_user.mean_ms) < 2.0,
+  const struct {
+    const char* op;
+    const char* vantage;
+    const VantageResult& r;
+  } cells[] = {
+      {"honest", "executor", honest_exec},
+      {"honest", "user", honest_user},
+      {"cheating", "executor", cheat_exec},
+      {"cheating", "user", cheat_user},
+  };
+  for (const auto& cell : cells) {
+    const obs::Labels labels{{"operator", cell.op}, {"vantage", cell.vantage}};
+    report.metric("fault_hiding.rtt_ms", cell.r.mean_ms, labels);
+    report.metric("fault_hiding.loss_pm", cell.r.loss_pm, labels);
+  }
+  report.metric("fault_hiding.discrepancy_ms", discrepancy);
+  report.metric("fault_hiding.discrepancy_loss_pm",
+                cheat_user.loss_pm - cheat_exec.loss_pm);
+
+  report.check(std::abs(honest_exec.mean_ms - honest_user.mean_ms) < 2.0,
                "honest AS: executor and user vantage points agree");
-  checks.check(cheat_exec.mean_ms < honest_exec.mean_ms - 20.0,
+  report.check(cheat_exec.mean_ms < honest_exec.mean_ms - 20.0,
                "cheating hides the standing queue from executors");
-  checks.check(discrepancy > 20.0,
+  report.check(discrepancy > 20.0,
                "cross-validation from ordinary prefixes exposes the lie");
-  checks.check(cheat_user.loss_pm > cheat_exec.loss_pm + 30.0,
+  report.check(cheat_user.loss_pm > cheat_exec.loss_pm + 30.0,
                "loss discrepancy also visible");
-  return checks.summary();
+  return report.summary();
 }

@@ -1,0 +1,134 @@
+// Twin-probe discrimination detection (the counter-measurement to
+// simnet/middlebox.hpp).
+//
+// A DPI middlebox that deprioritizes "data" while letting recognizable
+// probes ride clean (§VI-E fault hiding) is invisible to plain
+// measurements — the probes really do see a healthy path. The counter,
+// following "Verifiable Network-Performance Measurements" (PAPERS.md), is
+// to make the adversary's CLASSIFIER the measured variable: emit TWINS —
+// packet pairs of identical size, payload entropy and pacing that differ
+// only in the single feature the classifier keys on (here: whether the
+// destination port looks like a measurement port) — and compare their
+// treatment. Any systematic difference is discrimination by construction,
+// and per-hop INT residence (src/telemetry) names the AS that injected it.
+//
+// Twins are measured ONE-WAY (send timestamp to delivery timestamp): both
+// twin endpoints are Debuglet-controlled, so shared time comes with the
+// deployment, and one-way delay sees forward-path discrimination without
+// the return path diluting it.
+//
+// Everything here is deterministic under the scenario seed: twin payloads
+// and pacing derive from the detector's own forked RNG, and the verdict —
+// confidences included — is a pure function of the delivered samples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "util/stats.hpp"
+
+namespace debuglet::core {
+
+/// Per-twin-class treatment summary, accumulated at the receiving twin.
+struct TwinClassSummary {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  SampleSet one_way_ms;
+  /// Per-AS residence samples from delivered INT record stacks (empty
+  /// when the network forwards without INT).
+  std::map<topology::AsNumber, SampleSet> residence_ms;
+  /// Largest drop-counter snapshot seen per AS (each AS tallies its own
+  /// drops, so a jump localizes WHERE the missing twins died).
+  std::map<topology::AsNumber, std::uint32_t> drops_seen;
+
+  double loss_rate() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(sent - received) /
+                           static_cast<double>(sent);
+  }
+};
+
+/// One accusation: this AS treats the twin classes differently.
+struct DiscriminationEvidence {
+  /// The discriminating AS; 0 = discrimination visible end to end but not
+  /// localizable (no intact INT evidence).
+  topology::AsNumber asn = 0;
+  /// [0, 1): a monotone map of the Welch-style separation score.
+  double confidence = 0.0;
+  /// Mean data-like minus probe-like residence at this AS (ms); for
+  /// asn = 0, the end-to-end one-way delta.
+  double residence_delta_ms = 0.0;
+  /// The raw separation score the confidence derives from.
+  double score = 0.0;
+  std::string detail;
+};
+
+/// Outcome of one twin-probe round set.
+struct DiscriminationReport {
+  TwinClassSummary probe_like;
+  TwinClassSummary data_like;
+  /// End-to-end mean one-way delta (data-like minus probe-like), ms.
+  double delay_delta_ms = 0.0;
+  /// Loss-rate delta (data-like minus probe-like).
+  double loss_delta = 0.0;
+  bool detected = false;
+  /// Confidence-descending (ties break toward the lower AS number).
+  std::vector<DiscriminationEvidence> suspects;
+
+  /// The accused AS (0 when nothing met the detection bar).
+  topology::AsNumber named_as() const {
+    return detected && !suspects.empty() ? suspects.front().asn : 0;
+  }
+  double top_confidence() const {
+    return suspects.empty() ? 0.0 : suspects.front().confidence;
+  }
+  /// Deterministic multi-line rendering for chaos traces: equal seeds must
+  /// reproduce it bit for bit.
+  std::string trace() const;
+};
+
+/// Runs twin-probe rounds between two ASes over the live network and
+/// compares per-class treatment. Attaches its own transient hosts at
+/// ordinary (non-executor) addresses — the vantage diversity §VI-E calls
+/// for — and drives the event queue until the rounds drain.
+class DiscriminationDetector {
+ public:
+  struct Options {
+    std::uint64_t rounds = 40;
+    SimDuration interval = duration::milliseconds(50);
+    /// The one bit the twins differ in: a destination port inside the
+    /// classic measurement ranges vs. an unremarkable ephemeral port.
+    std::uint16_t probe_port = 40021;
+    std::uint16_t data_port = 27101;
+    /// Identical high-entropy payload tail carried by both twins.
+    std::size_t payload_tail_bytes = 48;
+    /// INT budget when the network forwards with telemetry enabled.
+    std::uint8_t int_max_hops = 12;
+    /// Detection bar: top confidence at/above this AND an effect at least
+    /// `min_effect_ms` (or a significant loss gap).
+    double confidence_threshold = 0.8;
+    double min_effect_ms = 1.0;
+  };
+
+  DiscriminationDetector(simnet::SimulatedNetwork& network,
+                         topology::AsNumber client_as,
+                         topology::AsNumber server_as, std::uint64_t seed);
+  DiscriminationDetector(simnet::SimulatedNetwork& network,
+                         topology::AsNumber client_as,
+                         topology::AsNumber server_as, std::uint64_t seed,
+                         Options options);
+
+  Result<DiscriminationReport> run();
+
+ private:
+  simnet::SimulatedNetwork& network_;
+  topology::AsNumber client_as_;
+  topology::AsNumber server_as_;
+  std::uint64_t seed_;
+  Options options_;
+};
+
+}  // namespace debuglet::core

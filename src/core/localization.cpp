@@ -1,6 +1,7 @@
 #include "core/localization.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -505,6 +506,32 @@ Result<LocalizationReport> FaultLocalizer::run(Strategy strategy) {
       // degrades to purchased binary search — never a wrong verdict.
       if (!inband_pass(report)) binary_search_pass(report);
       break;
+  }
+
+  if (discrimination_probe_) {
+    // Counter-measurement pass: the segment verdicts above came from
+    // executor-pair probes an adversary may have recognized and treated
+    // kindly (§VI-E). Twin probes from non-executor vantages check whether
+    // any on-path AS discriminates; a hit is reported, never fatal.
+    auto twin = discrimination_probe_();
+    if (!twin) {
+      report.notes.push_back("discrimination probe failed: " +
+                             twin.error_message());
+    } else if (twin->detected) {
+      report.discrimination = twin->suspects;
+      char note[160];
+      if (twin->named_as() != 0)
+        std::snprintf(note, sizeof(note),
+                      "AS%u discriminates against unrecognized traffic "
+                      "(confidence %.3f) — fault hiding suspected",
+                      twin->named_as(), twin->top_confidence());
+      else
+        std::snprintf(note, sizeof(note),
+                      "path discriminates against unrecognized traffic "
+                      "(confidence %.3f, not localized)",
+                      twin->top_confidence());
+      report.notes.push_back(note);
+    }
   }
 
   report.finished = system_.queue().now();

@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "core/discrimination.hpp"
 #include "core/initiator.hpp"
 
 namespace debuglet::core {
@@ -80,6 +81,12 @@ struct LocalizationReport {
   std::size_t links_unresolved = 0;
   std::size_t segments_unmeasured = 0;
   std::vector<std::string> notes;  // one line per degradation
+
+  /// Twin-probe counter-measurement output (confidence-descending), when a
+  /// discrimination probe was installed. A fault-hiding AS that showed the
+  /// executor pairs a clean path is named HERE instead of passing silently
+  /// — check it before trusting a "clean" verdict above.
+  std::vector<DiscriminationEvidence> discrimination;
 
   SimDuration time_to_locate() const { return finished - started; }
   /// Fraction of the path's links individually resolved (1.0 = full).
@@ -160,6 +167,18 @@ class FaultLocalizer {
   };
   void set_resilience(Resilience resilience) { resilience_ = resilience; }
 
+  /// Adversary tolerance: after the segment measurements conclude, run a
+  /// twin-probe discrimination check (typically a closure around a
+  /// DiscriminationDetector aimed at the path's endpoints). A detected
+  /// discriminating AS lands in LocalizationReport::discrimination plus a
+  /// note — the counter to §VI-E fault hiding, where an AS recognizes
+  /// executor probes and shows them a health the rest of the traffic does
+  /// not get. Probe failures degrade to a note, never an error.
+  using DiscriminationProbe = std::function<Result<DiscriminationReport>()>;
+  void set_discrimination_probe(DiscriminationProbe probe) {
+    discrimination_probe_ = std::move(probe);
+  }
+
  private:
   Result<MeasurementOutcome> await(const MeasurementHandle& handle);
   bool is_faulty(std::size_t links_crossed, const RttSummary& s) const;
@@ -189,6 +208,7 @@ class FaultLocalizer {
   std::int64_t interval_ms_;
   EvidenceCollector evidence_collector_;
   Resilience resilience_;
+  DiscriminationProbe discrimination_probe_;
 };
 
 }  // namespace debuglet::core

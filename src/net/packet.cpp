@@ -1,5 +1,7 @@
 #include "net/packet.hpp"
 
+#include <array>
+#include <cmath>
 #include <cstring>
 
 namespace debuglet::net {
@@ -451,6 +453,20 @@ Result<Bytes> build_echo_reply(const Packet& request) {
     w[icmp_off + 3] = static_cast<std::uint8_t>(sum);
   }
   return wire;
+}
+
+double payload_entropy_bits(BytesView payload) {
+  if (payload.size() < 2) return 0.0;
+  std::array<std::uint32_t, 256> histogram{};
+  for (std::uint8_t b : payload) ++histogram[b];
+  const double n = static_cast<double>(payload.size());
+  double bits = 0.0;
+  for (std::uint32_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    bits -= p * std::log2(p);
+  }
+  return bits;
 }
 
 }  // namespace debuglet::net

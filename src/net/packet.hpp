@@ -187,4 +187,10 @@ constexpr std::size_t max_payload_size(Protocol p) {
   return 65535 - header_overhead(p);
 }
 
+/// Shannon entropy estimate of a byte span, in bits per byte (0 for an
+/// empty or constant span, up to 8 for uniform bytes). The fingerprint DPI
+/// classifiers and twin-probe crafting share: zero-padded probe payloads
+/// sit near 0, encrypted/compressed data traffic near 8.
+double payload_entropy_bits(BytesView payload);
+
 }  // namespace debuglet::net

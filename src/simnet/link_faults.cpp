@@ -33,6 +33,18 @@ void apply_wire_damage(Bytes& wire, const WireDamage& damage) {
     case WireDamage::Kind::kTruncate:
       if (damage.truncate_to < wire.size()) wire.resize(damage.truncate_to);
       return;
+    case WireDamage::Kind::kMangle: {
+      if (damage.offset >= wire.size()) return;
+      const std::size_t span = wire.size() - damage.offset;
+      std::uint64_t state = damage.seed;
+      for (std::uint32_t i = 0; i < damage.bit_flips; ++i) {
+        const std::uint64_t draw = splitmix64(state);
+        const std::size_t bit = draw % (span * 8);
+        wire[damage.offset + bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      return;
+    }
   }
 }
 

@@ -78,11 +78,16 @@ struct ReorderSpec {
 /// made at traverse time), so it can be applied to the wire bytes later —
 /// at delivery — without touching the link's RNG again.
 struct WireDamage {
-  enum class Kind : std::uint8_t { kNone, kCorrupt, kTruncate };
+  /// kCorrupt flips bits anywhere in the frame (random wire noise);
+  /// kMangle flips bits at or after `offset` only — a DPI middlebox
+  /// rewriting application payload while leaving the headers (and their
+  /// checksums) intact, per the middlebox chaos layer.
+  enum class Kind : std::uint8_t { kNone, kCorrupt, kTruncate, kMangle };
   Kind kind = Kind::kNone;
   std::uint64_t seed = 0;        // positions derive from this, splitmix64
-  std::uint32_t bit_flips = 0;   // kCorrupt: how many bits to flip
+  std::uint32_t bit_flips = 0;   // kCorrupt/kMangle: how many bits to flip
   std::uint32_t truncate_to = 0; // kTruncate: surviving byte count
+  std::uint32_t offset = 0;      // kMangle: first eligible byte
 
   bool damaged() const { return kind != Kind::kNone; }
 };

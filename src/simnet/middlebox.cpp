@@ -1,0 +1,206 @@
+#include "simnet/middlebox.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/int_header.hpp"
+
+namespace debuglet::simnet {
+
+namespace {
+
+// Port fingerprints the DPI model keys on. Traceroute probes walk the
+// classic 33434+ range; Debuglet rendezvous ports (initiator-assigned echo
+// endpoints) and simnet probe clients live in [40000, 49000).
+bool is_measurement_port(std::uint16_t port) {
+  return (port >= 33434 && port < 33534) || (port >= 40000 && port < 49000);
+}
+
+// Well-known interactive/service ports (the DPI paper's protocol
+// fingerprints are far richer; ports are the coarse stand-in).
+bool is_interactive_port(std::uint16_t port) {
+  switch (port) {
+    case 22:
+    case 25:
+    case 53:
+    case 80:
+    case 443:
+    case 8080:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* traffic_class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kMeasurement: return "measurement";
+    case TrafficClass::kInteractive: return "interactive";
+    case TrafficClass::kBulk: return "bulk";
+    case TrafficClass::kOther: return "other";
+  }
+  return "other";
+}
+
+TrafficClass classify_packet(const net::Packet& packet) {
+  // ICMP and the paper's raw-IP probe protocol ARE measurement traffic —
+  // no ambiguity for the classifier to resolve.
+  if (packet.protocol == net::Protocol::kIcmp ||
+      packet.protocol == net::Protocol::kRawIp)
+    return TrafficClass::kMeasurement;
+
+  std::uint16_t sport = 0, dport = 0;
+  if (packet.udp) {
+    sport = packet.udp->source_port;
+    dport = packet.udp->destination_port;
+  } else if (packet.tcp) {
+    sport = packet.tcp->source_port;
+    dport = packet.tcp->destination_port;
+  }
+  if (is_measurement_port(sport) || is_measurement_port(dport))
+    return TrafficClass::kMeasurement;
+  if (packet.tcp && (is_interactive_port(sport) || is_interactive_port(dport)))
+    return TrafficClass::kInteractive;
+
+  // Payload heuristics run on the APPLICATION bytes: a leading INT block
+  // is forwarding-plane metadata, not something the application chose.
+  const BytesView payload(packet.payload.data(), packet.payload.size());
+  const std::size_t skip = telemetry::IntHeader::prefix_size(payload);
+  const BytesView app(payload.data() + skip, payload.size() - skip);
+  if (app.size() >= 512) return TrafficClass::kBulk;
+  // Zero-padded equalized probes have near-zero byte entropy; real data
+  // (compressed, encrypted) sits near 8 bits/byte.
+  if (app.size() >= 16 && net::payload_entropy_bits(app) < 2.0)
+    return TrafficClass::kMeasurement;
+  return TrafficClass::kOther;
+}
+
+MiddleboxPlan& MiddleboxPlan::policy(TrafficClass c, const ClassPolicy& p) {
+  policies_[static_cast<std::size_t>(c)] = p;
+  return *this;
+}
+
+MiddleboxPlan& MiddleboxPlan::policy_all(const ClassPolicy& p) {
+  for (ClassPolicy& slot : policies_) slot = p;
+  return *this;
+}
+
+MiddleboxPlan& MiddleboxPlan::policy_except_measurement(const ClassPolicy& p) {
+  policy_all(p);
+  policies_[static_cast<std::size_t>(TrafficClass::kMeasurement)] =
+      ClassPolicy{};
+  return *this;
+}
+
+MiddleboxPlan& MiddleboxPlan::recognize(net::Ipv4Address address) {
+  if (std::find(recognized_.begin(), recognized_.end(), address) ==
+      recognized_.end())
+    recognized_.push_back(address);
+  return *this;
+}
+
+MiddleboxPlan& MiddleboxPlan::recognize_probe_signatures(bool on) {
+  recognize_signatures_ = on;
+  return *this;
+}
+
+MiddleboxPlan& MiddleboxPlan::window(FaultWindow w) {
+  window_ = w;
+  return *this;
+}
+
+bool MiddleboxPlan::empty() const {
+  for (const ClassPolicy& p : policies_)
+    if (!p.empty()) return false;
+  return true;
+}
+
+bool MiddleboxPlan::recognizes(const net::Packet& packet,
+                               TrafficClass cls) const {
+  if (recognize_signatures_ && cls == TrafficClass::kMeasurement) return true;
+  for (net::Ipv4Address address : recognized_)
+    if (packet.ip.source == address || packet.ip.destination == address)
+      return true;
+  return false;
+}
+
+MiddleboxVerdict apply_middlebox(const MiddleboxPlan& plan,
+                                 const net::Packet& packet, SimTime now,
+                                 Rng& rng, MiddleboxRuntime& runtime,
+                                 MiddleboxStats& stats) {
+  MiddleboxVerdict v;
+  if (!plan.active_window().active_at(now)) return v;
+  v.inspected = true;
+  v.cls = classify_packet(packet);
+  const std::size_t ci = static_cast<std::size_t>(v.cls);
+  stats.classified[ci] += 1;
+
+  // Fault hiding: recognized traffic rides the fast path untouched. No
+  // RNG draw happens for it, so a hidden flow cannot even perturb the
+  // treatment of its twins.
+  if (plan.recognizes(packet, v.cls)) {
+    v.exempted = true;
+    stats.exempted += 1;
+    return v;
+  }
+
+  const ClassPolicy& policy = plan.policy_for(v.cls);
+  if (policy.empty()) return v;
+
+  // Throttle first (deterministic, no draw): a fixed per-second budget
+  // per class, excess dropped.
+  if (policy.throttle_pps > 0) {
+    const std::int64_t second = now / 1'000'000'000;
+    if (runtime.window_second != second) {
+      runtime.window_second = second;
+      runtime.sent_in_window.fill(0);
+    }
+    if (runtime.sent_in_window[ci] >= policy.throttle_pps) {
+      v.dropped = true;
+      v.throttled = true;
+      stats.throttled += 1;
+      return v;
+    }
+    runtime.sent_in_window[ci] += 1;
+  }
+
+  if (policy.drop_pm > 0.0 && rng.chance(policy.drop_pm / 1000.0)) {
+    v.dropped = true;
+    stats.dropped += 1;
+    return v;
+  }
+
+  if (policy.extra_delay_ms > 0.0) {
+    double extra = policy.extra_delay_ms;
+    if (policy.delay_jitter_ms > 0.0)
+      extra += std::abs(rng.normal(0.0, policy.delay_jitter_ms));
+    v.extra_delay_ms = extra;
+    stats.deprioritized += 1;
+  }
+
+  if (policy.mangle_pm > 0.0 && rng.chance(policy.mangle_pm / 1000.0)) {
+    // Mangle the application payload only: headers and their checksums
+    // stay valid (a middlebox wants the packet delivered, just wrong),
+    // and a leading INT block is left alone — its digest would expose
+    // tampering immediately, so a stealthy box rewrites what follows.
+    const BytesView payload(packet.payload.data(), packet.payload.size());
+    const std::size_t app_offset =
+        net::header_overhead(packet.protocol) +
+        telemetry::IntHeader::prefix_size(payload);
+    if (app_offset < packet.wire_size()) {
+      v.mangled = true;
+      v.damage.kind = WireDamage::Kind::kMangle;
+      v.damage.seed = rng.next_u64();
+      v.damage.bit_flips =
+          1 + static_cast<std::uint32_t>(
+                  rng.next_below(std::max(policy.mangle_max_bit_flips, 1u)));
+      v.damage.offset = static_cast<std::uint32_t>(app_offset);
+      stats.mangled += 1;
+    }
+  }
+  return v;
+}
+
+}  // namespace debuglet::simnet

@@ -16,6 +16,7 @@ namespace {
 constexpr std::uint64_t kTransitRngSalt = 0x7A4E517ULL;
 constexpr std::uint64_t kAccessRngSalt = 0xACCE55ULL;
 constexpr std::uint64_t kIcmpRngSalt = 0x1C3BULL;
+constexpr std::uint64_t kMiddleboxRngSalt = 0xD71B0CULL;
 
 // Total duplication fan-out bound per original packet. The budget rides
 // with each copy and halves on every fork, so the bound holds no matter
@@ -57,6 +58,7 @@ struct SimulatedNetwork::DomainState {
   Rng transit_rng{0};
   Rng access_rng{0};
   Rng icmp_rng{0};
+  Rng middlebox_rng{0};
   /// Drops counted while this domain was executing — the value INT hop
   /// records snapshot as drops_seen (a border router knows its own AS's
   /// tally, not a network-wide one).
@@ -67,6 +69,10 @@ struct SimulatedNetwork::DomainState {
   /// Lazily cloned hop-program runtime (the DVM instance is mutated per
   /// run, so domains cannot share one).
   std::unique_ptr<telemetry::HopProgramRuntime> hop_runtime;
+  /// Middlebox state of THIS AS (throttle windows + ground-truth tally),
+  /// touched only on hop events homed here.
+  MiddleboxRuntime mb_runtime;
+  MiddleboxStats mb_stats;
 };
 
 /// One in-flight copy of a frame, moved hop by hop through raw events.
@@ -158,6 +164,7 @@ SimulatedNetwork::SimulatedNetwork(EventQueue& queue,
     ds->transit_rng = Rng(seed_).fork(kTransitRngSalt ^ salt);
     ds->access_rng = Rng(seed_).fork(kAccessRngSalt ^ salt);
     ds->icmp_rng = Rng(seed_).fork(kIcmpRngSalt ^ salt);
+    ds->middlebox_rng = Rng(seed_).fork(kMiddleboxRngSalt ^ salt);
     domain_index_.insert(d, ds.get());
     domains_.push_back(std::move(ds));
   };
@@ -390,6 +397,48 @@ HostFaultState SimulatedNetwork::host_fault_state(net::Ipv4Address address,
                                                   SimTime t) const {
   const HostFaultPlan* plan = host_faults_.find(address.value);
   return plan == nullptr ? HostFaultState{} : plan->state_at(t);
+}
+
+Status SimulatedNetwork::install_middlebox(topology::AsNumber asn,
+                                           MiddleboxPlan plan) {
+  if (!topology_.has_as(asn))
+    return fail("install_middlebox: AS" + std::to_string(asn) + " unknown");
+  MiddleboxEntry entry;
+  entry.plan = std::move(plan);
+  // Obs handles resolve once here; the hop path only bumps them.
+  obs::MetricsRegistry& reg = obs::registry();
+  const std::string asn_label = std::to_string(asn);
+  for (std::size_t i = 0; i < kTrafficClassCount; ++i)
+    entry.classified[i] = &reg.counter(
+        "simnet.middlebox.classified",
+        {{"class", traffic_class_name(static_cast<TrafficClass>(i))},
+         {"asn", asn_label}});
+  entry.dropped =
+      &reg.counter("simnet.middlebox.dropped", {{"asn", asn_label}});
+  entry.deprioritized =
+      &reg.counter("simnet.middlebox.deprioritized", {{"asn", asn_label}});
+  entry.mangled =
+      &reg.counter("simnet.middlebox.mangled", {{"asn", asn_label}});
+  entry.throttled =
+      &reg.counter("simnet.middlebox.throttled", {{"asn", asn_label}});
+  entry.exempted =
+      &reg.counter("simnet.middlebox.exempted", {{"asn", asn_label}});
+  middleboxes_.insert(asn, std::move(entry));
+  any_middlebox_ = true;
+  return ok_status();
+}
+
+void SimulatedNetwork::clear_middlebox(topology::AsNumber asn) {
+  // The flat index has no erase; an empty plan is skipped on the hop path,
+  // which is indistinguishable from no middlebox.
+  if (middleboxes_.find(asn) != nullptr)
+    middleboxes_.insert(asn, MiddleboxEntry{});
+}
+
+MiddleboxStats SimulatedNetwork::middlebox_stats(topology::AsNumber asn)
+    const {
+  const DomainState* const* found = domain_index_.find(asn);
+  return found != nullptr ? (*found)->mb_stats : MiddleboxStats{};
 }
 
 LinkModel* SimulatedNetwork::link_model(topology::InterfaceKey from,
@@ -760,20 +809,52 @@ void SimulatedNetwork::process_hop(FlightCopy* fc) {
       continue;
     }
 
+    // The adversarial middlebox of the AS being entered (if any) inspects
+    // every copy at the ingress border — before transit, so added dwell
+    // lands in the same INT residence the per-hop record exposes. This
+    // event is homed on hop.asn's lane, so the draw order, throttle
+    // windows and ground-truth tally are all lane-owned (shard-invariant).
+    double residence_ms = 0.0;
+    if (any_middlebox_) {
+      if (MiddleboxEntry* mb = middleboxes_.find(hop.asn);
+          mb != nullptr && !mb->plan.empty()) {
+        const MiddleboxVerdict verdict =
+            apply_middlebox(mb->plan, f->packet, queue_.now(),
+                            ds.middlebox_rng, ds.mb_runtime, ds.mb_stats);
+        if (verdict.inspected) {
+          mb->classified[static_cast<std::size_t>(verdict.cls)]->add();
+          if (verdict.exempted) mb->exempted->add();
+          if (verdict.dropped) {
+            (verdict.throttled ? mb->throttled : mb->dropped)->add();
+            count_drop(f->protocol);
+            flights_->release(f);
+            continue;
+          }
+          if (verdict.extra_delay_ms > 0.0) {
+            mb->deprioritized->add();
+            residence_ms += verdict.extra_delay_ms;
+          }
+          if (verdict.mangled) {
+            mb->mangled->add();
+            f->damages.push_back(verdict.damage);
+          }
+        }
+      }
+    }
+
     // Intra-AS transit applies only to ASes the packet crosses border to
     // border. Endpoints (hosts and border-router executors) do not
     // traverse their own AS interior — this is what lets an executor pair
     // at the two ends of an inter-domain link measure just that link
     // (paper Fig. 6). Each surviving copy draws its own transit jitter
     // from this domain's stream.
-    double residence_ms = 0.0;
     if (interior) {
       if (ds.transit_rng.chance(transit.loss_pm / 1000.0)) {
         count_drop(f->protocol);
         flights_->release(f);
         continue;  // loss is a silent network outcome, not an error
       }
-      residence_ms = transit.delay_ms;
+      residence_ms += transit.delay_ms;
       if (transit.jitter_ms > 0.0)
         residence_ms += std::abs(ds.transit_rng.normal(0.0, transit.jitter_ms));
     }

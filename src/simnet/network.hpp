@@ -33,6 +33,7 @@
 #include "simnet/event_queue.hpp"
 #include "simnet/host_faults.hpp"
 #include "simnet/link_model.hpp"
+#include "simnet/middlebox.hpp"
 #include "telemetry/hop_program.hpp"
 #include "telemetry/int_header.hpp"
 #include "topology/topology.hpp"
@@ -185,6 +186,21 @@ class SimulatedNetwork {
   /// no plan is installed) — ground truth for tests and schedulers.
   HostFaultState host_fault_state(net::Ipv4Address address, SimTime t) const;
 
+  /// Installs (replaces) an adversarial middlebox at an AS's borders: every
+  /// copy entering the AS is DPI-classified and run through the plan's
+  /// per-class policy (drop / deprioritize / throttle / mangle), with
+  /// fault-hiding exemptions for recognized traffic. Composable with host
+  /// and link fault plans; deterministic under the scenario seed (the
+  /// plan's draws come from the owning domain's middlebox RNG stream) and
+  /// shard-invariant. Main-thread-only, between runs.
+  Status install_middlebox(topology::AsNumber asn, MiddleboxPlan plan);
+  void clear_middlebox(topology::AsNumber asn);
+
+  /// Ground-truth action tally of the middlebox at `asn` (zeroes when none
+  /// was ever installed) — what the adversary really did, for tests and
+  /// chaos traces to hold against the detector's inference.
+  MiddleboxStats middlebox_stats(topology::AsNumber asn) const;
+
   /// In-band telemetry (INT). When enabled, UDP and raw-IP packets whose
   /// payload begins with a valid telemetry::IntHeader get one HopRecord
   /// appended per inter-domain link crossed (at the terminating AS's
@@ -303,6 +319,23 @@ class SimulatedNetwork {
       icmp_policies_;
   util::FlatHash<std::uint64_t, HostFaultPlan, util::U64Hash, ~0ULL>
       host_faults_;
+
+  /// One installed middlebox, with its obs handles pre-resolved at install
+  /// time (the forwarding path must not pay registry lookups).
+  struct MiddleboxEntry {
+    MiddleboxPlan plan;
+    std::array<obs::Counter*, kTrafficClassCount> classified{};
+    obs::Counter* dropped = nullptr;
+    obs::Counter* deprioritized = nullptr;
+    obs::Counter* mangled = nullptr;
+    obs::Counter* throttled = nullptr;
+    obs::Counter* exempted = nullptr;
+  };
+  util::FlatHash<std::uint64_t, MiddleboxEntry, util::U64Hash, ~0ULL>
+      middleboxes_;
+  /// One-branch-when-off guard: the per-copy middlebox lookup only runs
+  /// once any middlebox was ever installed.
+  bool any_middlebox_ = false;
 
   // Hosts: the ordered map owns attachment records (node-stable), the flat
   // index serves the per-packet lookups and is rebuilt on detach.

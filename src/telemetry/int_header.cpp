@@ -97,6 +97,14 @@ bool IntHeader::looks_like_int(BytesView payload) {
   return magic == kMagic;
 }
 
+std::size_t IntHeader::prefix_size(BytesView payload) {
+  if (payload.size() < kFixedSize || !looks_like_int(payload)) return 0;
+  const std::uint8_t max_hops = payload[6];  // layout: magic,ver,flags,max
+  if (max_hops == 0 || max_hops > kMaxHopsLimit) return 0;
+  const std::size_t size = wire_size(max_hops);
+  return size <= payload.size() ? size : 0;
+}
+
 Result<IntHeader> IntHeader::parse(BytesView data, IntParseError* kind) {
   if (kind != nullptr) *kind = IntParseError::kNone;
   if (data.size() < kFixedSize)

@@ -132,6 +132,12 @@ class IntHeader {
   /// paying for a full parse.
   static bool looks_like_int(BytesView payload);
 
+  /// Bytes a leading INT block occupies in `payload` (0 when the payload
+  /// does not start with a plausible block). Lets consumers that care
+  /// about the APPLICATION bytes — DPI classifiers, payload manglers —
+  /// skip the network-metadata prefix without a full digest-checked parse.
+  static std::size_t prefix_size(BytesView payload);
+
   bool operator==(const IntHeader&) const = default;
 
  private:

@@ -466,11 +466,12 @@ int fuzz_iterations(int base) {
   return factor > 1 ? base * static_cast<int>(factor) : base;
 }
 
-// Damages a frame the way LinkFaultPlan does, plus two codec-shaped
-// mutations the wire layer cannot produce but a hostile AS could.
+// Damages a frame the way LinkFaultPlan and adversarial middleboxes do,
+// plus two codec-shaped mutations the wire layer cannot produce but a
+// hostile AS could.
 Bytes link_damage(Rng& rng, const Bytes& valid) {
   Bytes out = valid;
-  switch (rng.index(4)) {
+  switch (rng.index(5)) {
     case 0: {  // corruption: the real chaos mutator
       simnet::WireDamage damage;
       damage.kind = simnet::WireDamage::Kind::kCorrupt;
@@ -498,6 +499,15 @@ Bytes link_damage(Rng& rng, const Bytes& valid) {
     case 3:  // junk tail
       out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
       break;
+    case 4: {  // DPI mangling: payload-only bit flips past a kept prefix
+      simnet::WireDamage damage;
+      damage.kind = simnet::WireDamage::Kind::kMangle;
+      damage.seed = rng.next_u64();
+      damage.bit_flips = 1 + static_cast<std::uint32_t>(rng.index(8));
+      damage.offset = static_cast<std::uint32_t>(rng.index(out.size()));
+      simnet::apply_wire_damage(out, damage);
+      break;
+    }
   }
   return out;
 }

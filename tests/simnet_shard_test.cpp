@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simnet/hosts.hpp"
+#include "simnet/middlebox.hpp"
 #include "simnet/scenarios.hpp"
 
 namespace debuglet::simnet {
@@ -160,6 +161,153 @@ TEST(ShardedQueue, FaultedScenarioTraceIsShardCountInvariant) {
 TEST(ShardedQueue, RepeatedThreadedRunsAreIdentical) {
   const std::string first = faulted_ring_trace(4);
   for (int rep = 0; rep < 3; ++rep) EXPECT_EQ(faulted_ring_trace(4), first);
+}
+
+/// Sink for the data-class flows below: records arrival order, times and
+/// a payload digest so middlebox mangling shows up in the trace.
+class RecordingSinkHost : public Host {
+ public:
+  void on_packet(const Delivery& delivery) override {
+    std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a
+    for (std::uint8_t b : delivery.packet.payload) {
+      digest ^= b;
+      digest *= 1099511628211ULL;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " %lld:%016llx",
+                  static_cast<long long>(delivery.received_at),
+                  static_cast<unsigned long long>(digest));
+    log_ += buf;
+  }
+  const std::string& log() const { return log_; }
+
+ private:
+  std::string log_;
+};
+
+/// Adversarial-middlebox trace: a DPI chaos box on one AS, a fault-hiding
+/// box on another, measurement-class probe rounds AND data-class flows
+/// (high-entropy payloads) crossing both. The per-copy middlebox RNG
+/// draws, extra queueing delays, mangle damage and ground-truth stats
+/// must all be independent of the shard count.
+std::string middlebox_ring_trace(std::size_t shards) {
+  Scenario s = build_internet_scenario(24, 19, 4.0);
+  s.queue->set_shards(shards);
+
+  ClassPolicy chaos;
+  chaos.drop_pm = 80.0;
+  chaos.extra_delay_ms = 6.0;
+  chaos.delay_jitter_ms = 1.5;
+  chaos.mangle_pm = 60.0;
+  MiddleboxPlan dpi;
+  dpi.policy_all(chaos);
+  EXPECT_TRUE(s.network->install_middlebox(3, dpi).ok());
+
+  ClassPolicy slow_lane;
+  slow_lane.extra_delay_ms = 20.0;
+  slow_lane.drop_pm = 100.0;
+  MiddleboxPlan hider;
+  hider.policy_all(slow_lane).recognize_probe_signatures(true);
+  EXPECT_TRUE(s.network->install_middlebox(10, hider).ok());
+
+  std::vector<std::unique_ptr<EchoServerHost>> servers;
+  std::vector<std::unique_ptr<ProbeClientHost>> clients;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto server_as =
+        static_cast<topology::AsNumber>(1 + (i * 6 + 11) % 24);
+    const auto client_as = static_cast<topology::AsNumber>(1 + (i * 6) % 24);
+    const auto server_addr = s.network->allocate_host_address(server_as);
+    servers.push_back(
+        std::make_unique<EchoServerHost>(*s.network, server_addr));
+    EXPECT_TRUE(s.network->attach_host(server_addr, servers.back().get()));
+    ProbeClientConfig cfg;
+    cfg.server = server_addr;
+    cfg.probe_count = 15;
+    cfg.interval = duration::milliseconds(100);
+    cfg.protocols = {Protocol::kUdp, Protocol::kIcmp};
+    const auto client_addr = s.network->allocate_host_address(client_as);
+    clients.push_back(std::make_unique<ProbeClientHost>(
+        *s.network, client_addr, cfg, 71 + i));
+    EXPECT_TRUE(s.network->attach_host(client_addr, clients.back().get()));
+  }
+
+  // Two data-class flows with high-entropy payloads (classified kOther,
+  // so the chaos box rolls drop/delay/mangle dice for every packet and
+  // the hider parks them in its slow lane).
+  std::vector<std::unique_ptr<RecordingSinkHost>> sinks;
+  Rng payload_rng(909);
+  for (std::size_t f = 0; f < 2; ++f) {
+    const auto src_as = static_cast<topology::AsNumber>(2 + f * 12);
+    const auto dst_as = static_cast<topology::AsNumber>(14 + f * 8);
+    const auto src = s.network->allocate_host_address(src_as);
+    const auto dst = s.network->allocate_host_address(dst_as);
+    sinks.push_back(std::make_unique<RecordingSinkHost>());
+    EXPECT_TRUE(s.network->attach_host(dst, sinks.back().get()));
+    for (int n = 0; n < 25; ++n) {
+      net::ProbeSpec spec;
+      spec.source = src;
+      spec.destination = dst;
+      spec.source_port = 51000;
+      spec.destination_port = 27101;
+      spec.sequence = static_cast<std::uint16_t>(n);
+      spec.payload.resize(96);
+      for (std::uint8_t& b : spec.payload)
+        b = static_cast<std::uint8_t>(payload_rng.next_u64() & 0xFF);
+      auto wire = net::build_probe(spec);
+      EXPECT_TRUE(wire.ok());
+      s.queue->schedule_on(s.network->domain_of(src),
+                           duration::milliseconds(40 * (n + 1)),
+                           [&s, src, wire = *wire] {
+                             (void)s.network->send(src, wire);
+                           });
+    }
+  }
+
+  for (auto& c : clients) c->start();
+  s.queue->run();
+
+  std::string trace;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ProbeReport& r = clients[i]->report();
+    trace += "client " + std::to_string(i) + ":";
+    for (const auto& [protocol, n] : r.received)
+      trace += " recv=" + std::to_string(n);
+    for (const auto& [protocol, set] : r.rtt_ms) {
+      trace += " [";
+      for (double sample : set.samples()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g,", sample);
+        trace += buf;
+      }
+      trace += "]";
+    }
+    trace += "\n";
+  }
+  for (std::size_t f = 0; f < sinks.size(); ++f)
+    trace += "flow " + std::to_string(f) + ":" + sinks[f]->log() + "\n";
+  for (topology::AsNumber asn : {3u, 10u}) {
+    const MiddleboxStats st = s.network->middlebox_stats(asn);
+    trace += "mb AS" + std::to_string(asn) + ": " +
+             std::to_string(st.inspected()) + "/" +
+             std::to_string(st.dropped) + "/" +
+             std::to_string(st.deprioritized) + "/" +
+             std::to_string(st.mangled) + "/" +
+             std::to_string(st.exempted) + "\n";
+  }
+  trace += "drained at " + std::to_string(s.queue->now());
+  return trace;
+}
+
+// The same invariance contract for the adversarial-middlebox layer: DPI
+// classification, policy dice, hiding exemptions and mangle damage are
+// bit-identical at every shard count.
+TEST(ShardedQueue, MiddleboxScenarioTraceIsShardCountInvariant) {
+  const std::string baseline = middlebox_ring_trace(1);
+  // The boxes saw traffic at all (otherwise this test proves nothing).
+  EXPECT_NE(baseline.find("mb AS3"), std::string::npos);
+  EXPECT_EQ(baseline.find("mb AS3: 0/"), std::string::npos);
+  for (std::size_t shards : {2u, 4u})
+    EXPECT_EQ(middlebox_ring_trace(shards), baseline) << "shards=" << shards;
 }
 
 }  // namespace

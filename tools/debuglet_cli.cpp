@@ -45,6 +45,8 @@
 //                      [--link-dup PM] [--link-reorder PM]
 //                      [--link-flap-ms D] [--int] [--check-determinism]
 //                      [--shards N] [--trace-out FILE]
+//                      [--middlebox ASN:MODE[:SEVERITY]]...
+//                      [--detect-discrimination]
 //       Inject a link fault AND executor failures (killed agents, crashed
 //       hosts, optionally a byzantine signer), then run a resilient
 //       end-to-end measurement plus a degraded-mode localization. The
@@ -57,6 +59,20 @@
 //       records; degrades to binary search when chaos destroys the
 //       probe's record stack) and adds the telemetry.* counters to the
 //       deterministic trace.
+//       --middlebox installs an adversarial DPI middlebox inside an AS.
+//       Modes: drop (per-mille discard of non-measurement classes),
+//       delay (extra ms), mangle (per-mille payload bit flips), throttle
+//       (packets/second budget), hide (fault hiding: ALL traffic suffers
+//       SEVERITY ms + drops except recognized executor addresses and
+//       probe signatures, which ride clean — the §VI-E adversary).
+//       --detect-discrimination runs the twin-probe counter-measurement
+//       after localization: packet twins identical but for the port the
+//       classifier keys on; per-class one-way delay, loss, and INT
+//       residence name the discriminating AS. With a middlebox installed
+//       in hide/delay mode the verdict requires the detector to name one
+//       of the middlebox ASes; with an honest network it requires NO
+//       discrimination report. --fault-ms 0 skips the link-fault
+//       injection (the verdict then expects a clean localization).
 //       --check-determinism replays the scenario with the same seed and
 //       verifies the retry/failover/fault-matrix trace is bit-identical.
 //       --shards N runs the simulation on N event-queue shards (worker
@@ -70,6 +86,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -661,6 +678,15 @@ struct ChaosParams {
   /// runs N lanes under the conservative window barrier. The trace is
   /// shard-count-invariant by contract.
   std::size_t shards = 1;
+  /// Adversarial middleboxes (--middlebox ASN:MODE[:SEVERITY]) and the
+  /// twin-probe counter-measurement (--detect-discrimination).
+  struct MiddleboxSpec {
+    topology::AsNumber asn = 0;
+    std::string mode;        // drop | delay | mangle | throttle | hide
+    double severity = -1.0;  // mode-specific; < 0 = mode default
+  };
+  std::vector<MiddleboxSpec> middleboxes;
+  bool detect_discrimination = false;
 
   bool link_faults() const {
     return link_corrupt_pm > 0 || link_truncate_pm > 0 || link_dup_pm > 0 ||
@@ -671,6 +697,10 @@ struct ChaosParams {
 struct ChaosOutcome {
   bool measurement_ok = false;
   bool bracketed = false;
+  /// Twin-probe verdict (true when --detect-discrimination is off): the
+  /// detector named a hide/delay middlebox AS, or — honest network —
+  /// reported nothing.
+  bool discrimination_ok = true;
   /// The deterministic retry/failover/localization trace (plus, under
   /// link chaos, the fault-matrix report): equal seeds must reproduce it
   /// bit for bit.
@@ -707,16 +737,18 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
       simnet::build_chain_scenario(p.ases, p.seed, 5.0));
   system.queue().set_shards(p.shards);
 
-  simnet::FaultSpec fault;
-  fault.extra_delay_ms = p.fault_ms;
-  fault.start = 0;
-  fault.end = duration::hours(100);
-  (void)system.network().inject_fault(
-      simnet::chain_egress(p.fault_link),
-      simnet::chain_ingress(p.fault_link + 1), fault);
-  (void)system.network().inject_fault(
-      simnet::chain_ingress(p.fault_link + 1),
-      simnet::chain_egress(p.fault_link), fault);
+  if (p.fault_ms > 0.0) {
+    simnet::FaultSpec fault;
+    fault.extra_delay_ms = p.fault_ms;
+    fault.start = 0;
+    fault.end = duration::hours(100);
+    (void)system.network().inject_fault(
+        simnet::chain_egress(p.fault_link),
+        simnet::chain_ingress(p.fault_link + 1), fault);
+    (void)system.network().inject_fault(
+        simnet::chain_ingress(p.fault_link + 1),
+        simnet::chain_egress(p.fault_link), fault);
+  }
 
   if (p.link_faults()) {
     simnet::LinkFaultPlan plan;
@@ -736,6 +768,41 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
           simnet::chain_egress(i), simnet::chain_ingress(i + 1), directed);
       (void)system.network().install_link_faults(
           simnet::chain_ingress(i + 1), simnet::chain_egress(i), plan);
+    }
+  }
+
+  for (const ChaosParams::MiddleboxSpec& spec : p.middleboxes) {
+    simnet::MiddleboxPlan plan;
+    simnet::ClassPolicy pol;
+    if (spec.mode == "drop") {
+      pol.drop_pm = spec.severity >= 0.0 ? spec.severity : 300.0;
+      plan.policy_except_measurement(pol);
+    } else if (spec.mode == "delay") {
+      pol.extra_delay_ms = spec.severity >= 0.0 ? spec.severity : 25.0;
+      plan.policy_except_measurement(pol);
+    } else if (spec.mode == "mangle") {
+      pol.mangle_pm = spec.severity >= 0.0 ? spec.severity : 120.0;
+      plan.policy_except_measurement(pol);
+    } else if (spec.mode == "throttle") {
+      pol.throttle_pps = static_cast<std::uint32_t>(
+          spec.severity >= 0.0 ? spec.severity : 40.0);
+      plan.policy_except_measurement(pol);
+    } else {  // hide: everyone suffers except recognized measurement gear
+      pol.extra_delay_ms = spec.severity >= 0.0 ? spec.severity : 25.0;
+      pol.drop_pm = 60.0;
+      plan.policy_all(pol);
+      plan.recognize_probe_signatures(true);
+      const topology::Topology& topo = system.network().topology();
+      for (std::size_t as = 1; as <= p.ases; ++as) {
+        const auto asn = static_cast<topology::AsNumber>(as);
+        plan.recognize(topo.address_of(topology::InterfaceKey{asn, 1}));
+        plan.recognize(topo.address_of(topology::InterfaceKey{asn, 2}));
+      }
+    }
+    if (auto st = system.network().install_middlebox(spec.asn, plan); !st) {
+      if (verbose)
+        std::printf("--middlebox AS%u: %s\n", spec.asn,
+                    st.error_message().c_str());
     }
   }
 
@@ -800,6 +867,25 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   resilience.use_retry = true;
   resilience.retry.max_attempts = p.attempts;
   localizer.set_resilience(resilience);
+  std::optional<core::DiscriminationReport> twin_report;
+  if (p.detect_discrimination) {
+    localizer.set_discrimination_probe(
+        [&]() -> Result<core::DiscriminationReport> {
+          // INT on for the twin rounds (same transient idiom as the
+          // in-band strategy): per-hop residence is what lets the
+          // detector NAME the discriminating AS instead of only proving
+          // discrimination exists.
+          const bool was_enabled = system.network().int_enabled();
+          system.network().set_int_enabled(true);
+          core::DiscriminationDetector detector(
+              system.network(), 1,
+              static_cast<topology::AsNumber>(p.ases), p.seed + 77);
+          auto twins = detector.run();
+          system.network().set_int_enabled(was_enabled);
+          if (twins) twin_report = *twins;
+          return twins;
+        });
+  }
   auto report = localizer.run(p.int_mode ? core::Strategy::kInband
                                          : core::Strategy::kLinearSequential);
   if (!report) {
@@ -853,8 +939,12 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
                  std::to_string(step.wire_integrity.reordered) + "r/" +
                  std::to_string(step.wire_integrity.flap_dropped) + "f\n";
   }
-  out.bracketed = report->located && report->fault_link <= p.fault_link &&
-                  p.fault_link <= report->fault_link_hi;
+  // With no injected fault (--fault-ms 0) the expectation inverts: an
+  // honest localization must come back clean.
+  out.bracketed = p.fault_ms > 0.0
+                      ? report->located && report->fault_link <= p.fault_link &&
+                            p.fault_link <= report->fault_link_hi
+                      : !report->located;
   if (report->located) {
     out.trace += "fault in links [" + std::to_string(report->fault_link) +
                  ", " + std::to_string(report->fault_link_hi) + "] (" +
@@ -871,6 +961,47 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
     if (verbose) std::printf("no fault located\n");
   }
   for (const std::string& note : report->notes) out.trace += "\n" + note;
+
+  if (twin_report) {
+    // The twin-probe report is deterministic sample statistics — part of
+    // the replayed trace.
+    out.trace += "\ntwin-probe report:\n" + twin_report->trace();
+    if (verbose)
+      std::printf("\ntwin-probe report:\n%s", twin_report->trace().c_str());
+  }
+  for (const ChaosParams::MiddleboxSpec& spec : p.middleboxes) {
+    // Ground truth of what the adversary actually did, to correlate with
+    // what the detector inferred.
+    const simnet::MiddleboxStats st =
+        system.network().middlebox_stats(spec.asn);
+    out.trace += "middlebox AS" + std::to_string(spec.asn) + " (" +
+                 spec.mode + "): inspected " + std::to_string(st.inspected()) +
+                 ", dropped " + std::to_string(st.dropped) +
+                 ", deprioritized " + std::to_string(st.deprioritized) +
+                 ", mangled " + std::to_string(st.mangled) + ", throttled " +
+                 std::to_string(st.throttled) + ", exempted " +
+                 std::to_string(st.exempted) + "\n";
+  }
+
+  if (p.detect_discrimination) {
+    // Hide/delay middleboxes leave the delay signature the detector keys
+    // on; the verdict demands it names one of them. Drop/mangle/throttle
+    // boxes may or may not cross the confidence bar (their report stays
+    // informational), and an honest network must produce NO report.
+    bool expect_named = false;
+    for (const ChaosParams::MiddleboxSpec& spec : p.middleboxes)
+      expect_named |= spec.mode == "hide" || spec.mode == "delay";
+    if (!twin_report) {
+      out.discrimination_ok = false;
+    } else if (expect_named) {
+      bool named_middlebox = false;
+      for (const ChaosParams::MiddleboxSpec& spec : p.middleboxes)
+        named_middlebox |= twin_report->named_as() == spec.asn;
+      out.discrimination_ok = twin_report->detected && named_middlebox;
+    } else if (p.middleboxes.empty()) {
+      out.discrimination_ok = !twin_report->detected;
+    }
+  }
 
   out.counters = obs::registry().snapshot();
   if (p.int_mode) {
@@ -954,8 +1085,41 @@ int cmd_chaos(const Args& args) {
   p.link_flap_ms = args.get_int("link-flap-ms", 0);
   p.int_mode = args.has("int");
   p.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  p.detect_discrimination = args.has("detect-discrimination");
+  for (const std::string& text : args.get_all("middlebox")) {
+    if (text.empty()) continue;
+    ChaosParams::MiddleboxSpec spec;
+    const std::size_t c1 = text.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+      std::printf("--middlebox: expected ASN:MODE[:SEVERITY], got '%s'\n",
+                  text.c_str());
+      return 1;
+    }
+    const std::size_t c2 = text.find(':', c1 + 1);
+    spec.asn = static_cast<topology::AsNumber>(
+        std::atoll(text.substr(0, c1).c_str()));
+    spec.mode = c2 == std::string::npos
+                    ? text.substr(c1 + 1)
+                    : text.substr(c1 + 1, c2 - c1 - 1);
+    if (c2 != std::string::npos)
+      spec.severity = std::atof(text.substr(c2 + 1).c_str());
+    if (spec.mode != "drop" && spec.mode != "delay" && spec.mode != "mangle" &&
+        spec.mode != "throttle" && spec.mode != "hide") {
+      std::printf("--middlebox: unknown mode '%s' (drop|delay|mangle|"
+                  "throttle|hide)\n",
+                  spec.mode.c_str());
+      return 1;
+    }
+    if (spec.asn == 0 || spec.asn > p.ases) {
+      std::printf("--middlebox: AS%u is not on the chain (1..%zu)\n", spec.asn,
+                  p.ases);
+      return 1;
+    }
+    p.middleboxes.push_back(std::move(spec));
+  }
   if (p.kills.empty() && p.crashes.empty() && p.byzantine.empty() &&
-      !p.link_faults()) {
+      !p.link_faults() && p.middleboxes.empty() &&
+      !p.detect_discrimination) {
     // Default chaos: the AS on the near side of the faulty link goes
     // completely dark (both border executors killed), so localization
     // must bracket the fault from the surviving neighbours.
@@ -986,6 +1150,7 @@ int cmd_chaos(const Args& args) {
         row.name.rfind("telemetry.", 0) == 0 ||
         row.name.rfind("simnet.host_fault", 0) == 0 ||
         row.name.rfind("simnet.wire_faults", 0) == 0 ||
+        row.name.rfind("simnet.middlebox", 0) == 0 ||
         row.name.rfind("executor.deployments_abandoned", 0) == 0)
       interesting.push_back(row);
   }
@@ -1014,7 +1179,11 @@ int cmd_chaos(const Args& args) {
     out << first.trace << "\n";
     std::printf("trace written to %s\n", out_path.c_str());
   }
-  const bool ok = first.measurement_ok && first.bracketed && deterministic;
+  if (p.detect_discrimination)
+    std::printf("\ndiscrimination check: %s\n",
+                first.discrimination_ok ? "as expected" : "WRONG VERDICT");
+  const bool ok = first.measurement_ok && first.bracketed &&
+                  first.discrimination_ok && deterministic;
   std::printf("\nchaos verdict: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
