@@ -1,5 +1,8 @@
 #include "chain/chain.hpp"
 
+#include <algorithm>
+
+#include "chain/execution.hpp"
 #include "obs/trace.hpp"
 
 namespace debuglet::chain {
@@ -19,6 +22,7 @@ Bytes Transaction::signing_bytes() const {
   w.blob(BytesView(arguments.data(), arguments.size()));
   w.u64(attached_tokens);
   w.u64(gas_budget);
+  access.write_to(w);
   return w.take();
 }
 
@@ -31,80 +35,295 @@ crypto::Digest Transaction::digest() const {
   return crypto::sha256(BytesView(w.bytes().data(), w.bytes().size()));
 }
 
-SimTime CallContext::timestamp() const { return chain_.now(); }
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone:
+      return "none";
+    case ErrorKind::kContract:
+      return "contract";
+    case ErrorKind::kAccessViolation:
+      return "access_violation";
+    case ErrorKind::kOutOfGas:
+      return "out_of_gas";
+    case ErrorKind::kEscrowOverdraw:
+      return "escrow_overdraw";
+  }
+  return "unknown";
+}
+
+// --- GroupView -----------------------------------------------------------
+
+namespace detail {
+
+Mist GroupView::balance_of(const Address& account) const {
+  Mist base = chain->balance(account);
+  auto it = balance_delta.find(account);
+  if (it == balance_delta.end()) return base;
+  return base + it->second.credit - it->second.debit;
+}
+
+std::uint64_t GroupView::nonce_of(const Address& account) const {
+  std::uint64_t base = chain->nonce(account);
+  auto it = nonce_bump.find(account);
+  return it == nonce_bump.end() ? base : base + it->second;
+}
+
+Mist GroupView::escrow_of(const std::string& contract) const {
+  Mist base = chain->escrow_balance(contract);
+  auto it = escrow_delta.find(contract);
+  if (it == escrow_delta.end()) return base;
+  return base + it->second.credit - it->second.debit;
+}
+
+const Bytes* GroupView::named_lookup(const std::string& full_key) const {
+  auto it = named.find(full_key);
+  if (it != named.end()) return it->second ? &*it->second : nullptr;
+  auto cached = named_cache.find(full_key);
+  const NamedEntry* entry;
+  if (cached != named_cache.end()) {
+    entry = cached->second;
+  } else {
+    entry = chain->named_entry(full_key);
+    named_cache.emplace(full_key, entry);  // negative results cached too
+  }
+  return entry ? &entry->data : nullptr;
+}
+
+const StoredObject* GroupView::object_lookup(ObjectId id) const {
+  if (deleted.contains(id)) return nullptr;
+  auto it = objects.find(id);
+  if (it != objects.end()) return &it->second;
+  const auto& committed = chain->objects();
+  auto cit = committed.find(id);
+  return cit == committed.end() ? nullptr : &cit->second;
+}
+
+void GroupView::absorb(const TxEffects& effects, const Address& sender,
+                       Mist gas, Mist attached, const std::string& contract,
+                       bool success) {
+  balance_delta[sender].debit += gas;
+  if (!success) return;  // failed calls keep only the nonce + gas debit
+  balance_delta[sender].debit += attached;
+  Delta& escrow = escrow_delta[contract];
+  escrow.credit += attached;
+  escrow.debit += effects.escrow_out;
+  for (const auto& [account, amount] : effects.credits)
+    balance_delta[account].credit += amount;
+  for (const StoredObject& obj : effects.created) objects[obj.id] = obj;
+  for (const auto& [id, data] : effects.object_writes) {
+    const StoredObject* current = object_lookup(id);
+    if (current == nullptr) continue;  // unreachable: write checked live
+    StoredObject updated = *current;
+    updated.data = data;
+    ++updated.version;
+    objects[id] = std::move(updated);
+  }
+  for (ObjectId id : effects.object_deletes) {
+    objects.erase(id);
+    deleted.insert(id);
+  }
+  for (const auto& [key, value] : effects.named_writes) named[key] = value;
+}
+
+}  // namespace detail
+
+// --- CallContext ---------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kMaxObjectsPerCall = 1u << 12;  // id counter width
+
+/// Latches the first access violation; the whole call aborts at return
+/// even if the contract swallows the error we hand back here.
+Status check_access(detail::TxScratch& scratch, const std::string& key,
+                    bool write) {
+  if (scratch.access == nullptr) return ok_status();  // exclusive mode
+  const bool allowed = write ? scratch.access->allows_write(key)
+                             : scratch.access->allows_read(key);
+  if (allowed) return ok_status();
+  std::string message = std::string("access violation: undeclared ") +
+                        (write ? "write" : "read") + " of key '" + key + "'";
+  if (!scratch.violated) {
+    scratch.violated = true;
+    scratch.violation = message;
+  }
+  return fail(std::move(message));
+}
+
+}  // namespace
+
+SimTime CallContext::timestamp() const {
+  return scratch_->view_mode ? chain_.now() : scratch_->timestamp;
+}
 
 Result<ObjectId> CallContext::create_object(Bytes data) {
-  const ObjectId id = chain_.next_object_id_++;
+  detail::TxScratch& s = *scratch_;
+  if (s.id_counter >= kMaxObjectsPerCall)
+    return fail("object creation limit reached for this transaction");
+  const ObjectId id = s.id_base | s.id_counter++;
   StoredObject obj;
   obj.id = id;
   obj.owner = sender_;
   obj.rebate_credit = chain_.config_.gas.storage_rebate(data.size());
-  bytes_stored += data.size();
-  ++objects_created;
-  rebate_accrued += obj.rebate_credit;
-  chain_.object_bytes_total_ += data.size();
+  s.effects.bytes_stored += data.size();
+  ++s.effects.objects_created;
+  s.effects.rebate_accrued += obj.rebate_credit;
   obj.data = std::move(data);
-  chain_.objects_.emplace(id, std::move(obj));
-  chain_.obs_.objects->set(static_cast<double>(chain_.objects_.size()));
-  chain_.obs_.object_bytes->set(
-      static_cast<double>(chain_.object_bytes_total_));
+  s.created_ids.insert(id);
+  s.effects.created.push_back(std::move(obj));
   return id;
 }
 
 Result<Bytes> CallContext::read_object(ObjectId id) const {
-  return chain_.read_object(id);
+  detail::TxScratch& s = *scratch_;
+  if (s.created_ids.contains(id)) {
+    for (const StoredObject& obj : s.effects.created)
+      if (obj.id == id) return obj.data;
+  }
+  if (auto st = check_access(s, object_access_key(id), /*write=*/false); !st)
+    return st.error();
+  if (std::find(s.effects.object_deletes.begin(),
+                s.effects.object_deletes.end(),
+                id) != s.effects.object_deletes.end())
+    return fail("no object " + std::to_string(id));
+  auto wit = s.effects.object_writes.find(id);
+  if (wit != s.effects.object_writes.end()) return wit->second;
+  const StoredObject* obj = s.group->object_lookup(id);
+  if (obj == nullptr) return fail("no object " + std::to_string(id));
+  return obj->data;
 }
 
 Result<Address> CallContext::object_owner(ObjectId id) const {
-  auto it = chain_.objects_.find(id);
-  if (it == chain_.objects_.end())
+  detail::TxScratch& s = *scratch_;
+  if (s.created_ids.contains(id)) return sender_;
+  if (auto st = check_access(s, object_access_key(id), /*write=*/false); !st)
+    return st.error();
+  if (std::find(s.effects.object_deletes.begin(),
+                s.effects.object_deletes.end(),
+                id) != s.effects.object_deletes.end())
     return fail("no object " + std::to_string(id));
-  return it->second.owner;
+  const StoredObject* obj = s.group->object_lookup(id);
+  if (obj == nullptr) return fail("no object " + std::to_string(id));
+  return obj->owner;
+}
+
+Status CallContext::write_object(ObjectId id, Bytes data) {
+  detail::TxScratch& s = *scratch_;
+  if (s.created_ids.contains(id)) {
+    for (StoredObject& obj : s.effects.created)
+      if (obj.id == id) {
+        obj.data = std::move(data);
+        return ok_status();
+      }
+  }
+  if (auto st = check_access(s, object_access_key(id), /*write=*/true); !st)
+    return st;
+  if (std::find(s.effects.object_deletes.begin(),
+                s.effects.object_deletes.end(),
+                id) != s.effects.object_deletes.end())
+    return fail("no object " + std::to_string(id));
+  if (s.effects.object_writes.contains(id) ||
+      s.group->object_lookup(id) != nullptr) {
+    s.effects.object_writes[id] = std::move(data);
+    return ok_status();
+  }
+  return fail("no object " + std::to_string(id));
 }
 
 Status CallContext::delete_object(ObjectId id) {
-  auto it = chain_.objects_.find(id);
-  if (it == chain_.objects_.end())
+  detail::TxScratch& s = *scratch_;
+  if (s.created_ids.contains(id)) {
+    // Created and deleted within one call: the storage charge stands (as
+    // it always has), the rebate is credited immediately.
+    for (auto it = s.effects.created.begin(); it != s.effects.created.end();
+         ++it) {
+      if (it->id != id) continue;
+      s.effects.credits[it->owner] += it->rebate_credit;
+      s.effects.created.erase(it);
+      s.created_ids.erase(id);
+      return ok_status();
+    }
+  }
+  if (auto st = check_access(s, object_access_key(id), /*write=*/true); !st)
+    return st;
+  if (std::find(s.effects.object_deletes.begin(),
+                s.effects.object_deletes.end(),
+                id) != s.effects.object_deletes.end())
     return fail("no object " + std::to_string(id));
-  chain_.balances_[it->second.owner] += it->second.rebate_credit;
-  chain_.object_bytes_total_ -= it->second.data.size();
-  chain_.objects_.erase(it);
-  chain_.obs_.objects->set(static_cast<double>(chain_.objects_.size()));
-  chain_.obs_.object_bytes->set(
-      static_cast<double>(chain_.object_bytes_total_));
+  const StoredObject* obj = s.group->object_lookup(id);
+  if (obj == nullptr) return fail("no object " + std::to_string(id));
+  s.effects.credits[obj->owner] += obj->rebate_credit;
+  s.effects.object_writes.erase(id);
+  s.effects.object_deletes.push_back(id);
+  return ok_status();
+}
+
+bool CallContext::has_named(const std::string& key) const {
+  detail::TxScratch& s = *scratch_;
+  const std::string full = named_access_key(contract_, key);
+  if (auto st = check_access(s, full, /*write=*/false); !st) return false;
+  auto it = s.effects.named_writes.find(full);
+  if (it != s.effects.named_writes.end()) return it->second.has_value();
+  return s.group->named_lookup(full) != nullptr;
+}
+
+Result<Bytes> CallContext::read_named(const std::string& key) const {
+  detail::TxScratch& s = *scratch_;
+  const std::string full = named_access_key(contract_, key);
+  if (auto st = check_access(s, full, /*write=*/false); !st)
+    return st.error();
+  auto it = s.effects.named_writes.find(full);
+  if (it != s.effects.named_writes.end()) {
+    if (it->second) return *it->second;
+    return fail("no named entry '" + full + "'");
+  }
+  const Bytes* data = s.group->named_lookup(full);
+  if (data == nullptr) return fail("no named entry '" + full + "'");
+  return *data;
+}
+
+Status CallContext::write_named(const std::string& key, Bytes data) {
+  detail::TxScratch& s = *scratch_;
+  const std::string full = named_access_key(contract_, key);
+  if (auto st = check_access(s, full, /*write=*/true); !st) return st;
+  s.effects.named_writes[full] = std::move(data);
+  return ok_status();
+}
+
+Status CallContext::erase_named(const std::string& key) {
+  detail::TxScratch& s = *scratch_;
+  const std::string full = named_access_key(contract_, key);
+  if (auto st = check_access(s, full, /*write=*/true); !st) return st;
+  s.effects.named_writes[full] = std::nullopt;
   return ok_status();
 }
 
 void CallContext::emit_event(std::string name, std::string key,
                              Bytes payload) {
-  Event ev;
-  ev.sequence = chain_.next_event_seq_++;
+  Event ev;  // sequence + timestamp assigned at commit, canonical order
   ev.contract = contract_;
   ev.name = std::move(name);
   ev.key = std::move(key);
   ev.payload = std::move(payload);
-  ev.timestamp = chain_.now();
-  chain_.event_log_.push_back(ev);
-  // Dispatch after appending so subscribers observe a consistent log.
-  std::uint64_t fanout = 0;
-  for (const auto& [_, sub] : chain_.subscriptions_) {
-    if (sub.contract != ev.contract || sub.name != ev.name) continue;
-    if (!sub.key.empty() && sub.key != ev.key) continue;
-    ++fanout;
-    sub.callback(ev);
-  }
-  chain_.obs_.event_fanout->record(static_cast<double>(fanout));
+  scratch_->effects.events.push_back(std::move(ev));
 }
 
 Status CallContext::pay_from_escrow(const Address& to, Mist amount) {
-  Mist& escrow = chain_.escrow_[contract_];
-  if (escrow < amount)
+  detail::TxScratch& s = *scratch_;
+  // The call's own attached tokens are already in escrow conceptually;
+  // its own prior payouts are already out.
+  const Mist available =
+      s.group->escrow_of(contract_) + attached_ - s.effects.escrow_out;
+  if (available < amount)
     return fail("contract escrow underfunded: have " +
-                std::to_string(escrow) + ", need " + std::to_string(amount));
-  escrow -= amount;
-  chain_.balances_[to] += amount;
+                std::to_string(available) + ", need " +
+                std::to_string(amount));
+  s.effects.escrow_out += amount;
+  s.effects.credits[to] += amount;
   return ok_status();
 }
+
+// --- Blockchain ----------------------------------------------------------
 
 Blockchain::Blockchain(ChainConfig config) : config_(config) {
   Block genesis;
@@ -117,9 +336,13 @@ Blockchain::Blockchain(ChainConfig config) : config_(config) {
   obs_.tx_submitted = &reg.counter("chain.tx_submitted");
   obs_.tx_rejected = &reg.counter("chain.tx_rejected");
   obs_.tx_failed = &reg.counter("chain.tx_failed");
+  obs_.access_violations = &reg.counter("chain.access_violations");
+  obs_.batches = &reg.counter("chain.batches");
   obs_.gas_charged = &reg.histogram("chain.gas_charged_mist");
   obs_.block_build_ms = &reg.histogram("chain.block_build_ms");
   obs_.event_fanout = &reg.histogram("chain.event_fanout");
+  obs_.batch_groups = &reg.histogram("chain.batch.groups");
+  obs_.batch_group_size = &reg.histogram("chain.batch.group_size");
   obs_.objects = &reg.gauge("chain.object_store.objects");
   obs_.object_bytes = &reg.gauge("chain.object_store.bytes");
 }
@@ -129,7 +352,8 @@ Status Blockchain::register_contract(std::unique_ptr<Contract> contract) {
   const std::string name = contract->name();
   if (contracts_.contains(name))
     return fail("contract '" + name + "' already registered");
-  contracts_.emplace(name, std::move(contract));
+  auto [it, _] = contracts_.emplace(name, std::move(contract));
+  it->second->attach(*this);
   return ok_status();
 }
 
@@ -150,118 +374,38 @@ std::uint64_t Blockchain::nonce(const Address& account) const {
 Transaction Blockchain::make_transaction(const crypto::KeyPair& key,
                                          std::string contract,
                                          std::string function, Bytes arguments,
-                                         Mist attached_tokens,
-                                         Mist gas_budget) {
+                                         Mist attached_tokens, Mist gas_budget,
+                                         AccessSet access) {
+  return make_transaction_with_nonce(
+      key, nonce(Address::of(key.public_key())), std::move(contract),
+      std::move(function), std::move(arguments), attached_tokens, gas_budget,
+      std::move(access));
+}
+
+Transaction Blockchain::make_transaction_with_nonce(
+    const crypto::KeyPair& key, std::uint64_t nonce, std::string contract,
+    std::string function, Bytes arguments, Mist attached_tokens,
+    Mist gas_budget, AccessSet access) {
   Transaction tx;
   tx.sender = key.public_key();
-  tx.nonce = nonce(Address::of(tx.sender));
+  tx.nonce = nonce;
   tx.contract = std::move(contract);
   tx.function = std::move(function);
   tx.arguments = std::move(arguments);
   tx.attached_tokens = attached_tokens;
   tx.gas_budget = gas_budget;
+  tx.access = std::move(access);
+  tx.access.canonicalize();
   const Bytes body = tx.signing_bytes();
   tx.signature = key.sign(BytesView(body.data(), body.size()));
   return tx;
 }
 
 Result<Receipt> Blockchain::submit(const Transaction& tx) {
-  obs_.tx_submitted->add();
-  // 1. Authenticate.
-  const Bytes body = tx.signing_bytes();
-  if (!crypto::verify(tx.sender, BytesView(body.data(), body.size()),
-                      tx.signature)) {
-    obs_.tx_rejected->add();
-    return fail("invalid transaction signature");
-  }
-  const Address sender = Address::of(tx.sender);
-  if (tx.nonce != nonce(sender)) {
-    obs_.tx_rejected->add();
-    return fail("bad nonce: expected " + std::to_string(nonce(sender)) +
-                ", got " + std::to_string(tx.nonce));
-  }
-
-  auto contract_it = contracts_.find(tx.contract);
-  if (contract_it == contracts_.end()) {
-    obs_.tx_rejected->add();
-    return fail("unknown contract '" + tx.contract + "'");
-  }
-
-  // 2. Ensure the sender can cover the worst case up front.
-  const Mist worst_case = tx.gas_budget + tx.attached_tokens;
-  if (balance(sender) < worst_case) {
-    obs_.tx_rejected->add();
-    return fail("insufficient balance: have " +
-                std::to_string(balance(sender)) + " MIST, need " +
-                std::to_string(worst_case));
-  }
-
-  ++nonces_[sender];
-
-  // 3. Move attached tokens into the contract's escrow.
-  balances_[sender] -= tx.attached_tokens;
-  escrow_[tx.contract] += tx.attached_tokens;
-
-  // 4. Execute.
-  CallContext ctx(*this, tx.contract, sender, tx.attached_tokens);
-  auto result = contract_it->second->call(ctx, tx.function,
-                                          BytesView(tx.arguments.data(),
-                                                    tx.arguments.size()));
-
-  // 5. Charge gas: flat computation plus storage for created objects.
-  Mist gas = config_.gas.computation_fee;
-  gas += config_.gas.storage_price_per_byte *
-         (ctx.objects_created * config_.gas.object_overhead_bytes +
-          ctx.bytes_stored);
-  if (gas > tx.gas_budget) gas = tx.gas_budget;  // budget caps the charge
-  if (balances_[sender] < gas) gas = balances_[sender];
-  balances_[sender] -= gas;
-  obs_.gas_charged->record(static_cast<double>(gas));
-
-  // 6. Seal the block (instant finality, one transaction per block).
-  const bool time_block = obs_.block_build_ms->enabled();
-  const std::int64_t build_begin_us = time_block ? obs::wall_now_us() : 0;
-  Receipt receipt;
-  receipt.transaction_digest = tx.digest();
-  Block block;
-  block.height = blocks_.size();
-  block.previous = [&] {
-    // Hash of the previous block header.
-    const Block& prev = blocks_.back();
-    BytesWriter w;
-    w.u64(prev.height);
-    w.raw(prev.previous.view());
-    w.raw(prev.transactions_root.view());
-    w.i64(prev.timestamp);
-    return crypto::sha256(BytesView(w.bytes().data(), w.bytes().size()));
-  }();
-  const Bytes digest_bytes(receipt.transaction_digest.bytes.begin(),
-                           receipt.transaction_digest.bytes.end());
-  block.transactions_root =
-      crypto::MerkleTree(std::vector<Bytes>{digest_bytes}).root();
-  block.timestamp = now();
-  block.transaction_digests.push_back(receipt.transaction_digest);
-  blocks_.push_back(block);
-  if (time_block)
-    obs_.block_build_ms->record(
-        static_cast<double>(obs::wall_now_us() - build_begin_us) / 1000.0);
-
-  receipt.block_height = block.height;
-  receipt.gas_charged = gas;
-  receipt.storage_rebate_accrued = ctx.rebate_accrued;
-  if (result) {
-    receipt.success = true;
-    receipt.return_value = std::move(*result);
-  } else {
-    receipt.success = false;
-    receipt.error = result.error_message();
-    // A failed call returns its attached tokens (minus nothing; gas was
-    // already charged) to the sender.
-    escrow_[tx.contract] -= tx.attached_tokens;
-    balances_[sender] += tx.attached_tokens;
-    obs_.tx_failed->add();
-  }
-  return receipt;
+  std::vector<Transaction> batch;
+  batch.push_back(tx);
+  auto results = submit_batch(batch, BatchOptions{});
+  return std::move(results.front());
 }
 
 Result<Bytes> Blockchain::view(const std::string& contract,
@@ -270,7 +414,13 @@ Result<Bytes> Blockchain::view(const std::string& contract,
   auto it = contracts_.find(contract);
   if (it == contracts_.end())
     return fail("unknown contract '" + contract + "'");
-  CallContext ctx(*this, contract, Address{}, 0);
+  detail::GroupView group;
+  group.chain = this;
+  detail::TxScratch scratch;
+  scratch.view_mode = true;
+  scratch.group = &group;
+  CallContext ctx(*this, contract, Address{}, 0, &scratch);
+  // All buffered effects are discarded: a view can never mutate state.
   return it->second->call(ctx, function, arguments);
 }
 
@@ -334,6 +484,11 @@ Result<Bytes> Blockchain::read_object(ObjectId id) const {
 Mist Blockchain::escrow_balance(const std::string& contract) const {
   auto it = escrow_.find(contract);
   return it == escrow_.end() ? 0 : it->second;
+}
+
+const NamedEntry* Blockchain::named_entry(const std::string& full_key) const {
+  auto it = named_.find(full_key);
+  return it == named_.end() ? nullptr : &it->second;
 }
 
 }  // namespace debuglet::chain

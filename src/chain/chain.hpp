@@ -1,4 +1,5 @@
-// A deterministic single-finalizer blockchain.
+// A deterministic single-finalizer blockchain with parallel owned-object
+// transaction execution.
 //
 // This is the repo's substitute for the Sui blockchain the paper deploys
 // its Move contract on (DESIGN.md §2). It keeps the properties the
@@ -10,8 +11,17 @@
 // initiators to result events — paper §IV-C).
 //
 // Contracts are native C++ objects registered by name; their entry points
-// receive a CallContext granting access to objects, events and escrowed
-// token transfers.
+// receive a CallContext granting access to objects, named contract state,
+// events and escrowed token transfers. Every contract call executes
+// against a buffered effect set: nothing touches committed state until the
+// call succeeds, so a failed or aborted call leaves the chain untouched.
+//
+// Transactions may declare the state keys they touch (chain/access.hpp);
+// submit_batch partitions a block of declared transactions into
+// conflict-free groups and executes the groups on a worker pool, then
+// commits every effect in canonical (submission) order — receipts, events,
+// gas, balances and object versions are bit-identical at any worker count
+// (docs/CHAIN.md spells out the determinism contract).
 #pragma once
 
 #include <functional>
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "chain/access.hpp"
 #include "chain/gas.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/schnorr.hpp"
@@ -41,12 +52,22 @@ struct Address {
 
 using ObjectId = std::uint64_t;
 
-/// A stored object.
+/// A stored object. `version` starts at 1 and bumps on every
+/// write_object — one of the observables the parallel scheduler must keep
+/// bit-identical to serial execution.
 struct StoredObject {
   ObjectId id = 0;
   Address owner;          // account credited with the rebate on deletion
   Bytes data;
   Mist rebate_credit = 0; // refunded to `owner` when deleted
+  std::uint64_t version = 1;
+};
+
+/// A named contract-state entry (the marketplace's ExecutorAddressMap /
+/// ExecutionSlotsMap live here). Versioned like objects.
+struct NamedEntry {
+  std::uint64_t version = 1;
+  Bytes data;
 };
 
 /// An event emitted by a contract call.
@@ -59,7 +80,9 @@ struct Event {
   SimTime timestamp = 0;
 };
 
-/// A signed transaction.
+/// A signed transaction. `access` declares the read/write sets the call
+/// may touch (empty = legacy exclusive mode, see chain/access.hpp); it is
+/// covered by the signature.
 struct Transaction {
   crypto::PublicKey sender;
   std::uint64_t nonce = 0;
@@ -68,6 +91,7 @@ struct Transaction {
   Bytes arguments;
   Mist attached_tokens = 0;  // moved to the contract escrow before the call
   Mist gas_budget = 0;
+  AccessSet access;
   crypto::Signature signature;
 
   /// Canonical bytes covered by the signature (everything but it).
@@ -75,7 +99,7 @@ struct Transaction {
   crypto::Digest digest() const;
 };
 
-/// A sealed block.
+/// A sealed block (a batch seals one block for all its transactions).
 struct Block {
   std::uint64_t height = 0;
   crypto::Digest previous;
@@ -84,10 +108,22 @@ struct Block {
   std::vector<crypto::Digest> transaction_digests;
 };
 
+/// Why a committed receipt carries success=false.
+enum class ErrorKind : std::uint8_t {
+  kNone = 0,
+  kContract,         // the contract returned an error
+  kAccessViolation,  // touched a key outside the declared access set
+  kOutOfGas,         // computed gas exceeded the transaction's budget
+  kEscrowOverdraw,   // commit-order escrow re-check failed (cross-group)
+};
+
+const char* error_kind_name(ErrorKind kind);
+
 /// Receipt returned for every executed transaction.
 struct Receipt {
   bool success = false;
   std::string error;        // set when !success (the tx is still recorded)
+  ErrorKind error_kind = ErrorKind::kNone;
   Bytes return_value;       // contract return data on success
   Mist gas_charged = 0;
   Mist storage_rebate_accrued = 0;  // future rebate from objects created
@@ -97,7 +133,15 @@ struct Receipt {
 
 class Blockchain;
 
-/// The authority a contract call executes with.
+namespace detail {
+struct TxScratch;   // per-call buffered effects (chain/execution.hpp)
+struct BatchState;  // one submit_batch invocation
+}  // namespace detail
+
+/// The authority a contract call executes with. All mutations land in a
+/// per-call effect buffer; the chain commits them only when the call
+/// succeeds (and, in a batch, in canonical order on the commit thread) —
+/// contract code therefore never touches shared state from a worker.
 class CallContext {
  public:
   const Address& sender() const { return sender_; }
@@ -105,7 +149,10 @@ class CallContext {
   SimTime timestamp() const;
 
   /// Creates an object owned by the transaction sender; storage is charged
-  /// to the sender and the rebate accrues to them.
+  /// to the sender and the rebate accrues to them. Object ids are a pure
+  /// function of (block height, canonical tx index, per-call counter), so
+  /// they are identical at any worker count. Created objects are always
+  /// accessible to the creating call, declared or not.
   Result<ObjectId> create_object(Bytes data);
 
   Result<Bytes> read_object(ObjectId id) const;
@@ -113,32 +160,45 @@ class CallContext {
   /// The account that created (and is rebated for) an object.
   Result<Address> object_owner(ObjectId id) const;
 
+  /// Overwrites an object's data in place, bumping its version. The
+  /// storage rebate stays as fixed at creation; no additional storage is
+  /// charged (marketplace state updates are small relative to creation).
+  Status write_object(ObjectId id, Bytes data);
+
   /// Deletes an object; its rebate is credited to its owner's balance.
   Status delete_object(ObjectId id);
 
-  /// Emits an event visible to subscribers and the permanent log.
+  /// Named contract state, keyed within this contract's namespace (the
+  /// full conflict key is "<contract>/<key>", see chain/access.hpp).
+  bool has_named(const std::string& key) const;
+  Result<Bytes> read_named(const std::string& key) const;
+  Status write_named(const std::string& key, Bytes data);
+  Status erase_named(const std::string& key);
+
+  /// Emits an event visible to subscribers and the permanent log
+  /// (dispatched at commit time, in canonical order).
   void emit_event(std::string name, std::string key, Bytes payload);
 
-  /// Pays tokens out of the contract's escrow balance.
+  /// Pays tokens out of the contract's escrow balance. Escrow moves are
+  /// commutative deltas re-checked at commit; they are not conflict keys.
   Status pay_from_escrow(const Address& to, Mist amount);
 
  private:
   friend class Blockchain;
+  friend struct detail::BatchState;
   CallContext(Blockchain& chain, std::string contract, Address sender,
-              Mist attached)
+              Mist attached, detail::TxScratch* scratch)
       : chain_(chain),
         contract_(std::move(contract)),
         sender_(std::move(sender)),
-        attached_(attached) {}
+        attached_(attached),
+        scratch_(scratch) {}
 
   Blockchain& chain_;
   std::string contract_;
   Address sender_;
   Mist attached_;
-  // Per-call accounting consumed by the gas meter.
-  std::uint64_t bytes_stored = 0;
-  std::uint64_t objects_created = 0;
-  Mist rebate_accrued = 0;
+  detail::TxScratch* scratch_;  // owned by the caller (submit/view)
 };
 
 /// A native contract: dispatches function calls.
@@ -147,11 +207,16 @@ class Contract {
   virtual ~Contract() = default;
   virtual std::string name() const = 0;
   /// Executes `function` with serialized `arguments`; returns serialized
-  /// return data, or an error (which aborts and rolls back nothing — the
-  /// chain charges gas for failed calls but contract authors are expected
-  /// to validate before mutating, as the marketplace contract does).
+  /// return data, or an error. All CallContext effects are buffered: an
+  /// error (or an access violation) aborts the call and commits nothing.
+  /// Contract member state, if any, must not be mutated by call() —
+  /// conflict-free calls run concurrently; keep state in named entries
+  /// and objects instead.
   virtual Result<Bytes> call(CallContext& context, const std::string& function,
                              BytesView arguments) = 0;
+  /// Invoked once at registration with the owning chain — contracts that
+  /// expose read-only inspection helpers keep the pointer.
+  virtual void attach(Blockchain&) {}
 };
 
 /// Event subscription callback.
@@ -165,6 +230,13 @@ struct ChainConfig {
   /// executes synchronously; orchestration code adds this to simulated
   /// schedules.
   SimDuration finality_latency = duration::milliseconds(400);
+};
+
+/// Batch execution knobs.
+struct BatchOptions {
+  /// Worker threads for the execute phase. 1 = serial (no threads
+  /// spawned). Results are bit-identical at any value by construction.
+  unsigned workers = 1;
 };
 
 /// The chain itself.
@@ -184,19 +256,38 @@ class Blockchain {
   std::uint64_t nonce(const Address& account) const;
 
   /// Builds and signs a transaction for `key` with the correct next nonce.
+  /// `access` opts into declared (parallelizable) mode — see
+  /// chain/access.hpp; the default empty set is legacy exclusive mode.
   Transaction make_transaction(const crypto::KeyPair& key,
                                std::string contract, std::string function,
                                Bytes arguments, Mist attached_tokens = 0,
-                               Mist gas_budget = 1'000'000'000);
+                               Mist gas_budget = 1'000'000'000,
+                               AccessSet access = {});
+
+  /// Like make_transaction but with an explicit nonce — required when
+  /// building several transactions from one sender for a single batch.
+  Transaction make_transaction_with_nonce(
+      const crypto::KeyPair& key, std::uint64_t nonce, std::string contract,
+      std::string function, Bytes arguments, Mist attached_tokens = 0,
+      Mist gas_budget = 1'000'000'000, AccessSet access = {});
 
   /// Verifies, executes and commits a transaction (instant finality).
   /// Verification failures (bad signature, wrong nonce, insufficient
   /// funds) fail the Result; contract-level failures produce a committed
-  /// receipt with success=false.
+  /// receipt with success=false. Equivalent to a one-transaction batch.
   Result<Receipt> submit(const Transaction& tx);
 
-  /// Read-only contract call: no gas, no state mutation permitted
-  /// (enforced by convention — the marketplace routes all lookups here).
+  /// Verifies, executes and commits a block of transactions. Signature
+  /// checks and conflict-free groups run on `options.workers` threads;
+  /// effects commit in submission order into ONE sealed block. The i-th
+  /// result corresponds to the i-th transaction; a failed Result is a
+  /// rejected transaction (not recorded, nonce unconsumed) exactly as for
+  /// submit(). Observables are identical at every worker count.
+  std::vector<Result<Receipt>> submit_batch(
+      const std::vector<Transaction>& txs, const BatchOptions& options = {});
+
+  /// Read-only contract call: no gas; all buffered effects are discarded,
+  /// so views can never mutate chain state.
   Result<Bytes> view(const std::string& contract, const std::string& function,
                      BytesView arguments);
 
@@ -223,7 +314,17 @@ class Blockchain {
   const std::vector<Event>& events() const { return event_log_; }
   Result<Bytes> read_object(ObjectId id) const;
   bool object_exists(ObjectId id) const { return objects_.contains(id); }
+  const std::map<ObjectId, StoredObject>& objects() const { return objects_; }
   Mist escrow_balance(const std::string& contract) const;
+
+  /// Committed named contract state, by full key "<contract>/<key>".
+  const std::map<std::string, NamedEntry>& named_state() const {
+    return named_;
+  }
+  /// Reads one committed named entry (nullptr if absent). Used by
+  /// contracts' read-only inspection helpers; consensus code goes through
+  /// CallContext.
+  const NamedEntry* named_entry(const std::string& full_key) const;
 
   /// Sets the clock used to timestamp blocks/events (wired to the
   /// simulation queue by scenarios; defaults to a constant 0).
@@ -232,6 +333,7 @@ class Blockchain {
 
  private:
   friend class CallContext;
+  friend struct detail::BatchState;
 
   ChainConfig config_;
   std::map<std::string, std::unique_ptr<Contract>> contracts_;
@@ -239,7 +341,7 @@ class Blockchain {
   std::map<Address, std::uint64_t> nonces_;
   std::map<std::string, Mist> escrow_;
   std::map<ObjectId, StoredObject> objects_;
-  ObjectId next_object_id_ = 1;
+  std::map<std::string, NamedEntry> named_;
   std::vector<Block> blocks_;
   std::vector<Event> event_log_;
   std::uint64_t next_event_seq_ = 0;
@@ -257,9 +359,13 @@ class Blockchain {
     obs::Counter* tx_submitted = nullptr;
     obs::Counter* tx_rejected = nullptr;  // failed verification, not recorded
     obs::Counter* tx_failed = nullptr;    // committed with success=false
+    obs::Counter* access_violations = nullptr;
+    obs::Counter* batches = nullptr;
     obs::Histogram* gas_charged = nullptr;
     obs::Histogram* block_build_ms = nullptr;  // wall time to seal a block
     obs::Histogram* event_fanout = nullptr;    // subscribers hit per event
+    obs::Histogram* batch_groups = nullptr;    // conflict groups per batch
+    obs::Histogram* batch_group_size = nullptr;
     obs::Gauge* objects = nullptr;
     obs::Gauge* object_bytes = nullptr;
   };

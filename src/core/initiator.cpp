@@ -156,7 +156,8 @@ Status Initiator::reclaim_one(chain::ObjectId application,
   args.application = application;
   auto receipt = chain.submit(chain.make_transaction(
       key_, marketplace::kContractName, "ReclaimApplication",
-      args.serialize()));
+      args.serialize(), 0, 1'000'000'000,
+      marketplace::access_reclaim_application(application)));
   if (!receipt) return receipt.error();
   if (!receipt->success) return fail("ReclaimApplication: " + receipt->error);
   total_spent_ += receipt->gas_charged;
@@ -202,7 +203,10 @@ Result<MeasurementHandle> Initiator::purchase(
       std::max(request.earliest_start,
                system_.queue().now() + chain.config().finality_latency);
   auto lookup_receipt = chain.submit(chain.make_transaction(
-      key_, marketplace::kContractName, "LookupSlot", lookup.serialize()));
+      key_, marketplace::kContractName, "LookupSlot", lookup.serialize(), 0,
+      1'000'000'000,
+      marketplace::access_lookup_slot(request.client_key,
+                                      request.server_key)));
   if (!lookup_receipt) return lookup_receipt.error();
   if (!lookup_receipt->success)
     return fail("LookupSlot: " + lookup_receipt->error);
@@ -232,7 +236,9 @@ Result<MeasurementHandle> Initiator::purchase(
   }
   auto purchase_receipt = chain.submit(chain.make_transaction(
       key_, marketplace::kContractName, "PurchaseSlot", purchase.serialize(),
-      quote->total_price));
+      quote->total_price, 1'000'000'000,
+      marketplace::access_purchase_slot(request.client_key,
+                                        request.server_key)));
   if (!purchase_receipt) return purchase_receipt.error();
   if (!purchase_receipt->success)
     return fail("PurchaseSlot: " + purchase_receipt->error);

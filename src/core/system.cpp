@@ -43,7 +43,8 @@ Status ExecutorAgent::register_slots(SimTime from, SimTime until) {
   if (slots.slots.empty()) return ok_status();
   auto slot_receipt = chain_.submit(chain_.make_transaction(
       operator_key_, marketplace::kContractName, "RegisterTimeSlot",
-      slots.serialize()));
+      slots.serialize(), 0, 1'000'000'000,
+      marketplace::access_register_time_slot(key_)));
   if (!slot_receipt) return slot_receipt.error();
   if (!slot_receipt->success)
     return fail("RegisterTimeSlot: " + slot_receipt->error);
@@ -55,7 +56,8 @@ Status ExecutorAgent::bootstrap(SimTime horizon_start) {
   marketplace::RegisterExecutorArgs reg{key_};
   auto receipt = chain_.submit(chain_.make_transaction(
       operator_key_, marketplace::kContractName, "RegisterExecutor",
-      reg.serialize()));
+      reg.serialize(), 0, 1'000'000'000,
+      marketplace::access_register_executor(key_)));
   if (!receipt) return receipt.error();
   if (!receipt->success) return fail("RegisterExecutor: " + receipt->error);
   return register_slots(horizon_start, horizon_start + config_->slot_horizon);
@@ -192,7 +194,8 @@ void ExecutorAgent::handle_application(chain::ObjectId application_id) {
         args.result = published.serialize();
         auto receipt = chain_.submit(chain_.make_transaction(
             operator_key_, marketplace::kContractName, "ResultReady",
-            args.serialize()));
+            args.serialize(), 0, 1'000'000'000,
+            marketplace::access_result_ready(application_id)));
         if (!receipt || !receipt->success) {
           DEBUGLET_LOG(kError, "agent")
               << key_.to_string() << ": ResultReady failed: "

@@ -4,6 +4,149 @@
 
 namespace debuglet::marketplace {
 
+namespace {
+
+// Named-state keys within the contract's namespace (the chain prefixes
+// the contract name, so the full conflict key is e.g.
+// "debuglet_marketplace/exec/AS1#2").
+std::string exec_key(topology::InterfaceKey key) {
+  return "exec/" + key.to_string();
+}
+std::string slots_key(topology::InterfaceKey key) {
+  return "slots/" + key.to_string();
+}
+std::string apps_key(topology::InterfaceKey client_key,
+                     topology::InterfaceKey server_key) {
+  return "apps/" + client_key.to_string() + "|" + server_key.to_string();
+}
+// Published results are indexed under named state, NOT inside the
+// application object: ReclaimApplication deletes the application (for its
+// storage rebate) but results must stay collectable forever.
+std::string result_key(chain::ObjectId application) {
+  return "result/" + std::to_string(application);
+}
+
+Bytes encode_address(const chain::Address& address) {
+  BytesWriter w;
+  w.raw(address.digest.view());
+  return w.take();
+}
+
+Result<chain::Address> decode_address(BytesView data) {
+  BytesReader r(data);
+  chain::Address out;
+  auto raw = r.raw(out.digest.bytes.size());
+  if (!raw) return raw.error();
+  std::copy(raw->begin(), raw->end(), out.digest.bytes.begin());
+  return out;
+}
+
+Bytes encode_slots(const std::vector<TimeSlot>& slots) {
+  BytesWriter w;
+  w.u32(static_cast<std::uint32_t>(slots.size()));
+  for (const TimeSlot& slot : slots) write_slot(w, slot);
+  return w.take();
+}
+
+Result<std::vector<TimeSlot>> decode_slots(BytesView data) {
+  BytesReader r(data);
+  auto count = r.u32();
+  if (!count) return count.error();
+  std::vector<TimeSlot> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto slot = read_slot(r);
+    if (!slot) return slot.error();
+    out.push_back(*slot);
+  }
+  return out;
+}
+
+Bytes encode_ids(const std::vector<chain::ObjectId>& ids) {
+  BytesWriter w;
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (chain::ObjectId id : ids) w.u64(id);
+  return w.take();
+}
+
+Result<std::vector<chain::ObjectId>> decode_ids(BytesView data) {
+  BytesReader r(data);
+  auto count = r.u32();
+  if (!count) return count.error();
+  std::vector<chain::ObjectId> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.u64();
+    if (!id) return id.error();
+    out.push_back(*id);
+  }
+  return out;
+}
+
+/// The slot list for `key`, or empty when none have been registered.
+std::vector<TimeSlot> read_slot_list(chain::CallContext& ctx,
+                                     topology::InterfaceKey key) {
+  auto data = ctx.read_named(slots_key(key));
+  if (!data) return {};
+  auto slots = decode_slots(BytesView(data->data(), data->size()));
+  return slots ? std::move(*slots) : std::vector<TimeSlot>{};
+}
+
+}  // namespace
+
+chain::AccessSet access_register_executor(topology::InterfaceKey key) {
+  chain::AccessSet access;
+  access.add_write(chain::named_access_key(kContractName, exec_key(key)));
+  return access;
+}
+
+chain::AccessSet access_register_time_slot(topology::InterfaceKey key) {
+  chain::AccessSet access;
+  access.add_read(chain::named_access_key(kContractName, exec_key(key)));
+  access.add_write(chain::named_access_key(kContractName, slots_key(key)));
+  return access;
+}
+
+chain::AccessSet access_lookup_slot(topology::InterfaceKey client_key,
+                                    topology::InterfaceKey server_key) {
+  chain::AccessSet access;
+  access.add_read(
+      chain::named_access_key(kContractName, slots_key(client_key)));
+  access.add_read(
+      chain::named_access_key(kContractName, slots_key(server_key)));
+  return access;
+}
+
+chain::AccessSet access_purchase_slot(topology::InterfaceKey client_key,
+                                      topology::InterfaceKey server_key) {
+  chain::AccessSet access;
+  access.add_read(
+      chain::named_access_key(kContractName, exec_key(client_key)));
+  access.add_read(
+      chain::named_access_key(kContractName, exec_key(server_key)));
+  access.add_write(
+      chain::named_access_key(kContractName, slots_key(client_key)));
+  access.add_write(
+      chain::named_access_key(kContractName, slots_key(server_key)));
+  access.add_write(
+      chain::named_access_key(kContractName, apps_key(client_key, server_key)));
+  return access;
+}
+
+chain::AccessSet access_result_ready(chain::ObjectId application) {
+  chain::AccessSet access;
+  access.add_write(chain::object_access_key(application));
+  access.add_write(chain::named_access_key(kContractName,
+                                           result_key(application)));
+  return access;
+}
+
+chain::AccessSet access_reclaim_application(chain::ObjectId application) {
+  chain::AccessSet access;
+  access.add_write(chain::object_access_key(application));
+  return access;
+}
+
 MarketplaceContract::MarketplaceContract() {
   obs::MetricsRegistry& reg = obs::registry();
   obs_.executors_registered = &reg.counter("marketplace.executors_registered");
@@ -34,13 +177,17 @@ Result<Bytes> MarketplaceContract::register_executor(chain::CallContext& ctx,
                                                      BytesView args) {
   auto parsed = RegisterExecutorArgs::parse(args);
   if (!parsed) return parsed.error();
-  auto [it, inserted] = executors_.emplace(parsed->key, ctx.sender());
-  if (!inserted) {
-    if (!(it->second == ctx.sender()))
+  const std::string key = exec_key(parsed->key);
+  if (auto existing = ctx.read_named(key); existing) {
+    auto owner = decode_address(BytesView(existing->data(), existing->size()));
+    if (!owner) return owner.error();
+    if (!(*owner == ctx.sender()))
       return fail("executor " + parsed->key.to_string() +
                   " already registered to a different address");
     return Bytes{};  // idempotent re-registration
   }
+  if (auto s = ctx.write_named(key, encode_address(ctx.sender())); !s)
+    return s.error();
   obs_.executors_registered->add();
   ctx.emit_event(kEventExecutorRegistered, parsed->key.to_string(), Bytes{});
   return Bytes{};
@@ -50,18 +197,21 @@ Result<Bytes> MarketplaceContract::register_time_slot(chain::CallContext& ctx,
                                                       BytesView args) {
   auto parsed = RegisterTimeSlotArgs::parse(args);
   if (!parsed) return parsed.error();
-  auto it = executors_.find(parsed->key);
-  if (it == executors_.end())
+  auto registered = ctx.read_named(exec_key(parsed->key));
+  if (!registered)
     return fail("executor " + parsed->key.to_string() + " not registered");
+  auto owner =
+      decode_address(BytesView(registered->data(), registered->size()));
+  if (!owner) return owner.error();
   // The paper: "first checks that the provided AS number and interface ID
   // are, in fact, associated with the calling executor".
-  if (!(it->second == ctx.sender()))
+  if (!(*owner == ctx.sender()))
     return fail("caller does not own executor " + parsed->key.to_string());
   for (const TimeSlot& slot : parsed->slots) {
     if (slot.end <= slot.start)
       return fail("slot with non-positive duration");
   }
-  auto& list = slots_[parsed->key];
+  std::vector<TimeSlot> list = read_slot_list(ctx, parsed->key);
   list.insert(list.end(), parsed->slots.begin(), parsed->slots.end());
   std::sort(list.begin(), list.end(),
             [](const TimeSlot& a, const TimeSlot& b) {
@@ -72,21 +222,23 @@ Result<Bytes> MarketplaceContract::register_time_slot(chain::CallContext& ctx,
     if (list[i].end > list[i + 1].start)
       return fail("overlapping time slots for " + parsed->key.to_string());
   }
+  if (auto s = ctx.write_named(slots_key(parsed->key), encode_slots(list)); !s)
+    return s.error();
   obs_.slots_registered->add(parsed->slots.size());
   return Bytes{};
 }
 
-SlotQuote MarketplaceContract::quote(const LookupSlotArgs& q) const {
+SlotQuote MarketplaceContract::quote(chain::CallContext& ctx,
+                                     const LookupSlotArgs& q) const {
   SlotQuote out;
-  auto cit = slots_.find(q.client_key);
-  auto sit = slots_.find(q.server_key);
-  if (cit == slots_.end() || sit == slots_.end()) return out;
+  const std::vector<TimeSlot> client_slots = read_slot_list(ctx, q.client_key);
+  const std::vector<TimeSlot> server_slots = read_slot_list(ctx, q.server_key);
   // Earliest pair of slots with a nonempty common window and sufficient
   // resources on both sides.
-  for (const TimeSlot& cs : cit->second) {
+  for (const TimeSlot& cs : client_slots) {
     if (!cs.accommodates(q.cores, q.memory_bytes, q.bandwidth_bps)) continue;
     if (cs.end <= q.earliest_start) continue;
-    for (const TimeSlot& ss : sit->second) {
+    for (const TimeSlot& ss : server_slots) {
       if (!ss.accommodates(q.cores, q.memory_bytes, q.bandwidth_bps))
         continue;
       if (ss.end <= q.earliest_start) continue;
@@ -107,47 +259,46 @@ SlotQuote MarketplaceContract::quote(const LookupSlotArgs& q) const {
   return out;
 }
 
-Result<Bytes> MarketplaceContract::lookup_slot(chain::CallContext&,
+Result<Bytes> MarketplaceContract::lookup_slot(chain::CallContext& ctx,
                                                BytesView args) {
   auto parsed = LookupSlotArgs::parse(args);
   if (!parsed) return parsed.error();
-  return quote(*parsed).serialize();
+  return quote(ctx, *parsed).serialize();
 }
 
 Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
                                                  BytesView args) {
   auto parsed = PurchaseSlotArgs::parse(args);
   if (!parsed) return parsed.error();
-  if (!executors_.contains(parsed->client_key))
+  auto client_exec = ctx.read_named(exec_key(parsed->client_key));
+  if (!client_exec)
     return fail("executor " + parsed->client_key.to_string() +
                 " not registered");
-  if (!executors_.contains(parsed->server_key))
+  auto server_exec = ctx.read_named(exec_key(parsed->server_key));
+  if (!server_exec)
     return fail("executor " + parsed->server_key.to_string() +
                 " not registered");
+  auto client_address =
+      decode_address(BytesView(client_exec->data(), client_exec->size()));
+  if (!client_address) return client_address.error();
+  auto server_address =
+      decode_address(BytesView(server_exec->data(), server_exec->size()));
+  if (!server_address) return server_address.error();
 
-  // Both slots must still be available exactly as quoted.
-  auto take_slot = [this](topology::InterfaceKey key,
-                          const TimeSlot& want) -> Status {
-    auto& list = slots_[key];
-    auto it = std::find(list.begin(), list.end(), want);
-    if (it == list.end())
-      return fail("slot not available at " + key.to_string());
-    list.erase(it);
-    return ok_status();
-  };
-  // Validate availability before consuming either (no partial purchase).
-  {
-    const auto& clist = slots_[parsed->client_key];
-    const auto& slist = slots_[parsed->server_key];
-    if (std::find(clist.begin(), clist.end(), parsed->client_slot) ==
-        clist.end())
-      return fail("client slot not available at " +
-                  parsed->client_key.to_string());
-    if (std::find(slist.begin(), slist.end(), parsed->server_slot) ==
-        slist.end())
-      return fail("server slot not available at " +
-                  parsed->server_key.to_string());
-  }
+  // Both slots must still be available exactly as quoted (no partial
+  // purchase: validate both before consuming either).
+  std::vector<TimeSlot> client_list = read_slot_list(ctx, parsed->client_key);
+  std::vector<TimeSlot> server_list = read_slot_list(ctx, parsed->server_key);
+  auto client_it =
+      std::find(client_list.begin(), client_list.end(), parsed->client_slot);
+  if (client_it == client_list.end())
+    return fail("client slot not available at " +
+                parsed->client_key.to_string());
+  auto server_it =
+      std::find(server_list.begin(), server_list.end(), parsed->server_slot);
+  if (server_it == server_list.end())
+    return fail("server slot not available at " +
+                parsed->server_key.to_string());
 
   // The paper: "first verifies that the embedded tokens suffice for the
   // specified execution slots".
@@ -164,14 +315,20 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
   if (window_start >= window_end)
     return fail("slots share no common time window");
 
-  if (auto s = take_slot(parsed->client_key, parsed->client_slot); !s)
+  client_list.erase(client_it);
+  server_list.erase(server_it);
+  if (auto s = ctx.write_named(slots_key(parsed->client_key),
+                               encode_slots(client_list));
+      !s)
     return s.error();
-  if (auto s = take_slot(parsed->server_key, parsed->server_slot); !s)
+  if (auto s = ctx.write_named(slots_key(parsed->server_key),
+                               encode_slots(server_list));
+      !s)
     return s.error();
 
   // Create the two application objects with the tokens embedded.
-  auto make_app = [&](topology::InterfaceKey key, std::uint8_t role,
-                      const ApplicationPayload& payload,
+  auto make_app = [&](topology::InterfaceKey key, chain::Address address,
+                      std::uint8_t role, const ApplicationPayload& payload,
                       chain::Mist tokens) -> Result<chain::ObjectId> {
     ApplicationObject obj;
     obj.executor_key = key;
@@ -180,17 +337,15 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
     obj.window_end = window_end;
     obj.embedded_tokens = tokens;
     obj.payload = payload;
-    auto id = ctx.create_object(obj.serialize());
-    if (!id) return id;
-    pending_[*id] = PendingApplication{key, tokens, window_end, false};
-    return id;
+    obj.executor_address = address;
+    return ctx.create_object(obj.serialize());
   };
 
-  auto client_id = make_app(parsed->client_key, 0, parsed->client_app,
-                            parsed->client_slot.price);
+  auto client_id = make_app(parsed->client_key, *client_address, 0,
+                            parsed->client_app, parsed->client_slot.price);
   if (!client_id) return client_id.error();
-  auto server_id = make_app(parsed->server_key, 1, parsed->server_app,
-                            parsed->server_slot.price);
+  auto server_id = make_app(parsed->server_key, *server_address, 1,
+                            parsed->server_app, parsed->server_slot.price);
   if (!server_id) return server_id.error();
 
   // Refund any excess attached tokens to the initiator.
@@ -204,10 +359,19 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
   obs_.slots_purchased->add(2);
   obs_.escrow_volume->add(price);
 
-  MeasurementKey mk{parsed->client_key, parsed->server_key, window_start,
-                    window_end};
-  applications_[mk].push_back(*client_id);
-  applications_[mk].push_back(*server_id);
+  const std::string applications =
+      apps_key(parsed->client_key, parsed->server_key);
+  std::vector<chain::ObjectId> ids;
+  if (auto existing = ctx.read_named(applications); existing) {
+    if (auto decoded =
+            decode_ids(BytesView(existing->data(), existing->size()));
+        decoded)
+      ids = std::move(*decoded);
+  }
+  ids.push_back(*client_id);
+  ids.push_back(*server_id);
+  if (auto s = ctx.write_named(applications, encode_ids(ids)); !s)
+    return s.error();
 
   // Notify the executors, which "must have subscribed to the event with
   // arguments containing their AS number and interface ID".
@@ -232,41 +396,51 @@ Result<Bytes> MarketplaceContract::result_ready(chain::CallContext& ctx,
                                                 BytesView args) {
   auto parsed = ResultReadyArgs::parse(args);
   if (!parsed) return parsed.error();
-  auto it = pending_.find(parsed->application);
-  if (it == pending_.end())
+  auto data = ctx.read_object(parsed->application);
+  if (!data)
     return fail("no pending application " +
                 std::to_string(parsed->application));
-  PendingApplication& pending = it->second;
-  if (pending.reported)
+  auto app = ApplicationObject::parse(BytesView(data->data(), data->size()));
+  if (!app) return app.error();
+  if (app->reported)
     return fail("result already reported for application " +
                 std::to_string(parsed->application));
-  auto exec_it = executors_.find(pending.executor_key);
-  if (exec_it == executors_.end() || !(exec_it->second == ctx.sender()))
+  if (!(app->executor_address == ctx.sender()))
     return fail("caller is not the executor assigned to application " +
                 std::to_string(parsed->application));
 
   // Pay the embedded tokens out to the executor.
-  if (auto s = ctx.pay_from_escrow(ctx.sender(), pending.embedded_tokens); !s)
+  if (auto s = ctx.pay_from_escrow(ctx.sender(), app->embedded_tokens); !s)
     return s.error();
-  pending.reported = true;
 
-  ResultEntry entry;
-  entry.found = true;
-  entry.reported_at = ctx.timestamp();
-  entry.result = parsed->result;
-  auto object_id = ctx.create_object(parsed->result);
-  if (!object_id) return object_id.error();
-  entry.result_object = *object_id;
-  results_[parsed->application] = entry;
+  auto result_object = ctx.create_object(parsed->result);
+  if (!result_object) return result_object.error();
+  app->reported = true;
+  app->reported_at = ctx.timestamp();
+  app->result_object = *result_object;
+  app->result = parsed->result;
+  if (auto s = ctx.write_object(parsed->application, app->serialize()); !s)
+    return s.error();
+  // Index the published result under named state so it outlives the
+  // application object (freed by ReclaimApplication for its rebate).
+  ResultEntry published;
+  published.found = true;
+  published.result_object = app->result_object;
+  published.reported_at = app->reported_at;
+  published.result = app->result;
+  if (auto s = ctx.write_named(result_key(parsed->application),
+                               published.serialize());
+      !s)
+    return s.error();
 
   obs_.results_reported->add();
   // Latency between the end of the purchased window and the report landing
   // on chain (clamped: early reports inside the window count as zero).
-  const SimTime lag = entry.reported_at - pending.window_end;
+  const SimTime lag = app->reported_at - app->window_end;
   obs_.result_latency_ms->record(lag > 0 ? duration::to_ms(lag) : 0.0);
 
   BytesWriter w;
-  w.u64(entry.result_object);
+  w.u64(app->result_object);
   ctx.emit_event(kEventResultReady, std::to_string(parsed->application),
                  w.take());
   return Bytes{};
@@ -276,12 +450,14 @@ Result<Bytes> MarketplaceContract::reclaim_application(
     chain::CallContext& ctx, BytesView args) {
   auto parsed = ReclaimApplicationArgs::parse(args);
   if (!parsed) return parsed.error();
-  auto it = pending_.find(parsed->application);
-  if (it == pending_.end())
+  auto data = ctx.read_object(parsed->application);
+  if (!data)
     return fail("no application " + std::to_string(parsed->application));
+  auto app = ApplicationObject::parse(BytesView(data->data(), data->size()));
+  if (!app) return app.error();
   // Only after the result exists: freeing the bytecode earlier would leave
   // the executor unable to fetch it.
-  if (!it->second.reported)
+  if (!app->reported)
     return fail("application " + std::to_string(parsed->application) +
                 " has no reported result yet");
   auto owner = ctx.object_owner(parsed->application);
@@ -291,34 +467,50 @@ Result<Bytes> MarketplaceContract::reclaim_application(
                 std::to_string(parsed->application));
   // delete_object credits the storage rebate to the owner (the initiator).
   if (auto s = ctx.delete_object(parsed->application); !s) return s.error();
-  pending_.erase(it);
   return Bytes{};
 }
 
-Result<Bytes> MarketplaceContract::lookup_result(chain::CallContext&,
+Result<Bytes> MarketplaceContract::lookup_result(chain::CallContext& ctx,
                                                  BytesView args) {
   auto parsed = LookupResultArgs::parse(args);
   if (!parsed) return parsed.error();
-  auto it = results_.find(parsed->application);
-  if (it == results_.end()) return ResultEntry{}.serialize();
-  return it->second.serialize();
+  auto entry = ctx.read_named(result_key(parsed->application));
+  if (!entry) return ResultEntry{}.serialize();
+  return *entry;
+}
+
+std::size_t MarketplaceContract::registered_executors() const {
+  if (chain_ == nullptr) return 0;
+  const std::string prefix =
+      chain::named_access_key(kContractName, "exec/");
+  std::size_t count = 0;
+  const auto& named = chain_->named_state();
+  for (auto it = named.lower_bound(prefix);
+       it != named.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    ++count;
+  return count;
 }
 
 std::vector<TimeSlot> MarketplaceContract::available_slots(
     topology::InterfaceKey key) const {
-  auto it = slots_.find(key);
-  return it == slots_.end() ? std::vector<TimeSlot>{} : it->second;
+  if (chain_ == nullptr) return {};
+  const chain::NamedEntry* entry = chain_->named_entry(
+      chain::named_access_key(kContractName, slots_key(key)));
+  if (entry == nullptr) return {};
+  auto slots = decode_slots(BytesView(entry->data.data(), entry->data.size()));
+  return slots ? std::move(*slots) : std::vector<TimeSlot>{};
 }
 
 std::vector<chain::ObjectId> MarketplaceContract::applications_for(
     topology::InterfaceKey client_key, topology::InterfaceKey server_key)
     const {
-  std::vector<chain::ObjectId> out;
-  for (const auto& [mk, ids] : applications_) {
-    if (mk.client == client_key && mk.server == server_key)
-      out.insert(out.end(), ids.begin(), ids.end());
-  }
-  return out;
+  if (chain_ == nullptr) return {};
+  const chain::NamedEntry* entry = chain_->named_entry(chain::named_access_key(
+      kContractName, apps_key(client_key, server_key)));
+  if (entry == nullptr) return {};
+  auto ids = decode_ids(BytesView(entry->data.data(), entry->data.size()));
+  return ids ? std::move(*ids) : std::vector<chain::ObjectId>{};
 }
 
 }  // namespace debuglet::marketplace

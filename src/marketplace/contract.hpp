@@ -1,18 +1,27 @@
 // The Debuglet marketplace smart contract (paper §IV-C).
 //
-// State (names follow the paper):
-//   ExecutorAddressMap : ⟨AS, intf⟩ -> node address of the executor
-//   ExecutionSlotsMap  : ⟨AS, intf⟩ -> sorted available time slots
-//   ApplicationsMap    : ⟨ASc,intfc,ASs,intfs,t⟩ -> application object IDs
-//   ResultsMap         : application object ID -> result entry
+// State (names follow the paper), all of it chain-managed so the contract
+// itself is stateless and re-entrant — conflict-free calls execute
+// concurrently under Blockchain::submit_batch:
+//   ExecutorAddressMap : named entry  "exec/⟨AS#intf⟩"  -> executor address
+//   ExecutionSlotsMap  : named entry  "slots/⟨AS#intf⟩" -> sorted slots
+//   ApplicationsMap    : named entry  "apps/⟨ck⟩|⟨sk⟩"  -> application ids
+//   application state  : the ApplicationObject itself (executor address,
+//                        embedded tokens, reported flag, result) — so
+//                        ResultReady / Reclaim / LookupResult touch one
+//                        owned object and parallelize across applications.
 //
 // Entry points: RegisterExecutor, RegisterTimeSlot, LookupSlot,
-// PurchaseSlot, ResultReady, LookupResult. PurchaseSlot escrows the
-// attached tokens inside the created application objects; ResultReady pays
-// them out to the reporting executor and emits an event for the initiator.
+// PurchaseSlot, ResultReady, ReclaimApplication, LookupResult.
+// PurchaseSlot escrows the attached tokens inside the created application
+// objects; ResultReady pays them out to the reporting executor and emits
+// an event for the initiator.
+//
+// The access_* helpers build the declared read/write sets callers attach
+// to their transactions (chain/access.hpp): slots of different executors
+// never conflict, so purchases against disjoint executor pairs — and all
+// ResultReady calls for distinct applications — run in parallel.
 #pragma once
-
-#include <map>
 
 #include "marketplace/types.hpp"
 #include "obs/metrics.hpp"
@@ -20,6 +29,19 @@
 namespace debuglet::marketplace {
 
 inline constexpr const char* kContractName = "debuglet_marketplace";
+
+/// Declared access sets for each entry point, ready to pass to
+/// Blockchain::make_transaction. Omitting them (the default empty set)
+/// still works — the transaction then runs in exclusive mode and
+/// serializes its whole batch.
+chain::AccessSet access_register_executor(topology::InterfaceKey key);
+chain::AccessSet access_register_time_slot(topology::InterfaceKey key);
+chain::AccessSet access_lookup_slot(topology::InterfaceKey client_key,
+                                    topology::InterfaceKey server_key);
+chain::AccessSet access_purchase_slot(topology::InterfaceKey client_key,
+                                      topology::InterfaceKey server_key);
+chain::AccessSet access_result_ready(chain::ObjectId application);
+chain::AccessSet access_reclaim_application(chain::ObjectId application);
 
 class MarketplaceContract : public chain::Contract {
  public:
@@ -30,29 +52,17 @@ class MarketplaceContract : public chain::Contract {
   Result<Bytes> call(chain::CallContext& context, const std::string& function,
                      BytesView arguments) override;
 
+  void attach(chain::Blockchain& chain) override { chain_ = &chain; }
+
   // Inspection helpers used by tests and reports (not contract entry
-  // points; reads only).
-  std::size_t registered_executors() const { return executors_.size(); }
+  // points; committed state only, reads only).
+  std::size_t registered_executors() const;
   std::vector<TimeSlot> available_slots(topology::InterfaceKey key) const;
   std::vector<chain::ObjectId> applications_for(
       topology::InterfaceKey client_key, topology::InterfaceKey server_key)
       const;
 
  private:
-  struct MeasurementKey {
-    topology::InterfaceKey client;
-    topology::InterfaceKey server;
-    SimTime window_start = 0;
-    SimTime window_end = 0;
-    auto operator<=>(const MeasurementKey&) const = default;
-  };
-  struct PendingApplication {
-    topology::InterfaceKey executor_key;
-    chain::Mist embedded_tokens = 0;
-    SimTime window_end = 0;  // for result-latency accounting
-    bool reported = false;
-  };
-
   Result<Bytes> register_executor(chain::CallContext& ctx, BytesView args);
   Result<Bytes> register_time_slot(chain::CallContext& ctx, BytesView args);
   Result<Bytes> lookup_slot(chain::CallContext& ctx, BytesView args);
@@ -61,14 +71,11 @@ class MarketplaceContract : public chain::Contract {
   Result<Bytes> reclaim_application(chain::CallContext& ctx, BytesView args);
   Result<Bytes> lookup_result(chain::CallContext& ctx, BytesView args);
 
-  SlotQuote quote(const LookupSlotArgs& query) const;
+  SlotQuote quote(chain::CallContext& ctx, const LookupSlotArgs& query) const;
 
-  std::map<topology::InterfaceKey, chain::Address> executors_;
-  std::map<topology::InterfaceKey, std::vector<TimeSlot>> slots_;
-  std::map<MeasurementKey, std::vector<chain::ObjectId>> applications_;
-  std::map<chain::ObjectId, PendingApplication> pending_;
-  std::map<chain::ObjectId, ResultEntry> results_;
+  const chain::Blockchain* chain_ = nullptr;  // set by attach()
   // Observability handles cached at construction (no-ops while disabled).
+  // Counters only — atomics, safe to bump from scheduler worker threads.
   struct ObsHandles {
     obs::Counter* executors_registered = nullptr;
     obs::Counter* slots_registered = nullptr;

@@ -1,5 +1,7 @@
 #include "marketplace/types.hpp"
 
+#include <algorithm>
+
 namespace debuglet::marketplace {
 
 namespace {
@@ -259,6 +261,11 @@ Bytes ApplicationObject::serialize() const {
   w.u64(embedded_tokens);
   const Bytes p = payload.serialize();
   w.blob(BytesView(p.data(), p.size()));
+  w.raw(executor_address.digest.view());
+  w.u8(reported ? 1 : 0);
+  w.i64(reported_at);
+  w.u64(result_object);
+  w.blob(BytesView(result.data(), result.size()));
   return w.take();
 }
 
@@ -280,6 +287,18 @@ Result<ApplicationObject> ApplicationObject::parse(BytesView data) {
   DBG_TRY(payload,
           ApplicationPayload::parse(BytesView(p->data(), p->size())));
   out.payload = std::move(*payload);
+  DBG_TRY(addr, r.raw(out.executor_address.digest.bytes.size()));
+  std::copy(addr->begin(), addr->end(),
+            out.executor_address.digest.bytes.begin());
+  DBG_TRY(reported, r.u8());
+  if (*reported > 1) return fail("ApplicationObject: bad reported flag");
+  out.reported = *reported == 1;
+  DBG_TRY(at, r.i64());
+  out.reported_at = *at;
+  DBG_TRY(ro, r.u64());
+  out.result_object = *ro;
+  DBG_TRY(res, r.blob());
+  out.result = std::move(*res);
   if (!r.exhausted()) return fail("ApplicationObject: trailing bytes");
   return out;
 }

@@ -121,6 +121,10 @@ struct PurchaseReceipt {
 };
 
 /// The stored application object (what the chain charges storage for).
+/// It carries the assigned executor's account address and the result
+/// state, so ResultReady / ReclaimApplication / LookupResult touch only
+/// this one object — which is what lets transactions against different
+/// applications run in parallel (docs/CHAIN.md).
 struct ApplicationObject {
   topology::InterfaceKey executor_key;  // where it must run
   std::uint8_t role = 0;                // 0 = client, 1 = server
@@ -128,6 +132,11 @@ struct ApplicationObject {
   SimTime window_end = 0;
   chain::Mist embedded_tokens = 0;      // paid to the executor on completion
   ApplicationPayload payload;
+  chain::Address executor_address;      // the account paid on ResultReady
+  bool reported = false;                // result state, set by ResultReady
+  SimTime reported_at = 0;
+  chain::ObjectId result_object = 0;
+  Bytes result;                         // serialized executor::CertifiedResult
   Bytes serialize() const;
   static Result<ApplicationObject> parse(BytesView data);
 };

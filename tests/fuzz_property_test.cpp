@@ -11,7 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
+#include <set>
 
+#include "chain/chain.hpp"
 #include "crypto/schnorr.hpp"
 #include "executor/manifest.hpp"
 #include "executor/result.hpp"
@@ -832,6 +835,239 @@ TEST(FuzzRoundTrip, BytesWriterReaderArbitrarySequences) {
     }
     EXPECT_TRUE(r.exhausted());
   }
+}
+
+// --- Chain access-set enforcement --------------------------------------------
+//
+// The parallel scheduler's safety property (docs/CHAIN.md): a declared-mode
+// contract call that touches ANY key outside its declared access set aborts
+// with ErrorKind::kAccessViolation and commits NOTHING — even when the
+// violating touch happens mid-sequence after buffered effects have piled
+// up, and even when the contract swallows the per-op error and claims
+// success. Fuzzed op sequences with fuzzed declared subsets check both
+// directions: compliant sequences commit, non-compliant ones roll back to
+// the byte.
+
+// Executes a fuzzer-provided op sequence, deliberately IGNORING per-op
+// errors: a malicious contract that shrugs off denied accesses must still
+// see its whole transaction voided by the violation latch.
+class MultiKvContract : public chain::Contract {
+ public:
+  std::string name() const override { return "kv"; }
+
+  Result<Bytes> call(chain::CallContext& ctx, const std::string& function,
+                     BytesView arguments) override {
+    if (function != "multi") return fail("kv: unknown function");
+    BytesReader r(arguments);
+    auto count = r.u32();
+    if (!count) return fail("kv: bad args");
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto kind = r.u8();
+      if (!kind) return fail("kv: bad op");
+      switch (*kind) {
+        case 0: {  // put
+          auto key = r.str();
+          auto value = r.blob();
+          if (!key || !value) return fail("kv: bad put");
+          (void)ctx.write_named(*key, std::move(*value));
+          ctx.emit_event("Put", *key, {});
+          break;
+        }
+        case 1: {  // get
+          auto key = r.str();
+          if (!key) return fail("kv: bad get");
+          (void)ctx.read_named(*key);
+          break;
+        }
+        case 2: {  // del
+          auto key = r.str();
+          if (!key) return fail("kv: bad del");
+          (void)ctx.erase_named(*key);
+          ctx.emit_event("Del", *key, {});
+          break;
+        }
+        case 3: {  // wobj
+          auto id = r.u64();
+          auto value = r.blob();
+          if (!id || !value) return fail("kv: bad wobj");
+          (void)ctx.write_object(*id, std::move(*value));
+          break;
+        }
+        case 4: {  // dobj
+          auto id = r.u64();
+          if (!id) return fail("kv: bad dobj");
+          (void)ctx.delete_object(*id);
+          break;
+        }
+        case 5: {  // mkobj
+          auto value = r.blob();
+          if (!value) return fail("kv: bad mkobj");
+          (void)ctx.create_object(std::move(*value));
+          break;
+        }
+        default:
+          return fail("kv: unknown op");
+      }
+    }
+    return Bytes{};
+  }
+};
+
+// Renders every piece of committed contract-visible state; rollback means
+// this string is unchanged by a violating transaction.
+std::string render_chain_state(const chain::Blockchain& bc) {
+  std::string out;
+  for (const auto& [key, entry] : bc.named_state())
+    out += key + "=v" + std::to_string(entry.version) + ":" +
+           to_hex(BytesView(entry.data.data(), entry.data.size())) + ";";
+  for (const auto& [id, obj] : bc.objects())
+    out += "obj" + std::to_string(id) + "=v" + std::to_string(obj.version) +
+           ":" + to_hex(BytesView(obj.data.data(), obj.data.size())) + ";";
+  return out;
+}
+
+TEST(FuzzAccessEnforcement, UndeclaredTouchesAbortAndRollBack) {
+  Rng rng(0xACCE55);
+  const int iterations = fuzz_iterations(250);
+  const std::vector<std::string> keys = {"alpha", "beta", "gamma", "delta"};
+  int compliant_runs = 0;
+  int violating_runs = 0;
+  for (int it = 0; it < iterations; ++it) {
+    chain::Blockchain bc;
+    ASSERT_TRUE(
+        bc.register_contract(std::make_unique<MultiKvContract>()).ok());
+    auto sender = crypto::KeyPair::from_seed(0xAC00u + it);
+    const chain::Address addr = chain::Address::of(sender.public_key());
+    bc.mint(addr, 1'000'000'000'000ULL);
+
+    // Seed state: two named keys and one object, fully declared. The
+    // seed transaction seals the first post-genesis block, so the object
+    // id is (height 1, index 0, counter 0).
+    chain::AccessSet seed_access;
+    seed_access.add_write(chain::named_access_key("kv", keys[0]));
+    seed_access.add_write(chain::named_access_key("kv", keys[1]));
+    BytesWriter seed;
+    seed.u32(3);
+    seed.u8(0);
+    seed.str(keys[0]);
+    seed.blob(BytesView());
+    seed.u8(0);
+    seed.str(keys[1]);
+    seed.blob(BytesView());
+    seed.u8(5);
+    seed.blob(BytesView());
+    auto seeded = bc.submit(bc.make_transaction(sender, "kv", "multi",
+                                                seed.take(), 0,
+                                                1'000'000'000,
+                                                std::move(seed_access)));
+    ASSERT_TRUE(seeded.ok()) << seeded.error_message();
+    ASSERT_TRUE(seeded->success) << seeded->error;
+    const chain::ObjectId obj = std::uint64_t{1} << 32;
+
+    // Random declared subset: writes imply reads; a fixed anchor read
+    // keeps the set non-empty (= declared mode) even when nothing else
+    // is declared.
+    chain::AccessSet access;
+    access.add_read(chain::named_access_key("kv", "anchor"));
+    std::set<std::string> declared_write, declared_read;
+    declared_read.insert(chain::named_access_key("kv", "anchor"));
+    for (const auto& key : keys) {
+      const std::string full = chain::named_access_key("kv", key);
+      if (rng.chance(0.55)) {
+        access.add_write(full);
+        declared_write.insert(full);
+      } else if (rng.chance(0.3)) {
+        access.add_read(full);
+        declared_read.insert(full);
+      }
+    }
+    const std::string obj_key = chain::object_access_key(obj);
+    if (rng.chance(0.6)) {
+      access.add_write(obj_key);
+      declared_write.insert(obj_key);
+    }
+
+    // Random op sequence; track the access it requires.
+    const std::uint32_t ops = 1 + static_cast<std::uint32_t>(rng.index(7));
+    BytesWriter w;
+    w.u32(ops);
+    bool compliant = true;
+    auto need_write = [&](const std::string& full) {
+      if (!declared_write.contains(full)) compliant = false;
+    };
+    auto need_read = [&](const std::string& full) {
+      if (!declared_write.contains(full) && !declared_read.contains(full))
+        compliant = false;
+    };
+    for (std::uint32_t i = 0; i < ops; ++i) {
+      const auto kind = rng.index(6);
+      const std::string& key = keys[rng.index(keys.size())];
+      const std::string full = chain::named_access_key("kv", key);
+      switch (kind) {
+        case 0:
+          w.u8(0);
+          w.str(key);
+          w.blob(BytesView());
+          need_write(full);
+          break;
+        case 1:
+          w.u8(1);
+          w.str(key);
+          need_read(full);
+          break;
+        case 2:
+          w.u8(2);
+          w.str(key);
+          need_write(full);
+          break;
+        case 3:
+          w.u8(3);
+          w.u64(obj);
+          w.blob(BytesView());
+          need_write(obj_key);
+          break;
+        case 4:
+          w.u8(4);
+          w.u64(obj);
+          need_write(obj_key);
+          break;
+        default:
+          w.u8(5);
+          w.blob(BytesView());
+          break;  // created objects need no declaration
+      }
+    }
+
+    const std::string state_before = render_chain_state(bc);
+    const std::size_t events_before = bc.events().size();
+    const chain::Mist balance_before = bc.balance(addr);
+    const chain::Mist escrow_before = bc.escrow_balance("kv");
+    const std::uint64_t nonce_before = bc.nonce(addr);
+
+    auto receipt = bc.submit(bc.make_transaction(sender, "kv", "multi",
+                                                 w.take(), 0, 1'000'000'000,
+                                                 std::move(access)));
+    ASSERT_TRUE(receipt.ok()) << receipt.error_message();
+    if (compliant) {
+      ++compliant_runs;
+      EXPECT_TRUE(receipt->success) << it << ": " << receipt->error;
+    } else {
+      ++violating_runs;
+      ASSERT_FALSE(receipt->success) << it;
+      EXPECT_EQ(receipt->error_kind, chain::ErrorKind::kAccessViolation);
+      EXPECT_NE(receipt->error.find("access violation"), std::string::npos)
+          << receipt->error;
+      // Nothing committed besides gas and the nonce.
+      EXPECT_EQ(render_chain_state(bc), state_before) << it;
+      EXPECT_EQ(bc.events().size(), events_before) << it;
+      EXPECT_EQ(bc.escrow_balance("kv"), escrow_before) << it;
+      EXPECT_EQ(bc.balance(addr), balance_before - receipt->gas_charged);
+      EXPECT_EQ(bc.nonce(addr), nonce_before + 1);
+    }
+  }
+  // The fuzz distribution must genuinely exercise both directions.
+  EXPECT_GT(compliant_runs, iterations / 10);
+  EXPECT_GT(violating_runs, iterations / 10);
 }
 
 }  // namespace

@@ -79,6 +79,17 @@
 //       threads); the trace must be byte-identical at every N. --trace-out
 //       writes the deterministic trace to FILE so CI can diff shard counts.
 //
+//   debuglet chaos     --mass-purchase [N] [--pairs P] [--workers W]
+//                      [--seed S] [--check-determinism] [--trace-out FILE]
+//       Chain-side chaos: N initiators (default 10000) race to purchase
+//       P executor pairs' single overlapping slot in ONE parallel batch
+//       (docs/CHAIN.md). Exactly one purchase per pair may win; the trace
+//       records every receipt, the winner map, escrow, token conservation
+//       and the sealed block root — and contains no worker count or
+//       timing, so CI byte-diffs it across --workers 1/2/4.
+//       --check-determinism replays with the same seed and verifies the
+//       trace is bit-identical.
+//
 //   debuglet asm FILE / debuglet disasm FILE
 //       Assemble DVM assembly to a module file (FILE.dvm), or print the
 //       assembly of a serialized module.
@@ -86,13 +97,16 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "chain/chain.hpp"
 #include "core/debuglet.hpp"
+#include "marketplace/contract.hpp"
 #include "obs/export.hpp"
 #include "telemetry/int_header.hpp"
 #include "telemetry/path_evidence.hpp"
@@ -1049,7 +1063,196 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
   return out;
 }
 
+// --- Mass-purchase chaos: N initiators race for P pairs' slots --------------
+
+struct MassPurchaseOutcome {
+  std::string trace;  // worker-count-invariant determinism artifact
+  bool one_winner_per_pair = false;
+  bool conserved = false;
+  bool intact = false;
+};
+
+/// Runs the whole scenario on a fresh chain: setup batch (register 2*P
+/// executors and their single slot), then ONE batch of N purchase
+/// transactions — all initiators racing for P overlapping windows —
+/// executed at `workers` worker threads. The trace must depend only on
+/// the seed (docs/CHAIN.md's determinism contract), never on `workers`.
+MassPurchaseOutcome run_mass_purchase(std::size_t initiators,
+                                      std::size_t pairs, unsigned workers,
+                                      std::uint64_t seed) {
+  using chain::Mist;
+  MassPurchaseOutcome out;
+  chain::Blockchain bc;
+  (void)bc.register_contract(
+      std::make_unique<marketplace::MarketplaceContract>());
+
+  const Mist kPrice = 500'000'000;
+  const chain::BatchOptions opts{workers};
+  std::vector<crypto::KeyPair> operators;
+  std::vector<topology::InterfaceKey> keys;
+  Mist minted = 0;
+  std::vector<chain::Address> accounts;
+  for (std::size_t i = 0; i < 2 * pairs; ++i) {
+    operators.push_back(
+        crypto::KeyPair::from_seed(seed ^ (0xE5ULL << 32) ^ i));
+    keys.push_back(topology::InterfaceKey{
+        static_cast<topology::AsNumber>(100 + i), 1});
+    accounts.push_back(chain::Address::of(operators.back().public_key()));
+    bc.mint(accounts.back(), 1'000'000'000'000ULL);
+    minted += 1'000'000'000'000ULL;
+  }
+  std::vector<chain::Transaction> setup;
+  for (std::size_t i = 0; i < 2 * pairs; ++i) {
+    marketplace::RegisterExecutorArgs reg{keys[i]};
+    setup.push_back(bc.make_transaction_with_nonce(
+        operators[i], 0, marketplace::kContractName, "RegisterExecutor",
+        reg.serialize(), 0, 1'000'000'000,
+        marketplace::access_register_executor(keys[i])));
+  }
+  for (std::size_t i = 0; i < 2 * pairs; ++i) {
+    marketplace::TimeSlot slot;
+    slot.start = 1000;
+    slot.end = 2000;
+    slot.price = kPrice;
+    marketplace::RegisterTimeSlotArgs slots{keys[i], {slot}};
+    setup.push_back(bc.make_transaction_with_nonce(
+        operators[i], 1, marketplace::kContractName, "RegisterTimeSlot",
+        slots.serialize(), 0, 1'000'000'000,
+        marketplace::access_register_time_slot(keys[i])));
+  }
+  Mist burned = 0;
+  for (const auto& r : bc.submit_batch(setup, opts)) {
+    if (!r.ok() || !r->success) {
+      out.trace += "setup failed: " +
+                   (r.ok() ? r->error : r.error_message()) + "\n";
+      return out;
+    }
+    burned += r->gas_charged;
+  }
+
+  std::vector<chain::Transaction> race;
+  race.reserve(initiators);
+  for (std::size_t j = 0; j < initiators; ++j) {
+    auto key = crypto::KeyPair::from_seed(seed ^ (0x171ULL << 40) ^ j);
+    accounts.push_back(chain::Address::of(key.public_key()));
+    bc.mint(accounts.back(), 100'000'000'000ULL);
+    minted += 100'000'000'000ULL;
+    const std::size_t p = j % pairs;
+    marketplace::PurchaseSlotArgs args;
+    args.client_key = keys[2 * p];
+    args.server_key = keys[2 * p + 1];
+    args.client_slot.start = args.server_slot.start = 1000;
+    args.client_slot.end = args.server_slot.end = 2000;
+    args.client_slot.price = args.server_slot.price = kPrice;
+    args.client_app.bytecode = bytes_of("debuglet-" + std::to_string(j));
+    args.client_app.manifest = bytes_of("manifest");
+    args.server_app = args.client_app;
+    race.push_back(bc.make_transaction_with_nonce(
+        key, 0, marketplace::kContractName, "PurchaseSlot", args.serialize(),
+        2 * kPrice, 1'000'000'000,
+        marketplace::access_purchase_slot(args.client_key,
+                                          args.server_key)));
+  }
+  const auto results = bc.submit_batch(race, opts);
+
+  std::vector<std::size_t> winners(pairs, 0);
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    const auto& r = results[j];
+    const std::string line = "tx " + std::to_string(j) + " pair " +
+                             std::to_string(j % pairs) + ": ";
+    if (!r.ok()) {
+      out.trace += line + "reject " + r.error_message() + "\n";
+      continue;
+    }
+    burned += r->gas_charged;
+    if (r->success) {
+      ++winners[j % pairs];
+      auto receipt = marketplace::PurchaseReceipt::parse(
+          BytesView(r->return_value.data(), r->return_value.size()));
+      out.trace += line + "ok apps=" +
+                   (receipt.ok()
+                        ? std::to_string(receipt->client_application) + "," +
+                              std::to_string(receipt->server_application)
+                        : "?") +
+                   "\n";
+    } else {
+      out.trace += line + "fail " + r->error + "\n";
+    }
+  }
+  out.one_winner_per_pair = true;
+  out.trace += "winners:";
+  for (std::size_t p = 0; p < pairs; ++p) {
+    out.trace += " " + std::to_string(winners[p]);
+    if (winners[p] != 1) out.one_winner_per_pair = false;
+  }
+  out.trace += "\n";
+
+  Mist held = bc.escrow_balance(marketplace::kContractName);
+  out.trace += "escrow: " + std::to_string(held) + "\n";
+  for (const auto& account : accounts) held += bc.balance(account);
+  out.conserved = minted == held + burned;
+  out.trace += "minted: " + std::to_string(minted) + " held: " +
+               std::to_string(held) + " burned: " + std::to_string(burned) +
+               "\n";
+  out.intact = bc.verify_integrity();
+  const chain::Block& tip = bc.block(bc.height() - 1);
+  out.trace += "tip: " + tip.transactions_root.hex() + "\n";
+  out.trace += std::string("integrity: ") + (out.intact ? "ok" : "BAD") +
+               "\n";
+  return out;
+}
+
+int cmd_mass_purchase(const Args& args) {
+  const auto initiators =
+      static_cast<std::size_t>(args.get_int("mass-purchase", 10000));
+  const auto pairs = static_cast<std::size_t>(args.get_int("pairs", 16));
+  const auto workers = static_cast<unsigned>(args.get_int("workers", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (pairs == 0 || initiators < pairs) {
+    std::printf("--mass-purchase needs at least one initiator per pair\n");
+    return 1;
+  }
+  std::printf("mass purchase: %zu initiators racing for %zu executor pairs "
+              "(%u workers, seed %llu)\n",
+              initiators, pairs, workers,
+              static_cast<unsigned long long>(seed));
+
+  MassPurchaseOutcome first =
+      run_mass_purchase(initiators, pairs, workers, seed);
+  std::printf("  one winner per slot pair: %s\n",
+              first.one_winner_per_pair ? "yes" : "NO");
+  std::printf("  tokens conserved:         %s\n",
+              first.conserved ? "yes" : "NO");
+  std::printf("  chain integrity:          %s\n", first.intact ? "ok" : "BAD");
+
+  bool deterministic = true;
+  if (args.has("check-determinism")) {
+    MassPurchaseOutcome second =
+        run_mass_purchase(initiators, pairs, workers, seed);
+    deterministic = first.trace == second.trace;
+    std::printf("\ndeterminism check: %s\n",
+                deterministic ? "traces identical" : "TRACES DIVERGED");
+  }
+  if (const std::string out_path = args.get("trace-out", "");
+      !out_path.empty()) {
+    // The file is the cross-worker determinism artifact: CI runs the same
+    // seed at several --workers values and byte-diffs the outputs.
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::printf("cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << first.trace;
+    std::printf("trace written to %s\n", out_path.c_str());
+  }
+  const bool ok = first.one_winner_per_pair && first.conserved &&
+                  first.intact && deterministic;
+  std::printf("\nchaos verdict: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int cmd_chaos(const Args& args) {
+  if (args.has("mass-purchase")) return cmd_mass_purchase(args);
   obs::set_enabled(true);
   ChaosParams p;
   p.ases = static_cast<std::size_t>(args.get_int("ases", 8));
