@@ -282,6 +282,32 @@ Result<Bytes> CallContext::read_named(const std::string& key) const {
   return *data;
 }
 
+bool CallContext::has_named_of(const std::string& contract,
+                               const std::string& key) const {
+  detail::TxScratch& s = *scratch_;
+  const std::string full = named_access_key(contract, key);
+  if (auto st = check_access(s, full, /*write=*/false); !st) return false;
+  auto it = s.effects.named_writes.find(full);
+  if (it != s.effects.named_writes.end()) return it->second.has_value();
+  return s.group->named_lookup(full) != nullptr;
+}
+
+Result<Bytes> CallContext::read_named_of(const std::string& contract,
+                                         const std::string& key) const {
+  detail::TxScratch& s = *scratch_;
+  const std::string full = named_access_key(contract, key);
+  if (auto st = check_access(s, full, /*write=*/false); !st)
+    return st.error();
+  auto it = s.effects.named_writes.find(full);
+  if (it != s.effects.named_writes.end()) {
+    if (it->second) return *it->second;
+    return fail("no named entry '" + full + "'");
+  }
+  const Bytes* data = s.group->named_lookup(full);
+  if (data == nullptr) return fail("no named entry '" + full + "'");
+  return *data;
+}
+
 Status CallContext::write_named(const std::string& key, Bytes data) {
   detail::TxScratch& s = *scratch_;
   const std::string full = named_access_key(contract_, key);

@@ -175,6 +175,16 @@ class CallContext {
   Status write_named(const std::string& key, Bytes data);
   Status erase_named(const std::string& key);
 
+  /// Read-only view into ANOTHER contract's named state (conflict key
+  /// "<contract>/<key>", which a declared access set must list as a
+  /// read). The global named store is shared, so this works whether or
+  /// not the other contract is registered — a missing key simply reads as
+  /// absent. Writes stay namespace-confined by design: cross-contract
+  /// coupling is observation, never mutation.
+  bool has_named_of(const std::string& contract, const std::string& key) const;
+  Result<Bytes> read_named_of(const std::string& contract,
+                              const std::string& key) const;
+
   /// Emits an event visible to subscribers and the permanent log
   /// (dispatched at commit time, in canonical order).
   void emit_event(std::string name, std::string key, Bytes payload);

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "telemetry/int_header.hpp"
 #include "util/rng.hpp"
+#include "util/sprt.hpp"
 
 namespace debuglet::core {
 
@@ -14,14 +17,18 @@ namespace {
 
 constexpr std::uint64_t kTwinPayloadSalt = 0x7719A3ULL;
 constexpr std::uint64_t kTwinPacingSalt = 0x7719B4ULL;
-// A source port outside every fingerprinted range, shared by both twins so
-// the classifier sees it as the same flow origin.
-constexpr std::uint16_t kTwinSourcePort = 51217;
+constexpr std::uint64_t kTwinPortSalt = 0x7719C5ULL;
 
 // Maps a nonnegative separation score into [0, 1); 4.0 is the score at
 // which confidence crosses 0.5. Genuine fault hiding scores far higher.
 double score_to_confidence(double score) {
   return score <= 0.0 ? 0.0 : score / (score + 4.0);
+}
+
+// Maps an SPRT log-likelihood ratio into [0, 1): an LLR at Wald's H1
+// bound (log((1-beta)/alpha), ~4.55 at the defaults) maps to ~0.99.
+double llr_confidence(double llr) {
+  return llr <= 0.0 ? 0.0 : 1.0 - std::exp(-llr);
 }
 
 // Welch-style separation between two sample sets (positive = b slower).
@@ -40,31 +47,60 @@ double separation_score(const SampleSet& a, const SampleSet& b) {
 
 double mean_or_zero(const SampleSet& s) { return s.empty() ? 0.0 : s.mean(); }
 
+// An ephemeral source port outside every fingerprinted range, drawn from
+// the detector's own seeded RNG (fixed constants would collide across
+// detectors and hand the adversary a free invariant).
+std::uint16_t ephemeral_source_port(Rng& rng) {
+  return static_cast<std::uint16_t>(51000 + rng.next_below(10000));
+}
+
+/// Delivery record of one twin round at one collector.
+struct RoundOutcome {
+  bool probe = false;
+  bool data = false;
+  double probe_ms = 0.0;
+  double data_ms = 0.0;
+};
+
 // Receiving twin endpoint: tallies per-class one-way delay and, when the
 // payload still carries an intact INT stack, per-AS residence and drop
-// snapshots.
+// snapshots. With a round table attached it also records which twin of
+// each round arrived (the probe sequence rides in IP identification).
 class TwinCollector final : public simnet::Host {
  public:
   TwinCollector(std::uint16_t probe_port, std::uint16_t data_port,
-                TwinClassSummary& probe_like, TwinClassSummary& data_like)
+                TwinClassSummary& probe_like, TwinClassSummary& data_like,
+                std::vector<RoundOutcome>* rounds = nullptr)
       : probe_port_(probe_port),
         data_port_(data_port),
         probe_like_(probe_like),
-        data_like_(data_like) {}
+        data_like_(data_like),
+        rounds_(rounds) {}
 
   void on_packet(const simnet::Delivery& delivery) override {
     if (!delivery.packet.udp) return;
     const std::uint16_t port = delivery.packet.udp->destination_port;
-    TwinClassSummary* summary = nullptr;
-    if (port == probe_port_)
-      summary = &probe_like_;
-    else if (port == data_port_)
-      summary = &data_like_;
-    if (summary == nullptr) return;
-    summary->received += 1;
-    summary->one_way_ms.add(
-        duration::to_ms(delivery.received_at - delivery.sent_at));
-    record_residence(delivery, *summary);
+    const bool is_probe = port == probe_port_;
+    if (!is_probe && port != data_port_) return;
+    TwinClassSummary& summary = is_probe ? probe_like_ : data_like_;
+    summary.received += 1;
+    const double one_way_ms =
+        duration::to_ms(delivery.received_at - delivery.sent_at);
+    summary.one_way_ms.add(one_way_ms);
+    record_residence(delivery, summary);
+    if (rounds_ != nullptr) {
+      const std::uint16_t seq = delivery.packet.ip.identification;
+      if (seq < rounds_->size()) {
+        RoundOutcome& o = (*rounds_)[seq];
+        if (is_probe) {
+          o.probe = true;
+          o.probe_ms = one_way_ms;
+        } else {
+          o.data = true;
+          o.data_ms = one_way_ms;
+        }
+      }
+    }
   }
 
  private:
@@ -87,9 +123,95 @@ class TwinCollector final : public simnet::Host {
   std::uint16_t data_port_;
   TwinClassSummary& probe_like_;
   TwinClassSummary& data_like_;
+  std::vector<RoundOutcome>* rounds_;
 };
 
+/// Loss evidence that compounds with (or substitutes for) the residence
+/// evidence: where the missing twins most likely died and how sure.
+struct LossSignal {
+  bool significant = false;
+  topology::AsNumber loss_as = 0;
+  double confidence = 0.0;
+  std::string detail;  // appended to the matching suspect's detail
+};
+
+topology::AsNumber max_drop_as(const TwinClassSummary& data_like) {
+  topology::AsNumber loss_as = 0;
+  std::uint32_t max_drops = 0;
+  for (const auto& [asn, drops] : data_like.drops_seen) {
+    if (drops > max_drops) {
+      max_drops = drops;
+      loss_as = asn;
+    }
+  }
+  return loss_as;
+}
+
+// Residence-stack suspects: one per AS with samples in both arms; the
+// loss signal compounds into its AS (independent evidence).
+void build_residence_suspects(DiscriminationReport& report,
+                              const LossSignal& loss) {
+  char buf[192];
+  for (const auto& [asn, data_set] : report.data_like.residence_ms) {
+    auto it = report.probe_like.residence_ms.find(asn);
+    if (it == report.probe_like.residence_ms.end()) continue;
+    const SampleSet& probe_set = it->second;
+    DiscriminationEvidence ev;
+    ev.asn = asn;
+    ev.residence_delta_ms = mean_or_zero(data_set) - mean_or_zero(probe_set);
+    ev.score = separation_score(probe_set, data_set);
+    ev.confidence = score_to_confidence(ev.score);
+    std::snprintf(buf, sizeof(buf),
+                  "residence data %.3f ms vs probe %.3f ms, n=%zu/%zu",
+                  mean_or_zero(data_set), mean_or_zero(probe_set),
+                  data_set.count(), probe_set.count());
+    ev.detail = buf;
+    if (loss.significant && asn == loss.loss_as) {
+      ev.confidence = 1.0 - (1.0 - ev.confidence) * (1.0 - loss.confidence);
+      ev.detail += loss.detail;
+    }
+    report.suspects.push_back(std::move(ev));
+  }
+}
+
+void sort_suspects(DiscriminationReport& report) {
+  std::sort(report.suspects.begin(), report.suspects.end(),
+            [](const DiscriminationEvidence& a,
+               const DiscriminationEvidence& b) {
+              if (a.confidence != b.confidence)
+                return a.confidence > b.confidence;
+              return a.asn < b.asn;
+            });
+}
+
+void count_decision(const DiscriminationReport& report) {
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.counter("core.discrimination.runs").add();
+  reg.counter("core.discrimination.rounds").add(report.rounds_used);
+  reg.counter("core.discrimination.decisions", {{"outcome", report.decision}})
+      .add();
+}
+
 }  // namespace
+
+double two_proportion_loss_z(const TwinClassSummary& probe_like,
+                             const TwinClassSummary& data_like,
+                             std::uint64_t min_loss_events) {
+  // Small-sample gate: the normal approximation behind the z statistic is
+  // unstable on a handful of losses, so it only counts once the arms saw
+  // at least `min_loss_events` loss events combined.
+  const std::uint64_t events = (probe_like.sent - probe_like.received) +
+                               (data_like.sent - data_like.received);
+  if (events < min_loss_events) return 0.0;
+  const double np = static_cast<double>(probe_like.sent);
+  const double nd = static_cast<double>(data_like.sent);
+  if (np <= 0.0 || nd <= 0.0) return 0.0;
+  const double pp = probe_like.loss_rate();
+  const double pd = data_like.loss_rate();
+  const double pool = (np * pp + nd * pd) / (np + nd);
+  const double se = std::sqrt(pool * (1.0 - pool) * (1.0 / np + 1.0 / nd));
+  return se > 0.0 ? (pd - pp) / se : 0.0;
+}
 
 std::string DiscriminationReport::trace() const {
   char line[256];
@@ -104,6 +226,12 @@ std::string DiscriminationReport::trace() const {
                 static_cast<unsigned long long>(data_like.sent),
                 mean_or_zero(data_like.one_way_ms), delay_delta_ms,
                 loss_delta);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "rounds: %llu decision %s delay-llr %.2f loss-llr %.2f\n",
+                static_cast<unsigned long long>(rounds_used),
+                decision.empty() ? "none" : decision.c_str(), delay_llr,
+                loss_llr);
   out += line;
   for (const DiscriminationEvidence& ev : suspects) {
     if (ev.asn == 0)
@@ -152,12 +280,24 @@ DiscriminationDetector::DiscriminationDetector(
       options_(options) {}
 
 Result<DiscriminationReport> DiscriminationDetector::run() {
-  if (options_.rounds == 0) return fail("discrimination: rounds must be > 0");
   if (options_.interval <= 0)
     return fail("discrimination: interval must be positive");
   if (options_.probe_port == options_.data_port)
     return fail("discrimination: twin ports must differ");
+  if (options_.sequential) {
+    if (options_.max_rounds == 0 || options_.max_rounds > 1024)
+      return fail("discrimination: max_rounds must be in [1, 1024]");
+    if (options_.min_rounds > options_.max_rounds)
+      return fail("discrimination: min_rounds exceeds max_rounds");
+    return run_sequential();
+  }
+  if (options_.rounds == 0) return fail("discrimination: rounds must be > 0");
+  return run_fixed();
+}
 
+// --- Legacy fixed-round path: schedule every round up front, analyze the
+// --- pooled samples once. Kept for ablations and as the z-test baseline.
+Result<DiscriminationReport> DiscriminationDetector::run_fixed() {
   DiscriminationReport report;
   const net::Ipv4Address client = network_.allocate_host_address(client_as_);
   const net::Ipv4Address collector =
@@ -173,6 +313,8 @@ Result<DiscriminationReport> DiscriminationDetector::run() {
   // destination port is the only differing bit.
   Rng payload_rng = Rng(seed_).fork(kTwinPayloadSalt);
   Rng pacing_rng = Rng(seed_).fork(kTwinPacingSalt);
+  Rng port_rng = Rng(seed_).fork(kTwinPortSalt);
+  const std::uint16_t source_port = ephemeral_source_port(port_rng);
   const std::uint32_t domain = network_.domain_of(client);
   const SimTime start = network_.now();
   const std::uint64_t max_jitter =
@@ -192,7 +334,7 @@ Result<DiscriminationReport> DiscriminationDetector::run() {
     spec.protocol = net::Protocol::kUdp;
     spec.source = client;
     spec.destination = collector;
-    spec.source_port = kTwinSourcePort;
+    spec.source_port = source_port;
     spec.sequence = static_cast<std::uint16_t>(r);
     spec.payload = payload;
     spec.destination_port = options_.probe_port;
@@ -231,58 +373,26 @@ Result<DiscriminationReport> DiscriminationDetector::run() {
   network_.detach_host(collector);
 
   // --- Analysis: a pure function of the delivered samples. ---
+  report.rounds_used = options_.rounds;
+  report.decision = "fixed-rounds";
   report.delay_delta_ms = mean_or_zero(report.data_like.one_way_ms) -
                           mean_or_zero(report.probe_like.one_way_ms);
   report.loss_delta =
       report.data_like.loss_rate() - report.probe_like.loss_rate();
 
-  // Two-proportion z-score on the loss gap.
-  double loss_z = 0.0;
-  const double np = static_cast<double>(report.probe_like.sent);
-  const double nd = static_cast<double>(report.data_like.sent);
-  if (np > 0.0 && nd > 0.0) {
-    const double pp = report.probe_like.loss_rate();
-    const double pd = report.data_like.loss_rate();
-    const double pool = (np * pp + nd * pd) / (np + nd);
-    const double se = std::sqrt(pool * (1.0 - pool) * (1.0 / np + 1.0 / nd));
-    if (se > 0.0) loss_z = (pd - pp) / se;
+  const double loss_z = two_proportion_loss_z(
+      report.probe_like, report.data_like, options_.min_loss_events);
+  LossSignal loss;
+  loss.significant = loss_z >= 3.0 && report.loss_delta > 0.0;
+  loss.loss_as = max_drop_as(report.data_like);
+  if (loss.significant) {
+    loss.confidence = score_to_confidence(loss_z);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "; loss gap z=%.2f", loss_z);
+    loss.detail = buf;
   }
-  // Drop counters are per-AS self-tallies, so the AS whose counter the
-  // surviving data twins saw highest is where the missing ones died.
-  topology::AsNumber loss_as = 0;
-  std::uint32_t max_drops = 0;
-  for (const auto& [asn, drops] : report.data_like.drops_seen) {
-    if (drops > max_drops) {
-      max_drops = drops;
-      loss_as = asn;
-    }
-  }
-  const bool loss_significant = loss_z >= 3.0 && report.loss_delta > 0.0;
 
-  char buf[192];
-  for (const auto& [asn, data_set] : report.data_like.residence_ms) {
-    auto it = report.probe_like.residence_ms.find(asn);
-    if (it == report.probe_like.residence_ms.end()) continue;
-    const SampleSet& probe_set = it->second;
-    DiscriminationEvidence ev;
-    ev.asn = asn;
-    ev.residence_delta_ms = mean_or_zero(data_set) - mean_or_zero(probe_set);
-    ev.score = separation_score(probe_set, data_set);
-    ev.confidence = score_to_confidence(ev.score);
-    std::snprintf(buf, sizeof(buf),
-                  "residence data %.3f ms vs probe %.3f ms, n=%zu/%zu",
-                  mean_or_zero(data_set), mean_or_zero(probe_set),
-                  data_set.count(), probe_set.count());
-    ev.detail = buf;
-    if (loss_significant && asn == loss_as) {
-      // Independent loss evidence compounds with the residence evidence.
-      const double loss_conf = score_to_confidence(loss_z);
-      ev.confidence = 1.0 - (1.0 - ev.confidence) * (1.0 - loss_conf);
-      std::snprintf(buf, sizeof(buf), "; loss gap z=%.2f", loss_z);
-      ev.detail += buf;
-    }
-    report.suspects.push_back(std::move(ev));
-  }
+  build_residence_suspects(report, loss);
 
   if (report.suspects.empty() &&
       (!report.probe_like.one_way_ms.empty() ||
@@ -296,31 +406,316 @@ Result<DiscriminationReport> DiscriminationDetector::run() {
                                 report.data_like.one_way_ms);
     ev.confidence = score_to_confidence(ev.score);
     ev.detail = "one-way delay, no INT evidence";
-    if (loss_significant) {
-      const double loss_conf = score_to_confidence(loss_z);
-      ev.confidence = 1.0 - (1.0 - ev.confidence) * (1.0 - loss_conf);
-      std::snprintf(buf, sizeof(buf), "; loss gap z=%.2f", loss_z);
-      ev.detail += buf;
+    if (loss.significant) {
+      ev.confidence = 1.0 - (1.0 - ev.confidence) * (1.0 - loss.confidence);
+      ev.detail += loss.detail;
     }
     report.suspects.push_back(std::move(ev));
   }
 
-  std::sort(report.suspects.begin(), report.suspects.end(),
-            [](const DiscriminationEvidence& a,
-               const DiscriminationEvidence& b) {
-              if (a.confidence != b.confidence)
-                return a.confidence > b.confidence;
-              return a.asn < b.asn;
-            });
+  sort_suspects(report);
 
   if (!report.suspects.empty()) {
     const DiscriminationEvidence& top = report.suspects.front();
     const bool loss_case =
-        loss_significant && (top.asn == loss_as || top.asn == 0);
+        loss.significant && (top.asn == loss.loss_as || top.asn == 0);
     report.detected =
         top.confidence >= options_.confidence_threshold &&
         (top.residence_delta_ms >= options_.min_effect_ms || loss_case);
   }
+  count_decision(report);
+  return report;
+}
+
+// --- Sequential path: one round at a time, stop at the SPRT bounds. ---
+Result<DiscriminationReport> DiscriminationDetector::run_sequential() {
+  using Decision = Sprt::Decision;
+  DiscriminationReport report;
+  const net::Ipv4Address client = network_.allocate_host_address(client_as_);
+
+  // One collector per observation point. Without INT, every intermediate
+  // path AS gets its own twin stream (the prefix scan that localizes
+  // loss-only discrimination); the final collector is always last.
+  struct Target {
+    explicit Target(const Options& o)
+        : delay(o.delay_p0, o.delay_p1, o.alpha, o.beta),
+          loss(0.5, o.loss_p1, o.alpha, o.beta) {}
+    topology::AsNumber asn = 0;
+    bool is_final = false;
+    net::Ipv4Address addr;
+    TwinClassSummary local_probe;  // used by prefix targets only
+    TwinClassSummary local_data;
+    TwinClassSummary* probe_like = nullptr;
+    TwinClassSummary* data_like = nullptr;
+    std::vector<RoundOutcome> rounds;
+    std::unique_ptr<TwinCollector> sink;
+    Sprt delay;
+    Sprt loss;
+  };
+  std::vector<std::unique_ptr<Target>> targets;
+
+  auto add_target = [&](topology::AsNumber asn,
+                        bool is_final) -> Result<bool> {
+    auto t = std::make_unique<Target>(options_);
+    t->asn = asn;
+    t->is_final = is_final;
+    t->addr = network_.allocate_host_address(asn);
+    t->probe_like = is_final ? &report.probe_like : &t->local_probe;
+    t->data_like = is_final ? &report.data_like : &t->local_data;
+    t->rounds.resize(options_.max_rounds);
+    t->sink = std::make_unique<TwinCollector>(
+        options_.probe_port, options_.data_port, *t->probe_like,
+        *t->data_like, &t->rounds);
+    if (auto attached = network_.attach_host(t->addr, t->sink.get());
+        !attached)
+      return fail("discrimination: " + attached.error_message());
+    targets.push_back(std::move(t));
+    return true;
+  };
+  auto detach_all = [&]() {
+    for (const auto& t : targets) network_.detach_host(t->addr);
+  };
+
+  if (!network_.int_enabled()) {
+    if (auto path = network_.topology().shortest_path(client_as_, server_as_);
+        path.ok() && path->length() > 2) {
+      for (std::size_t i = 1; i + 1 < path->length(); ++i) {
+        if (auto added = add_target(path->hops[i].asn, false); !added) {
+          detach_all();
+          return fail(added.error_message());
+        }
+      }
+    }
+  }
+  if (auto added = add_target(server_as_, true); !added) {
+    detach_all();
+    return fail(added.error_message());
+  }
+  Target& fin = *targets.back();
+
+  // Randomized mode draws from mode-distinct streams: a randomized run
+  // must never replay the ports/payloads an earlier static run with the
+  // same seed already taught a learning middlebox (the first randomized
+  // round would otherwise collide with the promoted static signature).
+  const std::uint64_t mode_salt =
+      options_.randomize_twins ? 0x52414E44ULL << 24 : 0;
+  Rng payload_rng = Rng(seed_).fork(kTwinPayloadSalt ^ mode_salt);
+  Rng pacing_rng = Rng(seed_).fork(kTwinPacingSalt ^ mode_salt);
+  Rng port_rng = Rng(seed_).fork(kTwinPortSalt ^ mode_salt);
+  const std::uint32_t domain = network_.domain_of(client);
+  const SimTime start = network_.now();
+
+  std::uint16_t source_port = ephemeral_source_port(port_rng);
+  Bytes static_tail;
+  bool h1_seen = false;
+  std::uint64_t first_h1_round = 0;
+  std::uint64_t rounds_done = 0;
+  bool stopped_early = false;
+
+  for (std::uint64_t r = 0; r < options_.max_rounds; ++r) {
+    // Randomized twins defeat the learning middlebox: a fresh source
+    // port and payload tail every round keeps the signature novel, and
+    // pacing jitter drawn from an app-like (exponential) mimicry profile
+    // breaks the metronome. Static twins reuse everything — the learnable
+    // baseline the arms-race tests need.
+    if (options_.randomize_twins && r > 0)
+      source_port = ephemeral_source_port(port_rng);
+    Bytes payload;
+    if (network_.int_enabled())
+      payload =
+          telemetry::IntHeader::reserve(options_.int_max_hops).serialize();
+    const std::size_t base = payload.size();
+    if (options_.randomize_twins) {
+      payload.resize(base + options_.payload_tail_bytes);
+      for (std::size_t i = base; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(payload_rng.next_u64() & 0xFF);
+    } else {
+      if (static_tail.empty()) {
+        static_tail.resize(options_.payload_tail_bytes);
+        for (std::uint8_t& b : static_tail)
+          b = static_cast<std::uint8_t>(payload_rng.next_u64() & 0xFF);
+      }
+      payload.insert(payload.end(), static_tail.begin(), static_tail.end());
+    }
+
+    SimTime at = start + options_.interval * static_cast<SimDuration>(r + 1);
+    if (options_.randomize_twins) {
+      const double mean_ms =
+          duration::to_ms(options_.interval) / 6.0;
+      const SimDuration jitter = std::min<SimDuration>(
+          duration::from_ms(pacing_rng.exponential(mean_ms)),
+          options_.interval / 2);
+      at += jitter;
+    }
+    // Rounds run to completion before the next is scheduled, so never
+    // schedule into the past.
+    at = std::max<SimTime>(at, network_.now() + 1);
+
+    std::vector<std::pair<Bytes, std::uint64_t*>> sends;
+    const bool probe_first = (r % 2) == 0;
+    for (const auto& t : targets) {
+      net::ProbeSpec spec;
+      spec.protocol = net::Protocol::kUdp;
+      spec.source = client;
+      spec.destination = t->addr;
+      spec.source_port = source_port;
+      spec.sequence = static_cast<std::uint16_t>(r);
+      spec.payload = payload;
+      spec.destination_port = options_.probe_port;
+      auto probe_wire = net::build_probe(spec);
+      spec.destination_port = options_.data_port;
+      auto data_wire = net::build_probe(spec);
+      if (!probe_wire || !data_wire) {
+        detach_all();
+        return fail("discrimination: " +
+                    (probe_wire ? data_wire : probe_wire).error_message());
+      }
+      if (probe_first) {
+        sends.emplace_back(std::move(*probe_wire), &t->probe_like->sent);
+        sends.emplace_back(std::move(*data_wire), &t->data_like->sent);
+      } else {
+        sends.emplace_back(std::move(*data_wire), &t->data_like->sent);
+        sends.emplace_back(std::move(*probe_wire), &t->probe_like->sent);
+      }
+    }
+    network_.queue().schedule_on(
+        domain, at, [this, client, batch = std::move(sends)]() mutable {
+          for (auto& [wire, sent] : batch)
+            if (network_.send(client, std::move(wire))) *sent += 1;
+        });
+    network_.queue().run();
+    rounds_done = r + 1;
+
+    // Feed the per-target SPRTs: a delivered pair is a delay observation
+    // (did the data twin trail by at least min_effect?), a discordant
+    // pair is a loss observation (did the loss hit the data twin?).
+    for (const auto& t : targets) {
+      const RoundOutcome& o = t->rounds[r];
+      if (o.probe && o.data)
+        t->delay.observe(o.data_ms - o.probe_ms >= options_.min_effect_ms);
+      else if (o.probe != o.data)
+        t->loss.observe(!o.data);
+    }
+
+    if (rounds_done < options_.min_rounds) continue;
+    const bool delay_h1 = fin.delay.decision() == Decision::kAcceptH1;
+    const bool loss_h1 = fin.loss.decision() == Decision::kAcceptH1;
+    if (delay_h1 || loss_h1) {
+      if (!h1_seen) {
+        h1_seen = true;
+        first_h1_round = rounds_done;
+      }
+      // With INT the residence stacks localize; without it, wait (within
+      // the grace budget) for a prefix to confirm so the naming holds.
+      bool named = network_.int_enabled() || targets.size() == 1;
+      for (std::size_t i = 0; !named && i + 1 < targets.size(); ++i) {
+        const Target& t = *targets[i];
+        named = (delay_h1 && t.delay.decision() == Decision::kAcceptH1) ||
+                (loss_h1 && t.loss.decision() == Decision::kAcceptH1);
+      }
+      if (named || rounds_done - first_h1_round >= options_.grace_rounds) {
+        stopped_early = true;
+        break;
+      }
+    } else {
+      const bool delay_resolved =
+          fin.delay.decision() != Decision::kContinue;
+      const bool loss_quiet =
+          fin.loss.decision() == Decision::kAcceptH0 ||
+          fin.loss.observations() == 0;
+      if (delay_resolved && loss_quiet) {
+        stopped_early = true;
+        break;
+      }
+    }
+  }
+  detach_all();
+
+  // --- Analysis. ---
+  const bool delay_h1 = fin.delay.decision() == Decision::kAcceptH1;
+  const bool loss_h1 = fin.loss.decision() == Decision::kAcceptH1;
+  const bool h1 = delay_h1 || loss_h1;
+  report.rounds_used = rounds_done;
+  report.delay_llr = fin.delay.llr();
+  report.loss_llr = fin.loss.llr();
+  if (delay_h1 && loss_h1)
+    report.decision = "h1-both";
+  else if (delay_h1)
+    report.decision = "h1-delay";
+  else if (loss_h1)
+    report.decision = "h1-loss";
+  else
+    report.decision = stopped_early ? "h0" : "exhausted";
+  report.delay_delta_ms = mean_or_zero(report.data_like.one_way_ms) -
+                          mean_or_zero(report.probe_like.one_way_ms);
+  report.loss_delta =
+      report.data_like.loss_rate() - report.probe_like.loss_rate();
+
+  LossSignal loss;
+  loss.significant = loss_h1;
+  loss.loss_as = max_drop_as(report.data_like);
+  if (loss.significant) {
+    loss.confidence = llr_confidence(fin.loss.llr());
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "; loss sprt llr=%.2f", fin.loss.llr());
+    loss.detail = buf;
+  }
+
+  build_residence_suspects(report, loss);
+
+  // Prefix localization: the target nearest the client whose fired arm
+  // carries at least half the decision bound names the AS — everything
+  // before it tested clean, so the discrimination enters there.
+  if (report.suspects.empty() && h1 && targets.size() > 1) {
+    char buf[128];
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const Target& t = *targets[i];
+      const bool delay_hit =
+          delay_h1 && t.delay.llr() >= t.delay.upper_bound() / 2.0;
+      const bool loss_hit =
+          loss_h1 && t.loss.llr() >= t.loss.upper_bound() / 2.0;
+      if (!delay_hit && !loss_hit) continue;
+      DiscriminationEvidence ev;
+      ev.asn = t.asn;
+      ev.score = std::max(delay_hit ? t.delay.llr() : 0.0,
+                          loss_hit ? t.loss.llr() : 0.0);
+      ev.confidence = llr_confidence(ev.score);
+      const double here = mean_or_zero(t.data_like->one_way_ms) -
+                          mean_or_zero(t.probe_like->one_way_ms);
+      const double before =
+          i == 0 ? 0.0
+                 : mean_or_zero(targets[i - 1]->data_like->one_way_ms) -
+                       mean_or_zero(targets[i - 1]->probe_like->one_way_ms);
+      ev.residence_delta_ms = here - before;
+      std::snprintf(buf, sizeof(buf),
+                    "prefix sprt %s llr=%.2f over %llu rounds",
+                    delay_hit && loss_hit ? "delay+loss"
+                    : delay_hit          ? "delay"
+                                         : "loss",
+                    ev.score,
+                    static_cast<unsigned long long>(rounds_done));
+      ev.detail = buf;
+      report.suspects.push_back(std::move(ev));
+      break;  // the first (closest) crossing is the accusation
+    }
+  }
+
+  if (report.suspects.empty() &&
+      (!report.probe_like.one_way_ms.empty() ||
+       !report.data_like.one_way_ms.empty())) {
+    DiscriminationEvidence ev;
+    ev.asn = 0;
+    ev.residence_delta_ms = report.delay_delta_ms;
+    ev.score = std::max(fin.delay.llr(), fin.loss.llr());
+    ev.confidence = h1 ? llr_confidence(ev.score) : 0.0;
+    ev.detail = "one-way delay, no INT or prefix evidence";
+    report.suspects.push_back(std::move(ev));
+  }
+
+  sort_suspects(report);
+  report.detected =
+      h1 && report.top_confidence() >= options_.confidence_threshold;
+  count_decision(report);
   return report;
 }
 

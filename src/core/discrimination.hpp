@@ -12,14 +12,27 @@
 // treatment. Any systematic difference is discrimination by construction,
 // and per-hop INT residence (src/telemetry) names the AS that injected it.
 //
+// Against an ADAPTIVE adversary (a middlebox that learns recurring twin
+// signatures, simnet/middlebox.hpp) the detector randomizes: per-round
+// source ports, fresh entropy-matched payloads and mimicry-profile pacing
+// jitter keep every round's signature novel, so the learner never gets the
+// recurrence it needs to promote. And instead of a fixed 40-round z-test
+// the detector runs Wald SPRTs (util/sprt.hpp) per arm — a sign test on
+// per-round delay deltas and one on discordant loss pairs — stopping as
+// soon as the evidence crosses the configured alpha/beta error bounds.
+// When INT is off, twin pairs aimed at every intermediate path AS act as a
+// prefix scan: the nearest prefix whose SPRT accepts discrimination names
+// the AS, so loss-only evidence localizes at realistic round counts.
+//
 // Twins are measured ONE-WAY (send timestamp to delivery timestamp): both
 // twin endpoints are Debuglet-controlled, so shared time comes with the
 // deployment, and one-way delay sees forward-path discrimination without
 // the return path diluting it.
 //
-// Everything here is deterministic under the scenario seed: twin payloads
-// and pacing derive from the detector's own forked RNG, and the verdict —
-// confidences included — is a pure function of the delivered samples.
+// Everything here is deterministic under the scenario seed: twin payloads,
+// source ports and pacing derive from the detector's own forked RNG, and
+// the verdict — confidences included — is a pure function of the delivered
+// samples.
 #pragma once
 
 #include <cstdint>
@@ -54,17 +67,26 @@ struct TwinClassSummary {
 /// One accusation: this AS treats the twin classes differently.
 struct DiscriminationEvidence {
   /// The discriminating AS; 0 = discrimination visible end to end but not
-  /// localizable (no intact INT evidence).
+  /// localizable (no intact INT or prefix evidence).
   topology::AsNumber asn = 0;
-  /// [0, 1): a monotone map of the Welch-style separation score.
+  /// [0, 1): a monotone map of the separation score (Welch-style for
+  /// residence evidence, LLR-derived for sequential evidence).
   double confidence = 0.0;
   /// Mean data-like minus probe-like residence at this AS (ms); for
   /// asn = 0, the end-to-end one-way delta.
   double residence_delta_ms = 0.0;
-  /// The raw separation score the confidence derives from.
+  /// The raw separation score or LLR the confidence derives from.
   double score = 0.0;
   std::string detail;
 };
+
+/// Two-proportion loss z-score between the twin arms, gated on a minimum
+/// loss-event count per arm combined: with fewer than `min_loss_events`
+/// total losses the statistic is unstable and 0.0 is returned. Exposed as
+/// a pure function for the legacy fixed-round path and its tests.
+double two_proportion_loss_z(const TwinClassSummary& probe_like,
+                             const TwinClassSummary& data_like,
+                             std::uint64_t min_loss_events);
 
 /// Outcome of one twin-probe round set.
 struct DiscriminationReport {
@@ -77,6 +99,16 @@ struct DiscriminationReport {
   bool detected = false;
   /// Confidence-descending (ties break toward the lower AS number).
   std::vector<DiscriminationEvidence> suspects;
+  /// Rounds actually emitted (== the configured count on the legacy
+  /// fixed-round path; the SPRT stops early).
+  std::uint64_t rounds_used = 0;
+  /// How the run ended: "h1-delay", "h1-loss", "h1-both", "h0",
+  /// "exhausted" (sequential) or "fixed-rounds" (legacy).
+  std::string decision;
+  /// Final log-likelihood ratios of the two sequential arms (0 on the
+  /// legacy path).
+  double delay_llr = 0.0;
+  double loss_llr = 0.0;
 
   /// The accused AS (0 when nothing met the detection bar).
   topology::AsNumber named_as() const {
@@ -97,6 +129,7 @@ struct DiscriminationReport {
 class DiscriminationDetector {
  public:
   struct Options {
+    /// Legacy fixed-round count (sequential == false only).
     std::uint64_t rounds = 40;
     SimDuration interval = duration::milliseconds(50);
     /// The one bit the twins differ in: a destination port inside the
@@ -111,6 +144,37 @@ class DiscriminationDetector {
     /// `min_effect_ms` (or a significant loss gap).
     double confidence_threshold = 0.8;
     double min_effect_ms = 1.0;
+
+    /// Sequential (SPRT) testing: emit rounds one at a time and stop as
+    /// soon as either arm crosses its error bound. false = the legacy
+    /// fixed-round z-test.
+    bool sequential = true;
+    /// Randomized twin generation (per-round source ports, fresh payload
+    /// tails, mimicry pacing jitter) — the counter to a learning
+    /// middlebox. false = static twins: one source port, one payload,
+    /// metronome pacing (learnable on purpose, for arms-race tests).
+    bool randomize_twins = true;
+    /// Sequential round bounds: never decide before `min_rounds`, give up
+    /// at `max_rounds`.
+    std::uint64_t min_rounds = 8;
+    std::uint64_t max_rounds = 64;
+    /// Wald error bounds: false-accusation rate <= alpha, missed
+    /// detection <= beta.
+    double alpha = 0.01;
+    double beta = 0.05;
+    /// Bernoulli design points: P(round shows a >= min_effect delay gap)
+    /// under honest (p0) vs discriminating (p1) treatment, and
+    /// P(a discordant loss pair hits the data twin) under discrimination
+    /// (the honest null is 0.5 by symmetry).
+    double delay_p0 = 0.05;
+    double delay_p1 = 0.9;
+    double loss_p1 = 0.95;
+    /// Extra rounds granted after the first H1 so prefix evidence can
+    /// firm up before the run stops.
+    std::uint64_t grace_rounds = 8;
+    /// Legacy path: minimum combined loss events before the z statistic
+    /// counts (satellite fix — <5 losses per arm is unstable).
+    std::uint64_t min_loss_events = 5;
   };
 
   DiscriminationDetector(simnet::SimulatedNetwork& network,
@@ -124,6 +188,9 @@ class DiscriminationDetector {
   Result<DiscriminationReport> run();
 
  private:
+  Result<DiscriminationReport> run_fixed();
+  Result<DiscriminationReport> run_sequential();
+
   simnet::SimulatedNetwork& network_;
   topology::AsNumber client_as_;
   topology::AsNumber server_as_;

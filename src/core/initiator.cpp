@@ -536,4 +536,27 @@ Result<ResilientMeasurement> Initiator::measure_rtt_resilient(
               std::to_string(request.retry.max_attempts) + " attempts");
 }
 
+Result<marketplace::ReputationRecord> Initiator::report_discrimination(
+    topology::AsNumber asn, double confidence, std::uint64_t rounds_used,
+    const std::string& detail) {
+  marketplace::ReportArgs args;
+  args.asn = asn;
+  const double permille = confidence * 1000.0;
+  args.confidence_permille =
+      permille <= 0.0 ? 0
+                      : static_cast<std::uint32_t>(
+                            permille >= 1000.0 ? 1000.0 : permille);
+  args.rounds_used = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(rounds_used, 0xFFFFFFFFULL));
+  args.detail = detail;
+  chain::Blockchain& chain = system_.chain();
+  auto receipt = chain.submit(chain.make_transaction(
+      key_, marketplace::kReputationContractName, "Report", args.serialize(),
+      0, 1'000'000'000, marketplace::access_report(asn, address())));
+  if (!receipt) return receipt.error();
+  if (!receipt->success) return fail(receipt->error);
+  return marketplace::ReputationRecord::parse(
+      BytesView(receipt->return_value.data(), receipt->return_value.size()));
+}
+
 }  // namespace debuglet::core

@@ -255,6 +255,14 @@ class Initiator {
 
   chain::Mist total_spent() const { return total_spent_; }
 
+  /// Accountability (marketplace/reputation.hpp): files a discrimination
+  /// verdict on chain as a strike against the named AS. Idempotent per
+  /// (AS, initiator) — re-reporting the same verdict never inflates the
+  /// count. Returns the post-report record (strike total included).
+  Result<marketplace::ReputationRecord> report_discrimination(
+      topology::AsNumber asn, double confidence, std::uint64_t rounds_used,
+      const std::string& detail);
+
  private:
   struct FetchOutcome {
     std::optional<executor::CertifiedResult> result;

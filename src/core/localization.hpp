@@ -179,6 +179,17 @@ class FaultLocalizer {
     discrimination_probe_ = std::move(probe);
   }
 
+  /// Accountability context: maps an AS number to its on-chain reputation
+  /// strike count (typically a closure over the reputation contract's
+  /// inspection helper). When the discrimination probe names an AS that
+  /// already carries strikes, the report notes the prior record — fresh
+  /// evidence against a repeat offender reads differently from a first
+  /// accusation. Optional; absent means no note.
+  using ReputationLookup = std::function<std::uint32_t(topology::AsNumber)>;
+  void set_reputation_lookup(ReputationLookup lookup) {
+    reputation_lookup_ = std::move(lookup);
+  }
+
  private:
   Result<MeasurementOutcome> await(const MeasurementHandle& handle);
   bool is_faulty(std::size_t links_crossed, const RttSummary& s) const;
@@ -209,6 +220,7 @@ class FaultLocalizer {
   EvidenceCollector evidence_collector_;
   Resilience resilience_;
   DiscriminationProbe discrimination_probe_;
+  ReputationLookup reputation_lookup_;
 };
 
 }  // namespace debuglet::core

@@ -220,6 +220,13 @@ DebugletSystem::DebugletSystem(simnet::Scenario scenario, SystemConfig config,
   if (auto s = chain_.register_contract(std::move(contract)); !s)
     throw std::runtime_error(s.error_message());
 
+  // Accountability sidecar: the marketplace quote/purchase paths read its
+  // strike records cross-contract to price-penalize implicated ASes.
+  auto reputation = std::make_unique<marketplace::ReputationContract>();
+  reputation_ = reputation.get();
+  if (auto s = chain_.register_contract(std::move(reputation)); !s)
+    throw std::runtime_error(s.error_message());
+
   const auto& topo = scenario_.network->topology();
   for (topology::AsNumber asn : topo.as_numbers()) {
     auto key_pair = crypto::KeyPair::from_seed(seed ^ (0xA5ULL << 32) ^ asn);

@@ -15,6 +15,7 @@
 #include "chain/chain.hpp"
 #include "executor/executor.hpp"
 #include "marketplace/contract.hpp"
+#include "marketplace/reputation.hpp"
 #include "simnet/scenarios.hpp"
 
 namespace debuglet::core {
@@ -111,6 +112,7 @@ class DebugletSystem {
   simnet::SimulatedNetwork& network() { return *scenario_.network; }
   chain::Blockchain& chain() { return chain_; }
   marketplace::MarketplaceContract& marketplace() { return *marketplace_; }
+  marketplace::ReputationContract& reputation() { return *reputation_; }
   const SystemConfig& config() const { return config_; }
 
   /// The agent (and executor) at a border interface.
@@ -129,6 +131,7 @@ class DebugletSystem {
   SystemConfig config_;
   chain::Blockchain chain_;
   marketplace::MarketplaceContract* marketplace_ = nullptr;  // owned by chain_
+  marketplace::ReputationContract* reputation_ = nullptr;    // owned by chain_
   std::map<topology::AsNumber, crypto::KeyPair> operator_keys_;
   std::map<topology::InterfaceKey, std::unique_ptr<ExecutorAgent>> agents_;
 };

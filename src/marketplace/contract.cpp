@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "marketplace/reputation.hpp"
+
 namespace debuglet::marketplace {
 
 namespace {
@@ -92,6 +94,19 @@ std::vector<TimeSlot> read_slot_list(chain::CallContext& ctx,
   return slots ? std::move(*slots) : std::vector<TimeSlot>{};
 }
 
+/// On-chain strike count against `asn` (cross-contract read into the
+/// reputation namespace; 0 when never reported). An undeclared read
+/// latches an access violation and aborts the transaction — callers built
+/// their access set via access_lookup_slot / access_purchase_slot, which
+/// declare the two reputation keys.
+std::uint32_t strikes_of(chain::CallContext& ctx, topology::AsNumber asn) {
+  auto data =
+      ctx.read_named_of(kReputationContractName, reputation_as_key(asn));
+  if (!data) return 0;
+  auto record = ReputationRecord::parse(BytesView(data->data(), data->size()));
+  return record ? record->strikes : 0;
+}
+
 }  // namespace
 
 chain::AccessSet access_register_executor(topology::InterfaceKey key) {
@@ -114,6 +129,11 @@ chain::AccessSet access_lookup_slot(topology::InterfaceKey client_key,
       chain::named_access_key(kContractName, slots_key(client_key)));
   access.add_read(
       chain::named_access_key(kContractName, slots_key(server_key)));
+  // Quotes consult the reputation contract for strike penalties.
+  access.add_read(chain::named_access_key(kReputationContractName,
+                                          reputation_as_key(client_key.asn)));
+  access.add_read(chain::named_access_key(kReputationContractName,
+                                          reputation_as_key(server_key.asn)));
   return access;
 }
 
@@ -130,6 +150,11 @@ chain::AccessSet access_purchase_slot(topology::InterfaceKey client_key,
       chain::named_access_key(kContractName, slots_key(server_key)));
   access.add_write(
       chain::named_access_key(kContractName, apps_key(client_key, server_key)));
+  // Purchases re-derive the reputation penalty at commit time.
+  access.add_read(chain::named_access_key(kReputationContractName,
+                                          reputation_as_key(client_key.asn)));
+  access.add_read(chain::named_access_key(kReputationContractName,
+                                          reputation_as_key(server_key.asn)));
   return access;
 }
 
@@ -233,6 +258,8 @@ SlotQuote MarketplaceContract::quote(chain::CallContext& ctx,
   SlotQuote out;
   const std::vector<TimeSlot> client_slots = read_slot_list(ctx, q.client_key);
   const std::vector<TimeSlot> server_slots = read_slot_list(ctx, q.server_key);
+  out.client_strikes = strikes_of(ctx, q.client_key.asn);
+  out.server_strikes = strikes_of(ctx, q.server_key.asn);
   // Earliest pair of slots with a nonempty common window and sufficient
   // resources on both sides.
   for (const TimeSlot& cs : client_slots) {
@@ -252,7 +279,13 @@ SlotQuote MarketplaceContract::quote(chain::CallContext& ctx,
         out.server_slot = ss;
         out.window_start = start;
         out.window_end = end;
-        out.total_price = cs.price + ss.price;
+        out.list_price = cs.price + ss.price;
+        // Reputation penalty: each implicated side sells at a discount
+        // (10% per strike, capped at 50%) — the accountability teeth of
+        // the discrimination detector's on-chain reports.
+        out.total_price =
+            apply_reputation_penalty(cs.price, out.client_strikes) +
+            apply_reputation_penalty(ss.price, out.server_strikes);
       }
     }
   }
@@ -301,9 +334,14 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
                 parsed->server_key.to_string());
 
   // The paper: "first verifies that the embedded tokens suffice for the
-  // specified execution slots".
-  const chain::Mist price =
-      parsed->client_slot.price + parsed->server_slot.price;
+  // specified execution slots". Reputation penalties are re-derived at
+  // commit time from the same committed strike records the quote read, so
+  // quote and purchase always agree within a batch.
+  const chain::Mist client_price = apply_reputation_penalty(
+      parsed->client_slot.price, strikes_of(ctx, parsed->client_key.asn));
+  const chain::Mist server_price = apply_reputation_penalty(
+      parsed->server_slot.price, strikes_of(ctx, parsed->server_key.asn));
+  const chain::Mist price = client_price + server_price;
   if (ctx.attached_tokens() < price)
     return fail("attached tokens " + std::to_string(ctx.attached_tokens()) +
                 " below slot price " + std::to_string(price));
@@ -342,10 +380,10 @@ Result<Bytes> MarketplaceContract::purchase_slot(chain::CallContext& ctx,
   };
 
   auto client_id = make_app(parsed->client_key, *client_address, 0,
-                            parsed->client_app, parsed->client_slot.price);
+                            parsed->client_app, client_price);
   if (!client_id) return client_id.error();
   auto server_id = make_app(parsed->server_key, *server_address, 1,
-                            parsed->server_app, parsed->server_slot.price);
+                            parsed->server_app, server_price);
   if (!server_id) return server_id.error();
 
   // Refund any excess attached tokens to the initiator.

@@ -142,6 +142,9 @@ Bytes SlotQuote::serialize() const {
   w.i64(window_start);
   w.i64(window_end);
   w.u64(total_price);
+  w.u64(list_price);
+  w.u32(client_strikes);
+  w.u32(server_strikes);
   return w.take();
 }
 
@@ -161,6 +164,12 @@ Result<SlotQuote> SlotQuote::parse(BytesView data) {
   out.window_end = *we;
   DBG_TRY(price, r.u64());
   out.total_price = *price;
+  DBG_TRY(list, r.u64());
+  out.list_price = *list;
+  DBG_TRY(cstrikes, r.u32());
+  out.client_strikes = *cstrikes;
+  DBG_TRY(sstrikes, r.u32());
+  out.server_strikes = *sstrikes;
   if (!r.exhausted()) return fail("SlotQuote: trailing bytes");
   return out;
 }

@@ -67,14 +67,21 @@ struct LookupSlotArgs {
 };
 
 /// LookupSlot return: the first time window both executors can host, and
-/// the price to pay.
+/// the price to pay. When the reputation contract carries strikes against
+/// an executor's AS (confirmed discrimination reports), that side's slot
+/// price is penalized — `total_price` is what the buyer actually pays,
+/// `list_price` what the executors asked for.
 struct SlotQuote {
   bool found = false;
   TimeSlot client_slot;
   TimeSlot server_slot;
   SimTime window_start = 0;  // max of the two slot starts
   SimTime window_end = 0;    // min of the two slot ends
-  chain::Mist total_price = 0;
+  chain::Mist total_price = 0;  // after reputation penalties
+  chain::Mist list_price = 0;   // sum of the raw slot prices
+  /// On-chain strike counts of the two executors' ASes at quote time.
+  std::uint32_t client_strikes = 0;
+  std::uint32_t server_strikes = 0;
   Bytes serialize() const;
   static Result<SlotQuote> parse(BytesView data);
 };

@@ -32,7 +32,135 @@ bool is_interactive_port(std::uint16_t port) {
   }
 }
 
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  return fnv1a(h, bytes, sizeof bytes);
+}
+
+void packet_ports(const net::Packet& packet, std::uint16_t& sport,
+                  std::uint16_t& dport) {
+  sport = dport = 0;
+  if (packet.udp) {
+    sport = packet.udp->source_port;
+    dport = packet.udp->destination_port;
+  } else if (packet.tcp) {
+    sport = packet.tcp->source_port;
+    dport = packet.tcp->destination_port;
+  }
+}
+
+// The application bytes the heuristics and the learner inspect: the
+// payload after any leading INT block.
+BytesView app_bytes(const net::Packet& packet) {
+  const BytesView payload(packet.payload.data(), packet.payload.size());
+  const std::size_t skip = telemetry::IntHeader::prefix_size(payload);
+  return BytesView(payload.data() + skip, payload.size() - skip);
+}
+
+// log2-of-milliseconds pacing bucket (0 = sub-millisecond burst).
+std::uint8_t pacing_bucket(SimDuration gap) {
+  std::int64_t ms = gap / 1'000'000;
+  std::uint8_t bucket = 0;
+  while (ms > 1 && bucket < 63) {
+    ms >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+// Idle sweep + stalest-first capacity eviction of the flow table. Runs on
+// insertions only, so the amortized cost stays proportional to new-flow
+// arrival, not per-packet.
+std::uint32_t evict_flows(MiddleboxRuntime& runtime, const AdaptiveConfig& ad,
+                          SimTime now) {
+  std::uint32_t evicted = 0;
+  for (auto it = runtime.flows.begin(); it != runtime.flows.end();) {
+    if (now - it->second.last_seen > ad.flow_idle_timeout) {
+      it = runtime.flows.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  while (runtime.flows.size() >= std::max<std::size_t>(ad.max_flows, 1)) {
+    auto stalest = runtime.flows.begin();
+    for (auto it = runtime.flows.begin(); it != runtime.flows.end(); ++it)
+      if (it->second.last_seen < stalest->second.last_seen) stalest = it;
+    runtime.flows.erase(stalest);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void evict_signatures(MiddleboxRuntime& runtime, const AdaptiveConfig& ad,
+                      SimTime now) {
+  // Pacing anchors age out with the signatures they anchor.
+  for (auto it = runtime.last_measurement_at.begin();
+       it != runtime.last_measurement_at.end();) {
+    if (now - it->second > ad.signature_ttl)
+      it = runtime.last_measurement_at.erase(it);
+    else
+      ++it;
+  }
+  for (auto it = runtime.signatures.begin();
+       it != runtime.signatures.end();) {
+    if (now - it->second.last_seen > ad.signature_ttl)
+      it = runtime.signatures.erase(it);
+    else
+      ++it;
+  }
+  while (runtime.signatures.size() >=
+         std::max<std::size_t>(ad.max_signatures, 1)) {
+    auto stalest = runtime.signatures.begin();
+    for (auto it = runtime.signatures.begin(); it != runtime.signatures.end();
+         ++it)
+      if (it->second.last_seen < stalest->second.last_seen) stalest = it;
+    runtime.signatures.erase(stalest);
+  }
+}
+
 }  // namespace
+
+std::uint64_t adaptive_signature_of(const net::Packet& packet) {
+  std::uint16_t sport = 0, dport = 0;
+  packet_ports(packet, sport, dport);
+  const BytesView app = app_bytes(packet);
+  // Prefix hash over the first 16 application bytes: enough to pin a
+  // static payload, cheap enough for the hop path.
+  const std::size_t prefix = std::min<std::size_t>(app.size(), 16);
+  std::uint64_t h = fnv1a(kFnvOffset, app.data(), prefix);
+  const std::uint32_t prefix_hash = static_cast<std::uint32_t>(h ^ (h >> 32));
+  const std::uint64_t src_bucket = sport >> 4;       // 16-port buckets
+  const std::uint64_t size_bucket = app.size() >> 4;  // 16-byte buckets
+  return (src_bucket << 48) ^ (static_cast<std::uint64_t>(prefix_hash) << 8) ^
+         (size_bucket & 0xFF) ^
+         (static_cast<std::uint64_t>(packet.protocol) << 40);
+}
+
+std::uint64_t middlebox_flow_key(const net::Packet& packet) {
+  std::uint16_t sport = 0, dport = 0;
+  packet_ports(packet, sport, dport);
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u32(h, packet.ip.source.value);
+  h = fnv1a_u32(h, packet.ip.destination.value);
+  h = fnv1a_u32(h, (static_cast<std::uint32_t>(sport) << 16) | dport);
+  h = fnv1a_u32(h, static_cast<std::uint32_t>(packet.protocol));
+  return h;
+}
 
 const char* traffic_class_name(TrafficClass c) {
   switch (c) {
@@ -111,7 +239,14 @@ MiddleboxPlan& MiddleboxPlan::window(FaultWindow w) {
   return *this;
 }
 
+MiddleboxPlan& MiddleboxPlan::adaptive(const AdaptiveConfig& cfg) {
+  adaptive_ = cfg;
+  return *this;
+}
+
 bool MiddleboxPlan::empty() const {
+  if (adaptive_.enabled) return false;  // the learner observes even when
+                                        // no policy punishes
   for (const ClassPolicy& p : policies_)
     if (!p.empty()) return false;
   return true;
@@ -134,6 +269,85 @@ MiddleboxVerdict apply_middlebox(const MiddleboxPlan& plan,
   if (!plan.active_window().active_at(now)) return v;
   v.inspected = true;
   v.cls = classify_packet(packet);
+
+  // Adaptive mode: stateful flows + the signature learner may override
+  // the static class. Pure counting over lane-owned state — no RNG draws.
+  const AdaptiveConfig& ad = plan.adaptive_config();
+  if (ad.enabled) {
+    const std::uint64_t fkey = middlebox_flow_key(packet);
+    auto flow_it = runtime.flows.find(fkey);
+    if (flow_it != runtime.flows.end() &&
+        now - flow_it->second.last_seen > ad.flow_idle_timeout) {
+      // Stale hit: the old flow ended; this packet starts a new one.
+      runtime.flows.erase(flow_it);
+      flow_it = runtime.flows.end();
+      v.flows_evicted += 1;
+      stats.flows_evicted += 1;
+    }
+    if (flow_it == runtime.flows.end()) {
+      const std::uint32_t swept = evict_flows(runtime, ad, now);
+      v.flows_evicted += swept;
+      stats.flows_evicted += swept;
+      FlowState fresh;
+      fresh.cls = v.cls;
+      fresh.first_seen = now;
+      flow_it = runtime.flows.emplace(fkey, fresh).first;
+      stats.flows_tracked += 1;
+    } else {
+      // Per-flow verdict: the class pinned at the first packet wins.
+      v.cls = flow_it->second.cls;
+    }
+    FlowState& flow = flow_it->second;
+
+    // A promoted signature reclassifies the packet — and re-pins its
+    // flow — as measurement, whatever its ports say.
+    const std::uint64_t sig = adaptive_signature_of(packet);
+    auto sig_it = runtime.signatures.find(sig);
+    if (sig_it != runtime.signatures.end() &&
+        now - sig_it->second.last_seen > ad.signature_ttl) {
+      runtime.signatures.erase(sig_it);
+      sig_it = runtime.signatures.end();
+    }
+    if (sig_it != runtime.signatures.end() && sig_it->second.promoted &&
+        v.cls != TrafficClass::kMeasurement) {
+      v.cls = TrafficClass::kMeasurement;
+      v.adaptive_matched = true;
+      flow.cls = TrafficClass::kMeasurement;
+      stats.adaptive_matched += 1;
+    }
+
+    // Learn from everything that ended up classified as measurement.
+    if (v.cls == TrafficClass::kMeasurement) {
+      if (sig_it == runtime.signatures.end()) {
+        evict_signatures(runtime, ad, now);
+        sig_it = runtime.signatures.emplace(sig, SignatureState{}).first;
+      }
+      SignatureState& st = sig_it->second;
+      st.sightings += 1;
+      st.last_seen = now;
+      const auto anchor = runtime.last_measurement_at.find(
+          packet.ip.source.value);
+      const std::uint8_t bucket =
+          anchor == runtime.last_measurement_at.end()
+              ? std::uint8_t{0}
+              : pacing_bucket(now - anchor->second);
+      st.pacing_min = std::min(st.pacing_min, bucket);
+      st.pacing_max = std::max(st.pacing_max, bucket);
+      stats.signatures_learned += 1;
+      if (!st.promoted && st.sightings >= ad.promote_after) {
+        st.promoted = true;
+        v.promoted_signature = true;
+        stats.signatures_promoted += 1;
+      }
+      runtime.last_measurement_at[packet.ip.source.value] = now;
+    }
+
+    flow.last_seen = now;
+    flow.packets += 1;
+    flow.payload_bytes += packet.payload.size();
+    if (packet.tcp) flow.tcp_stream_bytes += packet.payload.size();
+  }
+
   const std::size_t ci = static_cast<std::size_t>(v.cls);
   stats.classified[ci] += 1;
 

@@ -20,15 +20,31 @@
 // attack. The counter-measurement lives in core/discrimination.hpp: twin
 // probes that differ only in what the classifier thinks they are.
 //
+// The ADAPTIVE mode turns the static classifier into a learner (the arms
+// race): the middlebox keeps an online frequency table over the signature
+// features of traffic it classified as measurement — (src-port bucket,
+// payload-prefix hash, size bucket), with pacing tracked per entry — and
+// once a signature recurs past the learning horizon it is PROMOTED into
+// the DPI verdict: any packet matching a promoted signature is treated as
+// measurement traffic, whatever its ports say. Against a fault-hiding
+// plan this means the adversary learns a repeated twin campaign and gives
+// BOTH twins the clean ride, erasing the differential the detector keys
+// on. Stateful flow tracking (per-5-tuple table with idle eviction and
+// TCP stream byte counting) pins a flow's class at its first packet so
+// verdicts are per-flow rather than per-packet.
+//
 // Determinism contract: classification is a pure function of the packet;
 // every stochastic policy choice draws from the owning domain's middlebox
 // RNG stream (forked from the scenario seed), in that lane's event order —
 // equal-seed runs discriminate identically at any shard count, and an AS
-// without a middlebox draws nothing.
+// without a middlebox draws nothing. Learning and flow tracking are pure
+// counting (zero RNG draws) over lane-owned state, so the adaptive mode is
+// shard-invariant too and inert plans stay bit-identical to before.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -84,6 +100,12 @@ struct MiddleboxStats {
   std::uint64_t mangled = 0;        // copies with payload damage recorded
   std::uint64_t throttled = 0;      // drops from the per-second budget
   std::uint64_t exempted = 0;       // fault hiding: recognized, passed clean
+  // Adaptive-mode ground truth (all zero when the mode is off).
+  std::uint64_t signatures_learned = 0;   // sightings recorded by the learner
+  std::uint64_t signatures_promoted = 0;  // promotions into the DPI verdict
+  std::uint64_t adaptive_matched = 0;     // packets reclassified by a match
+  std::uint64_t flows_tracked = 0;        // flow-table insertions
+  std::uint64_t flows_evicted = 0;        // idle/capacity flow evictions
 
   std::uint64_t inspected() const {
     std::uint64_t n = 0;
@@ -93,6 +115,25 @@ struct MiddleboxStats {
   std::uint64_t actions() const {
     return dropped + deprioritized + mangled + throttled;
   }
+};
+
+/// Knobs of the learning (adaptive) DPI mode. Disabled by default: a plan
+/// without `enabled` behaves exactly as the static model, draws nothing
+/// extra, and keeps no state.
+struct AdaptiveConfig {
+  bool enabled = false;
+  /// The learning horizon: sightings of one signature before it is
+  /// promoted into the DPI verdict.
+  std::uint32_t promote_after = 8;
+  /// Signatures idle longer than this are forgotten (promoted or not).
+  SimDuration signature_ttl = duration::seconds(30);
+  /// Capacity bound of the signature table; the stalest entry is evicted
+  /// deterministically when full.
+  std::size_t max_signatures = 256;
+  /// Flows idle longer than this are evicted from the flow table.
+  SimDuration flow_idle_timeout = duration::seconds(10);
+  /// Capacity bound of the flow table (stalest-first eviction).
+  std::size_t max_flows = 1024;
 };
 
 /// The DPI schedule of one AS. Composable with HostFaultPlan and
@@ -115,7 +156,12 @@ class MiddleboxPlan {
   /// Scopes the whole plan to a [start, end) window (default: always).
   MiddleboxPlan& window(FaultWindow w);
 
+  /// Turns on the learning mode (signature promotion + stateful flows).
+  MiddleboxPlan& adaptive(const AdaptiveConfig& cfg);
+
   bool empty() const;
+  const AdaptiveConfig& adaptive_config() const { return adaptive_; }
+  bool adaptive_enabled() const { return adaptive_.enabled; }
   /// True when the plan treats recognized traffic differently — i.e. it
   /// is hiding something.
   bool hiding() const {
@@ -132,14 +178,55 @@ class MiddleboxPlan {
   std::vector<net::Ipv4Address> recognized_;
   bool recognize_signatures_ = false;
   FaultWindow window_ = kAlways;
+  AdaptiveConfig adaptive_;
 };
 
-/// Per-domain throttle bookkeeping (per-second windows, per class). Owned
-/// by the domain's DomainState, touched only by its lane.
+/// One learned signature: how often it was sighted as measurement traffic
+/// and when, plus the pacing buckets observed (telemetry, not part of the
+/// matching key — twins of one pair inherently pace differently).
+struct SignatureState {
+  std::uint32_t sightings = 0;
+  bool promoted = false;
+  SimTime last_seen = 0;
+  std::uint8_t pacing_min = 0xFF;  // log2-ms buckets observed
+  std::uint8_t pacing_max = 0;
+};
+
+/// One tracked flow (stateful DPI): class pinned at the first packet,
+/// per-direction-agnostic byte tally, TCP stream bytes counted separately.
+struct FlowState {
+  TrafficClass cls = TrafficClass::kOther;
+  SimTime first_seen = 0;
+  SimTime last_seen = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t tcp_stream_bytes = 0;  // TCP payload bytes only
+};
+
+/// Per-domain middlebox bookkeeping: throttle windows, and — in adaptive
+/// mode — the signature frequency table, the flow table, and per-source
+/// pacing anchors. Owned by the domain's DomainState, touched only by its
+/// lane; ordered maps keep every sweep and eviction deterministic.
 struct MiddleboxRuntime {
   std::int64_t window_second = -1;
   std::array<std::uint32_t, kTrafficClassCount> sent_in_window{};
+  /// Signature key -> learning state (adaptive mode only).
+  std::map<std::uint64_t, SignatureState> signatures;
+  /// 5-tuple hash -> flow state (adaptive mode only).
+  std::map<std::uint64_t, FlowState> flows;
+  /// Source address -> last time a measurement-class packet from it was
+  /// seen (the pacing-gap anchor).
+  std::map<std::uint32_t, SimTime> last_measurement_at;
 };
+
+/// The signature key of one packet under the adaptive feature model:
+/// (src-port bucket, payload-prefix FNV hash after the INT skip, size
+/// bucket) packed into one word. Pure function of the packet.
+std::uint64_t adaptive_signature_of(const net::Packet& packet);
+
+/// The 5-tuple flow key used by the stateful flow table (FNV-1a over
+/// protocol, addresses and ports; direction-sensitive).
+std::uint64_t middlebox_flow_key(const net::Packet& packet);
 
 /// The decision the middlebox took for one packet copy.
 struct MiddleboxVerdict {
@@ -151,6 +238,11 @@ struct MiddleboxVerdict {
   double extra_delay_ms = 0.0;
   bool mangled = false;
   WireDamage damage;  // recorded payload damage when mangled
+  // Adaptive mode: the class came from a promoted signature or a pinned
+  // flow rather than the static heuristics.
+  bool adaptive_matched = false;
+  bool promoted_signature = false;  // this packet crossed the horizon
+  std::uint32_t flows_evicted = 0;  // evictions performed on this call
 };
 
 /// Runs one packet copy through the plan. Draws (in fixed order) from

@@ -423,6 +423,12 @@ Status SimulatedNetwork::install_middlebox(topology::AsNumber asn,
       &reg.counter("simnet.middlebox.throttled", {{"asn", asn_label}});
   entry.exempted =
       &reg.counter("simnet.middlebox.exempted", {{"asn", asn_label}});
+  entry.adaptive_matched = &reg.counter("simnet.middlebox.adaptive_matched",
+                                        {{"asn", asn_label}});
+  entry.adaptive_promoted = &reg.counter("simnet.middlebox.adaptive_promoted",
+                                         {{"asn", asn_label}});
+  entry.flows_evicted =
+      &reg.counter("simnet.middlebox.flows_evicted", {{"asn", asn_label}});
   middleboxes_.insert(asn, std::move(entry));
   any_middlebox_ = true;
   return ok_status();
@@ -824,6 +830,10 @@ void SimulatedNetwork::process_hop(FlightCopy* fc) {
         if (verdict.inspected) {
           mb->classified[static_cast<std::size_t>(verdict.cls)]->add();
           if (verdict.exempted) mb->exempted->add();
+          if (verdict.adaptive_matched) mb->adaptive_matched->add();
+          if (verdict.promoted_signature) mb->adaptive_promoted->add();
+          if (verdict.flows_evicted > 0)
+            mb->flows_evicted->add(verdict.flows_evicted);
           if (verdict.dropped) {
             (verdict.throttled ? mb->throttled : mb->dropped)->add();
             count_drop(f->protocol);

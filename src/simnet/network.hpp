@@ -330,6 +330,10 @@ class SimulatedNetwork {
     obs::Counter* mangled = nullptr;
     obs::Counter* throttled = nullptr;
     obs::Counter* exempted = nullptr;
+    // Adaptive (learning) mode only.
+    obs::Counter* adaptive_matched = nullptr;
+    obs::Counter* adaptive_promoted = nullptr;
+    obs::Counter* flows_evicted = nullptr;
   };
   util::FlatHash<std::uint64_t, MiddleboxEntry, util::U64Hash, ~0ULL>
       middleboxes_;

@@ -16,6 +16,7 @@
 // overlapping slots — exactly one winner per slot).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <memory>
 #include <set>
@@ -24,6 +25,7 @@
 
 #include "chain/chain.hpp"
 #include "marketplace/contract.hpp"
+#include "marketplace/reputation.hpp"
 #include "util/rng.hpp"
 
 namespace debuglet::chain {
@@ -215,6 +217,7 @@ struct Workload {
   // once (signing is deterministic) and replayed verbatim on every chain.
   std::vector<std::vector<Transaction>> batches;
   bool with_marketplace = false;
+  bool with_reputation = false;
 };
 
 struct RunResult {
@@ -226,6 +229,10 @@ RunResult run_workload(const Workload& w, unsigned workers) {
   Blockchain chain;
   if (w.with_marketplace) {
     auto contract = std::make_unique<marketplace::MarketplaceContract>();
+    EXPECT_TRUE(chain.register_contract(std::move(contract)).ok());
+  }
+  if (w.with_reputation) {
+    auto contract = std::make_unique<marketplace::ReputationContract>();
     EXPECT_TRUE(chain.register_contract(std::move(contract)).ok());
   }
   EXPECT_TRUE(chain.register_contract(std::make_unique<KvContract>()).ok());
@@ -877,6 +884,177 @@ TEST(ChainParallelDifferential, MixedMarketplaceTrafficBitIdentical) {
   }
   EXPECT_GT(ok, 0);
   EXPECT_GT(sold_out, 0);  // the contested pair genuinely sells out
+}
+
+// --- Reputation accountability ----------------------------------------------
+
+Transaction report_tx(const Actor& reporter, std::uint64_t nonce,
+                      topology::AsNumber asn, std::uint32_t confidence) {
+  marketplace::ReportArgs args;
+  args.asn = asn;
+  args.confidence_permille = confidence;
+  args.rounds_used = 12;
+  args.detail = "twin-probe evidence";
+  return builder().make_transaction_with_nonce(
+      reporter.key, nonce, marketplace::kReputationContractName, "Report",
+      args.serialize(), 0, kDefaultBudget,
+      marketplace::access_report(asn, reporter.address));
+}
+
+// Strike reports mix contention (everyone accuses one AS — serialized on
+// its record key), disjoint accusations (parallelize) and duplicates
+// (deduped per reporter, in-batch and across batches). The strike counts,
+// dedup decisions and event order must be bit-identical at any worker
+// count.
+TEST(ChainParallelDifferential, ReputationReportsBitIdentical) {
+  Workload w;
+  w.with_reputation = true;
+  const int kReporters = 6;
+  for (int i = 0; i < kReporters; ++i)
+    w.actors.emplace_back("rep" + std::to_string(i), 8600 + i,
+                          1'000'000'000'000ULL);
+
+  // Batch 1: every reporter accuses AS 30 (contested) and its own AS 40+i
+  // (disjoint); reporter 0 files AS 30 twice — the repeat must dedup.
+  std::vector<Transaction> first;
+  for (int i = 0; i < kReporters; ++i) {
+    const auto& reporter = w.actors[static_cast<std::size_t>(i)];
+    first.push_back(report_tx(reporter, 0, 30,
+                              800 + static_cast<std::uint32_t>(i)));
+    first.push_back(report_tx(reporter, 1,
+                              static_cast<topology::AsNumber>(40 + i), 900));
+  }
+  first.push_back(report_tx(w.actors[0], 2, 30, 990));
+  w.batches.push_back(std::move(first));
+
+  // Batch 2: everyone re-reports AS 30 (all dedup — strikes must not
+  // move) and reporter 1 re-reports its own AS.
+  std::vector<Transaction> second;
+  for (int i = 0; i < kReporters; ++i)
+    second.push_back(report_tx(w.actors[static_cast<std::size_t>(i)],
+                               i == 0 ? 3 : 2, 30, 500));
+  second.push_back(report_tx(w.actors[1], 3, 41, 400));
+  w.batches.push_back(std::move(second));
+
+  auto run = differential(w);
+  for (const auto& batch : run.results)
+    for (const auto& r : batch) {
+      ASSERT_TRUE(r.ok()) << r.error_message();
+      EXPECT_TRUE(r->success) << r->error;
+    }
+
+  // Every batch-2 report against AS 30 is a duplicate: each returns the
+  // record frozen at 6 distinct strikes, with the audit trail still
+  // counting and the best confidence retained.
+  auto record = marketplace::ReputationRecord::parse(BytesView(
+      run.results[1][0]->return_value.data(),
+      run.results[1][0]->return_value.size()));
+  ASSERT_TRUE(record.ok()) << record.error_message();
+  EXPECT_EQ(record->strikes, 6u);
+  EXPECT_GE(record->reports, 8u);
+  EXPECT_EQ(record->max_confidence_permille, 990u);
+
+  // The disjoint AS: one strike from its single reporter, dedup held.
+  auto own = marketplace::ReputationRecord::parse(BytesView(
+      run.results[1].back()->return_value.data(),
+      run.results[1].back()->return_value.size()));
+  ASSERT_TRUE(own.ok()) << own.error_message();
+  EXPECT_EQ(own->strikes, 1u);
+  EXPECT_EQ(own->reports, 2u);
+}
+
+// The accountability loop closed on chain: strikes against an executor's
+// AS discount its quoted and charged price. The quote reads the strike
+// records cross-contract, an underpayer at the penalized price minus one
+// fails, and the exact penalized payment wins the slot — bit-identical at
+// every worker count.
+TEST(ChainParallelAcceptance, ReputationPenalizedPurchaseBitIdentical) {
+  Workload w;
+  w.with_marketplace = true;
+  w.with_reputation = true;
+  w.actors.emplace_back("execC", 8700, 1'000'000'000'000ULL);
+  w.actors.emplace_back("execS", 8701, 1'000'000'000'000ULL);
+  for (int i = 0; i < 3; ++i)
+    w.actors.emplace_back("acc" + std::to_string(i), 8710 + i,
+                          1'000'000'000'000ULL);
+  w.actors.emplace_back("cheap", 8720, 100'000'000'000ULL);
+  w.actors.emplace_back("buyer", 8721, 100'000'000'000ULL);
+  const Actor& cheap = w.actors[w.actors.size() - 2];
+  const Actor& buyer = w.actors.back();
+  const InterfaceKey client_key{300, 1};
+  const InterfaceKey server_key{301, 1};
+  constexpr Mist kPrice = 1'000'000;
+
+  // Setup: register the pair and one slot each; three distinct reporters
+  // strike the client executor's AS (3 strikes = 30% off that side).
+  std::vector<Transaction> setup;
+  const std::array<InterfaceKey, 2> pair = {client_key, server_key};
+  for (int side = 0; side < 2; ++side) {
+    const Actor& exec = w.actors[static_cast<std::size_t>(side)];
+    marketplace::RegisterExecutorArgs reg{pair[static_cast<std::size_t>(side)]};
+    setup.push_back(builder().make_transaction_with_nonce(
+        exec.key, 0, marketplace::kContractName, "RegisterExecutor",
+        reg.serialize(), 0, kDefaultBudget,
+        marketplace::access_register_executor(
+            pair[static_cast<std::size_t>(side)])));
+    marketplace::RegisterTimeSlotArgs slots{
+        pair[static_cast<std::size_t>(side)],
+        {make_slot(1000, 2000, kPrice)}};
+    setup.push_back(builder().make_transaction_with_nonce(
+        exec.key, 1, marketplace::kContractName, "RegisterTimeSlot",
+        slots.serialize(), 0, kDefaultBudget,
+        marketplace::access_register_time_slot(
+            pair[static_cast<std::size_t>(side)])));
+  }
+  for (int i = 0; i < 3; ++i)
+    setup.push_back(report_tx(w.actors[static_cast<std::size_t>(2 + i)], 0,
+                              client_key.asn, 950));
+  w.batches.push_back(std::move(setup));
+
+  const Mist penalized =
+      marketplace::apply_reputation_penalty(kPrice, 3) + kPrice;
+  ASSERT_LT(penalized, 2 * kPrice);
+
+  // The measured batch: a quote, an underpayment at penalized-minus-one
+  // (must lose), then the exact penalized payment (must win).
+  std::vector<Transaction> batch;
+  marketplace::LookupSlotArgs look;
+  look.client_key = client_key;
+  look.server_key = server_key;
+  batch.push_back(builder().make_transaction_with_nonce(
+      buyer.key, 0, marketplace::kContractName, "LookupSlot",
+      look.serialize(), 0, kDefaultBudget,
+      marketplace::access_lookup_slot(client_key, server_key)));
+  batch.push_back(purchase_tx(cheap, 0, client_key, server_key,
+                              make_slot(1000, 2000, kPrice),
+                              make_slot(1000, 2000, kPrice), penalized - 1,
+                              "under"));
+  batch.push_back(purchase_tx(buyer, 1, client_key, server_key,
+                              make_slot(1000, 2000, kPrice),
+                              make_slot(1000, 2000, kPrice), penalized,
+                              "exact"));
+  w.batches.push_back(std::move(batch));
+
+  auto run = differential(w);
+  const auto& results = run.results.back();
+  ASSERT_EQ(results.size(), 3u);
+
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[0]->success) << results[0]->error;
+  auto quote = marketplace::SlotQuote::parse(BytesView(
+      results[0]->return_value.data(), results[0]->return_value.size()));
+  ASSERT_TRUE(quote.ok()) << quote.error_message();
+  EXPECT_TRUE(quote->found);
+  EXPECT_EQ(quote->client_strikes, 3u);
+  EXPECT_EQ(quote->server_strikes, 0u);
+  EXPECT_EQ(quote->list_price, 2 * kPrice);
+  EXPECT_EQ(quote->total_price, penalized);
+
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_FALSE(results[1]->success)
+      << "one MIST under the penalized price must not win";
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[2]->success) << results[2]->error;
 }
 
 }  // namespace

@@ -64,14 +64,21 @@
 //       delay (extra ms), mangle (per-mille payload bit flips), throttle
 //       (packets/second budget), hide (fault hiding: ALL traffic suffers
 //       SEVERITY ms + drops except recognized executor addresses and
-//       probe signatures, which ride clean — the §VI-E adversary).
+//       probe signatures, which ride clean — the §VI-E adversary),
+//       adaptive (hide plus an online learner: recurring measurement
+//       signatures get promoted into the DPI table, so repeated identical
+//       twins stop discriminating; SEVERITY sets the learning horizon in
+//       sightings, default 8 — the arms-race adversary the randomized
+//       twin generator + SPRT detector is built to beat).
 //       --detect-discrimination runs the twin-probe counter-measurement
 //       after localization: packet twins identical but for the port the
 //       classifier keys on; per-class one-way delay, loss, and INT
 //       residence name the discriminating AS. With a middlebox installed
-//       in hide/delay mode the verdict requires the detector to name one
-//       of the middlebox ASes; with an honest network it requires NO
-//       discrimination report. --fault-ms 0 skips the link-fault
+//       in hide/delay/adaptive mode the verdict requires the detector to
+//       name one of the middlebox ASes; with an honest network it
+//       requires NO discrimination report. A named AS is additionally
+//       reported to the on-chain reputation contract (the strike total
+//       lands in the trace). --fault-ms 0 skips the link-fault
 //       injection (the verdict then expects a clean localization).
 //       --check-determinism replays the scenario with the same seed and
 //       verifies the retry/failover/fault-matrix trace is bit-identical.
@@ -801,8 +808,11 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
       pol.throttle_pps = static_cast<std::uint32_t>(
           spec.severity >= 0.0 ? spec.severity : 40.0);
       plan.policy_except_measurement(pol);
-    } else {  // hide: everyone suffers except recognized measurement gear
-      pol.extra_delay_ms = spec.severity >= 0.0 ? spec.severity : 25.0;
+    } else {  // hide/adaptive: everyone suffers except measurement gear
+      // hide's SEVERITY is the delay in ms; adaptive keeps the default
+      // delay and spends SEVERITY on the learning horizon instead.
+      pol.extra_delay_ms =
+          spec.mode == "hide" && spec.severity >= 0.0 ? spec.severity : 25.0;
       pol.drop_pm = 60.0;
       plan.policy_all(pol);
       plan.recognize_probe_signatures(true);
@@ -811,6 +821,15 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
         const auto asn = static_cast<topology::AsNumber>(as);
         plan.recognize(topo.address_of(topology::InterfaceKey{asn, 1}));
         plan.recognize(topo.address_of(topology::InterfaceKey{asn, 2}));
+      }
+      if (spec.mode == "adaptive") {
+        // The arms-race adversary: hide, plus an online signature learner
+        // promoting recurring measurement signatures into DPI verdicts.
+        simnet::AdaptiveConfig adaptive;
+        adaptive.enabled = true;
+        if (spec.severity >= 1.0)
+          adaptive.promote_after = static_cast<std::uint32_t>(spec.severity);
+        plan.adaptive(adaptive);
       }
     }
     if (auto st = system.network().install_middlebox(spec.asn, plan); !st) {
@@ -982,6 +1001,29 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
     out.trace += "\ntwin-probe report:\n" + twin_report->trace();
     if (verbose)
       std::printf("\ntwin-probe report:\n%s", twin_report->trace().c_str());
+    if (twin_report->detected && twin_report->named_as() != 0) {
+      // Accountability: file the verdict on chain. The strike record is
+      // committed state, so the count below is deterministic and part of
+      // the replayed trace.
+      auto record = initiator.report_discrimination(
+          twin_report->named_as(), twin_report->top_confidence(),
+          twin_report->rounds_used,
+          twin_report->suspects.empty() ? ""
+                                        : twin_report->suspects.front().detail);
+      if (record) {
+        out.trace += "reputation: AS" +
+                     std::to_string(twin_report->named_as()) + " strikes " +
+                     std::to_string(record->strikes) + " (confidence " +
+                     std::to_string(record->max_confidence_permille) +
+                     "/1000)\n";
+        if (verbose)
+          std::printf("reputation: AS%u now carries %u on-chain strike(s)\n",
+                      twin_report->named_as(), record->strikes);
+      } else {
+        out.trace += "reputation report failed: " + record.error_message() +
+                     "\n";
+      }
+    }
   }
   for (const ChaosParams::MiddleboxSpec& spec : p.middleboxes) {
     // Ground truth of what the adversary actually did, to correlate with
@@ -995,6 +1037,16 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
                  ", mangled " + std::to_string(st.mangled) + ", throttled " +
                  std::to_string(st.throttled) + ", exempted " +
                  std::to_string(st.exempted) + "\n";
+    if (spec.mode == "adaptive") {
+      // The learner's ground truth (how much it saw, learned and applied)
+      // is part of the deterministic trace too.
+      out.trace += "  adaptive: learned " +
+                   std::to_string(st.signatures_learned) + ", promoted " +
+                   std::to_string(st.signatures_promoted) + ", matched " +
+                   std::to_string(st.adaptive_matched) + ", flows " +
+                   std::to_string(st.flows_tracked) + " (evicted " +
+                   std::to_string(st.flows_evicted) + ")\n";
+    }
   }
 
   if (p.detect_discrimination) {
@@ -1004,7 +1056,8 @@ ChaosOutcome run_chaos(const ChaosParams& p, bool verbose) {
     // informational), and an honest network must produce NO report.
     bool expect_named = false;
     for (const ChaosParams::MiddleboxSpec& spec : p.middleboxes)
-      expect_named |= spec.mode == "hide" || spec.mode == "delay";
+      expect_named |= spec.mode == "hide" || spec.mode == "delay" ||
+                      spec.mode == "adaptive";
     if (!twin_report) {
       out.discrimination_ok = false;
     } else if (expect_named) {
@@ -1307,9 +1360,10 @@ int cmd_chaos(const Args& args) {
     if (c2 != std::string::npos)
       spec.severity = std::atof(text.substr(c2 + 1).c_str());
     if (spec.mode != "drop" && spec.mode != "delay" && spec.mode != "mangle" &&
-        spec.mode != "throttle" && spec.mode != "hide") {
+        spec.mode != "throttle" && spec.mode != "hide" &&
+        spec.mode != "adaptive") {
       std::printf("--middlebox: unknown mode '%s' (drop|delay|mangle|"
-                  "throttle|hide)\n",
+                  "throttle|hide|adaptive)\n",
                   spec.mode.c_str());
       return 1;
     }
